@@ -1,0 +1,212 @@
+//! Native graph database baseline (the Neo4j analogue).
+
+use std::collections::HashMap;
+
+use graphbi_graph::{EdgeId, GraphQuery, GraphRecord, NodeId, QueryResult, RecordId, Universe};
+
+use crate::Engine;
+
+// Per-object storage costs of a Neo4j-style native store: fixed-size node
+// records, relationship records with prev/next pointers for both endpoints,
+// and a property record per measure.
+const NODE_BYTES: usize = 15;
+const REL_BYTES: usize = 34;
+const PROP_BYTES: usize = 41;
+
+/// One stored record: a native adjacency structure.
+struct StoredGraph {
+    /// node → outgoing (target, measure) pairs, sorted by target.
+    adjacency: HashMap<NodeId, Vec<(NodeId, f64)>>,
+    node_count: usize,
+    rel_count: usize,
+}
+
+impl StoredGraph {
+    fn edge_measure(&self, s: NodeId, t: NodeId) -> Option<f64> {
+        let outs = self.adjacency.get(&s)?;
+        outs.binary_search_by_key(&t, |&(n, _)| n)
+            .ok()
+            .map(|i| outs[i].1)
+    }
+}
+
+/// The native graph store: per-record adjacency objects plus a global
+/// node→records index (the analogue of a Neo4j schema index on the node
+/// name property).
+///
+/// A query resolves its most selective node through the index, then walks
+/// each candidate record's adjacency lists verifying every query edge — the
+/// pointer-chasing traversal a native store performs. Unlike the column
+/// store there is no precomputed per-edge record list, so candidate sets are
+/// node-level (larger) and each candidate pays a full traversal.
+pub struct GraphDb {
+    graphs: Vec<StoredGraph>,
+    node_index: HashMap<NodeId, Vec<RecordId>>,
+    /// Query edges are edge *ids*; the native store keys adjacency by node
+    /// pair, so we keep the universe's endpoint table.
+    endpoints: HashMap<EdgeId, (NodeId, NodeId)>,
+}
+
+impl GraphDb {
+    /// Loads a record collection, resolving edge endpoints via `universe`.
+    pub fn load<'a, I>(records: I, universe: &Universe) -> GraphDb
+    where
+        I: IntoIterator<Item = &'a GraphRecord>,
+    {
+        let mut graphs = Vec::new();
+        let mut node_index: HashMap<NodeId, Vec<RecordId>> = HashMap::new();
+        for (rid, rec) in records.into_iter().enumerate() {
+            let rid = u32::try_from(rid).expect("record id fits u32");
+            let mut adjacency: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
+            let mut rel_count = 0usize;
+            for &(e, m) in rec.edges() {
+                let (s, t) = universe.endpoints(e);
+                adjacency.entry(s).or_default().push((t, m));
+                adjacency.entry(t).or_default();
+                rel_count += 1;
+            }
+            for (n, outs) in adjacency.iter_mut() {
+                outs.sort_by_key(|&(t, _)| t);
+                node_index.entry(*n).or_default().push(rid);
+            }
+            graphs.push(StoredGraph {
+                node_count: adjacency.len(),
+                rel_count,
+                adjacency,
+            });
+        }
+        let endpoints = universe
+            .edges()
+            .map(|(e, s, t)| (e, (s, t)))
+            .collect();
+        GraphDb {
+            graphs,
+            node_index,
+            endpoints,
+        }
+    }
+
+    fn candidates(&self, node: NodeId) -> &[RecordId] {
+        self.node_index.get(&node).map_or(&[], Vec::as_slice)
+    }
+}
+
+impl Engine for GraphDb {
+    fn name(&self) -> &'static str {
+        "Neo4j Store"
+    }
+
+    fn evaluate(&self, query: &GraphQuery) -> QueryResult {
+        let edges = query.edges().to_vec();
+        if edges.is_empty() {
+            return QueryResult {
+                records: (0..u32::try_from(self.graphs.len()).expect("record count fits u32"))
+                    .collect(),
+                edges,
+                measures: Vec::new(),
+            };
+        }
+        let pairs: Vec<(NodeId, NodeId)> = edges
+            .iter()
+            .map(|e| *self.endpoints.get(e).unwrap_or(&(NodeId(u32::MAX), NodeId(u32::MAX))))
+            .collect();
+        // Index lookup on the most selective query node.
+        let anchor = pairs
+            .iter()
+            .flat_map(|&(s, t)| [s, t])
+            .min_by_key(|&n| self.candidates(n).len())
+            .expect("non-empty query");
+
+        let mut rows: Vec<(RecordId, Vec<f64>)> = Vec::new();
+        'cand: for &rid in self.candidates(anchor) {
+            let g = &self.graphs[rid as usize];
+            let mut vals = Vec::with_capacity(pairs.len());
+            for &(s, t) in &pairs {
+                match g.edge_measure(s, t) {
+                    Some(m) => vals.push(m),
+                    None => continue 'cand,
+                }
+            }
+            rows.push((rid, vals));
+        }
+        crate::result_from_rows(edges, rows)
+    }
+
+    fn record_count(&self) -> u64 {
+        self.graphs.len() as u64
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // Node + relationship + property records, plus the node index.
+        let objects: usize = self
+            .graphs
+            .iter()
+            .map(|g| g.node_count * NODE_BYTES + g.rel_count * (REL_BYTES + PROP_BYTES))
+            .sum();
+        let index: usize = self.node_index.values().map(|v| v.len() * 16).sum();
+        objects + index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbi_graph::RecordBuilder;
+
+    fn setup() -> (Universe, Vec<GraphRecord>, Vec<EdgeId>) {
+        let mut u = Universe::new();
+        let ab = u.edge_by_names("A", "B");
+        let bc = u.edge_by_names("B", "C");
+        let cd = u.edge_by_names("C", "D");
+        let mk = |edges: &[(EdgeId, f64)]| {
+            let mut b = RecordBuilder::new();
+            for &(e, m) in edges {
+                b.add(e, m);
+            }
+            b.build()
+        };
+        let records = vec![
+            mk(&[(ab, 1.0), (bc, 2.0)]),
+            mk(&[(bc, 3.0), (cd, 4.0)]),
+            mk(&[(ab, 5.0), (bc, 6.0), (cd, 7.0)]),
+        ];
+        (u, records, vec![ab, bc, cd])
+    }
+
+    #[test]
+    fn traversal_finds_matches() {
+        let (u, records, e) = setup();
+        let db = GraphDb::load(&records, &u);
+        let r = db.evaluate(&GraphQuery::from_edges(vec![e[0], e[1]]));
+        assert_eq!(r.records, vec![0, 2]);
+        assert_eq!(r.row(0), &[1.0, 2.0]);
+        assert_eq!(r.row(1), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn anchor_choice_does_not_change_answers() {
+        let (u, records, e) = setup();
+        let db = GraphDb::load(&records, &u);
+        // Full path query anchored anywhere gives record 2 only.
+        let r = db.evaluate(&GraphQuery::from_edges(vec![e[0], e[1], e[2]]));
+        assert_eq!(r.records, vec![2]);
+        assert_eq!(r.row(0), &[5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn unknown_edge_matches_nothing() {
+        let (u, records, _) = setup();
+        let db = GraphDb::load(&records, &u);
+        let r = db.evaluate(&GraphQuery::from_edges(vec![EdgeId(999)]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn native_store_is_the_largest(){
+        let (u, records, _) = setup();
+        let db = GraphDb::load(&records, &u);
+        let row = crate::RowStore::load(&records);
+        // Figure 4: the native graph store needs the most disk space.
+        assert!(db.size_in_bytes() > row.size_in_bytes());
+    }
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! The comparison systems of the paper's §7.2 experiments.
+//!
+//! The paper compares its column-store framework against three alternative
+//! ways of hosting the same graph-record collection:
+//!
+//! * [`RowStore`] — "a straightforward implementation that uses a commercial
+//!   RDBMS and row-oriented storage for storing the graph records using
+//!   triplets of record id, edge id and measure values and appropriate
+//!   indexes". Rows live in a heap in insertion order; each edge id has a
+//!   secondary index; a k-edge graph query runs as a chain of hash
+//!   self-joins with materialized intermediates — exactly what an RDBMS
+//!   does with `WHERE t1.rec = t2.rec AND …`.
+//! * [`GraphDb`] — a native graph database in the Neo4j mould: each record
+//!   is an adjacency structure of node/relationship objects, with a global
+//!   node→records index. A query picks its most selective node, then
+//!   *traverses* each candidate record checking the query edges.
+//! * [`RdfStore`] — an RDF triple store: each measure is the triple
+//!   `(record, edge, value)` with a dictionary-encoded object column and
+//!   redundant SPO/POS index orderings; a query is a subject-subject merge
+//!   join over the POS index plus dictionary dereferences.
+//!
+//! All three implement [`Engine`] and return bit-identical
+//! [`QueryResult`]s to the column store (asserted by the cross-engine test
+//! suite); what differs — deliberately — is the storage layout and join
+//! strategy, which is what the paper's Figures 3–5 measure.
+
+mod graphdb;
+mod rdf;
+mod row;
+
+pub use graphdb::GraphDb;
+pub use rdf::RdfStore;
+pub use row::RowStore;
+
+use graphbi_graph::{GraphQuery, QueryResult, RecordId};
+
+/// A storage engine answering graph queries over a loaded record collection.
+pub trait Engine {
+    /// Human-readable system name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates a graph query, returning matching records with the measures
+    /// of the query's edges.
+    fn evaluate(&self, query: &GraphQuery) -> QueryResult;
+
+    /// Number of records loaded.
+    fn record_count(&self) -> u64;
+
+    /// Estimated resident size in bytes, using each system's native storage
+    /// overheads (documented per engine).
+    fn size_in_bytes(&self) -> usize;
+}
+
+/// Sorts (record, row) pairs and flattens to a [`QueryResult`] — shared by
+/// engines whose matching order is not ascending.
+pub(crate) fn result_from_rows(
+    edges: Vec<graphbi_graph::EdgeId>,
+    mut rows: Vec<(RecordId, Vec<f64>)>,
+) -> QueryResult {
+    rows.sort_by_key(|&(r, _)| r);
+    let mut records = Vec::with_capacity(rows.len());
+    let mut measures = Vec::with_capacity(rows.len() * edges.len());
+    for (r, vals) in rows {
+        records.push(r);
+        measures.extend(vals);
+    }
+    QueryResult {
+        records,
+        edges,
+        measures,
+    }
+}

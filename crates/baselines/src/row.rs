@@ -1,0 +1,217 @@
+//! Row-oriented triplet storage (the commercial-RDBMS baseline).
+
+use std::collections::HashMap;
+
+use graphbi_graph::{EdgeId, GraphQuery, GraphRecord, QueryResult, RecordId};
+
+use crate::Engine;
+
+/// Per-row storage overhead of a heap tuple in a typical row-oriented RDBMS
+/// (tuple header + item pointer), charged on top of the 16-byte payload.
+const ROW_OVERHEAD: usize = 24;
+
+/// Bytes per secondary-index entry (key + row pointer in a B-tree leaf).
+const INDEX_ENTRY: usize = 16;
+
+/// One stored triplet row, as laid out in the table heap.
+#[derive(Clone, Copy, Debug)]
+struct Row {
+    record: RecordId,
+    edge: EdgeId,
+    measure: f64,
+}
+
+/// The row store: a heap of `(record, edge, measure)` triplets in insertion
+/// (record-major) order plus a secondary B-tree-style index from edge id to
+/// *row pointers*.
+///
+/// Graph queries run the way an RDBMS runs a k-way self-join over an
+/// edge-indexed triplet table: index-scan the rarest edge dereferencing each
+/// row pointer into the heap, build a hash table per remaining edge the same
+/// way, and probe, materializing the intermediate result after every join
+/// step. The heap dereference per index entry and the per-step intermediate
+/// materialization are what make this baseline degrade with dataset and
+/// query size (Figures 3a–3b).
+pub struct RowStore {
+    /// The table heap, in insertion order.
+    heap: Vec<Row>,
+    /// Secondary index: edge id → heap positions, ascending (record order).
+    index: HashMap<EdgeId, Vec<u32>>,
+    record_count: u64,
+}
+
+impl RowStore {
+    /// Loads a record collection.
+    pub fn load<'a, I>(records: I) -> RowStore
+    where
+        I: IntoIterator<Item = &'a GraphRecord>,
+    {
+        let mut heap = Vec::new();
+        let mut index: HashMap<EdgeId, Vec<u32>> = HashMap::new();
+        let mut record_count = 0u64;
+        for (rid, rec) in records.into_iter().enumerate() {
+            let rid = u32::try_from(rid).expect("record id fits u32");
+            record_count += 1;
+            for &(e, m) in rec.edges() {
+                index
+                    .entry(e)
+                    .or_default()
+                    .push(u32::try_from(heap.len()).expect("row count fits u32"));
+                heap.push(Row {
+                    record: rid,
+                    edge: e,
+                    measure: m,
+                });
+            }
+        }
+        RowStore {
+            heap,
+            index,
+            record_count,
+        }
+    }
+
+    fn row_pointers(&self, e: EdgeId) -> &[u32] {
+        self.index.get(&e).map_or(&[], Vec::as_slice)
+    }
+
+    /// Index scan: dereference every row pointer of `e` into the heap.
+    fn index_scan(&self, e: EdgeId) -> impl Iterator<Item = Row> + '_ {
+        self.row_pointers(e).iter().map(move |&p| {
+            let row = self.heap[p as usize];
+            debug_assert_eq!(row.edge, e);
+            row
+        })
+    }
+}
+
+impl Engine for RowStore {
+    fn name(&self) -> &'static str {
+        "Row Store"
+    }
+
+    fn evaluate(&self, query: &GraphQuery) -> QueryResult {
+        let edges = query.edges().to_vec();
+        if edges.is_empty() {
+            return QueryResult {
+                records: (0..u32::try_from(self.record_count).expect("record count fits u32"))
+                    .collect(),
+                edges,
+                measures: Vec::new(),
+            };
+        }
+        // Join order: start from the most selective (fewest rows) edge, the
+        // choice any cost-based optimizer makes.
+        let mut order = edges.clone();
+        order.sort_by_key(|&e| self.row_pointers(e).len());
+
+        // Intermediate result: (record, measures joined so far) — the
+        // column order follows `order` and is fixed up at the end.
+        let mut intermediate: Vec<(RecordId, Vec<f64>)> = self
+            .index_scan(order[0])
+            .map(|r| (r.record, vec![r.measure]))
+            .collect();
+        for &e in &order[1..] {
+            if intermediate.is_empty() {
+                break;
+            }
+            // Hash-join build side: this edge's rows.
+            let build: HashMap<RecordId, f64> = self
+                .index_scan(e)
+                .map(|r| (r.record, r.measure))
+                .collect();
+            // Probe and materialize the next intermediate.
+            let mut next = Vec::with_capacity(intermediate.len());
+            for (rec, mut vals) in intermediate {
+                if let Some(&m) = build.get(&rec) {
+                    vals.push(m);
+                    next.push((rec, vals));
+                }
+            }
+            intermediate = next;
+        }
+
+        // Restore ascending-edge column order.
+        let mut perm: Vec<usize> = (0..order.len()).collect();
+        perm.sort_by_key(|&i| order[i]);
+        let rows: Vec<(RecordId, Vec<f64>)> = intermediate
+            .into_iter()
+            .map(|(rec, vals)| (rec, perm.iter().map(|&i| vals[i]).collect()))
+            .collect();
+        crate::result_from_rows(edges, rows)
+    }
+
+    fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // Heap rows (payload 16B: recid 4 + edge 4 + measure 8) + overhead,
+        // plus one secondary-index entry per row.
+        self.heap.len() * (16 + ROW_OVERHEAD + INDEX_ENTRY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbi_graph::RecordBuilder;
+
+    fn e(i: u32) -> EdgeId {
+        EdgeId(i)
+    }
+
+    fn records() -> Vec<GraphRecord> {
+        let mk = |edges: &[(u32, f64)]| {
+            let mut b = RecordBuilder::new();
+            for &(i, m) in edges {
+                b.add(e(i), m);
+            }
+            b.build()
+        };
+        vec![
+            mk(&[(0, 3.0), (1, 4.0), (2, 2.0)]),
+            mk(&[(1, 1.0), (2, 2.0), (5, 4.0)]),
+            mk(&[(3, 5.0), (5, 3.0)]),
+        ]
+    }
+
+    #[test]
+    fn single_edge_query() {
+        let s = RowStore::load(&records());
+        let r = s.evaluate(&GraphQuery::from_edges(vec![e(1)]));
+        assert_eq!(r.records, vec![0, 1]);
+        assert_eq!(r.measures, vec![4.0, 1.0]);
+    }
+
+    #[test]
+    fn multi_edge_join() {
+        let s = RowStore::load(&records());
+        let r = s.evaluate(&GraphQuery::from_edges(vec![e(1), e(2)]));
+        assert_eq!(r.records, vec![0, 1]);
+        assert_eq!(r.row(0), &[4.0, 2.0]);
+        assert_eq!(r.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn no_match_and_unknown_edge() {
+        let s = RowStore::load(&records());
+        assert!(s.evaluate(&GraphQuery::from_edges(vec![e(0), e(3)])).is_empty());
+        assert!(s.evaluate(&GraphQuery::from_edges(vec![e(99)])).is_empty());
+    }
+
+    #[test]
+    fn empty_query_matches_all() {
+        let s = RowStore::load(&records());
+        let r = s.evaluate(&GraphQuery::from_edges(vec![]));
+        assert_eq!(r.records, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn size_grows_linearly_with_rows() {
+        let rs = records();
+        let s = RowStore::load(&rs);
+        let per_row = 16 + ROW_OVERHEAD + INDEX_ENTRY;
+        assert_eq!(s.size_in_bytes(), 8 * per_row);
+    }
+}

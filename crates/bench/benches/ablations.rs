@@ -1,0 +1,131 @@
+//! Ablations of the design choices called out in DESIGN.md §6:
+//! storage layout, partition width, and view-selection strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphbi::{EvalOptions, GraphStore, IoStats};
+use graphbi_columnstore::{ColumnBuilder, DenseColumn};
+use graphbi_views::{generate_candidates, rewrite_query, select_views};
+use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
+
+fn dataset() -> Dataset {
+    Dataset::synthesize(&DatasetSpec::ny(5_000))
+}
+
+/// Sparse (bitmap + dense values) vs NULL-padded dense measure columns.
+fn bench_column_layout(c: &mut Criterion) {
+    const N: u32 = 200_000;
+    const STEP: usize = 12; // ~8% density, the NY record shape
+    let mut sparse_b = ColumnBuilder::new();
+    let mut dense = DenseColumn::new(N as usize);
+    for r in (0..N).step_by(STEP) {
+        sparse_b.push(r, f64::from(r));
+        dense.set(r, f64::from(r));
+    }
+    let sparse = sparse_b.finish();
+    let probes: Vec<u32> = (0..N).step_by(97).collect();
+
+    let mut g = c.benchmark_group("column_layout_point_lookups");
+    g.bench_function("sparse", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter_map(|&r| sparse.get(r))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("dense", |b| {
+        b.iter(|| probes.iter().filter_map(|&r| dense.get(r)).sum::<f64>())
+    });
+    g.finish();
+    // The space story is asserted in unit tests: sparse ≈ density-linear,
+    // dense ≈ capacity-linear.
+}
+
+/// Vertical partition width: 100 vs 1000 vs 10000 columns per sub-relation.
+fn bench_partition_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_width");
+    for width in [100usize, 1000, 10_000] {
+        let d = dataset();
+        let qs = d.queries(&QuerySpec::uniform(20));
+        let store = GraphStore::load_with_width(d.universe, &d.records, width);
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| {
+                qs.iter()
+                    .map(|q| store.evaluate(q).0.value_count())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// View strategies: no views, greedy budget, materialize-every-query.
+fn bench_view_strategy(c: &mut Criterion) {
+    let d = dataset();
+    let qs = d.queries(&QuerySpec::zipf(50));
+    let mut store = GraphStore::load(d.universe, &d.records);
+
+    let mut g = c.benchmark_group("view_strategy");
+    let run = |store: &GraphStore, qs: &[graphbi::GraphQuery]| {
+        let mut stats = IoStats::new();
+        let mut n = 0u64;
+        for q in qs {
+            n += store.match_records(q, &mut stats).len();
+        }
+        n
+    };
+    g.bench_function("no_views", |b| {
+        b.iter(|| {
+            let mut stats = IoStats::new();
+            qs.iter()
+                .map(|q| {
+                    let (_, s) = store.evaluate_with(q, EvalOptions::oblivious());
+                    stats.absorb(&s);
+                    s.bitmap_columns
+                })
+                .sum::<u64>()
+        })
+    });
+    store.clear_views();
+    store.advise_views(&qs, 10);
+    g.bench_function("greedy_budget_10", |b| b.iter(|| run(&store, &qs)));
+    store.clear_views();
+    // Materialize every distinct query (the paper's impractical extreme).
+    let mut distinct = qs.clone();
+    distinct.sort();
+    distinct.dedup();
+    for q in &distinct {
+        store.materialize_graph_view(q.edges().to_vec());
+    }
+    g.bench_function("materialize_every_query", |b| b.iter(|| run(&store, &qs)));
+    g.finish();
+}
+
+/// Rewrite planning cost as the view catalog grows.
+fn bench_rewrite_scaling(c: &mut Criterion) {
+    let d = dataset();
+    let qs = d.queries(&QuerySpec::zipf(100));
+    let cands = generate_candidates(&qs);
+    let mut g = c.benchmark_group("rewrite_vs_catalog_size");
+    for budget in [5usize, 25, 100] {
+        let chosen = select_views(&qs, &cands, budget);
+        let views: Vec<_> = chosen.iter().map(|&i| cands[i].edges.clone()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, _| {
+            b.iter(|| {
+                qs.iter()
+                    .map(|q| rewrite_query(q, &views).bitmap_cost())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_column_layout,
+    bench_partition_width,
+    bench_view_strategy,
+    bench_rewrite_scaling
+);
+criterion_main!(benches);

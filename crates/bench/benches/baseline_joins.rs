@@ -1,0 +1,42 @@
+//! Baseline-engine microbenchmarks: the join strategies the paper's
+//! Figure 3 compares (hash self-joins, adjacency traversal, triple merge
+//! joins) against the column store's bitmap conjunction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphbi::GraphStore;
+use graphbi_baselines::{Engine, GraphDb, RdfStore, RowStore};
+use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
+
+fn setup() -> (Dataset, Vec<graphbi_graph::GraphQuery>) {
+    let d = Dataset::synthesize(&DatasetSpec::ny(2_000));
+    let qs = d.queries(&QuerySpec::uniform(20));
+    (d, qs)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (d, qs) = setup();
+    let row = RowStore::load(&d.records);
+    let rdf = RdfStore::load(&d.records);
+    let graph = GraphDb::load(&d.records, &d.universe);
+    let records = d.records.clone();
+    let store = GraphStore::load(d.universe, &d.records);
+    drop(records);
+
+    let mut g = c.benchmark_group("engine_20_queries");
+    g.bench_function("column_store", |b| {
+        b.iter(|| qs.iter().map(|q| store.evaluate(q).0.len()).sum::<usize>())
+    });
+    g.bench_function("row_store_hash_joins", |b| {
+        b.iter(|| qs.iter().map(|q| row.evaluate(q).len()).sum::<usize>())
+    });
+    g.bench_function("rdf_merge_joins", |b| {
+        b.iter(|| qs.iter().map(|q| rdf.evaluate(q).len()).sum::<usize>())
+    });
+    g.bench_function("graphdb_traversal", |b| {
+        b.iter(|| qs.iter().map(|q| graph.evaluate(q).len()).sum::<usize>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Column-store query evaluation microbenchmarks: structural phase, measure
+//! fetch and path aggregation, with and without views.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphbi::{AggFn, GraphStore, IoStats, PathAggQuery};
+use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
+
+fn setup() -> (GraphStore, Vec<graphbi::GraphQuery>) {
+    let d = Dataset::synthesize(&DatasetSpec::ny(10_000));
+    let qs = d.queries(&QuerySpec::uniform(20));
+    (GraphStore::load(d.universe, &d.records), qs)
+}
+
+fn bench_structural(c: &mut Criterion) {
+    let (store, qs) = setup();
+    c.bench_function("structural_20_queries", |b| {
+        b.iter(|| {
+            let mut stats = IoStats::new();
+            qs.iter()
+                .map(|q| store.match_records(q, &mut stats).len())
+                .sum::<u64>()
+        })
+    });
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let (store, qs) = setup();
+    c.bench_function("evaluate_20_queries", |b| {
+        b.iter(|| {
+            qs.iter()
+                .map(|q| store.evaluate(q).0.value_count())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_evaluate_with_views(c: &mut Criterion) {
+    let (mut store, qs) = setup();
+    store.advise_views(&qs, qs.len());
+    c.bench_function("evaluate_20_queries_with_views", |b| {
+        b.iter(|| {
+            qs.iter()
+                .map(|q| store.evaluate(q).0.value_count())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_path_aggregate(c: &mut Criterion) {
+    let (mut store, qs) = setup();
+    c.bench_function("path_aggregate_20_queries", |b| {
+        b.iter(|| {
+            qs.iter()
+                .map(|q| {
+                    store
+                        .path_aggregate(&PathAggQuery::new(q.clone(), AggFn::Sum))
+                        .unwrap()
+                        .0
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+    store.advise_agg_views(&qs, AggFn::Sum, qs.len()).unwrap();
+    c.bench_function("path_aggregate_20_queries_with_views", |b| {
+        b.iter(|| {
+            qs.iter()
+                .map(|q| {
+                    store
+                        .path_aggregate(&PathAggQuery::new(q.clone(), AggFn::Sum))
+                        .unwrap()
+                        .0
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_structural,
+    bench_evaluate,
+    bench_evaluate_with_views,
+    bench_path_aggregate
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! View-selection microbenchmarks: candidate generation (closure vs
+//! a-priori min-support) and the greedy extended set cover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphbi_views::{
+    agg_candidates, generate_candidates, generate_candidates_min_sup, rewrite_query,
+    select_agg_views, select_views,
+};
+use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
+
+fn workloads() -> (Dataset, Vec<graphbi_graph::GraphQuery>, Vec<graphbi_graph::GraphQuery>) {
+    let d = Dataset::synthesize(&DatasetSpec::ny(500));
+    let uni = d.queries(&QuerySpec::uniform(100));
+    let zipf = d.queries(&QuerySpec::zipf(100));
+    (d, uni, zipf)
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let (_, uni, zipf) = workloads();
+    let mut g = c.benchmark_group("candidate_generation");
+    g.bench_function("closure_uniform", |b| {
+        b.iter(|| generate_candidates(&uni).len())
+    });
+    g.bench_function("closure_zipf", |b| {
+        b.iter(|| generate_candidates(&zipf).len())
+    });
+    for min_sup in [2usize, 5, 10] {
+        g.bench_with_input(
+            BenchmarkId::new("min_sup_zipf", min_sup),
+            &min_sup,
+            |b, &ms| b.iter(|| generate_candidates_min_sup(&zipf, ms).len()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let (_, _, zipf) = workloads();
+    let cands = generate_candidates(&zipf);
+    c.bench_function("greedy_select_budget50", |b| {
+        b.iter(|| select_views(&zipf, &cands, 50).len())
+    });
+}
+
+fn bench_agg_candidates_and_selection(c: &mut Criterion) {
+    let (d, _, zipf) = workloads();
+    c.bench_function("agg_candidates_zipf", |b| {
+        b.iter(|| agg_candidates(&zipf, &d.universe).unwrap().len())
+    });
+    let cands = agg_candidates(&zipf, &d.universe).unwrap();
+    c.bench_function("agg_greedy_select_budget50", |b| {
+        b.iter(|| select_agg_views(&zipf, &d.universe, &cands, 50).unwrap().len())
+    });
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let (_, _, zipf) = workloads();
+    let cands = generate_candidates(&zipf);
+    let chosen = select_views(&zipf, &cands, 50);
+    let views: Vec<_> = chosen.iter().map(|&i| cands[i].edges.clone()).collect();
+    c.bench_function("rewrite_100_queries", |b| {
+        b.iter(|| {
+            zipf.iter()
+                .map(|q| rewrite_query(q, &views).bitmap_cost())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_candidates,
+    bench_selection,
+    bench_agg_candidates_and_selection,
+    bench_rewrite
+);
+criterion_main!(benches);

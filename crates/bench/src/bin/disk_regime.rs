@@ -1,0 +1,4 @@
+//! Regenerates the disk-regime table. See `graphbi_bench::figs::disk_regime`.
+fn main() {
+    graphbi_bench::figs::disk_regime::run();
+}

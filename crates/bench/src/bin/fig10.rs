@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10. See `graphbi_bench::figs::fig10`.
+fn main() {
+    graphbi_bench::figs::fig10::run();
+}

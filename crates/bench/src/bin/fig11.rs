@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11. See `graphbi_bench::figs::fig11`.
+fn main() {
+    graphbi_bench::figs::fig11::run();
+}

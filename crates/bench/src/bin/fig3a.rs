@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3a. See `graphbi_bench::figs::fig3a`.
+fn main() {
+    graphbi_bench::figs::fig3a::run();
+}

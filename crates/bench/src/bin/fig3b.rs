@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3b. See `graphbi_bench::figs::fig3b`.
+fn main() {
+    graphbi_bench::figs::fig3b::run();
+}

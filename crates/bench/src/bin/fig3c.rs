@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3c. See `graphbi_bench::figs::fig3c`.
+fn main() {
+    graphbi_bench::figs::fig3c::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4. See `graphbi_bench::figs::fig4`.
+fn main() {
+    graphbi_bench::figs::fig4::run();
+}

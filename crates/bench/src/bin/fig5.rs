@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5. See `graphbi_bench::figs::fig5`.
+fn main() {
+    graphbi_bench::figs::fig5::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6. See `graphbi_bench::figs::fig6`.
+fn main() {
+    graphbi_bench::figs::fig6::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7. See `graphbi_bench::figs::fig7`.
+fn main() {
+    graphbi_bench::figs::fig7::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8. See `graphbi_bench::figs::fig8`.
+fn main() {
+    graphbi_bench::figs::fig8::run();
+}

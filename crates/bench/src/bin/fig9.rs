@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9. See `graphbi_bench::figs::fig9`.
+fn main() {
+    graphbi_bench::figs::fig9::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the ingest table. See `graphbi_bench::figs::ingest`.
+fn main() {
+    graphbi_bench::figs::ingest::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the latency table. See `graphbi_bench::figs::latency`.
+fn main() {
+    graphbi_bench::figs::latency::run();
+}

@@ -1,0 +1,22 @@
+//! Regenerates every table and figure of the paper's evaluation in order,
+//! writing CSVs under `results/`.
+fn main() {
+    use graphbi_bench::figs::*;
+    let t0 = std::time::Instant::now();
+    table2::run();
+    fig3a::run();
+    fig3b::run();
+    fig3c::run();
+    fig4::run();
+    fig5::run();
+    fig6::run();
+    fig7::run();
+    fig8::run();
+    fig9::run();
+    fig10::run();
+    fig11::run();
+    disk_regime::run();
+    ingest::run();
+    latency::run();
+    println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2. See `graphbi_bench::figs::table2`.
+fn main() {
+    graphbi_bench::figs::table2::run();
+}

@@ -1,0 +1,41 @@
+//! Figure 3(a): query execution time vs dataset size, four systems.
+//!
+//! Paper: 100 uniform graph queries over 1/5/10 M NY records; the column
+//! store scales linearly and is orders of magnitude faster than the row
+//! store, with the native graph and RDF stores in between. Scaled here to
+//! 1/5/10 k records (×`GRAPHBI_SCALE`).
+
+use graphbi::GraphStore;
+use graphbi_baselines::{GraphDb, RdfStore, RowStore};
+use graphbi_workload::{Dataset, DatasetSpec};
+
+use crate::{fmt, run_column_workload, run_engine_workload, scaled, uniform_queries, Table};
+
+/// Regenerates Figure 3(a).
+pub fn run() {
+    let mut t = Table::new(
+        "Figure 3(a): Query Time vs Dataset Size (100 uniform queries, ms)",
+        &["records", "ColumnStore", "Neo4jStore", "RdfStore", "RowStore", "matches"],
+    );
+    for n in [1_000usize, 5_000, 10_000] {
+        let d = Dataset::synthesize(&DatasetSpec::ny(scaled(n)));
+        let qs = uniform_queries(&d, 100);
+        let row = RowStore::load(&d.records);
+        let rdf = RdfStore::load(&d.records);
+        let graph = GraphDb::load(&d.records, &d.universe);
+        let store = GraphStore::load(d.universe, &d.records);
+        let (col_ms, _, matches) = run_column_workload(&store, &qs);
+        let (g_ms, _) = run_engine_workload(&graph, &qs);
+        let (rdf_ms, _) = run_engine_workload(&rdf, &qs);
+        let (row_ms, _) = run_engine_workload(&row, &qs);
+        t.row(vec![
+            scaled(n).to_string(),
+            fmt(col_ms),
+            fmt(g_ms),
+            fmt(rdf_ms),
+            fmt(row_ms),
+            matches.to_string(),
+        ]);
+    }
+    t.emit("fig3a");
+}

@@ -1,0 +1,52 @@
+//! Figure 3(b): query execution time vs query-graph size, four systems.
+//!
+//! Paper: 100 queries of 1–1000 edges over 1 M NY records; the column store
+//! gets *faster* with larger queries (fewer matches → fewer measures
+//! fetched) while the alternatives degrade. Scaled to 20 k records.
+
+use graphbi::GraphStore;
+use graphbi_baselines::{GraphDb, RdfStore, RowStore};
+use graphbi_workload::queries::{QueryShapeKind, QuerySpec};
+use graphbi_workload::{Dataset, DatasetSpec};
+
+use crate::{fmt, run_column_workload, run_engine_workload, scaled, Table};
+
+/// Regenerates Figure 3(b).
+pub fn run() {
+    let d = Dataset::synthesize(&DatasetSpec::ny(scaled(20_000)));
+    let row = RowStore::load(&d.records);
+    let rdf = RdfStore::load(&d.records);
+    let graph = GraphDb::load(&d.records, &d.universe);
+    let store = GraphStore::load(d.universe, &d.records);
+
+    let mut t = Table::new(
+        "Figure 3(b): Query Time vs Query Size (100 queries, ms)",
+        &["query_edges", "ColumnStore", "Neo4jStore", "RdfStore", "RowStore", "matches"],
+    );
+    for size in [1usize, 10, 100, 1000] {
+        let spec = QuerySpec {
+            min_len: size,
+            max_len: size,
+            shape: if size <= 6 {
+                QueryShapeKind::SinglePath
+            } else {
+                QueryShapeKind::MultiPath
+            },
+            ..QuerySpec::uniform(100)
+        };
+        let qs = graphbi_workload::queries::generate(&d.base, &spec);
+        let (col_ms, _, matches) = run_column_workload(&store, &qs);
+        let (g_ms, _) = run_engine_workload(&graph, &qs);
+        let (rdf_ms, _) = run_engine_workload(&rdf, &qs);
+        let (row_ms, _) = run_engine_workload(&row, &qs);
+        t.row(vec![
+            size.to_string(),
+            fmt(col_ms),
+            fmt(g_ms),
+            fmt(rdf_ms),
+            fmt(row_ms),
+            matches.to_string(),
+        ]);
+    }
+    t.emit("fig3b");
+}

@@ -1,0 +1,66 @@
+//! Figure 3(c): query execution time vs record density, four systems.
+//!
+//! Paper: 1 M NY records with 1000 distinct edge ids; density = fraction of
+//! the universe present per record (10/20/50%), queries scaled with density.
+//! Density leaves the column store flat and hurts the alternatives. Scaled
+//! to 1 k records.
+
+use graphbi::GraphStore;
+use graphbi_baselines::{GraphDb, RdfStore, RowStore};
+use graphbi_workload::queries::QuerySpec;
+use graphbi_workload::{Dataset, DatasetSpec};
+
+use crate::{fmt, run_column_workload, run_engine_workload, scaled, Table};
+
+/// The density sweep shared with Figure 4: 10%, 20%, 50% of a 1000-edge
+/// universe, with queries growing proportionally.
+pub fn density_datasets() -> Vec<(u32, Dataset)> {
+    [10u32, 20, 50]
+        .into_iter()
+        .map(|density| {
+            let edges = 1000 * density as usize / 100;
+            let spec = DatasetSpec {
+                n_records: scaled(1_000),
+                min_edges: edges,
+                max_edges: edges,
+                ..DatasetSpec::ny(scaled(1_000))
+            };
+            (density, Dataset::synthesize(&spec))
+        })
+        .collect()
+}
+
+/// Regenerates Figure 3(c).
+pub fn run() {
+    let mut t = Table::new(
+        "Figure 3(c): Query Time vs Density (100 queries, ms)",
+        &["density_%", "ColumnStore", "Neo4jStore", "RdfStore", "RowStore", "matches"],
+    );
+    for (density, d) in density_datasets() {
+        // Query size grows with density, as in the paper.
+        let qlen = (density as usize / 2).max(3);
+        let qspec = QuerySpec {
+            min_len: qlen,
+            max_len: qlen,
+            ..QuerySpec::uniform(100)
+        };
+        let qs = graphbi_workload::queries::generate(&d.base, &qspec);
+        let row = RowStore::load(&d.records);
+        let rdf = RdfStore::load(&d.records);
+        let graph = GraphDb::load(&d.records, &d.universe);
+        let store = GraphStore::load(d.universe, &d.records);
+        let (col_ms, _, matches) = run_column_workload(&store, &qs);
+        let (g_ms, _) = run_engine_workload(&graph, &qs);
+        let (rdf_ms, _) = run_engine_workload(&rdf, &qs);
+        let (row_ms, _) = run_engine_workload(&row, &qs);
+        t.row(vec![
+            format!("{density}%"),
+            fmt(col_ms),
+            fmt(g_ms),
+            fmt(rdf_ms),
+            fmt(row_ms),
+            matches.to_string(),
+        ]);
+    }
+    t.emit("fig3c");
+}

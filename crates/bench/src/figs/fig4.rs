@@ -1,0 +1,37 @@
+//! Figure 4: disk space vs record density, four systems.
+//!
+//! Paper: the row store grows linearly with density, the column store stays
+//! almost flat (NULLs occupy no space) and the native graph store needs the
+//! most space.
+
+use graphbi::GraphStore;
+use graphbi_baselines::{Engine, GraphDb, RdfStore, RowStore};
+use graphbi_columnstore::persist;
+
+use crate::{figs::fig3c::density_datasets, Table};
+
+/// Regenerates Figure 4.
+pub fn run() {
+    let mut t = Table::new(
+        "Figure 4: Disk Space vs Density (bytes)",
+        &["density_%", "ColumnStore", "Neo4jStore", "RdfStore", "RowStore"],
+    );
+    for (density, d) in density_datasets() {
+        let row = RowStore::load(&d.records);
+        let rdf = RdfStore::load(&d.records);
+        let graph = GraphDb::load(&d.records, &d.universe);
+        let store = GraphStore::load(d.universe, &d.records);
+        let dir = std::env::temp_dir().join(format!("graphbi-fig4-{density}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let col_bytes = persist::save(store.relation(), &dir).unwrap_or(0);
+        let _ = std::fs::remove_dir_all(&dir);
+        t.row(vec![
+            format!("{density}%"),
+            col_bytes.to_string(),
+            graph.size_in_bytes().to_string(),
+            rdf.size_in_bytes().to_string(),
+            row.size_in_bytes().to_string(),
+        ]);
+    }
+    t.emit("fig4");
+}

@@ -1,0 +1,53 @@
+//! Figure 5: query time vs edge-domain size (vertical partitioning).
+//!
+//! Paper: 10 M records at 10% density over universes of 1k–100k edge ids;
+//! the master relation splits into ≤1000-column sub-relations, so larger
+//! domains mean more recid joins and slowly degrading column-store times,
+//! while the native graph store degrades linearly with output size. Scaled
+//! to 500 records and domains up to 20k (set `GRAPHBI_SCALE` to push
+//! further).
+
+use graphbi::GraphStore;
+use graphbi_baselines::GraphDb;
+use graphbi_workload::queries::QuerySpec;
+use graphbi_workload::{Dataset, DatasetSpec};
+
+use crate::{fmt, run_column_workload, run_engine_workload, scaled, Table};
+
+/// Regenerates Figure 5.
+pub fn run() {
+    let mut t = Table::new(
+        "Figure 5: Query Time vs Edge Domain Size (100 queries, ms)",
+        &["distinct_edges", "partitions", "ColumnStore", "Neo4jStore", "matches"],
+    );
+    for domain in [1_000usize, 2_000, 5_000, 10_000, 20_000] {
+        let density_edges = domain / 10;
+        let spec = DatasetSpec {
+            n_records: scaled(500),
+            edge_domain: domain,
+            min_edges: density_edges,
+            max_edges: density_edges,
+            ..DatasetSpec::ny(scaled(500))
+        };
+        let d = Dataset::synthesize(&spec);
+        // Queries scale with density so output stays proportional.
+        let qspec = QuerySpec {
+            min_len: 4,
+            max_len: 8,
+            ..QuerySpec::uniform(100)
+        };
+        let qs = graphbi_workload::queries::generate(&d.base, &qspec);
+        let graph = GraphDb::load(&d.records, &d.universe);
+        let store = GraphStore::load(d.universe, &d.records); // width 1000
+        let (col_ms, stats, matches) = run_column_workload(&store, &qs);
+        let (g_ms, _) = run_engine_workload(&graph, &qs);
+        t.row(vec![
+            domain.to_string(),
+            store.relation().partition_count().to_string(),
+            fmt(col_ms),
+            fmt(g_ms),
+            format!("{matches} (joins {})", stats.join_rows),
+        ]);
+    }
+    t.emit("fig5");
+}

@@ -1,0 +1,88 @@
+//! Ingest-throughput experiment (extension; §1/§6.1 claims).
+//!
+//! The paper's applications "can easily generate millions of graph records
+//! on a weekly basis" and the schema "can be expanded on demand". This
+//! experiment measures bulk-load and incremental-append throughput, with
+//! and without materialized views to maintain, plus the effect of
+//! re-optimizing containers after an append burst.
+
+use graphbi::{AggFn, GraphStore};
+use graphbi_workload::{Dataset, DatasetSpec};
+
+use crate::{fmt, scaled, time_ms, uniform_queries, Table};
+
+/// Regenerates the ingest table.
+pub fn run() {
+    let spec = DatasetSpec::ny(scaled(20_000));
+    let d = Dataset::synthesize(&spec);
+    let qs = uniform_queries(&d, 50);
+    let half = d.records.len() / 2;
+
+    let mut t = Table::new(
+        "Ingest Throughput (records/s)",
+        &["phase", "records", "ms", "records_per_s"],
+    );
+
+    // Bulk load half the dataset.
+    let universe = d.universe.clone();
+    let (mut store, ms) = time_ms(|| GraphStore::load(universe, &d.records[..half]));
+    t.row(vec![
+        "bulk load".into(),
+        half.to_string(),
+        fmt(ms),
+        fmt(half as f64 / (ms / 1e3)),
+    ]);
+
+    // Incremental append, no views.
+    let quarter = half / 2;
+    let (_, ms) = time_ms(|| {
+        for r in &d.records[half..half + quarter] {
+            store.append_record(r);
+        }
+    });
+    t.row(vec![
+        "append (no views)".into(),
+        quarter.to_string(),
+        fmt(ms),
+        fmt(quarter as f64 / (ms / 1e3)),
+    ]);
+
+    // Incremental append with a full view catalog to maintain.
+    store.advise_views(&qs, 25);
+    store.advise_agg_views(&qs, AggFn::Sum, 25).expect("acyclic");
+    let nviews = store.graph_views().len() + store.agg_views().len();
+    let (_, ms) = time_ms(|| {
+        for r in &d.records[half + quarter..] {
+            store.append_record(r);
+        }
+    });
+    let n = d.records.len() - half - quarter;
+    t.row(vec![
+        format!("append ({nviews} views)"),
+        n.to_string(),
+        fmt(ms),
+        fmt(n as f64 / (ms / 1e3)),
+    ]);
+
+    // Container re-optimization after the burst.
+    let before = store.size_in_bytes();
+    let (_, ms) = time_ms(|| store.optimize());
+    t.row(vec![
+        format!(
+            "optimize ({} -> {} bytes)",
+            before,
+            store.size_in_bytes()
+        ),
+        store.record_count().to_string(),
+        fmt(ms),
+        "-".into(),
+    ]);
+
+    // Sanity: queries still answer over the fully-ingested store.
+    let mut matches = 0u64;
+    for q in &qs {
+        matches += store.evaluate(q).0.len() as u64;
+    }
+    println!("post-ingest sanity: {matches} matches over {} queries", qs.len());
+    t.emit("ingest");
+}

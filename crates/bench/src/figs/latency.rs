@@ -1,0 +1,71 @@
+//! Per-query latency distribution (extension).
+//!
+//! The paper reports workload totals; a BI deployment also cares about tail
+//! latency. This experiment reports p50/p95/p99/max per query class —
+//! graph vs aggregate, oblivious vs view-assisted — on the NY′ dataset.
+
+use graphbi::{AggFn, EvalOptions, GraphStore, PathAggQuery};
+use graphbi_graph::GraphQuery;
+
+use crate::{fmt, ny, time_ms, zipf_queries, Table};
+
+fn percentiles(mut xs: Vec<f64>) -> (f64, f64, f64, f64) {
+    xs.sort_by(f64::total_cmp);
+    let pick = |p: f64| xs[(((xs.len() - 1) as f64) * p) as usize];
+    (pick(0.5), pick(0.95), pick(0.99), *xs.last().expect("non-empty"))
+}
+
+/// Per-query wall-clock for a closure, best effort (single run per query —
+/// the distribution is the point here).
+fn run_each<F: FnMut(&GraphQuery)>(qs: &[GraphQuery], mut f: F) -> Vec<f64> {
+    qs.iter()
+        .map(|q| {
+            let ((), ms) = time_ms(|| f(q));
+            ms
+        })
+        .collect()
+}
+
+/// Regenerates the latency table.
+pub fn run() {
+    let d = ny(25_000);
+    let qs = zipf_queries(&d, 200);
+    let mut store = GraphStore::load(d.universe, &d.records);
+
+    let mut t = Table::new(
+        "Per-Query Latency (ms): p50 / p95 / p99 / max",
+        &["class", "p50", "p95", "p99", "max"],
+    );
+    let row = |t: &mut Table, name: &str, xs: Vec<f64>| {
+        let (p50, p95, p99, max) = percentiles(xs);
+        t.row(vec![name.into(), fmt(p50), fmt(p95), fmt(p99), fmt(max)]);
+    };
+
+    // Oblivious.
+    let graph_obl = run_each(&qs, |q| {
+        let _ = store.evaluate_with(q, EvalOptions::oblivious());
+    });
+    row(&mut t, "graph, oblivious", graph_obl);
+    let agg_obl = run_each(&qs, |q| {
+        let _ = store
+            .path_aggregate_with(&PathAggQuery::new(q.clone(), AggFn::Sum), EvalOptions::oblivious())
+            .expect("acyclic");
+    });
+    row(&mut t, "aggregate, oblivious", agg_obl);
+
+    // View-assisted.
+    store.advise_views(&qs, 50);
+    store.advise_agg_views(&qs, AggFn::Sum, 50).expect("acyclic");
+    let graph_views = run_each(&qs, |q| {
+        let _ = store.evaluate(q);
+    });
+    row(&mut t, "graph, views", graph_views);
+    let agg_views = run_each(&qs, |q| {
+        let _ = store
+            .path_aggregate(&PathAggQuery::new(q.clone(), AggFn::Sum))
+            .expect("acyclic");
+    });
+    row(&mut t, "aggregate, views", agg_views);
+
+    t.emit("latency");
+}

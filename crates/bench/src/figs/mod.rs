@@ -1,0 +1,21 @@
+//! One module per table/figure of the paper's evaluation (§7).
+//!
+//! Each module exposes `run()`, invoked by the same-named binary and by
+//! `run_all`. The module docs state the paper's claim being reproduced and
+//! the scaled parameters used.
+
+pub mod disk_regime;
+pub mod ingest;
+pub mod latency;
+pub mod fig3a;
+pub mod fig3b;
+pub mod fig3c;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;
+pub mod fig11;
+pub mod table2;

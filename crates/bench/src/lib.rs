@@ -1,0 +1,192 @@
+//! Benchmark harness shared by the per-figure binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§7), printing the same rows/series the paper reports
+//! and appending CSV to `results/`. Absolute numbers differ from the paper
+//! (different hardware, scaled datasets — see DESIGN.md §3); the *shape* of
+//! each series is what the reproduction checks.
+//!
+//! Dataset sizes are scaled-down defaults chosen to complete on a laptop;
+//! set `GRAPHBI_SCALE` (a float multiplier, default 1.0) to grow or shrink
+//! every dataset proportionally.
+
+pub mod figs;
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use graphbi::{GraphStore, IoStats};
+use graphbi_baselines::Engine;
+use graphbi_graph::GraphQuery;
+use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
+
+/// Scale multiplier from `GRAPHBI_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("GRAPHBI_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// `n` records scaled by [`scale`], minimum 100.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(100)
+}
+
+/// Milliseconds elapsed running `f`.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs a query workload against the column store, returning total
+/// wall-clock milliseconds, accumulated model cost and total result rows.
+pub fn run_column_workload(store: &GraphStore, qs: &[GraphQuery]) -> (f64, IoStats, u64) {
+    let mut total = IoStats::new();
+    let mut rows = 0u64;
+    let (_, ms) = time_ms(|| {
+        for q in qs {
+            let (r, s) = store.evaluate(q);
+            total.absorb(&s);
+            rows += r.len() as u64;
+        }
+    });
+    (ms, total, rows)
+}
+
+/// Runs a workload against a baseline engine: (milliseconds, result rows).
+pub fn run_engine_workload(engine: &dyn Engine, qs: &[GraphQuery]) -> (f64, u64) {
+    let mut rows = 0u64;
+    let (_, ms) = time_ms(|| {
+        for q in qs {
+            rows += engine.evaluate(q).len() as u64;
+        }
+    });
+    (ms, rows)
+}
+
+/// The standard NY′ dataset at `n` records (pre-scaling).
+pub fn ny(n: usize) -> Dataset {
+    Dataset::synthesize(&DatasetSpec::ny(scaled(n)))
+}
+
+/// The standard GNU′ dataset at `n` records (pre-scaling).
+pub fn gnu(n: usize) -> Dataset {
+    Dataset::synthesize(&DatasetSpec::gnu(scaled(n)))
+}
+
+/// The paper's default 100-query uniform workload.
+pub fn uniform_queries(d: &Dataset, count: usize) -> Vec<GraphQuery> {
+    d.queries(&QuerySpec::uniform(count))
+}
+
+/// The Figure 8 Zipf workload.
+pub fn zipf_queries(d: &Dataset, count: usize) -> Vec<GraphQuery> {
+    d.queries(&QuerySpec::zipf(count))
+}
+
+/// A fixed-width console table, paper style.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} ===", self.title);
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = widths[i]);
+            }
+            let _ = writeln!(out);
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            line(r, &mut out);
+        }
+        out
+    }
+
+    /// Prints to stdout and appends CSV under `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = std::path::Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let mut csv = String::new();
+            let _ = writeln!(csv, "{}", self.headers.join(","));
+            for r in &self.rows {
+                let _ = writeln!(csv, "{}", r.join(","));
+            }
+            let _ = std::fs::write(dir.join(format!("{name}.csv")), csv);
+        }
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_aligns() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("bbbb"));
+    }
+
+    #[test]
+    fn scaled_has_floor() {
+        std::env::remove_var("GRAPHBI_SCALE");
+        assert_eq!(scaled(50), 100);
+        assert_eq!(scaled(2000), 2000);
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.6), "1235");
+        assert_eq!(fmt(12.34), "12.3");
+        assert_eq!(fmt(0.1234), "0.123");
+    }
+}

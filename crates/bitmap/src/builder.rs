@@ -1,0 +1,113 @@
+//! Bulk construction of bitmaps from ascending id streams.
+
+use crate::bitmap::{split, Bitmap};
+use crate::container::{Container, Run};
+use crate::RecordId;
+
+/// Builds a [`Bitmap`] from strictly ascending ids in O(1) amortized per id.
+///
+/// Record ids are handed out sequentially by the loader, so every bitmap
+/// column is built through this path: values land directly in run containers
+/// without any per-insert search.
+#[derive(Default)]
+pub struct BitmapBuilder {
+    keys: Vec<u16>,
+    containers: Vec<Container>,
+    current_key: Option<u16>,
+    runs: Vec<Run>,
+    last: Option<RecordId>,
+}
+
+impl BitmapBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `v`, which must be strictly greater than every id appended so
+    /// far.
+    ///
+    /// # Panics
+    ///
+    /// Panics when ids are appended out of order or duplicated.
+    pub fn push(&mut self, v: RecordId) {
+        assert!(
+            self.last.is_none_or(|l| l < v),
+            "BitmapBuilder::push out of order: {v} after {:?}",
+            self.last
+        );
+        self.last = Some(v);
+        let (key, low) = split(v);
+        if self.current_key != Some(key) {
+            self.flush_chunk();
+            self.current_key = Some(key);
+        }
+        match self.runs.last_mut() {
+            Some(r) if u32::from(r.end()) + 1 == u32::from(low) => r.len += 1,
+            _ => self.runs.push(Run { start: low, len: 0 }),
+        }
+    }
+
+    fn flush_chunk(&mut self) {
+        if let Some(key) = self.current_key.take() {
+            let mut c = Container::Runs(std::mem::take(&mut self.runs));
+            c.optimize();
+            self.keys.push(key);
+            self.containers.push(c);
+        }
+    }
+
+    /// Finishes the build.
+    pub fn finish(mut self) -> Bitmap {
+        self.flush_chunk();
+        let mut b = Bitmap::new();
+        for (key, c) in self.keys.into_iter().zip(self.containers) {
+            b.push_container(key, c);
+        }
+        b
+    }
+}
+
+impl FromIterator<RecordId> for BitmapBuilder {
+    fn from_iter<T: IntoIterator<Item = RecordId>>(iter: T) -> Self {
+        let mut b = BitmapBuilder::new();
+        for v in iter {
+            b.push(v);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_same_set_as_inserts() {
+        let ids: Vec<u32> = (0..50_000u32).filter(|v| v % 7 != 3).collect();
+        let built = ids.iter().copied().collect::<BitmapBuilder>().finish();
+        let inserted: Bitmap = ids.iter().copied().collect();
+        assert_eq!(built, inserted);
+        assert_eq!(built.len(), ids.len() as u64);
+    }
+
+    #[test]
+    fn chunk_boundaries_are_respected() {
+        let ids = [65_534u32, 65_535, 65_536, 65_537, 200_000];
+        let b = ids.iter().copied().collect::<BitmapBuilder>().finish();
+        assert_eq!(b.to_vec(), ids);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn rejects_out_of_order() {
+        let mut b = BitmapBuilder::new();
+        b.push(10);
+        b.push(10);
+    }
+
+    #[test]
+    fn empty_builder_finishes_empty() {
+        assert!(BitmapBuilder::new().finish().is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Binary (de)serialization of bitmaps.
+//!
+//! The column store persists bitmap columns to disk in this format. Layout
+//! (all little-endian):
+//!
+//! ```text
+//! magic  u32  = 0x4742_4D31 ("GBM1")
+//! nkeys  u32
+//! per chunk: key u16, tag u8, payload
+//!   tag 0 array: len u32, len × u16
+//!   tag 1 words: 1024 × u64
+//!   tag 2 runs:  len u32, len × (start u16, len u16)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::bitmap::Bitmap;
+use crate::container::{Container, Run, Words, WORDS};
+
+const MAGIC: u32 = 0x4742_4D31;
+
+/// Error returned when decoding malformed bitmap bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// The leading magic number did not match.
+    BadMagic(u32),
+    /// An unknown container tag was encountered.
+    BadTag(u8),
+    /// Chunk keys were not strictly increasing or a container was empty.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "bitmap bytes truncated"),
+            DecodeError::BadMagic(m) => write!(f, "bad bitmap magic 0x{m:08x}"),
+            DecodeError::BadTag(t) => write!(f, "unknown container tag {t}"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt bitmap: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Bitmap {
+    /// Serializes into `buf`.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(u32::try_from(self.keys.len()).expect("chunk count fits u32"));
+        for (i, &key) in self.keys.iter().enumerate() {
+            buf.put_u16_le(key);
+            match &self.containers[i] {
+                Container::Array(a) => {
+                    buf.put_u8(0);
+                    buf.put_u32_le(a.len() as u32);
+                    for &v in a {
+                        buf.put_u16_le(v);
+                    }
+                }
+                Container::Words(w) => {
+                    buf.put_u8(1);
+                    for &word in &w.bits {
+                        buf.put_u64_le(word);
+                    }
+                }
+                Container::Runs(rs) => {
+                    buf.put_u8(2);
+                    buf.put_u32_le(rs.len() as u32);
+                    for r in rs {
+                        buf.put_u16_le(r.start);
+                        buf.put_u16_le(r.len);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serializes into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.size_in_bytes() + self.keys.len() * 8);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes a bitmap previously produced by [`Bitmap::encode`], consuming
+    /// its bytes from the front of `buf`.
+    pub fn decode(buf: &mut impl Buf) -> Result<Bitmap, DecodeError> {
+        if buf.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let magic = buf.get_u32_le();
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let nkeys = buf.get_u32_le() as usize;
+        let mut out = Bitmap::new();
+        let mut prev_key: Option<u16> = None;
+        for _ in 0..nkeys {
+            if buf.remaining() < 3 {
+                return Err(DecodeError::Truncated);
+            }
+            let key = buf.get_u16_le();
+            if prev_key.is_some_and(|p| p >= key) {
+                return Err(DecodeError::Corrupt("keys not strictly increasing"));
+            }
+            prev_key = Some(key);
+            let tag = buf.get_u8();
+            let container = match tag {
+                0 => {
+                    if buf.remaining() < 4 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let len = buf.get_u32_le() as usize;
+                    if buf.remaining() < len * 2 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let mut a = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        a.push(buf.get_u16_le());
+                    }
+                    if a.is_empty() || a.windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(DecodeError::Corrupt("array container not sorted/non-empty"));
+                    }
+                    Container::Array(a)
+                }
+                1 => {
+                    if buf.remaining() < WORDS * 8 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let mut w = Words::empty();
+                    for word in w.bits.iter_mut() {
+                        *word = buf.get_u64_le();
+                    }
+                    w.recount();
+                    if w.card == 0 {
+                        return Err(DecodeError::Corrupt("empty words container"));
+                    }
+                    Container::Words(w)
+                }
+                2 => {
+                    if buf.remaining() < 4 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let len = buf.get_u32_le() as usize;
+                    if buf.remaining() < len * 4 {
+                        return Err(DecodeError::Truncated);
+                    }
+                    let mut rs = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let start = buf.get_u16_le();
+                        let rlen = buf.get_u16_le();
+                        rs.push(Run { start, len: rlen });
+                    }
+                    let sorted = rs
+                        .windows(2)
+                        .all(|w| u32::from(w[0].end()) + 1 < u32::from(w[1].start))
+                        || rs.len() < 2;
+                    if rs.is_empty() || !sorted {
+                        return Err(DecodeError::Corrupt("runs overlapping or empty"));
+                    }
+                    Container::Runs(rs)
+                }
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            out.push_container(key, container);
+        }
+        Ok(out)
+    }
+
+    /// Size of the encoded form in bytes.
+    pub fn encoded_len(&self) -> usize {
+        8 + self
+            .containers
+            .iter()
+            .map(|c| {
+                3 + match c {
+                    Container::Array(a) => 4 + a.len() * 2,
+                    Container::Words(_) => WORDS * 8,
+                    Container::Runs(rs) => 4 + rs.len() * 4,
+                }
+            })
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_forms() {
+        let mut b = Bitmap::from_range(100..70_000);
+        b.extend((200_000..400_000u32).step_by(17));
+        b.optimize();
+        let bytes = b.encode();
+        assert_eq!(bytes.len(), b.encoded_len());
+        let mut cursor = bytes.clone();
+        let back = Bitmap::decode(&mut cursor).unwrap();
+        assert_eq!(b, back);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let b = Bitmap::new();
+        let mut bytes = b.encode();
+        assert_eq!(Bitmap::decode(&mut bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u32_le(0);
+        assert!(matches!(
+            Bitmap::decode(&mut buf.freeze()),
+            Err(DecodeError::BadMagic(0xdead_beef))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let b: Bitmap = (0..100u32).collect();
+        let bytes = b.encode();
+        for cut in [0, 4, 9, bytes.len() - 1] {
+            let mut slice = bytes.slice(..cut);
+            assert!(
+                Bitmap::decode(&mut slice).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(super::MAGIC);
+        buf.put_u32_le(1);
+        buf.put_u16_le(0);
+        buf.put_u8(9);
+        assert!(matches!(
+            Bitmap::decode(&mut buf.freeze()),
+            Err(DecodeError::BadTag(9))
+        ));
+    }
+}

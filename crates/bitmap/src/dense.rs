@@ -1,0 +1,154 @@
+//! Uncompressed bitmap used as the ablation baseline.
+//!
+//! Stores one bit per possible record id in a flat `Vec<u64>`. This is the
+//! "naive uncompressed representation" the paper mentions in §5.1 when
+//! estimating the memory footprint of a bitmap column; the benches compare it
+//! against the compressed [`crate::Bitmap`].
+
+use crate::RecordId;
+
+/// A fixed-capacity uncompressed bitmap over ids `0..capacity`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DenseBitmap {
+    words: Vec<u64>,
+    capacity: u32,
+}
+
+impl DenseBitmap {
+    /// Creates an empty bitmap able to hold ids `0..capacity`.
+    pub fn new(capacity: u32) -> Self {
+        DenseBitmap {
+            words: vec![0; (capacity as usize).div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Capacity this bitmap was created with.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Sets bit `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, v: RecordId) {
+        assert!(v < self.capacity, "id {v} out of capacity {}", self.capacity);
+        self.words[(v / 64) as usize] |= 1 << (v % 64);
+    }
+
+    /// True iff bit `v` is set (false for out-of-capacity ids).
+    #[inline]
+    pub fn contains(&self, v: RecordId) -> bool {
+        v < self.capacity && self.words[(v / 64) as usize] & (1 << (v % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection. Capacities must match.
+    pub fn and_assign(&mut self, other: &DenseBitmap) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union. Capacities must match.
+    pub fn or_assign(&mut self, other: &DenseBitmap) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Heap bytes used — always `capacity / 8` regardless of content.
+    pub fn size_in_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Iterates set ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = RecordId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let tz = word.trailing_zeros();
+                word &= word - 1;
+                Some((wi as u32) * 64 + tz)
+            })
+        })
+    }
+
+    /// Converts to the compressed representation.
+    pub fn to_compressed(&self) -> crate::Bitmap {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_iter() {
+        let mut b = DenseBitmap::new(1000);
+        for v in [0u32, 63, 64, 999] {
+            b.insert(v);
+        }
+        assert!(b.contains(0));
+        assert!(!b.contains(1));
+        assert!(!b.contains(5000));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 63, 64, 999]);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn and_or_assign() {
+        let mut a = DenseBitmap::new(256);
+        let mut b = DenseBitmap::new(256);
+        for v in 0..100 {
+            a.insert(v);
+        }
+        for v in 50..150 {
+            b.insert(v);
+        }
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and.len(), 50);
+        a.or_assign(&b);
+        assert_eq!(a.len(), 150);
+    }
+
+    #[test]
+    fn size_is_content_independent() {
+        let empty = DenseBitmap::new(1 << 20);
+        let mut full = DenseBitmap::new(1 << 20);
+        for v in 0..1000 {
+            full.insert(v * 7);
+        }
+        assert_eq!(empty.size_in_bytes(), full.size_in_bytes());
+    }
+
+    #[test]
+    fn compressed_round_trip() {
+        let mut d = DenseBitmap::new(100_000);
+        for v in (0..100_000).step_by(13) {
+            d.insert(v);
+        }
+        let c = d.to_compressed();
+        assert_eq!(c.len(), d.len());
+        assert!(c.iter().all(|v| d.contains(v)));
+    }
+}

@@ -1,0 +1,391 @@
+//! EWAH: word-aligned run-length bitmap compression.
+//!
+//! The bitmap indexes the paper builds on (its reference \[4\], O'Neil &
+//! Quass) are classically implemented with word-aligned RLE — BBC, WAH,
+//! EWAH — rather than roaring-style containers. This module implements
+//! 64-bit EWAH as the ablation counterpart to [`crate::Bitmap`]: the
+//! `bitmap_ops` bench compares the two under the workloads the engine
+//! generates.
+//!
+//! Encoding: a sequence of *marker* words, each followed by a burst of
+//! literal words.
+//!
+//! ```text
+//! marker := run_bit (1) | run_len (31) | literal_count (32)
+//! ```
+//!
+//! `run_len` counts 64-bit words filled entirely with `run_bit`;
+//! `literal_count` verbatim words follow the marker. Compression shines on
+//! long all-zero (or all-one) stretches — exactly the shape of a sparse
+//! edge bitmap over sequential record ids.
+
+use crate::RecordId;
+
+const RUN_LEN_MAX: u64 = (1 << 31) - 1;
+const LIT_MAX: u64 = u32::MAX as u64;
+
+/// An immutable EWAH-compressed bitmap.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct EwahBitmap {
+    /// Marker/literal word stream.
+    words: Vec<u64>,
+    /// Cached cardinality.
+    len: u64,
+}
+
+#[inline]
+fn marker(run_bit: bool, run_len: u64, literals: u64) -> u64 {
+    debug_assert!(run_len <= RUN_LEN_MAX && literals <= LIT_MAX);
+    (u64::from(run_bit) << 63) | (run_len << 32) | literals
+}
+
+#[inline]
+fn marker_parts(m: u64) -> (bool, u64, u64) {
+    (m >> 63 == 1, (m >> 32) & RUN_LEN_MAX, m & LIT_MAX)
+}
+
+/// Builds EWAH bitmaps from ascending ids.
+#[derive(Default)]
+pub struct EwahBuilder {
+    words: Vec<u64>,
+    len: u64,
+    /// The literal word currently being filled and its index.
+    current_word: u64,
+    current_idx: u64,
+    /// Zero-run length accumulated since the last flushed word.
+    pending_zero_run: u64,
+    /// Pending literal words (flushed under one marker).
+    literals: Vec<u64>,
+    last: Option<RecordId>,
+}
+
+impl EwahBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a strictly ascending id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order or duplicate ids.
+    pub fn push(&mut self, v: RecordId) {
+        assert!(
+            self.last.is_none_or(|l| l < v),
+            "EwahBuilder::push out of order: {v} after {:?}",
+            self.last
+        );
+        self.last = Some(v);
+        self.len += 1;
+        let word_idx = u64::from(v) / 64;
+        if word_idx != self.current_idx {
+            self.flush_current();
+            // Words between current and the new one are all zero.
+            self.pending_zero_run += word_idx - self.current_idx - 1;
+            self.current_idx = word_idx;
+        }
+        self.current_word |= 1 << (v % 64);
+    }
+
+    fn flush_current(&mut self) {
+        if self.current_word != 0 {
+            // A zero run can only be emitted under a marker together with
+            // following literals; stage the literal.
+            if self.pending_zero_run > 0 {
+                self.flush_marker();
+                self.emit_run(self.pending_zero_run);
+                self.pending_zero_run = 0;
+            }
+            self.literals.push(self.current_word);
+            self.current_word = 0;
+        } else {
+            self.pending_zero_run += 1;
+        }
+    }
+
+    fn emit_run(&mut self, mut run: u64) {
+        while run > 0 {
+            let chunk = run.min(RUN_LEN_MAX);
+            self.words.push(marker(false, chunk, 0));
+            run -= chunk;
+        }
+    }
+
+    fn flush_marker(&mut self) {
+        let mut lits = std::mem::take(&mut self.literals);
+        let mut first = true;
+        while !lits.is_empty() || first {
+            let take = lits.len().min(LIT_MAX as usize);
+            self.words.push(marker(false, 0, take as u64));
+            self.words.extend(lits.drain(..take));
+            first = false;
+            if lits.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Finishes the bitmap.
+    pub fn finish(mut self) -> EwahBitmap {
+        self.flush_current();
+        if !self.literals.is_empty() {
+            // Merge any pending zero run in front of the trailing literals.
+            // (flush_current staged the run before literals already when
+            // needed; a leftover run here means trailing zeros — drop them,
+            // they encode nothing.)
+            self.flush_marker();
+        }
+        EwahBitmap {
+            words: self.words,
+            len: self.len,
+        }
+    }
+}
+
+impl EwahBitmap {
+    /// Builds from ascending ids.
+    pub fn from_sorted<I: IntoIterator<Item = RecordId>>(ids: I) -> EwahBitmap {
+        let mut b = EwahBuilder::new();
+        for v in ids {
+            b.push(v);
+        }
+        b.finish()
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap bytes used.
+    pub fn size_in_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Iterates the uncompressed 64-bit words (with their word indices).
+    fn iter_words(&self) -> WordIter<'_> {
+        WordIter {
+            words: &self.words,
+            pos: 0,
+            word_idx: 0,
+            run_left: 0,
+            run_bit: false,
+            lit_left: 0,
+        }
+    }
+
+    /// Iterates set ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = RecordId> + '_ {
+        self.iter_words().flat_map(|(idx, word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let tz = word.trailing_zeros();
+                word &= word - 1;
+                Some(
+                    u32::try_from(idx * 64 + u64::from(tz))
+                        .expect("EWAH id fits u32"),
+                )
+            })
+        })
+    }
+
+    /// Converts to the roaring-style representation.
+    pub fn to_bitmap(&self) -> crate::Bitmap {
+        self.iter().collect()
+    }
+
+    /// Intersection — word-aligned merge of the two compressed streams.
+    pub fn and(&self, other: &EwahBitmap) -> EwahBitmap {
+        self.merge(other, |a, b| a & b)
+    }
+
+    /// Union.
+    pub fn or(&self, other: &EwahBitmap) -> EwahBitmap {
+        self.merge(other, |a, b| a | b)
+    }
+
+    fn merge(&self, other: &EwahBitmap, op: impl Fn(u64, u64) -> u64) -> EwahBitmap {
+        let mut a = self.iter_words().peekable();
+        let mut b = other.iter_words().peekable();
+        let mut out = EwahBuilder::new();
+        loop {
+            match (a.peek().copied(), b.peek().copied()) {
+                (Some((ia, wa)), Some((ib, wb))) => {
+                    let (idx, word) = match ia.cmp(&ib) {
+                        std::cmp::Ordering::Less => {
+                            a.next();
+                            (ia, op(wa, 0))
+                        }
+                        std::cmp::Ordering::Greater => {
+                            b.next();
+                            (ib, op(0, wb))
+                        }
+                        std::cmp::Ordering::Equal => {
+                            a.next();
+                            b.next();
+                            (ia, op(wa, wb))
+                        }
+                    };
+                    push_word(&mut out, idx, word);
+                }
+                (Some((ia, wa)), None) => {
+                    a.next();
+                    push_word(&mut out, ia, op(wa, 0));
+                }
+                (None, Some((ib, wb))) => {
+                    b.next();
+                    push_word(&mut out, ib, op(0, wb));
+                }
+                (None, None) => break,
+            }
+        }
+        out.finish()
+    }
+}
+
+struct WordIter<'a> {
+    words: &'a [u64],
+    pos: usize,
+    word_idx: u64,
+    run_left: u64,
+    run_bit: bool,
+    lit_left: u64,
+}
+
+impl Iterator for WordIter<'_> {
+    /// `(word index, word)` for every *non-zero* uncompressed word.
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        loop {
+            if self.run_left > 0 {
+                if self.run_bit {
+                    let idx = self.word_idx;
+                    self.word_idx += 1;
+                    self.run_left -= 1;
+                    return Some((idx, u64::MAX));
+                }
+                // Zero runs encode nothing: skip them whole.
+                self.word_idx += self.run_left;
+                self.run_left = 0;
+                continue;
+            }
+            if self.lit_left > 0 {
+                let word = self.words[self.pos];
+                self.pos += 1;
+                self.lit_left -= 1;
+                let idx = self.word_idx;
+                self.word_idx += 1;
+                if word != 0 {
+                    return Some((idx, word));
+                }
+                continue;
+            }
+            if self.pos >= self.words.len() {
+                return None;
+            }
+            let (bit, run, lits) = marker_parts(self.words[self.pos]);
+            self.pos += 1;
+            self.run_bit = bit;
+            self.run_left = run;
+            self.lit_left = lits;
+        }
+    }
+}
+
+fn push_word(out: &mut EwahBuilder, idx: u64, word: u64) {
+    let mut w = word;
+    while w != 0 {
+        let tz = w.trailing_zeros();
+        w &= w - 1;
+        out.push(u32::try_from(idx * 64 + u64::from(tz)).expect("EWAH id fits u32"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_sparse_and_clustered() {
+        for ids in [
+            vec![0u32, 1, 2, 3],
+            vec![5, 64, 65, 1_000_000],
+            (0..10_000).map(|i| i * 17).collect::<Vec<_>>(),
+            (500_000..501_000).collect::<Vec<_>>(),
+        ] {
+            let e = EwahBitmap::from_sorted(ids.iter().copied());
+            assert_eq!(e.len(), ids.len() as u64);
+            assert_eq!(e.iter().collect::<Vec<_>>(), ids);
+        }
+    }
+
+    #[test]
+    fn sparse_bitmaps_compress() {
+        // 1000 bits spread over 100M ids: EWAH must be ~ 2 words per bit,
+        // not 100M/64 words.
+        let ids: Vec<u32> = (0..1000u32).map(|i| i * 100_000).collect();
+        let e = EwahBitmap::from_sorted(ids.iter().copied());
+        assert!(
+            e.size_in_bytes() < 1000 * 24,
+            "{} bytes is not compressed",
+            e.size_in_bytes()
+        );
+    }
+
+    #[test]
+    fn and_or_match_set_semantics() {
+        use std::collections::BTreeSet;
+        let a_ids: Vec<u32> = (0..5000u32).map(|i| i * 7).collect();
+        let b_ids: Vec<u32> = (0..7000u32).map(|i| i * 5).collect();
+        let sa: BTreeSet<u32> = a_ids.iter().copied().collect();
+        let sb: BTreeSet<u32> = b_ids.iter().copied().collect();
+        let a = EwahBitmap::from_sorted(a_ids.iter().copied());
+        let b = EwahBitmap::from_sorted(b_ids.iter().copied());
+        assert_eq!(
+            a.and(&b).iter().collect::<Vec<_>>(),
+            sa.intersection(&sb).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.or(&b).iter().collect::<Vec<_>>(),
+            sa.union(&sb).copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn agrees_with_roaring() {
+        let ids: Vec<u32> = (0..20_000u32).filter(|v| v % 13 == 0 || v % 101 < 3).collect();
+        let e = EwahBitmap::from_sorted(ids.iter().copied());
+        let r: crate::Bitmap = ids.iter().copied().collect();
+        assert_eq!(e.len(), r.len());
+        assert_eq!(e.to_bitmap(), r);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty = EwahBitmap::from_sorted(std::iter::empty());
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter().count(), 0);
+        let one = EwahBitmap::from_sorted([42u32]);
+        assert_eq!(one.iter().collect::<Vec<_>>(), vec![42]);
+        assert_eq!(empty.and(&one).len(), 0);
+        assert_eq!(empty.or(&one).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn rejects_unsorted() {
+        let mut b = EwahBuilder::new();
+        b.push(10);
+        b.push(10);
+    }
+}

@@ -1,0 +1,157 @@
+//! Ascending-order iteration over a bitmap.
+
+use crate::bitmap::{join, Bitmap};
+use crate::container::{Container, Run};
+use crate::RecordId;
+
+/// Iterator over the ids of a [`Bitmap`], in ascending order.
+pub struct Iter<'a> {
+    bitmap: &'a Bitmap,
+    /// Index of the container currently being drained.
+    chunk: usize,
+    state: ChunkIter<'a>,
+}
+
+enum ChunkIter<'a> {
+    Done,
+    Array(std::slice::Iter<'a, u16>),
+    Words {
+        words: &'a [u64],
+        word_idx: usize,
+        current: u64,
+    },
+    Runs {
+        runs: std::slice::Iter<'a, Run>,
+        /// Remaining values of the active run, as a half-open u32 range so a
+        /// full-chunk run does not overflow.
+        lo: u32,
+        hi: u32,
+    },
+}
+
+impl<'a> Iter<'a> {
+    pub(crate) fn new(bitmap: &'a Bitmap) -> Self {
+        let mut it = Iter {
+            bitmap,
+            chunk: 0,
+            state: ChunkIter::Done,
+        };
+        it.load_chunk();
+        it
+    }
+
+    fn load_chunk(&mut self) {
+        self.state = match self.bitmap.containers.get(self.chunk) {
+            None => ChunkIter::Done,
+            Some(Container::Array(a)) => ChunkIter::Array(a.iter()),
+            Some(Container::Words(w)) => ChunkIter::Words {
+                words: &w.bits,
+                word_idx: 0,
+                current: w.bits[0],
+            },
+            Some(Container::Runs(rs)) => ChunkIter::Runs {
+                runs: rs.iter(),
+                lo: 0,
+                hi: 0,
+            },
+        };
+    }
+
+    fn next_low(&mut self) -> Option<u16> {
+        match &mut self.state {
+            ChunkIter::Done => None,
+            ChunkIter::Array(it) => it.next().copied(),
+            ChunkIter::Words {
+                words,
+                word_idx,
+                current,
+            } => loop {
+                if *current != 0 {
+                    let tz = current.trailing_zeros();
+                    *current &= *current - 1;
+                    return Some((*word_idx as u16) << 6 | tz as u16);
+                }
+                *word_idx += 1;
+                if *word_idx >= words.len() {
+                    return None;
+                }
+                *current = words[*word_idx];
+            },
+            ChunkIter::Runs { runs, lo, hi } => {
+                if lo >= hi {
+                    let r = runs.next()?;
+                    *lo = u32::from(r.start);
+                    *hi = u32::from(r.end()) + 1;
+                }
+                let v = *lo as u16;
+                *lo += 1;
+                Some(v)
+            }
+        }
+    }
+}
+
+impl Iterator for Iter<'_> {
+    type Item = RecordId;
+
+    fn next(&mut self) -> Option<RecordId> {
+        loop {
+            if let Some(low) = self.next_low() {
+                return Some(join(self.bitmap.keys[self.chunk], low));
+            }
+            if self.chunk + 1 >= self.bitmap.containers.len() {
+                return None;
+            }
+            self.chunk += 1;
+            self.load_chunk();
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Cheap lower bound: we do not track position, so report unknown.
+        (0, self.bitmap.len().try_into().ok())
+    }
+}
+
+impl<'a> IntoIterator for &'a Bitmap {
+    type Item = RecordId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Bitmap;
+
+    #[test]
+    fn iterates_sorted_across_chunk_forms() {
+        let mut b = Bitmap::from_range(60_000..70_000); // spans two chunks
+        b.extend([5u32, 500_000, 500_007]);
+        b.optimize();
+        let v = b.to_vec();
+        assert_eq!(v.len(), 10_003);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v[0], 5);
+        assert_eq!(*v.last().unwrap(), 500_007);
+    }
+
+    #[test]
+    fn iter_matches_contains() {
+        let b: Bitmap = (0..1000u32).map(|v| v * v).collect();
+        for v in &b {
+            assert!(b.contains(v));
+        }
+        assert_eq!(b.iter().count() as u64, b.len());
+    }
+
+    #[test]
+    fn full_chunk_run_iterates_fully() {
+        let mut b = Bitmap::from_range(0..65_536);
+        b.optimize();
+        assert_eq!(b.iter().count(), 65_536);
+        assert_eq!(b.iter().last(), Some(65_535));
+    }
+}

@@ -1,0 +1,292 @@
+//! Binary set algebra between bitmaps.
+//!
+//! The paper reduces graph-query evaluation to conjunctions of edge bitmaps
+//! and logical query combinators to OR / AND NOT over result bitmaps
+//! (Section 3.2), so these four operations carry the whole query engine.
+
+use crate::bitmap::Bitmap;
+
+impl Bitmap {
+    /// Intersection.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if let Some(c) = self.containers[i].and(&other.containers[j]) {
+                        out.push_container(self.keys[i], c);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Union.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() || j < other.keys.len() {
+            let ka = self.keys.get(i).copied();
+            let kb = other.keys.get(j).copied();
+            match (ka, kb) {
+                (Some(a), Some(b)) if a == b => {
+                    out.push_container(a, self.containers[i].or(&other.containers[j]));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(a), Some(b)) if a < b => {
+                    out.push_container(a, self.containers[i].clone());
+                    i += 1;
+                }
+                (Some(_), Some(b)) => {
+                    out.push_container(b, other.containers[j].clone());
+                    j += 1;
+                }
+                (Some(a), None) => {
+                    out.push_container(a, self.containers[i].clone());
+                    i += 1;
+                }
+                (None, Some(b)) => {
+                    out.push_container(b, other.containers[j].clone());
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        out
+    }
+
+    /// Difference: ids in `self` but not in `other`.
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new();
+        for (i, &k) in self.keys.iter().enumerate() {
+            match other.keys.binary_search(&k) {
+                Ok(j) => {
+                    if let Some(c) = self.containers[i].and_not(&other.containers[j]) {
+                        out.push_container(k, c);
+                    }
+                }
+                Err(_) => out.push_container(k, self.containers[i].clone()),
+            }
+        }
+        out
+    }
+
+    /// Symmetric difference.
+    pub fn xor(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() || j < other.keys.len() {
+            let ka = self.keys.get(i).copied();
+            let kb = other.keys.get(j).copied();
+            match (ka, kb) {
+                (Some(a), Some(b)) if a == b => {
+                    if let Some(c) = self.containers[i].xor(&other.containers[j]) {
+                        out.push_container(a, c);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(a), Some(b)) if a < b => {
+                    out.push_container(a, self.containers[i].clone());
+                    i += 1;
+                }
+                (Some(_), Some(b)) => {
+                    out.push_container(b, other.containers[j].clone());
+                    j += 1;
+                }
+                (Some(a), None) => {
+                    out.push_container(a, self.containers[i].clone());
+                    i += 1;
+                }
+                (None, Some(b)) => {
+                    out.push_container(b, other.containers[j].clone());
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        out
+    }
+
+    /// In-place intersection: `*self &= other`.
+    ///
+    /// Dense (words) chunks are intersected without reallocating, which is
+    /// what makes the repeated ANDs of query evaluation cheap; other chunk
+    /// forms fall back to allocating the result container.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        let mut write = 0usize;
+        for read in 0..self.keys.len() {
+            let k = self.keys[read];
+            let Ok(j) = other.keys.binary_search(&k) else {
+                continue;
+            };
+            let keep = {
+                let mine = &mut self.containers[read];
+                match (&mut *mine, &other.containers[j]) {
+                    (
+                        crate::container::Container::Words(a),
+                        crate::container::Container::Words(b),
+                    ) => {
+                        for i in 0..crate::container::WORDS {
+                            a.bits[i] &= b.bits[i];
+                        }
+                        a.recount();
+                        mine.shrink();
+                        !mine.is_empty()
+                    }
+                    (mine_ref, theirs) => match mine_ref.and(theirs) {
+                        Some(c) => {
+                            *mine_ref = c;
+                            true
+                        }
+                        None => false,
+                    },
+                }
+            };
+            if keep {
+                self.keys.swap(write, read);
+                self.containers.swap(write, read);
+                write += 1;
+            }
+        }
+        self.keys.truncate(write);
+        self.containers.truncate(write);
+    }
+
+    /// In-place union: `*self |= other`.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        // Union changes the key set; build via the allocating path but only
+        // for chunks that actually differ.
+        *self = self.or(other);
+    }
+
+    /// Conjunction of many bitmaps — the core of graph-query evaluation.
+    ///
+    /// Intersects cheapest-first (smallest cardinality) so the running result
+    /// shrinks as fast as possible; returns the empty bitmap for no inputs.
+    pub fn and_many<'a, I>(bitmaps: I) -> Bitmap
+    where
+        I: IntoIterator<Item = &'a Bitmap>,
+    {
+        let mut v: Vec<&Bitmap> = bitmaps.into_iter().collect();
+        let Some(smallest) = v
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, b)| b.len())
+            .map(|(i, _)| i)
+        else {
+            return Bitmap::new();
+        };
+        let first = v.swap_remove(smallest);
+        let mut acc = first.clone();
+        v.sort_by_key(|b| b.len());
+        for b in v {
+            if acc.is_empty() {
+                break;
+            }
+            acc.and_assign(b);
+        }
+        acc
+    }
+
+    /// Disjunction of many bitmaps.
+    pub fn or_many<'a, I>(bitmaps: I) -> Bitmap
+    where
+        I: IntoIterator<Item = &'a Bitmap>,
+    {
+        let mut acc = Bitmap::new();
+        for b in bitmaps {
+            acc = acc.or(b);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bm(vals: &[u32]) -> Bitmap {
+        vals.iter().copied().collect()
+    }
+
+    #[test]
+    fn and_or_andnot_xor_basic() {
+        let a = bm(&[1, 2, 3, 100_000, 200_000]);
+        let b = bm(&[2, 3, 4, 200_000]);
+        assert_eq!(a.and(&b).to_vec(), vec![2, 3, 200_000]);
+        assert_eq!(a.or(&b).to_vec(), vec![1, 2, 3, 4, 100_000, 200_000]);
+        assert_eq!(a.and_not(&b).to_vec(), vec![1, 100_000]);
+        assert_eq!(a.xor(&b).to_vec(), vec![1, 4, 100_000]);
+    }
+
+    #[test]
+    fn ops_with_empty() {
+        let a = bm(&[5, 70_000]);
+        let e = Bitmap::new();
+        assert!(a.and(&e).is_empty());
+        assert_eq!(a.or(&e), a);
+        assert_eq!(a.and_not(&e), a);
+        assert_eq!(a.xor(&e), a);
+        assert_eq!(e.and_not(&a), e);
+    }
+
+    #[test]
+    fn and_many_orders_by_cardinality() {
+        let a: Bitmap = (0..10_000u32).collect();
+        let b: Bitmap = (5_000..15_000u32).collect();
+        let c = bm(&[5_001, 5_002, 20_000]);
+        let r = Bitmap::and_many([&a, &b, &c]);
+        assert_eq!(r.to_vec(), vec![5_001, 5_002]);
+    }
+
+    #[test]
+    fn and_many_empty_input() {
+        assert!(Bitmap::and_many(std::iter::empty::<&Bitmap>()).is_empty());
+    }
+
+    #[test]
+    fn or_many_unions_all() {
+        let parts: Vec<Bitmap> = (0..5u32).map(|i| bm(&[i, i + 100])).collect();
+        let r = Bitmap::or_many(parts.iter());
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn and_assign_matches_and() {
+        let cases: Vec<(Bitmap, Bitmap)> = vec![
+            ((0..100_000u32).collect(), (50_000..150_000u32).collect()),
+            (bm(&[1, 70_000]), bm(&[2, 70_000])),
+            (Bitmap::from_range(0..70_000), bm(&[5, 65_000, 69_999])),
+            (bm(&[1]), Bitmap::new()),
+            ((0..200_000u32).step_by(3).collect(), (0..200_000u32).step_by(2).collect()),
+        ];
+        for (a, b) in cases {
+            let expect = a.and(&b);
+            let mut inplace = a.clone();
+            inplace.and_assign(&b);
+            assert_eq!(inplace, expect);
+            let mut orr = a.clone();
+            orr.or_assign(&b);
+            assert_eq!(orr, a.or(&b));
+        }
+    }
+
+    #[test]
+    fn ops_across_dense_and_run_forms() {
+        let mut a = Bitmap::from_range(0..100_000);
+        a.optimize();
+        let b: Bitmap = (0..200_000u32).step_by(3).collect();
+        let r = a.and(&b);
+        assert_eq!(r.len(), 100_000_u64.div_ceil(3));
+        let u = a.or(&b);
+        assert_eq!(u.len(), 100_000 + (200_000u64 - 100_002).div_ceil(3));
+    }
+}

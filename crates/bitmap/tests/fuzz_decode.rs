@@ -1,0 +1,53 @@
+//! Robustness: decoding arbitrary bytes must never panic — it either
+//! produces a valid bitmap or a structured error.
+
+use graphbi_bitmap::Bitmap;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = bytes::Bytes::from(bytes);
+        if let Ok(b) = Bitmap::decode(&mut buf) {
+            // Whatever decoded must behave like a set.
+            let v = b.to_vec();
+            prop_assert_eq!(v.len() as u64, b.len());
+            prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn decode_truncations_of_valid_encodings_error_cleanly(
+        ids in prop::collection::btree_set(0u32..500_000, 1..300),
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        let mut b: Bitmap = ids.into_iter().collect();
+        b.optimize();
+        let bytes = b.encode();
+        let cut = ((bytes.len() as f64) * cut_ratio) as usize;
+        if cut == bytes.len() {
+            return Ok(());
+        }
+        let mut slice = bytes.slice(..cut);
+        // Truncations must error (or decode a strict prefix structure —
+        // never panic, never loop).
+        let _ = Bitmap::decode(&mut slice);
+    }
+
+    #[test]
+    fn bitflips_never_panic(
+        ids in prop::collection::btree_set(0u32..100_000, 1..200),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut b: Bitmap = ids.into_iter().collect();
+        b.optimize();
+        let mut bytes = b.encode().to_vec();
+        let i = flip_at.index(bytes.len());
+        bytes[i] ^= 1 << flip_bit;
+        let mut buf = bytes::Bytes::from(bytes);
+        let _ = Bitmap::decode(&mut buf);
+    }
+}

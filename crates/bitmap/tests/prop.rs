@@ -1,0 +1,128 @@
+//! Property tests: the compressed bitmap must agree with a `BTreeSet` model
+//! on every operation, across representation boundaries.
+
+use std::collections::BTreeSet;
+
+use graphbi_bitmap::{Bitmap, BitmapBuilder};
+use proptest::prelude::*;
+
+fn id_vec() -> impl Strategy<Value = Vec<u32>> {
+    // Mix of clustered (small range) and scattered ids so array, words and
+    // run containers all get exercised.
+    prop::collection::vec(
+        prop_oneof![0u32..2_000, 60_000u32..70_000, prop::num::u32::ANY],
+        0..600,
+    )
+}
+
+fn model(ids: &[u32]) -> BTreeSet<u32> {
+    ids.iter().copied().collect()
+}
+
+fn bitmap(ids: &[u32]) -> Bitmap {
+    ids.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn insert_matches_model(ids in id_vec()) {
+        let m = model(&ids);
+        let b = bitmap(&ids);
+        prop_assert_eq!(b.len(), m.len() as u64);
+        prop_assert_eq!(b.to_vec(), m.iter().copied().collect::<Vec<_>>());
+        for &v in m.iter().take(50) {
+            prop_assert!(b.contains(v));
+        }
+    }
+
+    #[test]
+    fn binary_ops_match_model(a in id_vec(), b in id_vec()) {
+        let (ma, mb) = (model(&a), model(&b));
+        let (ba, bb) = (bitmap(&a), bitmap(&b));
+        let and: Vec<u32> = ma.intersection(&mb).copied().collect();
+        let or: Vec<u32> = ma.union(&mb).copied().collect();
+        let diff: Vec<u32> = ma.difference(&mb).copied().collect();
+        let xor: Vec<u32> = ma.symmetric_difference(&mb).copied().collect();
+        prop_assert_eq!(ba.and(&bb).to_vec(), and.clone());
+        prop_assert_eq!(ba.or(&bb).to_vec(), or);
+        prop_assert_eq!(ba.and_not(&bb).to_vec(), diff);
+        prop_assert_eq!(ba.xor(&bb).to_vec(), xor);
+        prop_assert_eq!(ba.and_len(&bb), and.len() as u64);
+        prop_assert_eq!(ba.is_subset(&bb), ma.is_subset(&mb));
+        let mut inplace = ba.clone();
+        inplace.and_assign(&bb);
+        prop_assert_eq!(inplace.to_vec(), and);
+    }
+
+    #[test]
+    fn ops_survive_optimize(a in id_vec(), b in id_vec()) {
+        let (mut ba, mut bb) = (bitmap(&a), bitmap(&b));
+        let plain = ba.and(&bb);
+        ba.optimize();
+        bb.optimize();
+        prop_assert_eq!(ba.and(&bb), plain);
+        prop_assert_eq!(&ba, &bitmap(&a));
+    }
+
+    #[test]
+    fn rank_select_inverse(ids in id_vec()) {
+        let b = bitmap(&ids);
+        let n = b.len();
+        for i in (0..n).step_by(7.max(n as usize / 13 + 1)) {
+            let v = b.select(i).unwrap();
+            prop_assert_eq!(b.rank(v), i);
+        }
+        prop_assert_eq!(b.select(n), None);
+    }
+
+    #[test]
+    fn codec_round_trip(ids in id_vec()) {
+        let mut b = bitmap(&ids);
+        b.optimize();
+        let bytes = b.encode();
+        prop_assert_eq!(bytes.len(), b.encoded_len());
+        let back = Bitmap::decode(&mut bytes.clone()).unwrap();
+        prop_assert_eq!(back, b);
+    }
+
+    #[test]
+    fn builder_equals_inserts(ids in id_vec()) {
+        let sorted: Vec<u32> = model(&ids).into_iter().collect();
+        let built = sorted.iter().copied().collect::<BitmapBuilder>().finish();
+        prop_assert_eq!(built, bitmap(&ids));
+    }
+
+    #[test]
+    fn ewah_agrees_with_roaring(a in id_vec(), b in id_vec()) {
+        use graphbi_bitmap::ewah::EwahBitmap;
+        let (ma, mb) = (model(&a), model(&b));
+        let ea = EwahBitmap::from_sorted(ma.iter().copied());
+        let eb = EwahBitmap::from_sorted(mb.iter().copied());
+        prop_assert_eq!(ea.len(), ma.len() as u64);
+        prop_assert_eq!(ea.iter().collect::<Vec<_>>(), ma.iter().copied().collect::<Vec<_>>());
+        let and: Vec<u32> = ma.intersection(&mb).copied().collect();
+        let or: Vec<u32> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(ea.and(&eb).iter().collect::<Vec<_>>(), and);
+        prop_assert_eq!(ea.or(&eb).iter().collect::<Vec<_>>(), or);
+        prop_assert_eq!(ea.to_bitmap(), bitmap(&a));
+    }
+
+    #[test]
+    fn remove_matches_model(ids in id_vec(), remove in id_vec()) {
+        let mut m = model(&ids);
+        let mut b = bitmap(&ids);
+        for &v in &remove {
+            prop_assert_eq!(b.remove(v), m.remove(&v));
+        }
+        prop_assert_eq!(b.to_vec(), m.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn and_many_equals_fold(sets in prop::collection::vec(id_vec(), 1..5)) {
+        let bitmaps: Vec<Bitmap> = sets.iter().map(|s| bitmap(s)).collect();
+        let fold = bitmaps[1..]
+            .iter()
+            .fold(bitmaps[0].clone(), |acc, b| acc.and(b));
+        prop_assert_eq!(Bitmap::and_many(bitmaps.iter()), fold);
+    }
+}

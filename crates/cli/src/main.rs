@@ -1,0 +1,331 @@
+//! `graphbi` — command-line front end.
+//!
+//! ```text
+//! graphbi synth <ny|gnu> <records> <dir>     synthesize a dataset into <dir>
+//! graphbi stats <dir>                        Table-2 style statistics
+//! graphbi query <dir> "<query>"              run a query (paper notation)
+//! graphbi advise <dir> <budget> "<q>" ...    select+persist graph views for a workload
+//! ```
+//!
+//! Queries use the paper's bracket notation, e.g. `[A,D,E,G,I]`,
+//! `MAX [r12,r13) JOIN [r13,r14]`, `[a,b] AND NOT (c,d)`. A stored database
+//! directory holds the column store (`*.gbi`) plus the universe
+//! (`universe.txt`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use graphbi::ql::QlAnswer;
+use graphbi::GraphStore;
+use graphbi_columnstore::persist;
+use graphbi_graph::Universe;
+use graphbi_workload::{Dataset, DatasetSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  graphbi synth <ny|gnu> <records> <dir>
+  graphbi stats <dir>
+  graphbi query <dir> \"<query>\"
+  graphbi queryd <dir> <cache_mb> \"<query>\"   (disk-resident, reports I/O)
+  graphbi explain <dir> \"<query>\"
+  graphbi advise <dir> <budget> \"<query>\" [\"<query>\" ...]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args {
+        [cmd, rest @ ..] => match cmd.as_str() {
+            "synth" => synth(rest),
+            "stats" => stats(rest),
+            "query" => query(rest),
+            "queryd" => query_disk(rest),
+            "explain" => explain(rest),
+            "advise" => advise(rest),
+            other => Err(format!("unknown command {other:?}")),
+        },
+        [] => Err("missing command".into()),
+    }
+}
+
+fn open(dir: &Path) -> Result<GraphStore, String> {
+    // A freshly-synthesized database has no views metadata; one touched by
+    // `advise` does, and load_store reattaches its views.
+    if dir.join("views_meta.txt").exists() {
+        graphbi::disk::load_store(dir).map_err(|e| format!("loading: {e}"))
+    } else {
+        let universe = Universe::load(&dir.join("universe.txt"))
+            .map_err(|e| format!("loading universe: {e}"))?;
+        let relation = persist::load(dir).map_err(|e| format!("loading relation: {e}"))?;
+        Ok(GraphStore::from_relation(universe, relation))
+    }
+}
+
+fn synth(args: &[String]) -> Result<(), String> {
+    let [kind, records, dir] = args else {
+        return Err("synth needs: <ny|gnu> <records> <dir>".into());
+    };
+    let n: usize = records.parse().map_err(|_| "record count must be a number")?;
+    let spec = match kind.as_str() {
+        "ny" => DatasetSpec::ny(n),
+        "gnu" => DatasetSpec::gnu(n),
+        other => return Err(format!("unknown dataset kind {other:?} (ny or gnu)")),
+    };
+    let dir = PathBuf::from(dir);
+    println!("synthesizing {n} {kind} records…");
+    let d = Dataset::synthesize(&spec);
+    let store = GraphStore::load(d.universe, &d.records);
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    store
+        .universe()
+        .save(&dir.join("universe.txt"))
+        .map_err(|e| format!("saving universe: {e}"))?;
+    let bytes = persist::save(store.relation(), &dir).map_err(|e| format!("saving: {e}"))?;
+    println!(
+        "wrote {} records, {} measures, {:.1} MB to {}",
+        store.record_count(),
+        store.relation().total_measures(),
+        bytes as f64 / 1e6,
+        dir.display()
+    );
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let [dir] = args else {
+        return Err("stats needs: <dir>".into());
+    };
+    let dir = PathBuf::from(dir);
+    let store = open(&dir)?;
+    let disk = persist::disk_size(&dir).map_err(|e| e.to_string())?;
+    println!("{}", store.statistics().render());
+    println!("named nodes      {}", store.universe().node_count());
+    println!("partitions       {}", store.relation().partition_count());
+    println!("disk bytes       {disk}");
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let [dir, text] = args else {
+        return Err("query needs: <dir> \"<query>\"".into());
+    };
+    let store = open(&PathBuf::from(dir))?;
+    let started = std::time::Instant::now();
+    let answer = store.query(text).map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    match answer {
+        QlAnswer::Records(r) => {
+            println!("{} matching records ({:.2?})", r.len(), elapsed);
+            for (i, &rid) in r.records.iter().take(10).enumerate() {
+                if r.edges.is_empty() {
+                    println!("  record {rid}");
+                } else {
+                    let row: Vec<String> =
+                        r.row(i).iter().map(|v| format!("{v:.2}")).collect();
+                    println!("  record {rid}: [{}]", row.join(", "));
+                }
+            }
+            if r.len() > 10 {
+                println!("  … {} more", r.len() - 10);
+            }
+        }
+        QlAnswer::Aggregates(a) => {
+            println!(
+                "{} matching records × {} paths ({:.2?})",
+                a.len(),
+                a.path_count,
+                elapsed
+            );
+            for (i, &rid) in a.records.iter().take(10).enumerate() {
+                let row: Vec<String> = a.row(i).iter().map(|v| format!("{v:.2}")).collect();
+                println!("  record {rid}: [{}]", row.join(", "));
+            }
+            if a.len() > 10 {
+                println!("  … {} more", a.len() - 10);
+            }
+        }
+        QlAnswer::Ranked(top) => {
+            println!("top {} records ({:.2?})", top.len(), elapsed);
+            for r in &top {
+                println!("  record {}: {:.2}", r.record, r.value);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn query_disk(args: &[String]) -> Result<(), String> {
+    let [dir, cache_mb, text] = args else {
+        return Err("queryd needs: <dir> <cache_mb> \"<query>\"".into());
+    };
+    let cache_mb: usize = cache_mb.parse().map_err(|_| "cache size must be a number")?;
+    let store = graphbi::disk::DiskGraphStore::open(&PathBuf::from(dir), cache_mb << 20)
+        .map_err(|e| e.to_string())?;
+    let q = store.parse_query(text).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let (result, stats) = store.evaluate(&q).map_err(|e| e.to_string())?;
+    println!(
+        "{} matching records ({:.2?}); {} disk reads, {:.1} KB read, \
+         {} bitmap + {} measure columns",
+        result.len(),
+        started.elapsed(),
+        stats.disk_reads,
+        stats.disk_bytes as f64 / 1e3,
+        stats.structural_columns(),
+        stats.measure_columns
+    );
+    // A second, warm run shows the cache working.
+    let started = std::time::Instant::now();
+    let (_, warm) = store.evaluate(&q).map_err(|e| e.to_string())?;
+    println!(
+        "warm rerun: {:.2?}, {} disk reads",
+        started.elapsed(),
+        warm.disk_reads
+    );
+    Ok(())
+}
+
+fn explain(args: &[String]) -> Result<(), String> {
+    let [dir, text] = args else {
+        return Err("explain needs: <dir> \"<query>\"".into());
+    };
+    let store = open(&PathBuf::from(dir))?;
+    let statement = graphbi::ql::parse(&graphbi::ql::lex(text).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let resolved =
+        graphbi::ql::resolve(&statement, store.universe()).map_err(|e| e.to_string())?;
+    let patterns: Vec<graphbi::GraphQuery> = match resolved {
+        graphbi::ql::Resolved::Expr(expr) => expr.atoms().into_iter().cloned().collect(),
+        graphbi::ql::Resolved::Agg(paq) | graphbi::ql::Resolved::TopAgg(paq, _) => {
+            vec![paq.query]
+        }
+    };
+    for (i, q) in patterns.iter().enumerate() {
+        if patterns.len() > 1 {
+            println!("pattern {}:", i + 1);
+        }
+        println!("{}", store.explain(q).render(&store));
+    }
+    Ok(())
+}
+
+fn advise(args: &[String]) -> Result<(), String> {
+    let [dir, budget, queries @ ..] = args else {
+        return Err("advise needs: <dir> <budget> \"<query>\" …".into());
+    };
+    if queries.is_empty() {
+        return Err("advise needs at least one workload query".into());
+    }
+    let budget: usize = budget.parse().map_err(|_| "budget must be a number")?;
+    let dir = PathBuf::from(dir);
+    let mut store = open(&dir)?;
+    // Parse each workload query down to its structural pattern.
+    let mut workload = Vec::new();
+    for text in queries {
+        let _ = store.query(text).map_err(|e| format!("{text:?}: {e}"))?;
+        // Re-resolve to obtain the pattern (query() executes; we want the
+        // GraphQuery itself for the advisor).
+        let statement =
+            graphbi::ql::parse(&graphbi::ql::lex(text).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+        match graphbi::ql::resolve(&statement, store.universe()).map_err(|e| e.to_string())? {
+            graphbi::ql::Resolved::Expr(expr) => {
+                for atom in expr.atoms() {
+                    workload.push(atom.clone());
+                }
+            }
+            graphbi::ql::Resolved::Agg(paq) | graphbi::ql::Resolved::TopAgg(paq, _) => {
+                workload.push(paq.query)
+            }
+        }
+    }
+    let before = store.graph_views().len();
+    let n = store.advise_views(&workload, budget);
+    println!(
+        "materialized {n} graph views for {} workload patterns",
+        workload.len()
+    );
+    for v in &store.graph_views()[before..] {
+        let labels: Vec<String> = v
+            .edges
+            .iter()
+            .map(|&e| store.universe().edge_label(e))
+            .collect();
+        println!("  new view: {}", labels.join(" "));
+    }
+    println!("catalog now holds {} graph views:", store.graph_views().len());
+    for v in store.graph_views() {
+        let labels: Vec<String> = v
+            .edges
+            .iter()
+            .map(|&e| store.universe().edge_label(e))
+            .collect();
+        println!("  view: {}", labels.join(" "));
+    }
+    // Persist the updated database (views included, with their metadata).
+    graphbi::disk::save_store(&store, &dir).map_err(|e| format!("saving: {e}"))?;
+    println!("saved to {}", dir.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("graphbi-cli-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| (*p).to_string()).collect()
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&s(&["bogus"])).is_err());
+        assert!(run(&s(&["synth", "ny"])).is_err());
+        assert!(run(&s(&["synth", "mars", "10", "/tmp/x"])).is_err());
+        assert!(run(&s(&["stats"])).is_err());
+        assert!(run(&s(&["queryd", "/nonexistent", "nan", "[a]"])).is_err());
+    }
+
+    #[test]
+    fn synth_stats_query_advise_cycle() {
+        let dir = tmpdir("cycle");
+        let dirs = dir.to_string_lossy().to_string();
+        run(&s(&["synth", "ny", "300", &dirs])).unwrap();
+        run(&s(&["stats", &dirs])).unwrap();
+        // Find a real edge to query from the universe file.
+        let uni = std::fs::read_to_string(dir.join("universe.txt")).unwrap();
+        let nodes: Vec<&str> = uni
+            .lines()
+            .filter_map(|l| l.strip_prefix("n "))
+            .collect();
+        let edge_line = uni
+            .lines()
+            .find_map(|l| l.strip_prefix("e "))
+            .expect("at least one edge");
+        let (a, b) = edge_line.split_once(' ').unwrap();
+        let (a, b): (usize, usize) = (a.parse().unwrap(), b.parse().unwrap());
+        let q = format!("[{},{}]", nodes[a], nodes[b]);
+        run(&s(&["query", &dirs, &q])).unwrap();
+        run(&s(&["explain", &dirs, &q])).unwrap();
+        run(&s(&["advise", &dirs, "2", &q])).unwrap();
+        run(&s(&["queryd", &dirs, "16", &q])).unwrap();
+        // Unknown node errors cleanly.
+        assert!(run(&s(&["query", &dirs, "[nosuchnode,alsonot]"])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

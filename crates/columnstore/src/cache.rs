@@ -1,0 +1,189 @@
+//! A byte-budgeted LRU cache for decoded columns.
+//!
+//! The disk-resident store ([`crate::disk`]) caches whole decoded columns —
+//! the column is the paper's unit of I/O, so caching at that granularity
+//! makes the cost model's "columns fetched" equal "cache misses" under a
+//! cold cache.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Least-recently-used cache with a byte capacity.
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, Slot<V>>,
+    /// recency tick → key; the smallest tick is the eviction victim.
+    recency: BTreeMap<u64, K>,
+    tick: u64,
+    used: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+struct Slot<V> {
+    value: Arc<V>,
+    size: usize,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` bytes of values.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            used: 0,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency.
+    pub fn get(&mut self, key: &K) -> Option<Arc<V>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some(slot) => {
+                self.recency.remove(&slot.tick);
+                slot.tick = tick;
+                self.recency.insert(tick, key.clone());
+                self.hits += 1;
+                Some(Arc::clone(&slot.value))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` of `size` bytes, evicting least-recently-used entries
+    /// until it fits. Values larger than the whole capacity are returned
+    /// uncached. Returns a handle to the (possibly cached) value.
+    pub fn insert(&mut self, key: K, value: V, size: usize) -> Arc<V> {
+        let value = Arc::new(value);
+        if size > self.capacity {
+            return value;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.recency.remove(&old.tick);
+            self.used -= old.size;
+        }
+        while self.used + size > self.capacity {
+            let Some((&victim_tick, _)) = self.recency.iter().next() else {
+                break;
+            };
+            let victim = self.recency.remove(&victim_tick).expect("tick listed");
+            let slot = self.map.remove(&victim).expect("victim cached");
+            self.used -= slot.size;
+        }
+        self.tick += 1;
+        self.recency.insert(self.tick, key.clone());
+        self.map.insert(
+            key,
+            Slot {
+                value: Arc::clone(&value),
+                size,
+                tick: self.tick,
+            },
+        );
+        self.used += size;
+        value
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// `(hits, misses)` since creation or the last [`LruCache::clear`].
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drops every entry and resets the hit/miss counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+        self.used = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let mut c: LruCache<u32, String> = LruCache::new(100);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "a".into(), 40);
+        c.insert(2, "b".into(), 40);
+        assert_eq!(c.get(&1).as_deref().map(String::as_str), Some("a"));
+        // Inserting 3 (40B) must evict the LRU — key 2, since 1 was touched.
+        c.insert(3, "c".into(), 40);
+        assert!(c.get(&2).is_none());
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (3, 2));
+    }
+
+    #[test]
+    fn oversized_values_bypass_the_cache() {
+        let mut c: LruCache<u32, Vec<u8>> = LruCache::new(10);
+        let v = c.insert(1, vec![0; 100], 100);
+        assert_eq!(v.len(), 100);
+        assert!(c.is_empty());
+        assert!(c.get(&1).is_none());
+    }
+
+    #[test]
+    fn reinserting_replaces_and_reaccounts() {
+        let mut c: LruCache<u32, u32> = LruCache::new(100);
+        c.insert(1, 10, 60);
+        c.insert(1, 20, 30);
+        assert_eq!(c.used_bytes(), 30);
+        assert_eq!(*c.get(&1).unwrap(), 20);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_frees_enough_for_large_entries() {
+        let mut c: LruCache<u32, u32> = LruCache::new(100);
+        for k in 0..5 {
+            c.insert(k, k, 20);
+        }
+        assert_eq!(c.len(), 5);
+        c.insert(9, 9, 90);
+        assert!(c.get(&9).is_some());
+        assert!(c.used_bytes() <= 100);
+        assert!(c.len() <= 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c: LruCache<u32, u32> = LruCache::new(100);
+        c.insert(1, 1, 10);
+        let _ = c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.stats(), (0, 0));
+    }
+}

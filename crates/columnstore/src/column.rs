@@ -1,0 +1,337 @@
+//! Measure columns.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use graphbi_bitmap::{Bitmap, RecordId};
+
+use crate::StoreError;
+
+/// A sparse measure column: `values[presence.rank(r)]` is the measure of
+/// record `r` when `presence.contains(r)`, NULL otherwise.
+///
+/// This is the vertically-compressed layout §4.1 relies on: NULLs occupy no
+/// space, and the presence bitmap doubles as the edge's bitmap index column
+/// `b_i` (a record has a measure on edge `i` exactly when it contains the
+/// edge).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SparseColumn {
+    presence: Bitmap,
+    values: Vec<f64>,
+}
+
+impl SparseColumn {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len() != presence.len()`.
+    pub fn from_parts(presence: Bitmap, values: Vec<f64>) -> SparseColumn {
+        assert_eq!(
+            presence.len(),
+            values.len() as u64,
+            "one value per present record"
+        );
+        SparseColumn { presence, values }
+    }
+
+    /// The presence bitmap — also the bitmap index column of this edge.
+    pub fn presence(&self) -> &Bitmap {
+        &self.presence
+    }
+
+    /// Number of non-NULL entries.
+    pub fn non_null_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value for record `r`, or NULL.
+    pub fn get(&self, r: RecordId) -> Option<f64> {
+        self.presence
+            .contains(r)
+            .then(|| self.values[usize::try_from(self.presence.rank(r)).expect("rank fits usize")])
+    }
+
+    /// Values for every record in `ids`, in ascending record order. Records
+    /// absent from the column are skipped (a query result bitmap is always a
+    /// subset of the presence bitmaps of the query's own edges, but view
+    /// rewrites may probe wider sets).
+    ///
+    /// Uses rank-based point lookups when `ids` is much smaller than the
+    /// column and a lockstep scan otherwise.
+    pub fn gather(&self, ids: &Bitmap) -> Vec<f64> {
+        if ids.len() * 8 < self.presence.len() {
+            ids.iter().filter_map(|r| self.get(r)).collect()
+        } else {
+            let mut out = Vec::with_capacity(ids.len() as usize);
+            let mut wanted = ids.iter().peekable();
+            for (idx, r) in self.presence.iter().enumerate() {
+                while wanted.peek().is_some_and(|&w| w < r) {
+                    wanted.next();
+                }
+                match wanted.peek() {
+                    Some(&w) if w == r => {
+                        out.push(self.values[idx]);
+                        wanted.next();
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            out
+        }
+    }
+
+    /// Gathers `(record, value)` pairs for `ids`, ascending by record.
+    pub fn gather_with_ids(&self, ids: &Bitmap) -> Vec<(RecordId, f64)> {
+        ids.iter()
+            .filter_map(|r| self.get(r).map(|v| (r, v)))
+            .collect()
+    }
+
+    /// Re-encodes the presence bitmap in its smallest representation; call
+    /// after bulk loads.
+    pub fn optimize(&mut self) {
+        self.presence.optimize();
+    }
+
+    /// Appends the value of a record strictly beyond all present records —
+    /// the incremental-ingest path (§6.1: the schema and data grow on
+    /// demand as new records arrive).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `record` is not larger than every present record.
+    pub fn append(&mut self, record: RecordId, value: f64) {
+        assert!(
+            self.presence.max().is_none_or(|m| m < record),
+            "append must be ascending: {record} after {:?}",
+            self.presence.max()
+        );
+        self.presence.insert(record);
+        self.values.push(value);
+    }
+
+    /// Heap bytes used by the column (bitmap + values).
+    pub fn size_in_bytes(&self) -> usize {
+        self.presence.size_in_bytes() + self.values.len() * 8
+    }
+
+    /// Serializes to a fresh buffer: encoded presence bitmap then raw f64s.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.presence.encoded_len() + self.values.len() * 8);
+        self.presence.encode_into(&mut buf);
+        for &v in &self.values {
+            buf.put_f64_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a column from the front of `buf`.
+    pub fn decode(buf: &mut impl Buf) -> Result<SparseColumn, StoreError> {
+        let presence = Bitmap::decode(buf)?;
+        let n = usize::try_from(presence.len()).expect("cardinality fits usize");
+        if buf.remaining() < n * 8 {
+            return Err(StoreError::Format("sparse column values truncated"));
+        }
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(buf.get_f64_le());
+        }
+        Ok(SparseColumn { presence, values })
+    }
+
+    /// Iterates `(record, value)` pairs in ascending record order.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, f64)> + '_ {
+        self.presence.iter().zip(self.values.iter().copied())
+    }
+
+    /// The dense value vector, aligned to the presence bitmap's rank order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Serializes only the value block (the presence bitmap is serialized
+    /// separately so a disk-resident store can fetch the bitmap column
+    /// without touching the measures).
+    pub fn encode_values(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.values.len() * 8);
+        for &v in &self.values {
+            buf.put_f64_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a value block previously written by
+    /// [`SparseColumn::encode_values`] and pairs it with its presence
+    /// bitmap.
+    pub fn decode_values(presence: Bitmap, buf: &mut impl Buf) -> Result<SparseColumn, StoreError> {
+        let n = usize::try_from(presence.len()).expect("cardinality fits usize");
+        if buf.remaining() < n * 8 {
+            return Err(StoreError::Format("value block truncated"));
+        }
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(buf.get_f64_le());
+        }
+        Ok(SparseColumn { presence, values })
+    }
+}
+
+/// Builds a [`SparseColumn`] from ascending `(record, value)` appends — the
+/// loader's path.
+#[derive(Default)]
+pub struct ColumnBuilder {
+    presence: graphbi_bitmap::BitmapBuilder,
+    values: Vec<f64>,
+}
+
+impl ColumnBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the value of `record`; records must arrive strictly
+    /// ascending.
+    pub fn push(&mut self, record: RecordId, value: f64) {
+        self.presence.push(record);
+        self.values.push(value);
+    }
+
+    /// Finishes the column.
+    pub fn finish(self) -> SparseColumn {
+        SparseColumn {
+            presence: self.presence.finish(),
+            values: self.values,
+        }
+    }
+}
+
+/// NULL-padded dense column: one slot per record id, used only by the
+/// storage-ablation bench to quantify what the sparse layout saves.
+#[derive(Clone, Debug)]
+pub struct DenseColumn {
+    values: Vec<f64>,
+    present: Vec<bool>,
+}
+
+impl DenseColumn {
+    /// Creates a column of `n` NULLs.
+    pub fn new(n: usize) -> Self {
+        DenseColumn {
+            values: vec![0.0; n],
+            present: vec![false; n],
+        }
+    }
+
+    /// Sets the value of `record`.
+    pub fn set(&mut self, record: RecordId, value: f64) {
+        self.values[record as usize] = value;
+        self.present[record as usize] = true;
+    }
+
+    /// The value of `record`, or NULL.
+    pub fn get(&self, record: RecordId) -> Option<f64> {
+        self.present
+            .get(record as usize)
+            .copied()
+            .unwrap_or(false)
+            .then(|| self.values[record as usize])
+    }
+
+    /// Heap bytes used — independent of how many values are NULL.
+    pub fn size_in_bytes(&self) -> usize {
+        self.values.len() * 8 + self.present.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(entries: &[(u32, f64)]) -> SparseColumn {
+        let mut b = ColumnBuilder::new();
+        for &(r, v) in entries {
+            b.push(r, v);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn get_returns_value_or_null() {
+        let c = column(&[(1, 10.0), (5, 50.0), (70_000, 7.0)]);
+        assert_eq!(c.get(1), Some(10.0));
+        assert_eq!(c.get(5), Some(50.0));
+        assert_eq!(c.get(70_000), Some(7.0));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.non_null_count(), 3);
+    }
+
+    #[test]
+    fn gather_both_paths_agree() {
+        let entries: Vec<(u32, f64)> = (0..10_000).map(|i| (i * 3, f64::from(i))).collect();
+        let c = column(&entries);
+        // Small id set → rank path.
+        let small: Bitmap = [3u32, 9, 29_997].into_iter().collect();
+        assert_eq!(c.gather(&small), vec![1.0, 3.0, 9_999.0]);
+        // Large id set → scan path.
+        let large: Bitmap = (0..30_000u32).collect();
+        let got = c.gather(&large);
+        assert_eq!(got.len(), 10_000);
+        assert_eq!(got[0], 0.0);
+        assert_eq!(got[9_999], 9_999.0);
+    }
+
+    #[test]
+    fn gather_skips_absent_records() {
+        let c = column(&[(10, 1.0), (20, 2.0)]);
+        let ids: Bitmap = [5u32, 10, 15, 20, 25].into_iter().collect();
+        assert_eq!(c.gather(&ids), vec![1.0, 2.0]);
+        assert_eq!(
+            c.gather_with_ids(&ids),
+            vec![(10, 1.0), (20, 2.0)]
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = column(&[(0, -1.5), (100, f64::MAX), (65_536, 0.0)]);
+        let bytes = c.encode();
+        let back = SparseColumn::decode(&mut bytes.clone()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_values() {
+        let c = column(&[(0, 1.0), (1, 2.0)]);
+        let bytes = c.encode();
+        let mut cut = bytes.slice(..bytes.len() - 4);
+        assert!(SparseColumn::decode(&mut cut).is_err());
+    }
+
+    #[test]
+    fn sparse_beats_dense_on_sparse_data() {
+        let n = 100_000u32;
+        let mut dense = DenseColumn::new(n as usize);
+        let mut b = ColumnBuilder::new();
+        for r in (0..n).step_by(100) {
+            dense.set(r, 1.0);
+            b.push(r, 1.0);
+        }
+        let sparse = b.finish();
+        assert_eq!(sparse.get(100), Some(1.0));
+        assert_eq!(dense.get(100), Some(1.0));
+        assert!(sparse.size_in_bytes() * 10 < dense.size_in_bytes());
+    }
+
+    #[test]
+    fn iter_yields_pairs_in_order() {
+        let c = column(&[(2, 0.2), (4, 0.4)]);
+        let pairs: Vec<(u32, f64)> = c.iter().collect();
+        assert_eq!(pairs, vec![(2, 0.2), (4, 0.4)]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Cost-model counters.
+//!
+//! §5.1: "we utilize a simple but reasonable cost model, where the cost of
+//! fetching the bitmaps for a query is proportional to the number of bitmaps
+//! used in the formulation of the query". The engine threads an [`IoStats`]
+//! through every fetch so experiments can report the model cost next to
+//! wall-clock time.
+
+/// Per-query (or per-workload) fetch counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Base edge bitmap columns (`b_i`) fetched.
+    pub bitmap_columns: u64,
+    /// Graph-view bitmap columns (`b_v`) fetched.
+    pub view_bitmap_columns: u64,
+    /// Base measure columns (`m_i`) fetched.
+    pub measure_columns: u64,
+    /// Aggregate-view measure columns (`m_p`, with their `b_p`) fetched.
+    pub agg_view_columns: u64,
+    /// Individual measure values materialized into result rows.
+    pub values_fetched: u64,
+    /// Vertical partitions touched — each one beyond the first implies a
+    /// recid join between sub-relations (§6.1, Figure 5).
+    pub partitions_touched: u64,
+    /// Rows passed through recid joins when assembling multi-partition
+    /// results.
+    pub join_rows: u64,
+    /// Column reads served from disk (disk-resident stores only; cache hits
+    /// don't count).
+    pub disk_reads: u64,
+    /// Bytes read from disk.
+    pub disk_bytes: u64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total *bitmap* columns fetched — the paper's structural-condition
+    /// cost, the quantity view selection minimizes.
+    pub fn structural_columns(&self) -> u64 {
+        self.bitmap_columns + self.view_bitmap_columns
+    }
+
+    /// Total columns of any kind fetched.
+    pub fn total_columns(&self) -> u64 {
+        self.bitmap_columns + self.view_bitmap_columns + self.measure_columns + self.agg_view_columns
+    }
+
+    /// Accumulates another stats block (for workload-level totals).
+    pub fn absorb(&mut self, other: &IoStats) {
+        self.bitmap_columns += other.bitmap_columns;
+        self.view_bitmap_columns += other.view_bitmap_columns;
+        self.measure_columns += other.measure_columns;
+        self.agg_view_columns += other.agg_view_columns;
+        self.values_fetched += other.values_fetched;
+        self.partitions_touched += other.partitions_touched;
+        self.join_rows += other.join_rows;
+        self.disk_reads += other.disk_reads;
+        self.disk_bytes += other.disk_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_absorb() {
+        let mut a = IoStats {
+            bitmap_columns: 3,
+            view_bitmap_columns: 1,
+            measure_columns: 2,
+            agg_view_columns: 1,
+            values_fetched: 100,
+            partitions_touched: 2,
+            join_rows: 40,
+            disk_reads: 5,
+            disk_bytes: 4096,
+        };
+        assert_eq!(a.structural_columns(), 4);
+        assert_eq!(a.total_columns(), 7);
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.bitmap_columns, 6);
+        assert_eq!(a.values_fetched, 200);
+    }
+}

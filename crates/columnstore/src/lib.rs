@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! Column-oriented storage of graph records (§4 of the paper).
+//!
+//! The framework stores every graph record in one *master relation*
+//! `R(recid, m1…mn, b1…bn, views…)`: a measure column and a bitmap column per
+//! edge id of the universe. This crate is the stand-in for the MonetDB
+//! column store used in the paper's experiments:
+//!
+//! * [`SparseColumn`] — one measure column: a presence bitmap plus a dense
+//!   vector of the non-NULL values in record-id order. Because a record
+//!   contains only a small fraction of the universe's edges, the NULL-heavy
+//!   columns compress to almost nothing — the property behind the paper's
+//!   Figure 4 (database size independent of record density).
+//! * [`MasterRelation`] — the full relation, vertically partitioned into
+//!   sub-relations of at most [`DEFAULT_PARTITION_WIDTH`] edge columns
+//!   (§6.1), plus dynamically added view columns: graph views (one bitmap)
+//!   and aggregate graph views (one sparse measure column whose presence
+//!   bitmap is the view's `b_p`).
+//! * [`IoStats`] — the cost-model counters: the paper's view-selection
+//!   reasoning assumes "cost ∝ number of columns fetched", and every fetch
+//!   path here increments the corresponding counter so the benches can report
+//!   both wall-clock and model cost.
+//! * [`persist`] — a simple binary on-disk layout, used to measure the disk
+//!   footprint (Table 2, Figure 4) and to survive restarts.
+
+mod column;
+mod cache;
+pub mod disk;
+mod iostats;
+pub mod persist;
+mod relation;
+
+pub use cache::LruCache;
+pub use column::{ColumnBuilder, DenseColumn, SparseColumn};
+pub use disk::{BitmapRef, ColumnRef, DiskRelation};
+pub use iostats::IoStats;
+pub use relation::{AggViewId, MasterRelation, RelationBuilder, ViewId, DEFAULT_PARTITION_WIDTH};
+
+/// Errors from storage operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure during persist/open.
+    Io(std::io::Error),
+    /// The on-disk bytes did not decode.
+    Decode(graphbi_bitmap::DecodeError),
+    /// The file layout was malformed.
+    Format(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Decode(e) => write!(f, "decode error: {e}"),
+            StoreError::Format(what) => write!(f, "bad file format: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<graphbi_bitmap::DecodeError> for StoreError {
+    fn from(e: graphbi_bitmap::DecodeError) -> Self {
+        StoreError::Decode(e)
+    }
+}

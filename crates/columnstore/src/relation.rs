@@ -1,0 +1,391 @@
+//! The master relation `R(recid, m1…mn, b1…bn, views…)`.
+
+use graphbi_bitmap::{Bitmap, RecordId};
+use graphbi_graph::EdgeId;
+
+use crate::column::{ColumnBuilder, SparseColumn};
+use crate::iostats::IoStats;
+
+/// Maximum number of edge columns per vertical partition (§6.1: "the master
+/// relation is automatically broken into sub-relations with up to 1 thousand
+/// columns each").
+pub const DEFAULT_PARTITION_WIDTH: usize = 1000;
+
+/// Handle of a materialized graph view column (`b_v`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(pub u32);
+
+/// Handle of a materialized aggregate graph view (`m_p` + `b_p`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AggViewId(pub u32);
+
+/// The master relation: one sparse measure column per edge id (its presence
+/// bitmap doubling as the bitmap index column), vertically partitioned, plus
+/// view columns appended by the view manager.
+pub struct MasterRelation {
+    columns: Vec<SparseColumn>,
+    partition_width: usize,
+    record_count: u64,
+    view_bitmaps: Vec<Bitmap>,
+    agg_views: Vec<SparseColumn>,
+}
+
+impl MasterRelation {
+    pub(crate) fn from_columns(
+        columns: Vec<SparseColumn>,
+        partition_width: usize,
+        record_count: u64,
+    ) -> MasterRelation {
+        assert!(partition_width > 0, "partition width must be positive");
+        MasterRelation {
+            columns,
+            partition_width,
+            record_count,
+            view_bitmaps: Vec::new(),
+            agg_views: Vec::new(),
+        }
+    }
+
+    /// Number of records loaded (record ids are `0..record_count`).
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Number of edge columns (the universe's edge count at load time).
+    pub fn edge_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Width of each vertical partition.
+    pub fn partition_width(&self) -> usize {
+        self.partition_width
+    }
+
+    /// Number of vertical sub-relations.
+    pub fn partition_count(&self) -> usize {
+        self.columns.len().div_ceil(self.partition_width).max(1)
+    }
+
+    /// The sub-relation holding `edge`'s columns.
+    pub fn partition_of(&self, edge: EdgeId) -> usize {
+        edge.index() / self.partition_width
+    }
+
+    /// Fetches the bitmap index column `b_edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `edge` is outside the relation's universe.
+    pub fn edge_bitmap(&self, edge: EdgeId, stats: &mut IoStats) -> &Bitmap {
+        stats.bitmap_columns += 1;
+        self.columns[edge.index()].presence()
+    }
+
+    /// Fetches the measure column `m_edge`.
+    pub fn edge_measures(&self, edge: EdgeId, stats: &mut IoStats) -> &SparseColumn {
+        stats.measure_columns += 1;
+        &self.columns[edge.index()]
+    }
+
+    /// Read-only access without cost accounting (loaders, view builders).
+    pub fn edge_column_uncounted(&self, edge: EdgeId) -> &SparseColumn {
+        &self.columns[edge.index()]
+    }
+
+    /// Materializes a graph view bitmap, returning its handle.
+    pub fn add_view_bitmap(&mut self, bitmap: Bitmap) -> ViewId {
+        let id = ViewId(u32::try_from(self.view_bitmaps.len()).expect("view count fits u32"));
+        self.view_bitmaps.push(bitmap);
+        id
+    }
+
+    /// Fetches a graph-view bitmap column.
+    pub fn view_bitmap(&self, view: ViewId, stats: &mut IoStats) -> &Bitmap {
+        stats.view_bitmap_columns += 1;
+        &self.view_bitmaps[view.0 as usize]
+    }
+
+    /// Number of materialized graph views.
+    pub fn view_count(&self) -> usize {
+        self.view_bitmaps.len()
+    }
+
+    /// Materializes an aggregate graph view: the sparse column's values are
+    /// the pre-computed path aggregates `m_p`, its presence bitmap the view
+    /// bitmap `b_p`.
+    pub fn add_agg_view(&mut self, column: SparseColumn) -> AggViewId {
+        let id = AggViewId(u32::try_from(self.agg_views.len()).expect("agg view count fits u32"));
+        self.agg_views.push(column);
+        id
+    }
+
+    /// Fetches an aggregate-view column (counted once: `m_p` and `b_p` are
+    /// stored together).
+    pub fn agg_view(&self, view: AggViewId, stats: &mut IoStats) -> &SparseColumn {
+        stats.agg_view_columns += 1;
+        &self.agg_views[view.0 as usize]
+    }
+
+    /// Number of materialized aggregate graph views.
+    pub fn agg_view_count(&self) -> usize {
+        self.agg_views.len()
+    }
+
+    /// Records partition-touch accounting for a set of edges used by one
+    /// query; the engine calls this once per query evaluation.
+    pub fn note_partitions(&self, edges: &[EdgeId], stats: &mut IoStats) {
+        let mut seen = vec![false; self.partition_count()];
+        for &e in edges {
+            seen[self.partition_of(e)] = true;
+        }
+        stats.partitions_touched += seen.iter().filter(|&&s| s).count() as u64;
+    }
+
+    /// Heap bytes of the base columns (measures + bitmaps).
+    pub fn base_size_in_bytes(&self) -> usize {
+        self.columns.iter().map(SparseColumn::size_in_bytes).sum()
+    }
+
+    /// Heap bytes of all view columns.
+    pub fn view_size_in_bytes(&self) -> usize {
+        self.view_bitmaps
+            .iter()
+            .map(Bitmap::size_in_bytes)
+            .sum::<usize>()
+            + self.agg_views.iter().map(SparseColumn::size_in_bytes).sum::<usize>()
+    }
+
+    /// Total heap bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.base_size_in_bytes() + self.view_size_in_bytes()
+    }
+
+    /// Total number of non-NULL measures stored (Table 2's "total number of
+    /// measures").
+    pub fn total_measures(&self) -> u64 {
+        self.columns.iter().map(|c| c.non_null_count() as u64).sum()
+    }
+
+    pub(crate) fn columns(&self) -> &[SparseColumn] {
+        &self.columns
+    }
+
+    pub(crate) fn views_parts(&self) -> (&[Bitmap], &[SparseColumn]) {
+        (&self.view_bitmaps, &self.agg_views)
+    }
+
+    pub(crate) fn restore_views(&mut self, bitmaps: Vec<Bitmap>, aggs: Vec<SparseColumn>) {
+        self.view_bitmaps = bitmaps;
+        self.agg_views = aggs;
+    }
+
+    /// Drops every materialized view column (budget sweeps re-materialize
+    /// from scratch between runs).
+    pub fn clear_views(&mut self) {
+        self.view_bitmaps.clear();
+        self.agg_views.clear();
+    }
+
+    /// Appends one record to the *base* columns, growing the schema when a
+    /// new edge id exceeds the current column count (§6.1). Returns the new
+    /// record's id. View columns are NOT maintained here — the store layer
+    /// owns the view definitions and updates them after this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an edge repeats within the record.
+    pub fn append_record(&mut self, edges: &[(EdgeId, f64)]) -> RecordId {
+        let rid = u32::try_from(self.record_count).expect("record id fits u32");
+        if let Some(max_edge) = edges.iter().map(|&(e, _)| e.index()).max() {
+            while self.columns.len() <= max_edge {
+                self.columns.push(SparseColumn::new());
+            }
+        }
+        for &(e, m) in edges {
+            self.columns[e.index()].append(rid, m);
+        }
+        self.record_count += 1;
+        rid
+    }
+
+    /// Mutable access to a graph-view bitmap — the store's incremental view
+    /// maintenance hook.
+    pub fn view_bitmap_mut(&mut self, view: ViewId) -> &mut Bitmap {
+        &mut self.view_bitmaps[view.0 as usize]
+    }
+
+    /// Mutable access to an aggregate-view column — the store's incremental
+    /// view maintenance hook.
+    pub fn agg_view_mut(&mut self, view: AggViewId) -> &mut SparseColumn {
+        &mut self.agg_views[view.0 as usize]
+    }
+
+    /// Re-optimizes every column's presence bitmap (after incremental
+    /// appends).
+    pub fn optimize_columns(&mut self) {
+        for c in &mut self.columns {
+            c.optimize();
+        }
+        for b in &mut self.view_bitmaps {
+            b.optimize();
+        }
+        for c in &mut self.agg_views {
+            c.optimize();
+        }
+    }
+}
+
+/// Streams records into the master relation.
+///
+/// Records are assigned ascending ids in arrival order, matching the
+/// continuous-ingest setting of the paper's applications.
+pub struct RelationBuilder {
+    builders: Vec<ColumnBuilder>,
+    next_record: RecordId,
+}
+
+impl RelationBuilder {
+    /// Creates a builder for a universe of `edge_count` edges.
+    pub fn new(edge_count: usize) -> RelationBuilder {
+        RelationBuilder {
+            builders: (0..edge_count).map(|_| ColumnBuilder::new()).collect(),
+            next_record: 0,
+        }
+    }
+
+    /// Appends one record (edge ids must be unique within the record) and
+    /// returns its assigned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an edge id is outside the declared universe or repeats
+    /// within the record.
+    pub fn add_record(&mut self, edges: &[(EdgeId, f64)]) -> RecordId {
+        let rid = self.next_record;
+        self.next_record += 1;
+        for &(e, m) in edges {
+            self.builders[e.index()].push(rid, m);
+        }
+        rid
+    }
+
+    /// Number of records added so far.
+    pub fn record_count(&self) -> u64 {
+        u64::from(self.next_record)
+    }
+
+    /// Finishes the relation with the given vertical partition width.
+    pub fn finish_with_width(self, partition_width: usize) -> MasterRelation {
+        let columns: Vec<SparseColumn> = self
+            .builders
+            .into_iter()
+            .map(|b| {
+                let mut c = b.finish();
+                // Bulk loads produce runs of record ids; pick the best form.
+                c.optimize();
+                c
+            })
+            .collect();
+        MasterRelation::from_columns(columns, partition_width, u64::from(self.next_record))
+    }
+
+    /// Finishes with the paper's default 1000-column partitions.
+    pub fn finish(self) -> MasterRelation {
+        self.finish_with_width(DEFAULT_PARTITION_WIDTH)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EdgeId {
+        EdgeId(i)
+    }
+
+    fn sample_relation() -> MasterRelation {
+        // Mirrors Table 1: three records over seven edges.
+        let mut b = RelationBuilder::new(7);
+        b.add_record(&[(e(0), 3.0), (e(1), 4.0), (e(2), 2.0), (e(3), 1.0), (e(4), 2.0)]);
+        b.add_record(&[(e(1), 1.0), (e(2), 2.0), (e(3), 2.0), (e(4), 1.0), (e(5), 4.0), (e(6), 1.0)]);
+        b.add_record(&[(e(3), 5.0), (e(4), 4.0), (e(5), 3.0), (e(6), 1.0)]);
+        b.finish_with_width(4)
+    }
+
+    #[test]
+    fn table1_layout_round_trips() {
+        let mut stats = IoStats::new();
+        let r = sample_relation();
+        assert_eq!(r.record_count(), 3);
+        assert_eq!(r.edge_count(), 7);
+        assert_eq!(r.total_measures(), 15);
+        // b2 (edge id 1) marks records r1, r2.
+        assert_eq!(r.edge_bitmap(e(1), &mut stats).to_vec(), vec![0, 1]);
+        // m6 of r3 is 3.0, NULL for r1.
+        let m5 = r.edge_measures(e(5), &mut stats);
+        assert_eq!(m5.get(2), Some(3.0));
+        assert_eq!(m5.get(0), None);
+        assert_eq!(stats.bitmap_columns, 1);
+        assert_eq!(stats.measure_columns, 1);
+    }
+
+    #[test]
+    fn partitioning_maps_edges_to_subrelations() {
+        let r = sample_relation(); // width 4 → partitions {e0..e3}, {e4..e6}
+        assert_eq!(r.partition_count(), 2);
+        assert_eq!(r.partition_of(e(3)), 0);
+        assert_eq!(r.partition_of(e(4)), 1);
+        let mut stats = IoStats::new();
+        r.note_partitions(&[e(0), e(1)], &mut stats);
+        assert_eq!(stats.partitions_touched, 1);
+        r.note_partitions(&[e(0), e(6)], &mut stats);
+        assert_eq!(stats.partitions_touched, 3);
+    }
+
+    #[test]
+    fn views_are_stored_and_counted() {
+        let mut r = sample_relation();
+        let mut stats = IoStats::new();
+        let v = r.add_view_bitmap([0u32, 1].into_iter().collect());
+        assert_eq!(r.view_bitmap(v, &mut stats).len(), 2);
+        assert_eq!(stats.view_bitmap_columns, 1);
+        // Aggregate view for p1=[e6,e7] with SUM: records r2, r3 (Table 1).
+        let mut cb = ColumnBuilder::new();
+        cb.push(1, 5.0);
+        cb.push(2, 4.0);
+        let av = r.add_agg_view(cb.finish());
+        let col = r.agg_view(av, &mut stats);
+        assert_eq!(col.get(1), Some(5.0));
+        assert_eq!(col.get(0), None);
+        assert_eq!(stats.agg_view_columns, 1);
+        assert!(r.view_size_in_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_relation_is_valid() {
+        let r = RelationBuilder::new(0).finish();
+        assert_eq!(r.record_count(), 0);
+        assert_eq!(r.edge_count(), 0);
+        assert_eq!(r.partition_count(), 1);
+        assert_eq!(r.total_measures(), 0);
+    }
+
+    #[test]
+    fn size_independent_of_universe_density() {
+        // Same data, universes of 100 vs 1000 edges: base size dominated by
+        // actual measures, not by the number of declared columns.
+        let mut small = RelationBuilder::new(100);
+        let mut large = RelationBuilder::new(1000);
+        for rid in 0..50u32 {
+            let edges: Vec<(EdgeId, f64)> = (0..10).map(|i| (e((rid + i) % 100), 1.0)).collect();
+            let mut sorted = edges.clone();
+            sorted.sort_by_key(|&(ed, _)| ed);
+            sorted.dedup_by_key(|&mut (ed, _)| ed);
+            small.add_record(&sorted);
+            large.add_record(&sorted);
+        }
+        let (s, l) = (small.finish(), large.finish());
+        assert_eq!(s.total_measures(), l.total_measures());
+        assert!(l.base_size_in_bytes() <= s.base_size_in_bytes() + 1000 * 64);
+    }
+}

@@ -1,0 +1,411 @@
+//! The disk-resident store: the paper's actual operating regime.
+//!
+//! [`GraphStore`] keeps every column in memory; the paper instead ran
+//! hundreds of gigabytes off one HDD, where the cost of a query *is* the
+//! columns it reads. [`DiskGraphStore`] reproduces that: it opens a saved
+//! database directory, pulls bitmap/measure columns from disk on demand
+//! through a byte-budgeted cache, and answers the same queries with the
+//! same results (asserted by the disk_store integration tests). Under a
+//! cold cache, `IoStats::disk_reads` *is* the paper's cost model.
+//!
+//! ```no_run
+//! # use graphbi::disk::DiskGraphStore;
+//! let store = DiskGraphStore::open("db/ny".as_ref(), 64 << 20)?;
+//! let q = store.parse_query("[A,D,E,G,I]")?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::path::Path;
+
+use graphbi_bitmap::Bitmap;
+use graphbi_columnstore::{persist, DiskRelation, IoStats, StoreError};
+use graphbi_graph::{
+    AggFn, AggState, EdgeId, GraphError, GraphQuery, PathAggQuery, PathAggResult, QueryResult,
+    Universe, UniverseIoError,
+};
+use graphbi_views::{cover_path, rewrite_query, PathSegment};
+
+use crate::viewmgr::{base_kind, compatible, BaseKind};
+use crate::GraphStore;
+
+/// Errors from the disk store.
+#[derive(Debug)]
+pub enum DiskError {
+    /// Storage-layer failure.
+    Store(StoreError),
+    /// Universe file failure.
+    Universe(UniverseIoError),
+    /// Query-model failure (e.g. cyclic aggregation).
+    Graph(GraphError),
+    /// The views metadata file was malformed.
+    ViewsMeta(&'static str),
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Store(e) => write!(f, "storage: {e}"),
+            DiskError::Universe(e) => write!(f, "universe: {e}"),
+            DiskError::Graph(e) => write!(f, "query: {e}"),
+            DiskError::ViewsMeta(what) => write!(f, "views metadata: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+impl From<StoreError> for DiskError {
+    fn from(e: StoreError) -> Self {
+        DiskError::Store(e)
+    }
+}
+impl From<UniverseIoError> for DiskError {
+    fn from(e: UniverseIoError) -> Self {
+        DiskError::Universe(e)
+    }
+}
+impl From<GraphError> for DiskError {
+    fn from(e: GraphError) -> Self {
+        DiskError::Graph(e)
+    }
+}
+
+/// Writes a complete database directory: relation, universe and view
+/// definitions. [`DiskGraphStore::open`] (and the in-memory
+/// [`persist::load`] path) read it back. Returns bytes written.
+pub fn save_store(store: &GraphStore, dir: &Path) -> Result<u64, DiskError> {
+    std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+    let mut total = persist::save(store.relation(), dir)?;
+    store.universe().save(&dir.join("universe.txt"))?;
+    // View definitions: the relation holds only the columns; the defs that
+    // map them back to edge sets live in a text sidecar.
+    let mut meta = String::new();
+    for v in store.graph_views() {
+        meta.push('g');
+        for e in &v.edges {
+            meta.push_str(&format!(" {}", e.0));
+        }
+        meta.push('\n');
+    }
+    for v in store.agg_views() {
+        meta.push_str(&format!("a {}", v.func.name()));
+        for e in &v.edges {
+            meta.push_str(&format!(" {}", e.0));
+        }
+        meta.push('\n');
+    }
+    std::fs::write(dir.join("views_meta.txt"), &meta).map_err(StoreError::Io)?;
+    total += meta.len() as u64;
+    Ok(total)
+}
+
+/// Loads a database directory fully into memory, *reattaching* the
+/// materialized views (unlike [`GraphStore::from_relation`], which must
+/// drop them for lack of definitions).
+pub fn load_store(dir: &Path) -> Result<GraphStore, DiskError> {
+    let universe = Universe::load(&dir.join("universe.txt"))?;
+    let relation = persist::load(dir)?;
+    let mut store = GraphStore::from_relation_keeping_views(universe, relation);
+    let meta_path = dir.join("views_meta.txt");
+    if meta_path.exists() {
+        let meta = std::fs::read_to_string(&meta_path).map_err(StoreError::Io)?;
+        let mut graph_idx = 0u32;
+        let mut agg_idx = 0u32;
+        for line in meta.lines().filter(|l| !l.is_empty()) {
+            let mut parts = line.split(' ');
+            match parts.next() {
+                Some("g") => {
+                    store.attach_graph_view(parse_edges(parts)?, graph_idx);
+                    graph_idx += 1;
+                }
+                Some("a") => {
+                    let func = match parts.next() {
+                        Some("SUM") => AggFn::Sum,
+                        Some("MIN") => AggFn::Min,
+                        Some("MAX") => AggFn::Max,
+                        Some("AVG") => AggFn::Avg,
+                        Some("COUNT") => AggFn::Count,
+                        _ => return Err(DiskError::ViewsMeta("unknown aggregate function")),
+                    };
+                    store.attach_agg_view(parse_edges(parts)?, func, agg_idx);
+                    agg_idx += 1;
+                }
+                _ => return Err(DiskError::ViewsMeta("unknown view kind")),
+            }
+        }
+        if graph_idx as usize != store.relation().view_count()
+            || agg_idx as usize != store.relation().agg_view_count()
+        {
+            return Err(DiskError::ViewsMeta("definition/column count mismatch"));
+        }
+    } else if store.relation().view_count() > 0 || store.relation().agg_view_count() > 0 {
+        return Err(DiskError::ViewsMeta("missing views_meta.txt for stored views"));
+    }
+    Ok(store)
+}
+
+/// A stored graph-view definition (disk side).
+struct DiskGraphView {
+    edges: Vec<EdgeId>,
+}
+
+/// A stored aggregate-view definition (disk side).
+struct DiskAggView {
+    edges: Vec<EdgeId>,
+    kind: BaseKind,
+}
+
+/// A read-only, disk-resident graph store.
+pub struct DiskGraphStore {
+    universe: Universe,
+    relation: DiskRelation,
+    graph_views: Vec<DiskGraphView>,
+    agg_views: Vec<DiskAggView>,
+}
+
+impl DiskGraphStore {
+    /// Opens a database directory written by [`save_store`], with a column
+    /// cache of `cache_bytes`.
+    pub fn open(dir: &Path, cache_bytes: usize) -> Result<DiskGraphStore, DiskError> {
+        let universe = Universe::load(&dir.join("universe.txt"))?;
+        let relation = DiskRelation::open(dir, cache_bytes)?;
+        let mut graph_views = Vec::new();
+        let mut agg_views = Vec::new();
+        let meta_path = dir.join("views_meta.txt");
+        if meta_path.exists() {
+            let meta = std::fs::read_to_string(&meta_path).map_err(StoreError::Io)?;
+            for line in meta.lines().filter(|l| !l.is_empty()) {
+                let mut parts = line.split(' ');
+                match parts.next() {
+                    Some("g") => {
+                        let edges = parse_edges(parts)?;
+                        graph_views.push(DiskGraphView { edges });
+                    }
+                    Some("a") => {
+                        let func = match parts.next() {
+                            Some("SUM") => AggFn::Sum,
+                            Some("MIN") => AggFn::Min,
+                            Some("MAX") => AggFn::Max,
+                            Some("AVG") => AggFn::Avg,
+                            Some("COUNT") => AggFn::Count,
+                            _ => return Err(DiskError::ViewsMeta("unknown aggregate function")),
+                        };
+                        let edges = parse_edges(parts)?;
+                        agg_views.push(DiskAggView {
+                            edges,
+                            kind: base_kind(func),
+                        });
+                    }
+                    _ => return Err(DiskError::ViewsMeta("unknown view kind")),
+                }
+            }
+        }
+        if graph_views.len() != relation.view_count()
+            || agg_views.len() != relation.agg_view_count()
+        {
+            return Err(DiskError::ViewsMeta("definition/column count mismatch"));
+        }
+        Ok(DiskGraphStore {
+            universe,
+            relation,
+            graph_views,
+            agg_views,
+        })
+    }
+
+    /// The naming scheme.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The disk relation (cache stats, record counts).
+    pub fn relation(&self) -> &DiskRelation {
+        &self.relation
+    }
+
+    /// Number of records.
+    pub fn record_count(&self) -> u64 {
+        self.relation.record_count()
+    }
+
+    /// Parses a query in the paper's bracket notation against this store's
+    /// universe (see [`crate::ql`]); aggregation prefixes are rejected —
+    /// use [`DiskGraphStore::path_aggregate`] with the parsed pattern.
+    pub fn parse_query(&self, text: &str) -> Result<GraphQuery, crate::ql::QlError> {
+        let tokens = crate::ql::lex(text).map_err(crate::ql::QlError::Lex)?;
+        let statement = crate::ql::parse(&tokens).map_err(crate::ql::QlError::Parse)?;
+        match crate::ql::resolve(&statement, &self.universe)
+            .map_err(crate::ql::QlError::Resolve)?
+        {
+            crate::ql::Resolved::Expr(graphbi_graph::QueryExpr::Atom(q)) => Ok(q),
+            crate::ql::Resolved::Agg(paq) => Ok(paq.query),
+            _ => Err(crate::ql::QlError::Resolve(
+                crate::ql::ResolveError::AggregateOverLogic,
+            )),
+        }
+    }
+
+    /// Structural phase: records containing the query graph, rewritten over
+    /// the stored graph views.
+    pub fn match_records(
+        &self,
+        query: &GraphQuery,
+        stats: &mut IoStats,
+    ) -> Result<Bitmap, DiskError> {
+        if query.is_empty() {
+            return Ok(Bitmap::from_range(
+                0..u32::try_from(self.relation.record_count()).expect("record count fits u32"),
+            ));
+        }
+        let views: Vec<Vec<EdgeId>> = self.graph_views.iter().map(|v| v.edges.clone()).collect();
+        let plan = rewrite_query(query, &views);
+        // Hold every fetched bitmap handle, then AND through the derefs.
+        let mut view_refs = Vec::with_capacity(plan.views.len());
+        for &vi in &plan.views {
+            view_refs.push(self.relation.view_bitmap(
+                u32::try_from(vi).expect("view index fits u32"),
+                stats,
+            )?);
+        }
+        let mut edge_refs = Vec::with_capacity(plan.residual_edges.len());
+        for &e in &plan.residual_edges {
+            edge_refs.push(self.relation.edge_bitmap(e, stats)?);
+        }
+        if !plan.residual_edges.is_empty() {
+            self.relation.note_partitions(&plan.residual_edges, stats);
+        }
+        let all: Vec<&Bitmap> = view_refs
+            .iter()
+            .map(|r| &**r)
+            .chain(edge_refs.iter().map(|r| &**r))
+            .collect();
+        Ok(Bitmap::and_many(all))
+    }
+
+    /// Full graph-query evaluation.
+    pub fn evaluate(&self, query: &GraphQuery) -> Result<(QueryResult, IoStats), DiskError> {
+        let mut stats = IoStats::new();
+        let ids = self.match_records(query, &mut stats)?;
+        let edges = query.edges().to_vec();
+        let n = usize::try_from(ids.len()).expect("result fits usize");
+        let w = edges.len();
+        let mut measures = vec![0.0f64; n * w];
+        if n > 0 && w > 0 {
+            self.relation.note_partitions(&edges, &mut stats);
+            for (j, &e) in edges.iter().enumerate() {
+                let col = self.relation.edge_measures(e, &mut stats)?;
+                for (i, v) in col.gather(&ids).into_iter().enumerate() {
+                    measures[i * w + j] = v;
+                }
+            }
+            stats.values_fetched += (n * w) as u64;
+        }
+        Ok((
+            QueryResult {
+                records: ids.to_vec(),
+                edges,
+                measures,
+            },
+            stats,
+        ))
+    }
+
+    /// Path aggregation, composing stored aggregate views.
+    pub fn path_aggregate(
+        &self,
+        paq: &PathAggQuery,
+    ) -> Result<(PathAggResult, IoStats), DiskError> {
+        let mut stats = IoStats::new();
+        let paths = paq.query.maximal_paths(&self.universe)?;
+        let ids = self.match_records(&paq.query, &mut stats)?;
+        let n = usize::try_from(ids.len()).expect("result fits usize");
+        let path_count = paths.len();
+        let mut values = vec![f64::NAN; n * path_count];
+
+        // Aggregate views compatible with the query's function.
+        let mut avail_idx = Vec::new();
+        let mut avail_seqs = Vec::new();
+        for (i, v) in self.agg_views.iter().enumerate() {
+            if compatible(v.kind, paq.func) {
+                avail_idx.push(i);
+                avail_seqs.push(v.edges.clone());
+            }
+        }
+
+        for (pi, path) in paths.iter().enumerate() {
+            let cons: Vec<EdgeId> = path
+                .nodes()
+                .windows(2)
+                .map(|w| {
+                    self.universe
+                        .find_edge(w[0], w[1])
+                        .expect("maximal path edges exist")
+                })
+                .collect();
+            let extras: Vec<EdgeId> = path
+                .elements(&self.universe)?
+                .into_iter()
+                .filter(|e| !cons.contains(e))
+                .collect();
+            let mut states = vec![AggState::empty(); n];
+            let cover = cover_path(&cons, &avail_seqs);
+            for seg in &cover.segments {
+                match *seg {
+                    PathSegment::View { view, .. } => {
+                        let def = &self.agg_views[avail_idx[view]];
+                        let col = self.relation.agg_view(
+                            u32::try_from(avail_idx[view]).expect("agg index fits u32"),
+                            &mut stats,
+                        )?;
+                        for (i, v) in col.gather(&ids).into_iter().enumerate() {
+                            let mut s = AggState::empty();
+                            s.count = def.edges.len() as u64;
+                            match def.kind {
+                                BaseKind::Sum => s.sum = v,
+                                BaseKind::Min => s.min = v,
+                                BaseKind::Max => s.max = v,
+                            }
+                            states[i].merge(&s);
+                        }
+                        stats.values_fetched += n as u64;
+                    }
+                    PathSegment::Edge(e) => {
+                        let col = self.relation.edge_measures(e, &mut stats)?;
+                        for (i, v) in col.gather(&ids).into_iter().enumerate() {
+                            states[i].push(v);
+                        }
+                        stats.values_fetched += n as u64;
+                    }
+                }
+            }
+            for &e in &extras {
+                let col = self.relation.edge_measures(e, &mut stats)?;
+                for (i, v) in col.gather(&ids).into_iter().enumerate() {
+                    states[i].push(v);
+                }
+                stats.values_fetched += n as u64;
+            }
+            for (i, s) in states.iter().enumerate() {
+                values[i * path_count + pi] = s.finalize(paq.func).unwrap_or(f64::NAN);
+            }
+        }
+        Ok((
+            PathAggResult {
+                records: ids.to_vec(),
+                path_count,
+                values,
+            },
+            stats,
+        ))
+    }
+}
+
+fn parse_edges<'a, I: Iterator<Item = &'a str>>(parts: I) -> Result<Vec<EdgeId>, DiskError> {
+    parts
+        .map(|p| {
+            p.parse::<u32>()
+                .map(EdgeId)
+                .map_err(|_| DiskError::ViewsMeta("edge id not a number"))
+        })
+        .collect()
+}

@@ -1,0 +1,223 @@
+//! Query evaluation: structural phase (bitmap algebra) and measure fetch.
+
+use graphbi_bitmap::Bitmap;
+use graphbi_columnstore::{IoStats, MasterRelation};
+use graphbi_graph::{
+    AggState, EdgeId, GraphError, GraphQuery, PathAggQuery, PathAggResult, QueryExpr, Universe,
+};
+use graphbi_views::{cover_path, rewrite_query, PathSegment};
+
+use crate::viewmgr::ViewCatalog;
+
+/// Evaluation knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Rewrite queries over materialized views (`false` reproduces the
+    /// paper's "oblivious" baseline plans).
+    pub use_views: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { use_views: true }
+    }
+}
+
+impl EvalOptions {
+    /// The view-oblivious plan.
+    pub fn oblivious() -> EvalOptions {
+        EvalOptions { use_views: false }
+    }
+}
+
+/// Structural phase: the bitmap of records containing the query graph.
+pub(crate) fn structural(
+    relation: &MasterRelation,
+    catalog: &ViewCatalog,
+    query: &GraphQuery,
+    opts: EvalOptions,
+    stats: &mut IoStats,
+) -> Bitmap {
+    if query.is_empty() {
+        return Bitmap::from_range(
+            0..u32::try_from(relation.record_count()).expect("record count fits u32"),
+        );
+    }
+    if opts.use_views && !catalog.graph_views.is_empty() {
+        let plan = rewrite_query(query, &catalog.graph_view_edges());
+        let mut bitmaps: Vec<&Bitmap> = Vec::with_capacity(plan.bitmap_cost());
+        for &vi in &plan.views {
+            bitmaps.push(relation.view_bitmap(catalog.graph_views[vi].id, stats));
+        }
+        for &e in &plan.residual_edges {
+            bitmaps.push(relation.edge_bitmap(e, stats));
+        }
+        if !plan.residual_edges.is_empty() {
+            relation.note_partitions(&plan.residual_edges, stats);
+        }
+        Bitmap::and_many(bitmaps)
+    } else {
+        let bitmaps: Vec<&Bitmap> = query
+            .edges()
+            .iter()
+            .map(|&e| relation.edge_bitmap(e, stats))
+            .collect();
+        relation.note_partitions(query.edges(), stats);
+        Bitmap::and_many(bitmaps)
+    }
+}
+
+/// Evaluates a logical combination of graph queries as bitmap algebra
+/// (§3.2): `AND → ∩`, `OR → ∪`, `AND NOT → −`.
+pub(crate) fn eval_expr(
+    relation: &MasterRelation,
+    catalog: &ViewCatalog,
+    expr: &QueryExpr,
+    opts: EvalOptions,
+    stats: &mut IoStats,
+) -> Bitmap {
+    match expr {
+        QueryExpr::Atom(q) => structural(relation, catalog, q, opts, stats),
+        QueryExpr::And(a, b) => eval_expr(relation, catalog, a, opts, stats)
+            .and(&eval_expr(relation, catalog, b, opts, stats)),
+        QueryExpr::Or(a, b) => eval_expr(relation, catalog, a, opts, stats)
+            .or(&eval_expr(relation, catalog, b, opts, stats)),
+        QueryExpr::AndNot(a, b) => eval_expr(relation, catalog, a, opts, stats)
+            .and_not(&eval_expr(relation, catalog, b, opts, stats)),
+    }
+}
+
+/// Measure-fetch phase: the record-major measure matrix of `edges` over the
+/// matching records.
+///
+/// Columns are gathered per vertical partition; when the query spans several
+/// sub-relations, the per-partition row groups are stitched back together by
+/// record id — the §6.1 recid join, whose cost [`IoStats::join_rows`]
+/// tracks and Figure 5 measures.
+pub(crate) fn fetch_measure_matrix(
+    relation: &MasterRelation,
+    edges: &[EdgeId],
+    ids: &Bitmap,
+    stats: &mut IoStats,
+) -> Vec<f64> {
+    let n = usize::try_from(ids.len()).expect("result fits usize");
+    let w = edges.len();
+    if w == 0 || n == 0 {
+        return Vec::new();
+    }
+    relation.note_partitions(edges, stats);
+
+    // Gather column-major, tracking which partition each column came from.
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(w);
+    let mut partitions = std::collections::BTreeSet::new();
+    for &e in edges {
+        partitions.insert(relation.partition_of(e));
+        let col = relation.edge_measures(e, stats);
+        let vals = col.gather(ids);
+        debug_assert_eq!(vals.len(), n, "result ids must be subset of presence");
+        columns.push(vals);
+    }
+    stats.values_fetched += (n * w) as u64;
+    if partitions.len() > 1 {
+        // Every result row participates in (parts−1) recid joins.
+        stats.join_rows += (n * (partitions.len() - 1)) as u64;
+    }
+
+    // Transpose to record-major rows (the join's output materialization).
+    let mut out = vec![0.0f64; n * w];
+    for (j, col) in columns.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            out[i * w + j] = v;
+        }
+    }
+    out
+}
+
+/// Path-aggregation phase (§3.4): per matching record, applies the query's
+/// function along each maximal path, composing materialized aggregate views
+/// where the tiling finds them.
+pub(crate) fn path_aggregate(
+    universe: &Universe,
+    relation: &MasterRelation,
+    catalog: &ViewCatalog,
+    paq: &PathAggQuery,
+    opts: EvalOptions,
+    stats: &mut IoStats,
+) -> Result<PathAggResult, GraphError> {
+    let paths = paq.query.maximal_paths(universe)?;
+    let ids = structural(relation, catalog, &paq.query, opts, stats);
+    let n = usize::try_from(ids.len()).expect("result fits usize");
+    let path_count = paths.len();
+    let mut values = vec![f64::NAN; n * path_count];
+
+    let (avail_idx, avail_seqs) = if opts.use_views {
+        catalog.compatible_agg_views(paq.func)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    for (pi, path) in paths.iter().enumerate() {
+        // Consecutive edges in path order; self-edge elements separately.
+        let cons: Vec<EdgeId> = path
+            .nodes()
+            .windows(2)
+            .map(|w| {
+                universe
+                    .find_edge(w[0], w[1])
+                    .expect("maximal path edges exist in universe")
+            })
+            .collect();
+        let all_elements = path.elements(universe)?;
+        let extras: Vec<EdgeId> = all_elements
+            .iter()
+            .copied()
+            .filter(|e| !cons.contains(e))
+            .collect();
+
+        let mut states = vec![AggState::empty(); n];
+        let absorb_edge = |e: EdgeId, states: &mut Vec<AggState>, stats: &mut IoStats| {
+            let col = relation.edge_measures(e, stats);
+            for (i, v) in col.gather(&ids).into_iter().enumerate() {
+                states[i].push(v);
+            }
+            stats.values_fetched += n as u64;
+        };
+
+        let cover = cover_path(&cons, &avail_seqs);
+        let mut fetched_base: Vec<EdgeId> = extras.clone();
+        for seg in &cover.segments {
+            match *seg {
+                PathSegment::View { view, .. } => {
+                    let def = &catalog.agg_views[avail_idx[view]];
+                    let col = relation.agg_view(def.id, stats);
+                    for (i, v) in col.gather(&ids).into_iter().enumerate() {
+                        states[i].merge(&def.state_of(v));
+                    }
+                    stats.values_fetched += n as u64;
+                }
+                PathSegment::Edge(e) => {
+                    absorb_edge(e, &mut states, stats);
+                    fetched_base.push(e);
+                }
+            }
+        }
+        for &e in &extras {
+            absorb_edge(e, &mut states, stats);
+        }
+        if !fetched_base.is_empty() {
+            relation.note_partitions(&fetched_base, stats);
+        }
+
+        for (i, s) in states.iter().enumerate() {
+            // NaN marks "no measured element on this path for this record"
+            // (SQL NULL); COUNT still finalizes to zero.
+            values[i * path_count + pi] = s.finalize(paq.func).unwrap_or(f64::NAN);
+        }
+    }
+
+    Ok(PathAggResult {
+        records: ids.to_vec(),
+        path_count,
+        values,
+    })
+}

@@ -1,0 +1,155 @@
+//! Plan inspection: what a query will fetch, before running it.
+
+use graphbi_views::rewrite_query;
+
+use crate::viewmgr::ViewCatalog;
+use crate::GraphStore;
+use graphbi_graph::{EdgeId, GraphQuery};
+
+/// The physical plan of a graph query, as chosen by the rewriter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// Graph views the structural phase will AND (catalog indices).
+    pub views: Vec<usize>,
+    /// Base edge bitmaps still fetched.
+    pub residual_edges: Vec<EdgeId>,
+    /// Bitmap columns fetched in total (the paper's structural cost).
+    pub bitmap_cost: usize,
+    /// The oblivious plan's cost, for comparison.
+    pub oblivious_cost: usize,
+    /// Upper bound on matching records: the smallest cardinality among the
+    /// bitmaps the plan touches.
+    pub estimated_matches: u64,
+    /// Vertical sub-relations the measure fetch will touch.
+    pub partitions: usize,
+}
+
+impl Plan {
+    /// Renders the plan in a compact `EXPLAIN`-style block.
+    pub fn render(&self, store: &GraphStore) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "structural: {} bitmap column(s) (oblivious: {})",
+            self.bitmap_cost, self.oblivious_cost
+        );
+        for &v in &self.views {
+            let labels: Vec<String> = store.graph_views()[v]
+                .edges
+                .iter()
+                .map(|&e| store.universe().edge_label(e))
+                .collect();
+            let _ = writeln!(out, "  view #{v}: {}", labels.join(" "));
+        }
+        if !self.residual_edges.is_empty() {
+            let labels: Vec<String> = self
+                .residual_edges
+                .iter()
+                .map(|&e| store.universe().edge_label(e))
+                .collect();
+            let _ = writeln!(out, "  edges: {}", labels.join(" "));
+        }
+        let _ = writeln!(out, "estimated matches ≤ {}", self.estimated_matches);
+        let _ = write!(out, "measure fetch: {} partition(s)", self.partitions);
+        out
+    }
+}
+
+impl GraphStore {
+    /// Computes the plan the engine would use for `query`, without
+    /// executing it. Cost-free except for reading bitmap cardinalities.
+    pub fn explain(&self, query: &GraphQuery) -> Plan {
+        let catalog: &ViewCatalog = self.catalog();
+        let rewrite = rewrite_query(query, &catalog.graph_view_edges());
+        let mut estimated = if query.is_empty() {
+            self.record_count()
+        } else {
+            u64::MAX
+        };
+        let mut scratch = graphbi_columnstore::IoStats::new();
+        for &v in &rewrite.views {
+            let b = self
+                .relation()
+                .view_bitmap(catalog.graph_views[v].id, &mut scratch);
+            estimated = estimated.min(b.len());
+        }
+        for &e in &rewrite.residual_edges {
+            let b = self.relation().edge_bitmap(e, &mut scratch);
+            estimated = estimated.min(b.len());
+        }
+        let mut parts = std::collections::BTreeSet::new();
+        for &e in query.edges() {
+            parts.insert(self.relation().partition_of(e));
+        }
+        Plan {
+            bitmap_cost: rewrite.bitmap_cost(),
+            oblivious_cost: query.len(),
+            views: rewrite.views,
+            residual_edges: rewrite.residual_edges,
+            estimated_matches: if estimated == u64::MAX { 0 } else { estimated },
+            partitions: parts.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbi_graph::{RecordBuilder, Universe};
+
+    fn store() -> (GraphStore, Vec<EdgeId>) {
+        let mut u = Universe::new();
+        let edges: Vec<EdgeId> = (0..6)
+            .map(|i| u.edge_by_names(&format!("n{i}"), &format!("n{}", i + 1)))
+            .collect();
+        let mut records = Vec::new();
+        for r in 0..100u32 {
+            let mut b = RecordBuilder::new();
+            for (i, &e) in edges.iter().enumerate() {
+                if (r as usize).is_multiple_of(i + 2) {
+                    b.add(e, 1.0);
+                }
+            }
+            records.push(b.build());
+        }
+        (GraphStore::load(u, &records), edges)
+    }
+
+    #[test]
+    fn oblivious_plan_fetches_every_edge() {
+        let (store, e) = store();
+        let q = GraphQuery::from_edges(vec![e[0], e[1], e[2]]);
+        let plan = store.explain(&q);
+        assert!(plan.views.is_empty());
+        assert_eq!(plan.bitmap_cost, 3);
+        assert_eq!(plan.oblivious_cost, 3);
+        assert_eq!(plan.partitions, 1);
+        // Estimate is the rarest edge's cardinality and bounds the answer.
+        let (result, _) = store.evaluate(&q);
+        assert!(result.len() as u64 <= plan.estimated_matches);
+    }
+
+    #[test]
+    fn views_shrink_the_plan() {
+        let (mut store, e) = store();
+        let q = GraphQuery::from_edges(vec![e[0], e[1], e[2]]);
+        store.materialize_graph_view(vec![e[0], e[1], e[2]]);
+        let plan = store.explain(&q);
+        assert_eq!(plan.views, vec![0]);
+        assert!(plan.residual_edges.is_empty());
+        assert_eq!(plan.bitmap_cost, 1);
+        assert!(plan.estimated_matches <= store.record_count());
+        let rendered = plan.render(&store);
+        assert!(rendered.contains("view #0"), "{rendered}");
+        assert!(rendered.contains("oblivious: 3"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_query_estimates_everything() {
+        let (store, _) = store();
+        let plan = store.explain(&GraphQuery::from_edges(vec![]));
+        assert_eq!(plan.estimated_matches, store.record_count());
+        assert_eq!(plan.bitmap_cost, 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Logical units spanning multiple records (§3.1).
+//!
+//! "A collection of graph records may refer to the same logical unit, as in
+//! the case where an order is broken into multiple sub-orders that are
+//! processed independently. This is … handled easily in our framework by
+//! using metadata information … via the use of unique record-ids that join
+//! these sub-orders." A [`GroupIndex`] holds that metadata: it maps group
+//! ids to their member records and answers queries at the *unit* level — a
+//! unit matches a graph query when the union of its members' edges contains
+//! the query graph.
+
+use std::collections::HashMap;
+
+use graphbi_bitmap::{Bitmap, RecordId};
+use graphbi_columnstore::IoStats;
+use graphbi_graph::{GraphQuery, GraphRecord};
+
+use crate::GraphStore;
+
+/// Metadata index over record groups.
+#[derive(Clone, Debug, Default)]
+pub struct GroupIndex {
+    /// group id → member record ids (ascending).
+    members: HashMap<u64, Vec<RecordId>>,
+    /// record id → group id, for mapping result bitmaps to groups.
+    group_of: HashMap<RecordId, u64>,
+}
+
+impl GroupIndex {
+    /// Builds the index from records in load order (record ids are the
+    /// positions, matching [`GraphStore::load`]). Ungrouped records are not
+    /// indexed.
+    pub fn from_records<'a, I>(records: I) -> GroupIndex
+    where
+        I: IntoIterator<Item = &'a GraphRecord>,
+    {
+        let mut idx = GroupIndex::default();
+        for (rid, rec) in records.into_iter().enumerate() {
+            if let Some(g) = rec.group() {
+                let rid = u32::try_from(rid).expect("record id fits u32");
+                idx.members.entry(g).or_default().push(rid);
+                idx.group_of.insert(rid, g);
+            }
+        }
+        idx
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Member records of `group`.
+    pub fn members(&self, group: u64) -> &[RecordId] {
+        self.members.get(&group).map_or(&[], Vec::as_slice)
+    }
+
+    /// The group of `record`, if any.
+    pub fn group_of(&self, record: RecordId) -> Option<u64> {
+        self.group_of.get(&record).copied()
+    }
+
+    /// Groups whose *union of members* contains the query graph: for every
+    /// query edge, at least one member record carries it (§3.1's sub-order
+    /// semantics). Evaluated edge-by-edge on the store's bitmaps, then
+    /// intersected at the group level.
+    pub fn matching_groups(
+        &self,
+        store: &GraphStore,
+        query: &GraphQuery,
+        stats: &mut IoStats,
+    ) -> Vec<u64> {
+        if query.is_empty() {
+            let mut all: Vec<u64> = self.members.keys().copied().collect();
+            all.sort_unstable();
+            return all;
+        }
+        let mut survivors: Option<Vec<u64>> = None;
+        for &e in query.edges() {
+            let bitmap: &Bitmap = store.relation().edge_bitmap(e, stats);
+            let mut groups_with_edge: Vec<u64> = bitmap
+                .iter()
+                .filter_map(|rid| self.group_of(rid))
+                .collect();
+            groups_with_edge.sort_unstable();
+            groups_with_edge.dedup();
+            survivors = Some(match survivors {
+                None => groups_with_edge,
+                Some(prev) => intersect(&prev, &groups_with_edge),
+            });
+            if survivors.as_ref().is_some_and(Vec::is_empty) {
+                break;
+            }
+        }
+        survivors.unwrap_or_default()
+    }
+}
+
+fn intersect(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbi_graph::{EdgeId, RecordBuilder, Universe};
+
+    /// Two sub-order groups: group 1 covers edges {0,1} across two records,
+    /// group 2 covers only {0}; one ungrouped record covers {1}.
+    fn setup() -> (GraphStore, GroupIndex, Vec<EdgeId>) {
+        let mut u = Universe::new();
+        let e0 = u.edge_by_names("A", "B");
+        let e1 = u.edge_by_names("B", "C");
+        let mk = |edges: &[(EdgeId, f64)], group: Option<u64>| {
+            let mut b = RecordBuilder::new();
+            for &(e, m) in edges {
+                b.add(e, m);
+            }
+            if let Some(g) = group {
+                b.group(g);
+            }
+            b.build()
+        };
+        let records = vec![
+            mk(&[(e0, 1.0)], Some(1)),
+            mk(&[(e1, 2.0)], Some(1)),
+            mk(&[(e0, 3.0)], Some(2)),
+            mk(&[(e1, 4.0)], None),
+        ];
+        let idx = GroupIndex::from_records(&records);
+        (GraphStore::load(u, &records), idx, vec![e0, e1])
+    }
+
+    #[test]
+    fn unit_level_matching_spans_sub_orders() {
+        let (store, idx, e) = setup();
+        let mut stats = IoStats::new();
+        // No single record contains both edges, but group 1's union does.
+        let q = GraphQuery::from_edges(vec![e[0], e[1]]);
+        let (records, _) = store.evaluate(&q);
+        assert!(records.is_empty());
+        assert_eq!(idx.matching_groups(&store, &q, &mut stats), vec![1]);
+    }
+
+    #[test]
+    fn single_edge_queries_list_all_covering_groups() {
+        let (store, idx, e) = setup();
+        let mut stats = IoStats::new();
+        let q = GraphQuery::from_edges(vec![e[0]]);
+        assert_eq!(idx.matching_groups(&store, &q, &mut stats), vec![1, 2]);
+        // Ungrouped record 3 never surfaces as a group.
+        let q1 = GraphQuery::from_edges(vec![e[1]]);
+        assert_eq!(idx.matching_groups(&store, &q1, &mut stats), vec![1]);
+    }
+
+    #[test]
+    fn index_bookkeeping() {
+        let (_, idx, _) = setup();
+        assert_eq!(idx.group_count(), 2);
+        assert_eq!(idx.members(1), &[0, 1]);
+        assert_eq!(idx.members(2), &[2]);
+        assert_eq!(idx.members(9), &[] as &[u32]);
+        assert_eq!(idx.group_of(0), Some(1));
+        assert_eq!(idx.group_of(3), None);
+    }
+
+    #[test]
+    fn empty_query_matches_every_group() {
+        let (store, idx, _) = setup();
+        let mut stats = IoStats::new();
+        assert_eq!(
+            idx.matching_groups(&store, &GraphQuery::from_edges(vec![]), &mut stats),
+            vec![1, 2]
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Tokenizer for the query language.
+
+/// One lexical token with its byte offset (for error messages).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source text.
+    pub at: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `[`
+    OpenBracket,
+    /// `]`
+    CloseBracket,
+    /// `(`
+    OpenParen,
+    /// `)`
+    CloseParen,
+    /// `,`
+    Comma,
+    /// A node name or keyword candidate.
+    Ident(String),
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `JOIN` (the path-join operator `⋈`)
+    Join,
+    /// `TOP` (top-k consolidation prefix)
+    Top,
+    /// An integer literal (the `k` of `TOP k`)
+    Number(u64),
+    /// `SUM` / `MIN` / `MAX` / `AVG` / `COUNT`
+    Agg(graphbi_graph::AggFn),
+}
+
+/// Tokenization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// The character.
+    pub found: char,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unexpected character {:?} at byte {}", self.found, self.at)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Splits `text` into tokens. Keywords are case-insensitive; node names are
+/// case-sensitive identifiers (letters, digits, `_`, `~`, `-`).
+pub fn lex(text: &str) -> Result<Vec<Token>, LexError> {
+    use graphbi_graph::AggFn;
+    let mut out = Vec::new();
+    let bytes = text.char_indices().collect::<Vec<_>>();
+    let mut i = 0;
+    while i < bytes.len() {
+        let (at, c) = bytes[i];
+        let simple = match c {
+            '[' => Some(TokenKind::OpenBracket),
+            ']' => Some(TokenKind::CloseBracket),
+            '(' => Some(TokenKind::OpenParen),
+            ')' => Some(TokenKind::CloseParen),
+            ',' => Some(TokenKind::Comma),
+            _ => None,
+        };
+        if let Some(kind) = simple {
+            out.push(Token { kind, at });
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' || c == '~' || c == '-' {
+            let start = i;
+            while i < bytes.len() {
+                let ch = bytes[i].1;
+                if ch.is_alphanumeric() || ch == '_' || ch == '~' || ch == '-' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let word: String = bytes[start..i].iter().map(|&(_, ch)| ch).collect();
+            if let Ok(n) = word.parse::<u64>() {
+                out.push(Token {
+                    kind: TokenKind::Number(n),
+                    at,
+                });
+                continue;
+            }
+            let kind = match word.to_ascii_uppercase().as_str() {
+                "AND" => TokenKind::And,
+                "OR" => TokenKind::Or,
+                "NOT" => TokenKind::Not,
+                "JOIN" => TokenKind::Join,
+                "TOP" => TokenKind::Top,
+                "SUM" => TokenKind::Agg(AggFn::Sum),
+                "MIN" => TokenKind::Agg(AggFn::Min),
+                "MAX" => TokenKind::Agg(AggFn::Max),
+                "AVG" => TokenKind::Agg(AggFn::Avg),
+                "COUNT" => TokenKind::Agg(AggFn::Count),
+                _ => TokenKind::Ident(word),
+            };
+            out.push(Token { kind, at });
+            continue;
+        }
+        return Err(LexError { at, found: c });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbi_graph::AggFn;
+
+    fn kinds(text: &str) -> Vec<TokenKind> {
+        lex(text).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn paths_and_keywords() {
+        assert_eq!(
+            kinds("SUM [A,D2,E) and not (x_1]"),
+            vec![
+                TokenKind::Agg(AggFn::Sum),
+                TokenKind::OpenBracket,
+                TokenKind::Ident("A".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("D2".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("E".into()),
+                TokenKind::CloseParen,
+                TokenKind::And,
+                TokenKind::Not,
+                TokenKind::OpenParen,
+                TokenKind::Ident("x_1".into()),
+                TokenKind::CloseBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_names_are_not() {
+        let toks = kinds("Or oR A~2 aNd");
+        assert_eq!(toks[0], TokenKind::Or);
+        assert_eq!(toks[1], TokenKind::Or);
+        assert_eq!(toks[2], TokenKind::Ident("A~2".into()));
+        assert_eq!(toks[3], TokenKind::And);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("[A,B] & [C]").unwrap_err();
+        assert_eq!(err.found, '&');
+        assert_eq!(err.at, 6);
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = lex("  [AB]").unwrap();
+        assert_eq!(toks[0].at, 2);
+        assert_eq!(toks[1].at, 3);
+    }
+
+    #[test]
+    fn empty_input_is_no_tokens() {
+        assert!(lex("   ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! A textual query language in the paper's own notation.
+//!
+//! The paper writes queries as bracketed paths with per-end openness and
+//! combines them with logical operators and aggregate functions:
+//!
+//! ```text
+//! [A,D,E,G,I]                      -- Q1: records containing the path
+//! [C,H] OR [F,J,K]                 -- Q2: either leased route
+//! MAX [A,D,E,G,I]                  -- Q3: longest leg delay
+//! [D,E,G) AND NOT [F,F]            -- open end at G, excluding hub F
+//! SUM ([A,C,E] JOIN (E,F,G])       -- path-join composition
+//! ```
+//!
+//! Grammar (precedence low→high: `OR`, `AND` / `AND NOT`, `JOIN`):
+//!
+//! ```text
+//! statement := AGGFN? expr
+//! expr      := term ((AND NOT? | OR) term)*
+//! term      := atom (JOIN atom)*
+//! atom      := path | '(' expr ')'
+//! path      := ('['|'(') ident (',' ident)* (']'|')')
+//! AGGFN     := SUM | MIN | MAX | AVG | COUNT
+//! ```
+//!
+//! A `(` starting an atom is disambiguated against an open path start by
+//! look-ahead: `(A,`… parses as a path when the matching close bracket ends
+//! a plain identifier list.
+//!
+//! Parsing yields a [`Statement`]; [`resolve`] binds node names through the
+//! universe into the engine's [`crate::QueryExpr`] / [`crate::PathAggQuery`].
+
+mod lexer;
+mod parser;
+mod resolve;
+
+pub use lexer::{lex, LexError, Token, TokenKind};
+pub use parser::{parse, AstExpr, AstPath, ParseError, Statement};
+pub use resolve::{resolve, Resolved, ResolveError};
+
+use crate::GraphStore;
+use graphbi_columnstore::IoStats;
+use graphbi_graph::{PathAggResult, QueryResult};
+
+/// The answer of a textual query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QlAnswer {
+    /// A structural query: matching records with their measures.
+    ///
+    /// For a single-pattern query the result carries the pattern's measure
+    /// matrix. For logical combinations (`OR` / `AND NOT`) only the record
+    /// ids are returned — `edges` and `measures` are empty, because a
+    /// measure matrix is only well-defined when every matching record
+    /// contains every queried edge.
+    Records(QueryResult),
+    /// An aggregation query: per-record per-maximal-path aggregates.
+    Aggregates(PathAggResult),
+    /// A `TOP k` query: the k records with the largest aggregates.
+    Ranked(Vec<crate::RankedRecord>),
+}
+
+/// Errors from the full text→answer pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QlError {
+    /// Tokenization failure.
+    Lex(LexError),
+    /// Grammar failure.
+    Parse(ParseError),
+    /// Name binding failure.
+    Resolve(ResolveError),
+    /// Execution failure (e.g. aggregation over a cyclic pattern).
+    Execute(graphbi_graph::GraphError),
+}
+
+impl std::fmt::Display for QlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QlError::Lex(e) => write!(f, "lex error: {e}"),
+            QlError::Parse(e) => write!(f, "parse error: {e}"),
+            QlError::Resolve(e) => write!(f, "resolve error: {e}"),
+            QlError::Execute(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QlError {}
+
+impl GraphStore {
+    /// Parses, resolves and executes a textual query.
+    ///
+    /// ```
+    /// # use graphbi::GraphStore;
+    /// # use graphbi_graph::{RecordBuilder, Universe};
+    /// let mut u = Universe::new();
+    /// let ad = u.edge_by_names("A", "D");
+    /// let de = u.edge_by_names("D", "E");
+    /// let mut r = RecordBuilder::new();
+    /// r.add(ad, 3.0).add(de, 4.0);
+    /// let store = GraphStore::load(u, &[r.build()]);
+    /// match store.query("SUM [A,D,E]").unwrap() {
+    ///     graphbi::ql::QlAnswer::Aggregates(agg) => assert_eq!(agg.row(0), &[7.0]),
+    ///     _ => unreachable!(),
+    /// }
+    /// ```
+    pub fn query(&self, text: &str) -> Result<QlAnswer, QlError> {
+        let tokens = lexer::lex(text).map_err(QlError::Lex)?;
+        let statement = parser::parse(&tokens).map_err(QlError::Parse)?;
+        let resolved = resolve::resolve(&statement, self.universe()).map_err(QlError::Resolve)?;
+        match resolved {
+            Resolved::Expr(expr) => {
+                let mut stats = IoStats::new();
+                // Single-atom expressions keep full measure retrieval; a
+                // logical combination returns the record set with the
+                // measures of the union of its atoms' edges.
+                let ids = self.evaluate_expr(&expr, &mut stats);
+                let edges: Vec<graphbi_graph::EdgeId> = {
+                    let mut all: Vec<graphbi_graph::EdgeId> = expr
+                        .atoms()
+                        .iter()
+                        .flat_map(|q| q.edges().iter().copied())
+                        .collect();
+                    all.sort_unstable();
+                    all.dedup();
+                    all
+                };
+                // Measures are only well-defined for edges every matching
+                // record contains; for OR/AND NOT combinations we report
+                // the record ids with no measure matrix.
+                let single_atom = matches!(expr, graphbi_graph::QueryExpr::Atom(_));
+                let measures = if single_atom {
+                    self.fetch_measures(&edges, &ids, &mut stats)
+                } else {
+                    Vec::new()
+                };
+                Ok(QlAnswer::Records(QueryResult {
+                    records: ids.to_vec(),
+                    edges: if single_atom { edges } else { Vec::new() },
+                    measures,
+                }))
+            }
+            Resolved::Agg(paq) => {
+                let (result, _) = self.path_aggregate(&paq).map_err(QlError::Execute)?;
+                Ok(QlAnswer::Aggregates(result))
+            }
+            Resolved::TopAgg(paq, k) => {
+                let ranked = self.top_k_aggregates(&paq, k).map_err(QlError::Execute)?;
+                Ok(QlAnswer::Ranked(ranked))
+            }
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Recursive-descent parser for the query language.
+
+use graphbi_graph::AggFn;
+
+use super::lexer::{Token, TokenKind};
+
+/// A parsed path literal: node names with per-end openness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstPath {
+    /// Node names in path order.
+    pub nodes: Vec<String>,
+    /// True when the start bracket was `[`.
+    pub closed_start: bool,
+    /// True when the end bracket was `]`.
+    pub closed_end: bool,
+}
+
+/// A parsed query expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstExpr {
+    /// A path literal.
+    Path(AstPath),
+    /// `a JOIN b` — the path-join operator `⋈` (§3.3).
+    Join(Box<AstExpr>, Box<AstExpr>),
+    /// `a AND b`.
+    And(Box<AstExpr>, Box<AstExpr>),
+    /// `a OR b`.
+    Or(Box<AstExpr>, Box<AstExpr>),
+    /// `a AND NOT b`.
+    AndNot(Box<AstExpr>, Box<AstExpr>),
+}
+
+/// A full statement: optional `TOP k` and aggregate prefixes over an
+/// expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Statement {
+    /// Present for top-k consolidation (`TOP 5 SUM [A,B,C]`).
+    pub top: Option<u64>,
+    /// Present for aggregation queries (`SUM [A,B,C]`).
+    pub agg: Option<AggFn>,
+    /// The structural pattern.
+    pub expr: AstExpr,
+}
+
+/// Grammar failure with the byte offset of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset (source end when input was truncated).
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+/// Parses a token stream into a [`Statement`].
+pub fn parse(tokens: &[Token]) -> Result<Statement, ParseError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let top = match p.peek() {
+        Some(TokenKind::Top) => {
+            p.pos += 1;
+            match p.peek() {
+                Some(&TokenKind::Number(k)) if k > 0 => {
+                    p.pos += 1;
+                    Some(k)
+                }
+                _ => {
+                    return Err(ParseError {
+                        at: p.at(),
+                        message: "TOP needs a positive count".into(),
+                    })
+                }
+            }
+        }
+        _ => None,
+    };
+    let agg = match p.peek() {
+        Some(TokenKind::Agg(f)) => {
+            let f = *f;
+            p.pos += 1;
+            Some(f)
+        }
+        _ => None,
+    };
+    if top.is_some() && agg.is_none() {
+        return Err(ParseError {
+            at: p.at(),
+            message: "TOP requires an aggregate function (e.g. TOP 5 SUM …)".into(),
+        });
+    }
+    let expr = p.expr()?;
+    if let Some(t) = p.tokens.get(p.pos) {
+        return Err(ParseError {
+            at: t.at,
+            message: format!("trailing input starting with {:?}", t.kind),
+        });
+    }
+    Ok(Statement { top, agg, expr })
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn at(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.at)
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError {
+                at: self.at(),
+                message: format!("expected {what}"),
+            })
+        }
+    }
+
+    /// `expr := term ((AND NOT? | OR) term)*`
+    fn expr(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.term()?;
+        loop {
+            match self.peek() {
+                Some(TokenKind::And) => {
+                    self.pos += 1;
+                    let negate = if self.peek() == Some(&TokenKind::Not) {
+                        self.pos += 1;
+                        true
+                    } else {
+                        false
+                    };
+                    let right = self.term()?;
+                    left = if negate {
+                        AstExpr::AndNot(Box::new(left), Box::new(right))
+                    } else {
+                        AstExpr::And(Box::new(left), Box::new(right))
+                    };
+                }
+                Some(TokenKind::Or) => {
+                    self.pos += 1;
+                    let right = self.term()?;
+                    left = AstExpr::Or(Box::new(left), Box::new(right));
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    /// `term := atom (JOIN atom)*`
+    fn term(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.atom()?;
+        while self.peek() == Some(&TokenKind::Join) {
+            self.pos += 1;
+            let right = self.atom()?;
+            left = AstExpr::Join(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// `atom := path | '(' expr ')'` — a leading `(` is a grouping paren
+    /// only when it is not the start of an open path (`(A,` or `(A]`).
+    fn atom(&mut self) -> Result<AstExpr, ParseError> {
+        match self.peek() {
+            Some(TokenKind::OpenBracket) => Ok(AstExpr::Path(self.path()?)),
+            Some(TokenKind::OpenParen) => {
+                if self.looks_like_open_path() {
+                    Ok(AstExpr::Path(self.path()?))
+                } else {
+                    self.pos += 1;
+                    let inner = self.expr()?;
+                    self.expect(&TokenKind::CloseParen, "closing ')'")?;
+                    Ok(inner)
+                }
+            }
+            _ => Err(ParseError {
+                at: self.at(),
+                message: "expected a path or '('".into(),
+            }),
+        }
+    }
+
+    /// Look-ahead: `(` begins a path literal when it is followed by an
+    /// identifier list and a close bracket — i.e. nothing but idents and
+    /// commas until `]` or `)`.
+    fn looks_like_open_path(&self) -> bool {
+        let mut i = self.pos + 1;
+        let mut expect_ident = true;
+        while let Some(t) = self.tokens.get(i) {
+            match (&t.kind, expect_ident) {
+                (TokenKind::Ident(_) | TokenKind::Number(_), true) => expect_ident = false,
+                (TokenKind::Comma, false) => expect_ident = true,
+                (TokenKind::CloseBracket | TokenKind::CloseParen, false) => return true,
+                _ => return false,
+            }
+            i += 1;
+        }
+        false
+    }
+
+    /// `path := ('['|'(') ident (',' ident)* (']'|')')`
+    fn path(&mut self) -> Result<AstPath, ParseError> {
+        let closed_start = match self.peek() {
+            Some(TokenKind::OpenBracket) => true,
+            Some(TokenKind::OpenParen) => false,
+            _ => {
+                return Err(ParseError {
+                    at: self.at(),
+                    message: "expected '[' or '(' to start a path".into(),
+                })
+            }
+        };
+        self.pos += 1;
+        let mut nodes = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::Ident(name)) => {
+                    nodes.push(name.clone());
+                    self.pos += 1;
+                }
+                // A purely numeric node name lexes as a number; accept it.
+                Some(&TokenKind::Number(n)) => {
+                    nodes.push(n.to_string());
+                    self.pos += 1;
+                }
+                _ => {
+                    return Err(ParseError {
+                        at: self.at(),
+                        message: "expected a node name".into(),
+                    })
+                }
+            }
+            match self.peek() {
+                Some(TokenKind::Comma) => {
+                    self.pos += 1;
+                }
+                Some(TokenKind::CloseBracket) => {
+                    self.pos += 1;
+                    return Ok(AstPath {
+                        nodes,
+                        closed_start,
+                        closed_end: true,
+                    });
+                }
+                Some(TokenKind::CloseParen) => {
+                    self.pos += 1;
+                    return Ok(AstPath {
+                        nodes,
+                        closed_start,
+                        closed_end: false,
+                    });
+                }
+                _ => {
+                    return Err(ParseError {
+                        at: self.at(),
+                        message: "expected ',' or a closing bracket".into(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ql::lexer::lex;
+
+    fn parse_text(text: &str) -> Result<Statement, ParseError> {
+        parse(&lex(text).unwrap())
+    }
+
+    fn path(nodes: &[&str], cs: bool, ce: bool) -> AstExpr {
+        AstExpr::Path(AstPath {
+            nodes: nodes.iter().map(|s| (*s).to_string()).collect(),
+            closed_start: cs,
+            closed_end: ce,
+        })
+    }
+
+    #[test]
+    fn simple_closed_path() {
+        let s = parse_text("[A,D,E]").unwrap();
+        assert_eq!(s.agg, None);
+        assert_eq!(s.expr, path(&["A", "D", "E"], true, true));
+    }
+
+    #[test]
+    fn open_ended_paths() {
+        assert_eq!(parse_text("(D,E,G)").unwrap().expr, path(&["D", "E", "G"], false, false));
+        assert_eq!(parse_text("[D,E,G)").unwrap().expr, path(&["D", "E", "G"], true, false));
+        assert_eq!(parse_text("(D,E,G]").unwrap().expr, path(&["D", "E", "G"], false, true));
+    }
+
+    #[test]
+    fn aggregates_and_logic() {
+        let s = parse_text("MAX [A,B] AND NOT [C,D] OR (E,F]").unwrap();
+        assert_eq!(s.agg, Some(graphbi_graph::AggFn::Max));
+        // Left-associative: ((A,B AND NOT C,D) OR E,F).
+        match s.expr {
+            AstExpr::Or(l, r) => {
+                assert!(matches!(*l, AstExpr::AndNot(..)));
+                assert_eq!(*r, path(&["E", "F"], false, true));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grouping_parens_vs_open_paths() {
+        // `([A,B] OR [C,D]) AND [E,F]` — parens group.
+        let s = parse_text("([A,B] OR [C,D]) AND [E,F]").unwrap();
+        match s.expr {
+            AstExpr::And(l, _) => assert!(matches!(*l, AstExpr::Or(..))),
+            other => panic!("unexpected {other:?}"),
+        }
+        // `(A,B) AND [E,F]` — open path, not grouping.
+        let s = parse_text("(A,B) AND [E,F]").unwrap();
+        match s.expr {
+            AstExpr::And(l, _) => assert_eq!(*l, path(&["A", "B"], false, false)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_binds_tighter_than_and() {
+        let s = parse_text("[A,B) JOIN [B,C] AND [D,E]").unwrap();
+        match s.expr {
+            AstExpr::And(l, r) => {
+                assert!(matches!(*l, AstExpr::Join(..)));
+                assert_eq!(*r, path(&["D", "E"], true, true));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_report_positions() {
+        let err = parse_text("[A,]").unwrap_err();
+        assert!(err.message.contains("node name"), "{err}");
+        let err = parse_text("[A,B] [C]").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+        let err = parse_text("AND [A,B]").unwrap_err();
+        assert!(err.message.contains("path"), "{err}");
+        assert!(parse_text("([A,B]").is_err());
+    }
+
+    #[test]
+    fn single_node_path() {
+        let s = parse_text("[H,H]").unwrap();
+        assert_eq!(s.expr, path(&["H", "H"], true, true));
+        let s = parse_text("[H]").unwrap();
+        assert_eq!(s.expr, path(&["H"], true, true));
+    }
+}

@@ -1,0 +1,250 @@
+//! Name binding: AST → engine queries via the universe.
+
+use graphbi_graph::{
+    Endpoint, GraphQuery, Path, PathAggQuery, PathJoinError, QueryExpr, Universe,
+};
+
+use super::parser::{AstExpr, AstPath, Statement};
+
+/// A resolved statement, ready for the engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Resolved {
+    /// Structural query (no aggregate prefix).
+    Expr(QueryExpr),
+    /// Path-aggregation query.
+    Agg(PathAggQuery),
+    /// Top-k consolidation of a path aggregation (`TOP k SUM …`).
+    TopAgg(PathAggQuery, usize),
+}
+
+/// Binding failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolveError {
+    /// A node name is not in the universe — it can match nothing.
+    UnknownNode(String),
+    /// Two consecutive path nodes have no edge in the universe.
+    UnknownEdge(String, String),
+    /// A `JOIN` operand was a logical combination, not a path.
+    JoinOperandNotPath,
+    /// The paths refused to join (§3.3's openness rules).
+    Join(PathJoinError),
+    /// Aggregation over `OR` / `AND NOT` is undefined (`F_Gq` takes one
+    /// query graph).
+    AggregateOverLogic,
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            ResolveError::UnknownEdge(a, b) => write!(f, "no edge ({a},{b}) in the universe"),
+            ResolveError::JoinOperandNotPath => {
+                write!(f, "JOIN operands must be paths, not logical combinations")
+            }
+            ResolveError::Join(e) => write!(f, "path join failed: {e}"),
+            ResolveError::AggregateOverLogic => {
+                write!(f, "aggregates apply to a single graph pattern, not OR/AND NOT")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Binds a parsed statement against `universe`.
+pub fn resolve(statement: &Statement, universe: &Universe) -> Result<Resolved, ResolveError> {
+    match statement.agg {
+        None => Ok(Resolved::Expr(resolve_expr(&statement.expr, universe)?)),
+        Some(func) => {
+            let query = resolve_pattern(&statement.expr, universe)?;
+            let paq = PathAggQuery::new(query, func);
+            match statement.top {
+                Some(k) => Ok(Resolved::TopAgg(
+                    paq,
+                    usize::try_from(k).expect("top-k fits usize"),
+                )),
+                None => Ok(Resolved::Agg(paq)),
+            }
+        }
+    }
+}
+
+/// Resolves to the engine's logical-expression form.
+fn resolve_expr(expr: &AstExpr, universe: &Universe) -> Result<QueryExpr, ResolveError> {
+    Ok(match expr {
+        AstExpr::Path(_) | AstExpr::Join(..) => {
+            let path = resolve_path_like(expr, universe)?;
+            QueryExpr::Atom(query_of_path(&path, universe)?)
+        }
+        AstExpr::And(a, b) => QueryExpr::and(
+            resolve_expr(a, universe)?,
+            resolve_expr(b, universe)?,
+        ),
+        AstExpr::Or(a, b) => QueryExpr::or(
+            resolve_expr(a, universe)?,
+            resolve_expr(b, universe)?,
+        ),
+        AstExpr::AndNot(a, b) => QueryExpr::and_not(
+            resolve_expr(a, universe)?,
+            resolve_expr(b, universe)?,
+        ),
+    })
+}
+
+/// Resolves an expression that must denote a *single* graph pattern (the
+/// aggregate case): paths, joins and ANDs, whose edge union is the query
+/// graph (`[Gq1 AND Gq2]` matches records containing both patterns, i.e. the
+/// union edge set).
+fn resolve_pattern(expr: &AstExpr, universe: &Universe) -> Result<GraphQuery, ResolveError> {
+    match expr {
+        AstExpr::Path(_) | AstExpr::Join(..) => {
+            let path = resolve_path_like(expr, universe)?;
+            query_of_path(&path, universe)
+        }
+        AstExpr::And(a, b) => Ok(resolve_pattern(a, universe)?.union(&resolve_pattern(b, universe)?)),
+        AstExpr::Or(..) | AstExpr::AndNot(..) => Err(ResolveError::AggregateOverLogic),
+    }
+}
+
+/// Resolves a path literal or a JOIN tree into one concrete [`Path`].
+fn resolve_path_like(expr: &AstExpr, universe: &Universe) -> Result<Path, ResolveError> {
+    match expr {
+        AstExpr::Path(p) => resolve_path(p, universe),
+        AstExpr::Join(a, b) => {
+            let left = resolve_path_like(a, universe)?;
+            let right = resolve_path_like(b, universe)?;
+            left.join(&right).map_err(ResolveError::Join)
+        }
+        _ => Err(ResolveError::JoinOperandNotPath),
+    }
+}
+
+fn resolve_path(p: &AstPath, universe: &Universe) -> Result<Path, ResolveError> {
+    let nodes: Vec<_> = p
+        .nodes
+        .iter()
+        .map(|n| {
+            universe
+                .find_node(n)
+                .ok_or_else(|| ResolveError::UnknownNode(n.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    // `[H,H]` denotes the node itself (§3.3).
+    let nodes = if nodes.len() == 2 && nodes[0] == nodes[1] {
+        vec![nodes[0]]
+    } else {
+        nodes
+    };
+    let start = if p.closed_start {
+        Endpoint::Closed
+    } else {
+        Endpoint::Open
+    };
+    let end = if p.closed_end {
+        Endpoint::Closed
+    } else {
+        Endpoint::Open
+    };
+    Path::new(nodes, start, end).map_err(|_| ResolveError::UnknownNode("<empty>".into()))
+}
+
+fn query_of_path(path: &Path, universe: &Universe) -> Result<GraphQuery, ResolveError> {
+    GraphQuery::from_path(path, universe).map_err(|e| match e {
+        graphbi_graph::GraphError::UnknownEdge { source, target } => {
+            ResolveError::UnknownEdge(source, target)
+        }
+        _ => ResolveError::UnknownNode("<internal>".into()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ql::lexer::lex;
+    use crate::ql::parser::parse;
+    use graphbi_graph::AggFn;
+
+    fn setup() -> Universe {
+        let mut u = Universe::new();
+        for pair in [("A", "B"), ("B", "C"), ("C", "D"), ("E", "F")] {
+            u.edge_by_names(pair.0, pair.1);
+        }
+        let h = u.node("H");
+        u.node_edge(h);
+        u
+    }
+
+    fn run(text: &str, u: &Universe) -> Result<Resolved, ResolveError> {
+        resolve(&parse(&lex(text).unwrap()).unwrap(), u)
+    }
+
+    #[test]
+    fn path_resolves_to_atom_with_edges() {
+        let u = setup();
+        match run("[A,B,C]", &u).unwrap() {
+            Resolved::Expr(QueryExpr::Atom(q)) => assert_eq!(q.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_composes_paths() {
+        let u = setup();
+        // [A,B) ⋈ [B,C,D] = [A,B,C,D] → 3 edges.
+        match run("SUM [A,B) JOIN [B,C,D]", &u).unwrap() {
+            Resolved::Agg(paq) => {
+                assert_eq!(paq.func, AggFn::Sum);
+                assert_eq!(paq.query.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_rejects_double_closed() {
+        let u = setup();
+        assert!(matches!(
+            run("[A,B] JOIN [B,C]", &u),
+            Err(ResolveError::Join(PathJoinError::BothClosed))
+        ));
+    }
+
+    #[test]
+    fn unknown_names_and_edges_error() {
+        let u = setup();
+        assert_eq!(
+            run("[A,Z]", &u),
+            Err(ResolveError::UnknownNode("Z".into()))
+        );
+        assert_eq!(
+            run("[A,C]", &u),
+            Err(ResolveError::UnknownEdge("A".into(), "C".into()))
+        );
+    }
+
+    #[test]
+    fn aggregate_over_or_is_rejected() {
+        let u = setup();
+        assert_eq!(
+            run("SUM [A,B] OR [E,F]", &u),
+            Err(ResolveError::AggregateOverLogic)
+        );
+        // AND is fine: union pattern.
+        match run("COUNT [A,B] AND [E,F]", &u).unwrap() {
+            Resolved::Agg(paq) => assert_eq!(paq.query.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_shorthand() {
+        let u = setup();
+        match run("[H,H]", &u).unwrap() {
+            Resolved::Expr(QueryExpr::Atom(q)) => {
+                assert_eq!(q.len(), 1);
+                assert!(u.is_node_edge(q.edges()[0]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Concurrent access: many readers, one maintenance writer.
+//!
+//! The paper's applications ingest records "on a continuous basis" while
+//! analysts query. [`SharedStore`] wraps a [`GraphStore`] in a
+//! reader-writer lock so query threads proceed in parallel and ingest /
+//! view materialization serialize briefly. Queries take `&self` throughout
+//! the engine, so the read path shares without copying.
+
+use std::sync::Arc;
+
+use graphbi_columnstore::IoStats;
+use graphbi_graph::{
+    AggFn, GraphError, GraphQuery, GraphRecord, PathAggQuery, PathAggResult, QueryResult,
+};
+use parking_lot::RwLock;
+
+use crate::GraphStore;
+
+/// A thread-safe handle to a store. Cheap to clone; all clones share the
+/// same underlying store.
+#[derive(Clone)]
+pub struct SharedStore {
+    inner: Arc<RwLock<GraphStore>>,
+}
+
+impl SharedStore {
+    /// Wraps a store for shared use.
+    pub fn new(store: GraphStore) -> SharedStore {
+        SharedStore {
+            inner: Arc::new(RwLock::new(store)),
+        }
+    }
+
+    /// Runs `f` with read access (parallel with other readers).
+    pub fn read<T>(&self, f: impl FnOnce(&GraphStore) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with exclusive write access.
+    pub fn write<T>(&self, f: impl FnOnce(&mut GraphStore) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+
+    /// Evaluates a graph query under a read lock.
+    pub fn evaluate(&self, query: &GraphQuery) -> (QueryResult, IoStats) {
+        self.read(|s| s.evaluate(query))
+    }
+
+    /// Path aggregation under a read lock.
+    pub fn path_aggregate(
+        &self,
+        query: &PathAggQuery,
+    ) -> Result<(PathAggResult, IoStats), GraphError> {
+        self.read(|s| s.path_aggregate(query))
+    }
+
+    /// Appends a record under a write lock (views maintained).
+    pub fn append_record(&self, record: &GraphRecord) -> graphbi_bitmap::RecordId {
+        self.write(|s| s.append_record(record))
+    }
+
+    /// Runs the advisor under a write lock.
+    pub fn advise_views(&self, workload: &[GraphQuery], budget: usize) -> usize {
+        self.write(|s| s.advise_views(workload, budget))
+    }
+
+    /// Aggregate-view advisor under a write lock.
+    pub fn advise_agg_views(
+        &self,
+        workload: &[GraphQuery],
+        func: AggFn,
+        budget: usize,
+    ) -> Result<usize, GraphError> {
+        self.write(|s| s.advise_agg_views(workload, func, budget))
+    }
+
+    /// Current record count.
+    pub fn record_count(&self) -> u64 {
+        self.read(GraphStore::record_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbi_graph::{EdgeId, RecordBuilder, Universe};
+
+    fn shared() -> (SharedStore, Vec<EdgeId>) {
+        let mut u = Universe::new();
+        let edges: Vec<EdgeId> = (0..6)
+            .map(|i| u.edge_by_names(&format!("n{i}"), &format!("n{}", i + 1)))
+            .collect();
+        let mut records = Vec::new();
+        for r in 0..200u32 {
+            let mut b = RecordBuilder::new();
+            for (i, &e) in edges.iter().enumerate() {
+                if !(r as usize + i).is_multiple_of(3) {
+                    b.add(e, f64::from(r));
+                }
+            }
+            records.push(b.build());
+        }
+        (SharedStore::new(GraphStore::load(u, &records)), edges)
+    }
+
+    #[test]
+    fn concurrent_readers_agree() {
+        let (store, e) = shared();
+        let q = GraphQuery::from_edges(vec![e[0], e[1]]);
+        let (expect, _) = store.evaluate(&q);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let store = store.clone();
+                let q = q.clone();
+                let expect = expect.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let (got, _) = store.evaluate(&q);
+                        assert_eq!(got, expect);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn ingest_while_querying_is_consistent() {
+        let (store, e) = shared();
+        let q = GraphQuery::from_edges(vec![e[0]]);
+        let initial = store.evaluate(&q).0.len();
+        std::thread::scope(|scope| {
+            // Writer: append 100 records all containing e0.
+            {
+                let store = store.clone();
+                let e0 = e[0];
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let mut b = RecordBuilder::new();
+                        b.add(e0, f64::from(i));
+                        store.append_record(&b.build());
+                    }
+                });
+            }
+            // Readers: result size must be monotone non-decreasing.
+            for _ in 0..2 {
+                let store = store.clone();
+                let q = q.clone();
+                scope.spawn(move || {
+                    let mut last = 0usize;
+                    for _ in 0..100 {
+                        let n = store.evaluate(&q).0.len();
+                        assert!(n >= last, "results went backwards: {n} < {last}");
+                        last = n;
+                    }
+                });
+            }
+        });
+        assert_eq!(store.evaluate(&q).0.len(), initial + 100);
+    }
+
+    #[test]
+    fn advisor_under_write_lock_keeps_answers() {
+        let (store, e) = shared();
+        let workload = vec![
+            GraphQuery::from_edges(vec![e[0], e[1]]),
+            GraphQuery::from_edges(vec![e[1], e[2]]),
+        ];
+        let before: Vec<_> = workload.iter().map(|q| store.evaluate(q).0).collect();
+        store.advise_views(&workload, 2);
+        for (q, expect) in workload.iter().zip(&before) {
+            assert_eq!(&store.evaluate(q).0, expect);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Store statistics: the ANALYZE-style summaries a BI deployment watches.
+
+use graphbi_columnstore::IoStats;
+use graphbi_graph::EdgeId;
+
+use crate::GraphStore;
+
+/// A summary of the loaded collection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreStatistics {
+    /// Number of records.
+    pub records: u64,
+    /// Number of edge columns (the universe's width at load).
+    pub edge_columns: usize,
+    /// Total non-NULL measures (Table 2's headline number).
+    pub measures: u64,
+    /// Mean fraction of the edge universe present per record.
+    pub density: f64,
+    /// The most frequent edge and its record count.
+    pub hottest_edge: Option<(EdgeId, u64)>,
+    /// Number of edges present in no record at all.
+    pub empty_edges: usize,
+    /// Resident bytes (base columns + views).
+    pub resident_bytes: usize,
+    /// Materialized graph / aggregate views.
+    pub views: (usize, usize),
+}
+
+impl StoreStatistics {
+    /// Renders a compact report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "records          {}", self.records);
+        let _ = writeln!(out, "edge columns     {}", self.edge_columns);
+        let _ = writeln!(out, "measures         {}", self.measures);
+        let _ = writeln!(out, "record density   {:.2}%", self.density * 100.0);
+        if let Some((e, n)) = self.hottest_edge {
+            let _ = writeln!(out, "hottest edge     #{} in {} records", e.0, n);
+        }
+        let _ = writeln!(out, "empty edges      {}", self.empty_edges);
+        let _ = writeln!(out, "resident bytes   {}", self.resident_bytes);
+        let _ = write!(out, "views            {} graph, {} aggregate", self.views.0, self.views.1);
+        out
+    }
+}
+
+/// Per-edge selectivity: fraction of records containing the edge, the
+/// quantity a cost-based optimizer sorts join orders by.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeSelectivity {
+    /// The edge.
+    pub edge: EdgeId,
+    /// Records containing it.
+    pub records: u64,
+    /// `records / total records`.
+    pub selectivity: f64,
+}
+
+impl GraphStore {
+    /// Computes collection statistics (one pass over the bitmap
+    /// cardinalities; not charged to any query).
+    pub fn statistics(&self) -> StoreStatistics {
+        let mut scratch = IoStats::new();
+        let records = self.record_count();
+        let edge_columns = self.relation().edge_count();
+        let mut measures = 0u64;
+        let mut hottest: Option<(EdgeId, u64)> = None;
+        let mut empty = 0usize;
+        for i in 0..edge_columns {
+            let e = EdgeId(u32::try_from(i).expect("edge index fits u32"));
+            let n = self.relation().edge_bitmap(e, &mut scratch).len();
+            measures += n;
+            if n == 0 {
+                empty += 1;
+            }
+            if hottest.is_none_or(|(_, h)| n > h) {
+                hottest = Some((e, n));
+            }
+        }
+        let density = if records == 0 || edge_columns == 0 {
+            0.0
+        } else {
+            measures as f64 / (records as f64 * edge_columns as f64)
+        };
+        StoreStatistics {
+            records,
+            edge_columns,
+            measures,
+            density,
+            hottest_edge: hottest.filter(|&(_, n)| n > 0),
+            empty_edges: empty,
+            resident_bytes: self.size_in_bytes(),
+            views: (self.graph_views().len(), self.agg_views().len()),
+        }
+    }
+
+    /// The `k` most selective (rarest, non-empty) edges — the ones worth
+    /// anchoring a query plan on.
+    pub fn rarest_edges(&self, k: usize) -> Vec<EdgeSelectivity> {
+        let mut scratch = IoStats::new();
+        let records = self.record_count().max(1);
+        let mut all: Vec<EdgeSelectivity> = (0..self.relation().edge_count())
+            .map(|i| {
+                let edge = EdgeId(u32::try_from(i).expect("edge index fits u32"));
+                let n = self.relation().edge_bitmap(edge, &mut scratch).len();
+                EdgeSelectivity {
+                    edge,
+                    records: n,
+                    selectivity: n as f64 / records as f64,
+                }
+            })
+            .filter(|s| s.records > 0)
+            .collect();
+        all.sort_by(|a, b| a.records.cmp(&b.records).then(a.edge.cmp(&b.edge)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbi_graph::{GraphQuery, RecordBuilder, Universe};
+
+    fn store() -> GraphStore {
+        let mut u = Universe::new();
+        let e: Vec<EdgeId> = (0..4)
+            .map(|i| u.edge_by_names(&format!("a{i}"), &format!("b{i}")))
+            .collect();
+        // e0 in all 10 records, e1 in 5, e2 in 1, e3 in none.
+        let mut records = Vec::new();
+        for r in 0..10u32 {
+            let mut b = RecordBuilder::new();
+            b.add(e[0], 1.0);
+            if r % 2 == 0 {
+                b.add(e[1], 2.0);
+            }
+            if r == 7 {
+                b.add(e[2], 3.0);
+            }
+            records.push(b.build());
+        }
+        GraphStore::load(u, &records)
+    }
+
+    #[test]
+    fn statistics_summarize_the_collection() {
+        let s = store().statistics();
+        assert_eq!(s.records, 10);
+        assert_eq!(s.edge_columns, 4);
+        assert_eq!(s.measures, 10 + 5 + 1);
+        assert_eq!(s.hottest_edge, Some((EdgeId(0), 10)));
+        assert_eq!(s.empty_edges, 1);
+        assert!((s.density - 16.0 / 40.0).abs() < 1e-12);
+        let rendered = s.render();
+        assert!(rendered.contains("hottest edge     #0"), "{rendered}");
+    }
+
+    #[test]
+    fn rarest_edges_rank_by_selectivity() {
+        let st = store();
+        let rare = st.rarest_edges(2);
+        assert_eq!(rare.len(), 2);
+        assert_eq!(rare[0].edge, EdgeId(2));
+        assert_eq!(rare[0].records, 1);
+        assert!((rare[0].selectivity - 0.1).abs() < 1e-12);
+        assert_eq!(rare[1].edge, EdgeId(1));
+        // The rare edge bounds its queries' results.
+        let (r, _) = st.evaluate(&GraphQuery::from_edges(vec![EdgeId(2)]));
+        assert_eq!(r.len() as u64, rare[0].records);
+    }
+
+    #[test]
+    fn empty_store_statistics() {
+        let s = GraphStore::load(Universe::new(), &[]).statistics();
+        assert_eq!(s.records, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.hottest_edge, None);
+    }
+}

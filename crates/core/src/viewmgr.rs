@@ -1,0 +1,196 @@
+//! The view catalog: definitions of materialized views and their
+//! construction against the master relation.
+
+use graphbi_bitmap::Bitmap;
+use graphbi_columnstore::{AggViewId, ColumnBuilder, IoStats, MasterRelation, ViewId};
+use graphbi_graph::{AggFn, AggState, EdgeId};
+
+/// Which distributive sub-aggregate an aggregate view's column stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BaseKind {
+    /// Stores the sum of the path's measures.
+    Sum,
+    /// Stores the minimum.
+    Min,
+    /// Stores the maximum.
+    Max,
+}
+
+/// The sub-aggregate a function needs. AVG decomposes into sum + the view's
+/// static element count (§5.1.2's "constituent distributive sub-aggregates")
+/// and COUNT needs only the count, which every view kind carries.
+pub(crate) fn base_kind(f: AggFn) -> BaseKind {
+    match f {
+        AggFn::Sum | AggFn::Avg | AggFn::Count => BaseKind::Sum,
+        AggFn::Min => BaseKind::Min,
+        AggFn::Max => BaseKind::Max,
+    }
+}
+
+/// True when a view storing `view` sub-aggregates can answer a query using
+/// function `query`.
+pub(crate) fn compatible(view: BaseKind, query: AggFn) -> bool {
+    query == AggFn::Count || base_kind(query) == view
+}
+
+/// A materialized graph view: one precomputed bitmap column (§5.1.1).
+#[derive(Clone, Debug)]
+pub struct GraphViewDef {
+    /// Sorted edge ids of the view subgraph.
+    pub edges: Vec<EdgeId>,
+    /// Storage handle of the bitmap column.
+    pub(crate) id: ViewId,
+}
+
+/// A materialized aggregate graph view: a pre-aggregated measure column plus
+/// the path's bitmap (§5.1.2).
+#[derive(Clone, Debug)]
+pub struct AggViewDef {
+    /// The path's consecutive edges, in path order.
+    pub edges: Vec<EdgeId>,
+    /// The aggregate function the view was built for.
+    pub func: AggFn,
+    /// Which sub-aggregate the column stores.
+    pub(crate) kind: BaseKind,
+    /// Storage handle of the `(m_p, b_p)` column pair.
+    pub(crate) id: AggViewId,
+}
+
+impl AggViewDef {
+    /// Reconstructs the distributive state of this view's path segment from
+    /// the stored column value.
+    ///
+    /// Fields not covered by the view's kind are set to the merge identity,
+    /// so merging never pollutes the field a *compatible* query reads.
+    pub(crate) fn state_of(&self, value: f64) -> AggState {
+        let mut s = AggState::empty();
+        s.count = self.edges.len() as u64;
+        match self.kind {
+            BaseKind::Sum => s.sum = value,
+            BaseKind::Min => s.min = value,
+            BaseKind::Max => s.max = value,
+        }
+        s
+    }
+}
+
+/// All materialized views of a store.
+#[derive(Default)]
+pub(crate) struct ViewCatalog {
+    pub graph_views: Vec<GraphViewDef>,
+    pub agg_views: Vec<AggViewDef>,
+}
+
+impl ViewCatalog {
+    /// Edge lists of the graph views, for the rewriter.
+    pub fn graph_view_edges(&self) -> Vec<Vec<EdgeId>> {
+        self.graph_views.iter().map(|v| v.edges.clone()).collect()
+    }
+
+    /// Edge sequences of the aggregate views compatible with `func`, paired
+    /// with their catalog indices.
+    pub fn compatible_agg_views(&self, func: AggFn) -> (Vec<usize>, Vec<Vec<EdgeId>>) {
+        let mut idx = Vec::new();
+        let mut seqs = Vec::new();
+        for (i, v) in self.agg_views.iter().enumerate() {
+            if compatible(v.kind, func) {
+                idx.push(i);
+                seqs.push(v.edges.clone());
+            }
+        }
+        (idx, seqs)
+    }
+}
+
+/// The column value a view of `kind` stores for a path whose measures fold
+/// to `state`.
+pub(crate) fn stored_value(kind: BaseKind, state: &AggState) -> f64 {
+    match kind {
+        BaseKind::Sum => state.sum,
+        BaseKind::Min => state.min,
+        BaseKind::Max => state.max,
+    }
+}
+
+/// Materializes a graph view: AND of the edge bitmaps, stored as a new
+/// bitmap column. Not charged to any query's [`IoStats`] — materialization
+/// is offline work.
+pub(crate) fn build_graph_view(relation: &mut MasterRelation, edges: &[EdgeId]) -> ViewId {
+    let mut scratch = IoStats::new();
+    let bitmaps: Vec<&Bitmap> = edges
+        .iter()
+        .map(|&e| relation.edge_bitmap(e, &mut scratch))
+        .collect();
+    let mut bitmap = Bitmap::and_many(bitmaps);
+    bitmap.optimize();
+    relation.add_view_bitmap(bitmap)
+}
+
+/// Materializes an aggregate graph view for `func` along the ordered path
+/// `edges`: computes `b_p` (the path's bitmap) and `m_p` (the distributive
+/// sub-aggregate of the path's measures per containing record).
+pub(crate) fn build_agg_view(
+    relation: &mut MasterRelation,
+    edges: &[EdgeId],
+    func: AggFn,
+) -> (AggViewId, BaseKind) {
+    let kind = base_kind(func);
+    let mut scratch = IoStats::new();
+    let bitmaps: Vec<&Bitmap> = edges
+        .iter()
+        .map(|&e| relation.edge_bitmap(e, &mut scratch))
+        .collect();
+    let bp = Bitmap::and_many(bitmaps);
+
+    // Gather each edge's measures aligned to b_p and fold them.
+    let mut states = vec![AggState::empty(); bp.len() as usize];
+    for &e in edges {
+        let col = relation.edge_measures(e, &mut scratch);
+        for (i, v) in col.gather(&bp).into_iter().enumerate() {
+            states[i].push(v);
+        }
+    }
+    let mut builder = ColumnBuilder::new();
+    for (rid, state) in bp.iter().zip(states) {
+        builder.push(rid, stored_value(kind, &state));
+    }
+    (relation.add_agg_view(builder.finish()), kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_kinds_and_compatibility() {
+        assert_eq!(base_kind(AggFn::Sum), BaseKind::Sum);
+        assert_eq!(base_kind(AggFn::Avg), BaseKind::Sum);
+        assert_eq!(base_kind(AggFn::Count), BaseKind::Sum);
+        assert_eq!(base_kind(AggFn::Min), BaseKind::Min);
+        assert!(compatible(BaseKind::Sum, AggFn::Avg));
+        assert!(compatible(BaseKind::Min, AggFn::Min));
+        assert!(!compatible(BaseKind::Min, AggFn::Sum));
+        // COUNT only needs the static element count: any view serves it.
+        assert!(compatible(BaseKind::Max, AggFn::Count));
+    }
+
+    #[test]
+    fn state_reconstruction_uses_identities() {
+        let v = AggViewDef {
+            edges: vec![EdgeId(0), EdgeId(1), EdgeId(2)],
+            func: AggFn::Sum,
+            kind: BaseKind::Sum,
+            id: AggViewId(0),
+        };
+        let s = v.state_of(7.5);
+        assert_eq!(s.sum, 7.5);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, f64::INFINITY);
+        assert_eq!(s.max, f64::NEG_INFINITY);
+        // Merging with a real state keeps sum/count exact.
+        let mut other = AggState::of(2.5);
+        other.merge(&s);
+        assert_eq!(other.finalize(AggFn::Sum), Some(10.0));
+        assert_eq!(other.finalize(AggFn::Count), Some(4.0));
+    }
+}

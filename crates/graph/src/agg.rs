@@ -1,0 +1,176 @@
+//! Aggregate functions over path measures (§3.4, §5.1.2).
+//!
+//! Path-aggregation queries apply a user-chosen function along each maximal
+//! path of the query graph. For *algebraic* functions (AVG) the paper stores
+//! the constituent distributive sub-aggregates instead of the final value so
+//! that materialized aggregate views compose into larger aggregates; the
+//! [`AggState`] carries all four sub-aggregates (count, sum, min, max) and is
+//! therefore reusable for every supported function.
+
+/// The aggregate function of a path-aggregation query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFn {
+    /// Total of the measures along the path.
+    Sum,
+    /// Smallest measure along the path.
+    Min,
+    /// Largest measure along the path (the paper's Q3 "longest delay").
+    Max,
+    /// Number of measured elements along the path.
+    Count,
+    /// Algebraic mean, decomposed into sum and count.
+    Avg,
+}
+
+impl AggFn {
+    /// Short SQL-ish name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Sum => "SUM",
+            AggFn::Min => "MIN",
+            AggFn::Max => "MAX",
+            AggFn::Count => "COUNT",
+            AggFn::Avg => "AVG",
+        }
+    }
+}
+
+impl std::fmt::Display for AggFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Distributive sub-aggregate state.
+///
+/// Merging two states equals aggregating the concatenation of their inputs,
+/// which is what lets a materialized aggregate view substitute for the raw
+/// measures of its path inside a longer path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AggState {
+    /// Number of absorbed measures.
+    pub count: u64,
+    /// Sum of absorbed measures.
+    pub sum: f64,
+    /// Minimum absorbed measure (`+∞` for the empty state).
+    pub min: f64,
+    /// Maximum absorbed measure (`-∞` for the empty state).
+    pub max: f64,
+}
+
+impl Default for AggState {
+    fn default() -> Self {
+        AggState::empty()
+    }
+}
+
+impl AggState {
+    /// The identity element.
+    pub fn empty() -> AggState {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A state holding a single measure.
+    pub fn of(m: f64) -> AggState {
+        AggState {
+            count: 1,
+            sum: m,
+            min: m,
+            max: m,
+        }
+    }
+
+    /// Absorbs one measure.
+    pub fn push(&mut self, m: f64) {
+        self.count += 1;
+        self.sum += m;
+        self.min = self.min.min(m);
+        self.max = self.max.max(m);
+    }
+
+    /// Merges another state (associative, commutative, `empty` is identity).
+    pub fn merge(&mut self, other: &AggState) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Folds an iterator of measures into a state.
+    pub fn from_measures<I: IntoIterator<Item = f64>>(measures: I) -> AggState {
+        let mut s = AggState::empty();
+        for m in measures {
+            s.push(m);
+        }
+        s
+    }
+
+    /// Final value under `func`; `None` for the empty state (SQL semantics:
+    /// aggregates over nothing are NULL, except COUNT which is zero).
+    pub fn finalize(&self, func: AggFn) -> Option<f64> {
+        if self.count == 0 {
+            return (func == AggFn::Count).then_some(0.0);
+        }
+        Some(match func {
+            AggFn::Sum => self.sum,
+            AggFn::Min => self.min,
+            AggFn::Max => self.max,
+            AggFn::Count => self.count as f64,
+            AggFn::Avg => self.sum / self.count as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_values_finalize_to_themselves() {
+        let s = AggState::of(4.5);
+        for f in [AggFn::Sum, AggFn::Min, AggFn::Max, AggFn::Avg] {
+            assert_eq!(s.finalize(f), Some(4.5));
+        }
+        assert_eq!(s.finalize(AggFn::Count), Some(1.0));
+    }
+
+    #[test]
+    fn empty_state_is_null_except_count() {
+        let s = AggState::empty();
+        assert_eq!(s.finalize(AggFn::Sum), None);
+        assert_eq!(s.finalize(AggFn::Avg), None);
+        assert_eq!(s.finalize(AggFn::Count), Some(0.0));
+    }
+
+    #[test]
+    fn merge_equals_bulk_aggregation() {
+        let xs = [3.0, -1.0, 7.5, 2.0];
+        let mut left = AggState::from_measures(xs[..2].iter().copied());
+        let right = AggState::from_measures(xs[2..].iter().copied());
+        left.merge(&right);
+        let all = AggState::from_measures(xs.iter().copied());
+        assert_eq!(left, all);
+        assert_eq!(all.finalize(AggFn::Sum), Some(11.5));
+        assert_eq!(all.finalize(AggFn::Min), Some(-1.0));
+        assert_eq!(all.finalize(AggFn::Max), Some(7.5));
+        assert_eq!(all.finalize(AggFn::Avg), Some(11.5 / 4.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = AggState::of(2.0);
+        s.merge(&AggState::empty());
+        assert_eq!(s, AggState::of(2.0));
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(AggFn::Sum.to_string(), "SUM");
+        assert_eq!(AggFn::Avg.name(), "AVG");
+    }
+}

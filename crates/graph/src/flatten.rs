@@ -1,0 +1,252 @@
+//! Cycle removal by node versioning (§3.1, §6.2).
+//!
+//! Graph queries are insensitive to cycles, but *path aggregation* needs
+//! acyclic records: summing "the delivery time from the first departure at A"
+//! requires distinguishing the first visit of A from a later one. The paper
+//! flattens each record into a DAG by giving repeated visits fresh versioned
+//! identifiers (`A, A~2, A~3, …`), using the same deterministic naming scheme
+//! for data and queries so they keep matching each other.
+//!
+//! Two entry points:
+//!
+//! * [`flatten_walk`] — for records born as a visit sequence (RFID traces,
+//!   random-walk synthesis): each revisit of a node becomes its next version.
+//! * [`flatten_to_dag`] — for records born as arbitrary digraphs: a DFS from
+//!   the sources redirects every back edge to a fresh version of its target,
+//!   preserving all edges and measures while guaranteeing acyclicity.
+
+use std::collections::HashMap;
+
+use crate::ids::{EdgeId, NodeId, Universe};
+use crate::record::{GraphRecord, RecordBuilder};
+
+/// Flattens a node walk with per-step measures into an acyclic record.
+///
+/// `steps[i]` is the measure of the edge from `walk[i]` to `walk[i+1]`, so
+/// `steps.len() == walk.len() - 1`. The paper's example — A, B, C, A, D, E —
+/// becomes edges `(A,B), (B,C), (C,A~2), (A~2,D), (D,E)`.
+///
+/// # Panics
+///
+/// Panics when `steps.len() + 1 != walk.len()`.
+pub fn flatten_walk(universe: &mut Universe, walk: &[NodeId], steps: &[f64]) -> GraphRecord {
+    let mut builder = RecordBuilder::with_capacity(steps.len());
+    let Some(&first) = walk.first() else {
+        assert!(steps.is_empty(), "an empty walk has no step measures");
+        return builder.build();
+    };
+    assert_eq!(
+        steps.len() + 1,
+        walk.len(),
+        "a walk of n nodes has n-1 step measures"
+    );
+    let mut visits: HashMap<NodeId, u32> = HashMap::new();
+    visits.insert(first, 1);
+    let mut current = first;
+    for (i, &next_base) in walk[1..].iter().enumerate() {
+        let seen = visits.entry(next_base).or_insert(0);
+        *seen += 1;
+        let next = if *seen == 1 {
+            next_base
+        } else {
+            universe.versioned_node(next_base, *seen)
+        };
+        let edge = universe.edge(current, next);
+        builder.add_combining(edge, steps[i], |a, b| a + b);
+        current = next;
+    }
+    builder.build()
+}
+
+/// Flattens an arbitrary measured digraph into an acyclic record.
+///
+/// Runs a DFS from every source (and then from any still-unvisited node, to
+/// cover source-free cycles). Tree/forward/cross edges keep their endpoints;
+/// every *back edge* — one that would close a cycle — is redirected to a
+/// fresh version of its target, as in the paper's `(D1, A2)` example.
+pub fn flatten_to_dag(
+    universe: &mut Universe,
+    edges: &[(NodeId, NodeId, f64)],
+) -> GraphRecord {
+    let mut succ: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
+    let mut indeg: HashMap<NodeId, usize> = HashMap::new();
+    let mut order: Vec<NodeId> = Vec::new();
+    for &(s, t, m) in edges {
+        if !succ.contains_key(&s) {
+            order.push(s);
+        }
+        succ.entry(s).or_default().push((t, m));
+        if !succ.contains_key(&t) && !indeg.contains_key(&t) {
+            order.push(t);
+        }
+        *indeg.entry(t).or_insert(0) += 1;
+        indeg.entry(s).or_insert(0);
+    }
+    for targets in succ.values_mut() {
+        targets.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        New,
+        Active,
+        Done,
+    }
+    let mut state: HashMap<NodeId, State> = HashMap::new();
+    let mut versions: HashMap<NodeId, u32> = HashMap::new();
+    let mut builder = RecordBuilder::with_capacity(edges.len());
+
+    // Deterministic root order: true sources first, then leftovers (cycles
+    // with no source), both in first-appearance order.
+    let mut roots: Vec<NodeId> = order
+        .iter()
+        .copied()
+        .filter(|n| indeg.get(n).copied().unwrap_or(0) == 0)
+        .collect();
+    roots.extend(order.iter().copied().filter(|n| indeg.get(n).copied().unwrap_or(0) > 0));
+
+    // Iterative DFS with an explicit exit marker so Active state is precise.
+    for root in roots {
+        if *state.get(&root).unwrap_or(&State::New) != State::New {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+        while let Some((node, exiting)) = stack.pop() {
+            if exiting {
+                state.insert(node, State::Done);
+                continue;
+            }
+            if *state.get(&node).unwrap_or(&State::New) != State::New {
+                continue;
+            }
+            state.insert(node, State::Active);
+            stack.push((node, true));
+            if let Some(targets) = succ.get(&node).cloned() {
+                // Push in reverse so smaller targets are explored first.
+                for &(target, m) in targets.iter().rev() {
+                    let dest = if *state.get(&target).unwrap_or(&State::New) == State::Active {
+                        // Back edge: redirect to a fresh version (a DAG sink).
+                        let v = versions.entry(target).or_insert(1);
+                        *v += 1;
+                        universe.versioned_node(target, *v)
+                    } else {
+                        target
+                    };
+                    let edge: EdgeId = universe.edge(node, dest);
+                    builder.add_combining(edge, m, |a, b| a + b);
+                    if dest == target {
+                        stack.push((target, false));
+                    }
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::QueryShape;
+
+    fn names(u: &Universe, r: &GraphRecord) -> Vec<(String, String)> {
+        r.edges()
+            .iter()
+            .map(|&(e, _)| {
+                let (s, t) = u.endpoints(e);
+                (u.node_name(s).to_owned(), u.node_name(t).to_owned())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_walk_example() {
+        // §6.2: A, B, C, A, D, E → (A,B),(B,C),(C,A~2),(A~2,D),(D,E).
+        let mut u = Universe::new();
+        let walk: Vec<NodeId> = ["A", "B", "C", "A", "D", "E"].iter().map(|n| u.node(n)).collect();
+        let r = flatten_walk(&mut u, &walk, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut got = names(&u, &r);
+        got.sort();
+        let mut expect = vec![
+            ("A".into(), "B".into()),
+            ("B".into(), "C".into()),
+            ("C".into(), "A~2".into()),
+            ("A~2".into(), "D".into()),
+            ("D".into(), "E".into()),
+        ];
+        expect.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn walk_result_is_acyclic_and_preserves_measure_sum() {
+        let mut u = Universe::new();
+        let walk: Vec<NodeId> = ["A", "B", "A", "B", "A"].iter().map(|n| u.node(n)).collect();
+        let steps = [1.0, 2.0, 3.0, 4.0];
+        let r = flatten_walk(&mut u, &walk, &steps);
+        let edge_ids: Vec<EdgeId> = r.edges().iter().map(|&(e, _)| e).collect();
+        assert!(QueryShape::from_edges(&edge_ids, &u).is_dag());
+        let total: f64 = r.edges().iter().map(|&(_, m)| m).sum();
+        assert_eq!(total, steps.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn repeated_edge_in_walk_accumulates() {
+        let mut u = Universe::new();
+        // A→B and later A~2→B~2 are distinct edges; but a direct repetition
+        // of the same versioned transition merges measures.
+        let a = u.node("A");
+        let b = u.node("B");
+        let r = flatten_walk(&mut u, &[a, b], &[2.5]);
+        assert_eq!(r.edge_count(), 1);
+        assert_eq!(r.measure(u.find_edge(a, b).unwrap()), Some(2.5));
+    }
+
+    #[test]
+    fn dag_flattening_redirects_back_edges() {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        let d = u.node("D");
+        // Cycle A→D→A plus exit D→E (paper's damaged-shipment example).
+        let e = u.node("E");
+        let r = flatten_to_dag(&mut u, &[(a, d, 1.0), (d, a, 2.0), (d, e, 3.0)]);
+        let edge_ids: Vec<EdgeId> = r.edges().iter().map(|&(ed, _)| ed).collect();
+        assert!(QueryShape::from_edges(&edge_ids, &u).is_dag());
+        let got = names(&u, &r);
+        assert!(got.contains(&("A".into(), "D".into())));
+        assert!(got.contains(&("D".into(), "A~2".into())));
+        assert!(got.contains(&("D".into(), "E".into())));
+        let total: f64 = r.edges().iter().map(|&(_, m)| m).sum();
+        assert_eq!(total, 6.0);
+    }
+
+    #[test]
+    fn dag_flattening_keeps_acyclic_graphs_unchanged() {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        let b = u.node("B");
+        let c = u.node("C");
+        let input = [(a, b, 1.0), (a, c, 2.0), (b, c, 3.0)];
+        let r = flatten_to_dag(&mut u, &input);
+        assert_eq!(r.edge_count(), 3);
+        assert_eq!(u.node_count(), 3, "no versions should be created");
+    }
+
+    #[test]
+    fn dag_flattening_handles_sourceless_cycle() {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        let b = u.node("B");
+        let r = flatten_to_dag(&mut u, &[(a, b, 1.0), (b, a, 1.0)]);
+        let edge_ids: Vec<EdgeId> = r.edges().iter().map(|&(e, _)| e).collect();
+        assert!(QueryShape::from_edges(&edge_ids, &u).is_dag());
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_walk_is_empty_record() {
+        let mut u = Universe::new();
+        let r = flatten_walk(&mut u, &[], &[]);
+        assert_eq!(r.edge_count(), 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! The universe: the shared naming scheme of nodes and edges.
+//!
+//! §3.1: "we only assume that the nodes are labeled using a universally
+//! adopted schema so as to be able to run queries on them afterwards by
+//! referring to common identifiers". The [`Universe`] interns node names and
+//! `(source, target)` pairs into dense ids; those edge ids are exactly the
+//! column indices of the master relation in the column store.
+
+use std::collections::HashMap;
+
+/// Dense identifier of a named node in the universe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Dense identifier of a named edge (ordered node pair) in the universe.
+///
+/// Edge ids index measure and bitmap columns in the master relation, so they
+/// are handed out contiguously from zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Column index this edge occupies in the master relation.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The universally adopted naming scheme shared by records and queries.
+///
+/// Nodes are interned by name; edges by `(source, target)` pair. A node with
+/// its own measure is modeled as the self-edge `(X, X)` (§4.1), so callers
+/// that need "the node column of X" use [`Universe::node_edge`].
+#[derive(Clone, Default)]
+pub struct Universe {
+    node_names: Vec<String>,
+    node_by_name: HashMap<String, NodeId>,
+    edge_pairs: Vec<(NodeId, NodeId)>,
+    edge_by_pair: HashMap<(NodeId, NodeId), EdgeId>,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns (or looks up) a node by name.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.node_by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.node_names.len()).expect("node count fits u32"));
+        self.node_names.push(name.to_owned());
+        self.node_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a node without interning.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_by_name.get(name).copied()
+    }
+
+    /// Name of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` was not produced by this universe.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0 as usize]
+    }
+
+    /// Interns (or looks up) the directed edge `source → target`.
+    pub fn edge(&mut self, source: NodeId, target: NodeId) -> EdgeId {
+        if let Some(&id) = self.edge_by_pair.get(&(source, target)) {
+            return id;
+        }
+        let id = EdgeId(u32::try_from(self.edge_pairs.len()).expect("edge count fits u32"));
+        self.edge_pairs.push((source, target));
+        self.edge_by_pair.insert((source, target), id);
+        id
+    }
+
+    /// Interns the edge named by node names, interning the nodes too.
+    pub fn edge_by_names(&mut self, source: &str, target: &str) -> EdgeId {
+        let s = self.node(source);
+        let t = self.node(target);
+        self.edge(s, t)
+    }
+
+    /// The self-edge `(node, node)` carrying the node's own measure (§4.1).
+    pub fn node_edge(&mut self, node: NodeId) -> EdgeId {
+        self.edge(node, node)
+    }
+
+    /// Looks up an edge without interning.
+    pub fn find_edge(&self, source: NodeId, target: NodeId) -> Option<EdgeId> {
+        self.edge_by_pair.get(&(source, target)).copied()
+    }
+
+    /// Endpoints of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `edge` was not produced by this universe.
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        self.edge_pairs[edge.0 as usize]
+    }
+
+    /// True when `edge` is a node self-edge.
+    pub fn is_node_edge(&self, edge: EdgeId) -> bool {
+        let (s, t) = self.endpoints(edge);
+        s == t
+    }
+
+    /// Number of distinct nodes interned so far.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of distinct edges interned so far — the width of the master
+    /// relation's measure (and bitmap) column block.
+    pub fn edge_count(&self) -> usize {
+        self.edge_pairs.len()
+    }
+
+    /// Iterates all edge ids with their endpoints.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edge_pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, t))| (EdgeId(i as u32), s, t))
+    }
+
+    /// Human-readable `source→target` label of an edge, for diagnostics.
+    pub fn edge_label(&self, edge: EdgeId) -> String {
+        let (s, t) = self.endpoints(edge);
+        if s == t {
+            format!("[{}]", self.node_name(s))
+        } else {
+            format!("({},{})", self.node_name(s), self.node_name(t))
+        }
+    }
+
+    /// The edges internal to a node group — both endpoints inside `nodes`.
+    ///
+    /// This is the §5.1.1 "region" helper: the subgraph of region 2 in the
+    /// paper's Figure 1 is indexed by one graph view whose edge set is
+    /// exactly `edges_within(region2_nodes)`.
+    pub fn edges_within(&self, nodes: &[NodeId]) -> Vec<EdgeId> {
+        let set: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+        self.edges()
+            .filter(|(_, s, t)| set.contains(s) && set.contains(t))
+            .map(|(e, _, _)| e)
+            .collect()
+    }
+
+    /// Interns a *versioned copy* of `node`, used by DAG flattening (§6.2):
+    /// the second visit of `A` becomes `A~2`, the third `A~3`, and so on.
+    pub fn versioned_node(&mut self, node: NodeId, version: u32) -> NodeId {
+        debug_assert!(version >= 2, "version 1 is the node itself");
+        let name = format!("{}~{version}", self.node_name(node));
+        self.node(&name)
+    }
+}
+
+impl std::fmt::Debug for Universe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Universe")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        assert_eq!(u.node("A"), a);
+        assert_eq!(u.find_node("A"), Some(a));
+        assert_eq!(u.find_node("B"), None);
+        let e = u.edge_by_names("A", "B");
+        assert_eq!(u.edge_by_names("A", "B"), e);
+        assert_eq!(u.node_count(), 2);
+        assert_eq!(u.edge_count(), 1);
+    }
+
+    #[test]
+    fn directed_edges_are_distinct() {
+        let mut u = Universe::new();
+        let ab = u.edge_by_names("A", "B");
+        let ba = u.edge_by_names("B", "A");
+        assert_ne!(ab, ba);
+        let (s, t) = u.endpoints(ab);
+        assert_eq!(u.node_name(s), "A");
+        assert_eq!(u.node_name(t), "B");
+    }
+
+    #[test]
+    fn node_edges_are_self_loops() {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        let e = u.node_edge(a);
+        assert!(u.is_node_edge(e));
+        assert_eq!(u.edge_label(e), "[A]");
+        let ab = u.edge_by_names("A", "B");
+        assert!(!u.is_node_edge(ab));
+    }
+
+    #[test]
+    fn edge_ids_are_dense_column_indexes() {
+        let mut u = Universe::new();
+        for i in 0..10 {
+            let e = u.edge_by_names(&format!("N{i}"), &format!("N{}", i + 1));
+            assert_eq!(e.index(), i);
+        }
+    }
+
+    #[test]
+    fn edges_within_selects_internal_edges_only() {
+        let mut u = Universe::new();
+        let d = u.node("D");
+        let e = u.node("E");
+        let g = u.node("G");
+        let a = u.node("A");
+        let de = u.edge(d, e);
+        let eg = u.edge(e, g);
+        let ad = u.edge(a, d); // crosses the region boundary
+        let dd = u.node_edge(d); // self-edge counts as internal
+        let mut got = u.edges_within(&[d, e, g]);
+        got.sort_unstable();
+        let mut expect = vec![de, eg, dd];
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert!(!got.contains(&ad));
+        assert!(u.edges_within(&[]).is_empty());
+    }
+
+    #[test]
+    fn versioned_nodes_get_fresh_ids() {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        let a2 = u.versioned_node(a, 2);
+        let a3 = u.versioned_node(a, 3);
+        assert_ne!(a, a2);
+        assert_ne!(a2, a3);
+        assert_eq!(u.node_name(a2), "A~2");
+        assert_eq!(u.versioned_node(a, 2), a2);
+    }
+}

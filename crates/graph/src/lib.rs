@@ -1,0 +1,88 @@
+#![warn(missing_docs)]
+
+//! Graph data model for graphbi.
+//!
+//! The EDBT'14 framework treats both data and queries as graphs over a shared
+//! *universe* of named entities: nodes are business entities (hub locations,
+//! workflow states, …), and an edge between two named nodes is itself a named
+//! entity with a stable [`EdgeId`]. A **graph record** is a small directed
+//! graph whose nodes/edges carry measures; a **graph query** is a directed
+//! graph over the same universe that matches every record containing all of
+//! its structural elements (no isomorphism — identifiers are global).
+//!
+//! This crate provides:
+//!
+//! * [`Universe`] — the shared naming scheme: interning of node names and of
+//!   `(source, target)` pairs to dense [`EdgeId`]s (§3.1). A node `X` is
+//!   represented as the self-edge `[X,X]`, exactly as §4.1 prescribes, so the
+//!   storage layer sees a single kind of structural element.
+//! * [`GraphRecord`] — one data record: a sorted edge→measure list.
+//! * [`GraphQuery`] / [`QueryExpr`] — structural queries and their logical
+//!   combinations (AND / OR / AND NOT, §3.2).
+//! * [`Path`], [`CompositePath`] — the path algebra of §3.3: open/closed
+//!   endpoints, the path-join operator, composite paths, maximal paths.
+//! * [`flatten`] — cycle removal by node versioning (§6.2) so that path
+//!   aggregation over walks behaves like the paper's SCM examples.
+//! * [`AggFn`] / [`AggState`] — SUM/COUNT/MIN/MAX/AVG with distributive
+//!   sub-aggregates, the basis for aggregate graph views (§5.1.2).
+
+pub mod agg;
+pub mod flatten;
+mod ids;
+mod path;
+pub mod planes;
+mod query;
+mod record;
+mod result;
+mod topo;
+mod universe_io;
+pub mod zoom;
+
+pub use agg::{AggFn, AggState};
+pub use ids::{EdgeId, NodeId, Universe};
+pub use path::{CompositePath, Endpoint, Path, PathJoinError};
+pub use planes::MeasurePlanes;
+pub use query::{GraphQuery, PathAggQuery, QueryExpr};
+pub use record::{GraphRecord, RecordBuilder};
+pub use result::{PathAggResult, QueryResult};
+pub use topo::QueryShape;
+pub use universe_io::UniverseIoError;
+pub use zoom::{zoom_out, Region};
+
+/// Identifier of a graph record. Convention shared with the bitmap crate.
+pub type RecordId = u32;
+
+/// Errors surfaced by the graph model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A path/query referenced an edge absent from the universe.
+    UnknownEdge {
+        /// Source node name.
+        source: String,
+        /// Target node name.
+        target: String,
+    },
+    /// A node name was not present in the universe.
+    UnknownNode(String),
+    /// Path aggregation requires an acyclic query graph.
+    CyclicQuery,
+    /// A path had fewer than one node.
+    EmptyPath,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownEdge { source, target } => {
+                write!(f, "edge ({source}, {target}) is not in the universe")
+            }
+            GraphError::UnknownNode(n) => write!(f, "node {n} is not in the universe"),
+            GraphError::CyclicQuery => {
+                write!(f, "path aggregation requires an acyclic query graph")
+            }
+            GraphError::EmptyPath => write!(f, "a path must contain at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

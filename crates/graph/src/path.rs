@@ -1,0 +1,401 @@
+//! The path algebra of §3.3.
+//!
+//! A path is a node sequence with an *openness* marker on each end: a closed
+//! end (`[A`) includes node `A`'s own measure in the path, an open end (`(A`)
+//! excludes it — the path describes movement *through* `A` without its
+//! internal processing cost. The path-join operator `⋈` concatenates two
+//! paths sharing an endpoint when exactly one of them is open there, so the
+//! shared node's measure is counted exactly once.
+
+use crate::ids::{EdgeId, NodeId, Universe};
+use crate::GraphError;
+
+/// Whether a path end includes the end node's own measure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// `[A…` — the end node's measure belongs to the path.
+    Closed,
+    /// `(A…` — the end node's measure is excluded.
+    Open,
+}
+
+/// Why two paths refused to join. See [`Path::join`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathJoinError {
+    /// `end(p1) != start(p2)`.
+    EndpointsDiffer,
+    /// Both paths are closed at the shared node: its measure would be
+    /// counted twice (the paper's `[A,D,E] ⋈ [E,G,I]` example).
+    BothClosed,
+    /// Both paths are open at the shared node: the node would become an
+    /// internal element with no measure, which a path cannot express.
+    BothOpen,
+}
+
+impl std::fmt::Display for PathJoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathJoinError::EndpointsDiffer => write!(f, "paths do not share an endpoint"),
+            PathJoinError::BothClosed => {
+                write!(f, "both paths closed at the shared node (measure counted twice)")
+            }
+            PathJoinError::BothOpen => {
+                write!(f, "both paths open at the shared node (internal node unmeasured)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathJoinError {}
+
+/// A path: a sequence of adjacent nodes with per-end openness.
+///
+/// Single-node paths (`[A,A]`, both ends closed) denote the node itself,
+/// possibly standing for hidden aggregated structure (§3.3).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    start: Endpoint,
+    end: Endpoint,
+}
+
+impl Path {
+    /// Builds a path with explicit endpoint openness.
+    pub fn new(nodes: Vec<NodeId>, start: Endpoint, end: Endpoint) -> Result<Path, GraphError> {
+        if nodes.is_empty() {
+            return Err(GraphError::EmptyPath);
+        }
+        Ok(Path { nodes, start, end })
+    }
+
+    /// `[a, …, z]` — both ends closed.
+    pub fn closed(nodes: Vec<NodeId>) -> Result<Path, GraphError> {
+        Path::new(nodes, Endpoint::Closed, Endpoint::Closed)
+    }
+
+    /// `(a, …, z)` — both ends open.
+    pub fn open(nodes: Vec<NodeId>) -> Result<Path, GraphError> {
+        Path::new(nodes, Endpoint::Open, Endpoint::Open)
+    }
+
+    /// The single-node path `[x, x]` denoting node `x` itself.
+    pub fn node(x: NodeId) -> Path {
+        Path {
+            nodes: vec![x],
+            start: Endpoint::Closed,
+            end: Endpoint::Closed,
+        }
+    }
+
+    /// The node sequence.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// First node.
+    pub fn first(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node.
+    pub fn last(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Openness of the start.
+    pub fn start_end(&self) -> Endpoint {
+        self.start
+    }
+
+    /// Openness of the end.
+    pub fn end_end(&self) -> Endpoint {
+        self.end
+    }
+
+    /// Number of edges (zero for a single-node path).
+    pub fn edge_len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The path-join `self ⋈ other` (§3.3).
+    ///
+    /// Defined when `last(self) == first(other)` and exactly one side is open
+    /// at the shared node; the result inherits `self`'s start and `other`'s
+    /// end.
+    pub fn join(&self, other: &Path) -> Result<Path, PathJoinError> {
+        if self.last() != other.first() {
+            return Err(PathJoinError::EndpointsDiffer);
+        }
+        match (self.end, other.start) {
+            (Endpoint::Closed, Endpoint::Closed) => Err(PathJoinError::BothClosed),
+            (Endpoint::Open, Endpoint::Open) => Err(PathJoinError::BothOpen),
+            _ => {
+                let mut nodes = self.nodes.clone();
+                nodes.extend_from_slice(&other.nodes[1..]);
+                Ok(Path {
+                    nodes,
+                    start: self.start,
+                    end: other.end,
+                })
+            }
+        }
+    }
+
+    /// The structural elements of the path: consecutive edges, plus the
+    /// self-edges of every node whose measure belongs to the path (internal
+    /// nodes always; endpoints when closed). Self-edges are only emitted when
+    /// the universe has interned them — absent self-edges mean "this node
+    /// records no measure", the normal case for edge-measured datasets.
+    ///
+    /// Fails with [`GraphError::UnknownEdge`] when a consecutive edge was
+    /// never interned: such a path cannot match any record.
+    pub fn elements(&self, universe: &Universe) -> Result<Vec<EdgeId>, GraphError> {
+        let mut out = Vec::with_capacity(self.nodes.len() * 2 - 1);
+        for w in self.nodes.windows(2) {
+            match universe.find_edge(w[0], w[1]) {
+                Some(e) => out.push(e),
+                None => {
+                    return Err(GraphError::UnknownEdge {
+                        source: universe.node_name(w[0]).to_owned(),
+                        target: universe.node_name(w[1]).to_owned(),
+                    })
+                }
+            }
+        }
+        for (i, &n) in self.nodes.iter().enumerate() {
+            let measured = if i == 0 {
+                self.start == Endpoint::Closed
+            } else if i == self.nodes.len() - 1 {
+                self.end == Endpoint::Closed
+            } else {
+                true
+            };
+            if measured {
+                if let Some(se) = universe.find_edge(n, n) {
+                    out.push(se);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// True when `self`'s node sequence occurs contiguously inside `other`'s.
+    ///
+    /// This is the containment relation behind maximal paths and the
+    /// aggregate-view monotonicity property; endpoint openness is ignored
+    /// because candidate views are stored for closed paths.
+    pub fn is_subpath_of(&self, other: &Path) -> bool {
+        if self.nodes.len() > other.nodes.len() {
+            return false;
+        }
+        other
+            .nodes
+            .windows(self.nodes.len())
+            .any(|w| w == self.nodes.as_slice())
+    }
+
+    /// Renders the path with the paper's bracket notation, e.g. `[A,D,E)`.
+    pub fn display<'a>(&'a self, universe: &'a Universe) -> PathDisplay<'a> {
+        PathDisplay {
+            path: self,
+            universe,
+        }
+    }
+}
+
+/// Bracket-notation renderer returned by [`Path::display`].
+pub struct PathDisplay<'a> {
+    path: &'a Path,
+    universe: &'a Universe,
+}
+
+impl std::fmt::Display for PathDisplay<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (p, u) = (self.path, self.universe);
+        write!(f, "{}", if p.start == Endpoint::Closed { '[' } else { '(' })?;
+        for (i, &n) in p.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", u.node_name(n))?;
+        }
+        write!(f, "{}", if p.end == Endpoint::Closed { ']' } else { ')' })
+    }
+}
+
+/// A composite path `[A,B]*`: a set of alternative paths (§3.3).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompositePath {
+    paths: Vec<Path>,
+}
+
+impl CompositePath {
+    /// Wraps a set of paths.
+    pub fn new(paths: Vec<Path>) -> Self {
+        CompositePath { paths }
+    }
+
+    /// The alternatives.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// True when no alternative exists.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Number of alternatives.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Path-join applied to composite paths: all pairwise joins that are
+    /// defined (§3.3). Pairs that do not share an endpoint are skipped;
+    /// pairs that share one but clash on openness are skipped too, matching
+    /// the paper's definition ("by considering path-joins between all pairs
+    /// of paths in them").
+    pub fn join(&self, other: &CompositePath) -> CompositePath {
+        let mut out = Vec::new();
+        for a in &self.paths {
+            for b in &other.paths {
+                if let Ok(p) = a.join(b) {
+                    out.push(p);
+                }
+            }
+        }
+        out.dedup();
+        CompositePath { paths: out }
+    }
+}
+
+impl From<Path> for CompositePath {
+    fn from(p: Path) -> Self {
+        CompositePath { paths: vec![p] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(u: &mut Universe, names: &[&str]) -> Vec<NodeId> {
+        names.iter().map(|n| u.node(n)).collect()
+    }
+
+    #[test]
+    fn join_requires_exactly_one_open_side() {
+        let mut u = Universe::new();
+        let abf = Path::new(ids(&mut u, &["A", "B", "F"]), Endpoint::Closed, Endpoint::Open)
+            .unwrap();
+        let fjk = Path::new(ids(&mut u, &["F", "J", "K"]), Endpoint::Closed, Endpoint::Closed)
+            .unwrap();
+        // Paper example: [A,B,F) ⋈ [F,J,K…
+        let joined = abf.join(&fjk).unwrap();
+        assert_eq!(
+            joined.nodes(),
+            ids(&mut u, &["A", "B", "F", "J", "K"]).as_slice()
+        );
+        assert_eq!(joined.start_end(), Endpoint::Closed);
+        assert_eq!(joined.end_end(), Endpoint::Closed);
+    }
+
+    #[test]
+    fn join_rejects_double_closed_and_double_open() {
+        let mut u = Universe::new();
+        let ade = Path::closed(ids(&mut u, &["A", "D", "E"])).unwrap();
+        let egi = Path::closed(ids(&mut u, &["E", "G", "I"])).unwrap();
+        assert_eq!(ade.join(&egi), Err(PathJoinError::BothClosed));
+        let open1 = Path::open(ids(&mut u, &["A", "E"])).unwrap();
+        let open2 = Path::open(ids(&mut u, &["E", "G"])).unwrap();
+        assert_eq!(open1.join(&open2), Err(PathJoinError::BothOpen));
+        let disjoint = Path::closed(ids(&mut u, &["X", "Y"])).unwrap();
+        assert_eq!(ade.join(&disjoint), Err(PathJoinError::EndpointsDiffer));
+    }
+
+    #[test]
+    fn elements_exclude_open_endpoint_node_measures() {
+        let mut u = Universe::new();
+        let d = u.node("D");
+        let e = u.node("E");
+        let g = u.node("G");
+        let de = u.edge(d, e);
+        let eg = u.edge(e, g);
+        let dd = u.node_edge(d);
+        let ee = u.node_edge(e);
+        let gg = u.node_edge(g);
+        // (D,E,G): open both ends — only E's node measure plus the two edges.
+        let p = Path::open(vec![d, e, g]).unwrap();
+        let mut els = p.elements(&u).unwrap();
+        els.sort_unstable();
+        let mut expect = vec![de, eg, ee];
+        expect.sort_unstable();
+        assert_eq!(els, expect);
+        // [D,E,G]: closed — all three node measures included.
+        let p = Path::closed(vec![d, e, g]).unwrap();
+        let els = p.elements(&u).unwrap();
+        for want in [de, eg, dd, ee, gg] {
+            assert!(els.contains(&want));
+        }
+    }
+
+    #[test]
+    fn elements_fail_on_unknown_edge() {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        let b = u.node("B");
+        let p = Path::closed(vec![a, b]).unwrap();
+        assert!(matches!(
+            p.elements(&u),
+            Err(GraphError::UnknownEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn node_path_is_self_edge_only() {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        let aa = u.node_edge(a);
+        let p = Path::node(a);
+        assert_eq!(p.elements(&u).unwrap(), vec![aa]);
+        assert_eq!(p.edge_len(), 0);
+    }
+
+    #[test]
+    fn subpath_is_contiguous() {
+        let mut u = Universe::new();
+        let ns = ids(&mut u, &["A", "B", "C", "D"]);
+        let full = Path::closed(ns.clone()).unwrap();
+        let bc = Path::closed(ns[1..3].to_vec()).unwrap();
+        let ad = Path::closed(vec![ns[0], ns[3]]).unwrap();
+        assert!(bc.is_subpath_of(&full));
+        assert!(!ad.is_subpath_of(&full)); // A,D not adjacent in full
+        assert!(full.is_subpath_of(&full));
+        assert!(!full.is_subpath_of(&bc));
+    }
+
+    #[test]
+    fn composite_join_keeps_only_valid_pairs() {
+        let mut u = Universe::new();
+        let a = ids(&mut u, &["A", "B", "F", "J", "C", "H"]);
+        let (na, nb, nf, nj, nc, nh) = (a[0], a[1], a[2], a[3], a[4], a[5]);
+        let left = CompositePath::new(vec![
+            Path::new(vec![na, nb, nf], Endpoint::Closed, Endpoint::Open).unwrap(),
+            Path::new(vec![nc, nh], Endpoint::Closed, Endpoint::Open).unwrap(),
+        ]);
+        let right = CompositePath::new(vec![Path::closed(vec![nf, nj]).unwrap()]);
+        let joined = left.join(&right);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined.paths()[0].nodes(), &[na, nb, nf, nj]);
+    }
+
+    #[test]
+    fn display_uses_bracket_notation() {
+        let mut u = Universe::new();
+        let p = Path::new(ids(&mut u, &["D", "E", "G"]), Endpoint::Closed, Endpoint::Open)
+            .unwrap();
+        assert_eq!(p.display(&u).to_string(), "[D,E,G)");
+    }
+}

@@ -1,0 +1,199 @@
+//! Multiple measures per structural element (§3.1).
+//!
+//! The paper assumes one measure per node/edge "for ease of presentation,
+//! however our techniques are applicable when multiple measures are
+//! recorded". The flat model generalizes exactly as the master relation
+//! suggests: one measure column *per (element, measure) pair*. This module
+//! provides the id arithmetic: a [`MeasurePlanes`] maps a logical edge and a
+//! measure plane (e.g. `time`, `cost`) onto a distinct column id, so the
+//! unchanged storage and view machinery serves every plane.
+//!
+//! Plane 0 occupies the base ids `0..stride`, plane `p` the block
+//! `p·stride..(p+1)·stride`. Structural queries can use any plane's block —
+//! a record carries all planes for each of its edges, so the presence
+//! bitmaps of corresponding columns are identical.
+
+use crate::ids::EdgeId;
+use crate::record::{GraphRecord, RecordBuilder};
+
+/// Column-id arithmetic for multi-measure storage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeasurePlanes {
+    names: Vec<String>,
+    stride: u32,
+}
+
+impl MeasurePlanes {
+    /// Defines `names.len()` measure planes over a universe of at most
+    /// `stride` logical edges (pure id arithmetic — see
+    /// [`MeasurePlanes::build`] for the variant that also interns the plane
+    /// columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no plane is named or `stride` is zero.
+    pub fn new(stride: u32, names: &[&str]) -> MeasurePlanes {
+        assert!(!names.is_empty(), "at least one measure plane");
+        assert!(stride > 0, "stride must be positive");
+        MeasurePlanes {
+            names: names.iter().map(|s| (*s).to_owned()).collect(),
+            stride,
+        }
+    }
+
+    /// Builds the planes over a universe whose logical edges are fully
+    /// interned, *mirroring the topology*: plane `p`'s column for edge
+    /// `(s, t)` is the edge `(s⊕p, t⊕p)` between per-plane copies of the
+    /// nodes. Mirroring keeps every plane's query graphs path/DAG-shaped,
+    /// so path aggregation works per plane.
+    ///
+    /// Call after all logical edges exist and before loading records; the
+    /// universe then has exactly `names.len() × stride` edges with plane
+    /// `p`'s block at ids `p·stride..(p+1)·stride`.
+    pub fn build(universe: &mut crate::ids::Universe, names: &[&str]) -> MeasurePlanes {
+        assert!(!names.is_empty(), "at least one measure plane");
+        let stride = u32::try_from(universe.edge_count()).expect("edge count fits u32");
+        assert!(stride > 0, "intern the logical edges first");
+        let pairs: Vec<(String, String)> = universe
+            .edges()
+            .map(|(_, s, t)| {
+                (
+                    universe.node_name(s).to_owned(),
+                    universe.node_name(t).to_owned(),
+                )
+            })
+            .collect();
+        for (plane, name) in names.iter().enumerate().skip(1) {
+            for (i, (s, t)) in pairs.iter().enumerate() {
+                let e = universe.edge_by_names(&format!("{s}⊕{name}"), &format!("{t}⊕{name}"));
+                debug_assert_eq!(
+                    e.0 as usize,
+                    plane * stride as usize + i,
+                    "plane columns must be contiguous"
+                );
+            }
+        }
+        MeasurePlanes::new(stride, names)
+    }
+
+    /// Number of planes.
+    pub fn plane_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Width of one plane's column block.
+    pub fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// Total column count the master relation must be declared with.
+    pub fn total_columns(&self) -> usize {
+        self.names.len() * self.stride as usize
+    }
+
+    /// Plane index by name.
+    pub fn plane(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The column id of `edge`'s measure in plane `plane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the edge or plane is out of range.
+    pub fn column(&self, edge: EdgeId, plane: usize) -> EdgeId {
+        assert!(edge.0 < self.stride, "edge {edge:?} beyond stride {}", self.stride);
+        assert!(plane < self.names.len(), "plane {plane} out of range");
+        EdgeId(u32::try_from(plane).expect("plane fits u32") * self.stride + edge.0)
+    }
+
+    /// Inverse of [`MeasurePlanes::column`].
+    pub fn logical(&self, column: EdgeId) -> (EdgeId, usize) {
+        (
+            EdgeId(column.0 % self.stride),
+            (column.0 / self.stride) as usize,
+        )
+    }
+
+    /// Maps a single-plane query onto plane `plane`'s column block.
+    pub fn map_query(&self, query: &crate::query::GraphQuery, plane: usize) -> crate::query::GraphQuery {
+        crate::query::GraphQuery::from_edges(
+            query.edges().iter().map(|&e| self.column(e, plane)).collect(),
+        )
+    }
+
+    /// Builds a flat record from per-edge measure tuples: `measures[i]` is
+    /// the value of plane `i` on that edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a tuple's length differs from the plane count.
+    pub fn record(&self, edges: &[(EdgeId, Vec<f64>)]) -> GraphRecord {
+        let mut b = RecordBuilder::with_capacity(edges.len() * self.names.len());
+        for (e, measures) in edges {
+            assert_eq!(
+                measures.len(),
+                self.names.len(),
+                "one measure per plane per edge"
+            );
+            for (plane, &m) in measures.iter().enumerate() {
+                b.add(self.column(*e, plane), m);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::GraphQuery;
+
+    #[test]
+    fn column_arithmetic_round_trips() {
+        let planes = MeasurePlanes::new(1000, &["time", "cost"]);
+        assert_eq!(planes.plane_count(), 2);
+        assert_eq!(planes.total_columns(), 2000);
+        let c = planes.column(EdgeId(7), 1);
+        assert_eq!(c, EdgeId(1007));
+        assert_eq!(planes.logical(c), (EdgeId(7), 1));
+        assert_eq!(planes.plane("cost"), Some(1));
+        assert_eq!(planes.plane("delay"), None);
+    }
+
+    #[test]
+    fn record_expands_tuples() {
+        let planes = MeasurePlanes::new(10, &["time", "cost"]);
+        let r = planes.record(&[
+            (EdgeId(0), vec![1.0, 100.0]),
+            (EdgeId(3), vec![2.0, 250.0]),
+        ]);
+        assert_eq!(r.edge_count(), 4);
+        assert_eq!(r.measure(EdgeId(0)), Some(1.0));
+        assert_eq!(r.measure(EdgeId(10)), Some(100.0));
+        assert_eq!(r.measure(EdgeId(3)), Some(2.0));
+        assert_eq!(r.measure(EdgeId(13)), Some(250.0));
+    }
+
+    #[test]
+    fn query_mapping_moves_blocks() {
+        let planes = MeasurePlanes::new(100, &["time", "cost", "co2"]);
+        let q = GraphQuery::from_edges(vec![EdgeId(1), EdgeId(5)]);
+        let cost = planes.map_query(&q, 1);
+        assert_eq!(cost.edges(), &[EdgeId(101), EdgeId(105)]);
+        let co2 = planes.map_query(&q, 2);
+        assert_eq!(co2.edges(), &[EdgeId(201), EdgeId(205)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond stride")]
+    fn rejects_out_of_range_edges() {
+        MeasurePlanes::new(10, &["m"]).column(EdgeId(10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one measure per plane")]
+    fn rejects_ragged_tuples() {
+        MeasurePlanes::new(10, &["a", "b"]).record(&[(EdgeId(0), vec![1.0])]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Graph queries and their logical combinations (§3.2, §3.4).
+
+use crate::agg::AggFn;
+use crate::ids::{EdgeId, Universe};
+use crate::path::Path;
+use crate::topo::QueryShape;
+use crate::GraphError;
+
+/// A graph query `Gq`: a set of named structural elements. A record `Gr`
+/// answers `Gq` iff `Gq ⊆ Gr` — plain containment over the shared universe,
+/// never isomorphism (§3.2).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphQuery {
+    /// Sorted, deduplicated edge ids.
+    edges: Vec<EdgeId>,
+}
+
+impl GraphQuery {
+    /// Builds a query from an edge set (sorted and deduplicated here).
+    pub fn from_edges(mut edges: Vec<EdgeId>) -> GraphQuery {
+        edges.sort_unstable();
+        edges.dedup();
+        GraphQuery { edges }
+    }
+
+    /// Builds the query matching all records containing `path` (query `Q1`
+    /// of the paper's motivation section is exactly this form).
+    pub fn from_path(path: &Path, universe: &Universe) -> Result<GraphQuery, GraphError> {
+        Ok(GraphQuery::from_edges(path.elements(universe)?))
+    }
+
+    /// Builds a query from node-name pairs, interning as needed.
+    pub fn from_edge_names(universe: &mut Universe, pairs: &[(&str, &str)]) -> GraphQuery {
+        GraphQuery::from_edges(
+            pairs
+                .iter()
+                .map(|(s, t)| universe.edge_by_names(s, t))
+                .collect(),
+        )
+    }
+
+    /// The edge set, sorted ascending.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of structural elements.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True for the empty query (matches every record).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// True when `edge` is part of the query.
+    pub fn contains(&self, edge: EdgeId) -> bool {
+        self.edges.binary_search(&edge).is_ok()
+    }
+
+    /// True when every edge of `self` is in `other` (`self ⊆ other`).
+    pub fn is_subquery_of(&self, other: &GraphQuery) -> bool {
+        if self.edges.len() > other.edges.len() {
+            return false;
+        }
+        let mut j = 0;
+        for &e in &self.edges {
+            while j < other.edges.len() && other.edges[j] < e {
+                j += 1;
+            }
+            if j == other.edges.len() || other.edges[j] != e {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The common subgraph `self ∩ other` — the building block of candidate
+    /// graph views (§5.2).
+    pub fn intersect(&self, other: &GraphQuery) -> GraphQuery {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.edges.len() && j < other.edges.len() {
+            match self.edges[i].cmp(&other.edges[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.edges[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        GraphQuery { edges: out }
+    }
+
+    /// The union `self ∪ other` (used to build `G_All` in §5.4).
+    pub fn union(&self, other: &GraphQuery) -> GraphQuery {
+        let mut edges = self.edges.clone();
+        edges.extend_from_slice(&other.edges);
+        GraphQuery::from_edges(edges)
+    }
+
+    /// The digraph structure of the query.
+    pub fn shape(&self, universe: &Universe) -> QueryShape {
+        QueryShape::from_edges(&self.edges, universe)
+    }
+
+    /// The maximal paths `[Src(Gq), Ter(Gq)]*` of the query.
+    pub fn maximal_paths(&self, universe: &Universe) -> Result<Vec<Path>, GraphError> {
+        self.shape(universe).maximal_paths()
+    }
+}
+
+/// Logical combinations of graph queries (§3.2):
+/// `[Gq1 AND Gq2] = [Gq1] ∩ [Gq2]`, `[Gq1 OR Gq2] = [Gq1] ∪ [Gq2]`,
+/// `[Gq1 AND NOT Gq2] = [Gq1] − [Gq2]`.
+///
+/// The engine evaluates these directly as bitmap algebra.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryExpr {
+    /// A plain graph query.
+    Atom(GraphQuery),
+    /// Records matching both operands.
+    And(Box<QueryExpr>, Box<QueryExpr>),
+    /// Records matching either operand.
+    Or(Box<QueryExpr>, Box<QueryExpr>),
+    /// Records matching the first but not the second operand.
+    AndNot(Box<QueryExpr>, Box<QueryExpr>),
+}
+
+impl QueryExpr {
+    /// Convenience constructor: `a AND b`.
+    pub fn and(a: QueryExpr, b: QueryExpr) -> QueryExpr {
+        QueryExpr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a OR b`.
+    pub fn or(a: QueryExpr, b: QueryExpr) -> QueryExpr {
+        QueryExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a AND NOT b`.
+    pub fn and_not(a: QueryExpr, b: QueryExpr) -> QueryExpr {
+        QueryExpr::AndNot(Box::new(a), Box::new(b))
+    }
+
+    /// All atomic graph queries referenced by the expression.
+    pub fn atoms(&self) -> Vec<&GraphQuery> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a GraphQuery>) {
+        match self {
+            QueryExpr::Atom(q) => out.push(q),
+            QueryExpr::And(a, b) | QueryExpr::Or(a, b) | QueryExpr::AndNot(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+        }
+    }
+}
+
+impl From<GraphQuery> for QueryExpr {
+    fn from(q: GraphQuery) -> Self {
+        QueryExpr::Atom(q)
+    }
+}
+
+/// A path-aggregation query `F_Gq` (§3.4): retrieve the records matching
+/// `Gq`, then apply `func` along every maximal source→terminal path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathAggQuery {
+    /// The structural condition.
+    pub query: GraphQuery,
+    /// The aggregate applied along each maximal path.
+    pub func: AggFn,
+}
+
+impl PathAggQuery {
+    /// Builds `func` over the maximal paths of `query`.
+    pub fn new(query: GraphQuery, func: AggFn) -> PathAggQuery {
+        PathAggQuery { query, func }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn q(ids: &[u32]) -> GraphQuery {
+        GraphQuery::from_edges(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    #[test]
+    fn from_edges_sorts_and_dedups() {
+        let query = q(&[5, 1, 5, 3]);
+        assert_eq!(query.edges(), &[EdgeId(1), EdgeId(3), EdgeId(5)]);
+        assert_eq!(query.len(), 3);
+    }
+
+    #[test]
+    fn subquery_and_intersection() {
+        let a = q(&[1, 2, 3, 4]);
+        let b = q(&[2, 4, 6]);
+        assert!(!b.is_subquery_of(&a));
+        assert!(q(&[2, 4]).is_subquery_of(&a));
+        assert_eq!(a.intersect(&b), q(&[2, 4]));
+        assert_eq!(a.union(&b), q(&[1, 2, 3, 4, 6]));
+        assert!(q(&[]).is_subquery_of(&a));
+    }
+
+    #[test]
+    fn from_path_collects_elements() {
+        let mut u = Universe::new();
+        let ad = u.edge_by_names("A", "D");
+        let de = u.edge_by_names("D", "E");
+        let a = u.find_node("A").unwrap();
+        let d = u.find_node("D").unwrap();
+        let e = u.find_node("E").unwrap();
+        let p = Path::closed(vec![a, d, e]).unwrap();
+        let query = GraphQuery::from_path(&p, &u).unwrap();
+        assert_eq!(query.edges(), &[ad, de]);
+    }
+
+    #[test]
+    fn expr_atoms_are_collected_in_order() {
+        let e = QueryExpr::and_not(
+            QueryExpr::or(q(&[1]).into(), q(&[2]).into()),
+            q(&[3]).into(),
+        );
+        let atoms = e.atoms();
+        assert_eq!(atoms.len(), 3);
+        assert_eq!(atoms[0], &q(&[1]));
+        assert_eq!(atoms[2], &q(&[3]));
+    }
+
+    #[test]
+    fn maximal_paths_via_query() {
+        let mut u = Universe::new();
+        let query = GraphQuery::from_edge_names(&mut u, &[("A", "B"), ("B", "C")]);
+        let paths = query.maximal_paths(&u).unwrap();
+        assert_eq!(paths.len(), 1);
+        let expect: Vec<NodeId> = ["A", "B", "C"].iter().map(|n| u.find_node(n).unwrap()).collect();
+        assert_eq!(paths[0].nodes(), expect.as_slice());
+    }
+}

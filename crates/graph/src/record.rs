@@ -1,0 +1,164 @@
+//! Graph records: the data items of the collection.
+
+use crate::ids::EdgeId;
+
+/// One graph record: a small directed graph whose structural elements (edges
+/// and node self-edges) carry measures.
+///
+/// Stored as an edge-id-sorted `(edge, measure)` list — the flat form the
+/// column store ingests directly. Group metadata links multiple records that
+/// form one logical unit (sub-orders, multigraph legs; §3.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphRecord {
+    edges: Vec<(EdgeId, f64)>,
+    group: Option<u64>,
+}
+
+impl GraphRecord {
+    /// The edges with their measures, sorted by edge id.
+    pub fn edges(&self) -> &[(EdgeId, f64)] {
+        &self.edges
+    }
+
+    /// Number of structural elements in the record.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The measure recorded on `edge`, if the record contains it.
+    pub fn measure(&self, edge: EdgeId) -> Option<f64> {
+        self.edges
+            .binary_search_by_key(&edge, |&(e, _)| e)
+            .ok()
+            .map(|i| self.edges[i].1)
+    }
+
+    /// True when the record contains `edge`.
+    pub fn contains(&self, edge: EdgeId) -> bool {
+        self.edges.binary_search_by_key(&edge, |&(e, _)| e).is_ok()
+    }
+
+    /// True when the record contains every edge in the (sorted or unsorted)
+    /// slice — the record-level subgraph test a graph query performs.
+    pub fn contains_all(&self, edges: &[EdgeId]) -> bool {
+        edges.iter().all(|&e| self.contains(e))
+    }
+
+    /// Logical-unit id linking related records, if any (§3.1 metadata).
+    pub fn group(&self) -> Option<u64> {
+        self.group
+    }
+}
+
+/// Builds a [`GraphRecord`] from unordered `(edge, measure)` insertions.
+#[derive(Default)]
+pub struct RecordBuilder {
+    edges: Vec<(EdgeId, f64)>,
+    group: Option<u64>,
+}
+
+impl RecordBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder that pre-allocates room for `n` edges.
+    pub fn with_capacity(n: usize) -> Self {
+        RecordBuilder {
+            edges: Vec::with_capacity(n),
+            group: None,
+        }
+    }
+
+    /// Records measure `m` on `edge`. Inserting the same edge twice keeps
+    /// the *last* value; walks that traverse an edge repeatedly should be
+    /// flattened first (see [`crate::flatten`]) or combined with
+    /// [`RecordBuilder::add_combining`].
+    pub fn add(&mut self, edge: EdgeId, m: f64) -> &mut Self {
+        self.edges.push((edge, m));
+        self
+    }
+
+    /// Records measure `m` on `edge`, combining with any existing value via
+    /// `combine` (e.g. `f64::add` to accumulate repeated traversals).
+    pub fn add_combining(&mut self, edge: EdgeId, m: f64, combine: fn(f64, f64) -> f64) -> &mut Self {
+        if let Some(pos) = self.edges.iter().position(|&(e, _)| e == edge) {
+            self.edges[pos].1 = combine(self.edges[pos].1, m);
+        } else {
+            self.edges.push((edge, m));
+        }
+        self
+    }
+
+    /// Tags the record with a logical-unit group id.
+    pub fn group(&mut self, id: u64) -> &mut Self {
+        self.group = Some(id);
+        self
+    }
+
+    /// Finishes the record, sorting and deduplicating (last write wins).
+    pub fn build(self) -> GraphRecord {
+        let mut edges = self.edges;
+        // Stable sort + keep the last occurrence of each edge id.
+        edges.sort_by_key(|&(e, _)| e);
+        let mut out: Vec<(EdgeId, f64)> = Vec::with_capacity(edges.len());
+        for (e, m) in edges {
+            match out.last_mut() {
+                Some(last) if last.0 == e => last.1 = m,
+                _ => out.push((e, m)),
+            }
+        }
+        GraphRecord { edges: out, group: self.group }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EdgeId {
+        EdgeId(i)
+    }
+
+    #[test]
+    fn build_sorts_and_dedups_last_wins() {
+        let mut b = RecordBuilder::new();
+        b.add(e(5), 1.0).add(e(1), 2.0).add(e(5), 3.0);
+        let r = b.build();
+        assert_eq!(r.edges(), &[(e(1), 2.0), (e(5), 3.0)]);
+        assert_eq!(r.measure(e(5)), Some(3.0));
+        assert_eq!(r.measure(e(2)), None);
+    }
+
+    #[test]
+    fn add_combining_accumulates() {
+        let mut b = RecordBuilder::new();
+        b.add_combining(e(7), 1.5, |a, b| a + b);
+        b.add_combining(e(7), 2.5, |a, b| a + b);
+        let r = b.build();
+        assert_eq!(r.measure(e(7)), Some(4.0));
+    }
+
+    #[test]
+    fn contains_all_is_subgraph_test() {
+        let mut b = RecordBuilder::new();
+        for i in [2u32, 4, 6, 8] {
+            b.add(e(i), f64::from(i));
+        }
+        let r = b.build();
+        assert!(r.contains_all(&[e(2), e(8)]));
+        assert!(!r.contains_all(&[e(2), e(3)]));
+        assert!(r.contains_all(&[]));
+    }
+
+    #[test]
+    fn group_metadata_round_trips() {
+        let mut b = RecordBuilder::new();
+        b.add(e(0), 1.0).group(42);
+        assert_eq!(b.build().group(), Some(42));
+        let mut b2 = RecordBuilder::new();
+        b2.add(e(0), 1.0);
+        assert_eq!(b2.build().group(), None);
+    }
+}

@@ -1,0 +1,103 @@
+//! Engine-independent query result shapes.
+//!
+//! Every storage engine in the workspace (the column store and the three
+//! baseline systems) answers the same logical queries; sharing the result
+//! types lets the cross-engine tests assert bit-identical answers.
+
+use crate::ids::EdgeId;
+use crate::RecordId;
+
+/// Result of a graph query: the matching records and, per record, the
+/// measures of the query's edges.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryResult {
+    /// Matching record ids, ascending.
+    pub records: Vec<RecordId>,
+    /// Query edge ids, ascending — the column order of `measures`.
+    pub edges: Vec<EdgeId>,
+    /// Record-major measure matrix: `measures[i * edges.len() + j]` is the
+    /// measure of `edges[j]` in `records[i]`.
+    pub measures: Vec<f64>,
+}
+
+impl QueryResult {
+    /// Number of matching records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no record matched.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The measure row of the `i`-th matching record.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let w = self.edges.len();
+        &self.measures[i * w..(i + 1) * w]
+    }
+
+    /// Total measure values materialized.
+    pub fn value_count(&self) -> usize {
+        self.measures.len()
+    }
+}
+
+/// Result of a path-aggregation query: per matching record, the aggregate of
+/// each maximal source→terminal path of the query graph.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PathAggResult {
+    /// Matching record ids, ascending.
+    pub records: Vec<RecordId>,
+    /// Number of maximal paths in the query — the row width.
+    pub path_count: usize,
+    /// Record-major aggregates: `values[i * path_count + p]` is the
+    /// aggregate along maximal path `p` for `records[i]`.
+    pub values: Vec<f64>,
+}
+
+impl PathAggResult {
+    /// Number of matching records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no record matched.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The aggregate row of the `i`-th matching record.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.values[i * self.path_count..(i + 1) * self.path_count]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_access() {
+        let r = QueryResult {
+            records: vec![3, 9],
+            edges: vec![EdgeId(0), EdgeId(4)],
+            measures: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(0), &[1.0, 2.0]);
+        assert_eq!(r.row(1), &[3.0, 4.0]);
+        assert_eq!(r.value_count(), 4);
+    }
+
+    #[test]
+    fn agg_row_access() {
+        let r = PathAggResult {
+            records: vec![1],
+            path_count: 3,
+            values: vec![5.0, 6.0, 7.0],
+        };
+        assert_eq!(r.row(0), &[5.0, 6.0, 7.0]);
+        assert!(!r.is_empty());
+    }
+}

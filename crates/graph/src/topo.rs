@@ -1,0 +1,290 @@
+//! Structural analysis of query graphs: sources, terminals, maximal paths.
+//!
+//! §3.3: "a graph query `Gq` can be described as a set of maximal paths from
+//! the source nodes of `Gq` to its terminal nodes". This module materializes
+//! that view from an edge set: it rebuilds the digraph through the universe,
+//! checks acyclicity (required for path aggregation, §6.2) and enumerates the
+//! maximal paths `[Src(Gq), Ter(Gq)]*`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ids::{EdgeId, NodeId, Universe};
+use crate::path::Path;
+use crate::GraphError;
+
+/// The digraph structure of a query (node self-edges excluded — they are
+/// measures, not topology).
+#[derive(Debug, Clone)]
+pub struct QueryShape {
+    /// Outgoing adjacency, deterministic order.
+    succ: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Incoming adjacency.
+    pred: BTreeMap<NodeId, Vec<NodeId>>,
+    nodes: BTreeSet<NodeId>,
+}
+
+impl QueryShape {
+    /// Builds the shape of an edge set, resolving endpoints via `universe`.
+    pub fn from_edges(edges: &[EdgeId], universe: &Universe) -> QueryShape {
+        let mut succ: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut pred: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut nodes = BTreeSet::new();
+        for &e in edges {
+            let (s, t) = universe.endpoints(e);
+            nodes.insert(s);
+            nodes.insert(t);
+            if s != t {
+                succ.entry(s).or_default().push(t);
+                pred.entry(t).or_default().push(s);
+            }
+        }
+        for v in succ.values_mut().chain(pred.values_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        QueryShape { succ, pred, nodes }
+    }
+
+    /// All nodes touched by the query.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Successors of `n`.
+    pub fn successors(&self, n: NodeId) -> &[NodeId] {
+        self.succ.get(&n).map_or(&[], Vec::as_slice)
+    }
+
+    /// Predecessors of `n`.
+    pub fn predecessors(&self, n: NodeId) -> &[NodeId] {
+        self.pred.get(&n).map_or(&[], Vec::as_slice)
+    }
+
+    /// `Src(Gq)`: nodes with no incoming edge.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|n| self.predecessors(*n).is_empty())
+            .collect()
+    }
+
+    /// `Ter(Gq)`: nodes with no outgoing edge.
+    pub fn terminals(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|n| self.successors(*n).is_empty())
+            .collect()
+    }
+
+    /// Kahn's algorithm: true when the (self-loop-free) digraph is acyclic.
+    pub fn is_dag(&self) -> bool {
+        let mut indeg: BTreeMap<NodeId, usize> = self
+            .nodes
+            .iter()
+            .map(|&n| (n, self.predecessors(n).len()))
+            .collect();
+        let mut queue: Vec<NodeId> = indeg
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(n) = queue.pop() {
+            seen += 1;
+            for &m in self.successors(n) {
+                let d = indeg.get_mut(&m).expect("successor is a node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(m);
+                }
+            }
+        }
+        seen == self.nodes.len()
+    }
+
+    /// The maximal paths `[Src(Gq), Ter(Gq)]*` (§3.3), as closed paths in
+    /// deterministic order.
+    ///
+    /// Requires acyclicity: with a cycle the set of source→terminal paths is
+    /// not well defined (and may be empty even for non-empty queries), which
+    /// is exactly why §6.2 flattens records into DAGs before aggregation.
+    pub fn maximal_paths(&self) -> Result<Vec<Path>, GraphError> {
+        if !self.is_dag() {
+            return Err(GraphError::CyclicQuery);
+        }
+        let terminals: BTreeSet<NodeId> = self.terminals().into_iter().collect();
+        let mut out = Vec::new();
+        for s in self.sources() {
+            let mut stack = vec![s];
+            self.dfs_paths(&mut stack, &terminals, &mut out);
+        }
+        Ok(out)
+    }
+
+    fn dfs_paths(&self, stack: &mut Vec<NodeId>, terminals: &BTreeSet<NodeId>, out: &mut Vec<Path>) {
+        let last = *stack.last().expect("stack non-empty");
+        if terminals.contains(&last) {
+            out.push(Path::closed(stack.clone()).expect("stack non-empty"));
+            return;
+        }
+        for &next in self.successors(last) {
+            stack.push(next);
+            self.dfs_paths(stack, terminals, out);
+            stack.pop();
+        }
+    }
+
+    /// All simple paths from any node in `from` to any node in `to` — the
+    /// expansion of the composite path `[from, to]*`.
+    ///
+    /// Unlike [`QueryShape::maximal_paths`] this works on cyclic shapes by
+    /// restricting to simple paths.
+    pub fn paths_between(&self, from: &[NodeId], to: &[NodeId]) -> Vec<Path> {
+        let targets: BTreeSet<NodeId> = to.iter().copied().collect();
+        let mut out = Vec::new();
+        for &s in from {
+            if !self.nodes.contains(&s) {
+                continue;
+            }
+            let mut stack = vec![s];
+            let mut on_path: BTreeSet<NodeId> = [s].into();
+            self.dfs_between(&mut stack, &mut on_path, &targets, &mut out);
+        }
+        out
+    }
+
+    fn dfs_between(
+        &self,
+        stack: &mut Vec<NodeId>,
+        on_path: &mut BTreeSet<NodeId>,
+        targets: &BTreeSet<NodeId>,
+        out: &mut Vec<Path>,
+    ) {
+        let last = *stack.last().expect("stack non-empty");
+        if targets.contains(&last) && stack.len() > 1 {
+            out.push(Path::closed(stack.clone()).expect("stack non-empty"));
+            // Do not return: longer paths through a target are still paths.
+        }
+        for &next in self.successors(last) {
+            if on_path.contains(&next) {
+                continue; // simple paths only
+            }
+            stack.push(next);
+            on_path.insert(next);
+            self.dfs_between(stack, on_path, targets, out);
+            on_path.remove(&next);
+            stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Figure 1 SCM record topology (region arrows only).
+    fn figure1(u: &mut Universe) -> Vec<EdgeId> {
+        // A→D, D→E, E→G, G→I, A→B, B→F, F→J, J→K, C→H, H→K, B? — keep to a
+        // representative subset with sources {A, C} and terminals {I, K}.
+        [
+            ("A", "D"),
+            ("D", "E"),
+            ("E", "G"),
+            ("G", "I"),
+            ("A", "B"),
+            ("B", "F"),
+            ("F", "J"),
+            ("J", "K"),
+            ("C", "H"),
+            ("H", "K"),
+        ]
+        .iter()
+        .map(|(s, t)| u.edge_by_names(s, t))
+        .collect()
+    }
+
+    #[test]
+    fn sources_and_terminals() {
+        let mut u = Universe::new();
+        let edges = figure1(&mut u);
+        let shape = QueryShape::from_edges(&edges, &u);
+        let names = |ns: Vec<NodeId>| -> Vec<&str> { ns.iter().map(|&n| u.node_name(n)).collect() };
+        assert_eq!(names(shape.sources()), vec!["A", "C"]);
+        assert_eq!(names(shape.terminals()), vec!["I", "K"]);
+        assert!(shape.is_dag());
+    }
+
+    #[test]
+    fn maximal_paths_enumerates_all_source_terminal_paths() {
+        let mut u = Universe::new();
+        let edges = figure1(&mut u);
+        let shape = QueryShape::from_edges(&edges, &u);
+        let paths = shape.maximal_paths().unwrap();
+        let rendered: Vec<String> = paths.iter().map(|p| p.display(&u).to_string()).collect();
+        assert_eq!(rendered, vec!["[A,D,E,G,I]", "[A,B,F,J,K]", "[C,H,K]"]);
+    }
+
+    #[test]
+    fn cyclic_query_rejected_for_maximal_paths() {
+        let mut u = Universe::new();
+        let edges = vec![
+            u.edge_by_names("A", "B"),
+            u.edge_by_names("B", "C"),
+            u.edge_by_names("C", "A"),
+        ];
+        let shape = QueryShape::from_edges(&edges, &u);
+        assert!(!shape.is_dag());
+        assert_eq!(shape.maximal_paths(), Err(GraphError::CyclicQuery));
+    }
+
+    #[test]
+    fn self_edges_do_not_affect_topology() {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        let b = u.node("B");
+        let edges = vec![u.edge(a, b), u.node_edge(a), u.node_edge(b)];
+        let shape = QueryShape::from_edges(&edges, &u);
+        assert!(shape.is_dag());
+        let paths = shape.maximal_paths().unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes(), &[a, b]);
+    }
+
+    #[test]
+    fn paths_between_expands_composite_paths() {
+        let mut u = Universe::new();
+        // Diamond: A→B→D, A→C→D plus D→E.
+        let edges = vec![
+            u.edge_by_names("A", "B"),
+            u.edge_by_names("B", "D"),
+            u.edge_by_names("A", "C"),
+            u.edge_by_names("C", "D"),
+            u.edge_by_names("D", "E"),
+        ];
+        let shape = QueryShape::from_edges(&edges, &u);
+        let a = u.find_node("A").unwrap();
+        let d = u.find_node("D").unwrap();
+        let paths = shape.paths_between(&[a], &[d]);
+        let mut rendered: Vec<String> = paths.iter().map(|p| p.display(&u).to_string()).collect();
+        rendered.sort();
+        assert_eq!(rendered, vec!["[A,B,D]", "[A,C,D]"]);
+    }
+
+    #[test]
+    fn paths_between_handles_cycles_via_simple_paths() {
+        let mut u = Universe::new();
+        let edges = vec![
+            u.edge_by_names("A", "B"),
+            u.edge_by_names("B", "A"),
+            u.edge_by_names("B", "C"),
+        ];
+        let shape = QueryShape::from_edges(&edges, &u);
+        let a = u.find_node("A").unwrap();
+        let c = u.find_node("C").unwrap();
+        let paths = shape.paths_between(&[a], &[c]);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].display(&u).to_string(), "[A,B,C]");
+    }
+}

@@ -1,0 +1,178 @@
+//! Universe persistence.
+//!
+//! The master relation's columns are meaningless without the naming scheme
+//! that maps edge ids to named entities, so a stored database carries its
+//! universe alongside (a line-oriented text file — names are user-facing
+//! strings, and the file doubles as documentation of the schema).
+//!
+//! Format (`universe.txt`):
+//!
+//! ```text
+//! graphbi-universe v1
+//! n <name>            -- one per node, in NodeId order
+//! e <src-id> <tgt-id> -- one per edge, in EdgeId order
+//! ```
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::ids::{NodeId, Universe};
+
+/// Errors from universe (de)serialization.
+#[derive(Debug)]
+pub enum UniverseIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed file contents.
+    Format {
+        /// Offending line number (1-based).
+        line: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for UniverseIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UniverseIoError::Io(e) => write!(f, "io error: {e}"),
+            UniverseIoError::Format { line, what } => {
+                write!(f, "bad universe file at line {line}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UniverseIoError {}
+
+impl From<std::io::Error> for UniverseIoError {
+    fn from(e: std::io::Error) -> Self {
+        UniverseIoError::Io(e)
+    }
+}
+
+impl Universe {
+    /// Writes the universe to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), UniverseIoError> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        writeln!(w, "graphbi-universe v1")?;
+        for i in 0..self.node_count() {
+            writeln!(w, "n {}", self.node_name(NodeId(i as u32)))?;
+        }
+        for (_, s, t) in self.edges() {
+            writeln!(w, "e {} {}", s.0, t.0)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a universe previously written by [`Universe::save`].
+    pub fn load(path: &Path) -> Result<Universe, UniverseIoError> {
+        let r = BufReader::new(std::fs::File::open(path)?);
+        let mut u = Universe::new();
+        for (i, line) in r.lines().enumerate() {
+            let line = line?;
+            let lineno = i + 1;
+            if i == 0 {
+                if line.trim() != "graphbi-universe v1" {
+                    return Err(UniverseIoError::Format {
+                        line: lineno,
+                        what: "missing header",
+                    });
+                }
+                continue;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            match line.split_once(' ') {
+                Some(("n", name)) => {
+                    u.node(name);
+                }
+                Some(("e", pair)) => {
+                    let (s, t) = pair.split_once(' ').ok_or(UniverseIoError::Format {
+                        line: lineno,
+                        what: "edge needs two node ids",
+                    })?;
+                    let parse = |x: &str| {
+                        x.parse::<u32>().map_err(|_| UniverseIoError::Format {
+                            line: lineno,
+                            what: "node id not a number",
+                        })
+                    };
+                    let (s, t) = (parse(s)?, parse(t)?);
+                    let max = u.node_count() as u32;
+                    if s >= max || t >= max {
+                        return Err(UniverseIoError::Format {
+                            line: lineno,
+                            what: "edge references unknown node",
+                        });
+                    }
+                    u.edge(NodeId(s), NodeId(t));
+                }
+                _ => {
+                    return Err(UniverseIoError::Format {
+                        line: lineno,
+                        what: "unknown record kind",
+                    })
+                }
+            }
+        }
+        Ok(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("graphbi-universe-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_preserves_ids_and_names() {
+        let mut u = Universe::new();
+        let a = u.node("hub A");
+        let b = u.node("B~2");
+        let ab = u.edge(a, b);
+        let self_a = u.node_edge(a);
+        let path = tmpfile("roundtrip");
+        u.save(&path).unwrap();
+        let back = Universe::load(&path).unwrap();
+        assert_eq!(back.node_count(), 2);
+        assert_eq!(back.edge_count(), 2);
+        assert_eq!(back.find_node("hub A"), Some(a));
+        assert_eq!(back.find_node("B~2"), Some(b));
+        assert_eq!(back.find_edge(a, b), Some(ab));
+        assert_eq!(back.find_edge(a, a), Some(self_a));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_header_and_bad_edges() {
+        let path = tmpfile("bad");
+        std::fs::write(&path, "nonsense\n").unwrap();
+        assert!(matches!(
+            Universe::load(&path),
+            Err(UniverseIoError::Format { line: 1, .. })
+        ));
+        std::fs::write(&path, "graphbi-universe v1\nn A\ne 0 7\n").unwrap();
+        assert!(matches!(
+            Universe::load(&path),
+            Err(UniverseIoError::Format { line: 3, .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_universe_round_trips() {
+        let u = Universe::new();
+        let path = tmpfile("empty");
+        u.save(&path).unwrap();
+        let back = Universe::load(&path).unwrap();
+        assert_eq!(back.node_count(), 0);
+        assert_eq!(back.edge_count(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

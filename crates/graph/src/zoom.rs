@@ -1,0 +1,203 @@
+//! Zooming out of node groups (§2, §3.1).
+//!
+//! The paper's Q3 treats "all hubs within region 2" as a single aggregate
+//! node, citing the zoom-in/zoom-out operators of its reference \[9\]. This
+//! module implements zoom-out over a record: a node group (region) is
+//! coalesced into one aggregate node; the region's internal measures fold
+//! into the aggregate node's self-edge, and boundary edges are redirected to
+//! the aggregate node (merging parallel ones).
+//!
+//! The redirected edges are interned in the shared universe, so zoomed
+//! records (or precomputed region statistics, stored as views over the
+//! region node) stay queryable with the ordinary machinery.
+
+use std::collections::HashMap;
+
+use crate::agg::{AggFn, AggState};
+use crate::ids::{EdgeId, NodeId, Universe};
+use crate::record::{GraphRecord, RecordBuilder};
+
+/// A named region: a node group treated as one aggregate node when zoomed
+/// out.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// The aggregate node standing for the group.
+    pub node: NodeId,
+    members: Vec<NodeId>,
+}
+
+impl Region {
+    /// Defines a region: interns `name` as the aggregate node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `members` is empty.
+    pub fn define(universe: &mut Universe, name: &str, members: &[NodeId]) -> Region {
+        assert!(!members.is_empty(), "a region needs at least one member");
+        let node = universe.node(name);
+        let mut members = members.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        Region { node, members }
+    }
+
+    /// True when `n` belongs to the region.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.members.binary_search(&n).is_ok()
+    }
+
+    /// The member nodes.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+}
+
+/// Zooms a record out of `region`: internal edges (both endpoints inside)
+/// fold into the region node's self-edge under `fold`; boundary edges are
+/// redirected to the region node, parallel redirections merging under
+/// `fold` as well. Edges not touching the region pass through unchanged.
+///
+/// With `AggFn::Sum` this matches the paper's examples: "the overall
+/// delivery time and cost [of the hidden part] are pre-computed and stored
+/// … in the form of an aggregate node".
+pub fn zoom_out(
+    universe: &mut Universe,
+    record: &GraphRecord,
+    region: &Region,
+    fold: AggFn,
+) -> GraphRecord {
+    // Accumulate per target edge so algebraic folds (AVG) stay exact.
+    let mut acc: HashMap<EdgeId, AggState> = HashMap::new();
+    let mut order: Vec<EdgeId> = Vec::new();
+    for &(e, m) in record.edges() {
+        let (s, t) = universe.endpoints(e);
+        let s2 = if region.contains(s) { region.node } else { s };
+        let t2 = if region.contains(t) { region.node } else { t };
+        let mapped = if (s2, t2) == (s, t) {
+            e
+        } else {
+            universe.edge(s2, t2)
+        };
+        acc.entry(mapped)
+            .or_insert_with(|| {
+                order.push(mapped);
+                AggState::empty()
+            })
+            .push(m);
+    }
+    let mut b = RecordBuilder::with_capacity(order.len());
+    for e in order {
+        let value = acc[&e]
+            .finalize(fold)
+            .expect("at least one measure folded per mapped edge");
+        b.add(e, value);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1's region 2: hubs D, E, F, G with A feeding in and I out.
+    fn setup() -> (Universe, GraphRecord, Region) {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        let d = u.node("D");
+        let e = u.node("E");
+        let g = u.node("G");
+        let i = u.node("I");
+        let mut b = RecordBuilder::new();
+        b.add(u.edge(a, d), 2.0) // boundary in
+            .add(u.edge(d, e), 1.5) // internal
+            .add(u.edge(e, g), 2.5) // internal
+            .add(u.edge(g, i), 1.0); // boundary out
+        let record = b.build();
+        let region = Region::define(&mut u, "Region2", &[d, e, g]);
+        (u, record, region)
+    }
+
+    #[test]
+    fn internal_edges_fold_into_region_self_edge() {
+        let (mut u, record, region) = setup();
+        let zoomed = zoom_out(&mut u, &record, &region, AggFn::Sum);
+        let self_edge = u.find_edge(region.node, region.node).unwrap();
+        assert_eq!(zoomed.measure(self_edge), Some(4.0)); // 1.5 + 2.5
+        // Boundary edges redirected.
+        let a = u.find_node("A").unwrap();
+        let i = u.find_node("I").unwrap();
+        let a_in = u.find_edge(a, region.node).unwrap();
+        let out_i = u.find_edge(region.node, i).unwrap();
+        assert_eq!(zoomed.measure(a_in), Some(2.0));
+        assert_eq!(zoomed.measure(out_i), Some(1.0));
+        assert_eq!(zoomed.edge_count(), 3);
+    }
+
+    #[test]
+    fn measure_totals_are_preserved_under_sum() {
+        let (mut u, record, region) = setup();
+        let zoomed = zoom_out(&mut u, &record, &region, AggFn::Sum);
+        let before: f64 = record.edges().iter().map(|&(_, m)| m).sum();
+        let after: f64 = zoomed.edges().iter().map(|&(_, m)| m).sum();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn parallel_boundary_edges_merge() {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        let d = u.node("D");
+        let e = u.node("E");
+        let mut b = RecordBuilder::new();
+        b.add(u.edge(a, d), 1.0).add(u.edge(a, e), 3.0);
+        let record = b.build();
+        let region = Region::define(&mut u, "R", &[d, e]);
+        let zoomed = zoom_out(&mut u, &record, &region, AggFn::Max);
+        let edge = u.find_edge(a, region.node).unwrap();
+        assert_eq!(zoomed.measure(edge), Some(3.0));
+        assert_eq!(zoomed.edge_count(), 1);
+    }
+
+    #[test]
+    fn untouched_edges_pass_through() {
+        let mut u = Universe::new();
+        let x = u.node("X");
+        let y = u.node("Y");
+        let d = u.node("D");
+        let xy = u.edge(x, y);
+        let mut b = RecordBuilder::new();
+        b.add(xy, 9.0);
+        let record = b.build();
+        let region = Region::define(&mut u, "R", &[d]);
+        let zoomed = zoom_out(&mut u, &record, &region, AggFn::Sum);
+        assert_eq!(zoomed, record);
+    }
+
+    #[test]
+    fn avg_fold_is_exact() {
+        let mut u = Universe::new();
+        let d = u.node("D");
+        let e = u.node("E");
+        let g = u.node("G");
+        let mut b = RecordBuilder::new();
+        b.add(u.edge(d, e), 2.0).add(u.edge(e, g), 4.0);
+        let record = b.build();
+        let region = Region::define(&mut u, "R", &[d, e, g]);
+        let zoomed = zoom_out(&mut u, &record, &region, AggFn::Avg);
+        let self_edge = u.find_edge(region.node, region.node).unwrap();
+        assert_eq!(zoomed.measure(self_edge), Some(3.0));
+    }
+
+    #[test]
+    fn region_membership() {
+        let mut u = Universe::new();
+        let d = u.node("D");
+        let e = u.node("E");
+        let x = u.node("X");
+        let region = Region::define(&mut u, "R", &[e, d, d]);
+        assert!(region.contains(d));
+        assert!(region.contains(e));
+        assert!(!region.contains(x));
+        assert_eq!(region.members().len(), 2);
+    }
+}

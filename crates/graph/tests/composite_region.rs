@@ -1,0 +1,81 @@
+//! §3.3's worked composite-path expression over Figure 1:
+//! `[Src(Gq), Src(R2)) ⋈ [Src(R2), Ter(R2)] ⋈ (Ter(R2), Ter(Gq)]`
+//! selects exactly the paths that traverse region 2, excluding `[C,H,K]`.
+
+use graphbi_graph::{CompositePath, Endpoint, NodeId, Path, QueryShape, Universe};
+
+/// Figure 1's routes: A→D→E→G→I, A→B→F→J→K, C→H→K; region 2 = {D,E,F,G,B}.
+fn figure1(u: &mut Universe) -> Vec<graphbi_graph::EdgeId> {
+    [
+        ("A", "D"),
+        ("D", "E"),
+        ("E", "G"),
+        ("G", "I"),
+        ("A", "B"),
+        ("B", "F"),
+        ("F", "J"),
+        ("J", "K"),
+        ("C", "H"),
+        ("H", "K"),
+    ]
+    .iter()
+    .map(|(s, t)| u.edge_by_names(s, t))
+    .collect()
+}
+
+fn nodes(u: &Universe, names: &[&str]) -> Vec<NodeId> {
+    names.iter().map(|n| u.find_node(n).unwrap()).collect()
+}
+
+#[test]
+fn composite_expression_selects_region_traversals() {
+    let mut u = Universe::new();
+    let edges = figure1(&mut u);
+    let shape = QueryShape::from_edges(&edges, &u);
+
+    // Region 2 of the figure: hubs between production lines and customers.
+    let region = nodes(&u, &["D", "E", "G", "B", "F"]);
+    let sources = shape.sources(); // {A, C}
+    let terminals = shape.terminals(); // {I, K}
+
+    // Src(R2)/Ter(R2) relative to the region subgraph: entry hubs receive
+    // from outside, exit hubs send outside.
+    let entry = nodes(&u, &["D", "B"]);
+    let exit = nodes(&u, &["G", "F"]);
+
+    // [Src(Gq), Src(R2)): all paths from sources into region entries, open
+    // at the region end so the join composes.
+    let into: Vec<Path> = shape
+        .paths_between(&sources, &entry)
+        .into_iter()
+        .map(|p| Path::new(p.nodes().to_vec(), Endpoint::Closed, Endpoint::Open).unwrap())
+        // Keep only direct entries (no hop through the region itself).
+        .filter(|p| p.nodes()[..p.nodes().len() - 1].iter().all(|n| !region.contains(n)))
+        .collect();
+    let through: Vec<Path> = shape
+        .paths_between(&entry, &exit)
+        .into_iter()
+        .map(|p| Path::new(p.nodes().to_vec(), Endpoint::Closed, Endpoint::Closed).unwrap())
+        .filter(|p| p.nodes().iter().all(|n| region.contains(n)))
+        .collect();
+    let out_of: Vec<Path> = shape
+        .paths_between(&exit, &terminals)
+        .into_iter()
+        .map(|p| Path::new(p.nodes().to_vec(), Endpoint::Open, Endpoint::Closed).unwrap())
+        .filter(|p| p.nodes()[1..].iter().all(|n| !region.contains(n)))
+        .collect();
+
+    let composed = CompositePath::new(into)
+        .join(&CompositePath::new(through))
+        .join(&CompositePath::new(out_of));
+
+    let mut rendered: Vec<String> = composed
+        .paths()
+        .iter()
+        .map(|p| p.display(&u).to_string())
+        .collect();
+    rendered.sort();
+    // Exactly the two region-2 corridors; [C,H,K] is excluded because it
+    // "does not contain any location in R2" (§3.3).
+    assert_eq!(rendered, vec!["[A,B,F,J,K]", "[A,D,E,G,I]"]);
+}

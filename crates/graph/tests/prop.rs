@@ -1,0 +1,166 @@
+//! Property tests over the graph model: flattening, zooming and the path
+//! algebra must preserve their invariants on arbitrary inputs.
+
+use graphbi_graph::{flatten, zoom, AggFn, EdgeId, NodeId, Path, QueryShape, Universe};
+use proptest::prelude::*;
+
+fn walk_strategy() -> impl Strategy<Value = (Vec<u8>, Vec<f64>)> {
+    prop::collection::vec(0u8..10, 1..30).prop_flat_map(|nodes| {
+        let n = nodes.len();
+        (
+            Just(nodes),
+            prop::collection::vec(0.1f64..50.0, n.saturating_sub(1)..n.max(2) - 1 + 1),
+        )
+    })
+    .prop_map(|(nodes, mut steps)| {
+        steps.truncate(nodes.len() - 1);
+        (nodes, steps)
+    })
+}
+
+fn node_ids(u: &mut Universe, raw: &[u8]) -> Vec<NodeId> {
+    raw.iter().map(|i| u.node(&format!("n{i}"))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn flatten_walk_preserves_sum_and_acyclicity((raw, steps) in walk_strategy()) {
+        prop_assume!(steps.len() + 1 == raw.len());
+        let mut u = Universe::new();
+        let walk = node_ids(&mut u, &raw);
+        let record = flatten::flatten_walk(&mut u, &walk, &steps);
+        // Measure conservation.
+        let total: f64 = record.edges().iter().map(|&(_, m)| m).sum();
+        let expect: f64 = steps.iter().sum();
+        prop_assert!((total - expect).abs() < 1e-9);
+        // Acyclicity.
+        let edges: Vec<EdgeId> = record.edges().iter().map(|&(e, _)| e).collect();
+        prop_assert!(QueryShape::from_edges(&edges, &u).is_dag());
+        // Never more structural elements than steps.
+        prop_assert!(record.edge_count() <= steps.len());
+    }
+
+    #[test]
+    fn flatten_to_dag_preserves_sum(
+        pairs in prop::collection::vec((0u8..8, 0u8..8, 0.1f64..10.0), 1..20),
+    ) {
+        let mut u = Universe::new();
+        let edges: Vec<(NodeId, NodeId, f64)> = pairs
+            .iter()
+            .filter(|(s, t, _)| s != t)
+            .map(|&(s, t, m)| {
+                (u.node(&format!("n{s}")), u.node(&format!("n{t}")), m)
+            })
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let record = flatten::flatten_to_dag(&mut u, &edges);
+        let expect: f64 = edges.iter().map(|&(_, _, m)| m).sum();
+        let total: f64 = record.edges().iter().map(|&(_, m)| m).sum();
+        prop_assert!((total - expect).abs() < 1e-9);
+        let ids: Vec<EdgeId> = record.edges().iter().map(|&(e, _)| e).collect();
+        prop_assert!(QueryShape::from_edges(&ids, &u).is_dag());
+    }
+
+    #[test]
+    fn zoom_out_conserves_sums_and_hides_members(
+        pairs in prop::collection::vec((0u8..8, 0u8..8, 0.1f64..10.0), 1..20),
+        members in prop::collection::btree_set(0u8..8, 1..4),
+    ) {
+        let mut u = Universe::new();
+        let mut b = graphbi_graph::RecordBuilder::new();
+        for &(s, t, m) in &pairs {
+            let se = u.node(&format!("n{s}"));
+            let te = u.node(&format!("n{t}"));
+            b.add_combining(u.edge(se, te), m, |a, c| a + c);
+        }
+        let record = b.build();
+        let member_ids: Vec<NodeId> =
+            members.iter().map(|i| u.node(&format!("n{i}"))).collect();
+        let region = zoom::Region::define(&mut u, "R", &member_ids);
+        let zoomed = zoom::zoom_out(&mut u, &record, &region, AggFn::Sum);
+        // Measure conservation under SUM.
+        let before: f64 = record.edges().iter().map(|&(_, m)| m).sum();
+        let after: f64 = zoomed.edges().iter().map(|&(_, m)| m).sum();
+        prop_assert!((before - after).abs() < 1e-9);
+        // No member node survives as an endpoint.
+        for &(e, _) in zoomed.edges() {
+            let (s, t) = u.endpoints(e);
+            prop_assert!(!region.contains(s), "member endpoint {s:?}");
+            prop_assert!(!region.contains(t), "member endpoint {t:?}");
+        }
+        // Zooming again with the same region is a no-op.
+        let twice = zoom::zoom_out(&mut u, &zoomed, &region, AggFn::Sum);
+        prop_assert_eq!(&twice, &zoomed);
+    }
+
+    #[test]
+    fn maximal_paths_cover_every_query_edge(
+        pairs in prop::collection::btree_set((0u8..7, 0u8..7), 1..12),
+    ) {
+        let mut u = Universe::new();
+        // Force acyclicity by orienting edges small→large.
+        let edges: Vec<EdgeId> = pairs
+            .iter()
+            .filter(|(s, t)| s < t)
+            .map(|&(s, t)| u.edge_by_names(&format!("n{s}"), &format!("n{t}")))
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let shape = QueryShape::from_edges(&edges, &u);
+        prop_assert!(shape.is_dag());
+        let paths = shape.maximal_paths().unwrap();
+        // Every edge appears on at least one maximal path.
+        let mut covered = std::collections::BTreeSet::new();
+        for p in &paths {
+            for w in p.nodes().windows(2) {
+                covered.insert(u.find_edge(w[0], w[1]).unwrap());
+            }
+        }
+        for &e in &edges {
+            prop_assert!(covered.contains(&e), "edge {e:?} uncovered");
+        }
+        // No maximal path is a subpath of another.
+        for a in &paths {
+            for b in &paths {
+                if a != b {
+                    prop_assert!(!a.is_subpath_of(b), "{a:?} ⊂ {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_display_parses_back(
+        names in prop::collection::vec("[a-z][a-z0-9]{0,4}", 1..6),
+        closed_start in any::<bool>(),
+        closed_end in any::<bool>(),
+    ) {
+        use graphbi_graph::Endpoint;
+        let mut u = Universe::new();
+        let mut seen = std::collections::BTreeSet::new();
+        let nodes: Vec<NodeId> = names
+            .iter()
+            .filter(|n| seen.insert((*n).clone()))
+            .map(|n| u.node(n))
+            .collect();
+        prop_assume!(!nodes.is_empty());
+        let p = Path::new(
+            nodes.clone(),
+            if closed_start { Endpoint::Closed } else { Endpoint::Open },
+            if closed_end { Endpoint::Closed } else { Endpoint::Open },
+        )
+        .unwrap();
+        let text = p.display(&u).to_string();
+        // The bracket notation is self-describing: endpoints and node names
+        // reconstruct exactly.
+        let inner = &text[1..text.len() - 1];
+        let parsed: Vec<&str> = inner.split(',').collect();
+        prop_assert_eq!(parsed.len(), nodes.len());
+        for (name, &id) in parsed.iter().zip(&nodes) {
+            prop_assert_eq!(u.find_node(name), Some(id));
+        }
+        prop_assert_eq!(text.starts_with('['), closed_start);
+        prop_assert_eq!(text.ends_with(']'), closed_end);
+    }
+}

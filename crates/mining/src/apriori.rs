@@ -1,0 +1,184 @@
+//! Level-wise frequent itemset mining (a-priori).
+//!
+//! §5.2 maps candidate-view generation to frequent itemset counting: each
+//! graph query is a transaction whose items are its edges, and a frequent
+//! itemset with support ≥ `minSup` is an edge set usable by at least
+//! `minSup` queries. The classic a-priori algorithm mines these level by
+//! level, pruning candidates with an infrequent subset.
+
+use std::collections::HashMap;
+
+use graphbi_graph::EdgeId;
+
+use crate::{is_subset_sorted, MinedSet};
+
+/// Safety valve: level-wise mining on heavily-overlapping workloads can blow
+/// up combinatorially; mining aborts by returning what it has when the
+/// result would exceed this many itemsets. The closure miner
+/// ([`crate::closure`]) is immune and is the default candidate generator.
+pub const MAX_ITEMSETS: usize = 200_000;
+
+/// Mines all itemsets (size ≥ 1) with support ≥ `min_sup` transactions.
+///
+/// Transactions must have sorted, deduplicated edge lists. Returns itemsets
+/// with their supporting transaction ids, smaller itemsets first; within a
+/// level, lexicographic order.
+///
+/// # Panics
+///
+/// Panics when `min_sup == 0` (a support threshold of zero is meaningless —
+/// every subset of every transaction would qualify).
+pub fn frequent_itemsets(transactions: &[Vec<EdgeId>], min_sup: usize) -> Vec<MinedSet> {
+    assert!(min_sup >= 1, "min_sup must be at least 1");
+    // L1: frequent single edges.
+    let mut tidsets: HashMap<EdgeId, Vec<u32>> = HashMap::new();
+    for (tid, t) in transactions.iter().enumerate() {
+        debug_assert!(t.windows(2).all(|w| w[0] < w[1]), "transactions sorted+dedup");
+        for &e in t {
+            tidsets
+                .entry(e)
+                .or_default()
+                .push(u32::try_from(tid).expect("tid fits u32"));
+        }
+    }
+    let mut level: Vec<MinedSet> = tidsets
+        .into_iter()
+        .filter(|(_, tids)| tids.len() >= min_sup)
+        .map(|(e, tids)| MinedSet {
+            edges: vec![e],
+            tids,
+        })
+        .collect();
+    level.sort_by(|a, b| a.edges.cmp(&b.edges));
+
+    let mut all = level.clone();
+    while !level.is_empty() && all.len() < MAX_ITEMSETS {
+        let mut next: Vec<MinedSet> = Vec::new();
+        // Join step: combine itemsets sharing all but the last item.
+        for i in 0..level.len() {
+            for j in (i + 1)..level.len() {
+                let (a, b) = (&level[i], &level[j]);
+                let k = a.edges.len();
+                if a.edges[..k - 1] != b.edges[..k - 1] {
+                    break; // sorted order: no further joins for i
+                }
+                let mut edges = a.edges.clone();
+                edges.push(b.edges[k - 1]);
+                // Prune step: every (k)-subset must be frequent. Checking
+                // the two generators covers most cases; check the rest.
+                if !all_k_subsets_frequent(&edges, &level) {
+                    continue;
+                }
+                let tids = crate::intersect_sorted(&a.tids, &b.tids);
+                if tids.len() >= min_sup {
+                    next.push(MinedSet { edges, tids });
+                }
+            }
+        }
+        next.sort_by(|a, b| a.edges.cmp(&b.edges));
+        all.extend(next.iter().cloned());
+        level = next;
+    }
+    all.truncate(MAX_ITEMSETS);
+    all
+}
+
+/// A-priori prune: all `k`-subsets of a `k+1` candidate must be in `level`.
+fn all_k_subsets_frequent(candidate: &[EdgeId], level: &[MinedSet]) -> bool {
+    // Skipping the two subsets that generated the candidate would be a tiny
+    // optimization; checking all keeps the code obviously correct.
+    for skip in 0..candidate.len() {
+        let subset: Vec<EdgeId> = candidate
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != skip)
+            .map(|(_, &e)| e)
+            .collect();
+        if level
+            .binary_search_by(|m| m.edges.as_slice().cmp(subset.as_slice()))
+            .is_err()
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Support of an explicit edge set in a transaction list (test/verification
+/// helper and post-hoc support probe).
+pub fn support_of(edges: &[EdgeId], transactions: &[Vec<EdgeId>]) -> usize {
+    transactions
+        .iter()
+        .filter(|t| is_subset_sorted(edges, t))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EdgeId {
+        EdgeId(i)
+    }
+
+    fn tx(ids: &[&[u32]]) -> Vec<Vec<EdgeId>> {
+        ids.iter().map(|t| t.iter().map(|&i| e(i)).collect()).collect()
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Transactions: {1,2,3}, {1,2}, {2,3}, {1,3}, minSup 2.
+        let t = tx(&[&[1, 2, 3], &[1, 2], &[2, 3], &[1, 3]]);
+        let got = frequent_itemsets(&t, 2);
+        let sets: Vec<(Vec<u32>, usize)> = got
+            .iter()
+            .map(|m| (m.edges.iter().map(|e| e.0).collect(), m.support()))
+            .collect();
+        assert!(sets.contains(&(vec![1], 3)));
+        assert!(sets.contains(&(vec![2], 3)));
+        assert!(sets.contains(&(vec![3], 3)));
+        assert!(sets.contains(&(vec![1, 2], 2)));
+        assert!(sets.contains(&(vec![1, 3], 2)));
+        assert!(sets.contains(&(vec![2, 3], 2)));
+        // {1,2,3} has support 1 < 2.
+        assert!(!sets.iter().any(|(s, _)| s == &vec![1, 2, 3]));
+        assert_eq!(sets.len(), 6);
+    }
+
+    #[test]
+    fn higher_min_sup_is_subset_of_lower() {
+        let t = tx(&[&[1, 2, 3, 4], &[1, 2, 3], &[1, 2], &[2, 3, 4]]);
+        let lo = frequent_itemsets(&t, 2);
+        let hi = frequent_itemsets(&t, 3);
+        assert!(hi.len() < lo.len());
+        for m in &hi {
+            assert!(lo.iter().any(|l| l.edges == m.edges));
+        }
+    }
+
+    #[test]
+    fn tidsets_match_explicit_support() {
+        let t = tx(&[&[1, 2, 5], &[2, 5, 7], &[1, 2, 5, 7], &[5, 7]]);
+        for m in frequent_itemsets(&t, 2) {
+            assert_eq!(m.support(), support_of(&m.edges, &t), "{:?}", m.edges);
+            for &tid in &m.tids {
+                assert!(is_subset_sorted(&m.edges, &t[tid as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(frequent_itemsets(&[], 1).is_empty());
+        let t = tx(&[&[3, 9]]);
+        let got = frequent_itemsets(&t, 1);
+        // {3}, {9}, {3,9}
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_sup")]
+    fn zero_min_sup_rejected() {
+        frequent_itemsets(&[], 0);
+    }
+}

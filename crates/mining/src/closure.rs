@@ -1,0 +1,191 @@
+//! Closed frequent itemsets via intersection fixpoint.
+//!
+//! §5.2 builds the candidate graph views as: every query graph, every
+//! pairwise intersection of query graphs, and iteratively the intersections
+//! of those ("adding the common subgraphs of the common subgraphs identified
+//! in the previous steps"). The fixpoint of that process is exactly the
+//! family of *closed* itemsets — edge sets equal to the intersection of all
+//! transactions containing them — and the paper's supersede filter removes
+//! precisely the non-closed ones. This miner computes the family directly
+//! and is therefore both the "intersection closure" candidate generator and
+//! the post-processing filter in one.
+
+use std::collections::HashMap;
+
+use graphbi_graph::EdgeId;
+
+use crate::{intersect_sorted, MinedSet};
+
+/// Mines all closed itemsets with support ≥ `min_sup`.
+///
+/// Transactions must be sorted and deduplicated. Complexity is output
+/// sensitive: each closed set is produced by intersecting an existing closed
+/// set with a transaction, so the work is `O(|closed| · |T| · avg_len)`.
+///
+/// # Panics
+///
+/// Panics when `min_sup == 0`.
+pub fn closed_itemsets(transactions: &[Vec<EdgeId>], min_sup: usize) -> Vec<MinedSet> {
+    assert!(min_sup >= 1, "min_sup must be at least 1");
+    // Every closed set is an intersection of a sub-family of transactions;
+    // build the family incrementally: processing transaction t, every
+    // existing closed set c spawns c ∩ t, and t itself joins the family.
+    // Exact tidsets are recomputed at the end in one pass per set.
+    let mut closed: std::collections::HashSet<Vec<EdgeId>> = std::collections::HashSet::new();
+    for t in transactions {
+        debug_assert!(t.windows(2).all(|w| w[0] < w[1]), "transactions sorted+dedup");
+        if t.is_empty() {
+            continue;
+        }
+        let mut updates: Vec<Vec<EdgeId>> = vec![t.clone()];
+        for edges in closed.iter() {
+            let common = intersect_sorted(edges, t);
+            if !common.is_empty() {
+                updates.push(common);
+            }
+        }
+        closed.extend(updates);
+    }
+    let mut out: Vec<MinedSet> = closed
+        .into_iter()
+        .map(|edges| {
+            let tids: Vec<u32> = transactions
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| crate::is_subset_sorted(&edges, t))
+                .map(|(tid, _)| u32::try_from(tid).expect("tid fits u32"))
+                .collect();
+            MinedSet { edges, tids }
+        })
+        .filter(|m| m.support() >= min_sup)
+        .collect();
+    out.sort_by(|a, b| a.edges.len().cmp(&b.edges.len()).then(a.edges.cmp(&b.edges)));
+    out
+}
+
+/// The paper's supersede filter applied to an arbitrary mined family: keeps
+/// only sets not superseded by another set in the family.
+///
+/// `Gv ≺ Gv'` iff `Gv ⊂ Gv'` and every transaction containing `Gv` contains
+/// `Gv'` — with exact tidsets this is "same tidset, strictly larger set".
+pub fn filter_superseded(mut sets: Vec<MinedSet>) -> Vec<MinedSet> {
+    // Group by tidset; keep the maximal set(s) of each group. Within one
+    // tidset group the closed set (the intersection of those transactions)
+    // is the unique superset of all others, so keeping maxima keeps one.
+    let mut by_tids: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for (i, m) in sets.iter().enumerate() {
+        by_tids.entry(m.tids.clone()).or_default().push(i);
+    }
+    let mut keep = vec![true; sets.len()];
+    for idxs in by_tids.values() {
+        for &i in idxs {
+            for &j in idxs {
+                if i != j
+                    && keep[i]
+                    && sets[i].edges.len() < sets[j].edges.len()
+                    && crate::is_subset_sorted(&sets[i].edges, &sets[j].edges)
+                {
+                    keep[i] = false;
+                }
+            }
+        }
+    }
+    let mut i = 0;
+    sets.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::frequent_itemsets;
+
+    fn e(i: u32) -> EdgeId {
+        EdgeId(i)
+    }
+
+    fn tx(ids: &[&[u32]]) -> Vec<Vec<EdgeId>> {
+        ids.iter().map(|t| t.iter().map(|&i| e(i)).collect()).collect()
+    }
+
+    #[test]
+    fn closed_sets_of_simple_workload() {
+        // Queries: {1,2,3}, {2,3,4}, {1,2,3} — closed sets: {1,2,3} (tids
+        // 0,2), {2,3,4} (tid 1), {2,3} (all three).
+        let t = tx(&[&[1, 2, 3], &[2, 3, 4], &[1, 2, 3]]);
+        let got = closed_itemsets(&t, 1);
+        let as_pairs: Vec<(Vec<u32>, Vec<u32>)> = got
+            .iter()
+            .map(|m| (m.edges.iter().map(|e| e.0).collect(), m.tids.clone()))
+            .collect();
+        assert_eq!(
+            as_pairs,
+            vec![
+                (vec![2, 3], vec![0, 1, 2]),
+                (vec![1, 2, 3], vec![0, 2]),
+                (vec![2, 3, 4], vec![1]),
+            ]
+        );
+    }
+
+    #[test]
+    fn closed_equals_apriori_plus_supersede_filter() {
+        let t = tx(&[
+            &[1, 2, 3, 4],
+            &[2, 3, 4, 5],
+            &[1, 2, 4],
+            &[3, 4, 5],
+            &[1, 2, 3, 4, 5],
+        ]);
+        for min_sup in 1..=3 {
+            let closed = closed_itemsets(&t, min_sup);
+            let filtered = filter_superseded(frequent_itemsets(&t, min_sup));
+            let mut a: Vec<Vec<EdgeId>> = closed.into_iter().map(|m| m.edges).collect();
+            let mut b: Vec<Vec<EdgeId>> = filtered.into_iter().map(|m| m.edges).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn min_sup_filters_rare_sets() {
+        let t = tx(&[&[1, 2], &[1, 2], &[3]]);
+        let got = closed_itemsets(&t, 2);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].edges, vec![e(1), e(2)]);
+        assert_eq!(got[0].support(), 2);
+    }
+
+    #[test]
+    fn every_transaction_is_a_closed_set() {
+        let t = tx(&[&[1, 9], &[2, 5, 7], &[4]]);
+        let got = closed_itemsets(&t, 1);
+        for tr in &t {
+            assert!(got.iter().any(|m| &m.edges == tr), "{tr:?} missing");
+        }
+    }
+
+    #[test]
+    fn identical_duplicated_transactions_do_not_blow_up() {
+        // The degenerate case that kills level-wise mining: many identical
+        // wide transactions. Closed mining yields exactly one set.
+        let wide: Vec<u32> = (0..60).collect();
+        let t = tx(&[&wide, &wide, &wide, &wide]);
+        let got = closed_itemsets(&t, 2);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].support(), 4);
+        assert_eq!(got[0].edges.len(), 60);
+    }
+
+    #[test]
+    fn empty_transactions_ignored() {
+        let t = tx(&[&[], &[1], &[]]);
+        let got = closed_itemsets(&t, 1);
+        assert_eq!(got.len(), 1);
+    }
+}

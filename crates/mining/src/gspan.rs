@@ -1,0 +1,328 @@
+//! Frequent connected subgraph mining over record samples (gSpan stand-in).
+//!
+//! gSpan mines frequent subgraphs under isomorphism using DFS codes. In this
+//! framework nodes are globally named entities, so two subgraphs are "the
+//! same" exactly when their edge sets are equal and no isomorphism test is
+//! needed. What remains is pattern growth: enumerate frequent *connected*
+//! edge sets by repeatedly attaching adjacent edges, with a canonical-parent
+//! rule replacing the DFS-code minimality check for duplicate-free
+//! enumeration.
+
+use std::collections::{HashMap, HashSet};
+
+use graphbi_graph::{EdgeId, NodeId, Universe};
+
+use crate::{intersect_sorted, MinedSet};
+
+/// Limits for one mining run.
+#[derive(Clone, Copy, Debug)]
+pub struct GspanConfig {
+    /// Minimum number of supporting sample records (for single edges).
+    pub min_support: usize,
+    /// Extra support demanded per additional edge — gIndex's
+    /// *size-increasing support* ψ: a pattern of `k` edges must reach
+    /// `min_support + support_ramp × (k − 1)`. Keeps dense samples from
+    /// exploding without a hard truncation of the search space.
+    pub support_ramp: usize,
+    /// Maximum pattern size in edges (gIndex's `maxL`).
+    pub max_edges: usize,
+    /// Hard cap on emitted patterns (mining is exponential in the worst
+    /// case; the paper itself resorts to a 1% sample for the same reason).
+    pub max_patterns: usize,
+}
+
+impl GspanConfig {
+    /// The ψ threshold for a pattern of `edges` edges.
+    pub fn support_for(&self, edges: usize) -> usize {
+        self.min_support + self.support_ramp * edges.saturating_sub(1)
+    }
+}
+
+impl Default for GspanConfig {
+    fn default() -> Self {
+        GspanConfig {
+            min_support: 2,
+            support_ramp: 0,
+            max_edges: 10,
+            max_patterns: 100_000,
+        }
+    }
+}
+
+/// Mines frequent connected edge sets from `records` (each a sorted edge-id
+/// list), resolving connectivity through `universe`.
+///
+/// Returns patterns of size ≥ 1 with their supporting record ids, in
+/// size-then-lexicographic order.
+pub fn mine(
+    records: &[Vec<EdgeId>],
+    universe: &Universe,
+    config: &GspanConfig,
+) -> Vec<MinedSet> {
+    // Tidsets of frequent single edges.
+    let mut single: HashMap<EdgeId, Vec<u32>> = HashMap::new();
+    for (tid, r) in records.iter().enumerate() {
+        for &e in r {
+            single
+                .entry(e)
+                .or_default()
+                .push(u32::try_from(tid).expect("tid fits u32"));
+        }
+    }
+    single.retain(|_, tids| tids.len() >= config.min_support);
+
+    // Node → frequent incident edges, for adjacency expansion.
+    let mut incident: HashMap<NodeId, Vec<EdgeId>> = HashMap::new();
+    for &e in single.keys() {
+        let (s, t) = universe.endpoints(e);
+        incident.entry(s).or_default().push(e);
+        if t != s {
+            incident.entry(t).or_default().push(e);
+        }
+    }
+    for v in incident.values_mut() {
+        v.sort_unstable();
+        v.dedup();
+    }
+
+    let mut out: Vec<MinedSet> = Vec::new();
+    let mut roots: Vec<EdgeId> = single.keys().copied().collect();
+    roots.sort_unstable();
+    for &root in &roots {
+        if out.len() >= config.max_patterns {
+            break;
+        }
+        let tids = single[&root].clone();
+        let mut pattern = vec![root];
+        grow(
+            &mut pattern,
+            tids,
+            universe,
+            &single,
+            &incident,
+            config,
+            &mut out,
+        );
+    }
+    out.sort_by(|a, b| a.edges.len().cmp(&b.edges.len()).then(a.edges.cmp(&b.edges)));
+    out
+}
+
+/// Recursive pattern growth with the canonical-parent rule.
+fn grow(
+    pattern: &mut Vec<EdgeId>,
+    tids: Vec<u32>,
+    universe: &Universe,
+    single: &HashMap<EdgeId, Vec<u32>>,
+    incident: &HashMap<NodeId, Vec<EdgeId>>,
+    config: &GspanConfig,
+    out: &mut Vec<MinedSet>,
+) {
+    if out.len() >= config.max_patterns {
+        return;
+    }
+    let mut sorted = pattern.clone();
+    sorted.sort_unstable();
+    out.push(MinedSet {
+        edges: sorted,
+        tids: tids.clone(),
+    });
+    if pattern.len() >= config.max_edges {
+        return;
+    }
+
+    // Candidate extensions: frequent edges adjacent to the pattern.
+    let mut nodes: HashSet<NodeId> = HashSet::new();
+    for &e in pattern.iter() {
+        let (s, t) = universe.endpoints(e);
+        nodes.insert(s);
+        nodes.insert(t);
+    }
+    let mut extensions: Vec<EdgeId> = Vec::new();
+    for &n in &nodes {
+        if let Some(es) = incident.get(&n) {
+            extensions.extend(es.iter().copied());
+        }
+    }
+    extensions.sort_unstable();
+    extensions.dedup();
+
+    for ext in extensions {
+        if pattern.contains(&ext) {
+            continue;
+        }
+        // Canonical-parent rule: the child pattern P∪{ext} is generated
+        // only from its canonical parent — P∪{ext} minus the *largest* edge
+        // whose removal keeps it connected. Generating from any other
+        // parent would duplicate the child.
+        let mut child: Vec<EdgeId> = pattern.clone();
+        child.push(ext);
+        if canonical_removal(&child, universe) != Some(ext) {
+            continue;
+        }
+        let child_tids = intersect_sorted(&tids, &single[&ext]);
+        if child_tids.len() < config.support_for(child.len()) {
+            continue;
+        }
+        pattern.push(ext);
+        grow(pattern, child_tids, universe, single, incident, config, out);
+        pattern.pop();
+    }
+}
+
+/// The largest edge of `edges` whose removal keeps the pattern connected
+/// (`None` for single-edge patterns, which are roots).
+fn canonical_removal(edges: &[EdgeId], universe: &Universe) -> Option<EdgeId> {
+    if edges.len() <= 1 {
+        return None;
+    }
+    let mut sorted = edges.to_vec();
+    sorted.sort_unstable();
+    sorted
+        .iter()
+        .rev()
+        .copied()
+        .find(|&e| is_connected_without(&sorted, e, universe))
+}
+
+/// True when `edges` minus `skip` is still one connected component
+/// (treating edges as undirected, self-loops attached to their node).
+fn is_connected_without(edges: &[EdgeId], skip: EdgeId, universe: &Universe) -> bool {
+    let rest: Vec<EdgeId> = edges.iter().copied().filter(|&e| e != skip).collect();
+    is_connected(&rest, universe)
+}
+
+/// Connectivity of an edge set (undirected sense). The empty set counts as
+/// connected.
+pub fn is_connected(edges: &[EdgeId], universe: &Universe) -> bool {
+    if edges.len() <= 1 {
+        return true;
+    }
+    let mut adj: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (i, &e) in edges.iter().enumerate() {
+        let (s, t) = universe.endpoints(e);
+        adj.entry(s).or_default().push(i);
+        adj.entry(t).or_default().push(i);
+    }
+    let mut seen_edges = vec![false; edges.len()];
+    let mut stack = vec![0usize];
+    seen_edges[0] = true;
+    let mut count = 1;
+    while let Some(i) = stack.pop() {
+        let (s, t) = universe.endpoints(edges[i]);
+        for n in [s, t] {
+            for &j in adj.get(&n).into_iter().flatten() {
+                if !seen_edges[j] {
+                    seen_edges[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+    }
+    count == edges.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Universe: a path A→B→C→D plus a detached edge X→Y.
+    fn setup() -> (Universe, Vec<EdgeId>) {
+        let mut u = Universe::new();
+        let edges = vec![
+            u.edge_by_names("A", "B"),
+            u.edge_by_names("B", "C"),
+            u.edge_by_names("C", "D"),
+            u.edge_by_names("X", "Y"),
+        ];
+        (u, edges)
+    }
+
+    #[test]
+    fn connectivity() {
+        let (u, e) = setup();
+        assert!(is_connected(&[e[0], e[1]], &u));
+        assert!(is_connected(&[e[0], e[1], e[2]], &u));
+        assert!(!is_connected(&[e[0], e[2]], &u)); // A→B and C→D don't touch
+        assert!(!is_connected(&[e[0], e[3]], &u));
+        assert!(is_connected(&[], &u));
+        assert!(is_connected(&[e[3]], &u));
+    }
+
+    #[test]
+    fn mines_connected_patterns_only() {
+        let (u, e) = setup();
+        // Three records all containing the path and the detached edge.
+        let records: Vec<Vec<EdgeId>> = (0..3).map(|_| e.clone()).collect();
+        let got = mine(
+            &records,
+            &u,
+            &GspanConfig {
+                min_support: 2,
+                max_edges: 4,
+                max_patterns: 1000,
+                ..GspanConfig::default()
+            },
+        );
+        for m in &got {
+            assert!(is_connected(&m.edges, &u), "{:?} disconnected", m.edges);
+            assert_eq!(m.support(), 3);
+        }
+        // Connected subsets: {ab},{bc},{cd},{xy},{ab,bc},{bc,cd},{ab,bc,cd}.
+        assert_eq!(got.len(), 7);
+    }
+
+    #[test]
+    fn no_duplicate_patterns() {
+        let mut u = Universe::new();
+        // A star: center S with 4 spokes — many growth orders per pattern.
+        let edges: Vec<EdgeId> = (0..4)
+            .map(|i| u.edge_by_names("S", &format!("T{i}")))
+            .collect();
+        let records = vec![edges.clone(), edges.clone()];
+        let got = mine(&records, &u, &GspanConfig::default());
+        let mut keys: Vec<Vec<EdgeId>> = got.iter().map(|m| m.edges.clone()).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicates emitted");
+        // All 2^4 - 1 non-empty spoke subsets are connected through S.
+        assert_eq!(before, 15);
+    }
+
+    #[test]
+    fn min_support_prunes() {
+        let (u, e) = setup();
+        let records = vec![vec![e[0], e[1]], vec![e[0]], vec![e[0]]];
+        let got = mine(
+            &records,
+            &u,
+            &GspanConfig {
+                min_support: 3,
+                max_edges: 3,
+                max_patterns: 100,
+                ..GspanConfig::default()
+            },
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].edges, vec![e[0]]);
+    }
+
+    #[test]
+    fn max_edges_caps_pattern_size() {
+        let (u, e) = setup();
+        let records = vec![e.clone(), e.clone()];
+        let got = mine(
+            &records,
+            &u,
+            &GspanConfig {
+                min_support: 2,
+                max_edges: 2,
+                max_patterns: 100,
+                ..GspanConfig::default()
+            },
+        );
+        assert!(got.iter().all(|m| m.edges.len() <= 2));
+    }
+}

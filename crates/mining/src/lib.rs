@@ -1,0 +1,90 @@
+#![warn(missing_docs)]
+
+//! Mining substrates for candidate generation (§5.2) and gIndex (§6.3).
+//!
+//! Three miners, all operating on collections of edge-id sets:
+//!
+//! * [`apriori`] — textbook level-wise frequent itemset mining (Agrawal &
+//!   Srikant, VLDB'94), the method §5.2 proposes for generating candidate
+//!   graph views when pairwise query intersections would explode.
+//! * [`closure`] — closed frequent itemsets via intersection fixpoint. The
+//!   paper's supersede filter ("a graph view is of no use if a larger view
+//!   serves exactly the same queries") keeps precisely the *closed* itemsets,
+//!   so this miner produces the post-processed candidate set directly.
+//! * [`gspan`] — frequent *connected* subgraph mining over record samples,
+//!   standing in for gSpan. Because nodes are globally named entities, a
+//!   subgraph is identified by its edge set and isomorphism never arises;
+//!   what remains of gSpan is pattern growth over connected edge sets with a
+//!   canonical-parent rule for duplicate-free enumeration.
+//! * [`gindex`] — discriminative-fragment selection over gspan's output,
+//!   mirroring the gIndex size-increasing discriminative filter.
+
+pub mod apriori;
+pub mod closure;
+pub mod gindex;
+pub mod gspan;
+
+use graphbi_graph::EdgeId;
+
+/// A mined edge set with the ids of the transactions (queries or records)
+/// that contain it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinedSet {
+    /// Sorted edge ids of the itemset / fragment.
+    pub edges: Vec<EdgeId>,
+    /// Sorted ids of the supporting transactions.
+    pub tids: Vec<u32>,
+}
+
+impl MinedSet {
+    /// Number of supporting transactions.
+    pub fn support(&self) -> usize {
+        self.tids.len()
+    }
+}
+
+/// Intersection of two sorted id slices.
+pub(crate) fn intersect_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when sorted `needle` is a subset of sorted `haystack`.
+pub(crate) fn is_subset_sorted<T: Ord + Copy>(needle: &[T], haystack: &[T]) -> bool {
+    let mut j = 0;
+    for &x in needle {
+        while j < haystack.len() && haystack[j] < x {
+            j += 1;
+        }
+        if j == haystack.len() || haystack[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_set_helpers() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert!(is_subset_sorted(&[2, 4], &[1, 2, 3, 4]));
+        assert!(!is_subset_sorted(&[2, 6], &[1, 2, 3, 4]));
+        assert!(is_subset_sorted::<u32>(&[], &[1]));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests: miners against brute-force enumeration on small inputs.
+
+use graphbi_graph::{EdgeId, Universe};
+use graphbi_mining::apriori::{frequent_itemsets, support_of};
+use graphbi_mining::closure::{closed_itemsets, filter_superseded};
+use graphbi_mining::gspan::{is_connected, mine, GspanConfig};
+use proptest::prelude::*;
+
+fn transactions() -> impl Strategy<Value = Vec<Vec<EdgeId>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0u32..12, 0..6)
+            .prop_map(|s| s.into_iter().map(EdgeId).collect::<Vec<_>>()),
+        1..8,
+    )
+}
+
+/// All non-empty subsets of the union of items, with their support.
+fn brute_force(tx: &[Vec<EdgeId>], min_sup: usize) -> Vec<(Vec<EdgeId>, usize)> {
+    let mut items: Vec<EdgeId> = tx.iter().flatten().copied().collect();
+    items.sort_unstable();
+    items.dedup();
+    let n = items.len();
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let set: Vec<EdgeId> = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| items[i])
+            .collect();
+        let sup = support_of(&set, tx);
+        if sup >= min_sup {
+            out.push((set, sup));
+        }
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn apriori_equals_brute_force(tx in transactions(), min_sup in 1usize..4) {
+        let mut got: Vec<(Vec<EdgeId>, usize)> = frequent_itemsets(&tx, min_sup)
+            .into_iter()
+            .map(|m| (m.edges, m.tids.len()))
+            .collect();
+        got.sort();
+        prop_assert_eq!(got, brute_force(&tx, min_sup));
+    }
+
+    #[test]
+    fn closed_sets_are_closed_and_complete(tx in transactions(), min_sup in 1usize..3) {
+        let closed = closed_itemsets(&tx, min_sup);
+        for m in &closed {
+            // Closure property: the set equals the intersection of all
+            // transactions containing it.
+            let mut inter: Option<Vec<EdgeId>> = None;
+            for &tid in &m.tids {
+                let t = &tx[tid as usize];
+                inter = Some(match inter {
+                    None => t.clone(),
+                    Some(i) => i.into_iter().filter(|e| t.contains(e)).collect(),
+                });
+            }
+            prop_assert_eq!(inter.unwrap(), m.edges.clone());
+            prop_assert_eq!(m.tids.len(), support_of(&m.edges, &tx));
+        }
+        // Completeness: filter_superseded(frequent) has the same edge sets.
+        let mut a: Vec<Vec<EdgeId>> = closed.into_iter().map(|m| m.edges).collect();
+        let mut b: Vec<Vec<EdgeId>> =
+            filter_superseded(frequent_itemsets(&tx, min_sup)).into_iter().map(|m| m.edges).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gspan_patterns_are_connected_with_exact_support(
+        edges in prop::collection::vec((0u32..8, 0u32..8), 1..10),
+        picks in prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 1..6), 1..6),
+    ) {
+        // Build a universe from random node pairs.
+        let mut u = Universe::new();
+        let ids: Vec<EdgeId> = edges
+            .iter()
+            .map(|&(a, b)| u.edge_by_names(&format!("n{a}"), &format!("n{b}")))
+            .collect();
+        // Records are random subsets of the universe's edges.
+        let records: Vec<Vec<EdgeId>> = picks
+            .iter()
+            .map(|p| {
+                let mut r: Vec<EdgeId> = p.iter().map(|ix| ids[ix.index(ids.len())]).collect();
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        let got = mine(
+            &records,
+            &u,
+            &GspanConfig { min_support: 1, max_edges: 5, max_patterns: 10_000, ..GspanConfig::default() },
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for m in &got {
+            prop_assert!(is_connected(&m.edges, &u));
+            prop_assert!(seen.insert(m.edges.clone()), "duplicate {:?}", m.edges);
+            let expect: Vec<u32> = records
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| m.edges.iter().all(|e| r.contains(e)))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(&m.tids, &expect);
+        }
+    }
+}

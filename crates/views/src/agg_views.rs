@@ -1,0 +1,467 @@
+//! Aggregate graph views (§5.1.2, §5.4).
+//!
+//! An aggregate graph view materializes, for a path `p`, a measure column
+//! `m_p` holding `F` of the measures along `p` (per record containing `p`)
+//! and the path's bitmap `b_p`. It replaces `len(p)` measure fetches with
+//! one, so — unlike plain graph views — longer is strictly better: the
+//! monotonicity property of §5.4.
+//!
+//! Candidate views are the paths of length ≥ 2 between *interesting nodes*
+//! of `G_All`, the union graph of the workload's maximal paths. Selection is
+//! the same greedy set cover, with benefit proportional to the covered path
+//! length; query time tiles each maximal path with non-overlapping view
+//! segments whose distributive sub-aggregates compose exactly.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use graphbi_graph::{EdgeId, GraphError, GraphQuery, NodeId, Path, Universe};
+
+/// A candidate aggregate graph view: one concrete path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggViewCandidate {
+    /// Node sequence of the path.
+    pub nodes: Vec<NodeId>,
+    /// The path's consecutive edges, in path order (`len = nodes.len()−1`).
+    pub edges: Vec<EdgeId>,
+}
+
+impl AggViewCandidate {
+    fn from_nodes(nodes: Vec<NodeId>, universe: &Universe) -> Option<AggViewCandidate> {
+        let edges: Option<Vec<EdgeId>> = nodes
+            .windows(2)
+            .map(|w| universe.find_edge(w[0], w[1]))
+            .collect();
+        Some(AggViewCandidate {
+            edges: edges?,
+            nodes,
+        })
+    }
+}
+
+/// The interesting nodes of a set of maximal paths (§5.4): path origins and
+/// endpoints, plus branch points — nodes where two or more distinct
+/// traversed edges start, or two or more end.
+pub fn interesting_nodes(paths: &[Path]) -> BTreeSet<NodeId> {
+    let mut out = BTreeSet::new();
+    let mut out_edges: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    let mut in_edges: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for p in paths {
+        let nodes = p.nodes();
+        if let (Some(&first), Some(&last)) = (nodes.first(), nodes.last()) {
+            out.insert(first);
+            out.insert(last);
+        }
+        for w in nodes.windows(2) {
+            out_edges.entry(w[0]).or_default().insert(w[1]);
+            in_edges.entry(w[1]).or_default().insert(w[0]);
+        }
+    }
+    for (n, targets) in &out_edges {
+        if targets.len() >= 2 {
+            out.insert(*n);
+        }
+    }
+    for (n, sources) in &in_edges {
+        if sources.len() >= 2 {
+            out.insert(*n);
+        }
+    }
+    out
+}
+
+/// Generates the candidate aggregate views `C_p` for a workload of
+/// path-aggregation queries (§5.4): all simple paths of length ≥ 2 between
+/// interesting nodes in `G_All`, capped at the longest maximal path of the
+/// workload (longer candidates can never be a subpath of any query path).
+///
+/// Fails when a query graph is cyclic ([`GraphError::CyclicQuery`]).
+pub fn agg_candidates(
+    queries: &[GraphQuery],
+    universe: &Universe,
+) -> Result<Vec<AggViewCandidate>, GraphError> {
+    agg_candidates_min_sup(queries, universe, 1)
+}
+
+/// Candidate generation with a support threshold, as swept in Figure 9: a
+/// candidate is kept only when it occurs as a subpath of the maximal paths
+/// of at least `min_sup` distinct workload queries.
+pub fn agg_candidates_min_sup(
+    queries: &[GraphQuery],
+    universe: &Universe,
+    min_sup: usize,
+) -> Result<Vec<AggViewCandidate>, GraphError> {
+    let per_query_paths: Vec<Vec<Path>> = queries
+        .iter()
+        .map(|q| q.maximal_paths(universe))
+        .collect::<Result<_, _>>()?;
+    let all_paths: Vec<Path> = per_query_paths.iter().flatten().cloned().collect();
+    let interesting = interesting_nodes(&all_paths);
+    let max_len = all_paths.iter().map(Path::edge_len).max().unwrap_or(0);
+
+    // G_All adjacency: edges traversed by any maximal path.
+    let mut succ: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for p in &all_paths {
+        for w in p.nodes().windows(2) {
+            succ.entry(w[0]).or_default().insert(w[1]);
+        }
+    }
+
+    // Enumerate simple paths between interesting nodes, DFS, length ≥ 2.
+    let mut found: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+    for &start in &interesting {
+        let mut stack = vec![start];
+        let mut on_path: BTreeSet<NodeId> = [start].into();
+        dfs(
+            &mut stack,
+            &mut on_path,
+            &succ,
+            &interesting,
+            max_len,
+            &mut found,
+        );
+    }
+
+    let candidates: Vec<AggViewCandidate> = found
+        .into_iter()
+        .filter_map(|nodes| AggViewCandidate::from_nodes(nodes, universe))
+        .filter(|c| {
+            if min_sup <= 1 {
+                return true;
+            }
+            per_query_paths
+                .iter()
+                .filter(|paths| {
+                    paths
+                        .iter()
+                        .any(|p| occurrences(&c.edges, &path_edges(p, universe)).next().is_some())
+                })
+                .count()
+                >= min_sup
+        })
+        .collect();
+    Ok(candidates)
+}
+
+fn dfs(
+    stack: &mut Vec<NodeId>,
+    on_path: &mut BTreeSet<NodeId>,
+    succ: &BTreeMap<NodeId, BTreeSet<NodeId>>,
+    interesting: &BTreeSet<NodeId>,
+    max_len: usize,
+    found: &mut BTreeSet<Vec<NodeId>>,
+) {
+    // `max_len` is in edges; a path of k edges has k+1 nodes.
+    if stack.len() > max_len + 1 {
+        return;
+    }
+    let last = *stack.last().expect("stack non-empty");
+    if stack.len() >= 3 && interesting.contains(&last) {
+        found.insert(stack.clone());
+        // Keep extending: longer paths through interesting nodes are also
+        // candidates ([A,C,E,F,G] in the paper's example passes through E).
+    }
+    let Some(nexts) = succ.get(&last) else { return };
+    for &n in nexts {
+        if on_path.contains(&n) {
+            continue;
+        }
+        stack.push(n);
+        on_path.insert(n);
+        dfs(stack, on_path, succ, interesting, max_len, found);
+        on_path.remove(&n);
+        stack.pop();
+    }
+}
+
+/// Ordered consecutive edges of a maximal path (all present in the universe
+/// by construction).
+fn path_edges(p: &Path, universe: &Universe) -> Vec<EdgeId> {
+    p.nodes()
+        .windows(2)
+        .map(|w| universe.find_edge(w[0], w[1]).expect("maximal path edges exist"))
+        .collect()
+}
+
+/// Start offsets where `needle` occurs as a contiguous subsequence.
+fn occurrences<'a>(needle: &'a [EdgeId], haystack: &'a [EdgeId]) -> impl Iterator<Item = usize> + 'a {
+    let n = needle.len();
+    (0..haystack.len().saturating_sub(n.saturating_sub(1)))
+        .filter(move |&i| n > 0 && haystack[i..i + n] == *needle)
+}
+
+/// Greedy selection of at most `budget` aggregate views (§5.4).
+///
+/// Universes are the edge slots of every maximal path of every query; a
+/// candidate covers the slots of each of its occurrences. Benefit is the
+/// number of newly covered slots — a monotone proxy for the measure columns
+/// the view replaces, which is all the paper's cost model requires.
+/// Selection stops when the best candidate covers fewer than two uncovered
+/// slots (such a view cannot beat the base measure columns).
+///
+/// Returns indices into `candidates`, in selection order.
+pub fn select_agg_views(
+    queries: &[GraphQuery],
+    universe: &Universe,
+    candidates: &[AggViewCandidate],
+    budget: usize,
+) -> Result<Vec<usize>, GraphError> {
+    // Flatten workload into maximal-path edge sequences.
+    let mut paths: Vec<Vec<EdgeId>> = Vec::new();
+    for q in queries {
+        for p in q.maximal_paths(universe)? {
+            paths.push(path_edges(&p, universe));
+        }
+    }
+    let mut covered: Vec<Vec<bool>> = paths.iter().map(|p| vec![false; p.len()]).collect();
+    let mut chosen = Vec::new();
+    let mut available = vec![true; candidates.len()];
+
+    while chosen.len() < budget {
+        let mut best: Option<(usize, usize)> = None;
+        for (ci, c) in candidates.iter().enumerate() {
+            if !available[ci] {
+                continue;
+            }
+            let mut benefit = 0usize;
+            for (pi, p) in paths.iter().enumerate() {
+                for start in occurrences(&c.edges, p) {
+                    benefit += covered[pi][start..start + c.edges.len()]
+                        .iter()
+                        .filter(|&&b| !b)
+                        .count();
+                }
+            }
+            let better = match best {
+                None => benefit >= 2,
+                Some((bb, bi)) => {
+                    benefit > bb
+                        || (benefit == bb && candidates[bi].edges.len() < c.edges.len())
+                }
+            };
+            if better && benefit >= 2 {
+                best = Some((benefit, ci));
+            }
+        }
+        let Some((_, ci)) = best else { break };
+        chosen.push(ci);
+        available[ci] = false;
+        for (pi, p) in paths.iter().enumerate() {
+            for start in occurrences(&candidates[ci].edges, p) {
+                for b in &mut covered[pi][start..start + candidates[ci].edges.len()] {
+                    *b = true;
+                }
+            }
+        }
+    }
+    Ok(chosen)
+}
+
+/// One piece of a tiled maximal path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathSegment {
+    /// Use materialized view `view` (index into the view list), spanning
+    /// `len` consecutive edges of the path.
+    View {
+        /// Index into the materialized-view list passed to [`cover_path`].
+        view: usize,
+        /// Number of consecutive path edges the view spans.
+        len: usize,
+    },
+    /// Fetch this edge's own measure column.
+    Edge(EdgeId),
+}
+
+/// A tiling of one maximal path into non-overlapping segments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathCover {
+    /// Segments in path order; their lengths sum to the path's edge count.
+    pub segments: Vec<PathSegment>,
+}
+
+impl PathCover {
+    /// Measure columns fetched under this tiling (one per segment).
+    pub fn column_cost(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of edges covered by views rather than base columns.
+    pub fn edges_via_views(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                PathSegment::View { len, .. } => *len,
+                PathSegment::Edge(_) => 0,
+            })
+            .sum()
+    }
+}
+
+/// Tiles `path_edges` left-to-right with the longest matching view at each
+/// position (views are ordered edge sequences).
+///
+/// Because segments never overlap, each measure contributes exactly once and
+/// distributive sub-aggregates of the segments merge into the path's
+/// aggregate.
+pub fn cover_path(path_edges: &[EdgeId], views: &[Vec<EdgeId>]) -> PathCover {
+    let mut segments = Vec::new();
+    let mut i = 0;
+    while i < path_edges.len() {
+        let mut best: Option<(usize, usize)> = None; // (len, view idx)
+        for (vi, v) in views.iter().enumerate() {
+            let n = v.len();
+            if n >= 2
+                && i + n <= path_edges.len()
+                && path_edges[i..i + n] == v[..]
+                && best.is_none_or(|(bl, _)| n > bl)
+            {
+                best = Some((n, vi));
+            }
+        }
+        match best {
+            Some((len, view)) => {
+                segments.push(PathSegment::View { view, len });
+                i += len;
+            }
+            None => {
+                segments.push(PathSegment::Edge(path_edges[i]));
+                i += 1;
+            }
+        }
+    }
+    PathCover { segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 2 graphs as *queries* (§5.4's worked example):
+    /// record 1: A→C→E, A→B; record 2: A→C→E→F→G, A→D→E (diamond);
+    /// record 3: A→D→E→F→G.
+    fn figure2(u: &mut Universe) -> Vec<GraphQuery> {
+        let q1 = GraphQuery::from_edge_names(u, &[("A", "C"), ("C", "E"), ("A", "B")]);
+        let q2 = GraphQuery::from_edge_names(
+            u,
+            &[("A", "C"), ("C", "E"), ("A", "D"), ("D", "E"), ("E", "F"), ("F", "G")],
+        );
+        let q3 = GraphQuery::from_edge_names(u, &[("A", "D"), ("D", "E"), ("E", "F"), ("F", "G")]);
+        vec![q1, q2, q3]
+    }
+
+    fn render(c: &AggViewCandidate, u: &Universe) -> String {
+        c.nodes
+            .iter()
+            .map(|&n| u.node_name(n).to_owned())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    #[test]
+    fn paper_example_interesting_nodes_and_candidates() {
+        let mut u = Universe::new();
+        let queries = figure2(&mut u);
+        let paths: Vec<Path> = queries
+            .iter()
+            .flat_map(|q| q.maximal_paths(&u).unwrap())
+            .collect();
+        let interesting = interesting_nodes(&paths);
+        let mut names: Vec<&str> = interesting.iter().map(|&n| u.node_name(n)).collect();
+        names.sort();
+        // §5.4: "the interesting nodes are A, B, E and G".
+        assert_eq!(names, vec!["A", "B", "E", "G"]);
+
+        let cands = agg_candidates(&queries, &u).unwrap();
+        let mut rendered: Vec<String> = cands.iter().map(|c| render(c, &u)).collect();
+        rendered.sort();
+        // §5.4: "the candidate paths are [A,C,E], [A,D,E], [A,C,E,F,G],
+        // [A,D,E,F,G] and [E,F,G] resulting in 5 candidate aggregate views".
+        assert_eq!(
+            rendered,
+            vec!["A,C,E", "A,C,E,F,G", "A,D,E", "A,D,E,F,G", "E,F,G"]
+        );
+    }
+
+    #[test]
+    fn selection_respects_budget_and_prefers_shared_paths() {
+        let mut u = Universe::new();
+        let queries = figure2(&mut u);
+        let cands = agg_candidates(&queries, &u).unwrap();
+        let sel = select_agg_views(&queries, &u, &cands, 2).unwrap();
+        assert!(sel.len() <= 2);
+        assert!(!sel.is_empty());
+        // The first pick must be one of the two 4-edge full paths (benefit 4
+        // beats the shared [E,F,G]'s 2+2=4? [E,F,G] covers 2 slots in two
+        // paths = 4, full paths cover 4 in one — tie broken toward longer).
+        let first = &cands[sel[0]];
+        assert!(first.edges.len() >= 2);
+    }
+
+    #[test]
+    fn min_sup_filters_rarely_shared_candidates() {
+        let mut u = Universe::new();
+        let queries = figure2(&mut u);
+        let all = agg_candidates_min_sup(&queries, &u, 1).unwrap();
+        let shared = agg_candidates_min_sup(&queries, &u, 2).unwrap();
+        assert!(shared.len() < all.len());
+        // [E,F,G] is a subpath of maximal paths in queries 2 and 3.
+        assert!(shared.iter().any(|c| render(c, &u) == "E,F,G"));
+        // [A,C,E,F,G] exists only in query 2.
+        assert!(!shared.iter().any(|c| render(c, &u) == "A,C,E,F,G"));
+    }
+
+    #[test]
+    fn cover_path_tiles_longest_first() {
+        let e: Vec<EdgeId> = (0..6).map(EdgeId).collect();
+        let path = e.clone();
+        let views = vec![
+            vec![e[0], e[1]],
+            vec![e[0], e[1], e[2]],
+            vec![e[4], e[5]],
+        ];
+        let cover = cover_path(&path, &views);
+        assert_eq!(
+            cover.segments,
+            vec![
+                PathSegment::View { view: 1, len: 3 },
+                PathSegment::Edge(e[3]),
+                PathSegment::View { view: 2, len: 2 },
+            ]
+        );
+        assert_eq!(cover.column_cost(), 3);
+        assert_eq!(cover.edges_via_views(), 5);
+    }
+
+    #[test]
+    fn cover_path_without_views_is_all_edges() {
+        let e: Vec<EdgeId> = (0..3).map(EdgeId).collect();
+        let cover = cover_path(&e, &[]);
+        assert_eq!(cover.column_cost(), 3);
+        assert_eq!(cover.edges_via_views(), 0);
+    }
+
+    #[test]
+    fn cover_segments_partition_the_path() {
+        let e: Vec<EdgeId> = (0..8).map(EdgeId).collect();
+        let views = vec![vec![e[1], e[2], e[3]], vec![e[3], e[4]], vec![e[6], e[7]]];
+        let cover = cover_path(&e, &views);
+        let total: usize = cover
+            .segments
+            .iter()
+            .map(|s| match s {
+                PathSegment::View { len, .. } => *len,
+                PathSegment::Edge(_) => 1,
+            })
+            .sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn cyclic_query_surfaces_error() {
+        let mut u = Universe::new();
+        let q = GraphQuery::from_edge_names(&mut u, &[("A", "B"), ("B", "A")]);
+        assert!(matches!(
+            agg_candidates(&[q], &u),
+            Err(GraphError::CyclicQuery)
+        ));
+    }
+}

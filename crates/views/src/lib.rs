@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Materialized graph views (§5): the paper's primary contribution.
+//!
+//! Two view species, each with a candidate generator, a greedy selector and
+//! a query-time rewriter:
+//!
+//! * **Graph views** ([`graph_views`], [`rewrite`]) — a graph view is the
+//!   precomputed conjunction of the bitmaps of an edge set; using it in a
+//!   query replaces `|B|` bitmap fetches with one. Candidates are the closed
+//!   family of the query workload (every query, every intersection of
+//!   queries, recursively — the fixpoint the supersede/monotonicity property
+//!   of §5.2 leaves standing), selection is a greedy *extended set cover*
+//!   over multiple universes under a budget of `k` views, and the same
+//!   greedy (single universe) rewrites an incoming query over whatever views
+//!   exist.
+//! * **Aggregate graph views** ([`agg_views`]) — a measure column holding a
+//!   path's pre-aggregated value plus the path's bitmap. Candidates are the
+//!   paths between *interesting nodes* of the workload's union graph
+//!   (§5.4), the benefit model is proportional to path length, and the
+//!   rewriter tiles each maximal query path with non-overlapping view
+//!   segments so distributive sub-aggregates compose exactly.
+//!
+//! This crate is pure algorithm — it plans which views to build and how to
+//! use them; materializing the actual bitmap/measure columns is the storage
+//! engine's job (`graphbi` core crate).
+
+pub mod agg_views;
+pub mod graph_views;
+pub mod rewrite;
+
+pub use agg_views::{
+    agg_candidates, agg_candidates_min_sup, cover_path, interesting_nodes, select_agg_views,
+    AggViewCandidate, PathCover, PathSegment,
+};
+pub use graph_views::{
+    generate_candidates, generate_candidates_min_sup, select_views, CandidateGraphView,
+};
+pub use rewrite::{rewrite_query, Rewrite};

@@ -1,0 +1,174 @@
+//! Query-time rewriting over materialized graph views (§5.3).
+
+use std::collections::BTreeSet;
+
+use graphbi_graph::{EdgeId, GraphQuery};
+
+/// An evaluation plan for a graph query: which view bitmaps and which base
+/// edge bitmaps to AND together.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rewrite {
+    /// Indices (into the materialized view list) of the views to use.
+    pub views: Vec<usize>,
+    /// Base edge bitmaps still needed after the views.
+    pub residual_edges: Vec<EdgeId>,
+}
+
+impl Rewrite {
+    /// Plan that ignores views entirely (the oblivious baseline).
+    pub fn oblivious(query: &GraphQuery) -> Rewrite {
+        Rewrite {
+            views: Vec::new(),
+            residual_edges: query.edges().to_vec(),
+        }
+    }
+
+    /// Number of bitmap columns this plan fetches — the paper's cost model.
+    pub fn bitmap_cost(&self) -> usize {
+        self.views.len() + self.residual_edges.len()
+    }
+}
+
+/// Greedy single-universe set cover (§5.3): covers the query's edges using
+/// the materialized views (only those that are subgraphs of the query) and
+/// base edge bitmaps.
+///
+/// Each step picks the view covering the most uncovered edges; when no view
+/// covers at least two uncovered edges, the remaining edges are fetched from
+/// their own bitmap columns (a view covering one edge ties a base bitmap and
+/// buys nothing). The greedy is the classical `H(n)`-approximation.
+pub fn rewrite_query(query: &GraphQuery, views: &[Vec<EdgeId>]) -> Rewrite {
+    let mut uncovered: BTreeSet<EdgeId> = query.edges().iter().copied().collect();
+    // Views usable for this query: subgraphs of it.
+    let usable: Vec<usize> = views
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| is_subset(v, query.edges()))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut picked = Vec::new();
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (coverage, view idx)
+        for &vi in &usable {
+            if picked.contains(&vi) {
+                continue;
+            }
+            let cov = views[vi].iter().filter(|e| uncovered.contains(e)).count();
+            if cov >= 2 {
+                let better = match best {
+                    None => true,
+                    Some((bc, bi)) => {
+                        cov > bc || (cov == bc && views[bi].len() > views[vi].len())
+                    }
+                };
+                if better {
+                    best = Some((cov, vi));
+                }
+            }
+        }
+        let Some((_, vi)) = best else { break };
+        picked.push(vi);
+        for e in &views[vi] {
+            uncovered.remove(e);
+        }
+    }
+    Rewrite {
+        views: picked,
+        residual_edges: uncovered.into_iter().collect(),
+    }
+}
+
+fn is_subset(needle: &[EdgeId], haystack: &[EdgeId]) -> bool {
+    let mut j = 0;
+    for &x in needle {
+        while j < haystack.len() && haystack[j] < x {
+            j += 1;
+        }
+        if j == haystack.len() || haystack[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(ids: &[u32]) -> GraphQuery {
+        GraphQuery::from_edges(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    fn v(ids: &[u32]) -> Vec<EdgeId> {
+        ids.iter().map(|&i| EdgeId(i)).collect()
+    }
+
+    #[test]
+    fn exact_view_covers_whole_query() {
+        let query = q(&[1, 2, 3]);
+        let views = vec![v(&[1, 2, 3])];
+        let r = rewrite_query(&query, &views);
+        assert_eq!(r.views, vec![0]);
+        assert!(r.residual_edges.is_empty());
+        assert_eq!(r.bitmap_cost(), 1);
+        assert_eq!(Rewrite::oblivious(&query).bitmap_cost(), 3);
+    }
+
+    #[test]
+    fn partial_views_plus_residual_edges() {
+        let query = q(&[1, 2, 3, 4, 5]);
+        let views = vec![v(&[1, 2]), v(&[4, 5])];
+        let r = rewrite_query(&query, &views);
+        assert_eq!(r.views.len(), 2);
+        assert_eq!(r.residual_edges, v(&[3]));
+        assert_eq!(r.bitmap_cost(), 3);
+    }
+
+    #[test]
+    fn superset_views_are_unusable() {
+        // A view strictly larger than the query would over-filter.
+        let query = q(&[1, 2]);
+        let views = vec![v(&[1, 2, 3])];
+        let r = rewrite_query(&query, &views);
+        assert!(r.views.is_empty());
+        assert_eq!(r.residual_edges, v(&[1, 2]));
+    }
+
+    #[test]
+    fn greedy_prefers_larger_coverage() {
+        let query = q(&[1, 2, 3, 4]);
+        let views = vec![v(&[1, 2]), v(&[1, 2, 3, 4])];
+        let r = rewrite_query(&query, &views);
+        assert_eq!(r.views, vec![1]);
+        assert_eq!(r.bitmap_cost(), 1);
+    }
+
+    #[test]
+    fn overlapping_views_do_not_double_cover() {
+        let query = q(&[1, 2, 3]);
+        let views = vec![v(&[1, 2]), v(&[2, 3])];
+        let r = rewrite_query(&query, &views);
+        // First pick covers 2; second view then covers only 1 uncovered edge
+        // and is skipped — the residual edge bitmap is just as cheap.
+        assert_eq!(r.views.len(), 1);
+        assert_eq!(r.residual_edges.len(), 1);
+        assert_eq!(r.bitmap_cost(), 2);
+    }
+
+    #[test]
+    fn no_views_falls_back_to_oblivious() {
+        let query = q(&[7, 8, 9]);
+        let r = rewrite_query(&query, &[]);
+        assert_eq!(r, Rewrite::oblivious(&query));
+    }
+
+    #[test]
+    fn cost_never_exceeds_oblivious() {
+        let query = q(&[1, 2, 3, 4, 5, 6, 7]);
+        let views = vec![v(&[1, 2]), v(&[2, 3, 4]), v(&[5, 6, 7]), v(&[1, 9])];
+        let r = rewrite_query(&query, &views);
+        assert!(r.bitmap_cost() <= Rewrite::oblivious(&query).bitmap_cost());
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests of the view framework's invariants (§5).
+
+use graphbi_graph::{EdgeId, GraphQuery};
+use graphbi_views::{
+    cover_path, generate_candidates, generate_candidates_min_sup, rewrite_query, select_views,
+    PathSegment, Rewrite,
+};
+use proptest::prelude::*;
+
+fn workload() -> impl Strategy<Value = Vec<GraphQuery>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0u32..20, 1..8)
+            .prop_map(|s| GraphQuery::from_edges(s.into_iter().map(EdgeId).collect())),
+        1..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn candidates_include_queries_and_pairwise_intersections(qs in workload()) {
+        let cands = generate_candidates(&qs);
+        let sets: Vec<&[EdgeId]> = cands.iter().map(|c| c.edges.as_slice()).collect();
+        for q in &qs {
+            if q.len() >= 2 {
+                prop_assert!(sets.contains(&q.edges()), "query {:?} missing", q);
+            }
+        }
+        for a in &qs {
+            for b in &qs {
+                let common = a.intersect(b);
+                if common.len() >= 2 && common.len() < a.len().max(b.len()) {
+                    prop_assert!(
+                        sets.contains(&common.edges()),
+                        "intersection {:?} missing",
+                        common
+                    );
+                }
+            }
+        }
+        // Candidate usability lists are exact.
+        for c in &cands {
+            for (qi, q) in qs.iter().enumerate() {
+                let usable = GraphQuery::from_edges(c.edges.clone()).is_subquery_of(q);
+                prop_assert_eq!(c.queries.contains(&(qi as u32)), usable);
+            }
+        }
+    }
+
+    #[test]
+    fn no_candidate_is_superseded(qs in workload()) {
+        // §5.2's monotonicity: no candidate may have a strict superset
+        // candidate usable for exactly the same queries.
+        let cands = generate_candidates(&qs);
+        for a in &cands {
+            for b in &cands {
+                if a.edges.len() < b.edges.len()
+                    && a.queries == b.queries
+                    && a.edges.iter().all(|e| b.edges.contains(e))
+                {
+                    prop_assert!(false, "{:?} superseded by {:?}", a.edges, b.edges);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_sup_candidates_shrink_monotonically(qs in workload()) {
+        let mut last = usize::MAX;
+        for ms in 1..=4usize {
+            let n = generate_candidates_min_sup(&qs, ms).len();
+            prop_assert!(n <= last);
+            last = n;
+        }
+    }
+
+    #[test]
+    fn selection_respects_budget_and_is_useful(qs in workload(), budget in 0usize..8) {
+        let cands = generate_candidates(&qs);
+        let chosen = select_views(&qs, &cands, budget);
+        prop_assert!(chosen.len() <= budget);
+        // No duplicates.
+        let mut c = chosen.clone();
+        c.sort_unstable();
+        c.dedup();
+        prop_assert_eq!(c.len(), chosen.len());
+        // Every chosen view serves at least one query.
+        for &i in &chosen {
+            prop_assert!(!cands[i].queries.is_empty());
+        }
+    }
+
+    #[test]
+    fn rewrite_is_exact_and_no_worse(qs in workload(), budget in 0usize..8) {
+        let cands = generate_candidates(&qs);
+        let chosen = select_views(&qs, &cands, budget);
+        let views: Vec<Vec<EdgeId>> = chosen.iter().map(|&i| cands[i].edges.clone()).collect();
+        for q in &qs {
+            let r = rewrite_query(q, &views);
+            // Soundness: every used view is a subgraph of the query.
+            let mut covered: std::collections::BTreeSet<EdgeId> =
+                r.residual_edges.iter().copied().collect();
+            for &vi in &r.views {
+                for &e in &views[vi] {
+                    prop_assert!(q.contains(e), "view leaks edge {e:?}");
+                    covered.insert(e);
+                }
+            }
+            // Completeness: views ∪ residual = query edges.
+            let expect: std::collections::BTreeSet<EdgeId> = q.edges().iter().copied().collect();
+            prop_assert_eq!(covered, expect);
+            // Cost: never worse than the oblivious plan.
+            prop_assert!(r.bitmap_cost() <= Rewrite::oblivious(q).bitmap_cost());
+        }
+    }
+
+    #[test]
+    fn greedy_is_near_optimal_on_small_instances(qs in workload(), budget in 1usize..4) {
+        // Exhaustively find the best candidate subset of size ≤ budget and
+        // compare workload bitmap cost; §5.3 promises an H(n) factor, and on
+        // these tiny instances the greedy should be within 2× of optimal.
+        let cands = generate_candidates(&qs);
+        prop_assume!(cands.len() <= 12);
+        let cost_of = |chosen: &[usize]| -> usize {
+            let views: Vec<Vec<EdgeId>> = chosen.iter().map(|&i| cands[i].edges.clone()).collect();
+            qs.iter().map(|q| rewrite_query(q, &views).bitmap_cost()).sum()
+        };
+        // Optimal by brute force over subsets of size ≤ budget.
+        let mut best = cost_of(&[]);
+        let n = cands.len();
+        for mask in 0u32..(1 << n) {
+            if (mask.count_ones() as usize) > budget {
+                continue;
+            }
+            let subset: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            best = best.min(cost_of(&subset));
+        }
+        let greedy = select_views(&qs, &cands, budget);
+        let greedy_cost = cost_of(&greedy);
+        prop_assert!(
+            greedy_cost <= best * 2,
+            "greedy {greedy_cost} vs optimal {best}"
+        );
+    }
+
+    #[test]
+    fn cover_path_partitions_exactly(
+        path in prop::collection::vec(0u32..30, 1..12),
+        views in prop::collection::vec(prop::collection::vec(0u32..30, 2..5), 0..6),
+    ) {
+        let path: Vec<EdgeId> = path.into_iter().map(EdgeId).collect();
+        let views: Vec<Vec<EdgeId>> = views
+            .into_iter()
+            .map(|v| v.into_iter().map(EdgeId).collect())
+            .collect();
+        let cover = cover_path(&path, &views);
+        // Segments reproduce the path exactly, in order.
+        let mut rebuilt: Vec<EdgeId> = Vec::new();
+        for seg in &cover.segments {
+            match *seg {
+                PathSegment::View { view, len } => {
+                    prop_assert_eq!(views[view].len(), len);
+                    rebuilt.extend(&views[view]);
+                }
+                PathSegment::Edge(e) => rebuilt.push(e),
+            }
+        }
+        prop_assert_eq!(rebuilt, path);
+    }
+}

@@ -1,0 +1,219 @@
+//! Base-graph generators.
+//!
+//! Both generators build a digraph with *exactly* `edge_domain` directed
+//! edges, interned in the shared universe so edge ids are the dense column
+//! indices `0..edge_domain`.
+
+use graphbi_graph::{EdgeId, NodeId, Universe};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A base graph: the substrate the record/query walks run on.
+pub struct BaseGraph {
+    /// The graph's nodes (universe ids).
+    pub nodes: Vec<NodeId>,
+    /// Outgoing adjacency: `succ[i]` lists `(target index, edge id)`.
+    pub succ: Vec<Vec<(usize, EdgeId)>>,
+}
+
+impl BaseGraph {
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Nodes with at least one outgoing edge (walk start candidates).
+    pub fn walkable(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| !self.succ[i].is_empty())
+            .collect()
+    }
+}
+
+/// Builds the road-network stand-in: a near-square grid where horizontal
+/// "streets" run in both directions, vertical "avenues" alternate direction
+/// (the Manhattan pattern), plus a few random diagonal expressways; the edge
+/// set is then trimmed to exactly `edge_domain` edges.
+pub fn road_network(universe: &mut Universe, edge_domain: usize, rng: &mut StdRng) -> BaseGraph {
+    // Pick grid dimensions so the raw edge count slightly exceeds the
+    // domain: a W×H grid has ~2·W·H street edges + W·H avenue edges.
+    let mut wh = 2usize;
+    while 3 * wh * wh < edge_domain + 10 {
+        wh += 1;
+    }
+    let (w, h) = (wh, wh);
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let idx = |x: usize, y: usize| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                // Streets: bidirectional.
+                pairs.push((idx(x, y), idx(x + 1, y)));
+                pairs.push((idx(x + 1, y), idx(x, y)));
+            }
+            if y + 1 < h {
+                // Avenues: alternate direction by column.
+                if x % 2 == 0 {
+                    pairs.push((idx(x, y), idx(x, y + 1)));
+                } else {
+                    pairs.push((idx(x, y + 1), idx(x, y)));
+                }
+            }
+        }
+    }
+    // Diagonal expressways: ~2% extra connectivity.
+    let n = w * h;
+    for _ in 0..(edge_domain / 50).max(1) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            pairs.push((a, b));
+        }
+    }
+    finish(universe, "ny", n, pairs, edge_domain, rng)
+}
+
+/// Builds the P2P stand-in: a preferential-attachment digraph — each new
+/// host links to `m` existing hosts chosen with probability proportional to
+/// their degree, producing the heavy-tailed degree profile of a Gnutella
+/// crawl; trimmed to exactly `edge_domain` edges.
+pub fn p2p_network(universe: &mut Universe, edge_domain: usize, rng: &mut StdRng) -> BaseGraph {
+    let m = 3usize; // out-links per arriving host
+    let n = (edge_domain / m + 2).max(4);
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    // Degree-proportional sampling via the repeated-endpoints trick.
+    let mut endpoints: Vec<usize> = vec![0, 1, 1, 0];
+    pairs.push((1, 0));
+    pairs.push((0, 1));
+    for v in 2..n {
+        for _ in 0..m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !pairs.contains(&(v, t)) {
+                pairs.push((v, t));
+                endpoints.push(v);
+                endpoints.push(t);
+            }
+        }
+        // Occasional back-link so walks can leave old hubs too.
+        if v % 4 == 0 {
+            let s = endpoints[rng.gen_range(0..endpoints.len())];
+            if s != v {
+                pairs.push((s, v));
+            }
+        }
+    }
+    finish(universe, "p2p", n, pairs, edge_domain, rng)
+}
+
+/// Trims/pads the pair list to exactly `edge_domain` unique edges, interns
+/// everything and assembles adjacency.
+fn finish(
+    universe: &mut Universe,
+    prefix: &str,
+    n: usize,
+    mut pairs: Vec<(usize, usize)>,
+    edge_domain: usize,
+    rng: &mut StdRng,
+) -> BaseGraph {
+    pairs.sort_unstable();
+    pairs.dedup();
+    // Pad with random extra edges if the generator under-produced.
+    while pairs.len() < edge_domain {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && !pairs.contains(&(a, b)) {
+            pairs.push((a, b));
+        }
+    }
+    // Deterministic trim: shuffle-free, keep a stride-sampled subset so the
+    // survivors stay spatially spread out.
+    if pairs.len() > edge_domain {
+        let keep_every = pairs.len() as f64 / edge_domain as f64;
+        let mut kept = Vec::with_capacity(edge_domain);
+        let mut acc = 0.0f64;
+        for p in &pairs {
+            acc += 1.0;
+            if acc >= keep_every {
+                acc -= keep_every;
+                kept.push(*p);
+                if kept.len() == edge_domain {
+                    break;
+                }
+            }
+        }
+        let mut i = 0;
+        while kept.len() < edge_domain {
+            if !kept.contains(&pairs[i]) {
+                kept.push(pairs[i]);
+            }
+            i += 1;
+        }
+        pairs = kept;
+        pairs.sort_unstable();
+    }
+
+    let nodes: Vec<NodeId> = (0..n).map(|i| universe.node(&format!("{prefix}{i}"))).collect();
+    let mut succ: Vec<Vec<(usize, EdgeId)>> = vec![Vec::new(); n];
+    for &(a, b) in &pairs {
+        let e = universe.edge(nodes[a], nodes[b]);
+        succ[a].push((b, e));
+    }
+    BaseGraph { nodes, succ }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn road_network_hits_exact_edge_domain() {
+        for domain in [100usize, 1000, 5000] {
+            let mut u = Universe::new();
+            let mut rng = StdRng::seed_from_u64(7);
+            let g = road_network(&mut u, domain, &mut rng);
+            assert_eq!(g.edge_count(), domain);
+            assert_eq!(u.edge_count(), domain);
+        }
+    }
+
+    #[test]
+    fn p2p_network_hits_exact_edge_domain() {
+        for domain in [100usize, 1000] {
+            let mut u = Universe::new();
+            let mut rng = StdRng::seed_from_u64(9);
+            let g = p2p_network(&mut u, domain, &mut rng);
+            assert_eq!(g.edge_count(), domain);
+        }
+    }
+
+    #[test]
+    fn p2p_degrees_are_heavy_tailed() {
+        let mut u = Universe::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = p2p_network(&mut u, 2000, &mut rng);
+        // In-degree concentration: the top 5% of nodes should hold a
+        // disproportionate share of incoming links.
+        let mut indeg = vec![0usize; g.nodes.len()];
+        for outs in &g.succ {
+            for &(t, _) in outs {
+                indeg[t] += 1;
+            }
+        }
+        indeg.sort_unstable_by(|a, b| b.cmp(a));
+        let top: usize = indeg[..indeg.len() / 20].iter().sum();
+        let total: usize = indeg.iter().sum();
+        assert!(
+            top * 3 > total,
+            "top 5% hold {top}/{total} — not heavy-tailed"
+        );
+    }
+
+    #[test]
+    fn road_network_is_mostly_walkable() {
+        let mut u = Universe::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = road_network(&mut u, 1000, &mut rng);
+        assert!(g.walkable().len() * 10 >= g.nodes.len() * 8);
+    }
+}

@@ -1,0 +1,177 @@
+#![warn(missing_docs)]
+
+//! Synthetic datasets and query workloads (§7.1).
+//!
+//! The paper synthesizes millions of graph records "by invoking multiple
+//! random walk processes" over two base graphs — the New York road network
+//! and a Gnutella P2P snapshot — assigning "a random real value to each of
+//! their edges". Neither raw file ships with this repository, so the base
+//! graphs themselves are synthesized with matching structure:
+//!
+//! * [`base::road_network`] — a planar grid with avenue/street asymmetry and
+//!   a sprinkling of diagonal expressways, the NY-road stand-in;
+//! * [`base::p2p_network`] — a preferential-attachment digraph with the
+//!   heavy-tailed degree distribution of a Gnutella crawl.
+//!
+//! What the experiments actually consume is the *walk structure* over a
+//! fixed edge universe (Table 2: 1000 distinct edge ids by default), which
+//! these generators reproduce exactly. Record synthesis ([`records`]),
+//! query generation ([`queries`]) with uniform and Zipf path selection, and
+//! the Zipf sampler ([`zipf`]) complete the §7.1 setup.
+
+pub mod base;
+pub mod queries;
+pub mod records;
+pub mod scenarios;
+pub mod zipf;
+
+use graphbi_graph::{GraphQuery, GraphRecord, Universe};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which base graph to synthesize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaseKind {
+    /// Grid-with-expressways road network (the NY stand-in).
+    RoadNetwork,
+    /// Preferential-attachment digraph (the Gnutella stand-in).
+    P2pNetwork,
+}
+
+/// Full specification of a synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Base graph family.
+    pub kind: BaseKind,
+    /// Number of graph records to synthesize.
+    pub n_records: usize,
+    /// Size of the edge universe (Table 2: 1000 by default, up to 100k in
+    /// sensitivity tests).
+    pub edge_domain: usize,
+    /// Minimum distinct edges per record (Table 2: 35 for NY, 45 for GNU).
+    pub min_edges: usize,
+    /// Maximum distinct edges per record (Table 2: 100).
+    pub max_edges: usize,
+    /// RNG seed — all synthesis is deterministic given the spec.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's NY dataset shape (record counts scaled by the caller).
+    pub fn ny(n_records: usize) -> DatasetSpec {
+        DatasetSpec {
+            kind: BaseKind::RoadNetwork,
+            n_records,
+            edge_domain: 1000,
+            min_edges: 35,
+            max_edges: 100,
+            seed: 0x4e59,
+        }
+    }
+
+    /// The paper's GNU dataset shape.
+    pub fn gnu(n_records: usize) -> DatasetSpec {
+        DatasetSpec {
+            kind: BaseKind::P2pNetwork,
+            n_records,
+            edge_domain: 1000,
+            min_edges: 45,
+            max_edges: 100,
+            seed: 0x6e75,
+        }
+    }
+}
+
+/// A synthesized dataset: the shared universe, the base graph and the
+/// records.
+pub struct Dataset {
+    /// The naming scheme shared by records and queries.
+    pub universe: Universe,
+    /// The base graph the walks ran on.
+    pub base: base::BaseGraph,
+    /// The graph records.
+    pub records: Vec<GraphRecord>,
+}
+
+impl Dataset {
+    /// Synthesizes a dataset from its spec.
+    pub fn synthesize(spec: &DatasetSpec) -> Dataset {
+        let mut universe = Universe::new();
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let base = match spec.kind {
+            BaseKind::RoadNetwork => base::road_network(&mut universe, spec.edge_domain, &mut rng),
+            BaseKind::P2pNetwork => base::p2p_network(&mut universe, spec.edge_domain, &mut rng),
+        };
+        let records = records::generate(&base, spec, &mut rng);
+        Dataset {
+            universe,
+            base,
+            records,
+        }
+    }
+
+    /// Generates a query workload over this dataset.
+    pub fn queries(&self, spec: &queries::QuerySpec) -> Vec<GraphQuery> {
+        queries::generate(&self.base, spec)
+    }
+
+    /// Average distinct edges per record.
+    pub fn avg_edges_per_record(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(GraphRecord::edge_count).sum::<usize>() as f64
+            / self.records.len() as f64
+    }
+
+    /// Total measures stored across all records (Table 2).
+    pub fn total_measures(&self) -> u64 {
+        self.records.iter().map(|r| r.edge_count() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let spec = DatasetSpec {
+            n_records: 50,
+            ..DatasetSpec::ny(50)
+        };
+        let a = Dataset::synthesize(&spec);
+        let b = Dataset::synthesize(&spec);
+        assert_eq!(a.records.len(), 50);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn record_sizes_respect_spec_bounds() {
+        let spec = DatasetSpec::ny(100);
+        let d = Dataset::synthesize(&spec);
+        for r in &d.records {
+            assert!(r.edge_count() >= spec.min_edges, "{}", r.edge_count());
+            assert!(r.edge_count() <= spec.max_edges, "{}", r.edge_count());
+        }
+        let avg = d.avg_edges_per_record();
+        assert!(avg > spec.min_edges as f64 && avg < spec.max_edges as f64);
+    }
+
+    #[test]
+    fn edge_domain_is_respected() {
+        for kind in [BaseKind::RoadNetwork, BaseKind::P2pNetwork] {
+            let spec = DatasetSpec {
+                kind,
+                ..DatasetSpec::ny(20)
+            };
+            let d = Dataset::synthesize(&spec);
+            assert_eq!(d.universe.edge_count(), spec.edge_domain);
+            for r in &d.records {
+                for &(e, _) in r.edges() {
+                    assert!(e.index() < spec.edge_domain);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Query-workload generation (§7.1): "query graphs that are generated
+//! either with uniform or with Zipf distribution from the set of paths
+//! resulting from the random walk processes".
+
+use graphbi_graph::{EdgeId, GraphQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::base::BaseGraph;
+use crate::zipf::Zipf;
+
+/// How queries are drawn from the path pool.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryDistribution {
+    /// Every query is an independent fresh path.
+    Uniform,
+    /// Queries pick from a pool of `pool` paths with Zipf(α) rank skew —
+    /// hot paths recur, creating the sharing Figure 8 exploits.
+    Zipf {
+        /// Skew exponent.
+        alpha: f64,
+        /// Pool size.
+        pool: usize,
+    },
+}
+
+/// Structural shape of generated queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryShapeKind {
+    /// One simple path per query — always acyclic, usable for path
+    /// aggregation.
+    SinglePath,
+    /// A union of simple paths totalling the requested edge count — the
+    /// shape used for the large-query sensitivity sweeps (Figure 3b).
+    MultiPath,
+}
+
+/// Full workload specification.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// Number of queries (the paper uses sets of 100).
+    pub count: usize,
+    /// Minimum edges per query.
+    pub min_len: usize,
+    /// Maximum edges per query.
+    pub max_len: usize,
+    /// Draw distribution.
+    pub distribution: QueryDistribution,
+    /// Query shape.
+    pub shape: QueryShapeKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QuerySpec {
+    /// The paper's default workload: 100 uniform path queries.
+    pub fn uniform(count: usize) -> QuerySpec {
+        QuerySpec {
+            count,
+            min_len: 3,
+            max_len: 6,
+            distribution: QueryDistribution::Uniform,
+            shape: QueryShapeKind::SinglePath,
+            seed: 0x71,
+        }
+    }
+
+    /// The skewed workload of Figure 8.
+    pub fn zipf(count: usize) -> QuerySpec {
+        QuerySpec {
+            distribution: QueryDistribution::Zipf {
+                alpha: 1.0,
+                pool: (count / 3).max(2),
+            },
+            ..QuerySpec::uniform(count)
+        }
+    }
+}
+
+/// Generates the workload.
+pub fn generate(base: &BaseGraph, spec: &QuerySpec) -> Vec<GraphQuery> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let starts = base.walkable();
+    assert!(!starts.is_empty(), "base graph has no walkable node");
+    let fresh = |rng: &mut StdRng| -> GraphQuery {
+        let target = rng.gen_range(spec.min_len..=spec.max_len);
+        match spec.shape {
+            QueryShapeKind::SinglePath => {
+                GraphQuery::from_edges(simple_path(base, &starts, target, rng))
+            }
+            QueryShapeKind::MultiPath => {
+                let mut edges: Vec<EdgeId> = Vec::with_capacity(target);
+                let mut guard = 0;
+                while edges.len() < target && guard < 512 {
+                    edges.extend(simple_path(base, &starts, target - edges.len(), rng));
+                    edges.sort_unstable();
+                    edges.dedup();
+                    guard += 1;
+                }
+                GraphQuery::from_edges(edges)
+            }
+        }
+    };
+    match spec.distribution {
+        QueryDistribution::Uniform => (0..spec.count).map(|_| fresh(&mut rng)).collect(),
+        QueryDistribution::Zipf { alpha, pool } => {
+            let paths: Vec<GraphQuery> = (0..pool).map(|_| fresh(&mut rng)).collect();
+            let z = Zipf::new(pool, alpha);
+            (0..spec.count)
+                .map(|_| paths[z.sample(&mut rng)].clone())
+                .collect()
+        }
+    }
+}
+
+/// A simple (node-repetition-free) random walk of up to `target` edges; the
+/// result is the walk's edge list (which forms an acyclic path graph).
+/// Restarts a few times if the walk dead-ends too early.
+fn simple_path(
+    base: &BaseGraph,
+    starts: &[usize],
+    target: usize,
+    rng: &mut StdRng,
+) -> Vec<EdgeId> {
+    let mut best: Vec<EdgeId> = Vec::new();
+    for _attempt in 0..8 {
+        let mut edges = Vec::with_capacity(target);
+        let mut visited = std::collections::HashSet::new();
+        let mut node = starts[rng.gen_range(0..starts.len())];
+        visited.insert(node);
+        while edges.len() < target {
+            let outs: Vec<&(usize, EdgeId)> = base.succ[node]
+                .iter()
+                .filter(|(t, _)| !visited.contains(t))
+                .collect();
+            if outs.is_empty() {
+                break;
+            }
+            let &(next, e) = outs[rng.gen_range(0..outs.len())];
+            edges.push(e);
+            visited.insert(next);
+            node = next;
+        }
+        if edges.len() >= target {
+            return edges;
+        }
+        if edges.len() > best.len() {
+            best = edges;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::road_network;
+    use graphbi_graph::Universe;
+
+    fn setup() -> (Universe, BaseGraph) {
+        let mut u = Universe::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = road_network(&mut u, 1000, &mut rng);
+        (u, g)
+    }
+
+    #[test]
+    fn uniform_queries_are_paths_within_bounds() {
+        let (u, base) = setup();
+        let spec = QuerySpec::uniform(50);
+        let qs = generate(&base, &spec);
+        assert_eq!(qs.len(), 50);
+        for q in &qs {
+            assert!(q.len() >= 2 && q.len() <= spec.max_len, "len {}", q.len());
+            // Single-path queries must be acyclic with one maximal path.
+            let paths = q.maximal_paths(&u).unwrap();
+            assert_eq!(paths.len(), 1, "query is not a single path");
+            assert_eq!(paths[0].edge_len(), q.len());
+        }
+    }
+
+    #[test]
+    fn zipf_workload_repeats_hot_queries() {
+        let (_, base) = setup();
+        let qs = generate(&base, &QuerySpec::zipf(100));
+        let mut distinct: Vec<&GraphQuery> = qs.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        assert!(
+            distinct.len() < 60,
+            "expected repetition, got {} distinct of 100",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn multipath_queries_reach_large_sizes() {
+        let (_, base) = setup();
+        let spec = QuerySpec {
+            min_len: 40,
+            max_len: 40,
+            shape: QueryShapeKind::MultiPath,
+            ..QuerySpec::uniform(10)
+        };
+        let qs = generate(&base, &spec);
+        for q in &qs {
+            assert!(q.len() >= 30, "multipath query too small: {}", q.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, base) = setup();
+        let a = generate(&base, &QuerySpec::uniform(20));
+        let b = generate(&base, &QuerySpec::uniform(20));
+        assert_eq!(a, b);
+    }
+}

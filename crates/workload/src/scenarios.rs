@@ -1,0 +1,272 @@
+//! Domain scenarios: ready-made universes and record streams for the
+//! paper's motivating applications (§1–§2).
+//!
+//! * [`ScmScenario`] — a supply chain in the shape of Figure 1: production
+//!   lines feed regional hub networks that deliver to customer endpoints.
+//!   Orders are traced as graph records with shipping-time measures;
+//!   regions support the zoom/aggregate-node analyses of Q3.
+//! * [`WorkflowScenario`] — a workflow management system: process instances
+//!   walk a state machine that may loop (rework); records are flattened
+//!   into DAGs via node versioning (§6.2) before storage, exactly the
+//!   pipeline the paper prescribes for cyclic traces.
+
+use graphbi_graph::{flatten, GraphRecord, NodeId, Universe};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::records::measure;
+
+/// A Figure-1-style supply chain.
+pub struct ScmScenario {
+    /// Production-line nodes.
+    pub lines: Vec<NodeId>,
+    /// Hub nodes, grouped by region.
+    pub regions: Vec<Vec<NodeId>>,
+    /// Customer endpoints.
+    pub customers: Vec<NodeId>,
+    /// Forward adjacency over all tiers.
+    succ: Vec<(NodeId, Vec<NodeId>)>,
+}
+
+impl ScmScenario {
+    /// Builds the network: `lines` production lines, `regions` regions of
+    /// `hubs_per_region` hubs each, `customers` endpoints. All edges are
+    /// interned in `universe`.
+    pub fn build(
+        universe: &mut Universe,
+        lines: usize,
+        regions: usize,
+        hubs_per_region: usize,
+        customers: usize,
+        seed: u64,
+    ) -> ScmScenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let line_nodes: Vec<NodeId> =
+            (0..lines).map(|i| universe.node(&format!("line{i}"))).collect();
+        let region_nodes: Vec<Vec<NodeId>> = (0..regions)
+            .map(|r| {
+                (0..hubs_per_region)
+                    .map(|h| universe.node(&format!("hub{r}_{h}")))
+                    .collect()
+            })
+            .collect();
+        let customer_nodes: Vec<NodeId> =
+            (0..customers).map(|i| universe.node(&format!("cust{i}"))).collect();
+
+        let mut succ: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        let connect = |u2: &mut Universe, s: NodeId, t: NodeId, succ: &mut std::collections::BTreeMap<NodeId, Vec<NodeId>>| {
+            u2.edge(s, t);
+            succ.entry(s).or_default().push(t);
+        };
+        // Lines feed 1–2 hubs of their nearest region.
+        for (i, &l) in line_nodes.iter().enumerate() {
+            let region = &region_nodes[i % regions];
+            for k in 0..2 {
+                let hub = region[(i + k) % region.len()];
+                connect(universe, l, hub, &mut succ);
+            }
+        }
+        // Hub chains inside a region, plus one cross-region link each.
+        for (r, hubs) in region_nodes.iter().enumerate() {
+            for w in 0..hubs.len() {
+                let next = hubs[(w + 1) % hubs.len()];
+                if hubs[w] != next {
+                    connect(universe, hubs[w], next, &mut succ);
+                }
+                if rng.gen_bool(0.5) {
+                    let other = &region_nodes[(r + 1) % regions];
+                    connect(universe, hubs[w], other[w % other.len()], &mut succ);
+                }
+            }
+        }
+        // Hubs deliver to customers.
+        for (r, hubs) in region_nodes.iter().enumerate() {
+            for (w, &h) in hubs.iter().enumerate() {
+                let c = customer_nodes[(r * hubs.len() + w) % customer_nodes.len()];
+                connect(universe, h, c, &mut succ);
+            }
+        }
+        ScmScenario {
+            lines: line_nodes,
+            regions: region_nodes,
+            customers: customer_nodes,
+            succ: succ.into_iter().collect(),
+        }
+    }
+
+    fn successors(&self, n: NodeId) -> &[NodeId] {
+        self.succ
+            .binary_search_by_key(&n, |&(k, _)| k)
+            .map(|i| self.succ[i].1.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Traces one order: a walk from a random production line toward a
+    /// customer, with shipping-time measures per leg. Walks may revisit
+    /// nodes (returns, re-routing); the trace is flattened into a DAG.
+    pub fn order(&self, universe: &mut Universe, rng: &mut StdRng) -> GraphRecord {
+        let mut walk = vec![self.lines[rng.gen_range(0..self.lines.len())]];
+        let mut steps = Vec::new();
+        for _ in 0..32 {
+            let here = *walk.last().expect("walk non-empty");
+            let outs = self.successors(here);
+            if outs.is_empty() {
+                break; // reached a customer
+            }
+            walk.push(outs[rng.gen_range(0..outs.len())]);
+            steps.push(measure(rng));
+        }
+        flatten::flatten_walk(universe, &walk, &steps)
+    }
+
+    /// Generates `n` order records.
+    pub fn orders(&self, universe: &mut Universe, n: usize, seed: u64) -> Vec<GraphRecord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| self.order(universe, &mut rng)).collect()
+    }
+}
+
+/// A workflow state machine with rework loops.
+pub struct WorkflowScenario {
+    states: Vec<NodeId>,
+    /// `(from, to)` transition indices into `states`.
+    transitions: Vec<(usize, usize)>,
+}
+
+impl WorkflowScenario {
+    /// Builds a linear review pipeline of `stages` stages where every stage
+    /// can bounce back to the previous one (rework) and the final stage
+    /// completes.
+    pub fn build(universe: &mut Universe, stages: usize) -> WorkflowScenario {
+        assert!(stages >= 2, "a workflow needs at least start and end");
+        let states: Vec<NodeId> = (0..stages)
+            .map(|i| universe.node(&format!("stage{i}")))
+            .collect();
+        let mut transitions = Vec::new();
+        for i in 0..stages - 1 {
+            universe.edge(states[i], states[i + 1]);
+            transitions.push((i, i + 1));
+            if i > 0 {
+                universe.edge(states[i], states[i - 1]);
+                transitions.push((i, i - 1));
+            }
+        }
+        WorkflowScenario {
+            states,
+            transitions,
+        }
+    }
+
+    /// The workflow's states.
+    pub fn states(&self) -> &[NodeId] {
+        &self.states
+    }
+
+    /// Runs one process instance: forward progress with probability
+    /// `1 - rework`, bounce-back otherwise; the (possibly cyclic) trace is
+    /// flattened into an acyclic record with per-transition latencies.
+    pub fn instance(
+        &self,
+        universe: &mut Universe,
+        rework: f64,
+        rng: &mut StdRng,
+    ) -> GraphRecord {
+        let _ = &self.transitions;
+        let mut at = 0usize;
+        let mut walk = vec![self.states[0]];
+        let mut steps = Vec::new();
+        let mut guard = 0;
+        while at + 1 < self.states.len() && guard < 256 {
+            guard += 1;
+            let back = at > 0 && rng.gen_bool(rework);
+            at = if back { at - 1 } else { at + 1 };
+            walk.push(self.states[at]);
+            steps.push(measure(rng));
+        }
+        flatten::flatten_walk(universe, &walk, &steps)
+    }
+
+    /// Generates `n` instances.
+    pub fn instances(
+        &self,
+        universe: &mut Universe,
+        n: usize,
+        rework: f64,
+        seed: u64,
+    ) -> Vec<GraphRecord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| self.instance(universe, rework, &mut rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbi_graph::QueryShape;
+
+    #[test]
+    fn scm_orders_are_valid_dags() {
+        let mut u = Universe::new();
+        let scm = ScmScenario::build(&mut u, 3, 2, 4, 5, 7);
+        assert_eq!(scm.lines.len(), 3);
+        assert_eq!(scm.regions.len(), 2);
+        let orders = scm.orders(&mut u, 25, 11);
+        assert_eq!(orders.len(), 25);
+        for o in &orders {
+            assert!(o.edge_count() > 0);
+            let edges: Vec<_> = o.edges().iter().map(|&(e, _)| e).collect();
+            assert!(QueryShape::from_edges(&edges, &u).is_dag());
+        }
+    }
+
+    #[test]
+    fn scm_regions_have_internal_edges() {
+        let mut u = Universe::new();
+        let scm = ScmScenario::build(&mut u, 2, 2, 5, 4, 3);
+        let internal = u.edges_within(&scm.regions[0]);
+        assert!(!internal.is_empty(), "region hubs must interconnect");
+    }
+
+    #[test]
+    fn workflow_instances_flatten_rework_loops() {
+        let mut u = Universe::new();
+        let wf = WorkflowScenario::build(&mut u, 5);
+        let instances = wf.instances(&mut u, 50, 0.3, 13);
+        let mut versioned = 0;
+        for inst in &instances {
+            let edges: Vec<_> = inst.edges().iter().map(|&(e, _)| e).collect();
+            assert!(QueryShape::from_edges(&edges, &u).is_dag());
+            // Rework produces versioned stage copies in some instances.
+            for &(e, _) in inst.edges() {
+                let (s, _) = u.endpoints(e);
+                if u.node_name(s).contains('~') {
+                    versioned += 1;
+                }
+            }
+        }
+        assert!(versioned > 0, "30% rework must create versioned nodes");
+    }
+
+    #[test]
+    fn zero_rework_is_the_plain_pipeline() {
+        let mut u = Universe::new();
+        let wf = WorkflowScenario::build(&mut u, 4);
+        let inst = wf.instances(&mut u, 5, 0.0, 1);
+        for i in &inst {
+            assert_eq!(i.edge_count(), 3, "start→s1→s2→end");
+        }
+        assert_eq!(u.node_count(), 4, "no versions created");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let mut u1 = Universe::new();
+        let mut u2 = Universe::new();
+        let a = ScmScenario::build(&mut u1, 2, 2, 3, 3, 5).orders(&mut u1, 10, 9);
+        let b = ScmScenario::build(&mut u2, 2, 2, 3, 3, 5).orders(&mut u2, 10, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,77 @@
+//! Cross-engine equivalence: the column store and all three baseline
+//! systems must return bit-identical answers to every query — the paper's
+//! comparisons are only meaningful because the systems compute the same
+//! thing.
+
+use graphbi::GraphStore;
+use graphbi_baselines::{Engine, GraphDb, RdfStore, RowStore};
+use graphbi_graph::QueryResult;
+use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
+
+fn workload() -> (Dataset, Vec<graphbi_graph::GraphQuery>) {
+    let spec = DatasetSpec {
+        n_records: 300,
+        ..DatasetSpec::gnu(300)
+    };
+    let d = Dataset::synthesize(&spec);
+    let mut qs = d.queries(&QuerySpec::uniform(25));
+    qs.extend(d.queries(&QuerySpec::zipf(25)));
+    (d, qs)
+}
+
+#[test]
+fn all_four_engines_agree() {
+    let (d, qs) = workload();
+    let row = RowStore::load(&d.records);
+    let rdf = RdfStore::load(&d.records);
+    let graph = GraphDb::load(&d.records, &d.universe);
+    let records = d.records.clone();
+    let store = GraphStore::load(d.universe, &d.records);
+
+    let mut non_empty = 0usize;
+    for q in &qs {
+        let (column_result, _) = store.evaluate(q);
+        for engine in [&row as &dyn Engine, &rdf, &graph] {
+            let r: QueryResult = engine.evaluate(q);
+            assert_eq!(
+                r, column_result,
+                "{} disagrees with column store on {q:?}",
+                engine.name()
+            );
+        }
+        non_empty += usize::from(!column_result.is_empty());
+    }
+    assert!(
+        non_empty >= qs.len() / 4,
+        "workload too selective to be a meaningful test: {non_empty}/{}",
+        qs.len()
+    );
+    // Sanity on the raw data path too.
+    assert_eq!(row.record_count(), records.len() as u64);
+}
+
+#[test]
+fn engines_agree_after_views_are_added() {
+    let (d, qs) = workload();
+    let row = RowStore::load(&d.records);
+    let mut store = GraphStore::load(d.universe, &d.records);
+    store.advise_views(&qs, qs.len());
+    for q in &qs {
+        let (column_result, _) = store.evaluate(q);
+        assert_eq!(row.evaluate(q), column_result);
+    }
+}
+
+#[test]
+fn disk_size_ordering_matches_figure4() {
+    let (d, _) = workload();
+    let row = RowStore::load(&d.records);
+    let rdf = RdfStore::load(&d.records);
+    let graph = GraphDb::load(&d.records, &d.universe);
+    let store = GraphStore::load(d.universe, &d.records);
+    // Figure 4: the column store is the smallest, the native graph store the
+    // largest.
+    assert!(store.size_in_bytes() < row.size_in_bytes());
+    assert!(store.size_in_bytes() < rdf.size_in_bytes());
+    assert!(graph.size_in_bytes() > row.size_in_bytes());
+}

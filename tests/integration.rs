@@ -1,0 +1,167 @@
+//! End-to-end: synthetic dataset → column store → queries, validated against
+//! a brute-force scan of the raw records.
+
+use graphbi::{AggFn, EvalOptions, GraphStore, PathAggQuery};
+use graphbi_graph::{GraphQuery, GraphRecord};
+use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
+
+fn small_dataset() -> (Dataset, Vec<GraphQuery>) {
+    let spec = DatasetSpec {
+        n_records: 400,
+        ..DatasetSpec::ny(400)
+    };
+    let d = Dataset::synthesize(&spec);
+    let qs = d.queries(&QuerySpec::uniform(30));
+    (d, qs)
+}
+
+/// Brute force: records containing every query edge.
+fn scan_matches(records: &[GraphRecord], q: &GraphQuery) -> Vec<u32> {
+    records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.contains_all(q.edges()))
+        .map(|(i, _)| u32::try_from(i).expect("record id fits u32"))
+        .collect()
+}
+
+#[test]
+fn graph_queries_match_brute_force() {
+    let (d, qs) = small_dataset();
+    let records = d.records.clone();
+    let store = GraphStore::load(d.universe, &d.records);
+    let mut total_matches = 0usize;
+    for q in &qs {
+        let (result, stats) = store.evaluate(q);
+        assert_eq!(result.records, scan_matches(&records, q), "{q:?}");
+        assert_eq!(stats.bitmap_columns as usize, q.len());
+        // Measures agree with the raw records.
+        for (i, &rid) in result.records.iter().enumerate() {
+            for (j, &e) in result.edges.iter().enumerate() {
+                assert_eq!(
+                    result.row(i)[j],
+                    records[rid as usize].measure(e).expect("edge present"),
+                );
+            }
+        }
+        total_matches += result.len();
+    }
+    assert!(total_matches > 0, "workload should hit some records");
+}
+
+#[test]
+fn path_aggregation_matches_manual_computation() {
+    let (d, qs) = small_dataset();
+    let records = d.records.clone();
+    let store = GraphStore::load(d.universe, &d.records);
+    let mut non_empty = 0;
+    for q in qs.iter().take(10) {
+        for func in [AggFn::Sum, AggFn::Min, AggFn::Max, AggFn::Avg, AggFn::Count] {
+            let paq = PathAggQuery::new(q.clone(), func);
+            let (agg, _) = store.path_aggregate(&paq).unwrap();
+            assert_eq!(agg.records, scan_matches(&records, q));
+            // Single-path queries: one aggregate per record, equal to the
+            // fold of the edge measures.
+            assert_eq!(agg.path_count, 1);
+            for (i, &rid) in agg.records.iter().enumerate() {
+                let rec = &records[rid as usize];
+                let measures: Vec<f64> = q
+                    .edges()
+                    .iter()
+                    .map(|&e| rec.measure(e).expect("edge present"))
+                    .collect();
+                let expect = match func {
+                    AggFn::Sum => measures.iter().sum::<f64>(),
+                    AggFn::Min => measures.iter().copied().fold(f64::INFINITY, f64::min),
+                    AggFn::Max => measures.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    AggFn::Count => measures.len() as f64,
+                    AggFn::Avg => measures.iter().sum::<f64>() / measures.len() as f64,
+                };
+                let got = agg.row(i)[0];
+                assert!(
+                    (got - expect).abs() < 1e-9,
+                    "{func}: got {got}, want {expect}"
+                );
+            }
+            non_empty += usize::from(!agg.is_empty());
+        }
+    }
+    assert!(non_empty > 0);
+}
+
+#[test]
+fn logical_combinators_against_brute_force() {
+    use graphbi::QueryExpr;
+    let (d, qs) = small_dataset();
+    let records = d.records.clone();
+    let store = GraphStore::load(d.universe, &d.records);
+    let mut stats = graphbi::IoStats::new();
+    for pair in qs.chunks(2).take(8) {
+        let [a, b] = pair else { continue };
+        let sa: std::collections::BTreeSet<u32> = scan_matches(&records, a).into_iter().collect();
+        let sb: std::collections::BTreeSet<u32> = scan_matches(&records, b).into_iter().collect();
+        let and = store.evaluate_expr(
+            &QueryExpr::and(a.clone().into(), b.clone().into()),
+            &mut stats,
+        );
+        let or = store.evaluate_expr(
+            &QueryExpr::or(a.clone().into(), b.clone().into()),
+            &mut stats,
+        );
+        let not = store.evaluate_expr(
+            &QueryExpr::and_not(a.clone().into(), b.clone().into()),
+            &mut stats,
+        );
+        assert_eq!(and.to_vec(), sa.intersection(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(or.to_vec(), sa.union(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(not.to_vec(), sa.difference(&sb).copied().collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn partition_width_does_not_change_answers() {
+    let spec = DatasetSpec {
+        n_records: 400,
+        ..DatasetSpec::ny(400)
+    };
+    let d1 = Dataset::synthesize(&spec);
+    let d2 = Dataset::synthesize(&spec);
+    let qs = d1.queries(&QuerySpec::uniform(30));
+    let wide = GraphStore::load_with_width(d1.universe, &d1.records, 1000);
+    let narrow = GraphStore::load_with_width(d2.universe, &d2.records, 37);
+    assert!(narrow.relation().partition_count() > wide.relation().partition_count());
+    for q in &qs {
+        let (r1, _) = wide.evaluate(q);
+        let (r2, s2) = narrow.evaluate(q);
+        assert_eq!(r1, r2);
+        if !r2.is_empty() && q.len() > 1 {
+            assert!(s2.partitions_touched >= 1);
+        }
+    }
+}
+
+#[test]
+fn oblivious_and_default_agree_without_views() {
+    let (d, qs) = small_dataset();
+    let store = GraphStore::load(d.universe, &d.records);
+    for q in &qs {
+        let (r1, s1) = store.evaluate(q);
+        let (r2, s2) = store.evaluate_with(q, EvalOptions::oblivious());
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2, "no views exist, costs must be identical");
+    }
+}
+
+#[test]
+fn table2_style_statistics_are_reported() {
+    let (d, _) = small_dataset();
+    let n = d.records.len() as u64;
+    let measures = d.total_measures();
+    let avg = d.avg_edges_per_record();
+    let store = GraphStore::load(d.universe, &d.records);
+    assert_eq!(store.record_count(), n);
+    assert_eq!(store.relation().total_measures(), measures);
+    assert!((35.0..=100.0).contains(&avg));
+    assert_eq!(store.relation().edge_count(), 1000);
+    assert!(store.size_in_bytes() > 0);
+}

@@ -1,0 +1,135 @@
+//! Property tests at the store level: random record collections and random
+//! queries, checked against a brute-force model and across engines.
+
+use graphbi::{AggFn, EvalOptions, GraphStore, PathAggQuery};
+use graphbi_baselines::{Engine, GraphDb, RdfStore, RowStore};
+use graphbi_graph::{EdgeId, GraphQuery, GraphRecord, RecordBuilder, Universe};
+use proptest::prelude::*;
+
+/// A chain universe n0→n1→…→n20 gives 20 edge ids whose shapes are paths,
+/// so random edge subsets make valid records and path queries.
+const UNIVERSE_EDGES: u32 = 20;
+
+fn build_universe() -> Universe {
+    let mut u = Universe::new();
+    for i in 0..UNIVERSE_EDGES {
+        u.edge_by_names(&format!("n{i}"), &format!("n{}", i + 1));
+    }
+    u
+}
+
+fn records_strategy() -> impl Strategy<Value = Vec<GraphRecord>> {
+    prop::collection::vec(
+        prop::collection::btree_map(0u32..UNIVERSE_EDGES, 0.5f64..100.0, 1..12),
+        1..40,
+    )
+    .prop_map(|recs| {
+        recs.into_iter()
+            .map(|edges| {
+                let mut b = RecordBuilder::new();
+                for (e, m) in edges {
+                    b.add(EdgeId(e), m);
+                }
+                b.build()
+            })
+            .collect()
+    })
+}
+
+/// Contiguous edge ranges are paths in the chain universe.
+fn path_query() -> impl Strategy<Value = GraphQuery> {
+    (0u32..UNIVERSE_EDGES, 1u32..6).prop_map(|(start, len)| {
+        let end = (start + len).min(UNIVERSE_EDGES);
+        GraphQuery::from_edges((start..end).map(EdgeId).collect())
+    })
+}
+
+fn matches(records: &[GraphRecord], q: &GraphQuery) -> Vec<u32> {
+    records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.contains_all(q.edges()))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn store_matches_model_and_baselines(records in records_strategy(), q in path_query()) {
+        let u = build_universe();
+        let row = RowStore::load(&records);
+        let rdf = RdfStore::load(&records);
+        let graph = GraphDb::load(&records, &u);
+        let store = GraphStore::load(u, &records);
+
+        let (result, _) = store.evaluate(&q);
+        prop_assert_eq!(&result.records, &matches(&records, &q));
+        prop_assert_eq!(row.evaluate(&q), result.clone());
+        prop_assert_eq!(rdf.evaluate(&q), result.clone());
+        prop_assert_eq!(graph.evaluate(&q), result.clone());
+    }
+
+    #[test]
+    fn views_are_transparent(
+        records in records_strategy(),
+        queries in prop::collection::vec(path_query(), 1..6),
+        budget in 0usize..6,
+    ) {
+        let u = build_universe();
+        let mut store = GraphStore::load(u, &records);
+        let baseline: Vec<_> = queries.iter().map(|q| store.evaluate(q).0).collect();
+        store.advise_views(&queries, budget);
+        for (q, expect) in queries.iter().zip(&baseline) {
+            let (got, s_views) = store.evaluate(q);
+            prop_assert_eq!(&got, expect);
+            let (_, s_obl) = store.evaluate_with(q, EvalOptions::oblivious());
+            prop_assert!(s_views.structural_columns() <= s_obl.structural_columns());
+        }
+    }
+
+    #[test]
+    fn agg_views_are_transparent(
+        records in records_strategy(),
+        queries in prop::collection::vec(path_query(), 1..6),
+        budget in 0usize..6,
+    ) {
+        let u = build_universe();
+        let mut store = GraphStore::load(u, &records);
+        let paqs: Vec<PathAggQuery> = queries
+            .iter()
+            .map(|q| PathAggQuery::new(q.clone(), AggFn::Sum))
+            .collect();
+        let baseline: Vec<_> = paqs
+            .iter()
+            .map(|p| store.path_aggregate(p).unwrap().0)
+            .collect();
+        store.advise_agg_views(&queries, AggFn::Sum, budget).unwrap();
+        for (p, expect) in paqs.iter().zip(&baseline) {
+            let (got, _) = store.path_aggregate(p).unwrap();
+            prop_assert_eq!(got.records.clone(), expect.records.clone());
+            prop_assert_eq!(got.path_count, expect.path_count);
+            for (a, b) in got.values.iter().zip(&expect.values) {
+                prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_sum_equals_model(records in records_strategy(), q in path_query()) {
+        let u = build_universe();
+        let store = GraphStore::load(u, &records);
+        let (agg, _) = store
+            .path_aggregate(&PathAggQuery::new(q.clone(), AggFn::Sum))
+            .unwrap();
+        for (i, &rid) in agg.records.iter().enumerate() {
+            let expect: f64 = q
+                .edges()
+                .iter()
+                .map(|&e| records[rid as usize].measure(e).unwrap())
+                .sum();
+            prop_assert!((agg.row(i)[0] - expect).abs() < 1e-9);
+        }
+    }
+}

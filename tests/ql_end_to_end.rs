@@ -1,0 +1,219 @@
+//! The query language against the engine: answers must match the
+//! programmatic API exactly, on the paper's own motivating queries.
+
+use graphbi::ql::QlAnswer;
+use graphbi::{AggFn, GraphStore, PathAggQuery};
+use graphbi_graph::{GraphQuery, RecordBuilder, Universe};
+
+/// The Figure 1 SCM scenario: orders routed through hubs.
+fn scm_store() -> GraphStore {
+    let mut u = Universe::new();
+    let edges: Vec<_> = [
+        ("A", "D"),
+        ("D", "E"),
+        ("E", "G"),
+        ("G", "I"),
+        ("A", "B"),
+        ("B", "F"),
+        ("F", "J"),
+        ("J", "K"),
+        ("C", "H"),
+        ("H", "K"),
+    ]
+    .iter()
+    .map(|(s, t)| u.edge_by_names(s, t))
+    .collect();
+    let mut records = Vec::new();
+    // Order 0: main corridor.
+    let mut r = RecordBuilder::new();
+    r.add(edges[0], 2.0).add(edges[1], 1.5).add(edges[2], 2.5).add(edges[3], 1.0);
+    records.push(r.build());
+    // Order 1: corridor again, slower.
+    let mut r = RecordBuilder::new();
+    r.add(edges[0], 3.0).add(edges[1], 4.0).add(edges[2], 2.0).add(edges[3], 2.0);
+    records.push(r.build());
+    // Order 2: leased routes.
+    let mut r = RecordBuilder::new();
+    r.add(edges[4], 1.0).add(edges[5], 2.0).add(edges[6], 3.0).add(edges[7], 1.0).add(edges[8], 2.5);
+    records.push(r.build());
+    GraphStore::load(u, &records)
+}
+
+/// Rebuilds the scm universe's edge ids by name (interning is
+/// deterministic, so ids match the store's).
+fn edges_by_names(pairs: &[(&str, &str)]) -> Vec<graphbi::EdgeId> {
+    let mut u = Universe::new();
+    for pair in [
+        ("A", "D"),
+        ("D", "E"),
+        ("E", "G"),
+        ("G", "I"),
+        ("A", "B"),
+        ("B", "F"),
+        ("F", "J"),
+        ("J", "K"),
+        ("C", "H"),
+        ("H", "K"),
+    ] {
+        u.edge_by_names(pair.0, pair.1);
+    }
+    pairs
+        .iter()
+        .map(|(s, t)| {
+            u.find_edge(u.find_node(s).unwrap(), u.find_node(t).unwrap())
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn q1_path_query_matches_api() {
+    let store = scm_store();
+    let QlAnswer::Records(ql) = store.query("[A,D,E,G,I]").unwrap() else {
+        panic!("expected records");
+    };
+    let api = GraphQuery::from_edges(edges_by_names(&[
+        ("A", "D"),
+        ("D", "E"),
+        ("E", "G"),
+        ("G", "I"),
+    ]));
+    let (expected, _) = store.evaluate(&api);
+    assert_eq!(ql, expected);
+    assert_eq!(ql.records, vec![0, 1]);
+}
+
+#[test]
+fn q2_logical_or_and_not() {
+    let store = scm_store();
+    let QlAnswer::Records(either) = store.query("[C,H] OR [F,J,K]").unwrap() else {
+        panic!("expected records");
+    };
+    assert_eq!(either.records, vec![2]);
+    let QlAnswer::Records(corridor_not_leased) =
+        store.query("[A,D] AND NOT [C,H]").unwrap()
+    else {
+        panic!("expected records");
+    };
+    assert_eq!(corridor_not_leased.records, vec![0, 1]);
+}
+
+#[test]
+fn q3_max_aggregation() {
+    let store = scm_store();
+    let QlAnswer::Aggregates(agg) = store.query("MAX [A,D,E,G,I]").unwrap() else {
+        panic!("expected aggregates");
+    };
+    assert_eq!(agg.records, vec![0, 1]);
+    assert_eq!(agg.row(0), &[2.5]);
+    assert_eq!(agg.row(1), &[4.0]);
+}
+
+#[test]
+fn join_composition_equals_full_path() {
+    let store = scm_store();
+    let QlAnswer::Aggregates(joined) =
+        store.query("SUM [A,D,E) JOIN [E,G,I]").unwrap()
+    else {
+        panic!("expected aggregates");
+    };
+    let QlAnswer::Aggregates(full) = store.query("SUM [A,D,E,G,I]").unwrap() else {
+        panic!("expected aggregates");
+    };
+    assert_eq!(joined, full);
+    assert_eq!(joined.row(0), &[7.0]); // 2.0+1.5+2.5+1.0
+}
+
+#[test]
+fn all_aggregate_functions_via_ql() {
+    let store = scm_store();
+    for (text, expect) in [
+        ("SUM [A,D,E]", 2.0 + 1.5),
+        ("MIN [A,D,E]", 1.5),
+        ("MAX [A,D,E]", 2.0),
+        ("AVG [A,D,E]", 1.75),
+        ("COUNT [A,D,E]", 2.0),
+    ] {
+        let QlAnswer::Aggregates(agg) = store.query(text).unwrap() else {
+            panic!("expected aggregates for {text}");
+        };
+        assert_eq!(agg.row(0), &[expect], "{text}");
+    }
+}
+
+#[test]
+fn top_k_via_ql() {
+    let store = scm_store();
+    let QlAnswer::Ranked(top) = store.query("TOP 1 SUM [A,D,E,G,I]").unwrap() else {
+        panic!("expected ranked answer");
+    };
+    // Order 1 is the slower corridor run: 3+4+2+2 = 11 vs order 0's 7.
+    assert_eq!(top.len(), 1);
+    assert_eq!(top[0].record, 1);
+    assert_eq!(top[0].value, 11.0);
+    // k larger than the result set returns everything, descending.
+    let QlAnswer::Ranked(all) = store.query("TOP 10 MAX [A,D]").unwrap() else {
+        panic!("expected ranked answer");
+    };
+    assert_eq!(all.len(), 2);
+    assert!(all[0].value >= all[1].value);
+    // TOP without an aggregate is a parse error.
+    assert!(store.query("TOP 3 [A,D]").is_err());
+    assert!(store.query("TOP 0 SUM [A,D]").is_err());
+}
+
+#[test]
+fn ql_errors_are_reported() {
+    let store = scm_store();
+    assert!(store.query("[A,").is_err());
+    assert!(store.query("[A,Zebra]").is_err());
+    assert!(store.query("[A,G]").is_err()); // no direct edge A→G
+    assert!(store.query("SUM [A,D] OR [C,H]").is_err());
+    assert!(store.query("[A,D] ? [C,H]").is_err());
+}
+
+#[test]
+fn ql_uses_materialized_views_transparently() {
+    let mut store = scm_store();
+    let before = match store.query("[A,D,E,G,I]").unwrap() {
+        QlAnswer::Records(r) => r,
+        _ => unreachable!(),
+    };
+    // Materialize the exact query as a view.
+    store.materialize_graph_view(edges_by_names(&[
+        ("A", "D"),
+        ("D", "E"),
+        ("E", "G"),
+        ("G", "I"),
+    ]));
+    let after = match store.query("[A,D,E,G,I]").unwrap() {
+        QlAnswer::Records(r) => r,
+        _ => unreachable!(),
+    };
+    assert_eq!(before, after);
+}
+
+#[test]
+fn parallel_ql_equivalent_queries() {
+    let store = scm_store();
+    // Drive the same logical answers through both surfaces.
+    let QlAnswer::Aggregates(ql) = store.query("SUM [F,J,K]").unwrap() else {
+        panic!("expected aggregates");
+    };
+    let mut u = Universe::new();
+    for pair in [
+        ("A", "D"),
+        ("D", "E"),
+        ("E", "G"),
+        ("G", "I"),
+        ("A", "B"),
+        ("B", "F"),
+        ("F", "J"),
+        ("J", "K"),
+    ] {
+        u.edge_by_names(pair.0, pair.1);
+    }
+    let q = GraphQuery::from_edge_names(&mut u, &[("F", "J"), ("J", "K")]);
+    let (api, _) = store.path_aggregate(&PathAggQuery::new(q, AggFn::Sum)).unwrap();
+    assert_eq!(ql, api);
+}

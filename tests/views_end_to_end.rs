@@ -1,0 +1,204 @@
+//! Views end-to-end: materialization must never change answers, and the
+//! cost model must improve the way §5 promises.
+
+use graphbi::{AggFn, EvalOptions, GraphStore, IoStats, PathAggQuery};
+use graphbi_graph::GraphQuery;
+use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
+
+fn setup(seed_offset: u64, zipf: bool) -> (GraphStore, Vec<GraphQuery>) {
+    let spec = DatasetSpec {
+        n_records: 500,
+        ..DatasetSpec::ny(500)
+    };
+    let d = Dataset::synthesize(&spec);
+    let mut qspec = if zipf {
+        QuerySpec::zipf(40)
+    } else {
+        QuerySpec::uniform(40)
+    };
+    qspec.seed ^= seed_offset;
+    let qs = d.queries(&qspec);
+    (GraphStore::load(d.universe, &d.records), qs)
+}
+
+fn workload_bitmap_cost(store: &GraphStore, qs: &[GraphQuery]) -> u64 {
+    let mut total = IoStats::new();
+    for q in qs {
+        let (_, s) = store.evaluate(q);
+        total.absorb(&s);
+    }
+    total.structural_columns()
+}
+
+#[test]
+fn graph_views_never_change_answers_across_budgets() {
+    let (mut store, qs) = setup(1, false);
+    let baseline: Vec<_> = qs.iter().map(|q| store.evaluate(q).0).collect();
+    for budget in [1usize, 5, 10, 40] {
+        store.clear_views();
+        store.advise_views(&qs, budget);
+        assert!(store.graph_views().len() <= budget);
+        for (q, expect) in qs.iter().zip(&baseline) {
+            let (got, _) = store.evaluate(q);
+            assert_eq!(&got, expect, "budget {budget}");
+        }
+    }
+}
+
+#[test]
+fn bitmap_cost_decreases_monotonically_with_budget() {
+    let (mut store, qs) = setup(2, true);
+    let mut last = u64::MAX;
+    for budget in [0usize, 2, 5, 10, 20, 40] {
+        store.clear_views();
+        store.advise_views(&qs, budget);
+        let cost = workload_bitmap_cost(&store, &qs);
+        assert!(
+            cost <= last,
+            "budget {budget}: cost {cost} > previous {last}"
+        );
+        last = cost;
+    }
+    // Full budget on a skewed workload must actually save something.
+    let oblivious: u64 = qs.iter().map(|q| q.len() as u64).sum();
+    assert!(last < oblivious, "views saved nothing: {last} vs {oblivious}");
+}
+
+#[test]
+fn zipf_workloads_benefit_more_than_uniform() {
+    let (mut uni_store, uni_qs) = setup(3, false);
+    let (mut zipf_store, zipf_qs) = setup(3, true);
+    let budget = 10;
+    let uni_before = workload_bitmap_cost(&uni_store, &uni_qs);
+    uni_store.advise_views(&uni_qs, budget);
+    let uni_after = workload_bitmap_cost(&uni_store, &uni_qs);
+    let zipf_before = workload_bitmap_cost(&zipf_store, &zipf_qs);
+    zipf_store.advise_views(&zipf_qs, budget);
+    let zipf_after = workload_bitmap_cost(&zipf_store, &zipf_qs);
+    let uni_ratio = uni_after as f64 / uni_before as f64;
+    let zipf_ratio = zipf_after as f64 / zipf_before as f64;
+    assert!(
+        zipf_ratio < uni_ratio,
+        "zipf {zipf_ratio:.3} should beat uniform {uni_ratio:.3} (Figure 8)"
+    );
+}
+
+#[test]
+fn aggregate_views_preserve_answers_and_cut_measure_fetches() {
+    let (mut store, qs) = setup(4, true);
+    let func = AggFn::Sum;
+    let baseline: Vec<_> = qs
+        .iter()
+        .map(|q| store.path_aggregate(&PathAggQuery::new(q.clone(), func)).unwrap().0)
+        .collect();
+    let n = store.advise_agg_views(&qs, func, 40).unwrap();
+    assert!(n > 0, "advisor should find aggregate views on a zipf workload");
+
+    let mut with_views = IoStats::new();
+    let mut oblivious = IoStats::new();
+    for (q, expect) in qs.iter().zip(&baseline) {
+        let paq = PathAggQuery::new(q.clone(), func);
+        let (got, s) = store.path_aggregate(&paq).unwrap();
+        assert_eq!(&got, expect);
+        with_views.absorb(&s);
+        let (_, s2) = store
+            .path_aggregate_with(&paq, EvalOptions::oblivious())
+            .unwrap();
+        oblivious.absorb(&s2);
+    }
+    assert!(
+        with_views.measure_columns + with_views.agg_view_columns < oblivious.measure_columns,
+        "aggregate views should replace several measure columns with one: \
+         {with_views:?} vs {oblivious:?}"
+    );
+    assert!(with_views.values_fetched <= oblivious.values_fetched);
+}
+
+#[test]
+fn avg_and_count_compose_from_sum_views() {
+    let (mut store, qs) = setup(5, true);
+    // Materialize SUM-kind views; AVG and COUNT queries must still be exact.
+    store.advise_agg_views(&qs, AggFn::Sum, 20).unwrap();
+    for q in qs.iter().take(10) {
+        for func in [AggFn::Avg, AggFn::Count] {
+            let paq = PathAggQuery::new(q.clone(), func);
+            let (with, s_with) = store.path_aggregate(&paq).unwrap();
+            let (without, _) = store
+                .path_aggregate_with(&paq, EvalOptions::oblivious())
+                .unwrap();
+            for (a, b) in with.values.iter().zip(&without.values) {
+                assert!(
+                    (a - b).abs() < 1e-9 || (a.is_nan() && b.is_nan()),
+                    "{func}: {a} vs {b}"
+                );
+            }
+            let _ = s_with;
+        }
+    }
+}
+
+#[test]
+fn min_views_do_not_serve_sum_queries() {
+    let (mut store, qs) = setup(6, false);
+    store.advise_agg_views(&qs, AggFn::Min, 20).unwrap();
+    // SUM queries must ignore MIN-kind views (and still be correct).
+    for q in qs.iter().take(10) {
+        let paq = PathAggQuery::new(q.clone(), AggFn::Sum);
+        let (with, stats) = store.path_aggregate(&paq).unwrap();
+        let (without, _) = store
+            .path_aggregate_with(&paq, EvalOptions::oblivious())
+            .unwrap();
+        assert_eq!(with, without);
+        assert_eq!(stats.agg_view_columns, 0, "MIN views must not serve SUM");
+    }
+}
+
+#[test]
+fn fragments_and_views_combine_in_one_catalog() {
+    // §7.3's closing note: "we also tested combining both gIndex and the
+    // views on the same query". Fragments are just data-mined graph views;
+    // a mixed catalog must stay transparent and never cost more than the
+    // advisor's views alone.
+    let (mut store, qs) = setup(8, true);
+    let baseline: Vec<_> = qs.iter().map(|q| store.evaluate(q).0).collect();
+
+    // Advisor views first.
+    store.advise_views(&qs, 10);
+    let views_cost = workload_bitmap_cost(&store, &qs);
+
+    // Add "fragments": arbitrary 2-edge subsets of some queries, as gIndex
+    // would have mined them from record samples.
+    let fragments: Vec<Vec<graphbi::EdgeId>> = qs
+        .iter()
+        .filter(|q| q.len() >= 2)
+        .take(10)
+        .map(|q| q.edges()[..2].to_vec())
+        .collect();
+    for f in fragments {
+        store.materialize_graph_view(f);
+    }
+    let mixed_cost = workload_bitmap_cost(&store, &qs);
+    assert!(
+        mixed_cost <= views_cost,
+        "adding fragments must never raise the model cost: {mixed_cost} > {views_cost}"
+    );
+    for (q, expect) in qs.iter().zip(&baseline) {
+        assert_eq!(&store.evaluate(q).0, expect);
+    }
+}
+
+#[test]
+fn space_overhead_is_modest() {
+    let (mut store, qs) = setup(7, false);
+    let base = store.size_in_bytes();
+    store.advise_views(&qs, qs.len());
+    store.advise_agg_views(&qs, AggFn::Sum, qs.len()).unwrap();
+    let with_views = store.size_in_bytes();
+    // The paper reports ~10% overhead for a full budget; allow 2× headroom
+    // on tiny datasets where fixed costs dominate.
+    assert!(
+        with_views - base < base / 5 + 4096,
+        "views cost {} on a base of {base}",
+        with_views - base
+    );
+}

@@ -1,0 +1,87 @@
+//! Full WMS pipeline (§6.2): cyclic process traces → DAG flattening →
+//! column store → path analytics over versioned states.
+
+use graphbi::{AggFn, GraphStore, PathAggQuery};
+use graphbi_graph::{GraphQuery, Universe};
+use graphbi_workload::scenarios::WorkflowScenario;
+
+#[test]
+fn rework_loops_are_queryable_after_flattening() {
+    let mut u = Universe::new();
+    let wf = WorkflowScenario::build(&mut u, 5);
+    let states = wf.states().to_vec();
+    let instances = wf.instances(&mut u, 400, 0.25, 42);
+    let store = GraphStore::load(u, &instances);
+    assert_eq!(store.record_count(), 400);
+
+    // The *unversioned* happy path stage0→…→stage4 is traversed exactly by
+    // the instances that never reworked: after a bounce, forward progress
+    // continues on versioned stage copies (stage1~2→stage2~2…), so the base
+    // edges stay first-pass-only. With 25% rework per step, strictly
+    // between zero and all instances are rework-free.
+    let happy: Vec<_> = states
+        .windows(2)
+        .map(|w| store.universe().find_edge(w[0], w[1]).expect("pipeline edge"))
+        .collect();
+    let q = GraphQuery::from_edges(happy);
+    let (result, _) = store.evaluate(&q);
+    assert!(
+        !result.is_empty() && (result.len() as u64) < store.record_count(),
+        "rework-free instances: {}",
+        result.len()
+    );
+
+    // Total first-pass latency along the happy path is positive and finite.
+    let (agg, _) = store
+        .path_aggregate(&PathAggQuery::new(q, AggFn::Sum))
+        .unwrap();
+    for i in 0..agg.len() {
+        let v = agg.row(i)[0];
+        assert!(v.is_finite() && v > 0.0);
+    }
+}
+
+#[test]
+fn rework_transitions_are_distinguishable() {
+    let mut u = Universe::new();
+    let wf = WorkflowScenario::build(&mut u, 4);
+    let states = wf.states().to_vec();
+    let instances = wf.instances(&mut u, 500, 0.35, 7);
+    let store = GraphStore::load(u, &instances);
+
+    // A bounce stage2→stage1 lands on a versioned copy stage1~2 after
+    // flattening; query instances that reworked stage 1.
+    let u = store.universe();
+    let s2 = states[2];
+    let s1v = u.find_node("stage1~2").expect("rework creates stage1~2");
+    let bounce = u.find_edge(s2, s1v).expect("bounce edge exists");
+    let (reworked, _) = store.evaluate(&GraphQuery::from_edges(vec![bounce]));
+    assert!(
+        !reworked.is_empty() && (reworked.len() as u64) < store.record_count(),
+        "some but not all instances rework: {}",
+        reworked.len()
+    );
+}
+
+#[test]
+fn ql_over_workflow_universe() {
+    let mut u = Universe::new();
+    let wf = WorkflowScenario::build(&mut u, 4);
+    let instances = wf.instances(&mut u, 200, 0.2, 3);
+    let store = GraphStore::load(u, &instances);
+    // The base pipeline path matches rework-free instances only.
+    match store.query("COUNT [stage0,stage1,stage2,stage3]").unwrap() {
+        graphbi::ql::QlAnswer::Aggregates(agg) => {
+            assert!(!agg.is_empty() && (agg.len() as u64) < store.record_count());
+            assert!(agg.values.iter().all(|&v| v == 3.0));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The query language reaches versioned stage copies by their `~` names.
+    match store.query("[stage1~2,stage2~2]").unwrap() {
+        graphbi::ql::QlAnswer::Records(r) => {
+            assert!(!r.is_empty(), "some instance reworked stage 1 then resumed");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
