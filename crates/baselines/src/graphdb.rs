@@ -75,10 +75,7 @@ impl GraphDb {
                 adjacency,
             });
         }
-        let endpoints = universe
-            .edges()
-            .map(|(e, s, t)| (e, (s, t)))
-            .collect();
+        let endpoints = universe.edges().map(|(e, s, t)| (e, (s, t))).collect();
         GraphDb {
             graphs,
             node_index,
@@ -108,7 +105,12 @@ impl Engine for GraphDb {
         }
         let pairs: Vec<(NodeId, NodeId)> = edges
             .iter()
-            .map(|e| *self.endpoints.get(e).unwrap_or(&(NodeId(u32::MAX), NodeId(u32::MAX))))
+            .map(|e| {
+                *self
+                    .endpoints
+                    .get(e)
+                    .unwrap_or(&(NodeId(u32::MAX), NodeId(u32::MAX)))
+            })
             .collect();
         // Index lookup on the most selective query node.
         let anchor = pairs
@@ -202,7 +204,7 @@ mod tests {
     }
 
     #[test]
-    fn native_store_is_the_largest(){
+    fn native_store_is_the_largest() {
         let (u, records, _) = setup();
         let db = GraphDb::load(&records, &u);
         let row = crate::RowStore::load(&records);

@@ -174,10 +174,7 @@ mod tests {
     fn dictionary_deduplicates_values() {
         let s = RdfStore::load(&records());
         // 3.0 appears twice but is stored once.
-        assert_eq!(
-            s.dictionary.iter().filter(|&&v| v == 3.0).count(),
-            1
-        );
+        assert_eq!(s.dictionary.iter().filter(|&&v| v == 3.0).count(), 1);
         let r = s.evaluate(&GraphQuery::from_edges(vec![e(0)]));
         assert_eq!(r.measures, vec![3.0, 3.0]);
     }

@@ -116,10 +116,8 @@ impl Engine for RowStore {
                 break;
             }
             // Hash-join build side: this edge's rows.
-            let build: HashMap<RecordId, f64> = self
-                .index_scan(e)
-                .map(|r| (r.record, r.measure))
-                .collect();
+            let build: HashMap<RecordId, f64> =
+                self.index_scan(e).map(|r| (r.record, r.measure)).collect();
             // Probe and materialize the next intermediate.
             let mut next = Vec::with_capacity(intermediate.len());
             for (rec, mut vals) in intermediate {
@@ -196,7 +194,9 @@ mod tests {
     #[test]
     fn no_match_and_unknown_edge() {
         let s = RowStore::load(&records());
-        assert!(s.evaluate(&GraphQuery::from_edges(vec![e(0), e(3)])).is_empty());
+        assert!(s
+            .evaluate(&GraphQuery::from_edges(vec![e(0), e(3)]))
+            .is_empty());
         assert!(s.evaluate(&GraphQuery::from_edges(vec![e(99)])).is_empty());
     }
 

@@ -26,12 +26,7 @@ fn bench_column_layout(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("column_layout_point_lookups");
     g.bench_function("sparse", |b| {
-        b.iter(|| {
-            probes
-                .iter()
-                .filter_map(|&r| sparse.get(r))
-                .sum::<f64>()
-        })
+        b.iter(|| probes.iter().filter_map(|&r| sparse.get(r)).sum::<f64>())
     });
     g.bench_function("dense", |b| {
         b.iter(|| probes.iter().filter_map(|&r| dense.get(r)).sum::<f64>())

@@ -28,9 +28,11 @@ fn bench_and(c: &mut Criterion) {
     for density in [1u32, 10, 50] {
         let a = make(density, 0);
         let b = make(density, 1);
-        g.bench_with_input(BenchmarkId::new("compressed", density), &density, |bench, _| {
-            bench.iter(|| std::hint::black_box(a.and(&b)).len())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("compressed", density),
+            &density,
+            |bench, _| bench.iter(|| std::hint::black_box(a.and(&b)).len()),
+        );
         let da = make_dense(density, 0);
         let db = make_dense(density, 1);
         g.bench_with_input(BenchmarkId::new("dense", density), &density, |bench, _| {

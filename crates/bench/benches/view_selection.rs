@@ -8,7 +8,11 @@ use graphbi_views::{
 };
 use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
 
-fn workloads() -> (Dataset, Vec<graphbi_graph::GraphQuery>, Vec<graphbi_graph::GraphQuery>) {
+fn workloads() -> (
+    Dataset,
+    Vec<graphbi_graph::GraphQuery>,
+    Vec<graphbi_graph::GraphQuery>,
+) {
     let d = Dataset::synthesize(&DatasetSpec::ny(500));
     let uni = d.queries(&QuerySpec::uniform(100));
     let zipf = d.queries(&QuerySpec::zipf(100));
@@ -49,7 +53,11 @@ fn bench_agg_candidates_and_selection(c: &mut Criterion) {
     });
     let cands = agg_candidates(&zipf, &d.universe).unwrap();
     c.bench_function("agg_greedy_select_budget50", |b| {
-        b.iter(|| select_agg_views(&zipf, &d.universe, &cands, 50).unwrap().len())
+        b.iter(|| {
+            select_agg_views(&zipf, &d.universe, &cands, 50)
+                .unwrap()
+                .len()
+        })
     });
 }
 

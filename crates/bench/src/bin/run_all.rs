@@ -18,5 +18,8 @@ fn main() {
     disk_regime::run();
     ingest::run();
     latency::run();
-    println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

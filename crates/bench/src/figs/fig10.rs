@@ -88,10 +88,8 @@ pub fn run() {
     let mut store = GraphStore::load(d2.universe, &d.records);
 
     let sample_size = (d.records.len() / 20).max(100);
-    let (frags_q, mine_q_ms) =
-        time_ms(|| mined_fragments(&d, &store, &qs, sample_size, 1.0));
-    let (frags_qd, mine_qd_ms) =
-        time_ms(|| mined_fragments(&d, &store, &qs, sample_size, 0.2));
+    let (frags_q, mine_q_ms) = time_ms(|| mined_fragments(&d, &store, &qs, sample_size, 1.0));
+    let (frags_qd, mine_qd_ms) = time_ms(|| mined_fragments(&d, &store, &qs, sample_size, 0.2));
     println!(
         "mined {} gIndex_Q fragments in {:.0} ms, {} gIndex_Q+D in {:.0} ms",
         frags_q.len(),

@@ -9,8 +9,8 @@
 use graphbi::{AggFn, GraphStore};
 use graphbi_workload::Dataset;
 
-use crate::figs::fig7::timed_agg_split;
 use crate::figs::fig10::mined_fragments;
+use crate::figs::fig7::timed_agg_split;
 use crate::{fmt, ny, uniform_queries, Table};
 
 /// Regenerates Figure 11.
@@ -53,7 +53,9 @@ pub fn run() {
             cols.push(c);
         }
         store.clear_views();
-        store.advise_agg_views(&qs, AggFn::Sum, k).expect("acyclic workload");
+        store
+            .advise_agg_views(&qs, AggFn::Sum, k)
+            .expect("acyclic workload");
         let (views_total, _, _, views_cols) = timed_agg_split(&store, &qs, AggFn::Sum);
         t.row(vec![
             format!("{budget_pct}%"),

@@ -15,7 +15,14 @@ use crate::{fmt, run_column_workload, run_engine_workload, scaled, uniform_queri
 pub fn run() {
     let mut t = Table::new(
         "Figure 3(a): Query Time vs Dataset Size (100 uniform queries, ms)",
-        &["records", "ColumnStore", "Neo4jStore", "RdfStore", "RowStore", "matches"],
+        &[
+            "records",
+            "ColumnStore",
+            "Neo4jStore",
+            "RdfStore",
+            "RowStore",
+            "matches",
+        ],
     );
     for n in [1_000usize, 5_000, 10_000] {
         let d = Dataset::synthesize(&DatasetSpec::ny(scaled(n)));

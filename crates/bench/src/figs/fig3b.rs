@@ -21,7 +21,14 @@ pub fn run() {
 
     let mut t = Table::new(
         "Figure 3(b): Query Time vs Query Size (100 queries, ms)",
-        &["query_edges", "ColumnStore", "Neo4jStore", "RdfStore", "RowStore", "matches"],
+        &[
+            "query_edges",
+            "ColumnStore",
+            "Neo4jStore",
+            "RdfStore",
+            "RowStore",
+            "matches",
+        ],
     );
     for size in [1usize, 10, 100, 1000] {
         let spec = QuerySpec {

@@ -34,7 +34,14 @@ pub fn density_datasets() -> Vec<(u32, Dataset)> {
 pub fn run() {
     let mut t = Table::new(
         "Figure 3(c): Query Time vs Density (100 queries, ms)",
-        &["density_%", "ColumnStore", "Neo4jStore", "RdfStore", "RowStore", "matches"],
+        &[
+            "density_%",
+            "ColumnStore",
+            "Neo4jStore",
+            "RdfStore",
+            "RowStore",
+            "matches",
+        ],
     );
     for (density, d) in density_datasets() {
         // Query size grows with density, as in the paper.

@@ -14,7 +14,13 @@ use crate::{figs::fig3c::density_datasets, Table};
 pub fn run() {
     let mut t = Table::new(
         "Figure 4: Disk Space vs Density (bytes)",
-        &["density_%", "ColumnStore", "Neo4jStore", "RdfStore", "RowStore"],
+        &[
+            "density_%",
+            "ColumnStore",
+            "Neo4jStore",
+            "RdfStore",
+            "RowStore",
+        ],
     );
     for (density, d) in density_datasets() {
         let row = RowStore::load(&d.records);

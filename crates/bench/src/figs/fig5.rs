@@ -18,7 +18,13 @@ use crate::{fmt, run_column_workload, run_engine_workload, scaled, Table};
 pub fn run() {
     let mut t = Table::new(
         "Figure 5: Query Time vs Edge Domain Size (100 queries, ms)",
-        &["distinct_edges", "partitions", "ColumnStore", "Neo4jStore", "matches"],
+        &[
+            "distinct_edges",
+            "partitions",
+            "ColumnStore",
+            "Neo4jStore",
+            "matches",
+        ],
     );
     for domain in [1_000usize, 2_000, 5_000, 10_000, 20_000] {
         let density_edges = domain / 10;

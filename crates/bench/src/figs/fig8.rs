@@ -20,13 +20,7 @@ pub fn run() {
 
     let mut t = Table::new(
         "Figure 8: Relative Time of Zipf Workloads vs Space Budget",
-        &[
-            "budget_%",
-            "graph_NY",
-            "graph_GNU",
-            "agg_NY",
-            "agg_GNU",
-        ],
+        &["budget_%", "graph_NY", "graph_GNU", "agg_NY", "agg_GNU"],
     );
 
     // Denominators: the zero-view run, filled by the sweep's 0% step.

@@ -49,7 +49,9 @@ pub fn run() {
 
     // Incremental append with a full view catalog to maintain.
     store.advise_views(&qs, 25);
-    store.advise_agg_views(&qs, AggFn::Sum, 25).expect("acyclic");
+    store
+        .advise_agg_views(&qs, AggFn::Sum, 25)
+        .expect("acyclic");
     let nviews = store.graph_views().len() + store.agg_views().len();
     let (_, ms) = time_ms(|| {
         for r in &d.records[half + quarter..] {
@@ -68,11 +70,7 @@ pub fn run() {
     let before = store.size_in_bytes();
     let (_, ms) = time_ms(|| store.optimize());
     t.row(vec![
-        format!(
-            "optimize ({} -> {} bytes)",
-            before,
-            store.size_in_bytes()
-        ),
+        format!("optimize ({} -> {} bytes)", before, store.size_in_bytes()),
         store.record_count().to_string(),
         fmt(ms),
         "-".into(),
@@ -83,6 +81,9 @@ pub fn run() {
     for q in &qs {
         matches += store.evaluate(q).0.len() as u64;
     }
-    println!("post-ingest sanity: {matches} matches over {} queries", qs.len());
+    println!(
+        "post-ingest sanity: {matches} matches over {} queries",
+        qs.len()
+    );
     t.emit("ingest");
 }

@@ -12,7 +12,12 @@ use crate::{fmt, ny, time_ms, zipf_queries, Table};
 fn percentiles(mut xs: Vec<f64>) -> (f64, f64, f64, f64) {
     xs.sort_by(f64::total_cmp);
     let pick = |p: f64| xs[(((xs.len() - 1) as f64) * p) as usize];
-    (pick(0.5), pick(0.95), pick(0.99), *xs.last().expect("non-empty"))
+    (
+        pick(0.5),
+        pick(0.95),
+        pick(0.99),
+        *xs.last().expect("non-empty"),
+    )
 }
 
 /// Per-query wall-clock for a closure, best effort (single run per query —
@@ -48,14 +53,19 @@ pub fn run() {
     row(&mut t, "graph, oblivious", graph_obl);
     let agg_obl = run_each(&qs, |q| {
         let _ = store
-            .path_aggregate_with(&PathAggQuery::new(q.clone(), AggFn::Sum), EvalOptions::oblivious())
+            .path_aggregate_with(
+                &PathAggQuery::new(q.clone(), AggFn::Sum),
+                EvalOptions::oblivious(),
+            )
             .expect("acyclic");
     });
     row(&mut t, "aggregate, oblivious", agg_obl);
 
     // View-assisted.
     store.advise_views(&qs, 50);
-    store.advise_agg_views(&qs, AggFn::Sum, 50).expect("acyclic");
+    store
+        .advise_agg_views(&qs, AggFn::Sum, 50)
+        .expect("acyclic");
     let graph_views = run_each(&qs, |q| {
         let _ = store.evaluate(q);
     });

@@ -5,8 +5,8 @@
 //! the scaled parameters used.
 
 pub mod disk_regime;
-pub mod ingest;
-pub mod latency;
+pub mod fig10;
+pub mod fig11;
 pub mod fig3a;
 pub mod fig3b;
 pub mod fig3c;
@@ -16,6 +16,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
-pub mod fig11;
+pub mod ingest;
+pub mod latency;
 pub mod table2;

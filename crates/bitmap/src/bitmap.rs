@@ -41,10 +41,11 @@ impl Bitmap {
             let chunk_end = (u64::from(join(key, u16::MAX)) + 1).min(u64::from(range.end));
             let last_low = (chunk_end - 1) as u16;
             b.keys.push(key);
-            b.containers.push(Container::Runs(vec![crate::container::Run {
-                start: low,
-                len: last_low - low,
-            }]));
+            b.containers
+                .push(Container::Runs(vec![crate::container::Run {
+                    start: low,
+                    len: last_low - low,
+                }]));
             v = match chunk_end.try_into() {
                 Ok(v) => v,
                 Err(_) => break, // chunk_end == 2^32: range exhausted
@@ -172,7 +173,12 @@ impl Bitmap {
     /// reasoning is expressed in).
     pub fn size_in_bytes(&self) -> usize {
         let header = self.keys.len() * (2 + std::mem::size_of::<Container>());
-        header + self.containers.iter().map(Container::size_in_bytes).sum::<usize>()
+        header
+            + self
+                .containers
+                .iter()
+                .map(Container::size_in_bytes)
+                .sum::<usize>()
     }
 
     /// True iff every id in `self` is in `other`.

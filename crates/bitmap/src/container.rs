@@ -216,7 +216,10 @@ impl Container {
             },
             Container::Words(w) => {
                 let word = usize::from(v >> 6);
-                let mut r: u64 = w.bits[..word].iter().map(|x| u64::from(x.count_ones())).sum();
+                let mut r: u64 = w.bits[..word]
+                    .iter()
+                    .map(|x| u64::from(x.count_ones()))
+                    .sum();
                 let mask = (1u64 << (v & 63)) - 1;
                 r += u64::from((w.bits[word] & mask).count_ones());
                 r
@@ -843,11 +846,7 @@ mod tests {
     fn and_across_all_form_pairs() {
         let a_vals: Vec<u16> = (0..2000).map(|v| v * 3).collect();
         let b_vals: Vec<u16> = (0..3000).map(|v| v * 2).collect();
-        let expect: Vec<u16> = a_vals
-            .iter()
-            .copied()
-            .filter(|v| v % 6 == 0)
-            .collect();
+        let expect: Vec<u16> = a_vals.iter().copied().filter(|v| v % 6 == 0).collect();
         let a_forms = [
             array(&a_vals),
             Container::Words(words_from_array(&a_vals)),

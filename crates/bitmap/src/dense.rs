@@ -35,7 +35,11 @@ impl DenseBitmap {
     /// Panics when `v >= capacity`.
     #[inline]
     pub fn insert(&mut self, v: RecordId) {
-        assert!(v < self.capacity, "id {v} out of capacity {}", self.capacity);
+        assert!(
+            v < self.capacity,
+            "id {v} out of capacity {}",
+            self.capacity
+        );
         self.words[(v / 64) as usize] |= 1 << (v % 64);
     }
 

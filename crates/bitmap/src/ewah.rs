@@ -190,10 +190,7 @@ impl EwahBitmap {
                 }
                 let tz = word.trailing_zeros();
                 word &= word - 1;
-                Some(
-                    u32::try_from(idx * 64 + u64::from(tz))
-                        .expect("EWAH id fits u32"),
-                )
+                Some(u32::try_from(idx * 64 + u64::from(tz)).expect("EWAH id fits u32"))
             })
         })
     }
@@ -363,7 +360,9 @@ mod tests {
 
     #[test]
     fn agrees_with_roaring() {
-        let ids: Vec<u32> = (0..20_000u32).filter(|v| v % 13 == 0 || v % 101 < 3).collect();
+        let ids: Vec<u32> = (0..20_000u32)
+            .filter(|v| v % 13 == 0 || v % 101 < 3)
+            .collect();
         let e = EwahBitmap::from_sorted(ids.iter().copied());
         let r: crate::Bitmap = ids.iter().copied().collect();
         assert_eq!(e.len(), r.len());

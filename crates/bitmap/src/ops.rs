@@ -266,7 +266,10 @@ mod tests {
             (bm(&[1, 70_000]), bm(&[2, 70_000])),
             (Bitmap::from_range(0..70_000), bm(&[5, 65_000, 69_999])),
             (bm(&[1]), Bitmap::new()),
-            ((0..200_000u32).step_by(3).collect(), (0..200_000u32).step_by(2).collect()),
+            (
+                (0..200_000u32).step_by(3).collect(),
+                (0..200_000u32).step_by(2).collect(),
+            ),
         ];
         for (a, b) in cases {
             let expect = a.and(&b);

@@ -74,7 +74,9 @@ fn synth(args: &[String]) -> Result<(), String> {
     let [kind, records, dir] = args else {
         return Err("synth needs: <ny|gnu> <records> <dir>".into());
     };
-    let n: usize = records.parse().map_err(|_| "record count must be a number")?;
+    let n: usize = records
+        .parse()
+        .map_err(|_| "record count must be a number")?;
     let spec = match kind.as_str() {
         "ny" => DatasetSpec::ny(n),
         "gnu" => DatasetSpec::gnu(n),
@@ -129,8 +131,7 @@ fn query(args: &[String]) -> Result<(), String> {
                 if r.edges.is_empty() {
                     println!("  record {rid}");
                 } else {
-                    let row: Vec<String> =
-                        r.row(i).iter().map(|v| format!("{v:.2}")).collect();
+                    let row: Vec<String> = r.row(i).iter().map(|v| format!("{v:.2}")).collect();
                     println!("  record {rid}: [{}]", row.join(", "));
                 }
             }
@@ -167,7 +168,9 @@ fn query_disk(args: &[String]) -> Result<(), String> {
     let [dir, cache_mb, text] = args else {
         return Err("queryd needs: <dir> <cache_mb> \"<query>\"".into());
     };
-    let cache_mb: usize = cache_mb.parse().map_err(|_| "cache size must be a number")?;
+    let cache_mb: usize = cache_mb
+        .parse()
+        .map_err(|_| "cache size must be a number")?;
     let store = graphbi::disk::DiskGraphStore::open(&PathBuf::from(dir), cache_mb << 20)
         .map_err(|e| e.to_string())?;
     let q = store.parse_query(text).map_err(|e| e.to_string())?;
@@ -201,8 +204,7 @@ fn explain(args: &[String]) -> Result<(), String> {
     let store = open(&PathBuf::from(dir))?;
     let statement = graphbi::ql::parse(&graphbi::ql::lex(text).map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
-    let resolved =
-        graphbi::ql::resolve(&statement, store.universe()).map_err(|e| e.to_string())?;
+    let resolved = graphbi::ql::resolve(&statement, store.universe()).map_err(|e| e.to_string())?;
     let patterns: Vec<graphbi::GraphQuery> = match resolved {
         graphbi::ql::Resolved::Expr(expr) => expr.atoms().into_iter().cloned().collect(),
         graphbi::ql::Resolved::Agg(paq) | graphbi::ql::Resolved::TopAgg(paq, _) => {
@@ -234,9 +236,8 @@ fn advise(args: &[String]) -> Result<(), String> {
         let _ = store.query(text).map_err(|e| format!("{text:?}: {e}"))?;
         // Re-resolve to obtain the pattern (query() executes; we want the
         // GraphQuery itself for the advisor).
-        let statement =
-            graphbi::ql::parse(&graphbi::ql::lex(text).map_err(|e| e.to_string())?)
-                .map_err(|e| e.to_string())?;
+        let statement = graphbi::ql::parse(&graphbi::ql::lex(text).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
         match graphbi::ql::resolve(&statement, store.universe()).map_err(|e| e.to_string())? {
             graphbi::ql::Resolved::Expr(expr) => {
                 for atom in expr.atoms() {
@@ -262,7 +263,10 @@ fn advise(args: &[String]) -> Result<(), String> {
             .collect();
         println!("  new view: {}", labels.join(" "));
     }
-    println!("catalog now holds {} graph views:", store.graph_views().len());
+    println!(
+        "catalog now holds {} graph views:",
+        store.graph_views().len()
+    );
     for v in store.graph_views() {
         let labels: Vec<String> = v
             .edges
@@ -309,10 +313,7 @@ mod tests {
         run(&s(&["stats", &dirs])).unwrap();
         // Find a real edge to query from the universe file.
         let uni = std::fs::read_to_string(dir.join("universe.txt")).unwrap();
-        let nodes: Vec<&str> = uni
-            .lines()
-            .filter_map(|l| l.strip_prefix("n "))
-            .collect();
+        let nodes: Vec<&str> = uni.lines().filter_map(|l| l.strip_prefix("n ")).collect();
         let edge_line = uni
             .lines()
             .find_map(|l| l.strip_prefix("e "))

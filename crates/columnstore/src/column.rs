@@ -291,10 +291,7 @@ mod tests {
         let c = column(&[(10, 1.0), (20, 2.0)]);
         let ids: Bitmap = [5u32, 10, 15, 20, 25].into_iter().collect();
         assert_eq!(c.gather(&ids), vec![1.0, 2.0]);
-        assert_eq!(
-            c.gather_with_ids(&ids),
-            vec![(10, 1.0), (20, 2.0)]
-        );
+        assert_eq!(c.gather_with_ids(&ids), vec![(10, 1.0), (20, 2.0)]);
     }
 
     #[test]

@@ -276,42 +276,40 @@ impl DiskRelation {
     pub fn edge_bitmap(&self, edge: EdgeId, stats: &mut IoStats) -> Result<BitmapRef, StoreError> {
         stats.bitmap_columns += 1;
         let idx = edge.index();
-        let payload = self.fetch(
-            ColKey::EdgeBitmap(edge.0),
-            stats,
-            move |this, stats| {
-                let loc = this.columns[idx];
-                let path = this.dir.join(format!("part_{:04}.gbi", loc.partition));
-                let bytes = this.read_range(&path, loc.bitmap_off, loc.bitmap_len)?;
-                stats.disk_reads += 1;
-                stats.disk_bytes += loc.bitmap_len;
-                let mut buf = Bytes::from(bytes);
-                Ok(Payload::Bitmap(Bitmap::decode(&mut buf)?))
-            },
-        )?;
+        let payload = self.fetch(ColKey::EdgeBitmap(edge.0), stats, move |this, stats| {
+            let loc = this.columns[idx];
+            let path = this.dir.join(format!("part_{:04}.gbi", loc.partition));
+            let bytes = this.read_range(&path, loc.bitmap_off, loc.bitmap_len)?;
+            stats.disk_reads += 1;
+            stats.disk_bytes += loc.bitmap_len;
+            let mut buf = Bytes::from(bytes);
+            Ok(Payload::Bitmap(Bitmap::decode(&mut buf)?))
+        })?;
         Ok(BitmapRef(payload))
     }
 
     /// Fetches the measure column `m_edge` (bitmap + values, one contiguous
     /// read).
-    pub fn edge_measures(&self, edge: EdgeId, stats: &mut IoStats) -> Result<ColumnRef, StoreError> {
+    pub fn edge_measures(
+        &self,
+        edge: EdgeId,
+        stats: &mut IoStats,
+    ) -> Result<ColumnRef, StoreError> {
         stats.measure_columns += 1;
         let idx = edge.index();
-        let payload = self.fetch(
-            ColKey::EdgeColumn(edge.0),
-            stats,
-            move |this, stats| {
-                let loc = this.columns[idx];
-                let path = this.dir.join(format!("part_{:04}.gbi", loc.partition));
-                let len = loc.bitmap_len + loc.values_len;
-                let bytes = this.read_range(&path, loc.bitmap_off, len)?;
-                stats.disk_reads += 1;
-                stats.disk_bytes += len;
-                let mut buf = Bytes::from(bytes);
-                let presence = Bitmap::decode(&mut buf)?;
-                Ok(Payload::Column(SparseColumn::decode_values(presence, &mut buf)?))
-            },
-        )?;
+        let payload = self.fetch(ColKey::EdgeColumn(edge.0), stats, move |this, stats| {
+            let loc = this.columns[idx];
+            let path = this.dir.join(format!("part_{:04}.gbi", loc.partition));
+            let len = loc.bitmap_len + loc.values_len;
+            let bytes = this.read_range(&path, loc.bitmap_off, len)?;
+            stats.disk_reads += 1;
+            stats.disk_bytes += len;
+            let mut buf = Bytes::from(bytes);
+            let presence = Bitmap::decode(&mut buf)?;
+            Ok(Payload::Column(SparseColumn::decode_values(
+                presence, &mut buf,
+            )?))
+        })?;
         Ok(ColumnRef(payload))
     }
 
@@ -356,8 +354,8 @@ impl DiskRelation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::relation::RelationBuilder;
     use crate::persist;
+    use crate::relation::RelationBuilder;
 
     fn tmpdir(name: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("graphbi-disk-{name}-{}", std::process::id()));

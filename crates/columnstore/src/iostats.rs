@@ -46,20 +46,30 @@ impl IoStats {
 
     /// Total columns of any kind fetched.
     pub fn total_columns(&self) -> u64 {
-        self.bitmap_columns + self.view_bitmap_columns + self.measure_columns + self.agg_view_columns
+        self.bitmap_columns
+            + self.view_bitmap_columns
+            + self.measure_columns
+            + self.agg_view_columns
     }
 
     /// Accumulates another stats block (for workload-level totals).
+    /// Saturates instead of overflowing: long-running accumulators (fuzz
+    /// loops, daemon-style workloads) must never panic in debug builds or
+    /// silently wrap in release builds.
     pub fn absorb(&mut self, other: &IoStats) {
-        self.bitmap_columns += other.bitmap_columns;
-        self.view_bitmap_columns += other.view_bitmap_columns;
-        self.measure_columns += other.measure_columns;
-        self.agg_view_columns += other.agg_view_columns;
-        self.values_fetched += other.values_fetched;
-        self.partitions_touched += other.partitions_touched;
-        self.join_rows += other.join_rows;
-        self.disk_reads += other.disk_reads;
-        self.disk_bytes += other.disk_bytes;
+        self.bitmap_columns = self.bitmap_columns.saturating_add(other.bitmap_columns);
+        self.view_bitmap_columns = self
+            .view_bitmap_columns
+            .saturating_add(other.view_bitmap_columns);
+        self.measure_columns = self.measure_columns.saturating_add(other.measure_columns);
+        self.agg_view_columns = self.agg_view_columns.saturating_add(other.agg_view_columns);
+        self.values_fetched = self.values_fetched.saturating_add(other.values_fetched);
+        self.partitions_touched = self
+            .partitions_touched
+            .saturating_add(other.partitions_touched);
+        self.join_rows = self.join_rows.saturating_add(other.join_rows);
+        self.disk_reads = self.disk_reads.saturating_add(other.disk_reads);
+        self.disk_bytes = self.disk_bytes.saturating_add(other.disk_bytes);
     }
 }
 
@@ -86,5 +96,24 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.bitmap_columns, 6);
         assert_eq!(a.values_fetched, 200);
+    }
+
+    #[test]
+    fn absorb_saturates_at_u64_max() {
+        let mut a = IoStats {
+            disk_bytes: u64::MAX - 10,
+            values_fetched: u64::MAX,
+            ..IoStats::new()
+        };
+        let b = IoStats {
+            disk_bytes: 100,
+            values_fetched: 1,
+            bitmap_columns: 7,
+            ..IoStats::new()
+        };
+        a.absorb(&b);
+        assert_eq!(a.disk_bytes, u64::MAX);
+        assert_eq!(a.values_fetched, u64::MAX);
+        assert_eq!(a.bitmap_columns, 7, "unsaturated fields still add");
     }
 }

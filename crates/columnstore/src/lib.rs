@@ -24,8 +24,8 @@
 //! * [`persist`] — a simple binary on-disk layout, used to measure the disk
 //!   footprint (Table 2, Figure 4) and to survive restarts.
 
-mod column;
 mod cache;
+mod column;
 pub mod disk;
 mod iostats;
 pub mod persist;

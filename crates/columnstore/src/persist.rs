@@ -43,9 +43,8 @@ pub fn save(relation: &MasterRelation, dir: &Path) -> Result<u64, StoreError> {
     manifest.put_u32_le(MANIFEST_MAGIC);
     manifest.put_u64_le(relation.record_count());
     manifest.put_u32_le(u32::try_from(relation.edge_count()).expect("edge count fits u32"));
-    manifest.put_u32_le(
-        u32::try_from(relation.partition_width()).expect("partition width fits u32"),
-    );
+    manifest
+        .put_u32_le(u32::try_from(relation.partition_width()).expect("partition width fits u32"));
     total += write_file(&dir.join("manifest.gbi"), &manifest.freeze())?;
 
     let width = relation.partition_width();
@@ -130,10 +129,8 @@ pub fn load(dir: &Path) -> Result<MasterRelation, StoreError> {
             .map(|_| (buf.get_u64_le(), buf.get_u64_le()))
             .collect();
         for (blen, vlen) in lens {
-            let blen =
-                usize::try_from(blen).map_err(|_| StoreError::Format("bitmap too large"))?;
-            let vlen =
-                usize::try_from(vlen).map_err(|_| StoreError::Format("values too large"))?;
+            let blen = usize::try_from(blen).map_err(|_| StoreError::Format("bitmap too large"))?;
+            let vlen = usize::try_from(vlen).map_err(|_| StoreError::Format("values too large"))?;
             if buf.remaining() < blen + vlen {
                 return Err(StoreError::Format("column bytes truncated"));
             }
@@ -212,7 +209,12 @@ mod tests {
         let mut b = RelationBuilder::new(n_edges);
         for rid in 0..200u32 {
             let edges: Vec<(EdgeId, f64)> = (0..5)
-                .map(|i| (EdgeId((rid * 7 + i * 13) % n_edges as u32), f64::from(rid + i)))
+                .map(|i| {
+                    (
+                        EdgeId((rid * 7 + i * 13) % n_edges as u32),
+                        f64::from(rid + i),
+                    )
+                })
                 .collect();
             let mut sorted = edges;
             sorted.sort_by_key(|&(e, _)| e);
@@ -249,7 +251,10 @@ mod tests {
         }
         assert_eq!(back.view_count(), 1);
         assert_eq!(back.agg_view_count(), 1);
-        assert_eq!(back.agg_view(crate::AggViewId(0), &mut s1).get(9), Some(4.5));
+        assert_eq!(
+            back.agg_view(crate::AggViewId(0), &mut s1).get(9),
+            Some(4.5)
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

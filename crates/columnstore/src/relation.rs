@@ -152,7 +152,11 @@ impl MasterRelation {
             .iter()
             .map(Bitmap::size_in_bytes)
             .sum::<usize>()
-            + self.agg_views.iter().map(SparseColumn::size_in_bytes).sum::<usize>()
+            + self
+                .agg_views
+                .iter()
+                .map(SparseColumn::size_in_bytes)
+                .sum::<usize>()
     }
 
     /// Total heap bytes.
@@ -306,8 +310,21 @@ mod tests {
     fn sample_relation() -> MasterRelation {
         // Mirrors Table 1: three records over seven edges.
         let mut b = RelationBuilder::new(7);
-        b.add_record(&[(e(0), 3.0), (e(1), 4.0), (e(2), 2.0), (e(3), 1.0), (e(4), 2.0)]);
-        b.add_record(&[(e(1), 1.0), (e(2), 2.0), (e(3), 2.0), (e(4), 1.0), (e(5), 4.0), (e(6), 1.0)]);
+        b.add_record(&[
+            (e(0), 3.0),
+            (e(1), 4.0),
+            (e(2), 2.0),
+            (e(3), 1.0),
+            (e(4), 2.0),
+        ]);
+        b.add_record(&[
+            (e(1), 1.0),
+            (e(2), 2.0),
+            (e(3), 2.0),
+            (e(4), 1.0),
+            (e(5), 4.0),
+            (e(6), 1.0),
+        ]);
         b.add_record(&[(e(3), 5.0), (e(4), 4.0), (e(5), 3.0), (e(6), 1.0)]);
         b.finish_with_width(4)
     }

@@ -1,0 +1,153 @@
+//! Cache-eviction coverage for the disk-resident column store: the LRU
+//! against a reference model, and the `disk_reads`/`disk_bytes` counters
+//! under repeated fetches with a cache smaller than the working set.
+
+use std::path::{Path, PathBuf};
+
+use graphbi_columnstore::{persist, DiskRelation, IoStats, LruCache, RelationBuilder};
+use graphbi_graph::EdgeId;
+use proptest::prelude::*;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("graphbi-diskcache-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn build_and_save(dir: &Path, records: u32, edges: u32) {
+    let mut b = RelationBuilder::new(edges as usize);
+    for r in 0..records {
+        let row: Vec<(EdgeId, f64)> = (0..edges)
+            .filter(|e| (r + e) % 2 == 0)
+            .map(|e| (EdgeId(e), f64::from(r * 10 + e)))
+            .collect();
+        b.add_record(&row);
+    }
+    let rel = b.finish_with_width(4);
+    persist::save(&rel, dir).unwrap();
+}
+
+/// A cache smaller than the working set thrashes: a second pass over the
+/// same columns reads from disk again, and `disk_bytes` grows by exactly
+/// the same amount as the first (cold) pass.
+#[test]
+fn undersized_cache_rereads_evicted_columns() {
+    let dir = tmpdir("thrash");
+    build_and_save(&dir, 600, 12);
+
+    // Size the cache to hold roughly one decoded column, so a round-robin
+    // scan over 12 columns evicts every entry before its reuse.
+    let mut probe_stats = IoStats::new();
+    let probe = DiskRelation::open(&dir, usize::MAX).unwrap();
+    let one = probe.edge_measures(EdgeId(0), &mut probe_stats).unwrap();
+    let cache_bytes = one.size_in_bytes() + one.size_in_bytes() / 2;
+
+    let disk = DiskRelation::open(&dir, cache_bytes).unwrap();
+    let mut s = IoStats::new();
+    for e in 0..12u32 {
+        let _ = disk.edge_measures(EdgeId(e), &mut s).unwrap();
+    }
+    let (cold_reads, cold_bytes) = (s.disk_reads, s.disk_bytes);
+    assert_eq!(cold_reads, 12, "first pass is fully cold");
+    assert!(cold_bytes > 0);
+
+    for e in 0..12u32 {
+        let _ = disk.edge_measures(EdgeId(e), &mut s).unwrap();
+    }
+    assert_eq!(
+        s.disk_reads,
+        cold_reads * 2,
+        "every column was evicted before its second use"
+    );
+    assert_eq!(s.disk_bytes, cold_bytes * 2, "rereads move the same bytes");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// With a cache larger than the working set, only the first pass touches
+/// the disk; warm passes add no reads and no bytes.
+#[test]
+fn warm_cache_adds_no_reads_or_bytes() {
+    let dir = tmpdir("warm");
+    build_and_save(&dir, 600, 12);
+    let disk = DiskRelation::open(&dir, 64 << 20).unwrap();
+    let mut s = IoStats::new();
+    for e in 0..12u32 {
+        let _ = disk.edge_measures(EdgeId(e), &mut s).unwrap();
+    }
+    let (cold_reads, cold_bytes) = (s.disk_reads, s.disk_bytes);
+    for _ in 0..3 {
+        for e in 0..12u32 {
+            let _ = disk.edge_measures(EdgeId(e), &mut s).unwrap();
+        }
+    }
+    assert_eq!(s.disk_reads, cold_reads, "warm passes never read");
+    assert_eq!(s.disk_bytes, cold_bytes, "warm passes move no bytes");
+    assert_eq!(s.measure_columns, 4 * 12, "model cost counts every fetch");
+    let (hits, misses) = disk.cache_stats();
+    assert_eq!((hits, misses), (3 * 12, 12));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Reference model: exact LRU over (key, size) pairs with the documented
+/// semantics (get refreshes recency; insert evicts least-recent until the
+/// new entry fits; oversized values bypass).
+struct ModelLru {
+    // Most-recent last.
+    entries: Vec<(u32, u32, usize)>,
+    capacity: usize,
+}
+
+impl ModelLru {
+    fn used(&self) -> usize {
+        self.entries.iter().map(|e| e.2).sum()
+    }
+
+    fn get(&mut self, key: u32) -> Option<u32> {
+        let pos = self.entries.iter().position(|e| e.0 == key)?;
+        let entry = self.entries.remove(pos);
+        let value = entry.1;
+        self.entries.push(entry);
+        Some(value)
+    }
+
+    fn insert(&mut self, key: u32, value: u32, size: usize) {
+        if size > self.capacity {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|e| e.0 == key) {
+            self.entries.remove(pos);
+        }
+        while self.used() + size > self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, value, size));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The byte-budgeted LRU agrees with the reference model on every
+    /// lookup, and never exceeds its capacity.
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 1usize..120,
+        ops in prop::collection::vec((any::<bool>(), 0u32..12, 0u32..1000, 1usize..60), 1..80),
+    ) {
+        let mut real: LruCache<u32, u32> = LruCache::new(capacity);
+        let mut model = ModelLru { entries: Vec::new(), capacity };
+        for (is_insert, key, value, size) in ops {
+            if is_insert {
+                let handle = real.insert(key, value, size);
+                prop_assert_eq!(*handle, value, "insert always returns the value");
+                model.insert(key, value, size);
+            } else {
+                let got = real.get(&key).map(|v| *v);
+                prop_assert_eq!(got, model.get(key), "lookup of key {}", key);
+            }
+            prop_assert!(real.used_bytes() <= capacity);
+            prop_assert_eq!(real.used_bytes(), model.used());
+            prop_assert_eq!(real.len(), model.entries.len());
+        }
+    }
+}

@@ -139,7 +139,9 @@ pub fn load_store(dir: &Path) -> Result<GraphStore, DiskError> {
             return Err(DiskError::ViewsMeta("definition/column count mismatch"));
         }
     } else if store.relation().view_count() > 0 || store.relation().agg_view_count() > 0 {
-        return Err(DiskError::ViewsMeta("missing views_meta.txt for stored views"));
+        return Err(DiskError::ViewsMeta(
+            "missing views_meta.txt for stored views",
+        ));
     }
     Ok(store)
 }
@@ -234,9 +236,7 @@ impl DiskGraphStore {
     pub fn parse_query(&self, text: &str) -> Result<GraphQuery, crate::ql::QlError> {
         let tokens = crate::ql::lex(text).map_err(crate::ql::QlError::Lex)?;
         let statement = crate::ql::parse(&tokens).map_err(crate::ql::QlError::Parse)?;
-        match crate::ql::resolve(&statement, &self.universe)
-            .map_err(crate::ql::QlError::Resolve)?
-        {
+        match crate::ql::resolve(&statement, &self.universe).map_err(crate::ql::QlError::Resolve)? {
             crate::ql::Resolved::Expr(graphbi_graph::QueryExpr::Atom(q)) => Ok(q),
             crate::ql::Resolved::Agg(paq) => Ok(paq.query),
             _ => Err(crate::ql::QlError::Resolve(
@@ -252,20 +252,40 @@ impl DiskGraphStore {
         query: &GraphQuery,
         stats: &mut IoStats,
     ) -> Result<Bitmap, DiskError> {
+        self.match_records_with(query, crate::EvalOptions::default(), stats)
+    }
+
+    /// [`DiskGraphStore::match_records`] under explicit [`crate::EvalOptions`];
+    /// `oblivious()` ANDs raw edge bitmaps without consulting the views.
+    pub fn match_records_with(
+        &self,
+        query: &GraphQuery,
+        opts: crate::EvalOptions,
+        stats: &mut IoStats,
+    ) -> Result<Bitmap, DiskError> {
         if query.is_empty() {
             return Ok(Bitmap::from_range(
                 0..u32::try_from(self.relation.record_count()).expect("record count fits u32"),
             ));
+        }
+        if !opts.use_views || self.graph_views.is_empty() {
+            let mut edge_refs = Vec::with_capacity(query.len());
+            for &e in query.edges() {
+                edge_refs.push(self.relation.edge_bitmap(e, stats)?);
+            }
+            self.relation.note_partitions(query.edges(), stats);
+            let raw: Vec<&Bitmap> = edge_refs.iter().map(|r| &**r).collect();
+            return Ok(Bitmap::and_many(raw));
         }
         let views: Vec<Vec<EdgeId>> = self.graph_views.iter().map(|v| v.edges.clone()).collect();
         let plan = rewrite_query(query, &views);
         // Hold every fetched bitmap handle, then AND through the derefs.
         let mut view_refs = Vec::with_capacity(plan.views.len());
         for &vi in &plan.views {
-            view_refs.push(self.relation.view_bitmap(
-                u32::try_from(vi).expect("view index fits u32"),
-                stats,
-            )?);
+            view_refs.push(
+                self.relation
+                    .view_bitmap(u32::try_from(vi).expect("view index fits u32"), stats)?,
+            );
         }
         let mut edge_refs = Vec::with_capacity(plan.residual_edges.len());
         for &e in &plan.residual_edges {
@@ -284,8 +304,17 @@ impl DiskGraphStore {
 
     /// Full graph-query evaluation.
     pub fn evaluate(&self, query: &GraphQuery) -> Result<(QueryResult, IoStats), DiskError> {
+        self.evaluate_with(query, crate::EvalOptions::default())
+    }
+
+    /// [`DiskGraphStore::evaluate`] under explicit [`crate::EvalOptions`].
+    pub fn evaluate_with(
+        &self,
+        query: &GraphQuery,
+        opts: crate::EvalOptions,
+    ) -> Result<(QueryResult, IoStats), DiskError> {
         let mut stats = IoStats::new();
-        let ids = self.match_records(query, &mut stats)?;
+        let ids = self.match_records_with(query, opts, &mut stats)?;
         let edges = query.edges().to_vec();
         let n = usize::try_from(ids.len()).expect("result fits usize");
         let w = edges.len();
@@ -315,9 +344,20 @@ impl DiskGraphStore {
         &self,
         paq: &PathAggQuery,
     ) -> Result<(PathAggResult, IoStats), DiskError> {
+        self.path_aggregate_with(paq, crate::EvalOptions::default())
+    }
+
+    /// [`DiskGraphStore::path_aggregate`] under explicit
+    /// [`crate::EvalOptions`]; `oblivious()` aggregates from base measure
+    /// columns only.
+    pub fn path_aggregate_with(
+        &self,
+        paq: &PathAggQuery,
+        opts: crate::EvalOptions,
+    ) -> Result<(PathAggResult, IoStats), DiskError> {
         let mut stats = IoStats::new();
         let paths = paq.query.maximal_paths(&self.universe)?;
-        let ids = self.match_records(&paq.query, &mut stats)?;
+        let ids = self.match_records_with(&paq.query, opts, &mut stats)?;
         let n = usize::try_from(ids.len()).expect("result fits usize");
         let path_count = paths.len();
         let mut values = vec![f64::NAN; n * path_count];
@@ -325,10 +365,12 @@ impl DiskGraphStore {
         // Aggregate views compatible with the query's function.
         let mut avail_idx = Vec::new();
         let mut avail_seqs = Vec::new();
-        for (i, v) in self.agg_views.iter().enumerate() {
-            if compatible(v.kind, paq.func) {
-                avail_idx.push(i);
-                avail_seqs.push(v.edges.clone());
+        if opts.use_views {
+            for (i, v) in self.agg_views.iter().enumerate() {
+                if compatible(v.kind, paq.func) {
+                    avail_idx.push(i);
+                    avail_seqs.push(v.edges.clone());
+                }
             }
         }
 

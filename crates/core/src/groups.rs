@@ -78,10 +78,8 @@ impl GroupIndex {
         let mut survivors: Option<Vec<u64>> = None;
         for &e in query.edges() {
             let bitmap: &Bitmap = store.relation().edge_bitmap(e, stats);
-            let mut groups_with_edge: Vec<u64> = bitmap
-                .iter()
-                .filter_map(|rid| self.group_of(rid))
-                .collect();
+            let mut groups_with_edge: Vec<u64> =
+                bitmap.iter().filter_map(|rid| self.group_of(rid)).collect();
             groups_with_edge.sort_unstable();
             groups_with_edge.dedup();
             survivors = Some(match survivors {

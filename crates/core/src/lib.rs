@@ -56,7 +56,7 @@ pub mod disk;
 mod engine;
 mod explain;
 mod groups;
-mod parallel;
+pub mod parallel;
 pub mod ql;
 mod shared;
 mod statistics;
@@ -77,6 +77,6 @@ pub use viewmgr::{AggViewDef, GraphViewDef};
 pub use graphbi_bitmap::{Bitmap, RecordId};
 pub use graphbi_columnstore::IoStats;
 pub use graphbi_graph::{
-    AggFn, EdgeId, GraphError, GraphQuery, NodeId, PathAggQuery, PathAggResult, QueryExpr,
-    QueryResult, Universe,
+    floats_close, AggFn, EdgeId, GraphError, GraphQuery, NodeId, PathAggQuery, PathAggResult,
+    QueryExpr, QueryResult, Universe,
 };

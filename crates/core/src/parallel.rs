@@ -40,11 +40,7 @@ impl GraphStore {
 
 /// Runs `f(0..n)` on a shared atomic work queue, preserving index order in
 /// the output.
-fn run_indexed<T: Send>(
-    n: usize,
-    threads: usize,
-    f: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
+pub fn run_indexed<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }

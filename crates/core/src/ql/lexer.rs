@@ -51,7 +51,11 @@ pub struct LexError {
 
 impl std::fmt::Display for LexError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "unexpected character {:?} at byte {}", self.found, self.at)
+        write!(
+            f,
+            "unexpected character {:?} at byte {}",
+            self.found, self.at
+        )
     }
 }
 

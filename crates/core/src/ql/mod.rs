@@ -35,7 +35,7 @@ mod resolve;
 
 pub use lexer::{lex, LexError, Token, TokenKind};
 pub use parser::{parse, AstExpr, AstPath, ParseError, Statement};
-pub use resolve::{resolve, Resolved, ResolveError};
+pub use resolve::{resolve, ResolveError, Resolved};
 
 use crate::GraphStore;
 use graphbi_columnstore::IoStats;

@@ -303,9 +303,18 @@ mod tests {
 
     #[test]
     fn open_ended_paths() {
-        assert_eq!(parse_text("(D,E,G)").unwrap().expr, path(&["D", "E", "G"], false, false));
-        assert_eq!(parse_text("[D,E,G)").unwrap().expr, path(&["D", "E", "G"], true, false));
-        assert_eq!(parse_text("(D,E,G]").unwrap().expr, path(&["D", "E", "G"], false, true));
+        assert_eq!(
+            parse_text("(D,E,G)").unwrap().expr,
+            path(&["D", "E", "G"], false, false)
+        );
+        assert_eq!(
+            parse_text("[D,E,G)").unwrap().expr,
+            path(&["D", "E", "G"], true, false)
+        );
+        assert_eq!(
+            parse_text("(D,E,G]").unwrap().expr,
+            path(&["D", "E", "G"], false, true)
+        );
     }
 
     #[test]

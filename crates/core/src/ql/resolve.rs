@@ -1,8 +1,6 @@
 //! Name binding: AST → engine queries via the universe.
 
-use graphbi_graph::{
-    Endpoint, GraphQuery, Path, PathAggQuery, PathJoinError, QueryExpr, Universe,
-};
+use graphbi_graph::{Endpoint, GraphQuery, Path, PathAggQuery, PathJoinError, QueryExpr, Universe};
 
 use super::parser::{AstExpr, AstPath, Statement};
 
@@ -43,7 +41,10 @@ impl std::fmt::Display for ResolveError {
             }
             ResolveError::Join(e) => write!(f, "path join failed: {e}"),
             ResolveError::AggregateOverLogic => {
-                write!(f, "aggregates apply to a single graph pattern, not OR/AND NOT")
+                write!(
+                    f,
+                    "aggregates apply to a single graph pattern, not OR/AND NOT"
+                )
             }
         }
     }
@@ -76,18 +77,13 @@ fn resolve_expr(expr: &AstExpr, universe: &Universe) -> Result<QueryExpr, Resolv
             let path = resolve_path_like(expr, universe)?;
             QueryExpr::Atom(query_of_path(&path, universe)?)
         }
-        AstExpr::And(a, b) => QueryExpr::and(
-            resolve_expr(a, universe)?,
-            resolve_expr(b, universe)?,
-        ),
-        AstExpr::Or(a, b) => QueryExpr::or(
-            resolve_expr(a, universe)?,
-            resolve_expr(b, universe)?,
-        ),
-        AstExpr::AndNot(a, b) => QueryExpr::and_not(
-            resolve_expr(a, universe)?,
-            resolve_expr(b, universe)?,
-        ),
+        AstExpr::And(a, b) => {
+            QueryExpr::and(resolve_expr(a, universe)?, resolve_expr(b, universe)?)
+        }
+        AstExpr::Or(a, b) => QueryExpr::or(resolve_expr(a, universe)?, resolve_expr(b, universe)?),
+        AstExpr::AndNot(a, b) => {
+            QueryExpr::and_not(resolve_expr(a, universe)?, resolve_expr(b, universe)?)
+        }
     })
 }
 
@@ -101,7 +97,9 @@ fn resolve_pattern(expr: &AstExpr, universe: &Universe) -> Result<GraphQuery, Re
             let path = resolve_path_like(expr, universe)?;
             query_of_path(&path, universe)
         }
-        AstExpr::And(a, b) => Ok(resolve_pattern(a, universe)?.union(&resolve_pattern(b, universe)?)),
+        AstExpr::And(a, b) => {
+            Ok(resolve_pattern(a, universe)?.union(&resolve_pattern(b, universe)?))
+        }
         AstExpr::Or(..) | AstExpr::AndNot(..) => Err(ResolveError::AggregateOverLogic),
     }
 }
@@ -212,10 +210,7 @@ mod tests {
     #[test]
     fn unknown_names_and_edges_error() {
         let u = setup();
-        assert_eq!(
-            run("[A,Z]", &u),
-            Err(ResolveError::UnknownNode("Z".into()))
-        );
+        assert_eq!(run("[A,Z]", &u), Err(ResolveError::UnknownNode("Z".into())));
         assert_eq!(
             run("[A,C]", &u),
             Err(ResolveError::UnknownEdge("A".into(), "C".into()))

@@ -40,7 +40,11 @@ impl StoreStatistics {
         }
         let _ = writeln!(out, "empty edges      {}", self.empty_edges);
         let _ = writeln!(out, "resident bytes   {}", self.resident_bytes);
-        let _ = write!(out, "views            {} graph, {} aggregate", self.views.0, self.views.1);
+        let _ = write!(
+            out,
+            "views            {} graph, {} aggregate",
+            self.views.0, self.views.1
+        );
         out
     }
 }

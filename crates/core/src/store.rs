@@ -123,7 +123,10 @@ impl GraphStore {
     /// paper's applications (§6.1: the schema expands on demand when the
     /// record references edges newer than any column). All materialized
     /// views are maintained incrementally, so query answers stay exact.
-    pub fn append_record(&mut self, record: &graphbi_graph::GraphRecord) -> graphbi_bitmap::RecordId {
+    pub fn append_record(
+        &mut self,
+        record: &graphbi_graph::GraphRecord,
+    ) -> graphbi_bitmap::RecordId {
         let rid = self.relation.append_record(record.edges());
         for v in &self.catalog.graph_views {
             if record.contains_all(&v.edges) {
@@ -151,7 +154,13 @@ impl GraphStore {
     /// The records containing the query graph, as a bitmap — the structural
     /// half of evaluation, using materialized views when possible.
     pub fn match_records(&self, query: &GraphQuery, stats: &mut IoStats) -> Bitmap {
-        engine::structural(&self.relation, &self.catalog, query, EvalOptions::default(), stats)
+        engine::structural(
+            &self.relation,
+            &self.catalog,
+            query,
+            EvalOptions::default(),
+            stats,
+        )
     }
 
     /// Full graph-query evaluation: matching records plus the measures of
@@ -181,19 +190,30 @@ impl GraphStore {
     /// `edges` over the records in `ids`. Exposed so harnesses can time the
     /// two evaluation phases separately (the paper's Figures 6–7 break query
     /// time into "fetch measures" and "rest of query").
-    pub fn fetch_measures(
-        &self,
-        edges: &[EdgeId],
-        ids: &Bitmap,
-        stats: &mut IoStats,
-    ) -> Vec<f64> {
+    pub fn fetch_measures(&self, edges: &[EdgeId], ids: &Bitmap, stats: &mut IoStats) -> Vec<f64> {
         engine::fetch_measure_matrix(&self.relation, edges, ids, stats)
     }
 
     /// Evaluates a logical combination of graph queries (§3.2) to the
     /// matching record set.
     pub fn evaluate_expr(&self, expr: &QueryExpr, stats: &mut IoStats) -> Bitmap {
-        engine::eval_expr(&self.relation, &self.catalog, expr, EvalOptions::default(), stats)
+        engine::eval_expr(
+            &self.relation,
+            &self.catalog,
+            expr,
+            EvalOptions::default(),
+            stats,
+        )
+    }
+
+    /// [`GraphStore::evaluate_expr`] under explicit [`EvalOptions`].
+    pub fn evaluate_expr_with(
+        &self,
+        expr: &QueryExpr,
+        opts: EvalOptions,
+        stats: &mut IoStats,
+    ) -> Bitmap {
+        engine::eval_expr(&self.relation, &self.catalog, expr, opts, stats)
     }
 
     /// Streaming evaluation: calls `f(record, measure_row)` for every match,
@@ -452,9 +472,15 @@ mod tests {
         let a = GraphQuery::from_edges(vec![e[0]]); // r1 only
         let b = GraphQuery::from_edges(vec![e[5]]); // r2, r3
         let mut stats = IoStats::new();
-        let or = store.evaluate_expr(&QueryExpr::or(a.clone().into(), b.clone().into()), &mut stats);
+        let or = store.evaluate_expr(
+            &QueryExpr::or(a.clone().into(), b.clone().into()),
+            &mut stats,
+        );
         assert_eq!(or.to_vec(), vec![0, 1, 2]);
-        let and = store.evaluate_expr(&QueryExpr::and(a.clone().into(), b.clone().into()), &mut stats);
+        let and = store.evaluate_expr(
+            &QueryExpr::and(a.clone().into(), b.clone().into()),
+            &mut stats,
+        );
         assert!(and.is_empty());
         let not = store.evaluate_expr(&QueryExpr::and_not(b.into(), a.into()), &mut stats);
         assert_eq!(not.to_vec(), vec![1, 2]);
@@ -588,7 +614,10 @@ mod tests {
         store.materialize_agg_view(vec![e[5], e[6]], AggFn::Sum);
         // New record r4 containing e3,e4 (view) and e5,e6 (agg view).
         let mut b = RecordBuilder::new();
-        b.add(e[3], 10.0).add(e[4], 20.0).add(e[5], 1.0).add(e[6], 2.0);
+        b.add(e[3], 10.0)
+            .add(e[4], 20.0)
+            .add(e[5], 1.0)
+            .add(e[6], 2.0);
         let rid = store.append_record(&b.build());
         assert_eq!(rid, 3);
         assert_eq!(store.record_count(), 4);

@@ -64,10 +64,7 @@ pub fn flatten_walk(universe: &mut Universe, walk: &[NodeId], steps: &[f64]) -> 
 /// cover source-free cycles). Tree/forward/cross edges keep their endpoints;
 /// every *back edge* — one that would close a cycle — is redirected to a
 /// fresh version of its target, as in the paper's `(D1, A2)` example.
-pub fn flatten_to_dag(
-    universe: &mut Universe,
-    edges: &[(NodeId, NodeId, f64)],
-) -> GraphRecord {
+pub fn flatten_to_dag(universe: &mut Universe, edges: &[(NodeId, NodeId, f64)]) -> GraphRecord {
     let mut succ: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
     let mut indeg: HashMap<NodeId, usize> = HashMap::new();
     let mut order: Vec<NodeId> = Vec::new();
@@ -103,7 +100,12 @@ pub fn flatten_to_dag(
         .copied()
         .filter(|n| indeg.get(n).copied().unwrap_or(0) == 0)
         .collect();
-    roots.extend(order.iter().copied().filter(|n| indeg.get(n).copied().unwrap_or(0) > 0));
+    roots.extend(
+        order
+            .iter()
+            .copied()
+            .filter(|n| indeg.get(n).copied().unwrap_or(0) > 0),
+    );
 
     // Iterative DFS with an explicit exit marker so Active state is precise.
     for root in roots {
@@ -163,7 +165,10 @@ mod tests {
     fn paper_walk_example() {
         // §6.2: A, B, C, A, D, E → (A,B),(B,C),(C,A~2),(A~2,D),(D,E).
         let mut u = Universe::new();
-        let walk: Vec<NodeId> = ["A", "B", "C", "A", "D", "E"].iter().map(|n| u.node(n)).collect();
+        let walk: Vec<NodeId> = ["A", "B", "C", "A", "D", "E"]
+            .iter()
+            .map(|n| u.node(n))
+            .collect();
         let r = flatten_walk(&mut u, &walk, &[1.0, 2.0, 3.0, 4.0, 5.0]);
         let mut got = names(&u, &r);
         got.sort();
@@ -181,7 +186,10 @@ mod tests {
     #[test]
     fn walk_result_is_acyclic_and_preserves_measure_sum() {
         let mut u = Universe::new();
-        let walk: Vec<NodeId> = ["A", "B", "A", "B", "A"].iter().map(|n| u.node(n)).collect();
+        let walk: Vec<NodeId> = ["A", "B", "A", "B", "A"]
+            .iter()
+            .map(|n| u.node(n))
+            .collect();
         let steps = [1.0, 2.0, 3.0, 4.0];
         let r = flatten_walk(&mut u, &walk, &steps);
         let edge_ids: Vec<EdgeId> = r.edges().iter().map(|&(e, _)| e).collect();

@@ -44,7 +44,7 @@ pub use path::{CompositePath, Endpoint, Path, PathJoinError};
 pub use planes::MeasurePlanes;
 pub use query::{GraphQuery, PathAggQuery, QueryExpr};
 pub use record::{GraphRecord, RecordBuilder};
-pub use result::{PathAggResult, QueryResult};
+pub use result::{floats_close, PathAggResult, QueryResult};
 pub use topo::QueryShape;
 pub use universe_io::UniverseIoError;
 pub use zoom::{zoom_out, Region};

@@ -37,10 +37,16 @@ impl std::fmt::Display for PathJoinError {
         match self {
             PathJoinError::EndpointsDiffer => write!(f, "paths do not share an endpoint"),
             PathJoinError::BothClosed => {
-                write!(f, "both paths closed at the shared node (measure counted twice)")
+                write!(
+                    f,
+                    "both paths closed at the shared node (measure counted twice)"
+                )
             }
             PathJoinError::BothOpen => {
-                write!(f, "both paths open at the shared node (internal node unmeasured)")
+                write!(
+                    f,
+                    "both paths open at the shared node (internal node unmeasured)"
+                )
             }
         }
     }
@@ -214,7 +220,15 @@ pub struct PathDisplay<'a> {
 impl std::fmt::Display for PathDisplay<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let (p, u) = (self.path, self.universe);
-        write!(f, "{}", if p.start == Endpoint::Closed { '[' } else { '(' })?;
+        write!(
+            f,
+            "{}",
+            if p.start == Endpoint::Closed {
+                '['
+            } else {
+                '('
+            }
+        )?;
         for (i, &n) in p.nodes.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
@@ -288,10 +302,18 @@ mod tests {
     #[test]
     fn join_requires_exactly_one_open_side() {
         let mut u = Universe::new();
-        let abf = Path::new(ids(&mut u, &["A", "B", "F"]), Endpoint::Closed, Endpoint::Open)
-            .unwrap();
-        let fjk = Path::new(ids(&mut u, &["F", "J", "K"]), Endpoint::Closed, Endpoint::Closed)
-            .unwrap();
+        let abf = Path::new(
+            ids(&mut u, &["A", "B", "F"]),
+            Endpoint::Closed,
+            Endpoint::Open,
+        )
+        .unwrap();
+        let fjk = Path::new(
+            ids(&mut u, &["F", "J", "K"]),
+            Endpoint::Closed,
+            Endpoint::Closed,
+        )
+        .unwrap();
         // Paper example: [A,B,F) ⋈ [F,J,K…
         let joined = abf.join(&fjk).unwrap();
         assert_eq!(
@@ -394,8 +416,12 @@ mod tests {
     #[test]
     fn display_uses_bracket_notation() {
         let mut u = Universe::new();
-        let p = Path::new(ids(&mut u, &["D", "E", "G"]), Endpoint::Closed, Endpoint::Open)
-            .unwrap();
+        let p = Path::new(
+            ids(&mut u, &["D", "E", "G"]),
+            Endpoint::Closed,
+            Endpoint::Open,
+        )
+        .unwrap();
         assert_eq!(p.display(&u).to_string(), "[D,E,G)");
     }
 }

@@ -102,7 +102,11 @@ impl MeasurePlanes {
     ///
     /// Panics when the edge or plane is out of range.
     pub fn column(&self, edge: EdgeId, plane: usize) -> EdgeId {
-        assert!(edge.0 < self.stride, "edge {edge:?} beyond stride {}", self.stride);
+        assert!(
+            edge.0 < self.stride,
+            "edge {edge:?} beyond stride {}",
+            self.stride
+        );
         assert!(plane < self.names.len(), "plane {plane} out of range");
         EdgeId(u32::try_from(plane).expect("plane fits u32") * self.stride + edge.0)
     }
@@ -116,9 +120,17 @@ impl MeasurePlanes {
     }
 
     /// Maps a single-plane query onto plane `plane`'s column block.
-    pub fn map_query(&self, query: &crate::query::GraphQuery, plane: usize) -> crate::query::GraphQuery {
+    pub fn map_query(
+        &self,
+        query: &crate::query::GraphQuery,
+        plane: usize,
+    ) -> crate::query::GraphQuery {
         crate::query::GraphQuery::from_edges(
-            query.edges().iter().map(|&e| self.column(e, plane)).collect(),
+            query
+                .edges()
+                .iter()
+                .map(|&e| self.column(e, plane))
+                .collect(),
         )
     }
 
@@ -164,10 +176,7 @@ mod tests {
     #[test]
     fn record_expands_tuples() {
         let planes = MeasurePlanes::new(10, &["time", "cost"]);
-        let r = planes.record(&[
-            (EdgeId(0), vec![1.0, 100.0]),
-            (EdgeId(3), vec![2.0, 250.0]),
-        ]);
+        let r = planes.record(&[(EdgeId(0), vec![1.0, 100.0]), (EdgeId(3), vec![2.0, 250.0])]);
         assert_eq!(r.edge_count(), 4);
         assert_eq!(r.measure(EdgeId(0)), Some(1.0));
         assert_eq!(r.measure(EdgeId(10)), Some(100.0));

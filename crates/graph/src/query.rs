@@ -245,7 +245,10 @@ mod tests {
         let query = GraphQuery::from_edge_names(&mut u, &[("A", "B"), ("B", "C")]);
         let paths = query.maximal_paths(&u).unwrap();
         assert_eq!(paths.len(), 1);
-        let expect: Vec<NodeId> = ["A", "B", "C"].iter().map(|n| u.find_node(n).unwrap()).collect();
+        let expect: Vec<NodeId> = ["A", "B", "C"]
+            .iter()
+            .map(|n| u.find_node(n).unwrap())
+            .collect();
         assert_eq!(paths[0].nodes(), expect.as_slice());
     }
 }

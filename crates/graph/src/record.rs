@@ -82,7 +82,12 @@ impl RecordBuilder {
 
     /// Records measure `m` on `edge`, combining with any existing value via
     /// `combine` (e.g. `f64::add` to accumulate repeated traversals).
-    pub fn add_combining(&mut self, edge: EdgeId, m: f64, combine: fn(f64, f64) -> f64) -> &mut Self {
+    pub fn add_combining(
+        &mut self,
+        edge: EdgeId,
+        m: f64,
+        combine: fn(f64, f64) -> f64,
+    ) -> &mut Self {
         if let Some(pos) = self.edges.iter().position(|&(e, _)| e == edge) {
             self.edges[pos].1 = combine(self.edges[pos].1, m);
         } else {
@@ -109,7 +114,10 @@ impl RecordBuilder {
                 _ => out.push((e, m)),
             }
         }
-        GraphRecord { edges: out, group: self.group }
+        GraphRecord {
+            edges: out,
+            group: self.group,
+        }
     }
 }
 

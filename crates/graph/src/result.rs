@@ -43,6 +43,68 @@ impl QueryResult {
     }
 }
 
+/// Tolerance-aware scalar comparison: true when both are NaN, or when they
+/// differ by at most `tol` absolutely or relative to the larger magnitude.
+/// Aggregates computed in different summation orders (columnar scan vs row
+/// joins) can differ by rounding, so exact `==` is too strict for them.
+pub fn floats_close(a: f64, b: f64, tol: f64) -> bool {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+impl QueryResult {
+    /// Compares against `other` with exact structure (records, edges) and
+    /// `tol`-relative measures; returns a description of the first
+    /// discrepancy, or `None` when equivalent.
+    pub fn diff(&self, other: &QueryResult, tol: f64) -> Option<String> {
+        if self.records != other.records {
+            return Some(format!(
+                "record sets differ: {} vs {} records (first mismatch at {:?})",
+                self.records.len(),
+                other.records.len(),
+                first_mismatch(&self.records, &other.records),
+            ));
+        }
+        if self.edges != other.edges {
+            return Some(format!(
+                "edge lists differ: {:?} vs {:?}",
+                self.edges, other.edges
+            ));
+        }
+        if self.measures.len() != other.measures.len() {
+            return Some(format!(
+                "measure counts differ: {} vs {}",
+                self.measures.len(),
+                other.measures.len()
+            ));
+        }
+        for (i, (a, b)) in self.measures.iter().zip(&other.measures).enumerate() {
+            if !floats_close(*a, *b, tol) {
+                let w = self.edges.len().max(1);
+                return Some(format!(
+                    "measure [record {} edge {:?}]: {a} vs {b}",
+                    self.records[i / w],
+                    self.edges[i % w],
+                ));
+            }
+        }
+        None
+    }
+
+    /// True when [`QueryResult::diff`] finds no discrepancy.
+    pub fn approx_eq(&self, other: &QueryResult, tol: f64) -> bool {
+        self.diff(other, tol).is_none()
+    }
+}
+
+/// Index of the first position where the id sequences disagree.
+fn first_mismatch(a: &[RecordId], b: &[RecordId]) -> Option<usize> {
+    (0..a.len().max(b.len())).find(|&i| a.get(i) != b.get(i))
+}
+
 /// Result of a path-aggregation query: per matching record, the aggregate of
 /// each maximal source→terminal path of the query graph.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -71,6 +133,48 @@ impl PathAggResult {
     pub fn row(&self, i: usize) -> &[f64] {
         &self.values[i * self.path_count..(i + 1) * self.path_count]
     }
+
+    /// Compares against `other` with exact structure and `tol`-relative
+    /// aggregate values; returns the first discrepancy, or `None`.
+    pub fn diff(&self, other: &PathAggResult, tol: f64) -> Option<String> {
+        if self.records != other.records {
+            return Some(format!(
+                "record sets differ: {} vs {} records (first mismatch at {:?})",
+                self.records.len(),
+                other.records.len(),
+                first_mismatch(&self.records, &other.records),
+            ));
+        }
+        if self.path_count != other.path_count {
+            return Some(format!(
+                "path counts differ: {} vs {}",
+                self.path_count, other.path_count
+            ));
+        }
+        if self.values.len() != other.values.len() {
+            return Some(format!(
+                "value counts differ: {} vs {}",
+                self.values.len(),
+                other.values.len()
+            ));
+        }
+        for (i, (a, b)) in self.values.iter().zip(&other.values).enumerate() {
+            if !floats_close(*a, *b, tol) {
+                let w = self.path_count.max(1);
+                return Some(format!(
+                    "aggregate [record {} path {}]: {a} vs {b}",
+                    self.records[i / w],
+                    i % w,
+                ));
+            }
+        }
+        None
+    }
+
+    /// True when [`PathAggResult::diff`] finds no discrepancy.
+    pub fn approx_eq(&self, other: &PathAggResult, tol: f64) -> bool {
+        self.diff(other, tol).is_none()
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +192,37 @@ mod tests {
         assert_eq!(r.row(0), &[1.0, 2.0]);
         assert_eq!(r.row(1), &[3.0, 4.0]);
         assert_eq!(r.value_count(), 4);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_rounding_but_not_structure() {
+        let a = QueryResult {
+            records: vec![3, 9],
+            edges: vec![EdgeId(0), EdgeId(4)],
+            measures: vec![1.0, 2.0, 3.0, 1e12],
+        };
+        let mut b = a.clone();
+        b.measures[3] = 1e12 * (1.0 + 1e-12); // rounding-level drift
+        assert!(a.approx_eq(&b, 1e-9));
+        b.measures[3] = 1e12 * 1.01;
+        let d = a.diff(&b, 1e-9).unwrap();
+        assert!(d.contains("record 9"), "{d}");
+        b = a.clone();
+        b.records[1] = 10;
+        assert!(a.diff(&b, 1e-9).unwrap().contains("record sets differ"));
+    }
+
+    #[test]
+    fn nan_equals_nan_under_tolerance() {
+        let mk = |v: f64| PathAggResult {
+            records: vec![1],
+            path_count: 1,
+            values: vec![v],
+        };
+        assert!(mk(f64::NAN).approx_eq(&mk(f64::NAN), 1e-9));
+        assert!(!mk(f64::NAN).approx_eq(&mk(0.0), 1e-9));
+        assert!(floats_close(5.0, 5.0 + 1e-12, 1e-9));
+        assert!(!floats_close(5.0, 5.1, 1e-9));
     }
 
     #[test]

@@ -123,7 +123,12 @@ impl QueryShape {
         Ok(out)
     }
 
-    fn dfs_paths(&self, stack: &mut Vec<NodeId>, terminals: &BTreeSet<NodeId>, out: &mut Vec<Path>) {
+    fn dfs_paths(
+        &self,
+        stack: &mut Vec<NodeId>,
+        terminals: &BTreeSet<NodeId>,
+        out: &mut Vec<Path>,
+    ) {
         let last = *stack.last().expect("stack non-empty");
         if terminals.contains(&last) {
             out.push(Path::closed(stack.clone()).expect("stack non-empty"));

@@ -123,7 +123,7 @@ mod tests {
         let zoomed = zoom_out(&mut u, &record, &region, AggFn::Sum);
         let self_edge = u.find_edge(region.node, region.node).unwrap();
         assert_eq!(zoomed.measure(self_edge), Some(4.0)); // 1.5 + 2.5
-        // Boundary edges redirected.
+                                                          // Boundary edges redirected.
         let a = u.find_node("A").unwrap();
         let i = u.find_node("I").unwrap();
         let a_in = u.find_edge(a, region.node).unwrap();

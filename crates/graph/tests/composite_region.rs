@@ -50,7 +50,11 @@ fn composite_expression_selects_region_traversals() {
         .into_iter()
         .map(|p| Path::new(p.nodes().to_vec(), Endpoint::Closed, Endpoint::Open).unwrap())
         // Keep only direct entries (no hop through the region itself).
-        .filter(|p| p.nodes()[..p.nodes().len() - 1].iter().all(|n| !region.contains(n)))
+        .filter(|p| {
+            p.nodes()[..p.nodes().len() - 1]
+                .iter()
+                .all(|n| !region.contains(n))
+        })
         .collect();
     let through: Vec<Path> = shape
         .paths_between(&entry, &exit)

@@ -5,17 +5,18 @@ use graphbi_graph::{flatten, zoom, AggFn, EdgeId, NodeId, Path, QueryShape, Univ
 use proptest::prelude::*;
 
 fn walk_strategy() -> impl Strategy<Value = (Vec<u8>, Vec<f64>)> {
-    prop::collection::vec(0u8..10, 1..30).prop_flat_map(|nodes| {
-        let n = nodes.len();
-        (
-            Just(nodes),
-            prop::collection::vec(0.1f64..50.0, n.saturating_sub(1)..n.max(2) - 1 + 1),
-        )
-    })
-    .prop_map(|(nodes, mut steps)| {
-        steps.truncate(nodes.len() - 1);
-        (nodes, steps)
-    })
+    prop::collection::vec(0u8..10, 1..30)
+        .prop_flat_map(|nodes| {
+            let n = nodes.len();
+            (
+                Just(nodes),
+                prop::collection::vec(0.1f64..50.0, n.saturating_sub(1)..n.max(2) - 1 + 1),
+            )
+        })
+        .prop_map(|(nodes, mut steps)| {
+            steps.truncate(nodes.len() - 1);
+            (nodes, steps)
+        })
 }
 
 fn node_ids(u: &mut Universe, raw: &[u8]) -> Vec<NodeId> {

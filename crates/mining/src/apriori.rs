@@ -33,7 +33,10 @@ pub fn frequent_itemsets(transactions: &[Vec<EdgeId>], min_sup: usize) -> Vec<Mi
     // L1: frequent single edges.
     let mut tidsets: HashMap<EdgeId, Vec<u32>> = HashMap::new();
     for (tid, t) in transactions.iter().enumerate() {
-        debug_assert!(t.windows(2).all(|w| w[0] < w[1]), "transactions sorted+dedup");
+        debug_assert!(
+            t.windows(2).all(|w| w[0] < w[1]),
+            "transactions sorted+dedup"
+        );
         for &e in t {
             tidsets
                 .entry(e)
@@ -122,7 +125,9 @@ mod tests {
     }
 
     fn tx(ids: &[&[u32]]) -> Vec<Vec<EdgeId>> {
-        ids.iter().map(|t| t.iter().map(|&i| e(i)).collect()).collect()
+        ids.iter()
+            .map(|t| t.iter().map(|&i| e(i)).collect())
+            .collect()
     }
 
     #[test]

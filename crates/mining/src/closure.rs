@@ -33,7 +33,10 @@ pub fn closed_itemsets(transactions: &[Vec<EdgeId>], min_sup: usize) -> Vec<Mine
     // Exact tidsets are recomputed at the end in one pass per set.
     let mut closed: std::collections::HashSet<Vec<EdgeId>> = std::collections::HashSet::new();
     for t in transactions {
-        debug_assert!(t.windows(2).all(|w| w[0] < w[1]), "transactions sorted+dedup");
+        debug_assert!(
+            t.windows(2).all(|w| w[0] < w[1]),
+            "transactions sorted+dedup"
+        );
         if t.is_empty() {
             continue;
         }
@@ -59,7 +62,12 @@ pub fn closed_itemsets(transactions: &[Vec<EdgeId>], min_sup: usize) -> Vec<Mine
         })
         .filter(|m| m.support() >= min_sup)
         .collect();
-    out.sort_by(|a, b| a.edges.len().cmp(&b.edges.len()).then(a.edges.cmp(&b.edges)));
+    out.sort_by(|a, b| {
+        a.edges
+            .len()
+            .cmp(&b.edges.len())
+            .then(a.edges.cmp(&b.edges))
+    });
     out
 }
 
@@ -109,7 +117,9 @@ mod tests {
     }
 
     fn tx(ids: &[&[u32]]) -> Vec<Vec<EdgeId>> {
-        ids.iter().map(|t| t.iter().map(|&i| e(i)).collect()).collect()
+        ids.iter()
+            .map(|t| t.iter().map(|&i| e(i)).collect())
+            .collect()
     }
 
     #[test]

@@ -54,11 +54,7 @@ impl Default for GspanConfig {
 ///
 /// Returns patterns of size ≥ 1 with their supporting record ids, in
 /// size-then-lexicographic order.
-pub fn mine(
-    records: &[Vec<EdgeId>],
-    universe: &Universe,
-    config: &GspanConfig,
-) -> Vec<MinedSet> {
+pub fn mine(records: &[Vec<EdgeId>], universe: &Universe, config: &GspanConfig) -> Vec<MinedSet> {
     // Tidsets of frequent single edges.
     let mut single: HashMap<EdgeId, Vec<u32>> = HashMap::new();
     for (tid, r) in records.iter().enumerate() {
@@ -104,7 +100,12 @@ pub fn mine(
             &mut out,
         );
     }
-    out.sort_by(|a, b| a.edges.len().cmp(&b.edges.len()).then(a.edges.cmp(&b.edges)));
+    out.sort_by(|a, b| {
+        a.edges
+            .len()
+            .cmp(&b.edges.len())
+            .then(a.edges.cmp(&b.edges))
+    });
     out
 }
 

@@ -1,0 +1,112 @@
+//! Deterministic differential fuzzer.
+//!
+//! ```text
+//! fuzz --seed 42 --iters 200 [--fault flip-andnot]
+//! ```
+//!
+//! Iteration `i` checks the scenario of seed `seed + i` through the full
+//! engine matrix. On a failure, the scenario is shrunk to a minimal
+//! reproducer and the replay seed is printed; the process exits non-zero.
+
+use graphbi_testkit::{check, shrink, Fault, Scenario};
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    fault: Fault,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 0,
+        iters: 100,
+        fault: Fault::None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed {v:?}"))?;
+            }
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a value")?;
+                args.iters = v.parse().map_err(|_| format!("bad --iters {v:?}"))?;
+            }
+            "--fault" => match it.next().as_deref() {
+                Some("flip-andnot") => args.fault = Fault::FlipAndNot,
+                Some("none") => args.fault = Fault::None,
+                other => return Err(format!("unknown --fault {other:?}")),
+            },
+            "--help" | "-h" => {
+                println!("usage: fuzz --seed N --iters M [--fault flip-andnot|none]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut failures = 0u64;
+    let mut checks = 0u64;
+    for i in 0..args.iters {
+        let seed = args.seed.wrapping_add(i);
+        let scenario = Scenario::generate(seed);
+        let report = check(&scenario, args.fault);
+        checks += report.checks;
+        if report.passed() {
+            if (i + 1) % 25 == 0 {
+                println!(
+                    "fuzz: {}/{} scenarios ok ({checks} checks so far)",
+                    i + 1,
+                    args.iters,
+                );
+            }
+            continue;
+        }
+
+        failures += 1;
+        println!(
+            "fuzz: FAILURE at seed {seed} ({} discrepancies) — shrinking…",
+            report.discrepancies.len()
+        );
+        let minimized = shrink(&scenario, args.fault);
+        let small = &minimized.scenario;
+        let small_report = check(small, args.fault);
+        println!(
+            "fuzz: minimal reproducer: seed {seed}, {} records (from {}), \
+             {} queries / {} exprs / {} aggs ({} oracle runs spent)",
+            small.records.len(),
+            scenario.records.len(),
+            small.queries.len(),
+            small.exprs.len(),
+            small.aggs.len(),
+            minimized.evaluations,
+        );
+        for d in small_report.discrepancies.iter().take(5) {
+            println!("fuzz:   {d}");
+        }
+        println!("fuzz: replay with: fuzz --seed {seed} --iters 1");
+    }
+
+    if failures > 0 {
+        println!("fuzz: {failures}/{} scenarios FAILED", args.iters);
+        std::process::exit(1);
+    }
+    println!(
+        "fuzz: all {} scenarios passed ({checks} checks, seeds {}..{})",
+        args.iters,
+        args.seed,
+        args.seed.wrapping_add(args.iters),
+    );
+}

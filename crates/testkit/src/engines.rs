@@ -1,0 +1,325 @@
+//! The engine × plan-mode × backend matrix.
+//!
+//! One scenario fans out to:
+//!
+//! * `columnar-mem-{views,oblivious}` — the in-memory [`GraphStore`], with
+//!   and without view rewriting, sharing one store (and one view catalog);
+//! * `columnar-disk-{views,oblivious}` — the same database saved and
+//!   reopened as a [`DiskGraphStore`] behind a small column cache;
+//! * `columnar-reloaded` — the database loaded *back into memory* through
+//!   [`graphbi::disk::load_store`], making the persistence round-trip an
+//!   ordinary matrix row;
+//! * `row`, `rdf`, `graphdb` — the three baseline systems.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use graphbi::disk::{load_store, save_store, DiskGraphStore};
+use graphbi::{
+    AggFn, EvalOptions, GraphQuery, GraphStore, IoStats, PathAggQuery, PathAggResult, QueryExpr,
+    QueryResult, RecordId,
+};
+use graphbi_baselines::{Engine, GraphDb, RdfStore, RowStore};
+
+use crate::scenario::Scenario;
+
+/// Intentional bug injection, for validating that the oracle catches and
+/// shrinks real discrepancies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: the matrix under test.
+    None,
+    /// Swap the operands of every ANDNOT in the in-memory columnar
+    /// engines' expression plans (`a − b` becomes `b − a`).
+    FlipAndNot,
+}
+
+impl Fault {
+    fn apply(self, expr: &QueryExpr) -> QueryExpr {
+        match self {
+            Fault::None => expr.clone(),
+            Fault::FlipAndNot => flip_and_not(expr),
+        }
+    }
+}
+
+fn flip_and_not(expr: &QueryExpr) -> QueryExpr {
+    match expr {
+        QueryExpr::Atom(q) => QueryExpr::Atom(q.clone()),
+        QueryExpr::And(a, b) => QueryExpr::and(flip_and_not(a), flip_and_not(b)),
+        QueryExpr::Or(a, b) => QueryExpr::or(flip_and_not(a), flip_and_not(b)),
+        QueryExpr::AndNot(a, b) => QueryExpr::and_not(flip_and_not(b), flip_and_not(a)),
+    }
+}
+
+/// One engine configuration in the matrix.
+pub trait MatrixEngine {
+    /// Stable configuration label (engine-backend-planmode).
+    fn label(&self) -> &str;
+    /// Full graph-query evaluation.
+    fn evaluate(&self, q: &GraphQuery) -> QueryResult;
+    /// Logical-expression match set; `None` when the configuration has no
+    /// expression support.
+    fn match_expr(&self, e: &QueryExpr) -> Option<Vec<RecordId>>;
+    /// Path aggregation; `None` when unsupported.
+    fn path_aggregate(&self, paq: &PathAggQuery) -> Option<PathAggResult>;
+}
+
+struct ColumnarMem {
+    store: Arc<GraphStore>,
+    opts: EvalOptions,
+    fault: Fault,
+    label: String,
+}
+
+impl MatrixEngine for ColumnarMem {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn evaluate(&self, q: &GraphQuery) -> QueryResult {
+        self.store.evaluate_with(q, self.opts).0
+    }
+
+    fn match_expr(&self, e: &QueryExpr) -> Option<Vec<RecordId>> {
+        let mut stats = IoStats::new();
+        let e = self.fault.apply(e);
+        Some(
+            self.store
+                .evaluate_expr_with(&e, self.opts, &mut stats)
+                .to_vec(),
+        )
+    }
+
+    fn path_aggregate(&self, paq: &PathAggQuery) -> Option<PathAggResult> {
+        self.store
+            .path_aggregate_with(paq, self.opts)
+            .ok()
+            .map(|(r, _)| r)
+    }
+}
+
+struct ColumnarDisk {
+    disk: Arc<DiskGraphStore>,
+    opts: EvalOptions,
+    label: String,
+}
+
+impl ColumnarDisk {
+    /// Expression evaluation by set algebra over this backend's own atom
+    /// match sets — the atoms still exercise the disk structural path.
+    fn expr_set(&self, e: &QueryExpr) -> BTreeSet<RecordId> {
+        match e {
+            QueryExpr::Atom(q) => {
+                let mut stats = IoStats::new();
+                self.disk
+                    .match_records_with(q, self.opts, &mut stats)
+                    .expect("disk structural phase")
+                    .to_vec()
+                    .into_iter()
+                    .collect()
+            }
+            QueryExpr::And(a, b) => {
+                let (a, b) = (self.expr_set(a), self.expr_set(b));
+                a.intersection(&b).copied().collect()
+            }
+            QueryExpr::Or(a, b) => {
+                let (a, b) = (self.expr_set(a), self.expr_set(b));
+                a.union(&b).copied().collect()
+            }
+            QueryExpr::AndNot(a, b) => {
+                let (a, b) = (self.expr_set(a), self.expr_set(b));
+                a.difference(&b).copied().collect()
+            }
+        }
+    }
+}
+
+impl MatrixEngine for ColumnarDisk {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn evaluate(&self, q: &GraphQuery) -> QueryResult {
+        self.disk
+            .evaluate_with(q, self.opts)
+            .expect("disk evaluate")
+            .0
+    }
+
+    fn match_expr(&self, e: &QueryExpr) -> Option<Vec<RecordId>> {
+        Some(self.expr_set(e).into_iter().collect())
+    }
+
+    fn path_aggregate(&self, paq: &PathAggQuery) -> Option<PathAggResult> {
+        self.disk
+            .path_aggregate_with(paq, self.opts)
+            .ok()
+            .map(|(r, _)| r)
+    }
+}
+
+struct Baseline<E: Engine> {
+    engine: E,
+    label: &'static str,
+}
+
+impl<E: Engine> Baseline<E> {
+    fn expr_set(&self, e: &QueryExpr) -> BTreeSet<RecordId> {
+        match e {
+            QueryExpr::Atom(q) => self.engine.evaluate(q).records.into_iter().collect(),
+            QueryExpr::And(a, b) => {
+                let (a, b) = (self.expr_set(a), self.expr_set(b));
+                a.intersection(&b).copied().collect()
+            }
+            QueryExpr::Or(a, b) => {
+                let (a, b) = (self.expr_set(a), self.expr_set(b));
+                a.union(&b).copied().collect()
+            }
+            QueryExpr::AndNot(a, b) => {
+                let (a, b) = (self.expr_set(a), self.expr_set(b));
+                a.difference(&b).copied().collect()
+            }
+        }
+    }
+}
+
+impl<E: Engine> MatrixEngine for Baseline<E> {
+    fn label(&self) -> &str {
+        self.label
+    }
+
+    fn evaluate(&self, q: &GraphQuery) -> QueryResult {
+        self.engine.evaluate(q)
+    }
+
+    fn match_expr(&self, e: &QueryExpr) -> Option<Vec<RecordId>> {
+        Some(self.expr_set(e).into_iter().collect())
+    }
+
+    fn path_aggregate(&self, _paq: &PathAggQuery) -> Option<PathAggResult> {
+        None
+    }
+}
+
+/// The instantiated matrix for one scenario.
+pub struct Matrix {
+    /// Every engine configuration, ready to answer queries.
+    pub engines: Vec<Box<dyn MatrixEngine>>,
+    mem: Arc<GraphStore>,
+    disk: Arc<DiskGraphStore>,
+    dir: PathBuf,
+}
+
+/// Column-cache budget for the disk backend — small enough that larger
+/// scenarios exercise eviction.
+const DISK_CACHE_BYTES: usize = 64 << 10;
+
+impl Matrix {
+    /// Builds every engine configuration from a scenario. `fault` injects
+    /// an intentional bug into the in-memory columnar engines (see
+    /// [`Fault`]).
+    pub fn build(scenario: &Scenario, fault: Fault) -> Matrix {
+        let mut store = GraphStore::load(scenario.universe.clone(), &scenario.records);
+        if scenario.view_budget > 0 {
+            store.advise_views(&scenario.queries, scenario.view_budget);
+        }
+        if scenario.agg_view_budget > 0 {
+            // Advise for SUM; MIN gets whatever budget produces. Advisory
+            // failures (e.g. cyclic patterns) are not scenario failures.
+            let _ = store.advise_agg_views(&scenario.queries, AggFn::Sum, scenario.agg_view_budget);
+        }
+
+        // Unique per (process, build) so parallel tests on the same seed
+        // never share a directory.
+        static NEXT_DIR: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "graphbi-testkit-{}-{:x}-{}",
+            std::process::id(),
+            scenario.seed,
+            NEXT_DIR.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_store(&store, &dir).expect("save scenario database");
+        let disk = Arc::new(DiskGraphStore::open(&dir, DISK_CACHE_BYTES).expect("open disk store"));
+        let reloaded = Arc::new(load_store(&dir).expect("reload scenario database"));
+        let mem = Arc::new(store);
+
+        let mut engines: Vec<Box<dyn MatrixEngine>> = Vec::new();
+        for (opts, mode) in [
+            (EvalOptions::default(), "views"),
+            (EvalOptions::oblivious(), "oblivious"),
+        ] {
+            engines.push(Box::new(ColumnarMem {
+                store: Arc::clone(&mem),
+                opts,
+                fault,
+                label: format!("columnar-mem-{mode}"),
+            }));
+            engines.push(Box::new(ColumnarDisk {
+                disk: Arc::clone(&disk),
+                opts,
+                label: format!("columnar-disk-{mode}"),
+            }));
+        }
+        engines.push(Box::new(ColumnarMem {
+            store: reloaded,
+            opts: EvalOptions::default(),
+            fault: Fault::None,
+            label: "columnar-reloaded-views".into(),
+        }));
+        engines.push(Box::new(Baseline {
+            engine: RowStore::load(&scenario.records),
+            label: "row",
+        }));
+        engines.push(Box::new(Baseline {
+            engine: RdfStore::load(&scenario.records),
+            label: "rdf",
+        }));
+        engines.push(Box::new(Baseline {
+            engine: GraphDb::load(&scenario.records, &scenario.universe),
+            label: "graphdb",
+        }));
+
+        Matrix {
+            engines,
+            mem,
+            disk,
+            dir,
+        }
+    }
+
+    /// Structural-column costs of `q` on the in-memory store:
+    /// `(view plan, oblivious plan)`.
+    pub fn mem_structural_costs(&self, q: &GraphQuery) -> (u64, u64) {
+        let (_, with_views) = self.mem.evaluate_with(q, EvalOptions::default());
+        let (_, oblivious) = self.mem.evaluate_with(q, EvalOptions::oblivious());
+        (
+            with_views.structural_columns(),
+            oblivious.structural_columns(),
+        )
+    }
+
+    /// Disk-read costs of `q` on the disk store under a cold cache:
+    /// `(view plan, oblivious plan)`.
+    pub fn disk_cold_reads(&self, q: &GraphQuery) -> (u64, u64) {
+        self.disk.relation().clear_cache();
+        let (_, with_views) = self
+            .disk
+            .evaluate_with(q, EvalOptions::default())
+            .expect("disk evaluate");
+        self.disk.relation().clear_cache();
+        let (_, oblivious) = self
+            .disk
+            .evaluate_with(q, EvalOptions::oblivious())
+            .expect("disk evaluate");
+        (with_views.disk_reads, oblivious.disk_reads)
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}

@@ -1,0 +1,31 @@
+//! Differential oracle and deterministic fuzz harness.
+//!
+//! Every storage engine in the workspace answers the same logical queries;
+//! this crate makes that claim mechanically checkable. A [`Scenario`] —
+//! record collection, query workload, logical expressions, path
+//! aggregations, view budgets — is generated from a single `u64` seed and
+//! run through the full engine × plan-mode × backend matrix
+//! ([`engines::Matrix`]): the in-memory column store with view-rewritten
+//! and view-oblivious plans, the disk-resident column store under both
+//! plan modes, a persistence round-trip reload, and the row/RDF/graph-db
+//! baselines. Every answer is compared against a deliberately naive
+//! reference model ([`reference::Reference`]), with tolerance-aware float
+//! comparison for aggregates, plus plan-cost invariants (a view plan never
+//! fetches more structural columns than an oblivious one).
+//!
+//! On failure, [`shrink::shrink`] delta-debugs the scenario down to a
+//! minimal record set and workload that still reproduce it; the `fuzz`
+//! binary (`cargo run -p graphbi-testkit --bin fuzz -- --seed 42 --iters
+//! 200`) drives the loop and prints replayable seeds.
+
+pub mod engines;
+pub mod oracle;
+pub mod reference;
+pub mod scenario;
+pub mod shrink;
+
+pub use engines::{Fault, Matrix, MatrixEngine};
+pub use oracle::{check, Discrepancy, Report, TOLERANCE};
+pub use reference::Reference;
+pub use scenario::Scenario;
+pub use shrink::{shrink, Shrunk};

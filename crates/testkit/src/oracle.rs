@@ -1,0 +1,146 @@
+//! The differential oracle: one scenario, every engine configuration,
+//! every check.
+
+use crate::engines::{Fault, Matrix};
+use crate::reference::Reference;
+use crate::scenario::Scenario;
+
+/// Relative tolerance for aggregate/measure comparisons. Engines sum in
+/// different orders (columnar scan vs row joins vs view composition), so
+/// float results may drift by rounding but never by more than this.
+pub const TOLERANCE: f64 = 1e-9;
+
+/// One disagreement between an engine and the reference model (or a broken
+/// invariant).
+#[derive(Debug)]
+pub struct Discrepancy {
+    /// The engine configuration that disagreed.
+    pub engine: String,
+    /// Which scenario item exposed it (`query[3]`, `expr[0]`, …).
+    pub item: String,
+    /// Human-readable explanation of the disagreement.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Discrepancy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.engine, self.item, self.detail)
+    }
+}
+
+/// The oracle's verdict on one scenario.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every disagreement found (empty = scenario passed).
+    pub discrepancies: Vec<Discrepancy>,
+    /// Number of individual comparisons performed.
+    pub checks: u64,
+}
+
+impl Report {
+    /// True when no engine disagreed and no invariant broke.
+    pub fn passed(&self) -> bool {
+        self.discrepancies.is_empty()
+    }
+}
+
+/// Runs the full differential matrix on one scenario.
+pub fn check(scenario: &Scenario, fault: Fault) -> Report {
+    let matrix = Matrix::build(scenario, fault);
+    let reference = Reference::new(&scenario.universe, &scenario.records);
+    let mut report = Report::default();
+
+    // Graph queries: every engine against the model.
+    for (qi, q) in scenario.queries.iter().enumerate() {
+        let expected = reference.evaluate(q);
+        for engine in &matrix.engines {
+            report.checks += 1;
+            let got = engine.evaluate(q);
+            if let Some(diff) = expected.diff(&got, TOLERANCE) {
+                report.discrepancies.push(Discrepancy {
+                    engine: engine.label().to_string(),
+                    item: format!("query[{qi}] {q:?}"),
+                    detail: diff,
+                });
+            }
+        }
+
+        // Invariant: a view-rewritten plan never fetches more structural
+        // columns than the oblivious plan — rewriting exists to save
+        // fetches, so regressing past the baseline is a planner bug.
+        report.checks += 1;
+        let (viewed, oblivious) = matrix.mem_structural_costs(q);
+        if viewed > oblivious {
+            report.discrepancies.push(Discrepancy {
+                engine: "columnar-mem-views".into(),
+                item: format!("query[{qi}] {q:?}"),
+                detail: format!(
+                    "view plan fetched {viewed} structural columns, oblivious plan {oblivious}"
+                ),
+            });
+        }
+        report.checks += 1;
+        let (viewed, oblivious) = matrix.disk_cold_reads(q);
+        if viewed > oblivious {
+            report.discrepancies.push(Discrepancy {
+                engine: "columnar-disk-views".into(),
+                item: format!("query[{qi}] {q:?}"),
+                detail: format!(
+                    "cold view plan did {viewed} disk reads, oblivious plan {oblivious}"
+                ),
+            });
+        }
+    }
+
+    // Logical expressions: match sets against the model's set algebra.
+    for (ei, e) in scenario.exprs.iter().enumerate() {
+        let expected = reference.match_expr(e);
+        for engine in &matrix.engines {
+            let Some(got) = engine.match_expr(e) else {
+                continue;
+            };
+            report.checks += 1;
+            if got != expected {
+                report.discrepancies.push(Discrepancy {
+                    engine: engine.label().to_string(),
+                    item: format!("expr[{ei}]"),
+                    detail: format!(
+                        "match set differs: {} vs {} records (expected {:?}…, got {:?}…)",
+                        expected.len(),
+                        got.len(),
+                        &expected[..expected.len().min(8)],
+                        &got[..got.len().min(8)],
+                    ),
+                });
+            }
+        }
+    }
+
+    // Path aggregations: values against the model, under tolerance.
+    for (ai, paq) in scenario.aggs.iter().enumerate() {
+        let Ok(expected) = reference.path_aggregate(paq) else {
+            // Cyclic pattern: every engine must refuse it too, but there is
+            // no value to compare.
+            continue;
+        };
+        for engine in &matrix.engines {
+            let Some(got) = engine.path_aggregate(paq) else {
+                continue;
+            };
+            report.checks += 1;
+            if let Some(diff) = expected.diff(&got, TOLERANCE) {
+                report.discrepancies.push(Discrepancy {
+                    engine: engine.label().to_string(),
+                    item: format!("agg[{ai}] {:?}", paq.func),
+                    detail: diff,
+                });
+            }
+        }
+    }
+
+    debug_assert!(
+        scenario.queries.is_empty() || report.checks > 0,
+        "oracle ran no checks on a non-empty scenario"
+    );
+    report
+}

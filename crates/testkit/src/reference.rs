@@ -1,0 +1,176 @@
+//! The ground-truth model: a deliberately naive evaluator over the raw
+//! record list. No bitmaps, no columns, no views, no caches — per-record
+//! scans and set algebra only. Every engine in the matrix is checked
+//! against this, so the model must stay too simple to share a bug with any
+//! of them.
+
+use std::collections::BTreeSet;
+
+use graphbi::{
+    GraphQuery, PathAggQuery, PathAggResult, QueryExpr, QueryResult, RecordId, Universe,
+};
+use graphbi_graph::{AggState, GraphError, GraphRecord};
+
+/// The naive model engine.
+pub struct Reference<'a> {
+    universe: &'a Universe,
+    records: &'a [GraphRecord],
+}
+
+impl<'a> Reference<'a> {
+    /// Wraps a record collection.
+    pub fn new(universe: &'a Universe, records: &'a [GraphRecord]) -> Reference<'a> {
+        Reference { universe, records }
+    }
+
+    /// Records containing every edge of `query` (all records when empty).
+    pub fn match_records(&self, query: &GraphQuery) -> Vec<RecordId> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| query.edges().iter().all(|&e| r.contains(e)))
+            .map(|(i, _)| u32::try_from(i).expect("record id fits u32"))
+            .collect()
+    }
+
+    /// Full evaluation: matching records plus their record-major measure
+    /// matrix in query-edge order (ascending, as `GraphQuery` stores them).
+    pub fn evaluate(&self, query: &GraphQuery) -> QueryResult {
+        let records = self.match_records(query);
+        let edges = query.edges().to_vec();
+        let mut measures = Vec::with_capacity(records.len() * edges.len());
+        for &rid in &records {
+            let rec = &self.records[rid as usize];
+            for &e in &edges {
+                measures.push(rec.measure(e).expect("matched record holds the edge"));
+            }
+        }
+        QueryResult {
+            records,
+            edges,
+            measures,
+        }
+    }
+
+    /// Set-algebra evaluation of a logical expression.
+    pub fn match_expr(&self, expr: &QueryExpr) -> Vec<RecordId> {
+        set_to_vec(&self.expr_set(expr))
+    }
+
+    fn expr_set(&self, expr: &QueryExpr) -> BTreeSet<RecordId> {
+        match expr {
+            QueryExpr::Atom(q) => self.match_records(q).into_iter().collect(),
+            QueryExpr::And(a, b) => {
+                let (a, b) = (self.expr_set(a), self.expr_set(b));
+                a.intersection(&b).copied().collect()
+            }
+            QueryExpr::Or(a, b) => {
+                let (a, b) = (self.expr_set(a), self.expr_set(b));
+                a.union(&b).copied().collect()
+            }
+            QueryExpr::AndNot(a, b) => {
+                let (a, b) = (self.expr_set(a), self.expr_set(b));
+                a.difference(&b).copied().collect()
+            }
+        }
+    }
+
+    /// Path aggregation: per matching record, fold the measures of each
+    /// maximal path's elements through the aggregate function.
+    pub fn path_aggregate(&self, paq: &PathAggQuery) -> Result<PathAggResult, GraphError> {
+        let paths = paq.query.maximal_paths(self.universe)?;
+        let records = self.match_records(&paq.query);
+        let path_count = paths.len();
+        let mut values = Vec::with_capacity(records.len() * path_count);
+        let elements: Vec<Vec<graphbi::EdgeId>> = paths
+            .iter()
+            .map(|p| p.elements(self.universe))
+            .collect::<Result<_, _>>()?;
+        for &rid in &records {
+            let rec = &self.records[rid as usize];
+            for elems in &elements {
+                let mut state = AggState::empty();
+                for &e in elems {
+                    state.push(rec.measure(e).expect("matched record holds the edge"));
+                }
+                values.push(state.finalize(paq.func).unwrap_or(f64::NAN));
+            }
+        }
+        Ok(PathAggResult {
+            records,
+            path_count,
+            values,
+        })
+    }
+}
+
+fn set_to_vec(s: &BTreeSet<RecordId>) -> Vec<RecordId> {
+    s.iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbi::{AggFn, EdgeId};
+    use graphbi_graph::RecordBuilder;
+
+    fn tiny() -> (Universe, Vec<GraphRecord>, Vec<EdgeId>) {
+        let mut u = Universe::new();
+        let e: Vec<EdgeId> = (0..4)
+            .map(|i| u.edge_by_names(&format!("n{i}"), &format!("n{}", i + 1)))
+            .collect();
+        let mut records = Vec::new();
+        for mask in 1u32..16 {
+            let mut b = RecordBuilder::new();
+            for (i, &eid) in e.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    b.add(eid, f64::from(mask * 10 + i as u32));
+                }
+            }
+            records.push(b.build());
+        }
+        (u, records, e)
+    }
+
+    #[test]
+    fn matching_is_containment() {
+        let (u, records, e) = tiny();
+        let r = Reference::new(&u, &records);
+        // Records with both e0 and e1: masks with low two bits set.
+        let q = GraphQuery::from_edges(vec![e[0], e[1]]);
+        let hits = r.match_records(&q);
+        assert_eq!(hits, vec![2, 6, 10, 14]); // masks 3,7,11,15 → ids mask-1
+        let full = r.evaluate(&q);
+        assert_eq!(full.records, hits);
+        assert_eq!(full.row(0), &[30.0, 31.0]); // mask 3
+    }
+
+    #[test]
+    fn expr_algebra() {
+        let (u, records, e) = tiny();
+        let r = Reference::new(&u, &records);
+        let a = QueryExpr::Atom(GraphQuery::from_edges(vec![e[0]]));
+        let b = QueryExpr::Atom(GraphQuery::from_edges(vec![e[1]]));
+        let both = r.match_expr(&QueryExpr::and(a.clone(), b.clone()));
+        let either = r.match_expr(&QueryExpr::or(a.clone(), b.clone()));
+        let only_a = r.match_expr(&QueryExpr::and_not(a.clone(), b.clone()));
+        let just_a = r.match_expr(&a);
+        assert!(both.iter().all(|x| just_a.contains(x)));
+        assert!(just_a.iter().all(|x| either.contains(x)));
+        assert!(only_a
+            .iter()
+            .all(|x| just_a.contains(x) && !both.contains(x)));
+        assert_eq!(both.len() + only_a.len(), just_a.len());
+    }
+
+    #[test]
+    fn aggregation_over_a_path() {
+        let (u, records, e) = tiny();
+        let r = Reference::new(&u, &records);
+        let paq = PathAggQuery::new(GraphQuery::from_edges(vec![e[0], e[1]]), AggFn::Sum);
+        let res = r.path_aggregate(&paq).unwrap();
+        assert_eq!(res.records, vec![2, 6, 10, 14]);
+        assert_eq!(res.path_count, 1);
+        assert_eq!(res.values[0], 30.0 + 31.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Greedy failure minimization.
+//!
+//! Given a scenario the oracle rejects, reduce it to something a human can
+//! read: first delta-debug the record collection (drop chunks, halving the
+//! chunk size down to single records), then strip the workload to the
+//! items that still reproduce the failure. Every candidate is re-checked
+//! through the full oracle, so the result is guaranteed to still fail.
+
+use crate::engines::Fault;
+use crate::oracle;
+use crate::scenario::Scenario;
+
+/// Outcome of a shrink run.
+pub struct Shrunk {
+    /// The minimized, still-failing scenario.
+    pub scenario: Scenario,
+    /// Oracle evaluations spent shrinking.
+    pub evaluations: u64,
+}
+
+/// Minimizes `scenario`, which must fail under `fault` (panics otherwise —
+/// shrinking a passing scenario is a harness bug).
+pub fn shrink(scenario: &Scenario, fault: Fault) -> Shrunk {
+    let mut evaluations = 0u64;
+    let mut fails = |s: &Scenario| {
+        evaluations += 1;
+        !oracle::check(s, fault).passed()
+    };
+    assert!(
+        fails(scenario),
+        "shrink() called on a scenario the oracle accepts"
+    );
+
+    // Phase 1: delta-debug the record set.
+    let mut kept: Vec<usize> = (0..scenario.records.len()).collect();
+    let mut chunk = (kept.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < kept.len() && kept.len() > 1 {
+            let end = (start + chunk).min(kept.len());
+            let candidate: Vec<usize> = kept[..start].iter().chain(&kept[end..]).copied().collect();
+            if !candidate.is_empty() && fails(&scenario.with_records(&candidate)) {
+                kept = candidate;
+                progressed = true;
+                // Re-test the same offset: it now holds different records.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !progressed {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    let mut min = scenario.with_records(&kept);
+
+    // Phase 2: strip workload items, one family at a time.
+    let queries = minimize_items(&min, fault, &mut evaluations, WorkloadFamily::Queries);
+    let exprs = minimize_items(&min, fault, &mut evaluations, WorkloadFamily::Exprs);
+    let aggs = minimize_items(&min, fault, &mut evaluations, WorkloadFamily::Aggs);
+    let candidate = min.with_workload(
+        min.queries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| queries.contains(i))
+            .map(|(_, q)| q.clone())
+            .collect(),
+        min.exprs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| exprs.contains(i))
+            .map(|(_, e)| e.clone())
+            .collect(),
+        min.aggs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| aggs.contains(i))
+            .map(|(_, a)| a.clone())
+            .collect(),
+    );
+    evaluations += 1;
+    if !oracle::check(&candidate, fault).passed() {
+        min = candidate;
+    }
+
+    Shrunk {
+        scenario: min,
+        evaluations,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum WorkloadFamily {
+    Queries,
+    Exprs,
+    Aggs,
+}
+
+/// Greedily removes items of one workload family while the failure
+/// persists; returns the indices that must stay.
+fn minimize_items(
+    scenario: &Scenario,
+    fault: Fault,
+    evaluations: &mut u64,
+    family: WorkloadFamily,
+) -> Vec<usize> {
+    let len = match family {
+        WorkloadFamily::Queries => scenario.queries.len(),
+        WorkloadFamily::Exprs => scenario.exprs.len(),
+        WorkloadFamily::Aggs => scenario.aggs.len(),
+    };
+    let mut kept: Vec<usize> = (0..len).collect();
+    let mut i = 0;
+    while i < kept.len() {
+        let candidate: Vec<usize> = kept
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, &k)| k)
+            .collect();
+        let restricted = restrict(scenario, &candidate, family);
+        *evaluations += 1;
+        if !oracle::check(&restricted, fault).passed() {
+            kept = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    kept
+}
+
+fn restrict(scenario: &Scenario, keep: &[usize], family: WorkloadFamily) -> Scenario {
+    let pick = |len: usize, active: bool| -> Vec<usize> {
+        if active {
+            keep.to_vec()
+        } else {
+            (0..len).collect()
+        }
+    };
+    let q_keep = pick(
+        scenario.queries.len(),
+        matches!(family, WorkloadFamily::Queries),
+    );
+    let e_keep = pick(
+        scenario.exprs.len(),
+        matches!(family, WorkloadFamily::Exprs),
+    );
+    let a_keep = pick(scenario.aggs.len(), matches!(family, WorkloadFamily::Aggs));
+    scenario.with_workload(
+        q_keep
+            .iter()
+            .map(|&i| scenario.queries[i].clone())
+            .collect(),
+        e_keep.iter().map(|&i| scenario.exprs[i].clone()).collect(),
+        a_keep.iter().map(|&i| scenario.aggs[i].clone()).collect(),
+    )
+}

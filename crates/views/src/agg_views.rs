@@ -131,9 +131,11 @@ pub fn agg_candidates_min_sup(
             per_query_paths
                 .iter()
                 .filter(|paths| {
-                    paths
-                        .iter()
-                        .any(|p| occurrences(&c.edges, &path_edges(p, universe)).next().is_some())
+                    paths.iter().any(|p| {
+                        occurrences(&c.edges, &path_edges(p, universe))
+                            .next()
+                            .is_some()
+                    })
                 })
                 .count()
                 >= min_sup
@@ -178,12 +180,19 @@ fn dfs(
 fn path_edges(p: &Path, universe: &Universe) -> Vec<EdgeId> {
     p.nodes()
         .windows(2)
-        .map(|w| universe.find_edge(w[0], w[1]).expect("maximal path edges exist"))
+        .map(|w| {
+            universe
+                .find_edge(w[0], w[1])
+                .expect("maximal path edges exist")
+        })
         .collect()
 }
 
 /// Start offsets where `needle` occurs as a contiguous subsequence.
-fn occurrences<'a>(needle: &'a [EdgeId], haystack: &'a [EdgeId]) -> impl Iterator<Item = usize> + 'a {
+fn occurrences<'a>(
+    needle: &'a [EdgeId],
+    haystack: &'a [EdgeId],
+) -> impl Iterator<Item = usize> + 'a {
     let n = needle.len();
     (0..haystack.len().saturating_sub(n.saturating_sub(1)))
         .filter(move |&i| n > 0 && haystack[i..i + n] == *needle)
@@ -234,8 +243,7 @@ pub fn select_agg_views(
             let better = match best {
                 None => benefit >= 2,
                 Some((bb, bi)) => {
-                    benefit > bb
-                        || (benefit == bb && candidates[bi].edges.len() < c.edges.len())
+                    benefit > bb || (benefit == bb && candidates[bi].edges.len() < c.edges.len())
                 }
             };
             if better && benefit >= 2 {
@@ -342,7 +350,14 @@ mod tests {
         let q1 = GraphQuery::from_edge_names(u, &[("A", "C"), ("C", "E"), ("A", "B")]);
         let q2 = GraphQuery::from_edge_names(
             u,
-            &[("A", "C"), ("C", "E"), ("A", "D"), ("D", "E"), ("E", "F"), ("F", "G")],
+            &[
+                ("A", "C"),
+                ("C", "E"),
+                ("A", "D"),
+                ("D", "E"),
+                ("E", "F"),
+                ("F", "G"),
+            ],
         );
         let q3 = GraphQuery::from_edge_names(u, &[("A", "D"), ("D", "E"), ("E", "F"), ("F", "G")]);
         vec![q1, q2, q3]
@@ -413,11 +428,7 @@ mod tests {
     fn cover_path_tiles_longest_first() {
         let e: Vec<EdgeId> = (0..6).map(EdgeId).collect();
         let path = e.clone();
-        let views = vec![
-            vec![e[0], e[1]],
-            vec![e[0], e[1], e[2]],
-            vec![e[4], e[5]],
-        ];
+        let views = vec![vec![e[0], e[1]], vec![e[0], e[1], e[2]], vec![e[4], e[5]]];
         let cover = cover_path(&path, &views);
         assert_eq!(
             cover.segments,

@@ -104,8 +104,7 @@ pub fn select_views(
                 // Tie-break on fewer edges (cheaper view), then lower index,
                 // for determinism.
                 Some((bb, bi)) => {
-                    benefit > bb
-                        || (benefit == bb && candidates[bi].edges.len() > c.edges.len())
+                    benefit > bb || (benefit == bb && candidates[bi].edges.len() > c.edges.len())
                 }
             };
             if better {
@@ -166,7 +165,7 @@ mod tests {
         assert!(sets.contains(&vec![1, 2, 7]));
         assert!(sets.contains(&vec![3, 4])); // q0 ∩ q1
         assert!(sets.contains(&vec![1, 2])); // q0 ∩ q2
-        // q1 ∩ q2 = ∅ — not a candidate; no single edges either.
+                                             // q1 ∩ q2 = ∅ — not a candidate; no single edges either.
         assert!(sets.iter().all(|s| s.len() >= 2));
     }
 
@@ -218,7 +217,11 @@ mod tests {
     fn shared_subgraph_wins_over_single_query_view() {
         // Three queries sharing {1,2,3}; the shared view covers 9 slots,
         // each whole-query view only 5.
-        let queries = vec![q(&[1, 2, 3, 4, 5]), q(&[1, 2, 3, 6, 7]), q(&[1, 2, 3, 8, 9])];
+        let queries = vec![
+            q(&[1, 2, 3, 4, 5]),
+            q(&[1, 2, 3, 6, 7]),
+            q(&[1, 2, 3, 8, 9]),
+        ];
         let cands = generate_candidates(&queries);
         let sel = select_views(&queries, &cands, 1);
         assert_eq!(edges(&cands[sel[0]]), vec![1, 2, 3]);

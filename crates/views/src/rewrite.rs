@@ -58,9 +58,7 @@ pub fn rewrite_query(query: &GraphQuery, views: &[Vec<EdgeId>]) -> Rewrite {
             if cov >= 2 {
                 let better = match best {
                     None => true,
-                    Some((bc, bi)) => {
-                        cov > bc || (cov == bc && views[bi].len() > views[vi].len())
-                    }
+                    Some((bc, bi)) => cov > bc || (cov == bc && views[bi].len() > views[vi].len()),
                 };
                 if better {
                     best = Some((cov, vi));

@@ -152,7 +152,9 @@ fn finish(
         pairs.sort_unstable();
     }
 
-    let nodes: Vec<NodeId> = (0..n).map(|i| universe.node(&format!("{prefix}{i}"))).collect();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| universe.node(&format!("{prefix}{i}")))
+        .collect();
     let mut succ: Vec<Vec<(usize, EdgeId)>> = vec![Vec::new(); n];
     for &(a, b) in &pairs {
         let e = universe.edge(nodes[a], nodes[b]);

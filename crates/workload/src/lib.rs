@@ -120,7 +120,10 @@ impl Dataset {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(GraphRecord::edge_count).sum::<usize>() as f64
+        self.records
+            .iter()
+            .map(GraphRecord::edge_count)
+            .sum::<usize>() as f64
             / self.records.len() as f64
     }
 

@@ -116,12 +116,7 @@ pub fn generate(base: &BaseGraph, spec: &QuerySpec) -> Vec<GraphQuery> {
 /// A simple (node-repetition-free) random walk of up to `target` edges; the
 /// result is the walk's edge list (which forms an acyclic path graph).
 /// Restarts a few times if the walk dead-ends too early.
-fn simple_path(
-    base: &BaseGraph,
-    starts: &[usize],
-    target: usize,
-    rng: &mut StdRng,
-) -> Vec<EdgeId> {
+fn simple_path(base: &BaseGraph, starts: &[usize], target: usize, rng: &mut StdRng) -> Vec<EdgeId> {
     let mut best: Vec<EdgeId> = Vec::new();
     for _attempt in 0..8 {
         let mut edges = Vec::with_capacity(target);

@@ -99,7 +99,10 @@ mod tests {
         let starts = base.walkable();
         let r = walk_record(&base, &starts, 1000, &mut rng);
         assert!(r.edge_count() <= 60);
-        assert!(r.edge_count() > 30, "walk should cover most of a tiny graph");
+        assert!(
+            r.edge_count() > 30,
+            "walk should cover most of a tiny graph"
+        );
     }
 
     #[test]

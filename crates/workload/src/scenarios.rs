@@ -41,8 +41,9 @@ impl ScmScenario {
         seed: u64,
     ) -> ScmScenario {
         let mut rng = StdRng::seed_from_u64(seed);
-        let line_nodes: Vec<NodeId> =
-            (0..lines).map(|i| universe.node(&format!("line{i}"))).collect();
+        let line_nodes: Vec<NodeId> = (0..lines)
+            .map(|i| universe.node(&format!("line{i}")))
+            .collect();
         let region_nodes: Vec<Vec<NodeId>> = (0..regions)
             .map(|r| {
                 (0..hubs_per_region)
@@ -50,15 +51,20 @@ impl ScmScenario {
                     .collect()
             })
             .collect();
-        let customer_nodes: Vec<NodeId> =
-            (0..customers).map(|i| universe.node(&format!("cust{i}"))).collect();
+        let customer_nodes: Vec<NodeId> = (0..customers)
+            .map(|i| universe.node(&format!("cust{i}")))
+            .collect();
 
         let mut succ: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
             std::collections::BTreeMap::new();
-        let connect = |u2: &mut Universe, s: NodeId, t: NodeId, succ: &mut std::collections::BTreeMap<NodeId, Vec<NodeId>>| {
-            u2.edge(s, t);
-            succ.entry(s).or_default().push(t);
-        };
+        let connect =
+            |u2: &mut Universe,
+             s: NodeId,
+             t: NodeId,
+             succ: &mut std::collections::BTreeMap<NodeId, Vec<NodeId>>| {
+                u2.edge(s, t);
+                succ.entry(s).or_default().push(t);
+            };
         // Lines feed 1–2 hubs of their nearest region.
         for (i, &l) in line_nodes.iter().enumerate() {
             let region = &region_nodes[i % regions];
@@ -166,12 +172,7 @@ impl WorkflowScenario {
     /// Runs one process instance: forward progress with probability
     /// `1 - rework`, bounce-back otherwise; the (possibly cyclic) trace is
     /// flattened into an acyclic record with per-transition latencies.
-    pub fn instance(
-        &self,
-        universe: &mut Universe,
-        rework: f64,
-        rng: &mut StdRng,
-    ) -> GraphRecord {
+    pub fn instance(&self, universe: &mut Universe, rework: f64, rng: &mut StdRng) -> GraphRecord {
         let _ = &self.transitions;
         let mut at = 0usize;
         let mut walk = vec![self.states[0]];

@@ -35,7 +35,11 @@ fn main() {
     o2.add(ad, 3.0).add(de, 4.0).add(eg, 2.0).add(gi, 2.0);
     orders.push(o2.build());
     let mut o3 = RecordBuilder::new(); // leased routing via B,F,J,K and C,H
-    o3.add(ab, 1.0).add(bf, 2.0).add(fj, 3.0).add(jk, 1.0).add(ch, 2.5);
+    o3.add(ab, 1.0)
+        .add(bf, 2.0)
+        .add(fj, 3.0)
+        .add(jk, 1.0)
+        .add(ch, 2.5);
     orders.push(o3.build());
 
     let store = GraphStore::load(u, &orders);
@@ -49,7 +53,10 @@ fn main() {
     for (i, &rid) in agg.records.iter().enumerate() {
         println!("  order {rid}: {:.1} h", agg.row(i)[0]);
     }
-    println!("  (cost: {} bitmap columns fetched)", stats.structural_columns());
+    println!(
+        "  (cost: {} bitmap columns fetched)",
+        stats.structural_columns()
+    );
 
     // ----- Q2: orders using either leased route (logical OR) -------------
     let leased_ch = GraphQuery::from_edges(vec![ch]);
@@ -59,12 +66,18 @@ fn main() {
         &QueryExpr::or(leased_ch.into(), leased_fjk.clone().into()),
         &mut stats,
     );
-    println!("\nQ2: orders shipped via leased routes: {:?}", hits.to_vec());
+    println!(
+        "\nQ2: orders shipped via leased routes: {:?}",
+        hits.to_vec()
+    );
     let (cost, _) = store
         .path_aggregate(&PathAggQuery::new(leased_fjk, AggFn::Sum))
         .unwrap();
     for (i, &rid) in cost.records.iter().enumerate() {
-        println!("  order {rid} leased-leg [F,J,K] time: {:.1} h", cost.row(i)[0]);
+        println!(
+            "  order {rid} leased-leg [F,J,K] time: {:.1} h",
+            cost.row(i)[0]
+        );
     }
 
     // ----- Q3: longest single-leg delay on the main corridor -------------

@@ -83,9 +83,8 @@ fn main() {
         with_views.agg_view_columns
     );
     let before = oblivious.structural_columns() + oblivious.measure_columns;
-    let after = with_views.structural_columns()
-        + with_views.measure_columns
-        + with_views.agg_view_columns;
+    let after =
+        with_views.structural_columns() + with_views.measure_columns + with_views.agg_view_columns;
     println!(
         "column fetches reduced by {:.0}% for ~{:.1}% extra space",
         (1.0 - after as f64 / before as f64) * 100.0,

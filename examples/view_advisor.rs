@@ -16,13 +16,23 @@ fn main() {
     let q1 = GraphQuery::from_edge_names(&mut u, &[("A", "C"), ("C", "E"), ("A", "B")]);
     let q2 = GraphQuery::from_edge_names(
         &mut u,
-        &[("A", "C"), ("C", "E"), ("A", "D"), ("D", "E"), ("E", "F"), ("F", "G")],
+        &[
+            ("A", "C"),
+            ("C", "E"),
+            ("A", "D"),
+            ("D", "E"),
+            ("E", "F"),
+            ("F", "G"),
+        ],
     );
-    let q3 =
-        GraphQuery::from_edge_names(&mut u, &[("A", "D"), ("D", "E"), ("E", "F"), ("F", "G")]);
+    let q3 = GraphQuery::from_edge_names(&mut u, &[("A", "D"), ("D", "E"), ("E", "F"), ("F", "G")]);
     let workload = vec![q1, q2, q3];
     let label = |q: &GraphQuery| -> String {
-        q.edges().iter().map(|&e| u.edge_label(e)).collect::<Vec<_>>().join(" ")
+        q.edges()
+            .iter()
+            .map(|&e| u.edge_label(e))
+            .collect::<Vec<_>>()
+            .join(" ")
     };
     println!("workload:");
     for (i, q) in workload.iter().enumerate() {
@@ -35,7 +45,11 @@ fn main() {
     for c in &candidates {
         println!(
             "  {}  — usable by {} queries",
-            c.edges.iter().map(|&e| u.edge_label(e)).collect::<Vec<_>>().join(" "),
+            c.edges
+                .iter()
+                .map(|&e| u.edge_label(e))
+                .collect::<Vec<_>>()
+                .join(" "),
             c.queries.len()
         );
     }
@@ -46,12 +60,20 @@ fn main() {
     for &i in &chosen {
         println!(
             "  materialize {}",
-            candidates[i].edges.iter().map(|&e| u.edge_label(e)).collect::<Vec<_>>().join(" ")
+            candidates[i]
+                .edges
+                .iter()
+                .map(|&e| u.edge_label(e))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
     }
 
     // ----- Rewriting: per-query plans over the selected views ------------
-    let views: Vec<_> = chosen.iter().map(|&i| candidates[i].edges.clone()).collect();
+    let views: Vec<_> = chosen
+        .iter()
+        .map(|&i| candidates[i].edges.clone())
+        .collect();
     println!("\nper-query rewrites (bitmaps fetched: views + residual edges):");
     for (i, q) in workload.iter().enumerate() {
         let r = rewrite_query(q, &views);
@@ -73,14 +95,22 @@ fn main() {
     let nodes = interesting_nodes(&paths);
     println!(
         "\ninteresting nodes: {}",
-        nodes.iter().map(|&n| u.node_name(n)).collect::<Vec<_>>().join(", ")
+        nodes
+            .iter()
+            .map(|&n| u.node_name(n))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let agg = agg_candidates(&workload, &u).unwrap();
     println!("candidate aggregate views ({} total):", agg.len());
     for c in &agg {
         println!(
             "  [{}]",
-            c.nodes.iter().map(|&n| u.node_name(n)).collect::<Vec<_>>().join(",")
+            c.nodes
+                .iter()
+                .map(|&n| u.node_name(n))
+                .collect::<Vec<_>>()
+                .join(",")
         );
     }
 

@@ -54,7 +54,10 @@ fn main() {
     let QlAnswer::Records(bounced) = store.query("[stage2,stage1~2]").unwrap() else {
         unreachable!()
     };
-    println!("instances that reworked stage 1 from stage 2: {}", bounced.len());
+    println!(
+        "instances that reworked stage 1 from stage 2: {}",
+        bounced.len()
+    );
 
     // On the zoomed store, the whole review block is a single node whose
     // self-edge carries the block's total internal latency.

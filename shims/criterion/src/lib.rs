@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's bench files use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], `criterion_group!`/`criterion_main!` — backed by a
+//! simple wall-clock timer: a short warm-up, then timed batches until a
+//! time budget is spent, reporting the per-iteration mean and min.
+//!
+//! Statistical analysis, plots, and baselines of real criterion are out of
+//! scope; the numbers are honest medians-of-means, good enough for the
+//! relative comparisons the paper's figures make. Under `cargo test`
+//! (which runs `harness = false` bench targets with `--test`), every
+//! benchmark body executes exactly once so benches stay smoke-tested.
+
+use std::time::{Duration, Instant};
+
+/// Re-export: benches use `std::hint::black_box` via criterion's name too.
+pub use std::hint::black_box;
+
+/// Top-level handle passed to every bench function.
+pub struct Criterion {
+    /// Per-benchmark measurement budget.
+    budget: Duration,
+    /// Test mode: run each body once, skip timing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            budget: Duration::from_millis(200),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.budget, self.test_mode, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.parent.budget, self.parent.test_mode, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark; the input is passed through.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(
+            &label,
+            self.parent.budget,
+            self.parent.test_mode,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a (possibly parameterized) benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] times a closure.
+pub struct Bencher {
+    mode: BenchMode,
+    /// (total elapsed, iterations) accumulated by `iter`.
+    samples: Vec<(Duration, u64)>,
+}
+
+enum BenchMode {
+    /// Run once, record nothing (test mode).
+    Once,
+    /// Warm up then measure until the budget is spent.
+    Measure { budget: Duration },
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly until the measurement budget is
+    /// spent (or exactly once in test mode).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            BenchMode::Once => {
+                black_box(f());
+            }
+            BenchMode::Measure { budget } => {
+                // Warm-up: estimate per-iteration cost.
+                let warm_start = Instant::now();
+                black_box(f());
+                let per_iter = warm_start.elapsed().max(Duration::from_nanos(1));
+                // Batch size aiming for ~10 samples within budget.
+                let batch =
+                    (budget.as_nanos() / per_iter.as_nanos().max(1) / 10).clamp(1, 1 << 20) as u64;
+                let deadline = Instant::now() + budget;
+                while Instant::now() < deadline {
+                    let t0 = Instant::now();
+                    for _ in 0..batch {
+                        black_box(f());
+                    }
+                    self.samples.push((t0.elapsed(), batch));
+                }
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, budget: Duration, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mode: if test_mode {
+            BenchMode::Once
+        } else {
+            BenchMode::Measure { budget }
+        },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if test_mode {
+        println!("bench {label}: ok (test mode)");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("bench {label}: no samples");
+        return;
+    }
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|&(d, n)| d.as_secs_f64() / n as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "bench {label}: mean {} min {} ({} samples)",
+        fmt_time(mean),
+        fmt_time(min),
+        per_iter.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+        assert_eq!(BenchmarkId::from("lit").label, "lit");
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+            test_mode: false,
+        };
+        let mut ran = 0u64;
+        c.bench_function("tiny", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! a deterministic mini-implementation of the proptest API subset its test
+//! suites use: the [`proptest!`] macro, range/tuple/collection strategies,
+//! [`prop_oneof!`], `any::<T>()`, `prop_map`/`prop_flat_map`, and the
+//! `prop_assert*` family.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its replay seed; re-run with
+//!   `PROPTEST_SEED=<seed>` to reproduce the exact inputs. (The workspace's
+//!   own `graphbi-testkit` provides domain-aware shrinking where it
+//!   matters.)
+//! * **Deterministic by default.** Case `i` of test `t` derives from
+//!   `fnv(t) ⊕ i`, so runs are reproducible without a persistence file.
+//! * **String strategies** support the character-class/quantifier subset
+//!   `[...]{m,n}` / `?` / `*` / `+` of regex syntax, not full regex.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod collection;
+
+pub mod num;
+
+pub mod sample;
+
+pub mod string;
+
+mod rng;
+
+pub use rng::TestRng;
+
+use strategy::Strategy;
+
+/// `any::<T>()` — the canonical strategy of an [`Arbitrary`] type.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Types with a canonical strategy over their whole domain.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`Arbitrary::arbitrary`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = strategy::AnyOf<$t>;
+            fn arbitrary() -> Self::Strategy {
+                strategy::AnyOf(std::marker::PhantomData)
+            }
+        }
+        impl Strategy for strategy::AnyOf<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    type Strategy = strategy::AnyOf<bool>;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyOf(std::marker::PhantomData)
+    }
+}
+impl Strategy for strategy::AnyOf<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for sample::Index {
+    type Strategy = strategy::AnyOf<sample::Index>;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyOf(std::marker::PhantomData)
+    }
+}
+impl Strategy for strategy::AnyOf<sample::Index> {
+    type Value = sample::Index;
+    fn generate(&self, rng: &mut TestRng) -> sample::Index {
+        sample::Index::new(rng.next_u64())
+    }
+}
+
+/// Everything a test file needs from one glob import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{any, Arbitrary};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::num::u32::ANY`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            $crate::test_runner::run_cases(stringify!($name), &__cfg, |__rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __res: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __res
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} at {}:{}", format!($($fmt)+), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assert_eq failed: `{:?}` != `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assert_eq failed: `{:?}` != `{:?}`: {}",
+            __a,
+            __b,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, "assert_ne failed: both `{:?}`", __a);
+    }};
+}
+
+/// Rejects the current case (drawn inputs don't satisfy a precondition).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

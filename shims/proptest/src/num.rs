@@ -1,0 +1,34 @@
+//! Whole-domain numeric strategies (`prop::num::u32::ANY`, …).
+
+macro_rules! any_mod {
+    ($($mod_name:ident => $t:ty),*) => {$(
+        /// Whole-domain strategy constants for one integer type.
+        pub mod $mod_name {
+            use crate::strategy::AnyOf;
+            use std::marker::PhantomData;
+
+            /// Uniform over the full domain of the type.
+            pub const ANY: AnyOf<$t> = AnyOf(PhantomData);
+        }
+    )*};
+}
+
+any_mod!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize);
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    #[test]
+    fn any_spans_more_than_small_values() {
+        let mut rng = TestRng::seed_from_u64(7);
+        let mut saw_large = false;
+        for _ in 0..64 {
+            if super::u32::ANY.generate(&mut rng) > u32::MAX / 2 {
+                saw_large = true;
+            }
+        }
+        assert!(saw_large);
+    }
+}

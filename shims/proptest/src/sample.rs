@@ -1,0 +1,41 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection whose length is only known inside the test
+/// body. Generated over the full `u64` domain and reduced modulo the live
+/// length at use time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wraps a raw draw.
+    pub fn new(raw: u64) -> Index {
+        Index(raw)
+    }
+
+    /// Projects onto `[0, len)`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index called with empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Index;
+
+    #[test]
+    fn stays_in_bounds() {
+        for raw in [0u64, 1, 41, u64::MAX] {
+            let ix = Index::new(raw);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(ix.index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_panics() {
+        Index::new(3).index(0);
+    }
+}

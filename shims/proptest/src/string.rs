@@ -1,0 +1,147 @@
+//! String generation from a small regex subset.
+//!
+//! Supports what the workspace's test suites use: literal characters,
+//! `[...]` classes with ranges (`a-z`) and plain characters, and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded repeats capped at
+//! 8 so generated strings stay small).
+
+use crate::TestRng;
+
+const UNBOUNDED_CAP: usize = 8;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn draw(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(cs) => cs[rng.below(cs.len() as u64) as usize],
+        }
+    }
+}
+
+/// Generates one string matching `pattern`. Panics on syntax outside the
+/// supported subset, since a silently wrong generator would corrupt tests.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let mut members = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                        members.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        members.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!members.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(members)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling \\ in pattern {pattern:?}"));
+                i += 2;
+                Atom::Literal(c)
+            }
+            c if "({)}|.^$".contains(c) => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse::<usize>()
+                            .unwrap_or_else(|_| panic!("bad repeat {body:?}")),
+                        n.parse::<usize>()
+                            .unwrap_or_else(|_| panic!("bad repeat {body:?}")),
+                    ),
+                    None => {
+                        let n = body
+                            .parse::<usize>()
+                            .unwrap_or_else(|_| panic!("bad repeat {body:?}"));
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        };
+        assert!(lo <= hi, "inverted repeat in pattern {pattern:?}");
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(atom.draw(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use crate::TestRng;
+
+    #[test]
+    fn identifier_pattern_matches_shape() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9]{0,4}", &mut rng);
+            assert!((1..=5).contains(&s.len()), "bad len: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn literals_quantifiers_and_escapes() {
+        let mut rng = TestRng::seed_from_u64(4);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching("a{3}", &mut rng), "aaa");
+        for _ in 0..50 {
+            let s = generate_matching("x[01]+\\.", &mut rng);
+            assert!(s.starts_with('x') && s.ends_with('.'));
+            assert!(s.len() >= 3);
+        }
+    }
+}

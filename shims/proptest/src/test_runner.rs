@@ -1,0 +1,131 @@
+//! Case execution: configuration, failure type, and the runner loop.
+
+use crate::TestRng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+pub enum TestCaseError {
+    /// Assertion failure — aborts the test with a replay seed.
+    Fail(String),
+    /// `prop_assume!` rejection — the case is skipped, not counted.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Debug for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "Fail({m})"),
+            TestCaseError::Reject => write!(f, "Reject"),
+        }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from its name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cfg.cases` accepted cases of `f`, panicking with a replay seed on
+/// the first failure. `PROPTEST_SEED=<n>` overrides the base seed so a
+/// reported failure can be reproduced exactly.
+pub fn run_cases(
+    name: &str,
+    cfg: &Config,
+    mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {v:?}")),
+        Err(_) => fnv1a(name),
+    };
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let budget = cfg.cases as u64 * 10 + 100;
+    while accepted < cfg.cases {
+        if attempts >= budget {
+            panic!(
+                "proptest {name}: too many prop_assume! rejections \
+                 ({accepted}/{} cases after {attempts} attempts)",
+                cfg.cases
+            );
+        }
+        let case_seed = base
+            .wrapping_add(attempts)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        attempts += 1;
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        match f(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name} failed at case {accepted} \
+                     (replay with PROPTEST_SEED={base}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_requested_number_of_cases() {
+        let mut n = 0;
+        run_cases("counter", &Config::with_cases(17), |_rng| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay with PROPTEST_SEED=")]
+    fn failure_reports_replay_seed() {
+        run_cases("boom", &Config::default(), |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejections")]
+    fn reject_budget_is_bounded() {
+        run_cases("always_reject", &Config::with_cases(4), |_rng| {
+            Err(TestCaseError::Reject)
+        });
+    }
+}

@@ -34,7 +34,8 @@ fn all_four_engines_agree() {
         for engine in [&row as &dyn Engine, &rdf, &graph] {
             let r: QueryResult = engine.evaluate(q);
             assert_eq!(
-                r, column_result,
+                r,
+                column_result,
                 "{} disagrees with column store on {q:?}",
                 engine.name()
             );

@@ -112,9 +112,15 @@ fn logical_combinators_against_brute_force() {
             &QueryExpr::and_not(a.clone().into(), b.clone().into()),
             &mut stats,
         );
-        assert_eq!(and.to_vec(), sa.intersection(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(
+            and.to_vec(),
+            sa.intersection(&sb).copied().collect::<Vec<_>>()
+        );
         assert_eq!(or.to_vec(), sa.union(&sb).copied().collect::<Vec<_>>());
-        assert_eq!(not.to_vec(), sa.difference(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(
+            not.to_vec(),
+            sa.difference(&sb).copied().collect::<Vec<_>>()
+        );
     }
 }
 

@@ -64,8 +64,8 @@ fn disk_footprint_tracks_density_weakly() {
     // More measures → more bytes, roughly proportionally (both directions
     // bounded), confirming NULLs occupy no space.
     let ratio = d_bytes as f64 / s_bytes as f64;
-    let measure_ratio = d_store.relation().total_measures() as f64
-        / s_store.relation().total_measures() as f64;
+    let measure_ratio =
+        d_store.relation().total_measures() as f64 / s_store.relation().total_measures() as f64;
     assert!(
         ratio < measure_ratio * 1.5 && ratio > measure_ratio * 0.5,
         "disk ratio {ratio:.2} vs measure ratio {measure_ratio:.2}"

@@ -26,15 +26,25 @@ fn scm_store() -> GraphStore {
     let mut records = Vec::new();
     // Order 0: main corridor.
     let mut r = RecordBuilder::new();
-    r.add(edges[0], 2.0).add(edges[1], 1.5).add(edges[2], 2.5).add(edges[3], 1.0);
+    r.add(edges[0], 2.0)
+        .add(edges[1], 1.5)
+        .add(edges[2], 2.5)
+        .add(edges[3], 1.0);
     records.push(r.build());
     // Order 1: corridor again, slower.
     let mut r = RecordBuilder::new();
-    r.add(edges[0], 3.0).add(edges[1], 4.0).add(edges[2], 2.0).add(edges[3], 2.0);
+    r.add(edges[0], 3.0)
+        .add(edges[1], 4.0)
+        .add(edges[2], 2.0)
+        .add(edges[3], 2.0);
     records.push(r.build());
     // Order 2: leased routes.
     let mut r = RecordBuilder::new();
-    r.add(edges[4], 1.0).add(edges[5], 2.0).add(edges[6], 3.0).add(edges[7], 1.0).add(edges[8], 2.5);
+    r.add(edges[4], 1.0)
+        .add(edges[5], 2.0)
+        .add(edges[6], 3.0)
+        .add(edges[7], 1.0)
+        .add(edges[8], 2.5);
     records.push(r.build());
     GraphStore::load(u, &records)
 }
@@ -90,9 +100,7 @@ fn q2_logical_or_and_not() {
         panic!("expected records");
     };
     assert_eq!(either.records, vec![2]);
-    let QlAnswer::Records(corridor_not_leased) =
-        store.query("[A,D] AND NOT [C,H]").unwrap()
-    else {
+    let QlAnswer::Records(corridor_not_leased) = store.query("[A,D] AND NOT [C,H]").unwrap() else {
         panic!("expected records");
     };
     assert_eq!(corridor_not_leased.records, vec![0, 1]);
@@ -112,9 +120,7 @@ fn q3_max_aggregation() {
 #[test]
 fn join_composition_equals_full_path() {
     let store = scm_store();
-    let QlAnswer::Aggregates(joined) =
-        store.query("SUM [A,D,E) JOIN [E,G,I]").unwrap()
-    else {
+    let QlAnswer::Aggregates(joined) = store.query("SUM [A,D,E) JOIN [E,G,I]").unwrap() else {
         panic!("expected aggregates");
     };
     let QlAnswer::Aggregates(full) = store.query("SUM [A,D,E,G,I]").unwrap() else {
@@ -214,6 +220,8 @@ fn parallel_ql_equivalent_queries() {
         u.edge_by_names(pair.0, pair.1);
     }
     let q = GraphQuery::from_edge_names(&mut u, &[("F", "J"), ("J", "K")]);
-    let (api, _) = store.path_aggregate(&PathAggQuery::new(q, AggFn::Sum)).unwrap();
+    let (api, _) = store
+        .path_aggregate(&PathAggQuery::new(q, AggFn::Sum))
+        .unwrap();
     assert_eq!(ql, api);
 }

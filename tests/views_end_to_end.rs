@@ -61,7 +61,10 @@ fn bitmap_cost_decreases_monotonically_with_budget() {
     }
     // Full budget on a skewed workload must actually save something.
     let oblivious: u64 = qs.iter().map(|q| q.len() as u64).sum();
-    assert!(last < oblivious, "views saved nothing: {last} vs {oblivious}");
+    assert!(
+        last < oblivious,
+        "views saved nothing: {last} vs {oblivious}"
+    );
 }
 
 #[test]
@@ -89,10 +92,18 @@ fn aggregate_views_preserve_answers_and_cut_measure_fetches() {
     let func = AggFn::Sum;
     let baseline: Vec<_> = qs
         .iter()
-        .map(|q| store.path_aggregate(&PathAggQuery::new(q.clone(), func)).unwrap().0)
+        .map(|q| {
+            store
+                .path_aggregate(&PathAggQuery::new(q.clone(), func))
+                .unwrap()
+                .0
+        })
         .collect();
     let n = store.advise_agg_views(&qs, func, 40).unwrap();
-    assert!(n > 0, "advisor should find aggregate views on a zipf workload");
+    assert!(
+        n > 0,
+        "advisor should find aggregate views on a zipf workload"
+    );
 
     let mut with_views = IoStats::new();
     let mut oblivious = IoStats::new();

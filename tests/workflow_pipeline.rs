@@ -21,7 +21,12 @@ fn rework_loops_are_queryable_after_flattening() {
     // between zero and all instances are rework-free.
     let happy: Vec<_> = states
         .windows(2)
-        .map(|w| store.universe().find_edge(w[0], w[1]).expect("pipeline edge"))
+        .map(|w| {
+            store
+                .universe()
+                .find_edge(w[0], w[1])
+                .expect("pipeline edge")
+        })
         .collect();
     let q = GraphQuery::from_edges(happy);
     let (result, _) = store.evaluate(&q);
