@@ -89,7 +89,7 @@ impl GraphDb {
 }
 
 impl Engine for GraphDb {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Neo4j Store"
     }
 

@@ -34,12 +34,18 @@ pub use graphdb::GraphDb;
 pub use rdf::RdfStore;
 pub use row::RowStore;
 
-use graphbi_graph::{GraphQuery, QueryResult, RecordId};
+use graphbi_graph::{GraphQuery, PathAggQuery, PathAggResult, QueryExpr, QueryResult, RecordId};
 
 /// A storage engine answering graph queries over a loaded record collection.
+///
+/// This is the one interface the differential test oracle drives: the three
+/// baseline systems here, and the columnar engines (in-memory, disk,
+/// sharded) wrapped by `graphbi-testkit`, all answer through it.
 pub trait Engine {
-    /// Human-readable system name as used in the paper's figures.
-    fn name(&self) -> &'static str;
+    /// Human-readable system name as used in the paper's figures (for the
+    /// baselines) or the engine-backend-planmode label (for the columnar
+    /// matrix configurations).
+    fn name(&self) -> &str;
 
     /// Evaluates a graph query, returning matching records with the measures
     /// of the query's edges.
@@ -51,6 +57,46 @@ pub trait Engine {
     /// Estimated resident size in bytes, using each system's native storage
     /// overheads (documented per engine).
     fn size_in_bytes(&self) -> usize;
+
+    /// The record set matching a logical combination of graph queries;
+    /// `None` when the engine has no expression support. The default
+    /// answers by set algebra over the engine's own atom match sets, so
+    /// every engine with working [`Engine::evaluate`] gets expressions for
+    /// free; engines with a native expression path override it.
+    fn match_expr(&self, expr: &QueryExpr) -> Option<Vec<RecordId>> {
+        Some(expr_records(self, expr).into_iter().collect())
+    }
+
+    /// Path aggregation; `None` when unsupported (the baselines store no
+    /// pre-aggregated views and the paper does not measure them on
+    /// aggregation workloads).
+    fn path_aggregate(&self, paq: &PathAggQuery) -> Option<PathAggResult> {
+        let _ = paq;
+        None
+    }
+}
+
+/// Set-algebra expression evaluation over an engine's atom match sets —
+/// the default body of [`Engine::match_expr`].
+fn expr_records<E: Engine + ?Sized>(
+    engine: &E,
+    expr: &QueryExpr,
+) -> std::collections::BTreeSet<RecordId> {
+    match expr {
+        QueryExpr::Atom(q) => engine.evaluate(q).records.into_iter().collect(),
+        QueryExpr::And(a, b) => {
+            let (a, b) = (expr_records(engine, a), expr_records(engine, b));
+            a.intersection(&b).copied().collect()
+        }
+        QueryExpr::Or(a, b) => {
+            let (a, b) = (expr_records(engine, a), expr_records(engine, b));
+            a.union(&b).copied().collect()
+        }
+        QueryExpr::AndNot(a, b) => {
+            let (a, b) = (expr_records(engine, a), expr_records(engine, b));
+            a.difference(&b).copied().collect()
+        }
+    }
 }
 
 /// Sorts (record, row) pairs and flattens to a [`QueryResult`] — shared by

@@ -70,7 +70,7 @@ impl RdfStore {
 }
 
 impl Engine for RdfStore {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Rdf Store"
     }
 

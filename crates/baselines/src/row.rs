@@ -86,7 +86,7 @@ impl RowStore {
 }
 
 impl Engine for RowStore {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Row Store"
     }
 

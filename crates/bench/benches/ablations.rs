@@ -2,7 +2,7 @@
 //! storage layout, partition width, and view-selection strategy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use graphbi::{EvalOptions, GraphStore, IoStats};
+use graphbi::{GraphStore, IoStats, QueryRequest, Session};
 use graphbi_columnstore::{ColumnBuilder, DenseColumn};
 use graphbi_views::{generate_candidates, rewrite_query, select_views};
 use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
@@ -74,8 +74,10 @@ fn bench_view_strategy(c: &mut Criterion) {
             let mut stats = IoStats::new();
             qs.iter()
                 .map(|q| {
-                    let (_, s) = store.evaluate_with(q, EvalOptions::oblivious());
-                    stats.absorb(&s);
+                    let (_, s) = store
+                        .execute(&QueryRequest::new(q.clone()).oblivious())
+                        .expect("acyclic");
+                    stats.merge(&s);
                     s.bitmap_columns
                 })
                 .sum::<u64>()

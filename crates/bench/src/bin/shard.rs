@@ -1,0 +1,9 @@
+//! Sharded/batched execution benchmark. See `graphbi_bench::figs::shard`.
+//! Exits nonzero when any batched answer differs from its serial
+//! counterpart — CI treats that as a correctness failure.
+fn main() {
+    if !graphbi_bench::figs::shard::run() {
+        eprintln!("shard bench: batched answers differ from serial — failing");
+        std::process::exit(1);
+    }
+}

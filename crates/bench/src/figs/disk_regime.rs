@@ -44,7 +44,7 @@ pub fn run() {
         let (_, g_ms) = time_ms(|| {
             for q in &qs {
                 let (_, s) = disk.evaluate(q).expect("evaluate");
-                g_stats.absorb(&s);
+                g_stats.merge(&s);
             }
         });
 
@@ -55,7 +55,7 @@ pub fn run() {
             for q in &qs {
                 let paq = PathAggQuery::new(q.clone(), AggFn::Sum);
                 let (_, s) = disk.path_aggregate(&paq).expect("aggregate");
-                a_stats.absorb(&s);
+                a_stats.merge(&s);
             }
         });
 

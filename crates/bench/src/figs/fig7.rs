@@ -27,7 +27,7 @@ pub fn timed_agg_split(store: &GraphStore, qs: &[GraphQuery], func: AggFn) -> (f
             let paq = PathAggQuery::new(q.clone(), func);
             let (res, ms) = time_ms(|| store.path_aggregate(&paq));
             let (_, s) = res.expect("workload queries are acyclic paths");
-            stats.absorb(&s);
+            stats.merge(&s);
             total_ms += ms;
         }
         let fetch_ms = (total_ms - structural_ms).max(0.0);

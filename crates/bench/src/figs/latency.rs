@@ -4,7 +4,7 @@
 //! latency. This experiment reports p50/p95/p99/max per query class —
 //! graph vs aggregate, oblivious vs view-assisted — on the NY′ dataset.
 
-use graphbi::{AggFn, EvalOptions, GraphStore, PathAggQuery};
+use graphbi::{AggFn, GraphStore, PathAggQuery, QueryRequest, Session};
 use graphbi_graph::GraphQuery;
 
 use crate::{fmt, ny, time_ms, zipf_queries, Table};
@@ -48,15 +48,12 @@ pub fn run() {
 
     // Oblivious.
     let graph_obl = run_each(&qs, |q| {
-        let _ = store.evaluate_with(q, EvalOptions::oblivious());
+        let _ = store.execute(&QueryRequest::new(q.clone()).oblivious());
     });
     row(&mut t, "graph, oblivious", graph_obl);
     let agg_obl = run_each(&qs, |q| {
-        let _ = store
-            .path_aggregate_with(
-                &PathAggQuery::new(q.clone(), AggFn::Sum),
-                EvalOptions::oblivious(),
-            )
+        store
+            .execute(&QueryRequest::aggregate(PathAggQuery::new(q.clone(), AggFn::Sum)).oblivious())
             .expect("acyclic");
     });
     row(&mut t, "aggregate, oblivious", agg_obl);

@@ -18,4 +18,5 @@ pub mod fig8;
 pub mod fig9;
 pub mod ingest;
 pub mod latency;
+pub mod shard;
 pub mod table2;

@@ -1,0 +1,207 @@
+//! Sharded/batched execution benchmark (the PR-2 tentpole measurement).
+//!
+//! Reruns the Figure 10/11-style workloads — 100 Zipf-skewed graph queries
+//! and the same workload as SUM path aggregations — through both execution
+//! paths of the [`Session`] API:
+//!
+//! * **serial**: one `execute` call per request, shards = 1 — the cost of
+//!   the pre-Session one-query-at-a-time API;
+//! * **batched**: one `evaluate_many` call for the whole workload with the
+//!   shard knob set — request deduplication answers each distinct query
+//!   once, worker threads spread the distinct set, and (on disk) column
+//!   pins share every fetched column across the batch.
+//!
+//! Every batched answer is checked bit-identical against its serial
+//! counterpart before any timing is reported; a mismatch fails the run
+//! (and the CI job that wraps it). Results land in `BENCH_shard.json`.
+
+use std::fmt::Write as _;
+
+use graphbi::disk::{save_store, DiskGraphStore};
+use graphbi::{AggFn, GraphStore, IoStats, PathAggQuery, QueryRequest, Response, Session};
+
+use crate::{fmt, ny, time_ms, zipf_queries, Table};
+
+/// Shard count for the batched side — the acceptance point of the PR.
+pub const SHARDS: usize = 8;
+
+/// Best-of-n wall clock for `f`, keeping the fastest run's output.
+fn best_of<T>(n: usize, mut f: impl FnMut() -> (T, f64)) -> (T, f64) {
+    let mut best: Option<(T, f64)> = None;
+    for _ in 0..n {
+        let run = f();
+        if best.as_ref().is_none_or(|b| run.1 < b.1) {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one run")
+}
+
+/// One serial-vs-batched comparison on one backend.
+struct Comparison {
+    label: &'static str,
+    serial_ms: f64,
+    batched_ms: f64,
+    /// Physical column reads (cache misses) during the timed serial run.
+    serial_reads: u64,
+    /// Physical column reads during the timed batched run.
+    batched_reads: u64,
+    /// Batched responses identical to serial ones, request for request.
+    identical: bool,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.batched_ms.max(1e-9)
+    }
+}
+
+/// `reset` runs before each timed attempt (cold cache on disk); `misses`
+/// reads the backend's cumulative physical-read counter (0 for memory).
+fn compare<S: Session>(
+    label: &'static str,
+    session: &S,
+    requests: &[QueryRequest],
+    reset: impl Fn(),
+    misses: impl Fn() -> u64,
+) -> Comparison {
+    let serial: Vec<QueryRequest> = requests.iter().map(|r| r.clone().shards(1)).collect();
+    let (serial_run, serial_ms) = best_of(3, || {
+        reset();
+        let before = misses();
+        let (answers, ms) = time_ms(|| {
+            serial
+                .iter()
+                .map(|r| session.execute(r).expect("workload is acyclic"))
+                .collect::<Vec<(Response, IoStats)>>()
+        });
+        ((answers, misses() - before), ms)
+    });
+    let (batched_run, batched_ms) = best_of(3, || {
+        reset();
+        let before = misses();
+        let (answers, ms) = time_ms(|| {
+            session
+                .evaluate_many(requests)
+                .expect("workload is acyclic")
+        });
+        ((answers, misses() - before), ms)
+    });
+    let (serial_answers, serial_reads) = serial_run;
+    let (batched_answers, batched_reads) = batched_run;
+    let identical = serial_answers.len() == batched_answers.len()
+        && serial_answers
+            .iter()
+            .zip(&batched_answers)
+            .all(|((a, _), (b, _))| a == b);
+    Comparison {
+        label,
+        serial_ms,
+        batched_ms,
+        serial_reads,
+        batched_reads,
+        identical,
+    }
+}
+
+/// Runs the benchmark; returns `false` when any batched answer differed
+/// from its serial counterpart.
+pub fn run() -> bool {
+    let d = ny(10_000);
+    let qs = zipf_queries(&d, 100);
+    let graph_reqs: Vec<QueryRequest> = qs
+        .iter()
+        .map(|q| QueryRequest::new(q.clone()).shards(SHARDS))
+        .collect();
+    let agg_reqs: Vec<QueryRequest> = qs
+        .iter()
+        .map(|q| QueryRequest::aggregate(PathAggQuery::new(q.clone(), AggFn::Sum)).shards(SHARDS))
+        .collect();
+
+    let store = GraphStore::load(d.universe, &d.records);
+
+    // Disk backend under a deliberately tight cache (1/16 of the database's
+    // on-disk footprint — roughly a quarter of the workload's working set):
+    // the serial loop re-reads evicted columns, the batch pins each column
+    // once for everyone.
+    let dir = std::env::temp_dir().join(format!("graphbi-shard-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    save_store(&store, &dir).expect("save benchmark database");
+    let on_disk: u64 = std::fs::read_dir(&dir)
+        .expect("read database dir")
+        .filter_map(Result::ok)
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    let cache_bytes = ((on_disk / 16) as usize).max(16 << 10);
+    let disk = DiskGraphStore::open(&dir, cache_bytes).expect("open disk store");
+
+    let cold = || disk.relation().clear_cache();
+    let physical = || disk.relation().cache_stats().1;
+    let comparisons = [
+        compare("mem/graph", &store, &graph_reqs, || {}, || 0),
+        compare("mem/agg", &store, &agg_reqs, || {}, || 0),
+        compare("disk/graph", &disk, &graph_reqs, cold, physical),
+        compare("disk/agg", &disk, &agg_reqs, cold, physical),
+    ];
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut t = Table::new(
+        &format!(
+            "Sharded batch execution: 100 Zipf queries, {SHARDS} shards, serial vs evaluate_many"
+        ),
+        &[
+            "workload",
+            "serial_ms",
+            "batched_ms",
+            "speedup",
+            "serial_reads",
+            "batched_reads",
+            "identical",
+        ],
+    );
+    for c in &comparisons {
+        t.row(vec![
+            c.label.into(),
+            fmt(c.serial_ms),
+            fmt(c.batched_ms),
+            format!("{:.2}x", c.speedup()),
+            c.serial_reads.to_string(),
+            c.batched_reads.to_string(),
+            c.identical.to_string(),
+        ]);
+    }
+    t.emit("shard");
+
+    // Machine-readable point for the benchmark history.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"shard\",");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"queries\": {},", qs.len());
+    let _ = writeln!(json, "  \"records\": {},", store.record_count());
+    let _ = writeln!(json, "  \"disk_cache_bytes\": {cache_bytes},");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (i, c) in comparisons.iter().enumerate() {
+        let comma = if i + 1 < comparisons.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"serial_ms\": {:.3}, \"batched_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"serial_disk_reads\": {}, \"batched_disk_reads\": {}, \
+             \"identical\": {}}}{comma}",
+            c.label,
+            c.serial_ms,
+            c.batched_ms,
+            c.speedup(),
+            c.serial_reads,
+            c.batched_reads,
+            c.identical,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    let out = std::env::var("GRAPHBI_BENCH_OUT").unwrap_or_else(|_| "BENCH_shard.json".into());
+    std::fs::write(&out, &json).expect("write benchmark point");
+    println!("wrote {out}");
+
+    comparisons.iter().all(|c| c.identical)
+}

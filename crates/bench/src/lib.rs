@@ -48,7 +48,7 @@ pub fn run_column_workload(store: &GraphStore, qs: &[GraphQuery]) -> (f64, IoSta
     let (_, ms) = time_ms(|| {
         for q in qs {
             let (r, s) = store.evaluate(q);
-            total.absorb(&s);
+            total.merge(&s);
             rows += r.len() as u64;
         }
     });

@@ -213,6 +213,62 @@ impl Bitmap {
         self.keys.push(key);
         self.containers.push(c);
     }
+
+    /// The subset of `self` falling in `range` — the shard-local view used
+    /// by horizontal record sharding. Chunks fully inside the range are
+    /// cloned verbatim; only the (at most two) boundary chunks are masked.
+    pub fn slice(&self, range: std::ops::Range<RecordId>) -> Bitmap {
+        let mut out = Bitmap::new();
+        if range.start >= range.end {
+            return out;
+        }
+        let (start_key, start_low) = split(range.start);
+        let (end_key, end_low) = split(range.end - 1);
+        for (i, &k) in self.keys.iter().enumerate() {
+            if k < start_key {
+                continue;
+            }
+            if k > end_key {
+                break;
+            }
+            let lo = if k == start_key { start_low } else { 0 };
+            let hi = if k == end_key { end_low } else { u16::MAX };
+            if lo == 0 && hi == u16::MAX {
+                out.push_container(k, self.containers[i].clone());
+            } else {
+                let mask = Container::Runs(vec![crate::container::Run {
+                    start: lo,
+                    len: hi - lo,
+                }]);
+                if let Some(c) = self.containers[i].and(&mask) {
+                    out.push_container(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// In-place union optimized for the shard-merge pattern: `other`'s ids
+    /// lie at or above `self`'s current maximum chunk, so whole chunks are
+    /// appended and only a shared boundary chunk needs a real union. Falls
+    /// back to element-wise insertion if the precondition does not hold, so
+    /// the result is always the exact union.
+    pub fn append_disjoint(&mut self, other: &Bitmap) {
+        for (i, &k) in other.keys.iter().enumerate() {
+            match self.keys.last().copied() {
+                Some(last) if k == last => {
+                    let j = self.containers.len() - 1;
+                    self.containers[j] = self.containers[j].or(&other.containers[i]);
+                }
+                Some(last) if k < last => {
+                    for low in other.containers[i].to_array() {
+                        self.insert(join(k, low));
+                    }
+                }
+                _ => self.push_container(k, other.containers[i].clone()),
+            }
+        }
+    }
 }
 
 impl FromIterator<RecordId> for Bitmap {
@@ -311,6 +367,48 @@ mod tests {
         let b = Bitmap::from_range(0..5000);
         a.optimize();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_matches_filtered_iteration() {
+        let b: Bitmap = (0..200_000u32).map(|v| v * 7).collect();
+        for range in [0..0u32, 0..1, 100..100_000, 65_530..65_540, 0..u32::MAX] {
+            let sliced = b.slice(range.clone());
+            let expect: Bitmap = b.iter().filter(|v| range.contains(v)).collect();
+            assert_eq!(sliced, expect, "range {range:?}");
+        }
+    }
+
+    #[test]
+    fn slice_clones_interior_chunks_and_masks_boundaries() {
+        let b = Bitmap::from_range(0..300_000);
+        let s = b.slice(70_000..200_001);
+        assert_eq!(s.len(), 130_001);
+        assert_eq!(s.min(), Some(70_000));
+        assert_eq!(s.max(), Some(200_000));
+    }
+
+    #[test]
+    fn append_disjoint_reassembles_shards() {
+        let b: Bitmap = (0..50_000u32).map(|v| v * 13).collect();
+        // Shard at non-chunk-aligned boundaries so shards share chunks.
+        let bounds = [0u32, 70_001, 140_002, 650_000 * 13];
+        let mut merged = Bitmap::new();
+        for w in bounds.windows(2) {
+            merged.append_disjoint(&b.slice(w[0]..w[1]));
+        }
+        assert_eq!(merged, b);
+    }
+
+    #[test]
+    fn append_disjoint_handles_out_of_order_input() {
+        let hi: Bitmap = (100_000..100_100u32).collect();
+        let lo: Bitmap = (0..100u32).collect();
+        let mut merged = Bitmap::new();
+        merged.append_disjoint(&hi);
+        merged.append_disjoint(&lo); // precondition violated: falls back
+        let expect: Bitmap = lo.iter().chain(hi.iter()).collect();
+        assert_eq!(merged, expect);
     }
 
     #[test]

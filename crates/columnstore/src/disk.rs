@@ -75,7 +75,10 @@ struct ColumnLoc {
     values_len: u64,
 }
 
-/// A shared handle to a fetched bitmap.
+/// A shared handle to a fetched bitmap. Clones share the payload, keeping it
+/// alive across cache evictions — batch executors hold one handle per
+/// distinct column instead of re-fetching per query.
+#[derive(Clone)]
 pub struct BitmapRef(Arc<Payload>);
 
 impl std::ops::Deref for BitmapRef {
@@ -85,7 +88,9 @@ impl std::ops::Deref for BitmapRef {
     }
 }
 
-/// A shared handle to a fetched measure column.
+/// A shared handle to a fetched measure column (see [`BitmapRef`] on
+/// cloning).
+#[derive(Clone)]
 pub struct ColumnRef(Arc<Payload>);
 
 impl std::ops::Deref for ColumnRef {
@@ -237,6 +242,12 @@ impl DiskRelation {
     /// Sub-relation of `edge`.
     pub fn partition_of(&self, edge: EdgeId) -> usize {
         edge.index() / self.partition_width
+    }
+
+    /// The horizontal record shards for an `shards`-way parallel scan (see
+    /// [`crate::shard_ranges`]).
+    pub fn shard_ranges(&self, shards: usize) -> Vec<std::ops::Range<u32>> {
+        crate::relation::shard_ranges(self.record_count, shards)
     }
 
     /// `(cache hits, cache misses)` so far.

@@ -52,11 +52,14 @@ impl IoStats {
             + self.agg_view_columns
     }
 
-    /// Accumulates another stats block (for workload-level totals).
+    /// Accumulates another stats block (for workload-level or per-shard
+    /// totals). The operation is associative and commutative — merging
+    /// shard-local counters in any order yields the same total — which is
+    /// what lets parallel shard execution combine its results safely.
     /// Saturates instead of overflowing: long-running accumulators (fuzz
     /// loops, daemon-style workloads) must never panic in debug builds or
     /// silently wrap in release builds.
-    pub fn absorb(&mut self, other: &IoStats) {
+    pub fn merge(&mut self, other: &IoStats) {
         self.bitmap_columns = self.bitmap_columns.saturating_add(other.bitmap_columns);
         self.view_bitmap_columns = self
             .view_bitmap_columns
@@ -71,6 +74,67 @@ impl IoStats {
         self.disk_reads = self.disk_reads.saturating_add(other.disk_reads);
         self.disk_bytes = self.disk_bytes.saturating_add(other.disk_bytes);
     }
+
+    /// Former name of [`IoStats::merge`].
+    #[deprecated(since = "0.2.0", note = "use `merge` (associative) instead")]
+    pub fn absorb(&mut self, other: &IoStats) {
+        self.merge(other);
+    }
+}
+
+/// A thread-safe [`IoStats`] accumulator for parallel workers.
+///
+/// Each field is an atomic counter; [`SharedIoStats::record`] adds a whole
+/// stats block with relaxed ordering (totals only — no inter-field ordering
+/// is promised until [`SharedIoStats::snapshot`] is taken after the workers
+/// join). Like [`IoStats::merge`], addition saturates.
+#[derive(Debug, Default)]
+pub struct SharedIoStats {
+    cells: [std::sync::atomic::AtomicU64; 9],
+}
+
+impl SharedIoStats {
+    /// Fresh zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds every counter of `stats` to the shared totals.
+    pub fn record(&self, stats: &IoStats) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let fields = [
+            stats.bitmap_columns,
+            stats.view_bitmap_columns,
+            stats.measure_columns,
+            stats.agg_view_columns,
+            stats.values_fetched,
+            stats.partitions_touched,
+            stats.join_rows,
+            stats.disk_reads,
+            stats.disk_bytes,
+        ];
+        for (cell, v) in self.cells.iter().zip(fields) {
+            // fetch_update with saturating_add: mirrors `IoStats::merge`.
+            let _ = cell.fetch_update(Relaxed, Relaxed, |cur| Some(cur.saturating_add(v)));
+        }
+    }
+
+    /// The accumulated totals.
+    pub fn snapshot(&self) -> IoStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        let c = &self.cells;
+        IoStats {
+            bitmap_columns: c[0].load(Relaxed),
+            view_bitmap_columns: c[1].load(Relaxed),
+            measure_columns: c[2].load(Relaxed),
+            agg_view_columns: c[3].load(Relaxed),
+            values_fetched: c[4].load(Relaxed),
+            partitions_touched: c[5].load(Relaxed),
+            join_rows: c[6].load(Relaxed),
+            disk_reads: c[7].load(Relaxed),
+            disk_bytes: c[8].load(Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -78,7 +142,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn totals_and_absorb() {
+    fn totals_and_merge() {
         let mut a = IoStats {
             bitmap_columns: 3,
             view_bitmap_columns: 1,
@@ -93,13 +157,13 @@ mod tests {
         assert_eq!(a.structural_columns(), 4);
         assert_eq!(a.total_columns(), 7);
         let b = a;
-        a.absorb(&b);
+        a.merge(&b);
         assert_eq!(a.bitmap_columns, 6);
         assert_eq!(a.values_fetched, 200);
     }
 
     #[test]
-    fn absorb_saturates_at_u64_max() {
+    fn merge_saturates_at_u64_max() {
         let mut a = IoStats {
             disk_bytes: u64::MAX - 10,
             values_fetched: u64::MAX,
@@ -111,9 +175,71 @@ mod tests {
             bitmap_columns: 7,
             ..IoStats::new()
         };
-        a.absorb(&b);
+        a.merge(&b);
         assert_eq!(a.disk_bytes, u64::MAX);
         assert_eq!(a.values_fetched, u64::MAX);
         assert_eq!(a.bitmap_columns, 7, "unsaturated fields still add");
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let blocks = [
+            IoStats {
+                bitmap_columns: 3,
+                values_fetched: 10,
+                ..IoStats::new()
+            },
+            IoStats {
+                measure_columns: 2,
+                disk_reads: u64::MAX - 1,
+                ..IoStats::new()
+            },
+            IoStats {
+                disk_reads: 7,
+                join_rows: 5,
+                ..IoStats::new()
+            },
+        ];
+        // ((a ⊕ b) ⊕ c) vs (a ⊕ (b ⊕ c))
+        let mut left = blocks[0];
+        left.merge(&blocks[1]);
+        left.merge(&blocks[2]);
+        let mut bc = blocks[1];
+        bc.merge(&blocks[2]);
+        let mut right = blocks[0];
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn deprecated_absorb_still_adds() {
+        let mut a = IoStats::new();
+        #[allow(deprecated)]
+        a.absorb(&IoStats {
+            bitmap_columns: 2,
+            ..IoStats::new()
+        });
+        assert_eq!(a.bitmap_columns, 2);
+    }
+
+    #[test]
+    fn shared_stats_accumulate_across_threads() {
+        let shared = SharedIoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        shared.record(&IoStats {
+                            bitmap_columns: 1,
+                            disk_bytes: 3,
+                            ..IoStats::new()
+                        });
+                    }
+                });
+            }
+        });
+        let total = shared.snapshot();
+        assert_eq!(total.bitmap_columns, 400);
+        assert_eq!(total.disk_bytes, 1200);
     }
 }

@@ -34,8 +34,10 @@ mod relation;
 pub use cache::LruCache;
 pub use column::{ColumnBuilder, DenseColumn, SparseColumn};
 pub use disk::{BitmapRef, ColumnRef, DiskRelation};
-pub use iostats::IoStats;
-pub use relation::{AggViewId, MasterRelation, RelationBuilder, ViewId, DEFAULT_PARTITION_WIDTH};
+pub use iostats::{IoStats, SharedIoStats};
+pub use relation::{
+    shard_ranges, AggViewId, MasterRelation, RelationBuilder, ViewId, DEFAULT_PARTITION_WIDTH,
+};
 
 /// Errors from storage operations.
 #[derive(Debug)]

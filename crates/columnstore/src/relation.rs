@@ -66,6 +66,12 @@ impl MasterRelation {
         self.columns.len().div_ceil(self.partition_width).max(1)
     }
 
+    /// The horizontal record shards for an `shards`-way parallel scan —
+    /// the record-id axis counterpart of the vertical partitioning above.
+    pub fn shard_ranges(&self, shards: usize) -> Vec<std::ops::Range<u32>> {
+        shard_ranges(self.record_count, shards)
+    }
+
     /// The sub-relation holding `edge`'s columns.
     pub fn partition_of(&self, edge: EdgeId) -> usize {
         edge.index() / self.partition_width
@@ -299,6 +305,26 @@ impl RelationBuilder {
     }
 }
 
+/// Splits `0..record_count` into at most `shards` contiguous, near-equal
+/// ranges covering every record id exactly once. `shards == 0` is treated
+/// as one shard. Returns fewer ranges when there are fewer records than
+/// shards, so no range is ever empty (except the single `0..0` of an empty
+/// relation).
+pub fn shard_ranges(record_count: u64, shards: usize) -> Vec<std::ops::Range<u32>> {
+    let shards = (shards.max(1) as u64).min(record_count.max(1));
+    let base = record_count / shards;
+    let extra = record_count % shards;
+    let mut out = Vec::with_capacity(usize::try_from(shards).expect("shard count fits usize"));
+    let mut start = 0u64;
+    for s in 0..shards {
+        let len = base + u64::from(s < extra);
+        let end = start + len;
+        out.push(start as u32..u32::try_from(end).expect("record id fits u32"));
+        start = end;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +402,34 @@ mod tests {
         assert_eq!(col.get(0), None);
         assert_eq!(stats.agg_view_columns, 1);
         assert!(r.view_size_in_bytes() > 0);
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_record_space() {
+        for (count, shards) in [(10u64, 3usize), (7, 7), (5, 8), (1, 4), (1000, 1), (0, 3)] {
+            let ranges = shard_ranges(count, shards);
+            assert!(ranges.len() <= shards.max(1));
+            let mut next = 0u64;
+            for r in &ranges {
+                assert_eq!(u64::from(r.start), next, "contiguous coverage");
+                assert!(u64::from(r.end) >= u64::from(r.start));
+                next = u64::from(r.end);
+            }
+            assert_eq!(next, count, "ranges cover 0..record_count");
+            if count > 0 {
+                assert!(ranges.iter().all(|r| r.start < r.end), "no empty shard");
+                let max_len = ranges.iter().map(|r| r.end - r.start).max().unwrap();
+                let min_len = ranges.iter().map(|r| r.end - r.start).min().unwrap();
+                assert!(max_len - min_len <= 1, "near-equal split");
+            }
+        }
+    }
+
+    #[test]
+    fn relation_shard_ranges_use_record_count() {
+        let r = sample_relation();
+        assert_eq!(r.shard_ranges(2), vec![0..2, 2..3]);
+        assert_eq!(r.shard_ranges(0), vec![0..3]);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use graphbi_views::{cover_path, rewrite_query, PathSegment};
 use crate::viewmgr::ViewCatalog;
 
 /// Evaluation knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EvalOptions {
     /// Rewrite queries over materialized views (`false` reproduces the
     /// paper's "oblivious" baseline plans).
@@ -30,19 +30,17 @@ impl EvalOptions {
     }
 }
 
-/// Structural phase: the bitmap of records containing the query graph.
-pub(crate) fn structural(
-    relation: &MasterRelation,
+/// The bitmap columns a structural plan will intersect, fetched (and
+/// cost-accounted) once up front. Returning the references separately from
+/// combining them is what lets the sharded path intersect per record range
+/// without re-counting fetches per shard.
+pub(crate) fn plan_bitmaps<'a>(
+    relation: &'a MasterRelation,
     catalog: &ViewCatalog,
     query: &GraphQuery,
     opts: EvalOptions,
     stats: &mut IoStats,
-) -> Bitmap {
-    if query.is_empty() {
-        return Bitmap::from_range(
-            0..u32::try_from(relation.record_count()).expect("record count fits u32"),
-        );
-    }
+) -> Vec<&'a Bitmap> {
     if opts.use_views && !catalog.graph_views.is_empty() {
         let plan = rewrite_query(query, &catalog.graph_view_edges());
         let mut bitmaps: Vec<&Bitmap> = Vec::with_capacity(plan.bitmap_cost());
@@ -55,7 +53,7 @@ pub(crate) fn structural(
         if !plan.residual_edges.is_empty() {
             relation.note_partitions(&plan.residual_edges, stats);
         }
-        Bitmap::and_many(bitmaps)
+        bitmaps
     } else {
         let bitmaps: Vec<&Bitmap> = query
             .edges()
@@ -63,8 +61,46 @@ pub(crate) fn structural(
             .map(|&e| relation.edge_bitmap(e, stats))
             .collect();
         relation.note_partitions(query.edges(), stats);
-        Bitmap::and_many(bitmaps)
+        bitmaps
     }
+}
+
+/// Intersects the plan's bitmaps, splitting the record space into `shards`
+/// horizontal ranges evaluated on worker threads when `shards > 1`. The
+/// per-shard conjunctions touch disjoint record ranges, so stitching them
+/// back in range order yields exactly the serial intersection.
+pub(crate) fn and_many_sharded(bitmaps: &[&Bitmap], record_count: u64, shards: usize) -> Bitmap {
+    if shards <= 1 || record_count == 0 {
+        return Bitmap::and_many(bitmaps.iter().copied());
+    }
+    let ranges = graphbi_columnstore::shard_ranges(record_count, shards);
+    let parts = crate::parallel::run_indexed(ranges.len(), shards, |s| {
+        let sliced: Vec<Bitmap> = bitmaps.iter().map(|b| b.slice(ranges[s].clone())).collect();
+        Bitmap::and_many(&sliced)
+    });
+    let mut out = Bitmap::new();
+    for p in &parts {
+        out.append_disjoint(p);
+    }
+    out
+}
+
+/// Structural phase: the bitmap of records containing the query graph.
+pub(crate) fn structural(
+    relation: &MasterRelation,
+    catalog: &ViewCatalog,
+    query: &GraphQuery,
+    opts: EvalOptions,
+    shards: usize,
+    stats: &mut IoStats,
+) -> Bitmap {
+    if query.is_empty() {
+        return Bitmap::from_range(
+            0..u32::try_from(relation.record_count()).expect("record count fits u32"),
+        );
+    }
+    let bitmaps = plan_bitmaps(relation, catalog, query, opts, stats);
+    and_many_sharded(&bitmaps, relation.record_count(), shards)
 }
 
 /// Evaluates a logical combination of graph queries as bitmap algebra
@@ -74,16 +110,17 @@ pub(crate) fn eval_expr(
     catalog: &ViewCatalog,
     expr: &QueryExpr,
     opts: EvalOptions,
+    shards: usize,
     stats: &mut IoStats,
 ) -> Bitmap {
     match expr {
-        QueryExpr::Atom(q) => structural(relation, catalog, q, opts, stats),
-        QueryExpr::And(a, b) => eval_expr(relation, catalog, a, opts, stats)
-            .and(&eval_expr(relation, catalog, b, opts, stats)),
-        QueryExpr::Or(a, b) => eval_expr(relation, catalog, a, opts, stats)
-            .or(&eval_expr(relation, catalog, b, opts, stats)),
-        QueryExpr::AndNot(a, b) => eval_expr(relation, catalog, a, opts, stats)
-            .and_not(&eval_expr(relation, catalog, b, opts, stats)),
+        QueryExpr::Atom(q) => structural(relation, catalog, q, opts, shards, stats),
+        QueryExpr::And(a, b) => eval_expr(relation, catalog, a, opts, shards, stats)
+            .and(&eval_expr(relation, catalog, b, opts, shards, stats)),
+        QueryExpr::Or(a, b) => eval_expr(relation, catalog, a, opts, shards, stats)
+            .or(&eval_expr(relation, catalog, b, opts, shards, stats)),
+        QueryExpr::AndNot(a, b) => eval_expr(relation, catalog, a, opts, shards, stats)
+            .and_not(&eval_expr(relation, catalog, b, opts, shards, stats)),
     }
 }
 
@@ -98,6 +135,7 @@ pub(crate) fn fetch_measure_matrix(
     relation: &MasterRelation,
     edges: &[EdgeId],
     ids: &Bitmap,
+    shards: usize,
     stats: &mut IoStats,
 ) -> Vec<f64> {
     let n = usize::try_from(ids.len()).expect("result fits usize");
@@ -107,15 +145,13 @@ pub(crate) fn fetch_measure_matrix(
     }
     relation.note_partitions(edges, stats);
 
-    // Gather column-major, tracking which partition each column came from.
-    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(w);
+    // Fetch (and cost-account) every column once up front, whatever the
+    // shard count; shard workers only gather from the shared references.
+    let mut cols: Vec<&graphbi_columnstore::SparseColumn> = Vec::with_capacity(w);
     let mut partitions = std::collections::BTreeSet::new();
     for &e in edges {
         partitions.insert(relation.partition_of(e));
-        let col = relation.edge_measures(e, stats);
-        let vals = col.gather(ids);
-        debug_assert_eq!(vals.len(), n, "result ids must be subset of presence");
-        columns.push(vals);
+        cols.push(relation.edge_measures(e, stats));
     }
     stats.values_fetched += (n * w) as u64;
     if partitions.len() > 1 {
@@ -123,12 +159,33 @@ pub(crate) fn fetch_measure_matrix(
         stats.join_rows += (n * (partitions.len() - 1)) as u64;
     }
 
-    // Transpose to record-major rows (the join's output materialization).
-    let mut out = vec![0.0f64; n * w];
-    for (j, col) in columns.iter().enumerate() {
-        for (i, &v) in col.iter().enumerate() {
-            out[i * w + j] = v;
+    let gather_block = |sub: &Bitmap| -> Vec<f64> {
+        let sn = usize::try_from(sub.len()).expect("result fits usize");
+        let mut block = vec![0.0f64; sn * w];
+        for (j, col) in cols.iter().enumerate() {
+            let vals = col.gather(sub);
+            debug_assert_eq!(vals.len(), sn, "result ids must be subset of presence");
+            // Transpose to record-major rows (the join's output
+            // materialization).
+            for (i, v) in vals.into_iter().enumerate() {
+                block[i * w + j] = v;
+            }
         }
+        block
+    };
+
+    if shards <= 1 {
+        return gather_block(ids);
+    }
+    // Record ranges are disjoint and ordered, so concatenating the
+    // record-major shard blocks reproduces the serial matrix exactly.
+    let ranges = relation.shard_ranges(shards);
+    let blocks = crate::parallel::run_indexed(ranges.len(), shards, |s| {
+        gather_block(&ids.slice(ranges[s].clone()))
+    });
+    let mut out = Vec::with_capacity(n * w);
+    for b in blocks {
+        out.extend_from_slice(&b);
     }
     out
 }
@@ -142,13 +199,13 @@ pub(crate) fn path_aggregate(
     catalog: &ViewCatalog,
     paq: &PathAggQuery,
     opts: EvalOptions,
+    shards: usize,
     stats: &mut IoStats,
 ) -> Result<PathAggResult, GraphError> {
     let paths = paq.query.maximal_paths(universe)?;
-    let ids = structural(relation, catalog, &paq.query, opts, stats);
+    let ids = structural(relation, catalog, &paq.query, opts, shards, stats);
     let n = usize::try_from(ids.len()).expect("result fits usize");
     let path_count = paths.len();
-    let mut values = vec![f64::NAN; n * path_count];
 
     let (avail_idx, avail_seqs) = if opts.use_views {
         catalog.compatible_agg_views(paq.func)
@@ -156,7 +213,22 @@ pub(crate) fn path_aggregate(
         (Vec::new(), Vec::new())
     };
 
-    for (pi, path) in paths.iter().enumerate() {
+    // One measure source per fetched column, in the exact order the serial
+    // engine folds them into the per-record state: cover segments first
+    // (views merge pre-aggregated states, edges push raw values), then the
+    // path's self-edge extras.
+    enum Source<'a> {
+        View {
+            def: &'a crate::viewmgr::AggViewDef,
+            col: &'a graphbi_columnstore::SparseColumn,
+        },
+        Edge(&'a graphbi_columnstore::SparseColumn),
+    }
+
+    // Plan phase: resolve every path's sources once, counting every fetch
+    // exactly as the serial engine does — shard workers never touch stats.
+    let mut plans: Vec<Vec<Source>> = Vec::with_capacity(path_count);
+    for path in &paths {
         // Consecutive edges in path order; self-edge elements separately.
         let cons: Vec<EdgeId> = path
             .nodes()
@@ -174,46 +246,81 @@ pub(crate) fn path_aggregate(
             .filter(|e| !cons.contains(e))
             .collect();
 
-        let mut states = vec![AggState::empty(); n];
-        let absorb_edge = |e: EdgeId, states: &mut Vec<AggState>, stats: &mut IoStats| {
-            let col = relation.edge_measures(e, stats);
-            for (i, v) in col.gather(&ids).into_iter().enumerate() {
-                states[i].push(v);
-            }
-            stats.values_fetched += n as u64;
-        };
-
         let cover = cover_path(&cons, &avail_seqs);
+        let mut sources: Vec<Source> = Vec::new();
         let mut fetched_base: Vec<EdgeId> = extras.clone();
         for seg in &cover.segments {
             match *seg {
                 PathSegment::View { view, .. } => {
                     let def = &catalog.agg_views[avail_idx[view]];
-                    let col = relation.agg_view(def.id, stats);
-                    for (i, v) in col.gather(&ids).into_iter().enumerate() {
-                        states[i].merge(&def.state_of(v));
-                    }
-                    stats.values_fetched += n as u64;
+                    sources.push(Source::View {
+                        def,
+                        col: relation.agg_view(def.id, stats),
+                    });
                 }
                 PathSegment::Edge(e) => {
-                    absorb_edge(e, &mut states, stats);
+                    sources.push(Source::Edge(relation.edge_measures(e, stats)));
                     fetched_base.push(e);
                 }
             }
         }
         for &e in &extras {
-            absorb_edge(e, &mut states, stats);
+            sources.push(Source::Edge(relation.edge_measures(e, stats)));
         }
+        stats.values_fetched += (n * sources.len()) as u64;
         if !fetched_base.is_empty() {
             relation.note_partitions(&fetched_base, stats);
         }
-
-        for (i, s) in states.iter().enumerate() {
-            // NaN marks "no measured element on this path for this record"
-            // (SQL NULL); COUNT still finalizes to zero.
-            values[i * path_count + pi] = s.finalize(paq.func).unwrap_or(f64::NAN);
-        }
+        plans.push(sources);
     }
+
+    // Compute phase: fold each record's sources in plan order. Records are
+    // independent, so a shard computes its record range's block without
+    // changing any per-record operation order — values come out identical
+    // to the serial pass.
+    let compute = |sub: &Bitmap| -> Vec<f64> {
+        let sn = usize::try_from(sub.len()).expect("result fits usize");
+        let mut values = vec![f64::NAN; sn * path_count];
+        for (pi, sources) in plans.iter().enumerate() {
+            let mut states = vec![AggState::empty(); sn];
+            for source in sources {
+                match source {
+                    Source::View { def, col } => {
+                        for (i, v) in col.gather(sub).into_iter().enumerate() {
+                            states[i].merge(&def.state_of(v));
+                        }
+                    }
+                    Source::Edge(col) => {
+                        for (i, v) in col.gather(sub).into_iter().enumerate() {
+                            states[i].push(v);
+                        }
+                    }
+                }
+            }
+            for (i, s) in states.iter().enumerate() {
+                // NaN marks "no measured element on this path for this
+                // record" (SQL NULL); COUNT still finalizes to zero.
+                values[i * path_count + pi] = s.finalize(paq.func).unwrap_or(f64::NAN);
+            }
+        }
+        values
+    };
+
+    let values = if shards <= 1 {
+        compute(&ids)
+    } else {
+        // Record-major blocks over disjoint, ordered record ranges
+        // concatenate into the full matrix.
+        let ranges = relation.shard_ranges(shards);
+        let blocks = crate::parallel::run_indexed(ranges.len(), shards, |s| {
+            compute(&ids.slice(ranges[s].clone()))
+        });
+        let mut out = Vec::with_capacity(n * path_count);
+        for b in blocks {
+            out.extend_from_slice(&b);
+        }
+        out
+    };
 
     Ok(PathAggResult {
         records: ids.to_vec(),

@@ -58,6 +58,7 @@ mod explain;
 mod groups;
 pub mod parallel;
 pub mod ql;
+mod session;
 mod shared;
 mod statistics;
 mod store;
@@ -67,6 +68,7 @@ mod viewmgr;
 pub use engine::EvalOptions;
 pub use explain::Plan;
 pub use groups::GroupIndex;
+pub use session::{QueryRequest, RequestKind, Response, Session, SessionError};
 pub use shared::SharedStore;
 pub use statistics::{EdgeSelectivity, StoreStatistics};
 pub use store::GraphStore;

@@ -1,46 +1,25 @@
-//! Parallel workload execution.
+//! Parallel execution primitives.
 //!
 //! Everything on the query path takes `&self` — bitmap conjunctions and
-//! column gathers are read-only — so a workload parallelizes trivially
-//! across OS threads with a shared work queue. The paper runs workloads of
-//! 100 queries back to back; this is the multi-core equivalent.
+//! column gathers are read-only — so work parallelizes trivially across OS
+//! threads with a shared work queue. Two layers build on [`run_indexed`]:
+//! horizontal record sharding inside one query (`QueryRequest::shards`) and
+//! workload-level fan-out across a batch
+//! ([`crate::Session::evaluate_many`]).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use graphbi_columnstore::IoStats;
-use graphbi_graph::{GraphError, GraphQuery, PathAggQuery, PathAggResult, QueryResult};
-
-use crate::GraphStore;
-
-impl GraphStore {
-    /// Evaluates a workload across `threads` worker threads, returning
-    /// per-query results in workload order.
-    ///
-    /// `threads == 0` or `1` degrades to the sequential loop.
-    pub fn evaluate_many(
-        &self,
-        queries: &[GraphQuery],
-        threads: usize,
-    ) -> Vec<(QueryResult, IoStats)> {
-        run_indexed(queries.len(), threads, |i| self.evaluate(&queries[i]))
-    }
-
-    /// Parallel counterpart of [`GraphStore::path_aggregate`] over a
-    /// workload; fails if any query graph is cyclic.
-    pub fn path_aggregate_many(
-        &self,
-        queries: &[PathAggQuery],
-        threads: usize,
-    ) -> Result<Vec<(PathAggResult, IoStats)>, GraphError> {
-        run_indexed(queries.len(), threads, |i| self.path_aggregate(&queries[i]))
-            .into_iter()
-            .collect()
-    }
-}
-
 /// Runs `f(0..n)` on a shared atomic work queue, preserving index order in
 /// the output.
+///
+/// `threads` is a ceiling, not a promise: it is clamped to the task count
+/// and to the machine's available parallelism — extra threads beyond the
+/// core count only add scheduling overhead, never throughput. With an
+/// effective parallelism of one the queue degenerates to a plain
+/// sequential loop (same results, same order, no thread spawn).
 pub fn run_indexed<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let threads = threads.min(cores);
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -72,7 +51,9 @@ pub fn run_indexed<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphbi_graph::{AggFn, EdgeId, RecordBuilder, Universe};
+    use crate::session::{QueryRequest, Session};
+    use crate::GraphStore;
+    use graphbi_graph::{AggFn, EdgeId, GraphQuery, PathAggQuery, RecordBuilder, Universe};
 
     fn store() -> (GraphStore, Vec<GraphQuery>) {
         let mut u = Universe::new();
@@ -96,36 +77,45 @@ mod tests {
     }
 
     #[test]
-    fn parallel_equals_sequential() {
-        let (store, qs) = store();
-        let seq = store.evaluate_many(&qs, 1);
-        let par = store.evaluate_many(&qs, 4);
-        assert_eq!(seq.len(), par.len());
-        for ((r1, s1), (r2, s2)) in seq.iter().zip(&par) {
-            assert_eq!(r1, r2);
-            assert_eq!(s1, s2);
-        }
+    fn run_indexed_preserves_order() {
+        let out = run_indexed(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 0, |i| i), vec![0]);
     }
 
     #[test]
-    fn parallel_aggregation_equals_sequential() {
+    fn batched_workload_equals_sequential() {
         let (store, qs) = store();
-        let paqs: Vec<PathAggQuery> = qs
+        let reqs: Vec<QueryRequest> = qs
             .iter()
-            .map(|q| PathAggQuery::new(q.clone(), AggFn::Sum))
+            .map(|q| QueryRequest::new(q.clone()).shards(4))
             .collect();
-        let seq = store.path_aggregate_many(&paqs, 1).unwrap();
-        let par = store.path_aggregate_many(&paqs, 3).unwrap();
-        for ((r1, _), (r2, _)) in seq.iter().zip(&par) {
-            assert_eq!(r1, r2);
+        let batch = store.evaluate_many(&reqs).unwrap();
+        assert_eq!(batch.len(), reqs.len());
+        for (req, (resp, stats)) in reqs.iter().zip(&batch) {
+            let (lone, lone_stats) = store
+                .execute(&QueryRequest::new(match &req.kind {
+                    crate::session::RequestKind::Graph(q) => q.clone(),
+                    _ => unreachable!(),
+                }))
+                .unwrap();
+            assert_eq!(resp, &lone);
+            assert_eq!(stats, &lone_stats);
         }
     }
 
     #[test]
-    fn zero_threads_and_empty_workload() {
+    fn batched_aggregation_equals_sequential() {
         let (store, qs) = store();
-        assert_eq!(store.evaluate_many(&[], 4).len(), 0);
-        let one = store.evaluate_many(&qs[..1], 0);
-        assert_eq!(one.len(), 1);
+        let reqs: Vec<QueryRequest> = qs
+            .iter()
+            .map(|q| QueryRequest::aggregate(PathAggQuery::new(q.clone(), AggFn::Sum)))
+            .collect();
+        let batch = store.evaluate_many(&reqs).unwrap();
+        for (req, (resp, _)) in reqs.iter().zip(&batch) {
+            let (lone, _) = store.execute(req).unwrap();
+            assert_eq!(resp, &lone);
+        }
     }
 }

@@ -14,6 +14,7 @@ use graphbi_graph::{
 };
 use parking_lot::RwLock;
 
+use crate::session::{QueryRequest, Response, Session, SessionError};
 use crate::GraphStore;
 
 /// A thread-safe handle to a store. Cheap to clone; all clones share the
@@ -77,6 +78,24 @@ impl SharedStore {
     /// Current record count.
     pub fn record_count(&self) -> u64 {
         self.read(GraphStore::record_count)
+    }
+}
+
+impl Session for SharedStore {
+    /// Executes under a read lock, in parallel with other readers.
+    fn execute(&self, request: &QueryRequest) -> Result<(Response, IoStats), SessionError> {
+        self.read(|s| s.execute(request))
+    }
+
+    /// Executes the whole batch under ONE read lock: the batch sees a
+    /// single consistent snapshot of the store — a concurrent writer's
+    /// appends land entirely before or entirely after it, never between
+    /// two requests of the same batch.
+    fn evaluate_many(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<(Response, IoStats)>, SessionError> {
+        self.read(|s| s.evaluate_many(requests))
     }
 }
 

@@ -9,6 +9,7 @@ use graphbi_graph::{
 use graphbi_views as views;
 
 use crate::engine::{self, EvalOptions};
+use crate::session::{dedup_requests, QueryRequest, RequestKind, Response, Session, SessionError};
 use crate::viewmgr::{self, AggViewDef, GraphViewDef, ViewCatalog};
 
 /// A queryable collection of graph records: the paper's full stack — flat
@@ -159,6 +160,7 @@ impl GraphStore {
             &self.catalog,
             query,
             EvalOptions::default(),
+            1,
             stats,
         )
     }
@@ -166,16 +168,39 @@ impl GraphStore {
     /// Full graph-query evaluation: matching records plus the measures of
     /// the query's edges (§4.2's SELECT).
     pub fn evaluate(&self, query: &GraphQuery) -> (QueryResult, IoStats) {
-        self.evaluate_with(query, EvalOptions::default())
+        self.eval_graph(query, EvalOptions::default(), 1)
     }
 
-    /// Evaluation with explicit options ([`EvalOptions::oblivious`] ignores
-    /// views).
+    /// Evaluation with explicit options.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::execute` with `QueryRequest::new(query).opts(..)`"
+    )]
     pub fn evaluate_with(&self, query: &GraphQuery, opts: EvalOptions) -> (QueryResult, IoStats) {
+        self.eval_graph(query, opts, 1)
+    }
+
+    /// Graph-query evaluation under explicit options and shard count — the
+    /// one implementation behind [`GraphStore::evaluate`] and the
+    /// [`Session`] impl.
+    fn eval_graph(
+        &self,
+        query: &GraphQuery,
+        opts: EvalOptions,
+        shards: usize,
+    ) -> (QueryResult, IoStats) {
         let mut stats = IoStats::new();
-        let ids = engine::structural(&self.relation, &self.catalog, query, opts, &mut stats);
+        let ids = engine::structural(
+            &self.relation,
+            &self.catalog,
+            query,
+            opts,
+            shards,
+            &mut stats,
+        );
         let edges = query.edges().to_vec();
-        let measures = engine::fetch_measure_matrix(&self.relation, &edges, &ids, &mut stats);
+        let measures =
+            engine::fetch_measure_matrix(&self.relation, &edges, &ids, shards, &mut stats);
         (
             QueryResult {
                 records: ids.to_vec(),
@@ -191,7 +216,7 @@ impl GraphStore {
     /// two evaluation phases separately (the paper's Figures 6–7 break query
     /// time into "fetch measures" and "rest of query").
     pub fn fetch_measures(&self, edges: &[EdgeId], ids: &Bitmap, stats: &mut IoStats) -> Vec<f64> {
-        engine::fetch_measure_matrix(&self.relation, edges, ids, stats)
+        engine::fetch_measure_matrix(&self.relation, edges, ids, 1, stats)
     }
 
     /// Evaluates a logical combination of graph queries (§3.2) to the
@@ -202,18 +227,23 @@ impl GraphStore {
             &self.catalog,
             expr,
             EvalOptions::default(),
+            1,
             stats,
         )
     }
 
     /// [`GraphStore::evaluate_expr`] under explicit [`EvalOptions`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::execute` with `QueryRequest::expr(expr).opts(..)`"
+    )]
     pub fn evaluate_expr_with(
         &self,
         expr: &QueryExpr,
         opts: EvalOptions,
         stats: &mut IoStats,
     ) -> Bitmap {
-        engine::eval_expr(&self.relation, &self.catalog, expr, opts, stats)
+        engine::eval_expr(&self.relation, &self.catalog, expr, opts, 1, stats)
     }
 
     /// Streaming evaluation: calls `f(record, measure_row)` for every match,
@@ -233,6 +263,7 @@ impl GraphStore {
             &self.catalog,
             query,
             EvalOptions::default(),
+            1,
             &mut stats,
         );
         let edges = query.edges();
@@ -243,7 +274,7 @@ impl GraphStore {
             }
             let mut b = graphbi_bitmap::Bitmap::new();
             b.extend(pending.iter().copied());
-            let rows = engine::fetch_measure_matrix(&self.relation, edges, &b, stats);
+            let rows = engine::fetch_measure_matrix(&self.relation, edges, &b, 1, stats);
             let w = edges.len();
             for (i, &rid) in pending.iter().enumerate() {
                 f(rid, &rows[i * w..(i + 1) * w]);
@@ -283,14 +314,30 @@ impl GraphStore {
         &self,
         query: &PathAggQuery,
     ) -> Result<(PathAggResult, IoStats), GraphError> {
-        self.path_aggregate_with(query, EvalOptions::default())
+        self.eval_agg(query, EvalOptions::default(), 1)
     }
 
     /// Path aggregation with explicit options.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::execute` with `QueryRequest::aggregate(query).opts(..)`"
+    )]
     pub fn path_aggregate_with(
         &self,
         query: &PathAggQuery,
         opts: EvalOptions,
+    ) -> Result<(PathAggResult, IoStats), GraphError> {
+        self.eval_agg(query, opts, 1)
+    }
+
+    /// Path aggregation under explicit options and shard count — the one
+    /// implementation behind [`GraphStore::path_aggregate`] and the
+    /// [`Session`] impl.
+    fn eval_agg(
+        &self,
+        query: &PathAggQuery,
+        opts: EvalOptions,
+        shards: usize,
     ) -> Result<(PathAggResult, IoStats), GraphError> {
         let mut stats = IoStats::new();
         let result = engine::path_aggregate(
@@ -299,6 +346,7 @@ impl GraphStore {
             &self.catalog,
             query,
             opts,
+            shards,
             &mut stats,
         )?;
         Ok((result, stats))
@@ -376,6 +424,59 @@ impl GraphStore {
     pub fn clear_views(&mut self) {
         self.relation.clear_views();
         self.catalog = ViewCatalog::default();
+    }
+}
+
+impl Session for GraphStore {
+    fn execute(&self, request: &QueryRequest) -> Result<(Response, IoStats), SessionError> {
+        match &request.kind {
+            RequestKind::Graph(q) => {
+                let (r, stats) = self.eval_graph(q, request.options, request.shards);
+                Ok((Response::Records(r), stats))
+            }
+            RequestKind::Expr(e) => {
+                let mut stats = IoStats::new();
+                let b = engine::eval_expr(
+                    &self.relation,
+                    &self.catalog,
+                    e,
+                    request.options,
+                    request.shards,
+                    &mut stats,
+                );
+                Ok((Response::Matches(b), stats))
+            }
+            RequestKind::Aggregate(p) => {
+                let (r, stats) = self.eval_agg(p, request.options, request.shards)?;
+                Ok((Response::Aggregates(r), stats))
+            }
+        }
+    }
+
+    /// Batched evaluation: duplicate requests (common under Zipf-skewed
+    /// workloads) are answered once, and the distinct requests run on a
+    /// worker pool sized by the batch's largest shard knob. Each duplicate
+    /// reports the stats of its first occurrence — the batch's summed cost
+    /// reflects the work actually done.
+    fn evaluate_many(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<(Response, IoStats)>, SessionError> {
+        let (firsts, assign) = dedup_requests(requests);
+        let threads = requests.iter().map(|r| r.shards).max().unwrap_or(1);
+        let distinct = crate::parallel::run_indexed(firsts.len(), threads, |i| {
+            let mut req = requests[firsts[i]].clone();
+            if firsts.len() > 1 {
+                // Workload-level parallelism owns the pool; nested
+                // per-request sharding would oversubscribe it. Answers and
+                // stats are shard-count independent, so this is pure
+                // scheduling.
+                req.shards = 1;
+            }
+            self.execute(&req)
+        });
+        let distinct: Vec<(Response, IoStats)> = distinct.into_iter().collect::<Result<_, _>>()?;
+        Ok(assign.iter().map(|&a| distinct[a].clone()).collect())
     }
 }
 
@@ -460,7 +561,10 @@ mod tests {
         let (before, _) = store.evaluate(&q);
         store.materialize_graph_view(vec![e[1], e[2], e[3]]);
         let (with_views, s1) = store.evaluate(&q);
-        let (oblivious, s2) = store.evaluate_with(&q, EvalOptions::oblivious());
+        let (resp, s2) = store
+            .execute(&QueryRequest::new(q.clone()).oblivious())
+            .unwrap();
+        let oblivious = resp.into_records().unwrap();
         assert_eq!(before, with_views);
         assert_eq!(with_views, oblivious);
         assert!(s1.structural_columns() < s2.structural_columns());
@@ -522,9 +626,10 @@ mod tests {
         let q = GraphQuery::from_edges(vec![e[2], e[3], e[4], e[5]]);
         let paq = PathAggQuery::new(q, AggFn::Sum);
         let (with, s_with) = store.path_aggregate(&paq).unwrap();
-        let (without, s_without) = store
-            .path_aggregate_with(&paq, EvalOptions::oblivious())
+        let (resp, s_without) = store
+            .execute(&QueryRequest::aggregate(paq.clone()).oblivious())
             .unwrap();
+        let without = resp.into_aggregates().unwrap();
         assert_eq!(with, without);
         assert!(s_with.measure_columns < s_without.measure_columns);
         // r2 contains e2..e6: 2+2+1+4 = 9.
@@ -546,8 +651,10 @@ mod tests {
         // Results unchanged, cost reduced.
         for q in &workload {
             let (r1, s1) = store.evaluate(q);
-            let (r2, s2) = store.evaluate_with(q, EvalOptions::oblivious());
-            assert_eq!(r1, r2);
+            let (resp, s2) = store
+                .execute(&QueryRequest::new(q.clone()).oblivious())
+                .unwrap();
+            assert_eq!(r1, resp.into_records().unwrap());
             assert!(s1.structural_columns() <= s2.structural_columns());
         }
     }
@@ -655,6 +762,66 @@ mod tests {
         let (r, _) = store.evaluate(&GraphQuery::from_edges(vec![new_edge]));
         assert_eq!(r.records, vec![rid]);
         assert_eq!(r.row(0), &[9.0]);
+    }
+
+    #[test]
+    fn sharded_execution_matches_serial_bit_for_bit() {
+        let (mut store, e) = table1_store();
+        // Enough records that shard boundaries fall strictly inside the set.
+        for i in 0..500u32 {
+            let mut b = RecordBuilder::new();
+            b.add(e[3], f64::from(i) * 0.125 + 0.1)
+                .add(e[4], f64::from(i % 7));
+            if i % 3 == 0 {
+                b.add(e[5], 2.5);
+            }
+            store.append_record(&b.build());
+        }
+        store.materialize_graph_view(vec![e[3], e[4]]);
+        store.materialize_agg_view(vec![e[3], e[4]], AggFn::Avg);
+
+        let q = GraphQuery::from_edges(vec![e[3], e[4]]);
+        let paq = PathAggQuery::new(q.clone(), AggFn::Avg);
+        for shards in [2usize, 3, 8, 1000] {
+            let (serial, s_stats) = store.execute(&QueryRequest::new(q.clone())).unwrap();
+            let (sharded, p_stats) = store
+                .execute(&QueryRequest::new(q.clone()).shards(shards))
+                .unwrap();
+            assert_eq!(serial, sharded, "graph query, {shards} shards");
+            assert_eq!(s_stats, p_stats, "stats must not depend on shards");
+
+            let (serial, _) = store
+                .execute(&QueryRequest::aggregate(paq.clone()))
+                .unwrap();
+            let (sharded, _) = store
+                .execute(&QueryRequest::aggregate(paq.clone()).shards(shards))
+                .unwrap();
+            // PathAggResult equality is exact f64 equality: the sharded
+            // fold must replay the serial per-record operation order.
+            assert_eq!(serial, sharded, "aggregation, {shards} shards");
+        }
+    }
+
+    #[test]
+    fn batched_evaluation_answers_duplicates_once() {
+        let (store, e) = table1_store();
+        let a = QueryRequest::new(GraphQuery::from_edges(vec![e[3], e[4]]));
+        let b = QueryRequest::expr(QueryExpr::or(
+            GraphQuery::from_edges(vec![e[0]]).into(),
+            GraphQuery::from_edges(vec![e[5]]).into(),
+        ));
+        let batch = vec![a.clone(), b.clone(), a.clone(), a.clone().shards(2)];
+        let got = store.evaluate_many(&batch).unwrap();
+        assert_eq!(got.len(), 4);
+        // Every occurrence answers exactly like a lone execute.
+        for (req, (resp, _)) in batch.iter().zip(&got) {
+            let (lone, _) = store.execute(req).unwrap();
+            assert_eq!(resp, &lone);
+        }
+        assert_eq!(
+            got[0].1, got[2].1,
+            "duplicate reports first occurrence's stats"
+        );
     }
 
     #[test]

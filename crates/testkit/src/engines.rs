@@ -1,9 +1,13 @@
 //! The engine × plan-mode × backend matrix.
 //!
-//! One scenario fans out to:
+//! Every configuration — columnar and baseline alike — answers through the
+//! one unified [`Engine`] trait from `graphbi-baselines`, so the oracle
+//! drives all of them through one interface. One scenario fans out to:
 //!
 //! * `columnar-mem-{views,oblivious}` — the in-memory [`GraphStore`], with
 //!   and without view rewriting, sharing one store (and one view catalog);
+//! * `columnar-mem-views-sharded` / `columnar-disk-views-sharded` — the
+//!   same stores answering through 3-way horizontal record sharding;
 //! * `columnar-disk-{views,oblivious}` — the same database saved and
 //!   reopened as a [`DiskGraphStore`] behind a small column cache;
 //! * `columnar-reloaded` — the database loaded *back into memory* through
@@ -11,18 +15,21 @@
 //!   ordinary matrix row;
 //! * `row`, `rdf`, `graphdb` — the three baseline systems.
 
-use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use graphbi::disk::{load_store, save_store, DiskGraphStore};
 use graphbi::{
-    AggFn, EvalOptions, GraphQuery, GraphStore, IoStats, PathAggQuery, PathAggResult, QueryExpr,
-    QueryResult, RecordId,
+    AggFn, EvalOptions, GraphQuery, GraphStore, PathAggQuery, PathAggResult, QueryExpr,
+    QueryRequest, QueryResult, RecordId, Session,
 };
 use graphbi_baselines::{Engine, GraphDb, RdfStore, RowStore};
 
 use crate::scenario::Scenario;
+
+/// The unified engine interface (re-exported under the matrix's historical
+/// name): one trait for baselines and columnar configurations alike.
+pub use graphbi_baselines::Engine as MatrixEngine;
 
 /// Intentional bug injection, for validating that the oracle catches and
 /// shrinks real discrepancies.
@@ -53,140 +60,136 @@ fn flip_and_not(expr: &QueryExpr) -> QueryExpr {
     }
 }
 
-/// One engine configuration in the matrix.
-pub trait MatrixEngine {
-    /// Stable configuration label (engine-backend-planmode).
-    fn label(&self) -> &str;
-    /// Full graph-query evaluation.
-    fn evaluate(&self, q: &GraphQuery) -> QueryResult;
-    /// Logical-expression match set; `None` when the configuration has no
-    /// expression support.
-    fn match_expr(&self, e: &QueryExpr) -> Option<Vec<RecordId>>;
-    /// Path aggregation; `None` when unsupported.
-    fn path_aggregate(&self, paq: &PathAggQuery) -> Option<PathAggResult>;
-}
-
 struct ColumnarMem {
     store: Arc<GraphStore>,
     opts: EvalOptions,
+    shards: usize,
     fault: Fault,
     label: String,
 }
 
-impl MatrixEngine for ColumnarMem {
-    fn label(&self) -> &str {
+impl ColumnarMem {
+    fn request(&self, kind: QueryRequest) -> QueryRequest {
+        kind.opts(self.opts).shards(self.shards)
+    }
+}
+
+impl Engine for ColumnarMem {
+    fn name(&self) -> &str {
         &self.label
     }
 
     fn evaluate(&self, q: &GraphQuery) -> QueryResult {
-        self.store.evaluate_with(q, self.opts).0
+        self.store
+            .execute(&self.request(QueryRequest::new(q.clone())))
+            .expect("mem evaluate")
+            .0
+            .into_records()
+            .expect("graph request answers records")
+    }
+
+    fn record_count(&self) -> u64 {
+        self.store.record_count()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.store.size_in_bytes()
     }
 
     fn match_expr(&self, e: &QueryExpr) -> Option<Vec<RecordId>> {
-        let mut stats = IoStats::new();
         let e = self.fault.apply(e);
         Some(
             self.store
-                .evaluate_expr_with(&e, self.opts, &mut stats)
+                .execute(&self.request(QueryRequest::expr(e)))
+                .expect("mem expr")
+                .0
+                .into_matches()
+                .expect("expr request answers matches")
                 .to_vec(),
         )
     }
 
     fn path_aggregate(&self, paq: &PathAggQuery) -> Option<PathAggResult> {
         self.store
-            .path_aggregate_with(paq, self.opts)
+            .execute(&self.request(QueryRequest::aggregate(paq.clone())))
             .ok()
-            .map(|(r, _)| r)
+            .map(|(r, _)| {
+                r.into_aggregates()
+                    .expect("aggregate request answers aggregates")
+            })
     }
 }
 
 struct ColumnarDisk {
     disk: Arc<DiskGraphStore>,
     opts: EvalOptions,
+    shards: usize,
     label: String,
 }
 
 impl ColumnarDisk {
-    /// Expression evaluation by set algebra over this backend's own atom
-    /// match sets — the atoms still exercise the disk structural path.
-    fn expr_set(&self, e: &QueryExpr) -> BTreeSet<RecordId> {
-        match e {
-            QueryExpr::Atom(q) => {
-                let mut stats = IoStats::new();
-                self.disk
-                    .match_records_with(q, self.opts, &mut stats)
-                    .expect("disk structural phase")
-                    .to_vec()
-                    .into_iter()
-                    .collect()
-            }
-            QueryExpr::And(a, b) => {
-                let (a, b) = (self.expr_set(a), self.expr_set(b));
-                a.intersection(&b).copied().collect()
-            }
-            QueryExpr::Or(a, b) => {
-                let (a, b) = (self.expr_set(a), self.expr_set(b));
-                a.union(&b).copied().collect()
-            }
-            QueryExpr::AndNot(a, b) => {
-                let (a, b) = (self.expr_set(a), self.expr_set(b));
-                a.difference(&b).copied().collect()
-            }
-        }
+    fn request(&self, kind: QueryRequest) -> QueryRequest {
+        kind.opts(self.opts).shards(self.shards)
     }
 }
 
-impl MatrixEngine for ColumnarDisk {
-    fn label(&self) -> &str {
+impl Engine for ColumnarDisk {
+    fn name(&self) -> &str {
         &self.label
     }
 
     fn evaluate(&self, q: &GraphQuery) -> QueryResult {
         self.disk
-            .evaluate_with(q, self.opts)
+            .execute(&self.request(QueryRequest::new(q.clone())))
             .expect("disk evaluate")
             .0
+            .into_records()
+            .expect("graph request answers records")
     }
 
+    fn record_count(&self) -> u64 {
+        self.disk.record_count()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        // Columns are disk-resident; nothing stays pinned between queries.
+        0
+    }
+
+    /// Native disk expression support (bitmap algebra over the disk
+    /// structural path), unlike the baselines' set-algebra default.
     fn match_expr(&self, e: &QueryExpr) -> Option<Vec<RecordId>> {
-        Some(self.expr_set(e).into_iter().collect())
+        Some(
+            self.disk
+                .execute(&self.request(QueryRequest::expr(e.clone())))
+                .expect("disk expr")
+                .0
+                .into_matches()
+                .expect("expr request answers matches")
+                .to_vec(),
+        )
     }
 
     fn path_aggregate(&self, paq: &PathAggQuery) -> Option<PathAggResult> {
         self.disk
-            .path_aggregate_with(paq, self.opts)
+            .execute(&self.request(QueryRequest::aggregate(paq.clone())))
             .ok()
-            .map(|(r, _)| r)
+            .map(|(r, _)| {
+                r.into_aggregates()
+                    .expect("aggregate request answers aggregates")
+            })
     }
 }
 
-struct Baseline<E: Engine> {
+/// Relabels a baseline engine with its stable matrix label while
+/// delegating every answer.
+struct Labeled<E: Engine> {
     engine: E,
     label: &'static str,
 }
 
-impl<E: Engine> Baseline<E> {
-    fn expr_set(&self, e: &QueryExpr) -> BTreeSet<RecordId> {
-        match e {
-            QueryExpr::Atom(q) => self.engine.evaluate(q).records.into_iter().collect(),
-            QueryExpr::And(a, b) => {
-                let (a, b) = (self.expr_set(a), self.expr_set(b));
-                a.intersection(&b).copied().collect()
-            }
-            QueryExpr::Or(a, b) => {
-                let (a, b) = (self.expr_set(a), self.expr_set(b));
-                a.union(&b).copied().collect()
-            }
-            QueryExpr::AndNot(a, b) => {
-                let (a, b) = (self.expr_set(a), self.expr_set(b));
-                a.difference(&b).copied().collect()
-            }
-        }
-    }
-}
-
-impl<E: Engine> MatrixEngine for Baseline<E> {
-    fn label(&self) -> &str {
+impl<E: Engine> Engine for Labeled<E> {
+    fn name(&self) -> &str {
         self.label
     }
 
@@ -194,12 +197,20 @@ impl<E: Engine> MatrixEngine for Baseline<E> {
         self.engine.evaluate(q)
     }
 
-    fn match_expr(&self, e: &QueryExpr) -> Option<Vec<RecordId>> {
-        Some(self.expr_set(e).into_iter().collect())
+    fn record_count(&self) -> u64 {
+        self.engine.record_count()
     }
 
-    fn path_aggregate(&self, _paq: &PathAggQuery) -> Option<PathAggResult> {
-        None
+    fn size_in_bytes(&self) -> usize {
+        self.engine.size_in_bytes()
+    }
+
+    fn match_expr(&self, e: &QueryExpr) -> Option<Vec<RecordId>> {
+        self.engine.match_expr(e)
+    }
+
+    fn path_aggregate(&self, paq: &PathAggQuery) -> Option<PathAggResult> {
+        self.engine.path_aggregate(paq)
     }
 }
 
@@ -215,6 +226,10 @@ pub struct Matrix {
 /// Column-cache budget for the disk backend — small enough that larger
 /// scenarios exercise eviction.
 const DISK_CACHE_BYTES: usize = 64 << 10;
+
+/// Shard count for the sharded matrix rows: odd and small, so shard
+/// boundaries land mid-chunk on every scenario size.
+const MATRIX_SHARDS: usize = 3;
 
 impl Matrix {
     /// Builds every engine configuration from a scenario. `fault` injects
@@ -254,30 +269,48 @@ impl Matrix {
             engines.push(Box::new(ColumnarMem {
                 store: Arc::clone(&mem),
                 opts,
+                shards: 1,
                 fault,
                 label: format!("columnar-mem-{mode}"),
             }));
             engines.push(Box::new(ColumnarDisk {
                 disk: Arc::clone(&disk),
                 opts,
+                shards: 1,
                 label: format!("columnar-disk-{mode}"),
             }));
         }
+        // Sharded rows: same stores, horizontal record sharding — results
+        // must be indistinguishable from the serial rows.
+        engines.push(Box::new(ColumnarMem {
+            store: Arc::clone(&mem),
+            opts: EvalOptions::default(),
+            shards: MATRIX_SHARDS,
+            fault,
+            label: "columnar-mem-views-sharded".into(),
+        }));
+        engines.push(Box::new(ColumnarDisk {
+            disk: Arc::clone(&disk),
+            opts: EvalOptions::default(),
+            shards: MATRIX_SHARDS,
+            label: "columnar-disk-views-sharded".into(),
+        }));
         engines.push(Box::new(ColumnarMem {
             store: reloaded,
             opts: EvalOptions::default(),
+            shards: 1,
             fault: Fault::None,
             label: "columnar-reloaded-views".into(),
         }));
-        engines.push(Box::new(Baseline {
+        engines.push(Box::new(Labeled {
             engine: RowStore::load(&scenario.records),
             label: "row",
         }));
-        engines.push(Box::new(Baseline {
+        engines.push(Box::new(Labeled {
             engine: RdfStore::load(&scenario.records),
             label: "rdf",
         }));
-        engines.push(Box::new(Baseline {
+        engines.push(Box::new(Labeled {
             engine: GraphDb::load(&scenario.records, &scenario.universe),
             label: "graphdb",
         }));
@@ -290,11 +323,27 @@ impl Matrix {
         }
     }
 
+    /// The in-memory store, for batched [`Session`] cross-checks.
+    pub fn mem_store(&self) -> &GraphStore {
+        &self.mem
+    }
+
+    /// The disk store, for batched [`Session`] cross-checks.
+    pub fn disk_store(&self) -> &DiskGraphStore {
+        &self.disk
+    }
+
     /// Structural-column costs of `q` on the in-memory store:
     /// `(view plan, oblivious plan)`.
     pub fn mem_structural_costs(&self, q: &GraphQuery) -> (u64, u64) {
-        let (_, with_views) = self.mem.evaluate_with(q, EvalOptions::default());
-        let (_, oblivious) = self.mem.evaluate_with(q, EvalOptions::oblivious());
+        let (_, with_views) = self
+            .mem
+            .execute(&QueryRequest::new(q.clone()))
+            .expect("mem evaluate");
+        let (_, oblivious) = self
+            .mem
+            .execute(&QueryRequest::new(q.clone()).oblivious())
+            .expect("mem evaluate");
         (
             with_views.structural_columns(),
             oblivious.structural_columns(),
@@ -307,12 +356,12 @@ impl Matrix {
         self.disk.relation().clear_cache();
         let (_, with_views) = self
             .disk
-            .evaluate_with(q, EvalOptions::default())
+            .execute(&QueryRequest::new(q.clone()))
             .expect("disk evaluate");
         self.disk.relation().clear_cache();
         let (_, oblivious) = self
             .disk
-            .evaluate_with(q, EvalOptions::oblivious())
+            .execute(&QueryRequest::new(q.clone()).oblivious())
             .expect("disk evaluate");
         (with_views.disk_reads, oblivious.disk_reads)
     }

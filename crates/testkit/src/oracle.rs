@@ -1,6 +1,8 @@
 //! The differential oracle: one scenario, every engine configuration,
 //! every check.
 
+use graphbi::{QueryRequest, Response, Session};
+
 use crate::engines::{Fault, Matrix};
 use crate::reference::Reference;
 use crate::scenario::Scenario;
@@ -58,7 +60,7 @@ pub fn check(scenario: &Scenario, fault: Fault) -> Report {
             let got = engine.evaluate(q);
             if let Some(diff) = expected.diff(&got, TOLERANCE) {
                 report.discrepancies.push(Discrepancy {
-                    engine: engine.label().to_string(),
+                    engine: engine.name().to_string(),
                     item: format!("query[{qi}] {q:?}"),
                     detail: diff,
                 });
@@ -102,7 +104,7 @@ pub fn check(scenario: &Scenario, fault: Fault) -> Report {
             report.checks += 1;
             if got != expected {
                 report.discrepancies.push(Discrepancy {
-                    engine: engine.label().to_string(),
+                    engine: engine.name().to_string(),
                     item: format!("expr[{ei}]"),
                     detail: format!(
                         "match set differs: {} vs {} records (expected {:?}…, got {:?}…)",
@@ -130,10 +132,94 @@ pub fn check(scenario: &Scenario, fault: Fault) -> Report {
             report.checks += 1;
             if let Some(diff) = expected.diff(&got, TOLERANCE) {
                 report.discrepancies.push(Discrepancy {
-                    engine: engine.label().to_string(),
+                    engine: engine.name().to_string(),
                     item: format!("agg[{ai}] {:?}", paq.func),
                     detail: diff,
                 });
+            }
+        }
+    }
+
+    // Batched execution: the whole scenario workload as ONE
+    // `Session::evaluate_many` call (with request-level sharding), on both
+    // the in-memory and the disk backend. Batch answers must match the
+    // reference item for item — deduplication, shared fetches, and shard
+    // merging are not allowed to change any answer.
+    let mut requests: Vec<(QueryRequest, BatchExpect)> = Vec::new();
+    for q in &scenario.queries {
+        requests.push((
+            QueryRequest::new(q.clone()).shards(2),
+            BatchExpect::Records(reference.evaluate(q)),
+        ));
+    }
+    for e in &scenario.exprs {
+        requests.push((
+            QueryRequest::expr(e.clone()).shards(2),
+            BatchExpect::Matches(reference.match_expr(e)),
+        ));
+    }
+    for paq in &scenario.aggs {
+        // Cyclic aggregations error, and `evaluate_many` propagates the
+        // first error for the whole batch — keep only answerable ones.
+        if let Ok(expected) = reference.path_aggregate(paq) {
+            requests.push((
+                QueryRequest::aggregate(paq.clone()).shards(2),
+                BatchExpect::Aggregates(expected),
+            ));
+        }
+    }
+    if !requests.is_empty() {
+        let batch: Vec<QueryRequest> = requests.iter().map(|(r, _)| r.clone()).collect();
+        for (backend, answers) in [
+            (
+                "columnar-mem-batched",
+                matrix.mem_store().evaluate_many(&batch),
+            ),
+            (
+                "columnar-disk-batched",
+                matrix.disk_store().evaluate_many(&batch),
+            ),
+        ] {
+            let answers = match answers {
+                Ok(a) => a,
+                Err(e) => {
+                    report.checks += 1;
+                    report.discrepancies.push(Discrepancy {
+                        engine: backend.into(),
+                        item: "batch".into(),
+                        detail: format!("evaluate_many failed: {e}"),
+                    });
+                    continue;
+                }
+            };
+            for (bi, ((_, expect), (response, _))) in requests.iter().zip(&answers).enumerate() {
+                report.checks += 1;
+                let diff = match (expect, response) {
+                    (BatchExpect::Records(expected), Response::Records(got)) => {
+                        expected.diff(got, TOLERANCE)
+                    }
+                    (BatchExpect::Matches(expected), Response::Matches(got)) => {
+                        let got = got.to_vec();
+                        (&got != expected).then(|| {
+                            format!(
+                                "match set differs: {} vs {} records",
+                                expected.len(),
+                                got.len()
+                            )
+                        })
+                    }
+                    (BatchExpect::Aggregates(expected), Response::Aggregates(got)) => {
+                        expected.diff(got, TOLERANCE)
+                    }
+                    _ => Some("response variant does not match request kind".into()),
+                };
+                if let Some(detail) = diff {
+                    report.discrepancies.push(Discrepancy {
+                        engine: backend.into(),
+                        item: format!("batch[{bi}]"),
+                        detail,
+                    });
+                }
             }
         }
     }
@@ -143,4 +229,11 @@ pub fn check(scenario: &Scenario, fault: Fault) -> Report {
         "oracle ran no checks on a non-empty scenario"
     );
     report
+}
+
+/// What the reference model expects for one batched request.
+enum BatchExpect {
+    Records(graphbi::QueryResult),
+    Matches(Vec<graphbi::RecordId>),
+    Aggregates(graphbi::PathAggResult),
 }

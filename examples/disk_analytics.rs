@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = std::time::Instant::now();
     for q in &queries {
         let (_, s) = disk.path_aggregate(&PathAggQuery::new(q.clone(), AggFn::Sum))?;
-        cold.absorb(&s);
+        cold.merge(&s);
     }
     println!(
         "\noblivious, cold cache: {:.1?}, {} disk reads, {:.1} MB",
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = std::time::Instant::now();
     for q in &queries {
         let (_, s) = disk.path_aggregate(&PathAggQuery::new(q.clone(), AggFn::Sum))?;
-        warm.absorb(&s);
+        warm.merge(&s);
     }
     println!(
         "oblivious, warm cache: {:.1?}, {} disk reads",
@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = std::time::Instant::now();
     for q in &queries {
         let (_, s) = disk.path_aggregate(&PathAggQuery::new(q.clone(), AggFn::Sum))?;
-        viewed.absorb(&s);
+        viewed.merge(&s);
     }
     println!(
         "\nwith views, cold cache: {:.1?}, {} disk reads, {:.1} MB \

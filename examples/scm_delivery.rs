@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run --release --example scm_delivery`.
 
-use graphbi::{AggFn, EvalOptions, GraphStore, IoStats, PathAggQuery};
+use graphbi::{AggFn, GraphStore, IoStats, PathAggQuery, QueryRequest, Session};
 use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
 
 fn main() {
@@ -38,10 +38,11 @@ fn main() {
     let mut slowest: (f64, u32) = (0.0, 0);
     for q in &queries {
         let paq = PathAggQuery::new(q.clone(), AggFn::Sum);
-        let (agg, s) = store
-            .path_aggregate_with(&paq, EvalOptions::oblivious())
+        let (resp, s) = store
+            .execute(&QueryRequest::aggregate(paq).oblivious())
             .expect("corridor queries are paths");
-        oblivious.absorb(&s);
+        let agg = resp.into_aggregates().expect("aggregate response");
+        oblivious.merge(&s);
         matches += agg.len() as u64;
         for (i, &rid) in agg.records.iter().enumerate() {
             if agg.row(i)[0] > slowest.0 {
@@ -74,7 +75,7 @@ fn main() {
     for q in &queries {
         let paq = PathAggQuery::new(q.clone(), AggFn::Sum);
         let (_, s) = store.path_aggregate(&paq).unwrap();
-        with_views.absorb(&s);
+        with_views.merge(&s);
     }
     println!(
         "rewritten plan cost: {} bitmap(+view) + {} measure + {} agg-view columns",

@@ -1,7 +1,7 @@
 //! End-to-end: synthetic dataset → column store → queries, validated against
 //! a brute-force scan of the raw records.
 
-use graphbi::{AggFn, EvalOptions, GraphStore, PathAggQuery};
+use graphbi::{AggFn, GraphStore, PathAggQuery, QueryRequest, Session};
 use graphbi_graph::{GraphQuery, GraphRecord};
 use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
 
@@ -152,7 +152,10 @@ fn oblivious_and_default_agree_without_views() {
     let store = GraphStore::load(d.universe, &d.records);
     for q in &qs {
         let (r1, s1) = store.evaluate(q);
-        let (r2, s2) = store.evaluate_with(q, EvalOptions::oblivious());
+        let (r2, s2) = store
+            .execute(&QueryRequest::new(q.clone()).oblivious())
+            .unwrap();
+        let r2 = r2.into_records().unwrap();
         assert_eq!(r1, r2);
         assert_eq!(s1, s2, "no views exist, costs must be identical");
     }

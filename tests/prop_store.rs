@@ -1,7 +1,7 @@
 //! Property tests at the store level: random record collections and random
 //! queries, checked against a brute-force model and across engines.
 
-use graphbi::{AggFn, EvalOptions, GraphStore, PathAggQuery};
+use graphbi::{AggFn, GraphStore, PathAggQuery, QueryRequest, Session};
 use graphbi_baselines::{Engine, GraphDb, RdfStore, RowStore};
 use graphbi_graph::{EdgeId, GraphQuery, GraphRecord, RecordBuilder, Universe};
 use proptest::prelude::*;
@@ -84,7 +84,9 @@ proptest! {
         for (q, expect) in queries.iter().zip(&baseline) {
             let (got, s_views) = store.evaluate(q);
             prop_assert_eq!(&got, expect);
-            let (_, s_obl) = store.evaluate_with(q, EvalOptions::oblivious());
+            let (_, s_obl) = store
+                .execute(&QueryRequest::new(q.clone()).oblivious())
+                .unwrap();
             prop_assert!(s_views.structural_columns() <= s_obl.structural_columns());
         }
     }

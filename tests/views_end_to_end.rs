@@ -1,7 +1,7 @@
 //! Views end-to-end: materialization must never change answers, and the
 //! cost model must improve the way §5 promises.
 
-use graphbi::{AggFn, EvalOptions, GraphStore, IoStats, PathAggQuery};
+use graphbi::{AggFn, GraphStore, IoStats, PathAggQuery, QueryRequest, Session};
 use graphbi_graph::GraphQuery;
 use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
 
@@ -25,7 +25,7 @@ fn workload_bitmap_cost(store: &GraphStore, qs: &[GraphQuery]) -> u64 {
     let mut total = IoStats::new();
     for q in qs {
         let (_, s) = store.evaluate(q);
-        total.absorb(&s);
+        total.merge(&s);
     }
     total.structural_columns()
 }
@@ -111,11 +111,11 @@ fn aggregate_views_preserve_answers_and_cut_measure_fetches() {
         let paq = PathAggQuery::new(q.clone(), func);
         let (got, s) = store.path_aggregate(&paq).unwrap();
         assert_eq!(&got, expect);
-        with_views.absorb(&s);
+        with_views.merge(&s);
         let (_, s2) = store
-            .path_aggregate_with(&paq, EvalOptions::oblivious())
+            .execute(&QueryRequest::aggregate(paq.clone()).oblivious())
             .unwrap();
-        oblivious.absorb(&s2);
+        oblivious.merge(&s2);
     }
     assert!(
         with_views.measure_columns + with_views.agg_view_columns < oblivious.measure_columns,
@@ -134,8 +134,11 @@ fn avg_and_count_compose_from_sum_views() {
         for func in [AggFn::Avg, AggFn::Count] {
             let paq = PathAggQuery::new(q.clone(), func);
             let (with, s_with) = store.path_aggregate(&paq).unwrap();
-            let (without, _) = store
-                .path_aggregate_with(&paq, EvalOptions::oblivious())
+            let without = store
+                .execute(&QueryRequest::aggregate(paq.clone()).oblivious())
+                .unwrap()
+                .0
+                .into_aggregates()
                 .unwrap();
             for (a, b) in with.values.iter().zip(&without.values) {
                 assert!(
@@ -156,8 +159,11 @@ fn min_views_do_not_serve_sum_queries() {
     for q in qs.iter().take(10) {
         let paq = PathAggQuery::new(q.clone(), AggFn::Sum);
         let (with, stats) = store.path_aggregate(&paq).unwrap();
-        let (without, _) = store
-            .path_aggregate_with(&paq, EvalOptions::oblivious())
+        let without = store
+            .execute(&QueryRequest::aggregate(paq.clone()).oblivious())
+            .unwrap()
+            .0
+            .into_aggregates()
             .unwrap();
         assert_eq!(with, without);
         assert_eq!(stats.agg_view_columns, 0, "MIN views must not serve SUM");
