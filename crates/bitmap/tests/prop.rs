@@ -125,4 +125,89 @@ proptest! {
             .fold(bitmaps[0].clone(), |acc, b| acc.and(b));
         prop_assert_eq!(Bitmap::and_many(bitmaps.iter()), fold);
     }
+
+    #[test]
+    fn slice_matches_model_at_container_boundaries(
+        ids in boundary_ids(),
+        a in boundary_point(),
+        b in boundary_point(),
+    ) {
+        let (start, end) = (a.min(b), a.max(b));
+        let m = model(&ids);
+        let bm = bitmap(&ids);
+        let expect: Vec<u32> = m.range(start..end).copied().collect();
+        prop_assert_eq!(bm.slice(start..end).to_vec(), expect);
+        // Empty and reversed ranges select nothing.
+        prop_assert_eq!(bm.slice(start..start).len(), 0);
+        prop_assert_eq!(bm.slice(end..start).len(), 0);
+    }
+
+    #[test]
+    fn append_disjoint_reassembles_a_boundary_split(
+        ids in boundary_ids(),
+        p in boundary_point(),
+    ) {
+        let bm = bitmap(&ids);
+        // `slice` can't express an end of 2^32, so the high half comes
+        // from the model (it may contain u32::MAX).
+        let mut low = bm.slice(0..p);
+        let high: Bitmap = model(&ids).range(p..).copied().collect();
+        low.append_disjoint(&high);
+        prop_assert_eq!(low, bm);
+    }
+
+    #[test]
+    fn and_many_matches_fold_at_boundaries(
+        sets in prop::collection::vec(boundary_ids(), 1..5),
+    ) {
+        let bitmaps: Vec<Bitmap> = sets.iter().map(|s| bitmap(s)).collect();
+        let fold = bitmaps[1..]
+            .iter()
+            .fold(bitmaps[0].clone(), |acc, b| acc.and(b));
+        prop_assert_eq!(Bitmap::and_many(bitmaps.iter()), fold);
+    }
+}
+
+/// Ids hugging container boundaries (multiples of 65 536) and the edges
+/// of the id space, so every container split/merge path runs.
+fn boundary_ids() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(
+        prop_oneof![
+            boundary_point(),
+            Just(0u32),
+            Just(u32::MAX),
+            Just(u32::MAX - 1),
+            prop::num::u32::ANY,
+        ],
+        0..500,
+    )
+}
+
+/// A point within ±2 of a container boundary (or anywhere).
+fn boundary_point() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        ((0u32..8), (0u32..5)).prop_map(|(k, d)| (k * 65_536).saturating_add(d).saturating_sub(2)),
+        Just(u32::MAX),
+        prop::num::u32::ANY,
+    ]
+}
+
+/// The top of the id space is an ordinary place: `u32::MAX` inserts,
+/// ranks, slices and survives `and_many` like any other id.
+#[test]
+fn id_space_extremes_behave() {
+    assert_eq!(
+        Bitmap::and_many(std::iter::empty::<&Bitmap>()),
+        Bitmap::new()
+    );
+    let top: Bitmap = [0u32, u32::MAX - 1, u32::MAX].into_iter().collect();
+    assert!(top.contains(u32::MAX));
+    assert_eq!(top.rank(u32::MAX), 2);
+    assert_eq!(
+        top.slice(u32::MAX - 1..u32::MAX).to_vec(),
+        vec![u32::MAX - 1]
+    );
+    let mut low = top.slice(0..u32::MAX - 1);
+    low.append_disjoint(&[u32::MAX - 1, u32::MAX].into_iter().collect());
+    assert_eq!(low, top);
 }

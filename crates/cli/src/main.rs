@@ -59,8 +59,9 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn open(dir: &Path) -> Result<GraphStore, String> {
     // A freshly-synthesized database has no views metadata; one touched by
-    // `advise` does, and load_store reattaches its views.
-    if dir.join("views_meta.txt").exists() {
+    // `advise` carries it as a generation-named sidecar (format v2), and
+    // load_store reattaches its views.
+    if persist::has_sidecar(&graphbi_columnstore::OsVfs, dir, "views_meta.txt") {
         graphbi::disk::load_store(dir).map_err(|e| format!("loading: {e}"))
     } else {
         let universe = Universe::load(&dir.join("universe.txt"))

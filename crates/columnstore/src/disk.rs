@@ -8,9 +8,15 @@
 //! and a byte-budgeted [`LruCache`] stands in for
 //! the buffer pool. Under a cold cache, [`IoStats::disk_reads`] equals the
 //! cost model's "columns fetched" — the paper's metric, made literal.
+//!
+//! All I/O goes through an injectable [`Vfs`], and (format v2) every block
+//! read off disk is verified against the CRC32 stored in its file's
+//! directory before it is decoded: a flipped bit, short read, or truncated
+//! file surfaces as [`StoreError::Corrupt`], never a panic or a silently
+//! wrong answer. [`DiskRelation::open`] likewise validates the framed
+//! manifest and every file directory of the live generation, so a store
+//! left partial by a crash is reported as typed corruption.
 
-use std::fs::File;
-use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -22,6 +28,11 @@ use parking_lot::Mutex;
 use crate::cache::LruCache;
 use crate::column::SparseColumn;
 use crate::iostats::IoStats;
+use crate::persist::{
+    open_read_err, parse_views_directory, part_file_name, read_manifest, read_sidecar_at,
+    views_file_name, PART_DIR_ENTRY,
+};
+use crate::vfs::{crc32, os_vfs, Verify, VfsHandle};
 use crate::StoreError;
 
 /// Cache key: which column of which kind.
@@ -66,13 +77,16 @@ impl Payload {
     }
 }
 
-/// Byte location of one column's blocks within a partition file.
+/// Byte location (and expected checksums) of one column's blocks within a
+/// partition file.
 #[derive(Clone, Copy, Debug)]
 struct ColumnLoc {
     partition: u32,
     bitmap_off: u64,
     bitmap_len: u64,
     values_len: u64,
+    bitmap_crc: u32,
+    values_crc: u32,
 }
 
 /// A shared handle to a fetched bitmap. Clones share the payload, keeping it
@@ -100,121 +114,114 @@ impl std::ops::Deref for ColumnRef {
     }
 }
 
+fn corrupt(path: &Path, what: &'static str) -> StoreError {
+    StoreError::Corrupt {
+        file: path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string()),
+        what,
+    }
+}
+
 /// The master relation, resident on disk.
 pub struct DiskRelation {
     dir: PathBuf,
+    vfs: VfsHandle,
+    verify: Verify,
+    generation: u64,
     record_count: u64,
     edge_count: usize,
     partition_width: usize,
     columns: Vec<ColumnLoc>,
-    /// Byte ranges of the graph-view bitmaps inside `views.gbi`.
-    view_locs: Vec<(u64, u64)>,
-    /// Byte ranges of the aggregate-view columns inside `views.gbi`.
-    agg_locs: Vec<(u64, u64)>,
+    /// `(offset, length, crc)` of each graph-view bitmap in the views file.
+    view_locs: Vec<(u64, u64, u32)>,
+    /// `(offset, length, crc)` of each aggregate-view column.
+    agg_locs: Vec<(u64, u64, u32)>,
     cache: Mutex<LruCache<ColKey, Payload>>,
 }
 
 impl DiskRelation {
-    /// Opens a relation directory written by [`crate::persist::save`],
-    /// reading only the file directories (headers); column data stays on
-    /// disk until fetched. `cache_bytes` bounds the decoded-column cache.
+    /// Opens a relation directory written by [`crate::persist::save`]
+    /// through the OS filesystem, verifying checksums.
     pub fn open(dir: &Path, cache_bytes: usize) -> Result<DiskRelation, StoreError> {
-        let manifest = std::fs::read(dir.join("manifest.gbi"))?;
-        let mut m = Bytes::from(manifest);
-        if m.remaining() < 20 {
-            return Err(StoreError::Format("manifest too short"));
-        }
-        if m.get_u32_le() != super::persist::MANIFEST_MAGIC {
-            return Err(StoreError::Format("bad manifest magic"));
-        }
-        let record_count = m.get_u64_le();
-        let edge_count = m.get_u32_le() as usize;
-        let partition_width = m.get_u32_le() as usize;
-        if partition_width == 0 {
-            return Err(StoreError::Format("zero partition width"));
-        }
+        DiskRelation::open_with(dir, cache_bytes, os_vfs(), Verify::Checksums)
+    }
 
-        let mut columns = Vec::with_capacity(edge_count);
-        let parts = edge_count.div_ceil(partition_width).max(1);
+    /// Opens a relation through `vfs`, reading only the manifest and the
+    /// file directories (headers); column data stays on disk until
+    /// fetched. `cache_bytes` bounds the decoded-column cache. Partial or
+    /// damaged state — a missing generation file, truncated directory, or
+    /// checksum mismatch — is reported as [`StoreError::Corrupt`].
+    /// `verify` governs payload CRCs on later fetches
+    /// ([`Verify::TrustDisk`] is the fuzzer's teeth-test hook); the
+    /// manifest and directory checksums are verified regardless.
+    pub fn open_with(
+        dir: &Path,
+        cache_bytes: usize,
+        vfs: VfsHandle,
+        verify: Verify,
+    ) -> Result<DiskRelation, StoreError> {
+        let manifest = read_manifest(vfs.as_ref(), dir)?;
+        let parts = manifest
+            .edge_count
+            .div_ceil(manifest.partition_width)
+            .max(1);
+
+        let mut columns = Vec::with_capacity(manifest.edge_count);
         for p in 0..parts {
-            let mut f = File::open(dir.join(format!("part_{p:04}.gbi")))?;
-            let mut head = [0u8; 4];
-            f.read_exact(&mut head)?;
-            let n = u32::from_le_bytes(head) as usize;
-            let mut directory = vec![0u8; n * 16];
-            f.read_exact(&mut directory)?;
-            let mut buf = Bytes::from(directory);
-            let mut offset = 4 + (n as u64) * 16;
+            let path = dir.join(part_file_name(manifest.generation, p));
+            let head = read_exact_range(&vfs, &path, 0, 4)?;
+            let n = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+            if columns.len() + n > manifest.edge_count {
+                return Err(corrupt(&path, "partition column count out of range"));
+            }
+            let header_len = 4 + n * PART_DIR_ENTRY;
+            let header = read_exact_range(&vfs, &path, 0, (header_len + 4) as u64)?;
+            let dir_crc =
+                u32::from_le_bytes(header[header_len..header_len + 4].try_into().unwrap());
+            if crc32(&header[..header_len]) != dir_crc {
+                return Err(corrupt(&path, "partition directory checksum mismatch"));
+            }
+            let mut buf = Bytes::copy_from_slice(&header[4..header_len]);
+            let mut offset = (header_len + 4) as u64;
             for _ in 0..n {
                 let bitmap_len = buf.get_u64_le();
                 let values_len = buf.get_u64_le();
+                let bitmap_crc = buf.get_u32_le();
+                let values_crc = buf.get_u32_le();
                 columns.push(ColumnLoc {
                     partition: u32::try_from(p).expect("partition fits u32"),
                     bitmap_off: offset,
                     bitmap_len,
                     values_len,
+                    bitmap_crc,
+                    values_crc,
                 });
                 offset += bitmap_len + values_len;
             }
         }
-        if columns.len() != edge_count {
+        if columns.len() != manifest.edge_count {
             return Err(StoreError::Format("column count mismatch"));
         }
 
-        // View directory: lengths only; offsets accumulate.
-        let mut view_locs = Vec::new();
-        let mut agg_locs = Vec::new();
-        let views_path = dir.join("views.gbi");
-        if views_path.exists() {
-            let bytes = std::fs::read(&views_path)?;
-            let total = bytes.len() as u64;
-            let mut buf = Bytes::from(bytes);
-            if buf.remaining() < 4 {
-                return Err(StoreError::Format("views file too short"));
-            }
-            let nviews = buf.get_u32_le();
-            let mut offset = 4u64;
-            for _ in 0..nviews {
-                if buf.remaining() < 8 {
-                    return Err(StoreError::Format("view directory truncated"));
-                }
-                let len = buf.get_u64_le();
-                offset += 8;
-                view_locs.push((offset, len));
-                offset += len;
-                if len > total || offset > total {
-                    return Err(StoreError::Format("view block out of range"));
-                }
-                buf.advance(usize::try_from(len).expect("len fits usize"));
-            }
-            if buf.remaining() < 4 {
-                return Err(StoreError::Format("agg view count missing"));
-            }
-            let naggs = buf.get_u32_le();
-            offset += 4;
-            for _ in 0..naggs {
-                if buf.remaining() < 8 {
-                    return Err(StoreError::Format("agg view directory truncated"));
-                }
-                let len = buf.get_u64_le();
-                offset += 8;
-                agg_locs.push((offset, len));
-                offset += len;
-                if len > total || offset > total {
-                    return Err(StoreError::Format("agg view block out of range"));
-                }
-                buf.advance(usize::try_from(len).expect("len fits usize"));
-            }
-        }
+        let views_path = dir.join(views_file_name(manifest.generation));
+        let views_bytes = vfs
+            .read(&views_path)
+            .map_err(|e| open_read_err(&views_path, e))?;
+        let views_dir = parse_views_directory(&views_path, &views_bytes)?;
 
         Ok(DiskRelation {
             dir: dir.to_owned(),
-            record_count,
-            edge_count,
-            partition_width,
+            vfs,
+            verify,
+            generation: manifest.generation,
+            record_count: manifest.record_count,
+            edge_count: manifest.edge_count,
+            partition_width: manifest.partition_width,
             columns,
-            view_locs,
-            agg_locs,
+            view_locs: views_dir.views,
+            agg_locs: views_dir.aggs,
             cache: Mutex::new(LruCache::new(cache_bytes)),
         })
     }
@@ -227,6 +234,11 @@ impl DiskRelation {
     /// Number of edge columns.
     pub fn edge_count(&self) -> usize {
         self.edge_count
+    }
+
+    /// The live generation this handle reads from.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of materialized graph views on disk.
@@ -260,12 +272,25 @@ impl DiskRelation {
         self.cache.lock().clear();
     }
 
-    fn read_range(&self, path: &Path, off: u64, len: u64) -> Result<Vec<u8>, StoreError> {
-        let mut f = File::open(path)?;
-        f.seek(SeekFrom::Start(off))?;
-        let mut buf = vec![0u8; usize::try_from(len).expect("len fits usize")];
-        f.read_exact(&mut buf)?;
-        Ok(buf)
+    /// Reads and verifies the sidecar blob `name` saved with this
+    /// generation (see [`crate::persist::save_with`]).
+    pub fn sidecar(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        read_sidecar_at(self.vfs.as_ref(), &self.dir, self.generation, name)
+    }
+
+    /// Checks a fetched block against its directory checksum (skipped
+    /// under [`Verify::TrustDisk`]).
+    fn check(
+        &self,
+        path: &Path,
+        bytes: &[u8],
+        expected: u32,
+        what: &'static str,
+    ) -> Result<(), StoreError> {
+        if self.verify == Verify::Checksums && crc32(bytes) != expected {
+            return Err(corrupt(path, what));
+        }
+        Ok(())
     }
 
     fn fetch(
@@ -289,10 +314,13 @@ impl DiskRelation {
         let idx = edge.index();
         let payload = self.fetch(ColKey::EdgeBitmap(edge.0), stats, move |this, stats| {
             let loc = this.columns[idx];
-            let path = this.dir.join(format!("part_{:04}.gbi", loc.partition));
-            let bytes = this.read_range(&path, loc.bitmap_off, loc.bitmap_len)?;
+            let path = this
+                .dir
+                .join(part_file_name(this.generation, loc.partition as usize));
+            let bytes = read_exact_range(&this.vfs, &path, loc.bitmap_off, loc.bitmap_len)?;
             stats.disk_reads += 1;
             stats.disk_bytes += loc.bitmap_len;
+            this.check(&path, &bytes, loc.bitmap_crc, "bitmap checksum mismatch")?;
             let mut buf = Bytes::from(bytes);
             Ok(Payload::Bitmap(Bitmap::decode(&mut buf)?))
         })?;
@@ -310,11 +338,26 @@ impl DiskRelation {
         let idx = edge.index();
         let payload = self.fetch(ColKey::EdgeColumn(edge.0), stats, move |this, stats| {
             let loc = this.columns[idx];
-            let path = this.dir.join(format!("part_{:04}.gbi", loc.partition));
+            let path = this
+                .dir
+                .join(part_file_name(this.generation, loc.partition as usize));
             let len = loc.bitmap_len + loc.values_len;
-            let bytes = this.read_range(&path, loc.bitmap_off, len)?;
+            let bytes = read_exact_range(&this.vfs, &path, loc.bitmap_off, len)?;
             stats.disk_reads += 1;
             stats.disk_bytes += len;
+            let split = usize::try_from(loc.bitmap_len).expect("len fits usize");
+            this.check(
+                &path,
+                &bytes[..split],
+                loc.bitmap_crc,
+                "bitmap checksum mismatch",
+            )?;
+            this.check(
+                &path,
+                &bytes[split..],
+                loc.values_crc,
+                "values checksum mismatch",
+            )?;
             let mut buf = Bytes::from(bytes);
             let presence = Bitmap::decode(&mut buf)?;
             Ok(Payload::Column(SparseColumn::decode_values(
@@ -327,11 +370,13 @@ impl DiskRelation {
     /// Fetches a graph-view bitmap.
     pub fn view_bitmap(&self, view: u32, stats: &mut IoStats) -> Result<BitmapRef, StoreError> {
         stats.view_bitmap_columns += 1;
-        let (off, len) = self.view_locs[view as usize];
+        let (off, len, crc) = self.view_locs[view as usize];
         let payload = self.fetch(ColKey::ViewBitmap(view), stats, move |this, stats| {
-            let bytes = this.read_range(&this.dir.join("views.gbi"), off, len)?;
+            let path = this.dir.join(views_file_name(this.generation));
+            let bytes = read_exact_range(&this.vfs, &path, off, len)?;
             stats.disk_reads += 1;
             stats.disk_bytes += len;
+            this.check(&path, &bytes, crc, "view block checksum mismatch")?;
             let mut buf = Bytes::from(bytes);
             Ok(Payload::Bitmap(Bitmap::decode(&mut buf)?))
         })?;
@@ -341,11 +386,13 @@ impl DiskRelation {
     /// Fetches an aggregate-view column.
     pub fn agg_view(&self, view: u32, stats: &mut IoStats) -> Result<ColumnRef, StoreError> {
         stats.agg_view_columns += 1;
-        let (off, len) = self.agg_locs[view as usize];
+        let (off, len, crc) = self.agg_locs[view as usize];
         let payload = self.fetch(ColKey::AggColumn(view), stats, move |this, stats| {
-            let bytes = this.read_range(&this.dir.join("views.gbi"), off, len)?;
+            let path = this.dir.join(views_file_name(this.generation));
+            let bytes = read_exact_range(&this.vfs, &path, off, len)?;
             stats.disk_reads += 1;
             stats.disk_bytes += len;
+            this.check(&path, &bytes, crc, "view block checksum mismatch")?;
             let mut buf = Bytes::from(bytes);
             Ok(Payload::Column(SparseColumn::decode(&mut buf)?))
         })?;
@@ -360,6 +407,23 @@ impl DiskRelation {
         }
         stats.partitions_touched += seen.len() as u64;
     }
+}
+
+/// Ranged read with an exact-length contract: a short result (a truncated
+/// file, or an injected short read) is corruption, not data.
+fn read_exact_range(
+    vfs: &VfsHandle,
+    path: &Path,
+    off: u64,
+    len: u64,
+) -> Result<Vec<u8>, StoreError> {
+    let bytes = vfs
+        .read_range(path, off, len)
+        .map_err(|e| open_read_err(path, e))?;
+    if bytes.len() as u64 != len {
+        return Err(corrupt(path, "short read"));
+    }
+    Ok(bytes)
 }
 
 #[cfg(test)]
@@ -469,7 +533,80 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         assert!(DiskRelation::open(&dir, 1024).is_err());
         std::fs::write(dir.join("manifest.gbi"), b"garbage-manifest-data").unwrap();
-        assert!(DiskRelation::open(&dir, 1024).is_err());
+        let Err(err) = DiskRelation::open(&dir, 1024) else {
+            panic!("garbage manifest opened")
+        };
+        assert!(err.is_corruption(), "typed corruption, got {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The acceptance-criteria test: one flipped byte on disk surfaces as
+    /// `StoreError::Corrupt` under checksum verification, while the same
+    /// flip under `Verify::TrustDisk` silently yields a *wrong answer* —
+    /// exactly what the CRCs exist to prevent.
+    #[test]
+    fn flipped_byte_is_corrupt_never_a_wrong_answer() {
+        let dir = tmpdir("bitflip");
+        let rel = build_and_save(&dir);
+        let edge = EdgeId(2);
+
+        // Locate the values block of `edge` via a clean open, then flip one
+        // byte in the middle of it on the real filesystem.
+        let probe = DiskRelation::open(&dir, 1 << 20).unwrap();
+        let loc = probe.columns[edge.index()];
+        let path = dir.join(part_file_name(probe.generation(), loc.partition as usize));
+        let mut raw = std::fs::read(&path).unwrap();
+        let target = usize::try_from(loc.bitmap_off + loc.bitmap_len).unwrap() + 1;
+        raw[target] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+
+        let checked = DiskRelation::open(&dir, 1 << 20).unwrap();
+        let mut s = IoStats::new();
+        let Err(err) = checked.edge_measures(edge, &mut s) else {
+            panic!("flipped byte fetched cleanly")
+        };
+        assert!(
+            matches!(err, StoreError::Corrupt { .. }),
+            "expected Corrupt, got {err}"
+        );
+        // The bitmap block is untouched, so the bitmap fetch still verifies.
+        assert!(checked.edge_bitmap(edge, &mut s).is_ok());
+
+        let trusting = DiskRelation::open_with(&dir, 1 << 20, os_vfs(), Verify::TrustDisk).unwrap();
+        let dcol = trusting.edge_measures(edge, &mut s).unwrap();
+        let mut scratch = IoStats::new();
+        assert_ne!(
+            &*dcol,
+            rel.edge_measures(edge, &mut scratch),
+            "without verification the flip silently changes an answer"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_part_file_is_typed_corruption() {
+        let dir = tmpdir("truncated");
+        let _ = build_and_save(&dir);
+        let probe = DiskRelation::open(&dir, 1 << 20).unwrap();
+        let path = dir.join(part_file_name(probe.generation(), 0));
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        // Either the directory parse or the first fetch must report
+        // corruption; nothing may panic.
+        match DiskRelation::open(&dir, 1 << 20) {
+            Err(e) => assert!(e.is_corruption(), "typed corruption, got {e}"),
+            Ok(disk) => {
+                let mut s = IoStats::new();
+                let mut saw_corrupt = false;
+                for e in 0..8u32 {
+                    if let Err(err) = disk.edge_measures(EdgeId(e), &mut s) {
+                        assert!(err.is_corruption(), "typed corruption, got {err}");
+                        saw_corrupt = true;
+                    }
+                }
+                assert!(saw_corrupt, "truncation went unnoticed");
+            }
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

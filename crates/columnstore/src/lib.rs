@@ -21,8 +21,15 @@
 //!   reasoning assumes "cost ∝ number of columns fetched", and every fetch
 //!   path here increments the corresponding counter so the benches can report
 //!   both wall-clock and model cost.
-//! * [`persist`] — a simple binary on-disk layout, used to measure the disk
-//!   footprint (Table 2, Figure 4) and to survive restarts.
+//! * [`persist`] — the crash-safe binary on-disk layout (format v2):
+//!   generation-named immutable data files, CRC32 on every payload, and an
+//!   atomically renamed framed manifest as the commit point. Used to measure
+//!   the disk footprint (Table 2, Figure 4) and to survive restarts *and
+//!   crashes mid-save*.
+//! * [`vfs`] — the injectable filesystem underneath [`persist`] and
+//!   [`disk`]: [`OsVfs`] in production, [`FaultVfs`] (deterministic torn
+//!   writes, short reads, bit flips, ENOSPC, lost fsyncs) under the
+//!   crash-consistency fuzzer.
 
 mod cache;
 mod column;
@@ -30,6 +37,7 @@ pub mod disk;
 mod iostats;
 pub mod persist;
 mod relation;
+pub mod vfs;
 
 pub use cache::LruCache;
 pub use column::{ColumnBuilder, DenseColumn, SparseColumn};
@@ -38,6 +46,7 @@ pub use iostats::{IoStats, SharedIoStats};
 pub use relation::{
     shard_ranges, AggViewId, MasterRelation, RelationBuilder, ViewId, DEFAULT_PARTITION_WIDTH,
 };
+pub use vfs::{crc32, os_vfs, FaultVfs, OsVfs, Verify, Vfs, VfsHandle};
 
 /// Errors from storage operations.
 #[derive(Debug)]
@@ -48,6 +57,26 @@ pub enum StoreError {
     Decode(graphbi_bitmap::DecodeError),
     /// The file layout was malformed.
     Format(&'static str),
+    /// A specific on-disk file failed integrity verification: checksum
+    /// mismatch, truncated or out-of-range block, or a data file missing
+    /// from the generation the manifest points at.
+    Corrupt {
+        /// File name within the store directory.
+        file: String,
+        /// What failed.
+        what: &'static str,
+    },
+}
+
+impl StoreError {
+    /// True when the error indicates damaged or partial on-disk state (as
+    /// opposed to an environmental I/O failure).
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Corrupt { .. } | StoreError::Decode(_) | StoreError::Format(_)
+        )
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -56,6 +85,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "io error: {e}"),
             StoreError::Decode(e) => write!(f, "decode error: {e}"),
             StoreError::Format(what) => write!(f, "bad file format: {what}"),
+            StoreError::Corrupt { file, what } => write!(f, "corrupt store file {file}: {what}"),
         }
     }
 }

@@ -406,7 +406,23 @@ mod tests {
 
     #[test]
     fn shard_ranges_partition_the_record_space() {
-        for (count, shards) in [(10u64, 3usize), (7, 7), (5, 8), (1, 4), (1000, 1), (0, 3)] {
+        for (count, shards) in [
+            (10u64, 3usize),
+            (7, 7),
+            (5, 8),
+            (1, 4),
+            (1000, 1),
+            (0, 3),
+            // Degenerate shard counts: 0 means serial, with or without
+            // records.
+            (0, 0),
+            (10, 0),
+            // More shards than records collapses to one per record.
+            (2, usize::MAX),
+            // The id-space ceiling: ranges end exactly at u32::MAX.
+            (u32::MAX as u64, 3),
+            (u32::MAX as u64, 1),
+        ] {
             let ranges = shard_ranges(count, shards);
             assert!(ranges.len() <= shards.max(1));
             let mut next = 0u64;

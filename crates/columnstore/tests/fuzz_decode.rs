@@ -53,8 +53,17 @@ fn relation_load_rejects_corrupt_directory() {
     let relation = b.finish_with_width(4);
     persist::save(&relation, &dir).unwrap();
 
-    // Truncate a partition file: load must error, not panic.
-    let part = dir.join("part_0001.gbi");
+    // Truncate a partition file: load must error, not panic. Part files
+    // are generation-named (format v2), so locate it by suffix.
+    let part = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with("-part_0001.gbi"))
+        })
+        .expect("saved relation has a second partition file");
     let bytes = std::fs::read(&part).unwrap();
     std::fs::write(&part, &bytes[..bytes.len() / 2]).unwrap();
     assert!(persist::load(&dir).is_err());

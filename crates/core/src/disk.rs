@@ -19,7 +19,10 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use graphbi_bitmap::Bitmap;
-use graphbi_columnstore::{persist, BitmapRef, ColumnRef, DiskRelation, IoStats, StoreError};
+use graphbi_columnstore::{
+    os_vfs, persist, BitmapRef, ColumnRef, DiskRelation, IoStats, StoreError, Verify, Vfs,
+    VfsHandle,
+};
 use graphbi_graph::{
     AggFn, AggState, EdgeId, GraphError, GraphQuery, PathAggQuery, PathAggResult, QueryExpr,
     QueryResult, Universe, UniverseIoError,
@@ -55,6 +58,20 @@ impl std::fmt::Display for DiskError {
     }
 }
 
+impl DiskError {
+    /// True when the error reports damaged or partial on-disk state (a
+    /// failed checksum, truncated file, or malformed metadata) rather than
+    /// an environmental failure or a query-model error.
+    pub fn is_corruption(&self) -> bool {
+        match self {
+            DiskError::Store(e) => e.is_corruption(),
+            DiskError::Universe(e) => matches!(e, UniverseIoError::Format { .. }),
+            DiskError::ViewsMeta(_) => true,
+            DiskError::Graph(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for DiskError {}
 
 impl From<StoreError> for DiskError {
@@ -73,13 +90,26 @@ impl From<GraphError> for DiskError {
     }
 }
 
+/// Sidecar name of the universe payload within a store directory.
+const UNIVERSE_SIDECAR: &str = "universe.txt";
+/// Sidecar name of the view-definition payload.
+const VIEWS_META_SIDECAR: &str = "views_meta.txt";
+
 /// Writes a complete database directory: relation, universe and view
 /// definitions. [`DiskGraphStore::open`] (and the in-memory
-/// [`persist::load`] path) read it back. Returns bytes written.
+/// [`load_store`] path) read it back. Returns bytes written.
 pub fn save_store(store: &GraphStore, dir: &Path) -> Result<u64, DiskError> {
-    std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
-    let mut total = persist::save(store.relation(), dir)?;
-    store.universe().save(&dir.join("universe.txt"))?;
+    save_store_with(os_vfs().as_ref(), store, dir)
+}
+
+/// [`save_store`] through an injectable [`Vfs`].
+///
+/// The universe and view definitions travel as sidecar blobs inside the
+/// relation's save, so the *whole* store — columns, naming scheme, view
+/// metadata — is published atomically by the manifest rename: a crash at
+/// any point leaves a directory that opens as either the complete old
+/// database or the complete new one.
+pub fn save_store_with(vfs: &dyn Vfs, store: &GraphStore, dir: &Path) -> Result<u64, DiskError> {
     // View definitions: the relation holds only the columns; the defs that
     // map them back to edge sets live in a text sidecar.
     let mut meta = String::new();
@@ -97,56 +127,68 @@ pub fn save_store(store: &GraphStore, dir: &Path) -> Result<u64, DiskError> {
         }
         meta.push('\n');
     }
-    std::fs::write(dir.join("views_meta.txt"), &meta).map_err(StoreError::Io)?;
-    total += meta.len() as u64;
-    Ok(total)
+    let universe = store.universe().to_text();
+    let sidecars: [(&str, &[u8]); 2] = [
+        (UNIVERSE_SIDECAR, universe.as_bytes()),
+        (VIEWS_META_SIDECAR, meta.as_bytes()),
+    ];
+    Ok(persist::save_with(vfs, store.relation(), &sidecars, dir)?)
 }
 
 /// Loads a database directory fully into memory, *reattaching* the
 /// materialized views (unlike [`GraphStore::from_relation`], which must
 /// drop them for lack of definitions).
 pub fn load_store(dir: &Path) -> Result<GraphStore, DiskError> {
-    let universe = Universe::load(&dir.join("universe.txt"))?;
-    let relation = persist::load(dir)?;
+    load_store_with(os_vfs().as_ref(), dir, Verify::Checksums)
+}
+
+/// [`load_store`] through an injectable [`Vfs`], optionally skipping
+/// payload checksum verification (see [`Verify`]).
+pub fn load_store_with(vfs: &dyn Vfs, dir: &Path, verify: Verify) -> Result<GraphStore, DiskError> {
+    let universe_bytes = persist::read_sidecar(vfs, dir, UNIVERSE_SIDECAR)?;
+    let universe = Universe::parse_text(
+        std::str::from_utf8(&universe_bytes)
+            .map_err(|_| DiskError::ViewsMeta("universe sidecar not utf-8"))?,
+    )?;
+    let relation = persist::load_with(vfs, dir, verify)?;
     let mut store = GraphStore::from_relation_keeping_views(universe, relation);
-    let meta_path = dir.join("views_meta.txt");
-    if meta_path.exists() {
-        let meta = std::fs::read_to_string(&meta_path).map_err(StoreError::Io)?;
-        let mut graph_idx = 0u32;
-        let mut agg_idx = 0u32;
-        for line in meta.lines().filter(|l| !l.is_empty()) {
-            let mut parts = line.split(' ');
-            match parts.next() {
-                Some("g") => {
-                    store.attach_graph_view(parse_edges(parts)?, graph_idx);
-                    graph_idx += 1;
-                }
-                Some("a") => {
-                    let func = match parts.next() {
-                        Some("SUM") => AggFn::Sum,
-                        Some("MIN") => AggFn::Min,
-                        Some("MAX") => AggFn::Max,
-                        Some("AVG") => AggFn::Avg,
-                        Some("COUNT") => AggFn::Count,
-                        _ => return Err(DiskError::ViewsMeta("unknown aggregate function")),
-                    };
-                    store.attach_agg_view(parse_edges(parts)?, func, agg_idx);
-                    agg_idx += 1;
-                }
-                _ => return Err(DiskError::ViewsMeta("unknown view kind")),
+    let meta_bytes = persist::read_sidecar(vfs, dir, VIEWS_META_SIDECAR)?;
+    let meta = std::str::from_utf8(&meta_bytes)
+        .map_err(|_| DiskError::ViewsMeta("views sidecar not utf-8"))?;
+    let mut graph_idx = 0u32;
+    let mut agg_idx = 0u32;
+    for line in meta.lines().filter(|l| !l.is_empty()) {
+        let mut parts = line.split(' ');
+        match parts.next() {
+            Some("g") => {
+                store.attach_graph_view(parse_edges(parts)?, graph_idx);
+                graph_idx += 1;
             }
+            Some("a") => {
+                let func = parse_agg_fn(parts.next())?;
+                store.attach_agg_view(parse_edges(parts)?, func, agg_idx);
+                agg_idx += 1;
+            }
+            _ => return Err(DiskError::ViewsMeta("unknown view kind")),
         }
-        if graph_idx as usize != store.relation().view_count()
-            || agg_idx as usize != store.relation().agg_view_count()
-        {
-            return Err(DiskError::ViewsMeta("definition/column count mismatch"));
-        }
-    } else if store.relation().view_count() > 0 || store.relation().agg_view_count() > 0 {
-        return Err(DiskError::ViewsMeta(
-            "missing views_meta.txt for stored views",
-        ));
+    }
+    if graph_idx as usize != store.relation().view_count()
+        || agg_idx as usize != store.relation().agg_view_count()
+    {
+        return Err(DiskError::ViewsMeta("definition/column count mismatch"));
     }
     Ok(store)
+}
+
+fn parse_agg_fn(token: Option<&str>) -> Result<AggFn, DiskError> {
+    match token {
+        Some("SUM") => Ok(AggFn::Sum),
+        Some("MIN") => Ok(AggFn::Min),
+        Some("MAX") => Ok(AggFn::Max),
+        Some("AVG") => Ok(AggFn::Avg),
+        Some("COUNT") => Ok(AggFn::Count),
+        _ => Err(DiskError::ViewsMeta("unknown aggregate function")),
+    }
 }
 
 /// A stored graph-view definition (disk side).
@@ -172,37 +214,49 @@ impl DiskGraphStore {
     /// Opens a database directory written by [`save_store`], with a column
     /// cache of `cache_bytes`.
     pub fn open(dir: &Path, cache_bytes: usize) -> Result<DiskGraphStore, DiskError> {
-        let universe = Universe::load(&dir.join("universe.txt"))?;
-        let relation = DiskRelation::open(dir, cache_bytes)?;
+        DiskGraphStore::open_with(dir, cache_bytes, os_vfs(), Verify::Checksums)
+    }
+
+    /// [`DiskGraphStore::open`] through an injectable [`Vfs`]. Partial or
+    /// damaged state (from a crash mid-save, a flipped bit at rest, …) is
+    /// reported as a typed [`DiskError`] whose
+    /// [`is_corruption`](DiskError::is_corruption) holds — never a panic.
+    /// `verify` governs payload checksum verification on every later
+    /// column fetch ([`Verify::TrustDisk`] exists for the fuzzer's
+    /// teeth test only).
+    pub fn open_with(
+        dir: &Path,
+        cache_bytes: usize,
+        vfs: VfsHandle,
+        verify: Verify,
+    ) -> Result<DiskGraphStore, DiskError> {
+        let relation = DiskRelation::open_with(dir, cache_bytes, vfs, verify)?;
+        let universe_bytes = relation.sidecar(UNIVERSE_SIDECAR)?;
+        let universe = Universe::parse_text(
+            std::str::from_utf8(&universe_bytes)
+                .map_err(|_| DiskError::ViewsMeta("universe sidecar not utf-8"))?,
+        )?;
         let mut graph_views = Vec::new();
         let mut agg_views = Vec::new();
-        let meta_path = dir.join("views_meta.txt");
-        if meta_path.exists() {
-            let meta = std::fs::read_to_string(&meta_path).map_err(StoreError::Io)?;
-            for line in meta.lines().filter(|l| !l.is_empty()) {
-                let mut parts = line.split(' ');
-                match parts.next() {
-                    Some("g") => {
-                        let edges = parse_edges(parts)?;
-                        graph_views.push(DiskGraphView { edges });
-                    }
-                    Some("a") => {
-                        let func = match parts.next() {
-                            Some("SUM") => AggFn::Sum,
-                            Some("MIN") => AggFn::Min,
-                            Some("MAX") => AggFn::Max,
-                            Some("AVG") => AggFn::Avg,
-                            Some("COUNT") => AggFn::Count,
-                            _ => return Err(DiskError::ViewsMeta("unknown aggregate function")),
-                        };
-                        let edges = parse_edges(parts)?;
-                        agg_views.push(DiskAggView {
-                            edges,
-                            kind: base_kind(func),
-                        });
-                    }
-                    _ => return Err(DiskError::ViewsMeta("unknown view kind")),
+        let meta_bytes = relation.sidecar(VIEWS_META_SIDECAR)?;
+        let meta = std::str::from_utf8(&meta_bytes)
+            .map_err(|_| DiskError::ViewsMeta("views sidecar not utf-8"))?;
+        for line in meta.lines().filter(|l| !l.is_empty()) {
+            let mut parts = line.split(' ');
+            match parts.next() {
+                Some("g") => {
+                    let edges = parse_edges(parts)?;
+                    graph_views.push(DiskGraphView { edges });
                 }
+                Some("a") => {
+                    let func = parse_agg_fn(parts.next())?;
+                    let edges = parse_edges(parts)?;
+                    agg_views.push(DiskAggView {
+                        edges,
+                        kind: base_kind(func),
+                    });
+                }
+                _ => return Err(DiskError::ViewsMeta("unknown view kind")),
             }
         }
         if graph_views.len() != relation.view_count()

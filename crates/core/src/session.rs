@@ -157,6 +157,17 @@ pub enum SessionError {
     Disk(DiskError),
 }
 
+impl SessionError {
+    /// True when the error reports damaged or partial on-disk state (see
+    /// [`DiskError::is_corruption`]); false for query-model errors.
+    pub fn is_corruption(&self) -> bool {
+        match self {
+            SessionError::Graph(_) => false,
+            SessionError::Disk(e) => e.is_corruption(),
+        }
+    }
+}
+
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

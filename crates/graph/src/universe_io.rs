@@ -52,16 +52,29 @@ impl From<std::io::Error> for UniverseIoError {
 }
 
 impl Universe {
+    /// Renders the universe in its line-oriented text format — the byte
+    /// payload of [`Universe::save`], exposed so callers can route it
+    /// through other transports (e.g. a store sidecar).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("graphbi-universe v1\n");
+        for i in 0..self.node_count() {
+            out.push_str(&format!("n {}\n", self.node_name(NodeId(i as u32))));
+        }
+        for (_, s, t) in self.edges() {
+            out.push_str(&format!("e {} {}\n", s.0, t.0));
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Universe::to_text`].
+    pub fn parse_text(text: &str) -> Result<Universe, UniverseIoError> {
+        Universe::parse_lines(text.lines().map(|l| Ok(l.to_owned())))
+    }
+
     /// Writes the universe to `path`.
     pub fn save(&self, path: &Path) -> Result<(), UniverseIoError> {
         let mut w = BufWriter::new(std::fs::File::create(path)?);
-        writeln!(w, "graphbi-universe v1")?;
-        for i in 0..self.node_count() {
-            writeln!(w, "n {}", self.node_name(NodeId(i as u32)))?;
-        }
-        for (_, s, t) in self.edges() {
-            writeln!(w, "e {} {}", s.0, t.0)?;
-        }
+        w.write_all(self.to_text().as_bytes())?;
         w.flush()?;
         Ok(())
     }
@@ -69,8 +82,14 @@ impl Universe {
     /// Reads a universe previously written by [`Universe::save`].
     pub fn load(path: &Path) -> Result<Universe, UniverseIoError> {
         let r = BufReader::new(std::fs::File::open(path)?);
+        Universe::parse_lines(r.lines())
+    }
+
+    fn parse_lines(
+        lines: impl Iterator<Item = std::io::Result<String>>,
+    ) -> Result<Universe, UniverseIoError> {
         let mut u = Universe::new();
-        for (i, line) in r.lines().enumerate() {
+        for (i, line) in lines.enumerate() {
             let line = line?;
             let lineno = i + 1;
             if i == 0 {
@@ -163,6 +182,20 @@ mod tests {
             Err(UniverseIoError::Format { line: 3, .. })
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn text_round_trip_matches_file_round_trip() {
+        let mut u = Universe::new();
+        let a = u.node("A");
+        let b = u.node("B");
+        u.edge(a, b);
+        let text = u.to_text();
+        let back = Universe::parse_text(&text).unwrap();
+        assert_eq!(back.node_count(), 2);
+        assert_eq!(back.edge_count(), 1);
+        assert_eq!(back.to_text(), text);
+        assert!(Universe::parse_text("nonsense\n").is_err());
     }
 
     #[test]

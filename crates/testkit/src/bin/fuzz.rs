@@ -1,26 +1,37 @@
-//! Deterministic differential fuzzer.
+//! Deterministic differential & crash-consistency fuzzer.
 //!
 //! ```text
-//! fuzz --seed 42 --iters 200 [--fault flip-andnot]
+//! fuzz --seed 42 --iters 200 [--fault flip-andnot]    # differential mode
+//! fuzz --crash --seed 42 --iters 3 [--fault drop-crc] # crash mode
 //! ```
 //!
-//! Iteration `i` checks the scenario of seed `seed + i` through the full
-//! engine matrix. On a failure, the scenario is shrunk to a minimal
-//! reproducer and the replay seed is printed; the process exits non-zero.
+//! Differential mode: iteration `i` checks the scenario of seed `seed + i`
+//! through the full engine matrix. Crash mode: the same scenario is saved
+//! through the fault-injecting VFS, crashed at every operation index under
+//! every fault kind, rebooted and reopened — the store must come back as
+//! exactly the old or exactly the new database, and flipped-at-rest bytes
+//! must be caught by checksums (`--fault drop-crc` disables verification
+//! to prove the harness notices). On a failure, the scenario is shrunk to
+//! a minimal reproducer and the replay seed is printed; the process exits
+//! non-zero.
 
-use graphbi_testkit::{check, shrink, Fault, Scenario};
+use graphbi_testkit::{check, crash, shrink, shrink_with, CrashFault, Fault, Scenario};
 
 struct Args {
     seed: u64,
     iters: u64,
+    crash: bool,
     fault: Fault,
+    crash_fault: CrashFault,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         seed: 0,
         iters: 100,
+        crash: false,
         fault: Fault::None,
+        crash_fault: CrashFault::None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -33,17 +44,31 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--iters needs a value")?;
                 args.iters = v.parse().map_err(|_| format!("bad --iters {v:?}"))?;
             }
+            "--crash" => args.crash = true,
             "--fault" => match it.next().as_deref() {
                 Some("flip-andnot") => args.fault = Fault::FlipAndNot,
-                Some("none") => args.fault = Fault::None,
+                Some("drop-crc") => args.crash_fault = CrashFault::DropCrc,
+                Some("none") => {
+                    args.fault = Fault::None;
+                    args.crash_fault = CrashFault::None;
+                }
                 other => return Err(format!("unknown --fault {other:?}")),
             },
             "--help" | "-h" => {
-                println!("usage: fuzz --seed N --iters M [--fault flip-andnot|none]");
+                println!(
+                    "usage: fuzz --seed N --iters M [--fault flip-andnot|none]\n       \
+                     fuzz --crash --seed N --iters M [--fault drop-crc|none]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if args.crash && args.fault != Fault::None {
+        return Err("--fault flip-andnot is a differential-mode fault".into());
+    }
+    if !args.crash && args.crash_fault != CrashFault::None {
+        return Err("--fault drop-crc needs --crash".into());
     }
     Ok(args)
 }
@@ -56,7 +81,72 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.crash {
+        crash_mode(&args);
+    } else {
+        differential_mode(&args);
+    }
+}
 
+/// Crash mode: every scenario is a full crash-point × fault-kind sweep
+/// plus the corruption-at-rest flips.
+fn crash_mode(args: &Args) {
+    let mut failures = 0u64;
+    let mut crash_points = 0u64;
+    let mut flip_points = 0u64;
+    for i in 0..args.iters {
+        let seed = args.seed.wrapping_add(i);
+        let scenario = Scenario::generate(seed);
+        let report = crash::check(&scenario, args.crash_fault);
+        crash_points += report.crash_points;
+        flip_points += report.flip_points;
+        if report.passed() {
+            println!(
+                "fuzz: seed {seed} consistent at {} crash points, {} byte flips",
+                report.crash_points, report.flip_points,
+            );
+            continue;
+        }
+
+        failures += 1;
+        println!(
+            "fuzz: CRASH-CONSISTENCY FAILURE at seed {seed} ({} broken guarantees) — shrinking…",
+            report.failures.len()
+        );
+        let crash_fault = args.crash_fault;
+        let minimized = shrink_with(&scenario, |s| !crash::check(s, crash_fault).passed());
+        let small = &minimized.scenario;
+        let small_report = crash::check(small, crash_fault);
+        println!(
+            "fuzz: minimal reproducer: seed {seed}, {} records (from {}), \
+             {} queries / {} exprs / {} aggs ({} sweeps spent)",
+            small.records.len(),
+            scenario.records.len(),
+            small.queries.len(),
+            small.exprs.len(),
+            small.aggs.len(),
+            minimized.evaluations,
+        );
+        for f in small_report.failures.iter().take(5) {
+            println!("fuzz:   {f}");
+        }
+        println!("fuzz: replay with: fuzz --crash --seed {seed} --iters 1");
+    }
+
+    if failures > 0 {
+        println!("fuzz: {failures}/{} scenarios FAILED", args.iters);
+        std::process::exit(1);
+    }
+    println!(
+        "fuzz: all {} scenarios crash-consistent ({crash_points} crash points, \
+         {flip_points} byte flips, seeds {}..{})",
+        args.iters,
+        args.seed,
+        args.seed.wrapping_add(args.iters),
+    );
+}
+
+fn differential_mode(args: &Args) {
     let mut failures = 0u64;
     let mut checks = 0u64;
     for i in 0..args.iters {

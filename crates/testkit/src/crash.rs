@@ -1,0 +1,347 @@
+//! The crash-consistency oracle: save through a faulty disk, crash at
+//! every operation, reopen, and demand the store is all-old or all-new.
+//!
+//! One scenario becomes two databases — the *old* store (the first half of
+//! the records) and the *new* store (all of them). The old store is saved
+//! through a clean [`FaultVfs`]; then, for every fault kind and every VFS
+//! operation index the new save performs, a fresh fork of that filesystem
+//! is crashed at exactly that point, rebooted, and reopened. The reopened
+//! store must answer the whole workload exactly like the old store or
+//! exactly like the new one — anything in between is a torn state, the bug
+//! this oracle exists to catch. A second sweep flips individual durable
+//! bytes of the published store ("corruption at rest") and demands every
+//! flip either surfaces as a typed corruption error or provably changes
+//! nothing.
+//!
+//! [`CrashFault::DropCrc`] reopens with [`Verify::TrustDisk`] — the
+//! deliberately-broken configuration that proves the harness has teeth:
+//! with payload checksums off, some flipped byte must slip through and
+//! change an answer, which this oracle reports as a failure the fuzzer
+//! then shrinks.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use graphbi::disk::{save_store_with, DiskGraphStore};
+use graphbi::{AggFn, GraphStore, QueryRequest, Response, Session};
+use graphbi_columnstore::vfs::Fault as VfsFault;
+use graphbi_columnstore::{FaultVfs, Verify, Vfs};
+
+use crate::scenario::Scenario;
+
+/// Column-cache budget for reopened stores (matches the differential
+/// matrix: small enough to exercise eviction).
+const CACHE_BYTES: usize = 64 << 10;
+
+/// Fault-kind sweep order: every kind is armed at every operation index
+/// of the save under test.
+const KINDS: [VfsFault; 6] = [
+    VfsFault::Crash,
+    VfsFault::TornWrite,
+    VfsFault::Enospc,
+    VfsFault::ShortRead,
+    VfsFault::BitFlip,
+    VfsFault::LostFsync,
+];
+
+/// Intentional misconfiguration of the store under test, for validating
+/// that the crash oracle catches real durability bugs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashFault {
+    /// No fault: the store under test, checksums on.
+    None,
+    /// Reopen every store with [`Verify::TrustDisk`] — payload checksums
+    /// disabled. The bit-flip sweep must catch this.
+    DropCrc,
+}
+
+/// One violated durability guarantee.
+#[derive(Debug)]
+pub struct CrashFailure {
+    /// Where it happened (`TornWrite@17`, `flip g…-part_0000.gbi@412`, …).
+    pub site: String,
+    /// What guarantee broke.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CrashFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.site, self.detail)
+    }
+}
+
+/// The crash oracle's verdict on one scenario.
+#[derive(Debug, Default)]
+pub struct CrashReport {
+    /// Every broken guarantee (empty = scenario passed).
+    pub failures: Vec<CrashFailure>,
+    /// Crash experiments run (fault kinds × save operation indices).
+    pub crash_points: u64,
+    /// Corruption-at-rest experiments run (individual byte flips).
+    pub flip_points: u64,
+}
+
+impl CrashReport {
+    /// True when every crash point reopened consistently and every flip
+    /// was caught or provably harmless.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn fail(&mut self, site: String, detail: String) {
+        self.failures.push(CrashFailure { site, detail });
+    }
+}
+
+/// Runs the full crash-consistency sweep on one scenario.
+pub fn check(scenario: &Scenario, fault: CrashFault) -> CrashReport {
+    let mut report = CrashReport::default();
+    let verify = match fault {
+        CrashFault::None => Verify::Checksums,
+        CrashFault::DropCrc => Verify::TrustDisk,
+    };
+    let dir = PathBuf::from("/crashdb");
+
+    // Two generations of the database: the state before and after the
+    // save under test.
+    let old_n = (scenario.records.len() / 2)
+        .max(1)
+        .min(scenario.records.len());
+    let old_store = store_of(scenario, old_n);
+    let new_store = store_of(scenario, scenario.records.len());
+
+    // Baseline: the old store saved through a clean in-memory disk.
+    let base = FaultVfs::new(scenario.seed);
+    save_store_with(&base, &old_store, &dir).expect("baseline save on a clean FaultVfs");
+    let ops_before = base.op_count();
+
+    // The workload, restricted to requests every engine can answer
+    // (cyclic path aggregations error on any backend, old or new).
+    let reqs: Vec<QueryRequest> = requests(scenario)
+        .into_iter()
+        .filter(|r| new_store.execute(r).is_ok())
+        .collect();
+
+    // Expected answers, computed through the SAME disk engine so the
+    // old-vs-new comparison is exact — no cross-engine float drift.
+    let old_expected = {
+        let f = Arc::new(base.fork());
+        let disk = DiskGraphStore::open_with(&dir, CACHE_BYTES, f, Verify::Checksums)
+            .expect("reopen baseline store");
+        answers(&disk, &reqs).expect("answer workload on baseline store")
+    };
+
+    // Dry run of the save under test: counts the VFS operations it
+    // performs — the crash sweep arms one fault at each of those indices.
+    let clean = Arc::new(base.fork());
+    save_store_with(clean.as_ref(), &new_store, &dir).expect("dry-run save");
+    let save_ops = clean.op_count() - ops_before;
+    clean.reboot();
+    let new_expected = {
+        let disk = DiskGraphStore::open_with(&dir, CACHE_BYTES, clean.clone(), Verify::Checksums)
+            .expect("reopen dry-run store");
+        answers(&disk, &reqs).expect("answer workload on dry-run store")
+    };
+
+    // Phase 1: crash the save at every operation index, under every fault
+    // kind. Reopening must find exactly the old or exactly the new store.
+    for kind in KINDS {
+        for k in 0..save_ops {
+            report.crash_points += 1;
+            let site = format!("{kind:?}@{k}");
+            let f = Arc::new(base.fork());
+            f.arm(kind, ops_before + k);
+            let saved = save_store_with(f.as_ref(), &new_store, &dir);
+            // Power loss right after the save call returns (or dies):
+            // only fsynced state may survive.
+            f.crash();
+            f.reboot();
+            // LostFsync breaks the write path's durability contract, so
+            // a *detected* corruption is an acceptable outcome for it —
+            // but never for the honest fault kinds.
+            let lying = kind == VfsFault::LostFsync;
+            let disk = match DiskGraphStore::open_with(&dir, CACHE_BYTES, f, verify) {
+                Ok(d) => d,
+                Err(e) if e.is_corruption() => {
+                    if !lying {
+                        report.fail(
+                            site,
+                            format!("store unopenable after crash (atomic publish broken): {e}"),
+                        );
+                    }
+                    continue;
+                }
+                Err(e) => {
+                    report.fail(
+                        site,
+                        format!("reopen failed with non-corruption error: {e}"),
+                    );
+                    continue;
+                }
+            };
+            match answers(&disk, &reqs) {
+                Err(e) if e.is_corruption() => {
+                    if !lying {
+                        report.fail(site, format!("payload corruption after crash reopen: {e}"));
+                    }
+                }
+                Err(e) => {
+                    report.fail(site, format!("query failed with non-corruption error: {e}"));
+                }
+                Ok(got) => {
+                    let is_old = got == old_expected;
+                    let is_new = got == new_expected;
+                    if !is_old && !is_new {
+                        report.fail(
+                            site,
+                            "torn state: answers match neither the old nor the new store".into(),
+                        );
+                    } else if is_old && !is_new && saved.is_ok() && !lying {
+                        report.fail(
+                            site,
+                            "save reported success but the reopened store is the old one".into(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2: corruption at rest. Flip one durable byte of the published
+    // store per experiment; reopening + querying must either surface a
+    // typed corruption error or answer exactly like the intact store.
+    for (path, offset) in flip_targets(&clean, &dir) {
+        report.flip_points += 1;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let site = format!("flip {name}@{offset}");
+        let f = Arc::new(clean.fork());
+        f.corrupt_at(&path, offset);
+        let disk = match DiskGraphStore::open_with(&dir, CACHE_BYTES, f, verify) {
+            Ok(d) => d,
+            Err(e) if e.is_corruption() => continue, // caught at open: good
+            Err(e) => {
+                report.fail(
+                    site,
+                    format!("reopen failed with non-corruption error: {e}"),
+                );
+                continue;
+            }
+        };
+        match answers(&disk, &reqs) {
+            Err(e) if e.is_corruption() => {} // caught at fetch: good
+            Err(e) => report.fail(site, format!("query failed with non-corruption error: {e}")),
+            Ok(got) => {
+                if got != new_expected {
+                    report.fail(
+                        site,
+                        "flipped byte changed answers silently (checksum missed it)".into(),
+                    );
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// The scenario's store over its first `n` records, views advised exactly
+/// like the differential matrix does.
+fn store_of(scenario: &Scenario, n: usize) -> GraphStore {
+    let mut store = GraphStore::load(scenario.universe.clone(), &scenario.records[..n]);
+    if scenario.view_budget > 0 {
+        store.advise_views(&scenario.queries, scenario.view_budget);
+    }
+    if scenario.agg_view_budget > 0 {
+        let _ = store.advise_agg_views(&scenario.queries, AggFn::Sum, scenario.agg_view_budget);
+    }
+    store
+}
+
+/// The scenario's whole workload as serial requests.
+fn requests(scenario: &Scenario) -> Vec<QueryRequest> {
+    let mut reqs = Vec::new();
+    for q in &scenario.queries {
+        reqs.push(QueryRequest::new(q.clone()));
+    }
+    for e in &scenario.exprs {
+        reqs.push(QueryRequest::expr(e.clone()));
+    }
+    for a in &scenario.aggs {
+        reqs.push(QueryRequest::aggregate(a.clone()));
+    }
+    reqs
+}
+
+/// Answers the workload through one backend, first error wins.
+fn answers(
+    store: &DiskGraphStore,
+    reqs: &[QueryRequest],
+) -> Result<Vec<Response>, graphbi::SessionError> {
+    reqs.iter()
+        .map(|r| store.execute(r).map(|(resp, _)| resp))
+        .collect()
+}
+
+/// Byte offsets to corrupt, chosen to land inside checksummed payloads:
+/// measure values and bitmap bytes of the partition files (the
+/// silent-wrong-answer bait when checksums are off), plus one tail byte
+/// of every other file (manifest, views, sidecars — their checksums are
+/// always on, so those must surface as typed errors).
+fn flip_targets(vfs: &FaultVfs, dir: &Path) -> Vec<(PathBuf, usize)> {
+    /// Values-payload flips per partition file — enough that several land
+    /// in columns the workload actually fetches.
+    const FLIPS_PER_PART: usize = 32;
+
+    let mut out = Vec::new();
+    let mut files = vfs.list(dir).unwrap_or_default();
+    files.sort();
+    for path in files {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        let Ok(bytes) = vfs.read(&path) else { continue };
+        if bytes.is_empty() {
+            continue;
+        }
+        if !name.contains("-part_") {
+            out.push((path, bytes.len() - 1));
+            continue;
+        }
+        // Partition file: walk the directory to find payload offsets.
+        // Layout: [ncols u32][(bitmap_len u64, values_len u64, crc, crc)
+        // × n][dir_crc u32][payloads].
+        if bytes.len() < 4 {
+            continue;
+        }
+        let le64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+        let ncols = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let header = 4 + ncols * 24;
+        if bytes.len() < header + 4 {
+            continue;
+        }
+        let mut off = header + 4;
+        let mut flips = 0;
+        for c in 0..ncols {
+            let entry = 4 + c * 24;
+            let bitmap_len = le64(entry);
+            let values_len = le64(entry + 8);
+            if flips < FLIPS_PER_PART {
+                if values_len > 0 && off + bitmap_len < bytes.len() {
+                    // First byte of the column's measure values.
+                    out.push((path.clone(), off + bitmap_len));
+                    flips += 1;
+                } else if bitmap_len > 0 && off < bytes.len() {
+                    // Columns without measures: flip structure instead.
+                    out.push((path.clone(), off));
+                    flips += 1;
+                }
+            }
+            off += bitmap_len + values_len;
+        }
+    }
+    out
+}

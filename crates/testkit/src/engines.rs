@@ -13,17 +13,21 @@
 //! * `columnar-reloaded` — the database loaded *back into memory* through
 //!   [`graphbi::disk::load_store`], making the persistence round-trip an
 //!   ordinary matrix row;
+//! * `columnar-disk-faultvfs-views` — the database saved and reopened
+//!   through the crash fuzzer's in-memory [`FaultVfs`] (no fault armed),
+//!   proving the fault-injection substrate is semantically transparent;
 //! * `row`, `rdf`, `graphdb` — the three baseline systems.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use graphbi::disk::{load_store, save_store, DiskGraphStore};
+use graphbi::disk::{load_store, save_store, save_store_with, DiskGraphStore};
 use graphbi::{
     AggFn, EvalOptions, GraphQuery, GraphStore, PathAggQuery, PathAggResult, QueryExpr,
     QueryRequest, QueryResult, RecordId, Session,
 };
 use graphbi_baselines::{Engine, GraphDb, RdfStore, RowStore};
+use graphbi_columnstore::{FaultVfs, Verify};
 
 use crate::scenario::Scenario;
 
@@ -301,6 +305,23 @@ impl Matrix {
             shards: 1,
             fault: Fault::None,
             label: "columnar-reloaded-views".into(),
+        }));
+        // The same database saved and reopened through the in-memory
+        // fault-injection VFS with no fault armed — the crash fuzzer's
+        // substrate answering as an ordinary matrix row proves FaultVfs
+        // itself is semantically transparent.
+        let fvfs = Arc::new(FaultVfs::new(scenario.seed));
+        let fdir = PathBuf::from("/matrixdb");
+        save_store_with(fvfs.as_ref(), &mem, &fdir).expect("save through FaultVfs");
+        let fdisk = Arc::new(
+            DiskGraphStore::open_with(&fdir, DISK_CACHE_BYTES, fvfs, Verify::Checksums)
+                .expect("open through FaultVfs"),
+        );
+        engines.push(Box::new(ColumnarDisk {
+            disk: fdisk,
+            opts: EvalOptions::default(),
+            shards: 1,
+            label: "columnar-disk-faultvfs-views".into(),
         }));
         engines.push(Box::new(Labeled {
             engine: RowStore::load(&scenario.records),

@@ -17,15 +17,26 @@
 //! minimal record set and workload that still reproduce it; the `fuzz`
 //! binary (`cargo run -p graphbi-testkit --bin fuzz -- --seed 42 --iters
 //! 200`) drives the loop and prints replayable seeds.
+//!
+//! The same scenarios also feed the crash-consistency oracle
+//! ([`crash::check`]): the store is saved through a deterministic faulty
+//! filesystem (`FaultVfs`), crashed at every VFS operation index under
+//! every fault kind, rebooted and reopened — the reopened store must be
+//! exactly the old database or exactly the new one, and every
+//! flipped-at-rest byte must be caught by a checksum or provably change
+//! nothing (`fuzz --crash`). Crash failures shrink through the same
+//! delta-debugger via [`shrink::shrink_with`].
 
+pub mod crash;
 pub mod engines;
 pub mod oracle;
 pub mod reference;
 pub mod scenario;
 pub mod shrink;
 
+pub use crash::{CrashFailure, CrashFault, CrashReport};
 pub use engines::{Fault, Matrix, MatrixEngine};
 pub use oracle::{check, Discrepancy, Report, TOLERANCE};
 pub use reference::Reference;
 pub use scenario::Scenario;
-pub use shrink::{shrink, Shrunk};
+pub use shrink::{shrink, shrink_with, Shrunk};

@@ -1,10 +1,13 @@
 //! Greedy failure minimization.
 //!
-//! Given a scenario the oracle rejects, reduce it to something a human can
+//! Given a scenario some oracle rejects, reduce it to something a human can
 //! read: first delta-debug the record collection (drop chunks, halving the
 //! chunk size down to single records), then strip the workload to the
 //! items that still reproduce the failure. Every candidate is re-checked
-//! through the full oracle, so the result is guaranteed to still fail.
+//! through the failing predicate, so the result is guaranteed to still
+//! fail. [`shrink`] minimizes against the differential oracle;
+//! [`shrink_with`] takes any predicate — the crash-consistency fuzzer
+//! plugs its own reopen check in here.
 
 use crate::engines::Fault;
 use crate::oracle;
@@ -21,14 +24,22 @@ pub struct Shrunk {
 /// Minimizes `scenario`, which must fail under `fault` (panics otherwise —
 /// shrinking a passing scenario is a harness bug).
 pub fn shrink(scenario: &Scenario, fault: Fault) -> Shrunk {
+    shrink_with(scenario, |s| !oracle::check(s, fault).passed())
+}
+
+/// Minimizes `scenario` against an arbitrary failing predicate: `fails`
+/// must return true on `scenario` itself (panics otherwise) and on every
+/// intermediate result. The predicate is the single source of truth — any
+/// oracle (differential, crash-consistency, …) drops in.
+pub fn shrink_with(scenario: &Scenario, mut fails_pred: impl FnMut(&Scenario) -> bool) -> Shrunk {
     let mut evaluations = 0u64;
     let mut fails = |s: &Scenario| {
         evaluations += 1;
-        !oracle::check(s, fault).passed()
+        fails_pred(s)
     };
     assert!(
         fails(scenario),
-        "shrink() called on a scenario the oracle accepts"
+        "shrink_with() called on a scenario the predicate accepts"
     );
 
     // Phase 1: delta-debug the record set.
@@ -56,9 +67,9 @@ pub fn shrink(scenario: &Scenario, fault: Fault) -> Shrunk {
     let mut min = scenario.with_records(&kept);
 
     // Phase 2: strip workload items, one family at a time.
-    let queries = minimize_items(&min, fault, &mut evaluations, WorkloadFamily::Queries);
-    let exprs = minimize_items(&min, fault, &mut evaluations, WorkloadFamily::Exprs);
-    let aggs = minimize_items(&min, fault, &mut evaluations, WorkloadFamily::Aggs);
+    let queries = minimize_items(&min, &mut fails, WorkloadFamily::Queries);
+    let exprs = minimize_items(&min, &mut fails, WorkloadFamily::Exprs);
+    let aggs = minimize_items(&min, &mut fails, WorkloadFamily::Aggs);
     let candidate = min.with_workload(
         min.queries
             .iter()
@@ -79,8 +90,7 @@ pub fn shrink(scenario: &Scenario, fault: Fault) -> Shrunk {
             .map(|(_, a)| a.clone())
             .collect(),
     );
-    evaluations += 1;
-    if !oracle::check(&candidate, fault).passed() {
+    if fails(&candidate) {
         min = candidate;
     }
 
@@ -101,8 +111,7 @@ enum WorkloadFamily {
 /// persists; returns the indices that must stay.
 fn minimize_items(
     scenario: &Scenario,
-    fault: Fault,
-    evaluations: &mut u64,
+    fails: &mut impl FnMut(&Scenario) -> bool,
     family: WorkloadFamily,
 ) -> Vec<usize> {
     let len = match family {
@@ -120,8 +129,7 @@ fn minimize_items(
             .map(|(_, &k)| k)
             .collect();
         let restricted = restrict(scenario, &candidate, family);
-        *evaluations += 1;
-        if !oracle::check(&restricted, fault).passed() {
+        if fails(&restricted) {
             kept = candidate;
         } else {
             i += 1;

@@ -1,0 +1,96 @@
+//! `Session::evaluate_many`: responses come back in request order, and
+//! duplicated requests are answered (and costed) exactly like their first
+//! occurrence — on both the in-memory and the disk backend.
+
+use graphbi::disk::{save_store, DiskGraphStore};
+use graphbi::{AggFn, GraphStore, PathAggQuery, QueryRequest, Session};
+use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("graphbi-batch-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A duplicate-heavy workload: three queries interleaved and repeated,
+/// one option-variant that must stay distinct, and a repeated aggregate.
+fn batch_of(qs: &[graphbi_graph::GraphQuery]) -> Vec<QueryRequest> {
+    let mut batch = Vec::new();
+    for &i in &[0usize, 1, 2, 0, 1, 0, 2, 1, 0] {
+        batch.push(QueryRequest::new(qs[i].clone()));
+    }
+    // Same query, different plan options: NOT a duplicate.
+    batch.push(QueryRequest::new(qs[0].clone()).oblivious());
+    batch.push(QueryRequest::expr(graphbi::QueryExpr::and_not(
+        graphbi::QueryExpr::Atom(qs[1].clone()),
+        graphbi::QueryExpr::Atom(qs[2].clone()),
+    )));
+    let agg = PathAggQuery::new(qs[1].clone(), AggFn::Sum);
+    batch.push(QueryRequest::aggregate(agg.clone()));
+    batch.push(QueryRequest::aggregate(agg));
+    batch
+}
+
+fn assert_ordered_and_deduped<S: Session>(backend: &S, batch: &[QueryRequest], label: &str) {
+    let answers = backend.evaluate_many(batch).unwrap();
+    assert_eq!(
+        answers.len(),
+        batch.len(),
+        "{label}: one response per request"
+    );
+
+    // Order: every batched answer equals its request executed alone.
+    for (i, (req, (resp, _))) in batch.iter().zip(&answers).enumerate() {
+        let (alone, _) = backend.execute(req).unwrap();
+        assert_eq!(resp, &alone, "{label}: batch[{i}] answer out of order");
+    }
+
+    // Dedup: a duplicate reports its first occurrence's answer AND cost.
+    // (Without dedup the disk backend would report warm-cache stats for
+    // the repeat, not the first occurrence's cold fetch counts.)
+    let mut duplicates = 0;
+    for (i, req) in batch.iter().enumerate() {
+        let first = batch.iter().position(|r| r == req).unwrap();
+        if first < i {
+            duplicates += 1;
+            assert_eq!(
+                answers[i].0, answers[first].0,
+                "{label}: batch[{i}] disagrees with its duplicate batch[{first}]"
+            );
+            assert_eq!(
+                answers[i].1, answers[first].1,
+                "{label}: batch[{i}] cost differs from its duplicate batch[{first}]"
+            );
+        }
+    }
+    assert!(duplicates >= 7, "{label}: batch was not duplicate-heavy");
+}
+
+#[test]
+fn evaluate_many_is_ordered_and_deduped_on_both_backends() {
+    let spec = DatasetSpec {
+        n_records: 200,
+        ..DatasetSpec::ny(200)
+    };
+    let d = Dataset::synthesize(&spec);
+    let qs = d.queries(&QuerySpec::zipf(8));
+    assert!(qs.len() >= 3);
+    let mut mem = GraphStore::load(d.universe, &d.records);
+    mem.advise_views(&qs, 4);
+
+    let dir = tmpdir("dedup");
+    save_store(&mem, &dir).unwrap();
+    let disk = DiskGraphStore::open(&dir, 64 << 10).unwrap();
+
+    let batch = batch_of(&qs);
+    assert_ordered_and_deduped(&mem, &batch, "mem");
+    assert_ordered_and_deduped(&disk, &batch, "disk");
+
+    // The two backends also agree with each other, response for response.
+    let m = mem.evaluate_many(&batch).unwrap();
+    let k = disk.evaluate_many(&batch).unwrap();
+    for (i, ((mr, _), (dr, _))) in m.iter().zip(&k).enumerate() {
+        assert_eq!(mr, dr, "batch[{i}]: mem and disk disagree");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
