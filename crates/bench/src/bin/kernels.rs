@@ -1,0 +1,16 @@
+//! Kernel-layer microbenchmarks. See `graphbi_bench::figs::kernels`.
+//! Exits nonzero when any kernel-path answer differs from its baseline
+//! counterpart — CI treats that as a correctness failure.
+
+/// Count every heap allocation so the bench reports allocations per
+/// operation next to wall clock.
+#[global_allocator]
+static ALLOC: graphbi_bench::figs::kernels::CountingAlloc =
+    graphbi_bench::figs::kernels::CountingAlloc;
+
+fn main() {
+    if !graphbi_bench::figs::kernels::run() {
+        eprintln!("kernels bench: kernel answers differ from baseline — failing");
+        std::process::exit(1);
+    }
+}

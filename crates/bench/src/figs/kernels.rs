@@ -1,0 +1,376 @@
+//! Kernel-layer microbenchmarks (the PR-4 tentpole measurement).
+//!
+//! Three comparisons, each against the pre-kernel implementation re-created
+//! here as an explicit baseline:
+//!
+//! * **and_many** on sparse / dense / mixed operand sets — the old
+//!   clone-accumulator conjunction (clone the smallest operand, then
+//!   allocating per-chunk ANDs) vs the in-place kernels behind
+//!   [`Bitmap::and_many`];
+//! * **fused vs materializing aggregation** — `gather` into a `Vec` then
+//!   fold, vs [`SparseColumn::fold_over`] streaming values straight into
+//!   the aggregate state;
+//! * **ordered vs unordered conjunctions** on a Zipf-cardinality workload —
+//!   what the selectivity-ordered planner buys over evaluating operands in
+//!   query order.
+//!
+//! Every kernel-path answer is checked bit-identical against its baseline
+//! before any timing is reported; a mismatch fails the run (and the CI job
+//! that wraps it). Heap allocations are counted by [`CountingAlloc`], which
+//! the `kernels` binary installs as the global allocator. Results land in
+//! `BENCH_kernels.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use graphbi_bitmap::Bitmap;
+use graphbi_columnstore::SparseColumn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{fmt, time_ms, Table};
+
+/// Heap allocations observed since process start (see [`CountingAlloc`]).
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts every allocation, so the
+/// bench can report allocations-per-operation next to wall clock. The
+/// `kernels` binary installs it with `#[global_allocator]`; when it is not
+/// installed (e.g. these functions called from a test), counts read zero
+/// and the report says so.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// a relaxed atomic increment with no other side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Allocations so far (0 unless [`CountingAlloc`] is the global allocator).
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Best-of-n wall clock for `f`, keeping the fastest run's output and the
+/// allocation count of the *fastest* run.
+fn best_of<T>(n: usize, mut f: impl FnMut() -> T) -> (T, f64, u64) {
+    let mut best: Option<(T, f64, u64)> = None;
+    for _ in 0..n {
+        let before = allocations();
+        let (out, ms) = time_ms(&mut f);
+        let allocs = allocations() - before;
+        if best.as_ref().is_none_or(|b| ms < b.1) {
+            best = Some((out, ms, allocs));
+        }
+    }
+    best.expect("at least one run")
+}
+
+/// The pre-kernel conjunction: clone the smallest operand, then fold the
+/// rest (sorted) through the allocating `and` — one fresh bitmap per
+/// operand. This is what `Bitmap::and_many` did before the in-place
+/// kernels.
+fn and_many_cloning(bitmaps: &[&Bitmap]) -> Bitmap {
+    let mut v: Vec<&Bitmap> = bitmaps.to_vec();
+    v.sort_by_key(|b| b.len());
+    let Some(first) = v.first() else {
+        return Bitmap::new();
+    };
+    let mut acc: Bitmap = (*first).clone();
+    for b in &v[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        acc = acc.and(b);
+    }
+    acc
+}
+
+/// The unordered conjunction: allocating folds in the operands' given
+/// order — what a planner that never reorders by selectivity evaluates.
+fn and_fold_unordered(bitmaps: &[&Bitmap]) -> Bitmap {
+    let Some(first) = bitmaps.first() else {
+        return Bitmap::new();
+    };
+    let mut acc: Bitmap = (*first).clone();
+    for b in &bitmaps[1..] {
+        acc = acc.and(b);
+    }
+    acc
+}
+
+/// One baseline-vs-kernel measurement.
+struct Comparison {
+    name: &'static str,
+    base_ms: f64,
+    kernel_ms: f64,
+    base_allocs: u64,
+    kernel_allocs: u64,
+    identical: bool,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.base_ms / self.kernel_ms.max(1e-9)
+    }
+}
+
+/// Times `base` vs `kernel` (each best-of-3, `reps` inner repetitions) and
+/// verifies their answers agree through `same`.
+fn compare<T>(
+    name: &'static str,
+    reps: usize,
+    mut base: impl FnMut() -> T,
+    mut kernel: impl FnMut() -> T,
+    same: impl Fn(&T, &T) -> bool,
+) -> Comparison {
+    let run = |f: &mut dyn FnMut() -> T| {
+        best_of(3, || {
+            let mut last = f();
+            for _ in 1..reps {
+                last = f();
+            }
+            last
+        })
+    };
+    let (base_out, base_ms, base_allocs) = run(&mut base);
+    let (kernel_out, kernel_ms, kernel_allocs) = run(&mut kernel);
+    Comparison {
+        name,
+        base_ms,
+        kernel_ms,
+        base_allocs,
+        kernel_allocs,
+        identical: same(&base_out, &kernel_out),
+    }
+}
+
+/// A sparse operand set: one tiny bitmap and several wide array-container
+/// bitmaps — the shape where galloping intersection dominates.
+fn sparse_operands() -> Vec<Bitmap> {
+    let mut out: Vec<Bitmap> = (0..7u32)
+        .map(|i| (i..3_000_000).step_by(17).collect())
+        .collect();
+    out.push((0..3_000_000u32).step_by(40_009).collect());
+    out
+}
+
+/// A dense operand set: word-container bitmaps at ~50% density, where
+/// batched word ops with incremental cardinality pay off.
+fn dense_operands() -> Vec<Bitmap> {
+    (0..8u32)
+        .map(|i| (i..2_000_000).step_by(2).collect())
+        .collect()
+}
+
+/// A mixed operand set: runs, words and arrays in one conjunction.
+fn mixed_operands() -> Vec<Bitmap> {
+    let mut runs = Bitmap::from_range(0..1_500_000);
+    runs.optimize();
+    vec![
+        runs,
+        (0..2_000_000u32).step_by(2).collect(),
+        (0..2_000_000u32).step_by(13).collect(),
+        (0..2_000_000u32).step_by(6_007).collect(),
+    ]
+}
+
+/// Zipf-cardinality bitmap pool: bitmap `k` holds ~`N / (k+1)` ids, the
+/// skew the paper's workloads show across edge popularity.
+fn zipf_pool(rng: &mut StdRng) -> Vec<Bitmap> {
+    const N: u32 = 1_000_000;
+    (0..64usize)
+        .map(|k| {
+            let step = (k + 1).min(8_192);
+            let offset = rng.gen_range(0..64u32);
+            (offset..N).step_by(step).collect()
+        })
+        .collect()
+}
+
+/// Runs the benchmark; returns `false` when any kernel-path answer differed
+/// from its baseline counterpart.
+pub fn run() -> bool {
+    let sparse = sparse_operands();
+    let dense = dense_operands();
+    let mixed = mixed_operands();
+    let sparse_refs: Vec<&Bitmap> = sparse.iter().collect();
+    let dense_refs: Vec<&Bitmap> = dense.iter().collect();
+    let mixed_refs: Vec<&Bitmap> = mixed.iter().collect();
+
+    // Fused-aggregation inputs: a 1M-value measure column and a result set
+    // covering half of it.
+    let col = {
+        let presence: Bitmap = (0..2_000_000u32).step_by(2).collect();
+        let values: Vec<f64> = (0..1_000_000).map(|i| (i % 97) as f64).collect();
+        SparseColumn::from_parts(presence, values)
+    };
+    let ids: Bitmap = (0..2_000_000u32).step_by(4).collect();
+
+    // Zipf conjunction workload: 200 conjunctions of 4 operands each, in
+    // deliberately unsorted (often worst-first) order.
+    let mut rng = StdRng::seed_from_u64(42);
+    let pool = zipf_pool(&mut rng);
+    let queries: Vec<Vec<&Bitmap>> = (0..200)
+        .map(|_| {
+            let mut picks: Vec<&Bitmap> = (0..4)
+                .map(|_| &pool[rng.gen_range(0..pool.len())])
+                .collect();
+            // Worst-first: largest operand leads, the order a naive planner
+            // might inherit from query syntax.
+            picks.sort_by_key(|b| std::cmp::Reverse(b.len()));
+            picks
+        })
+        .collect();
+
+    let comparisons = [
+        compare(
+            "and_many/sparse",
+            5,
+            || and_many_cloning(&sparse_refs),
+            || Bitmap::and_many(sparse_refs.iter().copied()),
+            |a, b| a == b,
+        ),
+        compare(
+            "and_many/dense",
+            5,
+            || and_many_cloning(&dense_refs),
+            || Bitmap::and_many(dense_refs.iter().copied()),
+            |a, b| a == b,
+        ),
+        compare(
+            "and_many/mixed",
+            5,
+            || and_many_cloning(&mixed_refs),
+            || Bitmap::and_many(mixed_refs.iter().copied()),
+            |a, b| a == b,
+        ),
+        compare(
+            "aggregate/fused",
+            5,
+            || {
+                // Materializing: gather into a Vec, then fold it.
+                let vals = col.gather(&ids);
+                let mut sum = 0.0f64;
+                let mut min = f64::INFINITY;
+                for v in vals {
+                    sum += v;
+                    min = min.min(v);
+                }
+                (sum, min)
+            },
+            || {
+                let mut sum = 0.0f64;
+                let mut min = f64::INFINITY;
+                col.fold_over(&ids, |v| {
+                    sum += v;
+                    min = min.min(v);
+                });
+                (sum, min)
+            },
+            // Same fold order on both paths → exact equality, no tolerance.
+            |a, b| a == b,
+        ),
+        compare(
+            "conjunction/zipf-ordered",
+            1,
+            || {
+                queries
+                    .iter()
+                    .map(|q| and_fold_unordered(q))
+                    .collect::<Vec<Bitmap>>()
+            },
+            || {
+                queries
+                    .iter()
+                    .map(|q| Bitmap::and_many(q.iter().copied()))
+                    .collect::<Vec<Bitmap>>()
+            },
+            |a, b| a == b,
+        ),
+    ];
+
+    let mut t = Table::new(
+        "Kernel layer: baseline vs in-place/fused/ordered (best of 3)",
+        &[
+            "bench",
+            "base_ms",
+            "kernel_ms",
+            "speedup",
+            "base_allocs",
+            "kernel_allocs",
+            "identical",
+        ],
+    );
+    for c in &comparisons {
+        t.row(vec![
+            c.name.into(),
+            fmt(c.base_ms),
+            fmt(c.kernel_ms),
+            format!("{:.2}x", c.speedup()),
+            c.base_allocs.to_string(),
+            c.kernel_allocs.to_string(),
+            c.identical.to_string(),
+        ]);
+    }
+    t.emit("kernels");
+    if allocations() == 0 {
+        println!("(allocation counts unavailable: CountingAlloc not installed)");
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"kernels\",");
+    let _ = writeln!(json, "  \"alloc_counter\": {},", allocations() > 0);
+    let _ = writeln!(json, "  \"benches\": [");
+    for (i, c) in comparisons.iter().enumerate() {
+        let comma = if i + 1 < comparisons.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"base_ms\": {:.3}, \"kernel_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"base_allocs\": {}, \"kernel_allocs\": {}, \
+             \"identical\": {}}}{comma}",
+            c.name,
+            c.base_ms,
+            c.kernel_ms,
+            c.speedup(),
+            c.base_allocs,
+            c.kernel_allocs,
+            c.identical,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    let out = std::env::var("GRAPHBI_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());
+    std::fs::write(&out, &json).expect("write benchmark point");
+    println!("wrote {out}");
+
+    comparisons.iter().all(|c| c.identical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_agree_with_kernels() {
+        for ops in [sparse_operands(), dense_operands(), mixed_operands()] {
+            let refs: Vec<&Bitmap> = ops.iter().collect();
+            let base = and_many_cloning(&refs);
+            assert_eq!(base, Bitmap::and_many(refs.iter().copied()));
+            assert_eq!(and_fold_unordered(&refs), base);
+        }
+    }
+}

@@ -17,6 +17,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod ingest;
+pub mod kernels;
 pub mod latency;
 pub mod shard;
 pub mod table2;

@@ -647,9 +647,248 @@ impl Container {
             other => other,
         }
     }
+
+    /// Replaces run form with array/words form without going through a clone.
+    fn densify_in_place(&mut self) {
+        if matches!(self, Container::Runs(_)) {
+            let this = std::mem::replace(self, Container::Array(Vec::new()));
+            *self = this.densify();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-place (destructive) kernels: `*self op= other` without allocating a
+// fresh result container. These carry repeated ANDs of query evaluation.
+// ---------------------------------------------------------------------------
+
+impl Container {
+    /// In-place intersection: `*self &= other`. May leave `self` empty;
+    /// the caller drops empty containers.
+    pub fn and_inplace(&mut self, other: &Container) {
+        use Container::*;
+        if let Runs(_) = self {
+            match other {
+                Runs(b) => {
+                    let Runs(a) = &*self else { unreachable!() };
+                    *self = Runs(intersect_runs(a, b));
+                    self.shrink();
+                    return;
+                }
+                _ => self.densify_in_place(),
+            }
+        }
+        match (&mut *self, other) {
+            (Array(a), Array(b)) => intersect_arrays_inplace(a, b),
+            (Array(a), Words(w)) => a.retain(|&v| w.contains(v)),
+            (Array(a), Runs(rs)) => {
+                let mut ri = 0;
+                a.retain(|&v| {
+                    while ri < rs.len() && rs[ri].end() < v {
+                        ri += 1;
+                    }
+                    ri < rs.len() && rs[ri].start <= v
+                });
+            }
+            (Words(w), Array(b)) => {
+                // The result has at most `b.len() <= ARRAY_MAX` values, so it
+                // lands in array form anyway; build it directly from `b`.
+                let filtered: Vec<u16> = b.iter().copied().filter(|&v| w.contains(v)).collect();
+                *self = Array(filtered);
+            }
+            (Words(a), Words(b)) => {
+                let mut card = 0u32;
+                for i in 0..WORDS {
+                    let w = a.bits[i] & b.bits[i];
+                    a.bits[i] = w;
+                    card += w.count_ones();
+                }
+                a.card = card;
+            }
+            (Words(w), Runs(rs)) => {
+                let mut masks = RunMasks::new(rs);
+                let mut card = 0u32;
+                for i in 0..WORDS {
+                    let nw = w.bits[i] & masks.mask(i);
+                    w.bits[i] = nw;
+                    card += nw.count_ones();
+                }
+                w.card = card;
+            }
+            (Runs(_), _) => unreachable!("runs densified above"),
+        }
+        self.shrink();
+    }
+
+    /// In-place difference: `*self &= !other`. May leave `self` empty.
+    pub fn and_not_inplace(&mut self, other: &Container) {
+        use Container::*;
+        self.densify_in_place();
+        match (&mut *self, other) {
+            (Array(a), Array(b)) => difference_arrays_inplace(a, b),
+            (Array(a), Words(w)) => a.retain(|&v| !w.contains(v)),
+            (Array(a), Runs(rs)) => {
+                let mut ri = 0;
+                a.retain(|&v| {
+                    while ri < rs.len() && rs[ri].end() < v {
+                        ri += 1;
+                    }
+                    !(ri < rs.len() && rs[ri].start <= v)
+                });
+            }
+            (Words(w), Array(b)) => {
+                for &v in b {
+                    w.remove(v);
+                }
+            }
+            (Words(a), Words(b)) => {
+                let mut card = 0u32;
+                for i in 0..WORDS {
+                    let w = a.bits[i] & !b.bits[i];
+                    a.bits[i] = w;
+                    card += w.count_ones();
+                }
+                a.card = card;
+            }
+            (Words(w), Runs(rs)) => {
+                let mut masks = RunMasks::new(rs);
+                let mut card = 0u32;
+                for i in 0..WORDS {
+                    let nw = w.bits[i] & !masks.mask(i);
+                    w.bits[i] = nw;
+                    card += nw.count_ones();
+                }
+                w.card = card;
+            }
+            (Runs(_), _) => unreachable!("runs densified above"),
+        }
+        self.shrink();
+    }
+
+    /// In-place union: `*self |= other`. Never leaves `self` empty.
+    pub fn or_inplace(&mut self, other: &Container) {
+        use Container::*;
+        match (&mut *self, other) {
+            (Array(a), Array(b)) => {
+                if a.len() + b.len() <= ARRAY_MAX {
+                    *a = union_arrays(a, b);
+                } else {
+                    let mut w = words_from_array(a);
+                    for &v in b {
+                        w.insert(v);
+                    }
+                    *self = Words(w);
+                    self.shrink();
+                }
+            }
+            (Array(a), Words(wb)) => {
+                let mut w = words_from_array(a);
+                let mut card = 0u32;
+                for i in 0..WORDS {
+                    let nw = w.bits[i] | wb.bits[i];
+                    w.bits[i] = nw;
+                    card += nw.count_ones();
+                }
+                w.card = card;
+                *self = Words(w);
+            }
+            (Words(w), Array(b)) => {
+                for &v in b {
+                    w.insert(v);
+                }
+            }
+            (Words(a), Words(b)) => {
+                let mut card = 0u32;
+                for i in 0..WORDS {
+                    let w = a.bits[i] | b.bits[i];
+                    a.bits[i] = w;
+                    card += w.count_ones();
+                }
+                a.card = card;
+            }
+            (Words(w), Runs(rs)) => {
+                let mut masks = RunMasks::new(rs);
+                for i in 0..WORDS {
+                    let m = masks.mask(i);
+                    w.card += (m & !w.bits[i]).count_ones();
+                    w.bits[i] |= m;
+                }
+            }
+            (Runs(a), Runs(b)) => *a = union_runs(a, b),
+            // Rare mixed run/array unions: fall back to the allocating path.
+            (Array(_) | Runs(_), _) => *self = self.or(other),
+        }
+    }
+}
+
+/// Streams the 64-bit masks of a run list, one word at a time. Each call to
+/// `mask(i)` must use a non-decreasing word index.
+struct RunMasks<'a> {
+    rs: &'a [Run],
+    ri: usize,
+}
+
+impl<'a> RunMasks<'a> {
+    fn new(rs: &'a [Run]) -> Self {
+        RunMasks { rs, ri: 0 }
+    }
+
+    /// Mask of the runs' bits falling in word `wi` (values `wi*64..wi*64+63`).
+    #[inline]
+    fn mask(&mut self, wi: usize) -> u64 {
+        let lo = (wi as u16) << 6;
+        let hi = lo | 63;
+        while self.ri < self.rs.len() && self.rs[self.ri].end() < lo {
+            self.ri += 1;
+        }
+        let mut mask = 0u64;
+        let mut j = self.ri;
+        while j < self.rs.len() && self.rs[j].start <= hi {
+            let s = u32::from(self.rs[j].start.max(lo) - lo);
+            let e = u32::from(self.rs[j].end().min(hi) - lo);
+            mask |= (!0u64 << s) & (!0u64 >> (63 - e));
+            if self.rs[j].end() > hi {
+                break;
+            }
+            j += 1;
+        }
+        mask
+    }
+}
+
+/// Size ratio beyond which array×array intersection switches from a linear
+/// merge to galloping (exponential) search in the larger operand.
+const GALLOP_RATIO: usize = 64;
+
+/// Galloping search in sorted `s` for `v`: returns the index of the first
+/// element `>= v` and whether that element equals `v`. O(log d) where `d`
+/// is the distance from the front, so repeated searches with ascending `v`
+/// over a suffix stay cheap.
+#[inline]
+fn gallop(s: &[u16], v: u16) -> (usize, bool) {
+    if s.is_empty() {
+        return (0, false);
+    }
+    let mut hi = 1usize;
+    while hi < s.len() && s[hi] < v {
+        hi <<= 1;
+    }
+    let lo = hi >> 1;
+    let hi = (hi + 1).min(s.len());
+    match s[lo..hi].binary_search(&v) {
+        Ok(p) => (lo + p, true),
+        Err(p) => (lo + p, false),
+    }
 }
 
 fn intersect_arrays(a: &[u16], b: &[u16]) -> Vec<u16> {
+    // Lopsided inputs: gallop through the big side instead of scanning it.
+    if a.len() > b.len() * GALLOP_RATIO {
+        return gallop_intersect(b, a);
+    }
+    if b.len() > a.len() * GALLOP_RATIO {
+        return gallop_intersect(a, b);
+    }
     let (mut i, mut j) = (0, 0);
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     while i < a.len() && j < b.len() {
@@ -664,6 +903,102 @@ fn intersect_arrays(a: &[u16], b: &[u16]) -> Vec<u16> {
         }
     }
     out
+}
+
+/// Intersection where `small` is much shorter than `big`: for each value of
+/// `small`, gallop in the still-unsearched suffix of `big`.
+fn gallop_intersect(small: &[u16], big: &[u16]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(small.len());
+    let mut lo = 0usize;
+    for &v in small {
+        if lo >= big.len() {
+            break;
+        }
+        let (p, found) = gallop(&big[lo..], v);
+        lo += p;
+        if found {
+            out.push(v);
+            lo += 1;
+        }
+    }
+    out
+}
+
+/// In-place `*a &= b` with a write cursor; gallops when sizes are lopsided.
+fn intersect_arrays_inplace(a: &mut Vec<u16>, b: &[u16]) {
+    if a.is_empty() {
+        return;
+    }
+    if b.is_empty() {
+        a.clear();
+        return;
+    }
+    if a.len() > b.len() * GALLOP_RATIO || b.len() > a.len() * GALLOP_RATIO {
+        // `a` big: probe `a` for each of `b`'s values, keeping hits in place.
+        // `a` small: probe `b` for each of `a`'s values. Same skeleton either
+        // way, with the roles of probe sequence and haystack swapped.
+        let a_is_big = a.len() > b.len();
+        let mut w = 0usize;
+        let mut lo = 0usize;
+        for i in 0.. {
+            let (probe, hay_len) = if a_is_big {
+                let Some(&v) = b.get(i) else { break };
+                (v, a.len())
+            } else {
+                if i >= a.len() {
+                    break;
+                }
+                (a[i], b.len())
+            };
+            if lo >= hay_len {
+                break;
+            }
+            let (p, found) = if a_is_big {
+                gallop(&a[lo..], probe)
+            } else {
+                gallop(&b[lo..], probe)
+            };
+            lo += p;
+            if found {
+                a[w] = probe;
+                w += 1;
+                lo += 1;
+            }
+        }
+        a.truncate(w);
+        return;
+    }
+    let (mut i, mut j, mut w) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                a[w] = a[i];
+                w += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    a.truncate(w);
+}
+
+/// In-place `*a \= b` with a write cursor.
+fn difference_arrays_inplace(a: &mut Vec<u16>, b: &[u16]) {
+    let mut j = 0;
+    let mut w = 0;
+    for i in 0..a.len() {
+        let v = a[i];
+        while j < b.len() && b[j] < v {
+            j += 1;
+        }
+        if j == b.len() || b[j] != v {
+            a[w] = v;
+            w += 1;
+        }
+    }
+    a.truncate(w);
 }
 
 fn union_arrays(a: &[u16], b: &[u16]) -> Vec<u16> {

@@ -117,38 +117,58 @@ impl Bitmap {
 
     /// In-place intersection: `*self &= other`.
     ///
-    /// Dense (words) chunks are intersected without reallocating, which is
-    /// what makes the repeated ANDs of query evaluation cheap; other chunk
-    /// forms fall back to allocating the result container.
-    pub fn and_assign(&mut self, other: &Bitmap) {
+    /// Every chunk is intersected destructively via the container kernels
+    /// ([`crate::container`]), so no result container is allocated; chunks
+    /// whose keys are absent from `other`, or that drain to empty, are
+    /// dropped through a write cursor without touching the others.
+    pub fn and_inplace(&mut self, other: &Bitmap) {
         let mut write = 0usize;
         for read in 0..self.keys.len() {
             let k = self.keys[read];
             let Ok(j) = other.keys.binary_search(&k) else {
                 continue;
             };
-            let keep = {
-                let mine = &mut self.containers[read];
-                match (&mut *mine, &other.containers[j]) {
-                    (
-                        crate::container::Container::Words(a),
-                        crate::container::Container::Words(b),
-                    ) => {
-                        for i in 0..crate::container::WORDS {
-                            a.bits[i] &= b.bits[i];
-                        }
-                        a.recount();
-                        mine.shrink();
-                        !mine.is_empty()
-                    }
-                    (mine_ref, theirs) => match mine_ref.and(theirs) {
-                        Some(c) => {
-                            *mine_ref = c;
-                            true
-                        }
-                        None => false,
-                    },
+            let mine = &mut self.containers[read];
+            mine.and_inplace(&other.containers[j]);
+            if !mine.is_empty() {
+                self.keys.swap(write, read);
+                self.containers.swap(write, read);
+                write += 1;
+            }
+        }
+        self.keys.truncate(write);
+        self.containers.truncate(write);
+    }
+
+    /// In-place union: `*self |= other`.
+    ///
+    /// Chunks shared with `other` are unioned destructively; chunks only in
+    /// `other` are cloned in at their sorted position. `self`'s untouched
+    /// chunks are never reallocated.
+    pub fn or_inplace(&mut self, other: &Bitmap) {
+        for (j, &k) in other.keys.iter().enumerate() {
+            match self.keys.binary_search(&k) {
+                Ok(i) => self.containers[i].or_inplace(&other.containers[j]),
+                Err(i) => {
+                    self.keys.insert(i, k);
+                    self.containers.insert(i, other.containers[j].clone());
                 }
+            }
+        }
+    }
+
+    /// In-place difference: `*self \= other`.
+    pub fn and_not_inplace(&mut self, other: &Bitmap) {
+        let mut write = 0usize;
+        for read in 0..self.keys.len() {
+            let k = self.keys[read];
+            let keep = match other.keys.binary_search(&k) {
+                Ok(j) => {
+                    let mine = &mut self.containers[read];
+                    mine.and_not_inplace(&other.containers[j]);
+                    !mine.is_empty()
+                }
+                Err(_) => true,
             };
             if keep {
                 self.keys.swap(write, read);
@@ -160,40 +180,42 @@ impl Bitmap {
         self.containers.truncate(write);
     }
 
-    /// In-place union: `*self |= other`.
-    pub fn or_assign(&mut self, other: &Bitmap) {
-        // Union changes the key set; build via the allocating path but only
-        // for chunks that actually differ.
-        *self = self.or(other);
+    /// Cheap selectivity estimate for the planner: the exact cardinality,
+    /// read from the per-container counts in O(#containers) without touching
+    /// any bit data. Conjunctions are evaluated cheapest-hint-first.
+    #[inline]
+    pub fn cardinality_hint(&self) -> u64 {
+        self.len()
     }
 
     /// Conjunction of many bitmaps — the core of graph-query evaluation.
     ///
     /// Intersects cheapest-first (smallest cardinality) so the running result
     /// shrinks as fast as possible; returns the empty bitmap for no inputs.
+    /// The two smallest operands are intersected into a single accumulator
+    /// (the only allocation) and the rest applied with [`Bitmap::and_inplace`],
+    /// short-circuiting the moment the accumulator drains.
     pub fn and_many<'a, I>(bitmaps: I) -> Bitmap
     where
         I: IntoIterator<Item = &'a Bitmap>,
     {
         let mut v: Vec<&Bitmap> = bitmaps.into_iter().collect();
-        let Some(smallest) = v
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, b)| b.len())
-            .map(|(i, _)| i)
-        else {
-            return Bitmap::new();
-        };
-        let first = v.swap_remove(smallest);
-        let mut acc = first.clone();
-        v.sort_by_key(|b| b.len());
-        for b in v {
-            if acc.is_empty() {
-                break;
+        v.sort_by_key(|b| b.cardinality_hint());
+        match v.first() {
+            None => Bitmap::new(),
+            Some(first) if first.is_empty() => Bitmap::new(),
+            Some(first) if v.len() == 1 => (*first).clone(),
+            Some(first) => {
+                let mut acc = first.and(v[1]);
+                for b in &v[2..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc.and_inplace(b);
+                }
+                acc
             }
-            acc.and_assign(b);
         }
-        acc
     }
 
     /// Disjunction of many bitmaps.
@@ -260,26 +282,74 @@ mod tests {
     }
 
     #[test]
-    fn and_assign_matches_and() {
+    fn inplace_ops_match_allocating() {
         let cases: Vec<(Bitmap, Bitmap)> = vec![
             ((0..100_000u32).collect(), (50_000..150_000u32).collect()),
             (bm(&[1, 70_000]), bm(&[2, 70_000])),
             (Bitmap::from_range(0..70_000), bm(&[5, 65_000, 69_999])),
             (bm(&[1]), Bitmap::new()),
+            (Bitmap::new(), bm(&[1])),
             (
                 (0..200_000u32).step_by(3).collect(),
                 (0..200_000u32).step_by(2).collect(),
             ),
+            // Lopsided sizes: exercises the galloping array paths.
+            ((0..100_000u32).collect(), bm(&[17, 40_000, 99_999])),
+            (bm(&[17, 40_000, 99_999]), (0..100_000u32).collect()),
         ];
         for (a, b) in cases {
-            let expect = a.and(&b);
-            let mut inplace = a.clone();
-            inplace.and_assign(&b);
-            assert_eq!(inplace, expect);
-            let mut orr = a.clone();
-            orr.or_assign(&b);
-            assert_eq!(orr, a.or(&b));
+            let mut anded = a.clone();
+            anded.and_inplace(&b);
+            assert_eq!(anded, a.and(&b));
+            let mut orred = a.clone();
+            orred.or_inplace(&b);
+            assert_eq!(orred, a.or(&b));
+            let mut diffed = a.clone();
+            diffed.and_not_inplace(&b);
+            assert_eq!(diffed, a.and_not(&b));
         }
+    }
+
+    #[test]
+    fn inplace_ops_match_allocating_across_optimized_forms() {
+        let mk = || -> Vec<Bitmap> {
+            vec![
+                Bitmap::from_range(0..70_000),
+                (0..200_000u32).step_by(3).collect(),
+                bm(&[9, 65_536, 131_072]),
+            ]
+        };
+        for optimize_a in [false, true] {
+            for optimize_b in [false, true] {
+                for mut a in mk() {
+                    for mut b in mk() {
+                        if optimize_a {
+                            a.optimize();
+                        }
+                        if optimize_b {
+                            b.optimize();
+                        }
+                        let mut anded = a.clone();
+                        anded.and_inplace(&b);
+                        assert_eq!(anded, a.and(&b));
+                        let mut orred = a.clone();
+                        orred.or_inplace(&b);
+                        assert_eq!(orred, a.or(&b));
+                        let mut diffed = a.clone();
+                        diffed.and_not_inplace(&b);
+                        assert_eq!(diffed, a.and_not(&b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cardinality_hint_is_exact() {
+        let mut b: Bitmap = (0..50_000u32).step_by(2).collect();
+        assert_eq!(b.cardinality_hint(), b.len());
+        b.optimize();
+        assert_eq!(b.cardinality_hint(), 25_000);
     }
 
     #[test]

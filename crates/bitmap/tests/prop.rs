@@ -49,9 +49,74 @@ proptest! {
         prop_assert_eq!(ba.xor(&bb).to_vec(), xor);
         prop_assert_eq!(ba.and_len(&bb), and.len() as u64);
         prop_assert_eq!(ba.is_subset(&bb), ma.is_subset(&mb));
-        let mut inplace = ba.clone();
-        inplace.and_assign(&bb);
-        prop_assert_eq!(inplace.to_vec(), and);
+    }
+
+    /// Every in-place op equals its allocating counterpart, across the full
+    /// representation matrix: both operands in built form and in
+    /// post-`optimize` form (which enables run containers).
+    #[test]
+    fn inplace_ops_match_allocating(
+        a in id_vec(),
+        b in id_vec(),
+        optimize_a in any::<bool>(),
+        optimize_b in any::<bool>(),
+    ) {
+        let (mut ba, mut bb) = (bitmap(&a), bitmap(&b));
+        if optimize_a {
+            ba.optimize();
+        }
+        if optimize_b {
+            bb.optimize();
+        }
+        let mut anded = ba.clone();
+        anded.and_inplace(&bb);
+        prop_assert_eq!(&anded, &ba.and(&bb));
+        let mut orred = ba.clone();
+        orred.or_inplace(&bb);
+        prop_assert_eq!(&orred, &ba.or(&bb));
+        let mut diffed = ba.clone();
+        diffed.and_not_inplace(&bb);
+        prop_assert_eq!(&diffed, &ba.and_not(&bb));
+        prop_assert_eq!(anded.cardinality_hint(), anded.len());
+    }
+
+    /// Same equivalence at container boundaries and the edges of the id
+    /// space (`u32::MAX` et al.), where chunk handoff bugs would live.
+    #[test]
+    fn inplace_ops_match_allocating_at_boundaries(
+        a in boundary_ids(),
+        b in boundary_ids(),
+        optimize_a in any::<bool>(),
+    ) {
+        let (mut ba, bb) = (bitmap(&a), bitmap(&b));
+        if optimize_a {
+            ba.optimize();
+        }
+        let mut anded = ba.clone();
+        anded.and_inplace(&bb);
+        prop_assert_eq!(&anded, &ba.and(&bb));
+        let mut orred = ba.clone();
+        orred.or_inplace(&bb);
+        prop_assert_eq!(&orred, &ba.or(&bb));
+        let mut diffed = ba.clone();
+        diffed.and_not_inplace(&bb);
+        prop_assert_eq!(&diffed, &ba.and_not(&bb));
+    }
+
+    /// `and_many` is order-insensitive: the planner may permute conjunction
+    /// operands freely without changing the result.
+    #[test]
+    fn and_many_order_never_changes_result(
+        sets in prop::collection::vec(id_vec(), 1..5),
+        rot in 0usize..5,
+    ) {
+        let bitmaps: Vec<Bitmap> = sets.iter().map(|s| bitmap(s)).collect();
+        let forward = Bitmap::and_many(bitmaps.iter());
+        let mut rotated: Vec<&Bitmap> = bitmaps.iter().collect();
+        rotated.rotate_left(rot % bitmaps.len());
+        prop_assert_eq!(&Bitmap::and_many(rotated), &forward);
+        let reversed = Bitmap::and_many(bitmaps.iter().rev());
+        prop_assert_eq!(&reversed, &forward);
     }
 
     #[test]

@@ -59,14 +59,28 @@ impl SparseColumn {
     /// absent from the column are skipped (a query result bitmap is always a
     /// subset of the presence bitmaps of the query's own edges, but view
     /// rewrites may probe wider sets).
+    pub fn gather(&self, ids: &Bitmap) -> Vec<f64> {
+        let mut out = Vec::with_capacity(ids.len().min(self.presence.len()) as usize);
+        self.fold_over(ids, |v| out.push(v));
+        out
+    }
+
+    /// Streams the values of every record in `ids` through `f`, in ascending
+    /// record order, without materializing an intermediate vector — the fused
+    /// gather-aggregate kernel. Skips records absent from the column, exactly
+    /// like [`SparseColumn::gather`] (which is this kernel folded into a
+    /// `Vec`).
     ///
     /// Uses rank-based point lookups when `ids` is much smaller than the
     /// column and a lockstep scan otherwise.
-    pub fn gather(&self, ids: &Bitmap) -> Vec<f64> {
+    pub fn fold_over(&self, ids: &Bitmap, mut f: impl FnMut(f64)) {
         if ids.len() * 8 < self.presence.len() {
-            ids.iter().filter_map(|r| self.get(r)).collect()
+            ids.for_each(|r| {
+                if let Some(v) = self.get(r) {
+                    f(v);
+                }
+            });
         } else {
-            let mut out = Vec::with_capacity(ids.len() as usize);
             let mut wanted = ids.iter().peekable();
             for (idx, r) in self.presence.iter().enumerate() {
                 while wanted.peek().is_some_and(|&w| w < r) {
@@ -74,14 +88,13 @@ impl SparseColumn {
                 }
                 match wanted.peek() {
                     Some(&w) if w == r => {
-                        out.push(self.values[idx]);
+                        f(self.values[idx]);
                         wanted.next();
                     }
                     Some(_) => {}
                     None => break,
                 }
             }
-            out
         }
     }
 
@@ -284,6 +297,27 @@ mod tests {
         assert_eq!(got.len(), 10_000);
         assert_eq!(got[0], 0.0);
         assert_eq!(got[9_999], 9_999.0);
+    }
+
+    #[test]
+    fn fold_over_matches_gather_on_both_paths() {
+        let entries: Vec<(u32, f64)> = (0..10_000).map(|i| (i * 3, f64::from(i))).collect();
+        let c = column(&entries);
+        let small: Bitmap = [3u32, 9, 29_997].into_iter().collect();
+        let large: Bitmap = (0..30_000u32).collect();
+        for ids in [&small, &large] {
+            let mut streamed = Vec::new();
+            c.fold_over(ids, |v| streamed.push(v));
+            assert_eq!(streamed, c.gather(ids));
+        }
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        c.fold_over(&large, |v| {
+            sum += v;
+            n += 1;
+        });
+        assert_eq!(n, 10_000);
+        assert_eq!(sum, (0..10_000).map(f64::from).sum());
     }
 
     #[test]

@@ -256,6 +256,22 @@ impl DiskRelation {
         edge.index() / self.partition_width
     }
 
+    /// Selectivity hint for the planner: the encoded byte length of
+    /// `b_edge`, read from the in-memory column directory. Compressed
+    /// bitmap encodings grow with cardinality, so ranking candidates by
+    /// encoded length orders them (approximately) sparsest-first without
+    /// touching the disk or any cost counter.
+    pub fn edge_bitmap_hint(&self, edge: EdgeId) -> u64 {
+        self.columns[edge.index()].bitmap_len
+    }
+
+    /// Selectivity hint for a graph-view bitmap: its encoded byte length
+    /// from the view directory. Like [`DiskRelation::edge_bitmap_hint`],
+    /// metadata-only — no I/O, no stats.
+    pub fn view_bitmap_hint(&self, view: u32) -> u64 {
+        self.view_locs[view as usize].1
+    }
+
     /// The horizontal record shards for an `shards`-way parallel scan (see
     /// [`crate::shard_ranges`]).
     pub fn shard_ranges(&self, shards: usize) -> Vec<std::ops::Range<u32>> {

@@ -30,6 +30,11 @@ pub struct IoStats {
     pub disk_reads: u64,
     /// Bytes read from disk.
     pub disk_bytes: u64,
+    /// Measure fetches the planner proved unnecessary and skipped (the
+    /// structural result was already empty, so no row could reference the
+    /// column). Counted identically by serial and sharded plans — skipping
+    /// depends only on the structural result, never on the shard split.
+    pub fetches_skipped: u64,
 }
 
 impl IoStats {
@@ -73,12 +78,7 @@ impl IoStats {
         self.join_rows = self.join_rows.saturating_add(other.join_rows);
         self.disk_reads = self.disk_reads.saturating_add(other.disk_reads);
         self.disk_bytes = self.disk_bytes.saturating_add(other.disk_bytes);
-    }
-
-    /// Former name of [`IoStats::merge`].
-    #[deprecated(since = "0.2.0", note = "use `merge` (associative) instead")]
-    pub fn absorb(&mut self, other: &IoStats) {
-        self.merge(other);
+        self.fetches_skipped = self.fetches_skipped.saturating_add(other.fetches_skipped);
     }
 }
 
@@ -90,7 +90,7 @@ impl IoStats {
 /// join). Like [`IoStats::merge`], addition saturates.
 #[derive(Debug, Default)]
 pub struct SharedIoStats {
-    cells: [std::sync::atomic::AtomicU64; 9],
+    cells: [std::sync::atomic::AtomicU64; 10],
 }
 
 impl SharedIoStats {
@@ -112,6 +112,7 @@ impl SharedIoStats {
             stats.join_rows,
             stats.disk_reads,
             stats.disk_bytes,
+            stats.fetches_skipped,
         ];
         for (cell, v) in self.cells.iter().zip(fields) {
             // fetch_update with saturating_add: mirrors `IoStats::merge`.
@@ -133,6 +134,7 @@ impl SharedIoStats {
             join_rows: c[6].load(Relaxed),
             disk_reads: c[7].load(Relaxed),
             disk_bytes: c[8].load(Relaxed),
+            fetches_skipped: c[9].load(Relaxed),
         }
     }
 }
@@ -153,6 +155,7 @@ mod tests {
             join_rows: 40,
             disk_reads: 5,
             disk_bytes: 4096,
+            fetches_skipped: 1,
         };
         assert_eq!(a.structural_columns(), 4);
         assert_eq!(a.total_columns(), 7);
@@ -212,14 +215,19 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_absorb_still_adds() {
-        let mut a = IoStats::new();
-        #[allow(deprecated)]
-        a.absorb(&IoStats {
-            bitmap_columns: 2,
+    fn merge_adds_skipped_fetches() {
+        let mut a = IoStats {
+            fetches_skipped: 3,
+            ..IoStats::new()
+        };
+        a.merge(&IoStats {
+            fetches_skipped: 4,
             ..IoStats::new()
         });
-        assert_eq!(a.bitmap_columns, 2);
+        assert_eq!(a.fetches_skipped, 7);
+        let shared = SharedIoStats::new();
+        shared.record(&a);
+        assert_eq!(shared.snapshot().fetches_skipped, 7);
     }
 
     #[test]

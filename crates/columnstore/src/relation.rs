@@ -111,6 +111,13 @@ impl MasterRelation {
         &self.view_bitmaps[view.0 as usize]
     }
 
+    /// Read-only view-bitmap access without cost accounting. The planner
+    /// ranks candidate views by cardinality before deciding which to fetch;
+    /// that peek must not perturb the paper's fetch-count cost model.
+    pub fn view_bitmap_uncounted(&self, view: ViewId) -> &Bitmap {
+        &self.view_bitmaps[view.0 as usize]
+    }
+
     /// Number of materialized graph views.
     pub fn view_count(&self) -> usize {
         self.view_bitmaps.len()

@@ -27,7 +27,7 @@ use graphbi_graph::{
     AggFn, AggState, EdgeId, GraphError, GraphQuery, PathAggQuery, PathAggResult, QueryExpr,
     QueryResult, Universe, UniverseIoError,
 };
-use graphbi_views::{cover_path, rewrite_query, PathSegment};
+use graphbi_views::{cover_path, rewrite_query_ranked, PathSegment};
 
 use crate::engine;
 use crate::session::{dedup_requests, QueryRequest, RequestKind, Response, Session, SessionError};
@@ -318,36 +318,9 @@ impl DiskGraphStore {
         )
     }
 
-    /// [`DiskGraphStore::match_records`] under explicit [`crate::EvalOptions`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::execute` with `QueryRequest::expr(query.into()).opts(..)`"
-    )]
-    pub fn match_records_with(
-        &self,
-        query: &GraphQuery,
-        opts: crate::EvalOptions,
-        stats: &mut IoStats,
-    ) -> Result<Bitmap, DiskError> {
-        self.match_records_inner(query, opts, 1, &self.direct(), stats)
-    }
-
     /// Full graph-query evaluation.
     pub fn evaluate(&self, query: &GraphQuery) -> Result<(QueryResult, IoStats), DiskError> {
         self.evaluate_inner(query, crate::EvalOptions::default(), 1, &self.direct())
-    }
-
-    /// [`DiskGraphStore::evaluate`] under explicit [`crate::EvalOptions`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::execute` with `QueryRequest::new(query).opts(..)`"
-    )]
-    pub fn evaluate_with(
-        &self,
-        query: &GraphQuery,
-        opts: crate::EvalOptions,
-    ) -> Result<(QueryResult, IoStats), DiskError> {
-        self.evaluate_inner(query, opts, 1, &self.direct())
     }
 
     /// Path aggregation, composing stored aggregate views.
@@ -356,21 +329,6 @@ impl DiskGraphStore {
         paq: &PathAggQuery,
     ) -> Result<(PathAggResult, IoStats), DiskError> {
         self.path_aggregate_inner(paq, crate::EvalOptions::default(), 1, &self.direct())
-    }
-
-    /// [`DiskGraphStore::path_aggregate`] under explicit
-    /// [`crate::EvalOptions`]; `oblivious()` aggregates from base measure
-    /// columns only.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::execute` with `QueryRequest::aggregate(query).opts(..)`"
-    )]
-    pub fn path_aggregate_with(
-        &self,
-        paq: &PathAggQuery,
-        opts: crate::EvalOptions,
-    ) -> Result<(PathAggResult, IoStats), DiskError> {
-        self.path_aggregate_inner(paq, opts, 1, &self.direct())
     }
 
     /// Column access with no batch pin map: every fetch goes straight to
@@ -405,7 +363,13 @@ impl DiskGraphStore {
         } else {
             let views: Vec<Vec<EdgeId>> =
                 self.graph_views.iter().map(|v| v.edges.clone()).collect();
-            let plan = rewrite_query(query, &views);
+            // Coverage ties go to the view with the shortest encoded bitmap
+            // — a cardinality proxy read from the in-memory directory, so
+            // ranking costs no disk read and no counted fetch.
+            let plan = rewrite_query_ranked(query, &views, |vi| {
+                self.relation
+                    .view_bitmap_hint(u32::try_from(vi).expect("view index fits u32"))
+            });
             for &vi in &plan.views {
                 refs.push(
                     cols.view_bitmap(u32::try_from(vi).expect("view index fits u32"), stats)?,
@@ -464,6 +428,12 @@ impl DiskGraphStore {
         let n = usize::try_from(ids.len()).expect("result fits usize");
         let w = edges.len();
         let mut measures = Vec::new();
+        if n == 0 {
+            // Provably-empty result: the measure fetches (and their pins)
+            // are skipped outright — same counting rule as the in-memory
+            // engine, so the two stores' stats reconcile exactly.
+            stats.fetches_skipped += w as u64;
+        }
         if n > 0 && w > 0 {
             self.relation.note_partitions(&edges, &mut stats);
             let mut crefs: Vec<ColumnRef> = Vec::with_capacity(w);
@@ -475,9 +445,13 @@ impl DiskGraphStore {
                 let sn = usize::try_from(sub.len()).expect("result fits usize");
                 let mut block = vec![0.0f64; sn * w];
                 for (j, col) in crefs.iter().enumerate() {
-                    for (i, v) in col.gather(sub).into_iter().enumerate() {
+                    // Fused gather-transpose straight into the record-major
+                    // block, no per-column value vector.
+                    let mut i = 0;
+                    col.fold_over(sub, |v| {
                         block[i * w + j] = v;
-                    }
+                        i += 1;
+                    });
                 }
                 block
             };
@@ -558,6 +532,13 @@ impl DiskGraphStore {
                 .filter(|e| !cons.contains(e))
                 .collect();
             let cover = cover_path(&cons, &avail_seqs);
+            if n == 0 {
+                // Nothing matched: skip (and count) every source fetch this
+                // path would have made — mirrors the in-memory engine.
+                stats.fetches_skipped += (cover.segments.len() + extras.len()) as u64;
+                plans.push(Vec::new());
+                continue;
+            }
             let mut sources: Vec<Source> = Vec::new();
             for seg in &cover.segments {
                 match *seg {
@@ -592,9 +573,12 @@ impl DiskGraphStore {
             for (pi, sources) in plans.iter().enumerate() {
                 let mut states = vec![AggState::empty(); sn];
                 for source in sources {
+                    // Fused gather-aggregate: values stream from the pinned
+                    // column straight into the per-record states.
                     match source {
                         Source::View { count, kind, col } => {
-                            for (i, v) in col.gather(sub).into_iter().enumerate() {
+                            let mut i = 0;
+                            col.fold_over(sub, |v| {
                                 let mut s = AggState::empty();
                                 s.count = *count;
                                 match kind {
@@ -603,12 +587,15 @@ impl DiskGraphStore {
                                     BaseKind::Max => s.max = v,
                                 }
                                 states[i].merge(&s);
-                            }
+                                i += 1;
+                            });
                         }
                         Source::Edge(col) => {
-                            for (i, v) in col.gather(sub).into_iter().enumerate() {
+                            let mut i = 0;
+                            col.fold_over(sub, |v| {
                                 states[i].push(v);
-                            }
+                                i += 1;
+                            });
                         }
                     }
                 }

@@ -5,7 +5,7 @@ use graphbi_columnstore::{IoStats, MasterRelation};
 use graphbi_graph::{
     AggState, EdgeId, GraphError, GraphQuery, PathAggQuery, PathAggResult, QueryExpr, Universe,
 };
-use graphbi_views::{cover_path, rewrite_query, PathSegment};
+use graphbi_views::{cover_path, rewrite_query_ranked, PathSegment};
 
 use crate::viewmgr::ViewCatalog;
 
@@ -31,9 +31,11 @@ impl EvalOptions {
 }
 
 /// The bitmap columns a structural plan will intersect, fetched (and
-/// cost-accounted) once up front. Returning the references separately from
+/// cost-accounted) once up front and ordered cheapest-first by
+/// [`Bitmap::cardinality_hint`]. Returning the references separately from
 /// combining them is what lets the sharded path intersect per record range
-/// without re-counting fetches per shard.
+/// without re-counting fetches per shard; the selectivity order keeps the
+/// conjunction accumulator as small as possible from the first AND on.
 pub(crate) fn plan_bitmaps<'a>(
     relation: &'a MasterRelation,
     catalog: &ViewCatalog,
@@ -41,8 +43,14 @@ pub(crate) fn plan_bitmaps<'a>(
     opts: EvalOptions,
     stats: &mut IoStats,
 ) -> Vec<&'a Bitmap> {
-    if opts.use_views && !catalog.graph_views.is_empty() {
-        let plan = rewrite_query(query, &catalog.graph_view_edges());
+    let mut bitmaps: Vec<&Bitmap> = if opts.use_views && !catalog.graph_views.is_empty() {
+        // Coverage ties in the set cover go to the most selective view —
+        // ranked by cardinality peeked without a counted fetch.
+        let plan = rewrite_query_ranked(query, &catalog.graph_view_edges(), |vi| {
+            relation
+                .view_bitmap_uncounted(catalog.graph_views[vi].id)
+                .cardinality_hint()
+        });
         let mut bitmaps: Vec<&Bitmap> = Vec::with_capacity(plan.bitmap_cost());
         for &vi in &plan.views {
             bitmaps.push(relation.view_bitmap(catalog.graph_views[vi].id, stats));
@@ -62,21 +70,39 @@ pub(crate) fn plan_bitmaps<'a>(
             .collect();
         relation.note_partitions(query.edges(), stats);
         bitmaps
-    }
+    };
+    bitmaps.sort_by_key(|b| b.cardinality_hint());
+    bitmaps
 }
 
 /// Intersects the plan's bitmaps, splitting the record space into `shards`
 /// horizontal ranges evaluated on worker threads when `shards > 1`. The
 /// per-shard conjunctions touch disjoint record ranges, so stitching them
 /// back in range order yields exactly the serial intersection.
+///
+/// Only the cheapest operand is sliced per shard: the slice confines the
+/// accumulator to the shard's record range, after which in-place ANDs with
+/// the *whole* remaining bitmaps stay range-confined for free. A shard whose
+/// accumulator drains skips its remaining operands entirely.
 pub(crate) fn and_many_sharded(bitmaps: &[&Bitmap], record_count: u64, shards: usize) -> Bitmap {
-    if shards <= 1 || record_count == 0 {
+    if shards <= 1 || record_count == 0 || bitmaps.is_empty() {
         return Bitmap::and_many(bitmaps.iter().copied());
+    }
+    let mut ordered: Vec<&Bitmap> = bitmaps.to_vec();
+    ordered.sort_by_key(|b| b.cardinality_hint());
+    if ordered[0].is_empty() {
+        return Bitmap::new();
     }
     let ranges = graphbi_columnstore::shard_ranges(record_count, shards);
     let parts = crate::parallel::run_indexed(ranges.len(), shards, |s| {
-        let sliced: Vec<Bitmap> = bitmaps.iter().map(|b| b.slice(ranges[s].clone())).collect();
-        Bitmap::and_many(&sliced)
+        let mut acc = ordered[0].slice(ranges[s].clone());
+        for b in &ordered[1..] {
+            if acc.is_empty() {
+                break;
+            }
+            acc.and_inplace(b);
+        }
+        acc
     });
     let mut out = Bitmap::new();
     for p in &parts {
@@ -141,6 +167,10 @@ pub(crate) fn fetch_measure_matrix(
     let n = usize::try_from(ids.len()).expect("result fits usize");
     let w = edges.len();
     if w == 0 || n == 0 {
+        // Provably-empty result: no row can reference any measure column, so
+        // the planner skips the fetches outright. The count depends only on
+        // `ids` — never the shard split — so serial and sharded runs agree.
+        stats.fetches_skipped += w as u64;
         return Vec::new();
     }
     relation.note_partitions(edges, stats);
@@ -163,13 +193,15 @@ pub(crate) fn fetch_measure_matrix(
         let sn = usize::try_from(sub.len()).expect("result fits usize");
         let mut block = vec![0.0f64; sn * w];
         for (j, col) in cols.iter().enumerate() {
-            let vals = col.gather(sub);
-            debug_assert_eq!(vals.len(), sn, "result ids must be subset of presence");
-            // Transpose to record-major rows (the join's output
-            // materialization).
-            for (i, v) in vals.into_iter().enumerate() {
+            // Fused gather-transpose: each value streams straight into its
+            // record-major slot (the join's output materialization) without
+            // an intermediate column vector.
+            let mut i = 0;
+            col.fold_over(sub, |v| {
                 block[i * w + j] = v;
-            }
+                i += 1;
+            });
+            debug_assert_eq!(i, sn, "result ids must be subset of presence");
         }
         block
     };
@@ -247,6 +279,15 @@ pub(crate) fn path_aggregate(
             .collect();
 
         let cover = cover_path(&cons, &avail_seqs);
+        if n == 0 {
+            // No matching record: every source fetch this path would have
+            // made is provably useless, so skip (and count) them all. The
+            // skip depends only on the structural result, keeping serial and
+            // sharded stats identical.
+            stats.fetches_skipped += (cover.segments.len() + extras.len()) as u64;
+            plans.push(Vec::new());
+            continue;
+        }
         let mut sources: Vec<Source> = Vec::new();
         let mut fetched_base: Vec<EdgeId> = extras.clone();
         for seg in &cover.segments {
@@ -284,16 +325,23 @@ pub(crate) fn path_aggregate(
         for (pi, sources) in plans.iter().enumerate() {
             let mut states = vec![AggState::empty(); sn];
             for source in sources {
+                // Fused gather-aggregate: measure values stream from the
+                // column straight into the per-record aggregate states, with
+                // no intermediate value vector.
                 match source {
                     Source::View { def, col } => {
-                        for (i, v) in col.gather(sub).into_iter().enumerate() {
+                        let mut i = 0;
+                        col.fold_over(sub, |v| {
                             states[i].merge(&def.state_of(v));
-                        }
+                            i += 1;
+                        });
                     }
                     Source::Edge(col) => {
-                        for (i, v) in col.gather(sub).into_iter().enumerate() {
+                        let mut i = 0;
+                        col.fold_over(sub, |v| {
                             states[i].push(v);
-                        }
+                            i += 1;
+                        });
                     }
                 }
             }

@@ -171,15 +171,6 @@ impl GraphStore {
         self.eval_graph(query, EvalOptions::default(), 1)
     }
 
-    /// Evaluation with explicit options.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::execute` with `QueryRequest::new(query).opts(..)`"
-    )]
-    pub fn evaluate_with(&self, query: &GraphQuery, opts: EvalOptions) -> (QueryResult, IoStats) {
-        self.eval_graph(query, opts, 1)
-    }
-
     /// Graph-query evaluation under explicit options and shard count — the
     /// one implementation behind [`GraphStore::evaluate`] and the
     /// [`Session`] impl.
@@ -232,20 +223,6 @@ impl GraphStore {
         )
     }
 
-    /// [`GraphStore::evaluate_expr`] under explicit [`EvalOptions`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::execute` with `QueryRequest::expr(expr).opts(..)`"
-    )]
-    pub fn evaluate_expr_with(
-        &self,
-        expr: &QueryExpr,
-        opts: EvalOptions,
-        stats: &mut IoStats,
-    ) -> Bitmap {
-        engine::eval_expr(&self.relation, &self.catalog, expr, opts, 1, stats)
-    }
-
     /// Streaming evaluation: calls `f(record, measure_row)` for every match,
     /// in ascending record order, materializing at most `chunk` rows at a
     /// time. The paper's result sets reach tens of millions of records ×
@@ -288,6 +265,13 @@ impl GraphStore {
             }
         }
         flush(&mut pending, &mut stats);
+        if ids.is_empty() {
+            // The materialized path skips (and counts) every measure fetch
+            // for a provably-empty result; the chunked path never reached
+            // them — count the same skips so the two cost models agree.
+            stats.fetches_skipped += edges.len() as u64;
+            return stats;
+        }
         // Column-fetch accounting: the chunked gathers re-count measure
         // columns and partition touches per chunk; normalize both to the
         // logical cost so the model matches the non-streaming path.
@@ -315,19 +299,6 @@ impl GraphStore {
         query: &PathAggQuery,
     ) -> Result<(PathAggResult, IoStats), GraphError> {
         self.eval_agg(query, EvalOptions::default(), 1)
-    }
-
-    /// Path aggregation with explicit options.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::execute` with `QueryRequest::aggregate(query).opts(..)`"
-    )]
-    pub fn path_aggregate_with(
-        &self,
-        query: &PathAggQuery,
-        opts: EvalOptions,
-    ) -> Result<(PathAggResult, IoStats), GraphError> {
-        self.eval_agg(query, opts, 1)
     }
 
     /// Path aggregation under explicit options and shard count — the one

@@ -92,6 +92,56 @@ pub fn check(scenario: &Scenario, fault: Fault) -> Report {
                 ),
             });
         }
+
+        // Invariant: every logical cost counter — including the planner's
+        // skipped-fetch count — is shard-count independent. Only the
+        // physical `disk_reads`/`disk_bytes` may differ between runs (they
+        // depend on cache state, not the plan), so they are masked out.
+        for (backend, serial, sharded) in [
+            (
+                "columnar-mem-views-sharded",
+                matrix
+                    .mem_store()
+                    .execute(&QueryRequest::new(q.clone()))
+                    .expect("mem evaluate")
+                    .1,
+                matrix
+                    .mem_store()
+                    .execute(&QueryRequest::new(q.clone()).shards(3))
+                    .expect("mem evaluate")
+                    .1,
+            ),
+            (
+                "columnar-disk-views-sharded",
+                matrix
+                    .disk_store()
+                    .execute(&QueryRequest::new(q.clone()))
+                    .expect("disk evaluate")
+                    .1,
+                matrix
+                    .disk_store()
+                    .execute(&QueryRequest::new(q.clone()).shards(3))
+                    .expect("disk evaluate")
+                    .1,
+            ),
+        ] {
+            report.checks += 1;
+            let mask = |mut s: graphbi::IoStats| {
+                s.disk_reads = 0;
+                s.disk_bytes = 0;
+                s
+            };
+            let (serial, sharded) = (mask(serial), mask(sharded));
+            if serial != sharded {
+                report.discrepancies.push(Discrepancy {
+                    engine: backend.into(),
+                    item: format!("query[{qi}] {q:?}"),
+                    detail: format!(
+                        "stats depend on shard count: serial {serial:?} vs sharded {sharded:?}"
+                    ),
+                });
+            }
+        }
     }
 
     // Logical expressions: match sets against the model's set algebra.

@@ -36,4 +36,4 @@ pub use agg_views::{
 pub use graph_views::{
     generate_candidates, generate_candidates_min_sup, select_views, CandidateGraphView,
 };
-pub use rewrite::{rewrite_query, Rewrite};
+pub use rewrite::{rewrite_query, rewrite_query_ranked, Rewrite};

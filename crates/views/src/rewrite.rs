@@ -36,8 +36,37 @@ impl Rewrite {
 /// Each step picks the view covering the most uncovered edges; when no view
 /// covers at least two uncovered edges, the remaining edges are fetched from
 /// their own bitmap columns (a view covering one edge ties a base bitmap and
-/// buys nothing). The greedy is the classical `H(n)`-approximation.
+/// buys nothing). The greedy is the classical `H(n)`-approximation. Ties in
+/// coverage go to the view with the fewer edges.
 pub fn rewrite_query(query: &GraphQuery, views: &[Vec<EdgeId>]) -> Rewrite {
+    greedy_cover(query, views, |vi, bi| views[vi].len() < views[bi].len())
+}
+
+/// [`rewrite_query`] with a selectivity hint: coverage ties are broken toward
+/// the view whose bitmap the `hint` ranks smallest, so among equally-covering
+/// plans the engine ANDs the most selective view first and the accumulator
+/// (and therefore every later residual intersection) stays minimal.
+///
+/// `hint(view_index)` must be cheap and side-effect free — planners pass
+/// cardinality counts (memory stores) or encoded byte lengths (disk stores),
+/// neither of which performs a counted fetch. The hint only reorders
+/// cost-equal choices; the set of fetched columns — the paper's cost model —
+/// is untouched, so every `bitmap_cost` invariant of [`rewrite_query`] holds
+/// here too.
+pub fn rewrite_query_ranked(
+    query: &GraphQuery,
+    views: &[Vec<EdgeId>],
+    hint: impl Fn(usize) -> u64,
+) -> Rewrite {
+    greedy_cover(query, views, |vi, bi| hint(vi) < hint(bi))
+}
+
+/// Shared greedy core: `prefer(candidate, incumbent)` breaks coverage ties.
+fn greedy_cover(
+    query: &GraphQuery,
+    views: &[Vec<EdgeId>],
+    prefer: impl Fn(usize, usize) -> bool,
+) -> Rewrite {
     let mut uncovered: BTreeSet<EdgeId> = query.edges().iter().copied().collect();
     // Views usable for this query: subgraphs of it.
     let usable: Vec<usize> = views
@@ -58,7 +87,7 @@ pub fn rewrite_query(query: &GraphQuery, views: &[Vec<EdgeId>]) -> Rewrite {
             if cov >= 2 {
                 let better = match best {
                     None => true,
-                    Some((bc, bi)) => cov > bc || (cov == bc && views[bi].len() > views[vi].len()),
+                    Some((bc, bi)) => cov > bc || (cov == bc && prefer(vi, bi)),
                 };
                 if better {
                     best = Some((cov, vi));
@@ -160,6 +189,24 @@ mod tests {
         let query = q(&[7, 8, 9]);
         let r = rewrite_query(&query, &[]);
         assert_eq!(r, Rewrite::oblivious(&query));
+    }
+
+    #[test]
+    fn ranked_rewrite_breaks_coverage_ties_by_hint() {
+        let query = q(&[1, 2, 3]);
+        // Both views cover the same two edges; only the hint separates them.
+        let views = vec![v(&[1, 2]), v(&[1, 2])];
+        let small_second = rewrite_query_ranked(&query, &views, |vi| [10, 3][vi]);
+        assert_eq!(small_second.views, vec![1]);
+        let small_first = rewrite_query_ranked(&query, &views, |vi| [3, 10][vi]);
+        assert_eq!(small_first.views, vec![0]);
+        // Coverage still dominates the hint: a bigger cover wins even when
+        // its bitmap is larger.
+        let views = vec![v(&[1, 2]), v(&[1, 2, 3])];
+        let r = rewrite_query_ranked(&query, &views, |vi| [1, 1_000_000][vi]);
+        assert_eq!(r.views, vec![1]);
+        // And the fetched-column cost matches the unranked plan.
+        assert_eq!(r.bitmap_cost(), rewrite_query(&query, &views).bitmap_cost());
     }
 
     #[test]
