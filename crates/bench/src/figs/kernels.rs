@@ -29,7 +29,7 @@ use graphbi_columnstore::SparseColumn;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{fmt, time_ms, Table};
+use crate::{fmt, measure_tracer_overhead, time_ms, Table};
 
 /// Heap allocations observed since process start (see [`CountingAlloc`]).
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
@@ -331,9 +331,21 @@ pub fn run() -> bool {
         println!("(allocation counts unavailable: CountingAlloc not installed)");
     }
 
+    // Tracer overhead on the Zipf conjunction workload: each conjunction
+    // runs inside a span, once with the tracer disabled (the shipped
+    // default — spans are inert) and once with a collector installed.
+    let overhead = measure_tracer_overhead(5, || {
+        for q in &queries {
+            let _sp = graphbi_obs::span("bench.conjunction");
+            std::hint::black_box(Bitmap::and_many(q.iter().copied()));
+        }
+    });
+    println!("{}", overhead.report());
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"kernels\",");
     let _ = writeln!(json, "  \"alloc_counter\": {},", allocations() > 0);
+    let _ = writeln!(json, "  \"tracer\": {},", overhead.json());
     let _ = writeln!(json, "  \"benches\": [");
     for (i, c) in comparisons.iter().enumerate() {
         let comma = if i + 1 < comparisons.len() { "," } else { "" };

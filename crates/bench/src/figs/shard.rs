@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 use graphbi::disk::{save_store, DiskGraphStore};
 use graphbi::{AggFn, GraphStore, IoStats, PathAggQuery, QueryRequest, Response, Session};
 
-use crate::{fmt, ny, time_ms, zipf_queries, Table};
+use crate::{fmt, measure_tracer_overhead, ny, time_ms, zipf_queries, Table};
 
 /// Shard count for the batched side — the acceptance point of the PR.
 pub const SHARDS: usize = 8;
@@ -173,9 +173,43 @@ pub fn run() -> bool {
     }
     t.emit("shard");
 
+    // Tracer overhead on the Zipf workload: the engine's own span sites
+    // (plan / structural / measure / merge / per-shard) run inert by
+    // default; enabling a collector must stay inside the 5% budget.
+    let overhead = measure_tracer_overhead(5, || {
+        store
+            .evaluate_many(&graph_reqs)
+            .expect("workload is acyclic");
+    });
+    println!("{}", overhead.report());
+
+    // Phase breakdown of one traced batched run: where the workload's wall
+    // clock goes across the query lifecycle.
+    let collector = std::sync::Arc::new(graphbi_obs::Collector::new());
+    {
+        let _tracing = graphbi_obs::install(&collector);
+        store
+            .evaluate_many(&graph_reqs)
+            .expect("workload is acyclic");
+    }
+    let trace = collector.trace();
+    let phases: Vec<String> = graphbi::PHASE_NAMES
+        .iter()
+        .map(|name| {
+            let span = format!("phase.{name}");
+            format!(
+                "\"{name}\": {{\"wall_ns\": {}, \"spans\": {}}}",
+                trace.sum_ns(&span),
+                trace.count(&span)
+            )
+        })
+        .collect();
+
     // Machine-readable point for the benchmark history.
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"shard\",");
+    let _ = writeln!(json, "  \"tracer\": {},", overhead.json());
+    let _ = writeln!(json, "  \"phases\": {{{}}},", phases.join(", "));
     let _ = writeln!(json, "  \"shards\": {SHARDS},");
     let _ = writeln!(json, "  \"queries\": {},", qs.len());
     let _ = writeln!(json, "  \"records\": {},", store.record_count());

@@ -86,6 +86,93 @@ pub fn zipf_queries(d: &Dataset, count: usize) -> Vec<GraphQuery> {
     d.queries(&QuerySpec::zipf(count))
 }
 
+/// Traced-vs-untraced wall clock of one workload: what installing a span
+/// collector costs. The untraced side still executes every instrumentation
+/// site — spans are inert, which is the shipped default.
+pub struct TracerOverhead {
+    /// Best-of-n milliseconds with no collector installed.
+    pub untraced_ms: f64,
+    /// Best-of-n milliseconds with a collector receiving every span.
+    pub traced_ms: f64,
+    /// Spans one traced run records.
+    pub spans: u64,
+}
+
+impl TracerOverhead {
+    /// Slowdown of the traced side in percent (clamped at 0 — timing noise
+    /// can make the traced side come out faster).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.untraced_ms <= 0.0 {
+            0.0
+        } else {
+            ((self.traced_ms - self.untraced_ms) / self.untraced_ms * 100.0).max(0.0)
+        }
+    }
+
+    /// True when the overhead is inside the 5% budget DESIGN.md §12 sets.
+    pub fn within_budget(&self) -> bool {
+        self.overhead_pct() < 5.0
+    }
+
+    /// The `"tracer"` object the BENCH JSONs embed.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"untraced_ms\": {:.3}, \"traced_ms\": {:.3}, \"overhead_pct\": {:.2}, \
+             \"spans\": {}, \"within_budget\": {}}}",
+            self.untraced_ms,
+            self.traced_ms,
+            self.overhead_pct(),
+            self.spans,
+            self.within_budget()
+        )
+    }
+
+    /// One human-readable summary line.
+    pub fn report(&self) -> String {
+        format!(
+            "tracer overhead: untraced {} ms, traced {} ms ({:.2}%, {} span(s), budget <5%: {})",
+            fmt(self.untraced_ms),
+            fmt(self.traced_ms),
+            self.overhead_pct(),
+            self.spans,
+            self.within_budget()
+        )
+    }
+}
+
+/// Times `workload` best-of-`n` twice — tracer disabled, then enabled with
+/// a fresh collector per attempt — and reports the difference.
+pub fn measure_tracer_overhead(n: usize, mut workload: impl FnMut()) -> TracerOverhead {
+    workload(); // warm caches so the first timed side isn't penalized
+    let best = |f: &mut dyn FnMut() -> u64| {
+        let mut best_ms = f64::INFINITY;
+        let mut spans = 0;
+        for _ in 0..n {
+            let (s, ms) = time_ms(&mut *f);
+            if ms < best_ms {
+                best_ms = ms;
+                spans = s;
+            }
+        }
+        (best_ms, spans)
+    };
+    let (untraced_ms, _) = best(&mut || {
+        workload();
+        0
+    });
+    let (traced_ms, spans) = best(&mut || {
+        let collector = std::sync::Arc::new(graphbi_obs::Collector::new());
+        let _tracing = graphbi_obs::install(&collector);
+        workload();
+        collector.trace().spans.len() as u64
+    });
+    TracerOverhead {
+        untraced_ms,
+        traced_ms,
+        spans,
+    }
+}
+
 /// A fixed-width console table, paper style.
 pub struct Table {
     title: String,

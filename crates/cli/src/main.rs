@@ -40,6 +40,7 @@ const USAGE: &str = "usage:
   graphbi query <dir> \"<query>\"
   graphbi queryd <dir> <cache_mb> \"<query>\"   (disk-resident, reports I/O)
   graphbi explain <dir> \"<query>\"
+  graphbi profile <dir> \"<query>\" [--json <file>]   (EXPLAIN ANALYZE)
   graphbi advise <dir> <budget> \"<query>\" [\"<query>\" ...]";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -50,6 +51,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "query" => query(rest),
             "queryd" => query_disk(rest),
             "explain" => explain(rest),
+            "profile" => profile(rest),
             "advise" => advise(rest),
             other => Err(format!("unknown command {other:?}")),
         },
@@ -113,7 +115,7 @@ fn stats(args: &[String]) -> Result<(), String> {
     println!("{}", store.statistics().render());
     println!("named nodes      {}", store.universe().node_count());
     println!("partitions       {}", store.relation().partition_count());
-    println!("disk bytes       {disk}");
+    println!("disk size        {:.1} KiB", disk as f64 / 1024.0);
     Ok(())
 }
 
@@ -178,14 +180,15 @@ fn query_disk(args: &[String]) -> Result<(), String> {
     let started = std::time::Instant::now();
     let (result, stats) = store.evaluate(&q).map_err(|e| e.to_string())?;
     println!(
-        "{} matching records ({:.2?}); {} disk reads, {:.1} KB read, \
-         {} bitmap + {} measure columns",
+        "{} matching records ({:.2?}); {} disk reads, {:.1} KiB read, \
+         {} bitmap + {} measure columns, {} fetches skipped",
         result.len(),
         started.elapsed(),
         stats.disk_reads,
-        stats.disk_bytes as f64 / 1e3,
+        stats.disk_bytes as f64 / 1024.0,
         stats.structural_columns(),
-        stats.measure_columns
+        stats.measure_columns,
+        stats.fetches_skipped
     );
     // A second, warm run shows the cache working.
     let started = std::time::Instant::now();
@@ -217,6 +220,73 @@ fn explain(args: &[String]) -> Result<(), String> {
             println!("pattern {}:", i + 1);
         }
         println!("{}", store.explain(q).render(&store));
+    }
+    Ok(())
+}
+
+/// Parses `text` against `universe` into an executable [`QueryRequest`]
+/// (top-k statements have no session form and are rejected).
+fn parse_request(text: &str, universe: &Universe) -> Result<graphbi::QueryRequest, String> {
+    let statement = graphbi::ql::parse(&graphbi::ql::lex(text).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    match graphbi::ql::resolve(&statement, universe).map_err(|e| e.to_string())? {
+        graphbi::ql::Resolved::Expr(graphbi_graph::QueryExpr::Atom(q)) => {
+            Ok(graphbi::QueryRequest::new(q))
+        }
+        graphbi::ql::Resolved::Expr(e) => Ok(graphbi::QueryRequest::expr(e)),
+        graphbi::ql::Resolved::Agg(paq) => Ok(graphbi::QueryRequest::aggregate(paq)),
+        graphbi::ql::Resolved::TopAgg(..) => {
+            Err("profile does not support TOP-k statements".into())
+        }
+    }
+}
+
+fn profile(args: &[String]) -> Result<(), String> {
+    let (dir, text, json_out) = match args {
+        [dir, text] => (dir, text, None),
+        [dir, text, flag, path] if flag == "--json" => (dir, text, Some(PathBuf::from(path))),
+        _ => return Err("profile needs: <dir> \"<query>\" [--json <file>]".into()),
+    };
+    let dir = PathBuf::from(dir);
+    // Same backend choice as `query`: disk-resident once `advise` has
+    // persisted views metadata, plain in-memory otherwise.
+    let on_disk = persist::has_sidecar(&graphbi_columnstore::OsVfs, &dir, "views_meta.txt");
+    let (plain, plain_stats, resp, prof) = if on_disk {
+        let store =
+            graphbi::disk::DiskGraphStore::open(&dir, 64 << 20).map_err(|e| e.to_string())?;
+        let req = parse_request(text, store.universe())?;
+        let (plain, plain_stats) =
+            graphbi::Session::execute(&store, &req).map_err(|e| e.to_string())?;
+        let (resp, prof) = store.profile(&req).map_err(|e| e.to_string())?;
+        (plain, plain_stats, resp, prof)
+    } else {
+        let store = open(&dir)?;
+        let req = parse_request(text, store.universe())?;
+        let (plain, plain_stats) =
+            graphbi::Session::execute(&store, &req).map_err(|e| e.to_string())?;
+        let (resp, prof) = store.profile(&req).map_err(|e| e.to_string())?;
+        (plain, plain_stats, resp, prof)
+    };
+    // Tracing must not change the answer or the logical I/O cost. Physical
+    // disk traffic legitimately differs between the two runs (the second
+    // hits a warm cache), so those two counters are masked.
+    if resp != plain {
+        return Err("traced run returned a different answer than untraced".into());
+    }
+    let (mut a, mut b) = (prof.stats, plain_stats);
+    a.disk_reads = 0;
+    a.disk_bytes = 0;
+    b.disk_reads = 0;
+    b.disk_bytes = 0;
+    if a != b {
+        return Err(format!(
+            "traced run changed the logical I/O stats: {a:?} vs {b:?}"
+        ));
+    }
+    println!("{}", prof.render());
+    if let Some(path) = json_out {
+        std::fs::write(&path, prof.render_json()).map_err(|e| e.to_string())?;
+        println!("json profile written to {}", path.display());
     }
     Ok(())
 }
@@ -324,8 +394,25 @@ mod tests {
         let q = format!("[{},{}]", nodes[a], nodes[b]);
         run(&s(&["query", &dirs, &q])).unwrap();
         run(&s(&["explain", &dirs, &q])).unwrap();
+        // Memory-backend profile (no views metadata yet).
+        run(&s(&["profile", &dirs, &q])).unwrap();
         run(&s(&["advise", &dirs, "2", &q])).unwrap();
         run(&s(&["queryd", &dirs, "16", &q])).unwrap();
+        // Disk-backend profile, with a parseable JSON snapshot.
+        let json_path = dir.join("profile.json");
+        let json_s = json_path.to_string_lossy().to_string();
+        run(&s(&["profile", &dirs, &q, "--json", &json_s])).unwrap();
+        let doc = graphbi_obs::json::parse(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("backend").and_then(graphbi_obs::json::Json::as_str),
+            Some("disk")
+        );
+        for phase in graphbi::PHASE_NAMES {
+            assert!(
+                doc.get("phases").and_then(|p| p.get(phase)).is_some(),
+                "phase {phase} missing from profile json"
+            );
+        }
         // Unknown node errors cleanly.
         assert!(run(&s(&["query", &dirs, "[nosuchnode,alsonot]"])).is_err());
         std::fs::remove_dir_all(&dir).unwrap();

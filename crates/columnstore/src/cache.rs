@@ -9,6 +9,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 use std::sync::Arc;
 
+use graphbi_obs::Counter;
+
 /// Least-recently-used cache with a byte capacity.
 pub struct LruCache<K: Eq + Hash + Clone, V> {
     map: HashMap<K, Slot<V>>,
@@ -19,6 +21,14 @@ pub struct LruCache<K: Eq + Hash + Clone, V> {
     capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    /// Process-wide metric handles (see `graphbi_obs::global`), resolved
+    /// once at construction so the hot path is a plain atomic add. The
+    /// metrics aggregate across every cache instance; the per-instance
+    /// counters above stay authoritative for `IoStats` reconciliation.
+    m_hits: Arc<Counter>,
+    m_misses: Arc<Counter>,
+    m_evictions: Arc<Counter>,
 }
 
 struct Slot<V> {
@@ -30,6 +40,7 @@ struct Slot<V> {
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Creates a cache holding at most `capacity` bytes of values.
     pub fn new(capacity: usize) -> Self {
+        let reg = graphbi_obs::global();
         LruCache {
             map: HashMap::new(),
             recency: BTreeMap::new(),
@@ -38,6 +49,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             capacity,
             hits: 0,
             misses: 0,
+            evictions: 0,
+            m_hits: reg.counter("graphbi_cache_hits_total"),
+            m_misses: reg.counter("graphbi_cache_misses_total"),
+            m_evictions: reg.counter("graphbi_cache_evictions_total"),
         }
     }
 
@@ -51,10 +66,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 slot.tick = tick;
                 self.recency.insert(tick, key.clone());
                 self.hits += 1;
+                self.m_hits.inc();
                 Some(Arc::clone(&slot.value))
             }
             None => {
                 self.misses += 1;
+                self.m_misses.inc();
                 None
             }
         }
@@ -79,6 +96,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             let victim = self.recency.remove(&victim_tick).expect("tick listed");
             let slot = self.map.remove(&victim).expect("victim cached");
             self.used -= slot.size;
+            self.evictions += 1;
+            self.m_evictions.inc();
         }
         self.tick += 1;
         self.recency.insert(self.tick, key.clone());
@@ -114,13 +133,21 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         (self.hits, self.misses)
     }
 
-    /// Drops every entry and resets the hit/miss counters.
+    /// Entries evicted to make room since creation or the last
+    /// [`LruCache::clear`] (oversized bypasses and replacements are not
+    /// evictions).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drops every entry and resets the hit/miss/eviction counters.
     pub fn clear(&mut self) {
         self.map.clear();
         self.recency.clear();
         self.used = 0;
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
     }
 }
 
@@ -174,6 +201,7 @@ mod tests {
         assert!(c.get(&9).is_some());
         assert!(c.used_bytes() <= 100);
         assert!(c.len() <= 2);
+        assert_eq!(c.evictions(), 5);
     }
 
     #[test]
@@ -185,5 +213,6 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.used_bytes(), 0);
         assert_eq!(c.stats(), (0, 0));
+        assert_eq!(c.evictions(), 0);
     }
 }

@@ -283,6 +283,11 @@ impl DiskRelation {
         self.cache.lock().stats()
     }
 
+    /// Cache evictions so far (entries dropped to make room).
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.lock().evictions()
+    }
+
     /// Empties the buffer pool — the "cold system" of the paper's runs.
     pub fn clear_cache(&self) {
         self.cache.lock().clear();

@@ -26,8 +26,10 @@
 use std::collections::BTreeMap;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
+use graphbi_obs::{Counter, Histogram};
 use parking_lot::Mutex;
 
 /// Whether fetches verify the stored CRC32 of every payload they read.
@@ -80,26 +82,72 @@ pub trait Vfs: Send + Sync {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct OsVfs;
 
+/// Process-wide I/O metric handles, resolved from the global registry once
+/// (the registry lock never sits on the I/O path). Latencies are log₂
+/// histograms in nanoseconds; byte counters track payload volume.
+struct OsVfsMetrics {
+    read_ns: Arc<Histogram>,
+    write_ns: Arc<Histogram>,
+    fsync_ns: Arc<Histogram>,
+    read_bytes: Arc<Counter>,
+    write_bytes: Arc<Counter>,
+}
+
+fn os_metrics() -> &'static OsVfsMetrics {
+    static METRICS: OnceLock<OsVfsMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = graphbi_obs::global();
+        OsVfsMetrics {
+            read_ns: reg.histogram("graphbi_vfs_read_ns"),
+            write_ns: reg.histogram("graphbi_vfs_write_ns"),
+            fsync_ns: reg.histogram("graphbi_vfs_fsync_ns"),
+            read_bytes: reg.counter("graphbi_vfs_read_bytes_total"),
+            write_bytes: reg.counter("graphbi_vfs_write_bytes_total"),
+        }
+    })
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 impl Vfs for OsVfs {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
-        std::fs::read(path)
+        let m = os_metrics();
+        let start = Instant::now();
+        let data = std::fs::read(path)?;
+        m.read_ns.record(elapsed_ns(start));
+        m.read_bytes.add(data.len() as u64);
+        Ok(data)
     }
 
     fn read_range(&self, path: &Path, off: u64, len: u64) -> io::Result<Vec<u8>> {
+        let m = os_metrics();
+        let start = Instant::now();
         let mut f = std::fs::File::open(path)?;
         f.seek(SeekFrom::Start(off))?;
         let mut buf = vec![0u8; usize::try_from(len).expect("len fits usize")];
         f.read_exact(&mut buf)?;
+        m.read_ns.record(elapsed_ns(start));
+        m.read_bytes.add(buf.len() as u64);
         Ok(buf)
     }
 
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let m = os_metrics();
+        let start = Instant::now();
         let mut f = std::fs::File::create(path)?;
-        f.write_all(data)
+        f.write_all(data)?;
+        m.write_ns.record(elapsed_ns(start));
+        m.write_bytes.add(data.len() as u64);
+        Ok(())
     }
 
     fn fsync(&self, path: &Path) -> io::Result<()> {
-        std::fs::File::open(path)?.sync_all()
+        let start = Instant::now();
+        std::fs::File::open(path)?.sync_all()?;
+        os_metrics().fsync_ns.record(elapsed_ns(start));
+        Ok(())
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
@@ -332,6 +380,9 @@ impl FaultVfs {
         match s.armed {
             Some((fault, at)) if op == at => {
                 s.armed = None;
+                graphbi_obs::global()
+                    .counter("graphbi_vfs_faults_total")
+                    .inc();
                 Ok(Some(fault))
             }
             _ => Ok(None),

@@ -349,10 +349,14 @@ impl DiskGraphStore {
         stats: &mut IoStats,
     ) -> Result<Bitmap, DiskError> {
         if query.is_empty() {
+            let mut sp = graphbi_obs::span("phase.plan");
+            sp.attr("estimated_matches", self.relation.record_count());
             return Ok(Bitmap::from_range(
                 0..u32::try_from(self.relation.record_count()).expect("record count fits u32"),
             ));
         }
+        let mut sp = graphbi_obs::span("phase.plan");
+        let before = (stats.bitmap_columns, stats.view_bitmap_columns);
         // Hold every fetched bitmap handle, then AND through the derefs.
         let mut refs: Vec<BitmapRef> = Vec::with_capacity(query.len());
         if !opts.use_views || self.graph_views.is_empty() {
@@ -382,6 +386,17 @@ impl DiskGraphStore {
                 self.relation.note_partitions(&plan.residual_edges, stats);
             }
         }
+        if sp.is_live() {
+            sp.attr("bitmap_columns", stats.bitmap_columns - before.0);
+            sp.attr("view_bitmap_columns", stats.view_bitmap_columns - before.1);
+            // Same estimate the in-memory planner reports: the rarest
+            // operand bounds the intersection.
+            sp.attr(
+                "estimated_matches",
+                refs.iter().map(|r| r.cardinality_hint()).min().unwrap_or(0),
+            );
+        }
+        drop(sp);
         let raw: Vec<&Bitmap> = refs.iter().map(|r| &**r).collect();
         Ok(engine::and_many_sharded(
             &raw,
@@ -428,11 +443,13 @@ impl DiskGraphStore {
         let n = usize::try_from(ids.len()).expect("result fits usize");
         let w = edges.len();
         let mut measures = Vec::new();
+        let mut sp = graphbi_obs::span("phase.measure");
         if n == 0 {
             // Provably-empty result: the measure fetches (and their pins)
             // are skipped outright — same counting rule as the in-memory
             // engine, so the two stores' stats reconcile exactly.
             stats.fetches_skipped += w as u64;
+            sp.attr("fetches_skipped", w as u64);
         }
         if n > 0 && w > 0 {
             self.relation.note_partitions(&edges, &mut stats);
@@ -441,6 +458,10 @@ impl DiskGraphStore {
                 crefs.push(cols.edge_measures(e, &mut stats)?);
             }
             stats.values_fetched += (n * w) as u64;
+            if sp.is_live() {
+                sp.attr("measure_columns", w as u64);
+                sp.attr("values_fetched", (n * w) as u64);
+            }
             let gather_block = |sub: &Bitmap| -> Vec<f64> {
                 let sn = usize::try_from(sub.len()).expect("result fits usize");
                 let mut block = vec![0.0f64; sn * w];
@@ -462,8 +483,13 @@ impl DiskGraphStore {
                 // blocks concatenate into the serial matrix.
                 let ranges = self.relation.shard_ranges(shards);
                 let blocks = crate::parallel::run_indexed(ranges.len(), shards, |s| {
+                    let mut shard_sp = graphbi_obs::span("shard.measure");
+                    shard_sp.attr("shard", s as u64);
                     gather_block(&ids.slice(ranges[s].clone()))
                 });
+                drop(sp);
+                let mut msp = graphbi_obs::span("phase.merge");
+                msp.attr("parts", blocks.len() as u64);
                 blocks.into_iter().flatten().collect()
             };
         }
@@ -515,6 +541,12 @@ impl DiskGraphStore {
 
         // Plan phase: resolve every path's sources once, counting every
         // fetch exactly as the serial engine does.
+        let mut sp = graphbi_obs::span("phase.plan");
+        let before = (
+            stats.measure_columns,
+            stats.agg_view_columns,
+            stats.fetches_skipped,
+        );
         let mut plans: Vec<Vec<Source>> = Vec::with_capacity(path_count);
         for path in &paths {
             let cons: Vec<EdgeId> = path
@@ -564,6 +596,12 @@ impl DiskGraphStore {
             stats.values_fetched += (n * sources.len()) as u64;
             plans.push(sources);
         }
+        if sp.is_live() {
+            sp.attr("measure_columns", stats.measure_columns - before.0);
+            sp.attr("agg_view_columns", stats.agg_view_columns - before.1);
+            sp.attr("fetches_skipped", stats.fetches_skipped - before.2);
+        }
+        drop(sp);
 
         // Compute phase: per-record folds are independent, so shards over
         // disjoint record ranges replay the serial operation order exactly.
@@ -606,13 +644,19 @@ impl DiskGraphStore {
             values
         };
 
+        let sp = graphbi_obs::span("phase.measure");
         let values = if shards <= 1 {
             compute(&ids)
         } else {
             let ranges = self.relation.shard_ranges(shards);
             let blocks = crate::parallel::run_indexed(ranges.len(), shards, |s| {
+                let mut shard_sp = graphbi_obs::span("shard.measure");
+                shard_sp.attr("shard", s as u64);
                 compute(&ids.slice(ranges[s].clone()))
             });
+            drop(sp);
+            let mut msp = graphbi_obs::span("phase.merge");
+            msp.attr("parts", blocks.len() as u64);
             blocks.into_iter().flatten().collect()
         };
 
@@ -671,6 +715,8 @@ impl Session for DiskGraphStore {
         let (firsts, assign) = dedup_requests(requests);
         let threads = requests.iter().map(|r| r.shards).max().unwrap_or(1);
         let distinct = crate::parallel::run_indexed(firsts.len(), threads, |i| {
+            let mut sp = graphbi_obs::span("request");
+            sp.attr("request", firsts[i] as u64);
             let mut req = requests[firsts[i]].clone();
             if firsts.len() > 1 {
                 // Workload-level parallelism owns the pool (see the

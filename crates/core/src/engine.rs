@@ -86,15 +86,22 @@ pub(crate) fn plan_bitmaps<'a>(
 /// accumulator drains skips its remaining operands entirely.
 pub(crate) fn and_many_sharded(bitmaps: &[&Bitmap], record_count: u64, shards: usize) -> Bitmap {
     if shards <= 1 || record_count == 0 || bitmaps.is_empty() {
-        return Bitmap::and_many(bitmaps.iter().copied());
+        let mut sp = graphbi_obs::span("phase.structural");
+        let out = Bitmap::and_many(bitmaps.iter().copied());
+        sp.attr("matches", out.len());
+        return out;
     }
+    let mut sp = graphbi_obs::span("phase.structural");
     let mut ordered: Vec<&Bitmap> = bitmaps.to_vec();
     ordered.sort_by_key(|b| b.cardinality_hint());
     if ordered[0].is_empty() {
+        sp.attr("matches", 0);
         return Bitmap::new();
     }
     let ranges = graphbi_columnstore::shard_ranges(record_count, shards);
     let parts = crate::parallel::run_indexed(ranges.len(), shards, |s| {
+        let mut shard_sp = graphbi_obs::span("shard.structural");
+        shard_sp.attr("shard", s as u64);
         let mut acc = ordered[0].slice(ranges[s].clone());
         for b in &ordered[1..] {
             if acc.is_empty() {
@@ -102,12 +109,17 @@ pub(crate) fn and_many_sharded(bitmaps: &[&Bitmap], record_count: u64, shards: u
             }
             acc.and_inplace(b);
         }
+        shard_sp.attr("matches", acc.len());
         acc
     });
+    drop(sp);
+    let mut sp = graphbi_obs::span("phase.merge");
+    sp.attr("parts", parts.len() as u64);
     let mut out = Bitmap::new();
     for p in &parts {
         out.append_disjoint(p);
     }
+    sp.attr("matches", out.len());
     out
 }
 
@@ -121,11 +133,30 @@ pub(crate) fn structural(
     stats: &mut IoStats,
 ) -> Bitmap {
     if query.is_empty() {
+        let mut sp = graphbi_obs::span("phase.plan");
+        sp.attr("estimated_matches", relation.record_count());
         return Bitmap::from_range(
             0..u32::try_from(relation.record_count()).expect("record count fits u32"),
         );
     }
+    let mut sp = graphbi_obs::span("phase.plan");
+    let (base_before, view_before) = (stats.bitmap_columns, stats.view_bitmap_columns);
     let bitmaps = plan_bitmaps(relation, catalog, query, opts, stats);
+    if sp.is_live() {
+        sp.attr("bitmap_columns", stats.bitmap_columns - base_before);
+        sp.attr(
+            "view_bitmap_columns",
+            stats.view_bitmap_columns - view_before,
+        );
+        // The plan's match estimate: the rarest bitmap bounds the result
+        // (the same quantity `GraphStore::explain` reports). The list is
+        // already sorted cheapest-first.
+        sp.attr(
+            "estimated_matches",
+            bitmaps.first().map_or(0, |b| b.cardinality_hint()),
+        );
+    }
+    drop(sp);
     and_many_sharded(&bitmaps, relation.record_count(), shards)
 }
 
@@ -166,11 +197,13 @@ pub(crate) fn fetch_measure_matrix(
 ) -> Vec<f64> {
     let n = usize::try_from(ids.len()).expect("result fits usize");
     let w = edges.len();
+    let mut sp = graphbi_obs::span("phase.measure");
     if w == 0 || n == 0 {
         // Provably-empty result: no row can reference any measure column, so
         // the planner skips the fetches outright. The count depends only on
         // `ids` — never the shard split — so serial and sharded runs agree.
         stats.fetches_skipped += w as u64;
+        sp.attr("fetches_skipped", w as u64);
         return Vec::new();
     }
     relation.note_partitions(edges, stats);
@@ -187,6 +220,10 @@ pub(crate) fn fetch_measure_matrix(
     if partitions.len() > 1 {
         // Every result row participates in (parts−1) recid joins.
         stats.join_rows += (n * (partitions.len() - 1)) as u64;
+    }
+    if sp.is_live() {
+        sp.attr("measure_columns", w as u64);
+        sp.attr("values_fetched", (n * w) as u64);
     }
 
     let gather_block = |sub: &Bitmap| -> Vec<f64> {
@@ -213,8 +250,13 @@ pub(crate) fn fetch_measure_matrix(
     // record-major shard blocks reproduces the serial matrix exactly.
     let ranges = relation.shard_ranges(shards);
     let blocks = crate::parallel::run_indexed(ranges.len(), shards, |s| {
+        let mut shard_sp = graphbi_obs::span("shard.measure");
+        shard_sp.attr("shard", s as u64);
         gather_block(&ids.slice(ranges[s].clone()))
     });
+    drop(sp);
+    let mut sp = graphbi_obs::span("phase.merge");
+    sp.attr("parts", blocks.len() as u64);
     let mut out = Vec::with_capacity(n * w);
     for b in blocks {
         out.extend_from_slice(&b);
@@ -259,6 +301,12 @@ pub(crate) fn path_aggregate(
 
     // Plan phase: resolve every path's sources once, counting every fetch
     // exactly as the serial engine does — shard workers never touch stats.
+    let mut sp = graphbi_obs::span("phase.plan");
+    let before = (
+        stats.measure_columns,
+        stats.agg_view_columns,
+        stats.fetches_skipped,
+    );
     let mut plans: Vec<Vec<Source>> = Vec::with_capacity(path_count);
     for path in &paths {
         // Consecutive edges in path order; self-edge elements separately.
@@ -314,6 +362,12 @@ pub(crate) fn path_aggregate(
         }
         plans.push(sources);
     }
+    if sp.is_live() {
+        sp.attr("measure_columns", stats.measure_columns - before.0);
+        sp.attr("agg_view_columns", stats.agg_view_columns - before.1);
+        sp.attr("fetches_skipped", stats.fetches_skipped - before.2);
+    }
+    drop(sp);
 
     // Compute phase: fold each record's sources in plan order. Records are
     // independent, so a shard computes its record range's block without
@@ -354,6 +408,7 @@ pub(crate) fn path_aggregate(
         values
     };
 
+    let sp = graphbi_obs::span("phase.measure");
     let values = if shards <= 1 {
         compute(&ids)
     } else {
@@ -361,8 +416,13 @@ pub(crate) fn path_aggregate(
         // concatenate into the full matrix.
         let ranges = relation.shard_ranges(shards);
         let blocks = crate::parallel::run_indexed(ranges.len(), shards, |s| {
+            let mut shard_sp = graphbi_obs::span("shard.measure");
+            shard_sp.attr("shard", s as u64);
             compute(&ids.slice(ranges[s].clone()))
         });
+        drop(sp);
+        let mut msp = graphbi_obs::span("phase.merge");
+        msp.attr("parts", blocks.len() as u64);
         let mut out = Vec::with_capacity(n * path_count);
         for b in blocks {
             out.extend_from_slice(&b);

@@ -1,7 +1,12 @@
-//! Plan inspection: what a query will fetch, before running it.
+//! Plan inspection and profiling: what a query will fetch (`EXPLAIN`),
+//! and what it actually did (`EXPLAIN ANALYZE` — [`Profile`]).
 
+use std::sync::Arc;
+
+use graphbi_columnstore::{DiskRelation, IoStats};
 use graphbi_views::rewrite_query;
 
+use crate::session::{QueryRequest, Response, Session, SessionError};
 use crate::viewmgr::ViewCatalog;
 use crate::GraphStore;
 use graphbi_graph::{EdgeId, GraphQuery};
@@ -53,6 +58,272 @@ impl Plan {
         let _ = writeln!(out, "estimated matches ≤ {}", self.estimated_matches);
         let _ = write!(out, "measure fetch: {} partition(s)", self.partitions);
         out
+    }
+}
+
+/// The canonical query-lifecycle phases every [`Profile`] reports, in
+/// execution order. A phase that never ran (e.g. `merge` at one shard)
+/// still appears with zero time so downstream parsers — the CI smoke job
+/// among them — can rely on the shape.
+pub const PHASE_NAMES: [&str; 4] = ["plan", "structural", "measure", "merge"];
+
+/// Wall-clock and span count of one lifecycle phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name (one of [`PHASE_NAMES`]).
+    pub name: &'static str,
+    /// Summed wall-clock of the phase's spans, in nanoseconds.
+    pub wall_ns: u64,
+    /// Number of spans recorded for the phase.
+    pub spans: u64,
+}
+
+/// `EXPLAIN ANALYZE`: what one executed request actually did.
+///
+/// Produced by [`GraphStore::profile`] and
+/// [`crate::disk::DiskGraphStore::profile`], which run the request under a
+/// private span collector. Tracing never changes answers or logical
+/// [`IoStats`] — the testkit oracle re-checks that on every run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Profile {
+    /// Which engine ran the request (`"memory"` or `"disk"`).
+    pub backend: &'static str,
+    /// Rows in the answer (matching records).
+    pub matches: u64,
+    /// The planner's pre-execution bound on `matches` (rarest operand).
+    pub estimated_matches: u64,
+    /// End-to-end wall-clock of the request, in nanoseconds.
+    pub total_ns: u64,
+    /// The canonical four phases, always in [`PHASE_NAMES`] order.
+    pub phases: Vec<PhaseStat>,
+    /// Per-shard spans observed (0 when the request ran serially).
+    pub shard_spans: u64,
+    /// The request's logical I/O cost — identical to an untraced run.
+    pub stats: IoStats,
+    /// Views the rewriter chose (summed over rewrite events).
+    pub views_used: u64,
+    /// Base edges left uncovered by the chosen views.
+    pub residual_edges: u64,
+    /// Coverage ties the selectivity hint broke.
+    pub rewrite_ties: u64,
+    /// Column-cache hits during this request (disk backend; 0 in memory).
+    pub cache_hits: u64,
+    /// Column-cache misses during this request.
+    pub cache_misses: u64,
+    /// Column-cache evictions during this request.
+    pub cache_evictions: u64,
+}
+
+fn response_rows(resp: &Response) -> u64 {
+    match resp {
+        Response::Records(r) => r.records.len() as u64,
+        Response::Matches(b) => b.len(),
+        Response::Aggregates(r) => r.records.len() as u64,
+    }
+}
+
+/// Executes `request` under a fresh span collector and distills the trace.
+pub(crate) fn profile_request<S: Session + ?Sized>(
+    session: &S,
+    backend: &'static str,
+    relation: Option<&DiskRelation>,
+    request: &QueryRequest,
+) -> Result<(Response, Profile), SessionError> {
+    let cache_before = relation.map(|r| {
+        let (h, m) = r.cache_stats();
+        (h, m, r.cache_evictions())
+    });
+    let collector = Arc::new(graphbi_obs::Collector::new());
+    let started = std::time::Instant::now();
+    let (resp, stats) = {
+        let _tracing = graphbi_obs::install(&collector);
+        session.execute(request)?
+    };
+    let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let trace = collector.trace();
+    let (cache_hits, cache_misses, cache_evictions) = match (relation, cache_before) {
+        (Some(r), Some((h0, m0, e0))) => {
+            let (h1, m1) = r.cache_stats();
+            (h1 - h0, m1 - m0, r.cache_evictions() - e0)
+        }
+        _ => (0, 0, 0),
+    };
+    let phases = PHASE_NAMES
+        .iter()
+        .map(|&name| {
+            let span = match name {
+                "plan" => "phase.plan",
+                "structural" => "phase.structural",
+                "measure" => "phase.measure",
+                _ => "phase.merge",
+            };
+            PhaseStat {
+                name,
+                wall_ns: trace.sum_ns(span),
+                spans: trace.count(span),
+            }
+        })
+        .collect();
+    let profile = Profile {
+        backend,
+        matches: response_rows(&resp),
+        estimated_matches: trace
+            .min_attr("phase.plan", "estimated_matches")
+            .unwrap_or(0),
+        total_ns,
+        phases,
+        shard_spans: trace.count("shard.structural") + trace.count("shard.measure"),
+        stats,
+        views_used: trace.sum_event_attr("rewrite.cover", "views"),
+        residual_edges: trace.sum_event_attr("rewrite.cover", "residual_edges"),
+        rewrite_ties: trace.sum_event_attr("rewrite.cover", "ties"),
+        cache_hits,
+        cache_misses,
+        cache_evictions,
+    };
+    Ok((resp, profile))
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+impl Profile {
+    /// Renders the profile as a compact `EXPLAIN ANALYZE` block.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "EXPLAIN ANALYZE ({} backend)", self.backend);
+        let _ = writeln!(
+            out,
+            "matches: {} actual, ≤ {} estimated",
+            self.matches, self.estimated_matches
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "  {:<11} {:>12}  ({} span(s))",
+                p.name,
+                fmt_ms(p.wall_ns),
+                p.spans
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {} ({} shard span(s))",
+            fmt_ms(self.total_ns),
+            self.shard_spans
+        );
+        let _ = writeln!(
+            out,
+            "rewrite: {} view(s) + {} residual edge(s), {} tie(s) broken",
+            self.views_used, self.residual_edges, self.rewrite_ties
+        );
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "bitmaps: {} fetched ({} base + {} view), {} fetch(es) skipped",
+            s.bitmap_columns + s.view_bitmap_columns,
+            s.bitmap_columns,
+            s.view_bitmap_columns,
+            s.fetches_skipped
+        );
+        let _ = writeln!(
+            out,
+            "measures: {} column(s) (+{} agg view(s)), {} value(s), {} partition(s), {} join row(s)",
+            s.measure_columns, s.agg_view_columns, s.values_fetched, s.partitions_touched, s.join_rows
+        );
+        let _ = writeln!(
+            out,
+            "disk: {} read(s), {:.1} KiB",
+            s.disk_reads,
+            s.disk_bytes as f64 / 1024.0
+        );
+        let looked = self.cache_hits + self.cache_misses;
+        let rate = if looked == 0 {
+            0.0
+        } else {
+            100.0 * self.cache_hits as f64 / looked as f64
+        };
+        let _ = write!(
+            out,
+            "cache: {} hit(s) / {} miss(es) ({rate:.1}% hit rate), {} eviction(s)",
+            self.cache_hits, self.cache_misses, self.cache_evictions
+        );
+        out
+    }
+
+    /// Renders the profile as a single JSON object — the same document the
+    /// CI profile-smoke job parses back with [`graphbi_obs::json::parse`].
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"backend\":{},\"matches\":{},\"estimated_matches\":{},\"total_ns\":{}",
+            graphbi_obs::json::quote(self.backend),
+            self.matches,
+            self.estimated_matches,
+            self.total_ns
+        );
+        out.push_str(",\"phases\":{");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"wall_ns\":{},\"spans\":{}}}",
+                graphbi_obs::json::quote(p.name),
+                p.wall_ns,
+                p.spans
+            );
+        }
+        let _ = write!(out, "}},\"shard_spans\":{}", self.shard_spans);
+        let _ = write!(
+            out,
+            ",\"rewrite\":{{\"views\":{},\"residual_edges\":{},\"ties\":{}}}",
+            self.views_used, self.residual_edges, self.rewrite_ties
+        );
+        let s = &self.stats;
+        let _ = write!(
+            out,
+            ",\"io\":{{\"bitmap_columns\":{},\"view_bitmap_columns\":{},\"measure_columns\":{},\
+             \"agg_view_columns\":{},\"values_fetched\":{},\"partitions_touched\":{},\
+             \"join_rows\":{},\"disk_reads\":{},\"disk_bytes\":{},\"fetches_skipped\":{}}}",
+            s.bitmap_columns,
+            s.view_bitmap_columns,
+            s.measure_columns,
+            s.agg_view_columns,
+            s.values_fetched,
+            s.partitions_touched,
+            s.join_rows,
+            s.disk_reads,
+            s.disk_bytes,
+            s.fetches_skipped
+        );
+        let _ = write!(
+            out,
+            ",\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}}}",
+            self.cache_hits, self.cache_misses, self.cache_evictions
+        );
+        out
+    }
+}
+
+impl GraphStore {
+    /// `EXPLAIN ANALYZE` for the in-memory engine: executes `request`
+    /// under a span collector and returns the answer plus its [`Profile`].
+    pub fn profile(&self, request: &QueryRequest) -> Result<(Response, Profile), SessionError> {
+        profile_request(self, "memory", None, request)
+    }
+}
+
+impl crate::disk::DiskGraphStore {
+    /// `EXPLAIN ANALYZE` for the disk engine; additionally reports the
+    /// column cache's hit/miss/eviction deltas over the request.
+    pub fn profile(&self, request: &QueryRequest) -> Result<(Response, Profile), SessionError> {
+        profile_request(self, "disk", Some(self.relation()), request)
     }
 }
 
@@ -151,5 +422,72 @@ mod tests {
         let plan = store.explain(&GraphQuery::from_edges(vec![]));
         assert_eq!(plan.estimated_matches, store.record_count());
         assert_eq!(plan.bitmap_cost, 0);
+    }
+
+    #[test]
+    fn profile_matches_untraced_run_and_has_all_phases() {
+        let (store, e) = store();
+        let q = GraphQuery::from_edges(vec![e[0], e[1], e[2]]);
+        let (plain, plain_stats) = store.evaluate(&q);
+        let req = crate::session::QueryRequest::new(q);
+        let (resp, profile) = store.profile(&req).unwrap();
+        match resp {
+            crate::session::Response::Records(r) => assert_eq!(r, plain),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        assert_eq!(profile.stats, plain_stats, "tracing must not change stats");
+        assert_eq!(profile.matches, plain.records.len() as u64);
+        assert!(profile.matches <= profile.estimated_matches);
+        assert_eq!(profile.backend, "memory");
+        let names: Vec<&str> = profile.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, PHASE_NAMES);
+        // plan/structural/measure all ran at least once.
+        assert!(profile.phases[0].spans >= 1);
+        assert!(profile.phases[1].spans >= 1);
+        assert!(profile.phases[2].spans >= 1);
+        assert!(profile.total_ns > 0);
+    }
+
+    #[test]
+    fn profile_json_round_trips_through_own_parser() {
+        let (store, e) = store();
+        let req =
+            crate::session::QueryRequest::new(GraphQuery::from_edges(vec![e[0], e[1]])).shards(3);
+        let (_, profile) = store.profile(&req).unwrap();
+        let doc = graphbi_obs::json::parse(&profile.render_json()).unwrap();
+        assert_eq!(
+            doc.get("backend").and_then(graphbi_obs::json::Json::as_str),
+            Some("memory")
+        );
+        assert_eq!(
+            doc.get("matches").and_then(graphbi_obs::json::Json::as_u64),
+            Some(profile.matches)
+        );
+        let phases = doc.get("phases").expect("phases object");
+        for name in PHASE_NAMES {
+            let p = phases.get(name).unwrap_or_else(|| panic!("phase {name}"));
+            assert_eq!(
+                p.get("wall_ns").and_then(graphbi_obs::json::Json::as_u64),
+                Some(
+                    profile
+                        .phases
+                        .iter()
+                        .find(|x| x.name == name)
+                        .unwrap()
+                        .wall_ns
+                )
+            );
+        }
+        assert_eq!(
+            doc.get("io")
+                .and_then(|io| io.get("bitmap_columns"))
+                .and_then(graphbi_obs::json::Json::as_u64),
+            Some(profile.stats.bitmap_columns)
+        );
+        // Sharded run recorded per-shard spans and a merge phase.
+        assert!(profile.shard_spans > 0, "sharded profile sees shard spans");
+        let rendered = profile.render();
+        assert!(rendered.contains("EXPLAIN ANALYZE"), "{rendered}");
+        assert!(rendered.contains("estimated"), "{rendered}");
     }
 }

@@ -66,7 +66,7 @@ mod topk;
 mod viewmgr;
 
 pub use engine::EvalOptions;
-pub use explain::Plan;
+pub use explain::{PhaseStat, Plan, Profile, PHASE_NAMES};
 pub use groups::GroupIndex;
 pub use session::{QueryRequest, RequestKind, Response, Session, SessionError};
 pub use shared::SharedStore;

@@ -17,6 +17,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// core count only add scheduling overhead, never throughput. With an
 /// effective parallelism of one the queue degenerates to a plain
 /// sequential loop (same results, same order, no thread spawn).
+///
+/// The caller's tracing collector (if one is installed) is re-installed in
+/// every worker: `graphbi_obs`'s collector is thread-local, so without the
+/// hand-off the spans of sharded work would vanish. Workers record where
+/// the spawning query records, and the installation dies with the worker.
 pub fn run_indexed<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let threads = threads.min(cores);
@@ -24,20 +29,24 @@ pub fn run_indexed<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + S
         return (0..n).map(f).collect();
     }
     let threads = threads.min(n);
+    let collector = graphbi_obs::current();
     let next = AtomicUsize::new(0);
     let slots: parking_lot::Mutex<Vec<Option<T>>> =
         parking_lot::Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let _tracing = collector.as_ref().map(graphbi_obs::install);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Do the work outside the lock; the lock only guards
+                    // the cheap slot write.
+                    let out = f(i);
+                    slots.lock()[i] = Some(out);
                 }
-                // Do the work outside the lock; the lock only guards the
-                // cheap slot write.
-                let out = f(i);
-                slots.lock()[i] = Some(out);
             });
         }
     });

@@ -436,6 +436,8 @@ impl Session for GraphStore {
         let (firsts, assign) = dedup_requests(requests);
         let threads = requests.iter().map(|r| r.shards).max().unwrap_or(1);
         let distinct = crate::parallel::run_indexed(firsts.len(), threads, |i| {
+            let mut sp = graphbi_obs::span("request");
+            sp.attr("request", firsts[i] as u64);
             let mut req = requests[firsts[i]].clone();
             if firsts.len() > 1 {
                 // Workload-level parallelism owns the pool; nested

@@ -1,0 +1,171 @@
+//! Property tests for the observability primitives: histogram algebra,
+//! bucket monotonicity, counter saturation, and JSON round-trips.
+
+use graphbi_obs::{
+    bucket_bound, bucket_index, json, Counter, HistSnapshot, Histogram, Registry, Snapshot,
+    HIST_BUCKETS,
+};
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 0..64)
+}
+
+/// Samples small enough that even a 64-element sum stays below 2^53, the
+/// exact-integer limit of the JSON f64 number representation.
+fn json_safe_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..(1 << 40), 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_commutative(a in samples(), b in samples()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(a in samples(), b in samples()) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&both));
+    }
+
+    #[test]
+    fn every_sample_lands_in_its_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        prop_assert!(v <= bucket_bound(i), "{v} above its bucket bound");
+        if i > 0 {
+            prop_assert!(v > bucket_bound(i - 1), "{v} belongs in a lower bucket");
+        }
+    }
+
+    #[test]
+    fn counter_saturates_like_iostats_merge(a in any::<u64>(), b in any::<u64>()) {
+        // IoStats::merge uses saturating addition; the registry counter
+        // must agree so snapshot sums never wrap where stats don't.
+        let c = Counter::new();
+        c.add(a);
+        c.add(b);
+        prop_assert_eq!(c.get(), a.saturating_add(b));
+    }
+
+    #[test]
+    fn snapshot_render_json_round_trips(
+        counters in prop::collection::btree_map("[a-z_]{1,12}", 0u64..(1 << 50), 0..6),
+        gauges in prop::collection::btree_map("[a-z_]{1,12}", -(1i64 << 40)..(1i64 << 40), 0..6),
+        series in prop::collection::btree_map("[a-z_]{1,12}", json_safe_samples(), 0..4),
+    ) {
+        let reg = Registry::new();
+        for (name, v) in &counters {
+            reg.counter(name).add(*v);
+        }
+        for (name, v) in &gauges {
+            reg.gauge(name).set(*v);
+        }
+        for (name, vs) in &series {
+            let h = reg.histogram(name);
+            for &v in vs {
+                h.record(v);
+            }
+        }
+        let snap = reg.snapshot();
+        let parsed = Snapshot::from_json(&snap.render_json()).unwrap();
+        prop_assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative(
+        a in prop::collection::btree_map("[a-z_]{1,8}", 0u64..(1 << 50), 0..5),
+        b in prop::collection::btree_map("[a-z_]{1,8}", 0u64..(1 << 50), 0..5),
+    ) {
+        let of = |m: &std::collections::BTreeMap<String, u64>| {
+            let reg = Registry::new();
+            for (name, v) in m {
+                reg.counter(name).add(*v);
+            }
+            reg.snapshot()
+        };
+        let (sa, sb) = (of(&a), of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+}
+
+#[test]
+fn bucket_bounds_are_strictly_monotone() {
+    for i in 1..HIST_BUCKETS {
+        assert!(
+            bucket_bound(i) > bucket_bound(i - 1),
+            "bucket {i} bound not increasing"
+        );
+    }
+    assert_eq!(bucket_bound(HIST_BUCKETS - 1), u64::MAX);
+}
+
+#[test]
+fn prometheus_text_lists_every_instrument() {
+    let reg = Registry::new();
+    reg.counter("requests_total").add(3);
+    reg.gauge("inflight").set(-2);
+    reg.histogram("latency_ns").record(1500);
+    let text = reg.snapshot().render_text();
+    assert!(text.contains("# TYPE requests_total counter"), "{text}");
+    assert!(text.contains("requests_total 3"), "{text}");
+    assert!(text.contains("inflight -2"), "{text}");
+    assert!(text.contains("# TYPE latency_ns histogram"), "{text}");
+    assert!(text.contains("latency_ns_count 1"), "{text}");
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+}
+
+#[test]
+fn json_parser_accepts_bench_style_lines() {
+    // The shape the bench harness emits as BENCH JSON.
+    let line = r#"{"bench":"kernels","series":[{"name":"and","ms":[1.5,2.0]}],"ok":true}"#;
+    let doc = json::parse(line).unwrap();
+    assert_eq!(
+        doc.get("bench").and_then(json::Json::as_str),
+        Some("kernels")
+    );
+    assert_eq!(
+        doc.get("series")
+            .and_then(|s| s.item(0))
+            .and_then(|s| s.get("ms"))
+            .and_then(|m| m.item(1))
+            .and_then(json::Json::as_f64),
+        Some(2.0)
+    );
+}

@@ -142,6 +142,93 @@ pub fn check(scenario: &Scenario, fault: Fault) -> Report {
                 });
             }
         }
+
+        // Invariant: tracing is observation only. Each engine row re-runs
+        // the query under an installed span collector; the traced answer
+        // must be bit-identical to the untraced one.
+        for engine in &matrix.engines {
+            report.checks += 1;
+            let plain = engine.evaluate(q);
+            let collector = std::sync::Arc::new(graphbi_obs::Collector::new());
+            let traced = {
+                let _tracing = graphbi_obs::install(&collector);
+                engine.evaluate(q)
+            };
+            if let Some(diff) = plain.diff(&traced, 0.0) {
+                report.discrepancies.push(Discrepancy {
+                    engine: format!("{}-traced", engine.name()),
+                    item: format!("query[{qi}] {q:?}"),
+                    detail: format!("traced answer differs from untraced: {diff}"),
+                });
+            }
+        }
+
+        // Invariant: on the stats-bearing stores, tracing also leaves the
+        // logical IoStats bit-identical, and where a span attribute names
+        // an IoStats counter the trace-summed attribute must equal the
+        // counter exactly — spans carry the same deltas, just annotated.
+        let req = QueryRequest::new(q.clone());
+        for (backend, store) in [
+            (
+                "columnar-mem-views-traced",
+                matrix.mem_store() as &dyn Session,
+            ),
+            (
+                "columnar-disk-views-traced",
+                matrix.disk_store() as &dyn Session,
+            ),
+        ] {
+            let (plain, plain_stats) = store.execute(&req).expect("untraced evaluate");
+            let collector = std::sync::Arc::new(graphbi_obs::Collector::new());
+            let (traced, traced_stats) = {
+                let _tracing = graphbi_obs::install(&collector);
+                store.execute(&req).expect("traced evaluate")
+            };
+            let trace = collector.trace();
+            report.checks += 1;
+            if traced != plain {
+                report.discrepancies.push(Discrepancy {
+                    engine: backend.into(),
+                    item: format!("query[{qi}] {q:?}"),
+                    detail: "traced answer differs from untraced".into(),
+                });
+            }
+            report.checks += 1;
+            let mask = |mut s: graphbi::IoStats| {
+                s.disk_reads = 0;
+                s.disk_bytes = 0;
+                s
+            };
+            let (masked_traced, masked_plain) = (mask(traced_stats), mask(plain_stats));
+            if masked_traced != masked_plain {
+                report.discrepancies.push(Discrepancy {
+                    engine: backend.into(),
+                    item: format!("query[{qi}] {q:?}"),
+                    detail: format!(
+                        "tracing changed the logical stats: {masked_traced:?} vs {masked_plain:?}"
+                    ),
+                });
+            }
+            for (attr, want) in [
+                ("bitmap_columns", traced_stats.bitmap_columns),
+                ("view_bitmap_columns", traced_stats.view_bitmap_columns),
+                ("measure_columns", traced_stats.measure_columns),
+                ("values_fetched", traced_stats.values_fetched),
+                ("fetches_skipped", traced_stats.fetches_skipped),
+            ] {
+                report.checks += 1;
+                let got = trace.sum_attr_all(attr);
+                if got != want {
+                    report.discrepancies.push(Discrepancy {
+                        engine: backend.into(),
+                        item: format!("query[{qi}] {q:?}"),
+                        detail: format!(
+                            "span attr {attr:?} sums to {got}, IoStats counter says {want}"
+                        ),
+                    });
+                }
+            }
+        }
     }
 
     // Logical expressions: match sets against the model's set algebra.

@@ -77,6 +77,7 @@ fn greedy_cover(
         .collect();
 
     let mut picked = Vec::new();
+    let mut ties = 0u64;
     loop {
         let mut best: Option<(usize, usize)> = None; // (coverage, view idx)
         for &vi in &usable {
@@ -87,7 +88,12 @@ fn greedy_cover(
             if cov >= 2 {
                 let better = match best {
                     None => true,
-                    Some((bc, bi)) => cov > bc || (cov == bc && prefer(vi, bi)),
+                    Some((bc, bi)) => {
+                        if cov == bc {
+                            ties += 1;
+                        }
+                        cov > bc || (cov == bc && prefer(vi, bi))
+                    }
                 };
                 if better {
                     best = Some((cov, vi));
@@ -100,6 +106,15 @@ fn greedy_cover(
             uncovered.remove(e);
         }
     }
+    graphbi_obs::event(
+        "rewrite.cover",
+        &[
+            ("candidates", usable.len() as u64),
+            ("views", picked.len() as u64),
+            ("residual_edges", uncovered.len() as u64),
+            ("ties", ties),
+        ],
+    );
     Rewrite {
         views: picked,
         residual_edges: uncovered.into_iter().collect(),

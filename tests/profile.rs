@@ -1,0 +1,148 @@
+//! `EXPLAIN ANALYZE` end-to-end: profiling a request returns the same
+//! answer and the same logical cost as an untraced run, on both backends,
+//! and the JSON rendering parses back with the workspace's own parser.
+
+use graphbi::disk::{save_store, DiskGraphStore};
+use graphbi::{AggFn, GraphStore, PathAggQuery, Profile, PHASE_NAMES};
+use graphbi::{QueryRequest, Response, Session};
+use graphbi_columnstore::IoStats;
+use graphbi_obs::json::{self, Json};
+use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("graphbi-profile-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn build() -> (GraphStore, Vec<graphbi_graph::GraphQuery>) {
+    let spec = DatasetSpec {
+        n_records: 400,
+        ..DatasetSpec::ny(400)
+    };
+    let d = Dataset::synthesize(&spec);
+    let qs = d.queries(&QuerySpec::zipf(24));
+    let mut store = GraphStore::load(d.universe, &d.records);
+    store.advise_views(&qs, 8);
+    store.advise_agg_views(&qs, AggFn::Sum, 8).unwrap();
+    (store, qs)
+}
+
+/// Logical cost with the physical-cache counters masked out: a profiled
+/// re-run may hit a warmer cache than the untraced run it is compared to.
+fn logical(stats: &IoStats) -> IoStats {
+    let mut s = *stats;
+    s.disk_reads = 0;
+    s.disk_bytes = 0;
+    s
+}
+
+fn requests(qs: &[graphbi_graph::GraphQuery]) -> Vec<QueryRequest> {
+    let mut reqs = Vec::new();
+    for (i, q) in qs.iter().take(8).enumerate() {
+        let req = QueryRequest::new(q.clone());
+        reqs.push(if i % 2 == 0 { req } else { req.shards(3) });
+        reqs.push(QueryRequest::aggregate(PathAggQuery::new(q.clone(), AggFn::Sum)).shards(2));
+    }
+    reqs
+}
+
+fn check_profile(resp: &Response, plain: &Response, prof: &Profile, backend: &str) {
+    assert_eq!(resp, plain, "tracing changed the answer on {backend}");
+    let names: Vec<&str> = prof.phases.iter().map(|p| p.name).collect();
+    assert_eq!(names, PHASE_NAMES);
+    assert_eq!(prof.backend, backend);
+    assert!(prof.phases[0].spans >= 1, "plan phase always runs");
+    let doc = json::parse(&prof.render_json()).expect("profile JSON parses");
+    assert_eq!(doc.get("backend").and_then(Json::as_str), Some(backend));
+    for name in PHASE_NAMES {
+        let p = doc
+            .get("phases")
+            .and_then(|p| p.get(name))
+            .unwrap_or_else(|| panic!("phase {name} missing from JSON"));
+        assert!(p.get("wall_ns").and_then(Json::as_u64).is_some());
+        assert!(p.get("spans").and_then(Json::as_u64).is_some());
+    }
+    assert_eq!(
+        doc.get("io")
+            .and_then(|io| io.get("values_fetched"))
+            .and_then(Json::as_u64),
+        Some(prof.stats.values_fetched)
+    );
+}
+
+#[test]
+fn memory_profile_is_invisible_and_complete() {
+    let (store, qs) = build();
+    for req in requests(&qs) {
+        let (plain, plain_stats) = Session::execute(&store, &req).unwrap();
+        let (resp, prof) = store.profile(&req).unwrap();
+        check_profile(&resp, &plain, &prof, "memory");
+        assert_eq!(prof.stats, plain_stats, "tracing changed memory stats");
+        assert_eq!(prof.cache_hits + prof.cache_misses, 0, "no cache in memory");
+    }
+}
+
+#[test]
+fn disk_profile_is_invisible_and_complete() {
+    let dir = tmpdir("disk");
+    let (mem, qs) = build();
+    save_store(&mem, &dir).unwrap();
+    let disk = DiskGraphStore::open(&dir, 64 << 20).unwrap();
+    for req in requests(&qs) {
+        let (plain, plain_stats) = Session::execute(&disk, &req).unwrap();
+        let (resp, prof) = disk.profile(&req).unwrap();
+        check_profile(&resp, &plain, &prof, "disk");
+        assert_eq!(
+            logical(&prof.stats),
+            logical(&plain_stats),
+            "tracing changed the disk backend's logical cost"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_profile_records_shard_and_merge_spans() {
+    let (store, qs) = build();
+    let q = qs
+        .iter()
+        .find(|q| !q.is_empty())
+        .expect("workload has non-empty queries");
+    let (_, prof) = store
+        .profile(&QueryRequest::new(q.clone()).shards(4))
+        .unwrap();
+    assert!(prof.shard_spans > 0, "sharded run must record shard spans");
+    let merge = prof.phases.iter().find(|p| p.name == "merge").unwrap();
+    assert!(merge.spans >= 1, "sharded run must record a merge phase");
+}
+
+#[test]
+fn disk_profile_reports_cache_activity() {
+    let dir = tmpdir("cache");
+    let (mem, qs) = build();
+    save_store(&mem, &dir).unwrap();
+    let disk = DiskGraphStore::open(&dir, 64 << 20).unwrap();
+    let q = qs.iter().find(|q| !q.is_empty()).unwrap();
+    let req = QueryRequest::new(q.clone());
+    let (_, cold) = disk.profile(&req).unwrap();
+    assert!(cold.cache_misses > 0, "cold profile must see cache misses");
+    let (_, warm) = disk.profile(&req).unwrap();
+    assert!(warm.cache_hits > 0, "warm profile must see cache hits");
+    assert_eq!(warm.cache_misses, 0, "warm profile is fully cached");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn estimate_bounds_actual_matches_on_structural_queries() {
+    let (store, qs) = build();
+    for q in qs.iter().take(8) {
+        let (_, prof) = store.profile(&QueryRequest::new(q.clone())).unwrap();
+        assert!(
+            prof.matches <= prof.estimated_matches,
+            "estimate {} below actual {} for {q:?}",
+            prof.estimated_matches,
+            prof.matches
+        );
+    }
+}
