@@ -115,6 +115,26 @@ impl Bitmap {
         out
     }
 
+    /// Delta-mask application: `(self − retired) ∪ added`.
+    ///
+    /// The MVCC structural phase merges a base match set with a write
+    /// buffer in one step: `retired` masks out base records superseded by
+    /// a delta version, `added` contributes the delta-resident matches
+    /// (updated rows whose new content still matches, plus inserts). Fast
+    /// paths skip the allocation when either side is empty.
+    pub fn apply_delta(&self, retired: &Bitmap, added: &Bitmap) -> Bitmap {
+        let survivors = if retired.is_empty() {
+            self.clone()
+        } else {
+            self.and_not(retired)
+        };
+        if added.is_empty() {
+            survivors
+        } else {
+            survivors.or(added)
+        }
+    }
+
     /// In-place intersection: `*self &= other`.
     ///
     /// Every chunk is intersected destructively via the container kernels
@@ -342,6 +362,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn apply_delta_is_andnot_then_or() {
+        let base: Bitmap = (0..1000u32).step_by(3).collect();
+        let retired: Bitmap = [3u32, 9, 600].into_iter().collect();
+        let added: Bitmap = [9u32, 1500, 70_000].into_iter().collect();
+        let got = base.apply_delta(&retired, &added);
+        assert_eq!(got, base.and_not(&retired).or(&added));
+        assert!(!got.contains(3));
+        assert!(got.contains(9), "re-added after retirement");
+        assert!(got.contains(70_000));
+        // Empty-side fast paths are still exact.
+        assert_eq!(base.apply_delta(&Bitmap::new(), &Bitmap::new()), base);
+        assert_eq!(base.apply_delta(&base, &Bitmap::new()), Bitmap::new());
     }
 
     #[test]

@@ -30,17 +30,24 @@
 //!   [`disk`]: [`OsVfs`] in production, [`FaultVfs`] (deterministic torn
 //!   writes, short reads, bit flips, ENOSPC, lost fsyncs) under the
 //!   crash-consistency fuzzer.
+//! * [`delta`] + [`wal`] — the streaming-ingest write path: an epoch-tagged
+//!   in-memory write buffer ([`DeltaStore`]) overlaid on the immutable
+//!   generation files, made durable by a CRC32-framed write-ahead log
+//!   appended and fsynced through [`vfs`] and replayed on reopen.
 
 mod cache;
 mod column;
+pub mod delta;
 pub mod disk;
 mod iostats;
 pub mod persist;
 mod relation;
 pub mod vfs;
+pub mod wal;
 
 pub use cache::LruCache;
 pub use column::{ColumnBuilder, DenseColumn, SparseColumn};
+pub use delta::{DeltaOp, DeltaStore};
 pub use disk::{BitmapRef, ColumnRef, DiskRelation};
 pub use iostats::{IoStats, SharedIoStats};
 pub use relation::{

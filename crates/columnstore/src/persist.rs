@@ -208,6 +208,20 @@ pub fn save_with(
     sidecars: &[(&str, &[u8])],
     dir: &Path,
 ) -> Result<u64, StoreError> {
+    save_with_keep(vfs, relation, sidecars, dir, &[])
+}
+
+/// [`save_with`], but the trailing garbage collection additionally spares
+/// the generations listed in `keep`. MVCC compaction passes the
+/// generations still pinned by live snapshots here; they are reclaimed by
+/// a later [`collect_garbage_keeping`] once unpinned.
+pub fn save_with_keep(
+    vfs: &dyn Vfs,
+    relation: &MasterRelation,
+    sidecars: &[(&str, &[u8])],
+    dir: &Path,
+    keep: &[u64],
+) -> Result<u64, StoreError> {
     vfs.create_dir_all(dir)?;
     let generation = next_generation(vfs, dir);
     let mut total = 0u64;
@@ -253,7 +267,7 @@ pub fn save_with(
     vfs.rename(&tmp, &dir.join(MANIFEST_FILE))?;
     vfs.fsync_dir(dir)?;
 
-    collect_garbage(vfs, dir, generation)?;
+    collect_garbage(vfs, dir, generation, keep)?;
     Ok(total)
 }
 
@@ -285,10 +299,11 @@ fn next_generation(vfs: &dyn Vfs, dir: &Path) -> u64 {
     max + 1
 }
 
-/// Removes every generation-named file that is not part of `live`, plus
-/// any leftover manifest temp file. Runs only after the manifest rename;
-/// a crash here strands garbage the next save re-collects.
-fn collect_garbage(vfs: &dyn Vfs, dir: &Path, live: u64) -> Result<(), StoreError> {
+/// Removes every generation-named file that is neither part of `live` nor
+/// listed in `keep`, plus any leftover manifest temp file. Runs only after
+/// the manifest rename; a crash here strands garbage the next save
+/// re-collects.
+fn collect_garbage(vfs: &dyn Vfs, dir: &Path, live: u64, keep: &[u64]) -> Result<(), StoreError> {
     for f in vfs.list(dir)? {
         let Some(name) = f.file_name().and_then(|n| n.to_str()) else {
             continue;
@@ -298,12 +313,27 @@ fn collect_garbage(vfs: &dyn Vfs, dir: &Path, live: u64) -> Result<(), StoreErro
             continue;
         }
         if let Some(g) = parse_generation(name) {
-            if g != live {
+            if g != live && !keep.contains(&g) {
                 vfs.remove(&f)?;
             }
         }
     }
     Ok(())
+}
+
+/// The generation the manifest currently names — what a fresh open would
+/// read. Errors are the manifest's own (missing, torn, corrupt).
+pub fn live_generation(vfs: &dyn Vfs, dir: &Path) -> Result<u64, StoreError> {
+    read_manifest(vfs, dir).map(|m| m.generation)
+}
+
+/// Standalone sweep of superseded generations, sparing `keep` — the MVCC
+/// store calls this when the last snapshot pinning an old generation is
+/// dropped. The live generation is re-read from the manifest so a
+/// concurrent publish can never have its own files collected.
+pub fn collect_garbage_keeping(vfs: &dyn Vfs, dir: &Path, keep: &[u64]) -> Result<(), StoreError> {
+    let live = live_generation(vfs, dir)?;
+    collect_garbage(vfs, dir, live, keep)
 }
 
 fn encode_part(chunk: &[SparseColumn]) -> Bytes {

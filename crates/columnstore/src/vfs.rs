@@ -61,6 +61,12 @@ pub trait Vfs: Send + Sync {
     /// Creates or replaces the file with `data` (buffered; not durable
     /// until [`Vfs::fsync`]).
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Appends `data` at the end of the file, creating it when absent
+    /// (buffered; not durable until [`Vfs::fsync`]). Unlike [`Vfs::write`]
+    /// this never touches previously written bytes, so a crash mid-append
+    /// can tear only the appended suffix — the WAL's durability argument
+    /// rests on exactly that contract.
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
     /// Flushes the file's content to durable storage.
     fn fsync(&self, path: &Path) -> io::Result<()>;
     /// Atomically renames `from` to `to`, replacing any existing file.
@@ -137,6 +143,19 @@ impl Vfs for OsVfs {
         let m = os_metrics();
         let start = Instant::now();
         let mut f = std::fs::File::create(path)?;
+        f.write_all(data)?;
+        m.write_ns.record(elapsed_ns(start));
+        m.write_bytes.add(data.len() as u64);
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let m = os_metrics();
+        let start = Instant::now();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
         f.write_all(data)?;
         m.write_ns.record(elapsed_ns(start));
         m.write_bytes.add(data.len() as u64);
@@ -352,15 +371,23 @@ impl FaultVfs {
             }
             let h = splitmix(s.seed ^ s.ops ^ (path.as_os_str().len() as u64) << 17);
             let content = s.volatile[&path].clone();
+            // A file whose volatile content *extends* its durable content
+            // (append-mode history) can lose only the unsynced suffix:
+            // fsynced bytes never un-write themselves. Overwritten files
+            // keep the original fully-adversarial model.
+            let floor = match s.durable.get(&path) {
+                Some(d) if content.starts_with(d) => d.len(),
+                _ => 0,
+            };
             match h % 3 {
-                0 => {} // nothing reached disk
+                0 => {} // nothing new reached disk
                 1 => {
                     let cut = if content.is_empty() {
                         0
                     } else {
                         (h >> 8) as usize % content.len()
                     };
-                    s.durable.insert(path, content[..cut].to_vec());
+                    s.durable.insert(path, content[..cut.max(floor)].to_vec());
                 }
                 _ => {
                     s.durable.insert(path, content);
@@ -477,6 +504,47 @@ impl Vfs for FaultVfs {
             Some(Fault::Crash) => Err(FaultVfs::die(&mut s)),
             _ => {
                 s.volatile.insert(path.to_owned(), data.to_vec());
+                Ok(())
+            }
+        }
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut s = self.state.lock();
+        let fault = FaultVfs::step(&mut s)?;
+        let h = splitmix(s.seed ^ s.ops.wrapping_mul(0x0a99));
+        let mut content = s.volatile.get(path).cloned().unwrap_or_default();
+        match fault {
+            Some(Fault::TornWrite) => {
+                // Only the appended suffix can tear: the prior content is
+                // untouched in the page cache, and `die` preserves any
+                // fsynced prefix durably.
+                let cut = if data.is_empty() {
+                    0
+                } else {
+                    h as usize % data.len()
+                };
+                content.extend_from_slice(&data[..cut]);
+                s.volatile.insert(path.to_owned(), content);
+                Err(FaultVfs::die(&mut s))
+            }
+            Some(Fault::Enospc) => {
+                let cut = if data.is_empty() {
+                    0
+                } else {
+                    h as usize % data.len()
+                };
+                content.extend_from_slice(&data[..cut]);
+                s.volatile.insert(path.to_owned(), content);
+                Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "faultvfs: no space left on device",
+                ))
+            }
+            Some(Fault::Crash) => Err(FaultVfs::die(&mut s)),
+            _ => {
+                content.extend_from_slice(data);
+                s.volatile.insert(path.to_owned(), content);
                 Ok(())
             }
         }
@@ -740,6 +808,64 @@ mod tests {
         vfs.arm(Fault::Enospc, vfs.op_count());
         let err = vfs.write(p, b"xxxx").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+    }
+
+    #[test]
+    fn append_extends_and_round_trips() {
+        let vfs = FaultVfs::new(21);
+        let p = Path::new("/d/log");
+        vfs.append(p, b"aaa").unwrap();
+        vfs.append(p, b"bb").unwrap();
+        assert_eq!(vfs.read(p).unwrap(), b"aaabb");
+        vfs.fsync(p).unwrap();
+        vfs.append(p, b"c").unwrap();
+        assert_eq!(vfs.read(p).unwrap(), b"aaabbc");
+    }
+
+    #[test]
+    fn fsynced_prefix_survives_torn_append_and_crash() {
+        // Whatever the seed, a crash during (or after) an unsynced append
+        // may lose or tear only the appended suffix — the fsynced prefix
+        // is inviolable. This is the WAL's whole durability argument.
+        let mut suffix_lost = false;
+        for seed in 0..32u64 {
+            let vfs = FaultVfs::new(seed);
+            let p = Path::new("/d/wal");
+            vfs.append(p, b"frame-one|").unwrap();
+            vfs.fsync(p).unwrap();
+            vfs.arm(Fault::TornWrite, vfs.op_count());
+            assert!(vfs.append(p, b"frame-two|").is_err(), "torn append dies");
+            vfs.reboot();
+            let after = vfs.read(p).unwrap();
+            assert!(
+                after.starts_with(b"frame-one|"),
+                "seed {seed}: fsynced prefix damaged: {:?}",
+                String::from_utf8_lossy(&after)
+            );
+            assert!(after.len() <= b"frame-one|frame-two|".len());
+            if after.len() < b"frame-one|frame-two|".len() {
+                suffix_lost = true;
+            }
+        }
+        assert!(suffix_lost, "no seed ever lost the unsynced suffix");
+    }
+
+    #[test]
+    fn enospc_append_survives_with_torn_tail() {
+        let vfs = FaultVfs::new(5);
+        let p = Path::new("/d/wal");
+        vfs.append(p, b"good").unwrap();
+        vfs.fsync(p).unwrap();
+        vfs.arm(Fault::Enospc, vfs.op_count());
+        let err = vfs.append(p, b"overflow").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        // Process survives; the volatile tail may be torn but the file is
+        // still readable and repairable by a full rewrite.
+        let now = vfs.read(p).unwrap();
+        assert!(now.starts_with(b"good"));
+        vfs.write(p, b"good").unwrap();
+        vfs.fsync(p).unwrap();
+        assert_eq!(vfs.read(p).unwrap(), b"good");
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! CRC32-framed write-ahead log for delta commits.
+//!
+//! Each commit becomes one frame appended to `wal.gbl` (a name that does
+//! not parse as a generation file, so generation GC never touches it)
+//! followed by an fsync — the commit is durable exactly when that fsync
+//! returns. A frame is `[magic u32][payload_len u32][crc32 u32][payload]`
+//! (all little-endian), with the payload carrying the commit epoch and
+//! its operations. Replay scans frames in order and stops at the first
+//! torn one — bad magic, truncation, CRC mismatch, or a non-increasing
+//! epoch — which by the append-only [`Vfs::append`] contract can only be
+//! an unacknowledged suffix: every acknowledged commit sits in front of
+//! it. Compaction folds committed epochs into a new generation and then
+//! [`truncate`]s the log.
+
+use std::io;
+use std::path::Path;
+
+use graphbi_graph::{EdgeId, GraphRecord, RecordBuilder};
+
+use crate::delta::DeltaOp;
+use crate::vfs::{crc32, Vfs};
+
+/// WAL file name inside a store directory. Deliberately not of the
+/// `g{gen}-…` form so [`crate::persist`] garbage collection ignores it.
+pub const WAL_FILE: &str = "wal.gbl";
+
+/// `"GBWL"` — graph-BI write-ahead log.
+const WAL_MAGIC: u32 = 0x4742_574c;
+
+const TAG_INSERT: u8 = 0;
+const TAG_UPDATE: u8 = 1;
+
+/// Encodes one commit as a self-checking frame.
+pub fn encode_frame(epoch: u64, ops: &[DeltaOp]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16 + ops.len() * 32);
+    payload.extend_from_slice(&epoch.to_le_bytes());
+    payload.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        match op {
+            DeltaOp::Insert(rec) => {
+                payload.push(TAG_INSERT);
+                encode_record(&mut payload, rec);
+            }
+            DeltaOp::Update(rid, rec) => {
+                payload.push(TAG_UPDATE);
+                payload.extend_from_slice(&u64::from(*rid).to_le_bytes());
+                encode_record(&mut payload, rec);
+            }
+        }
+    }
+    let mut frame = Vec::with_capacity(12 + payload.len());
+    frame.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+fn encode_record(out: &mut Vec<u8>, rec: &GraphRecord) {
+    out.extend_from_slice(&(rec.edges().len() as u32).to_le_bytes());
+    for &(e, m) in rec.edges() {
+        out.extend_from_slice(&e.0.to_le_bytes());
+        out.extend_from_slice(&m.to_bits().to_le_bytes());
+    }
+}
+
+/// Appends one commit frame and fsyncs it — the durability point of a
+/// delta commit. Returns the frame size in bytes. Any error here means
+/// the commit may or may not have reached disk; the caller must treat the
+/// log tail as suspect until a successful replay or truncation.
+pub fn append_commit(vfs: &dyn Vfs, path: &Path, epoch: u64, ops: &[DeltaOp]) -> io::Result<u64> {
+    let frame = encode_frame(epoch, ops);
+    vfs.append(path, &frame)?;
+    vfs.fsync(path)?;
+    Ok(frame.len() as u64)
+}
+
+/// Replays every intact frame, in order, as `(epoch, ops)` pairs.
+///
+/// A missing file is an empty log. Scanning stops — without error — at
+/// the first frame that fails validation (bad magic, truncated length,
+/// CRC mismatch, or an epoch not above its predecessor): that is the
+/// torn unacknowledged tail the crash model permits.
+pub fn replay(vfs: &dyn Vfs, path: &Path) -> io::Result<Vec<(u64, Vec<DeltaOp>)>> {
+    let bytes = match vfs.read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut commits = Vec::new();
+    let mut at = 0usize;
+    let mut last_epoch = 0u64;
+    while bytes.len() - at >= 12 {
+        let magic = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap());
+        if magic != WAL_MAGIC || bytes.len() - at - 12 < len {
+            break;
+        }
+        let payload = &bytes[at + 12..at + 12 + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Some((epoch, ops)) = decode_payload(payload) else {
+            break;
+        };
+        // Epochs strictly increase within one log (commits are epoch ≥ 1,
+        // so the initial 0 accepts any first frame); anything else is a
+        // stale frame past a truncation tear.
+        if epoch <= last_epoch {
+            break;
+        }
+        last_epoch = epoch;
+        commits.push((epoch, ops));
+        at += 12 + len;
+    }
+    Ok(commits)
+}
+
+fn decode_payload(payload: &[u8]) -> Option<(u64, Vec<DeltaOp>)> {
+    let mut at = 0usize;
+    let epoch = u64::from_le_bytes(payload.get(at..at + 8)?.try_into().ok()?);
+    at += 8;
+    let n_ops = u32::from_le_bytes(payload.get(at..at + 4)?.try_into().ok()?) as usize;
+    at += 4;
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let tag = *payload.get(at)?;
+        at += 1;
+        let rid = if tag == TAG_UPDATE {
+            let r = u64::from_le_bytes(payload.get(at..at + 8)?.try_into().ok()?);
+            at += 8;
+            Some(u32::try_from(r).ok()?)
+        } else if tag == TAG_INSERT {
+            None
+        } else {
+            return None;
+        };
+        let n_edges = u32::from_le_bytes(payload.get(at..at + 4)?.try_into().ok()?) as usize;
+        at += 4;
+        let mut b = RecordBuilder::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            let e = u32::from_le_bytes(payload.get(at..at + 4)?.try_into().ok()?);
+            at += 4;
+            let m = f64::from_bits(u64::from_le_bytes(
+                payload.get(at..at + 8)?.try_into().ok()?,
+            ));
+            at += 8;
+            b.add(EdgeId(e), m);
+        }
+        let rec = b.build();
+        ops.push(match rid {
+            Some(r) => DeltaOp::Update(r, rec),
+            None => DeltaOp::Insert(rec),
+        });
+    }
+    if at == payload.len() {
+        Some((epoch, ops))
+    } else {
+        None
+    }
+}
+
+/// Empties the log after compaction has folded its epochs into a
+/// generation. Durable once the fsync returns.
+pub fn truncate(vfs: &dyn Vfs, path: &Path) -> io::Result<()> {
+    vfs.write(path, &[])?;
+    vfs.fsync(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::FaultVfs;
+    use std::path::PathBuf;
+
+    fn rec(pairs: &[(u32, f64)]) -> GraphRecord {
+        let mut b = RecordBuilder::new();
+        for &(e, m) in pairs {
+            b.add(EdgeId(e), m);
+        }
+        b.build()
+    }
+
+    fn sample_commits() -> Vec<(u64, Vec<DeltaOp>)> {
+        vec![
+            (1, vec![DeltaOp::Insert(rec(&[(0, 1.5), (3, 2.0)]))]),
+            (
+                2,
+                vec![
+                    DeltaOp::Update(7, rec(&[(1, 4.0)])),
+                    DeltaOp::Insert(rec(&[(2, 8.0)])),
+                ],
+            ),
+            (5, vec![]),
+        ]
+    }
+
+    fn assert_same(a: &[(u64, Vec<DeltaOp>)], b: &[(u64, Vec<DeltaOp>)]) {
+        assert_eq!(a.len(), b.len());
+        for ((ea, oa), (eb, ob)) in a.iter().zip(b) {
+            assert_eq!(ea, eb);
+            assert_eq!(oa.len(), ob.len());
+            for (x, y) in oa.iter().zip(ob) {
+                match (x, y) {
+                    (DeltaOp::Insert(rx), DeltaOp::Insert(ry)) => {
+                        assert_eq!(rx.edges(), ry.edges())
+                    }
+                    (DeltaOp::Update(ix, rx), DeltaOp::Update(iy, ry)) => {
+                        assert_eq!(ix, iy);
+                        assert_eq!(rx.edges(), ry.edges());
+                    }
+                    _ => panic!("op kind mismatch"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commits_round_trip_and_truncate_clears() {
+        let vfs = FaultVfs::new(3);
+        let path = PathBuf::from("/wal/wal.gbl");
+        assert!(replay(&vfs, &path).unwrap().is_empty());
+        let commits = sample_commits();
+        for (epoch, ops) in &commits {
+            append_commit(&vfs, &path, *epoch, ops).unwrap();
+        }
+        assert_same(&replay(&vfs, &path).unwrap(), &commits);
+        // Replay does not consume the log.
+        assert_same(&replay(&vfs, &path).unwrap(), &commits);
+        truncate(&vfs, &path).unwrap();
+        assert!(replay(&vfs, &path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_stops_replay_at_last_intact_frame() {
+        let vfs = FaultVfs::new(9);
+        let path = PathBuf::from("/wal/wal.gbl");
+        let commits = sample_commits();
+        for (epoch, ops) in &commits {
+            append_commit(&vfs, &path, *epoch, ops).unwrap();
+        }
+        let full = vfs.read(&path).unwrap();
+        let last = encode_frame(7, &[DeltaOp::Insert(rec(&[(4, 1.0)]))]);
+        for cut in 1..last.len() {
+            vfs.write(&path, &full).unwrap();
+            vfs.append(&path, &last[..cut]).unwrap();
+            assert_same(&replay(&vfs, &path).unwrap(), &commits);
+        }
+        vfs.write(&path, &full).unwrap();
+        vfs.append(&path, &last).unwrap();
+        assert_eq!(replay(&vfs, &path).unwrap().len(), commits.len() + 1);
+    }
+
+    #[test]
+    fn corrupt_byte_cuts_replay_from_that_frame_on() {
+        let vfs = FaultVfs::new(11);
+        let path = PathBuf::from("/wal/wal.gbl");
+        for (epoch, ops) in &sample_commits() {
+            append_commit(&vfs, &path, *epoch, ops).unwrap();
+        }
+        let f1 = encode_frame(1, &sample_commits()[0].1);
+        // Flip a byte inside the second frame's payload: first frame
+        // survives, the rest is treated as torn.
+        vfs.corrupt_at(&path, f1.len() + 14);
+        assert_eq!(replay(&vfs, &path).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn epoch_regression_is_a_tear() {
+        let vfs = FaultVfs::new(13);
+        let path = PathBuf::from("/wal/wal.gbl");
+        append_commit(&vfs, &path, 4, &[DeltaOp::Insert(rec(&[(0, 1.0)]))]).unwrap();
+        append_commit(&vfs, &path, 4, &[DeltaOp::Insert(rec(&[(1, 2.0)]))]).unwrap();
+        assert_eq!(replay(&vfs, &path).unwrap().len(), 1);
+    }
+}

@@ -110,6 +110,20 @@ pub fn save_store(store: &GraphStore, dir: &Path) -> Result<u64, DiskError> {
 /// any point leaves a directory that opens as either the complete old
 /// database or the complete new one.
 pub fn save_store_with(vfs: &dyn Vfs, store: &GraphStore, dir: &Path) -> Result<u64, DiskError> {
+    save_store_with_opts(vfs, store, dir, &[], &[])
+}
+
+/// [`save_store_with`], extended for the MVCC compaction path: publishes
+/// `extra_sidecars` (e.g. the WAL fold watermark) atomically with the
+/// relation, and spares the `keep` generations — those still pinned by
+/// live snapshots — from the post-publish garbage collection.
+pub fn save_store_with_opts(
+    vfs: &dyn Vfs,
+    store: &GraphStore,
+    dir: &Path,
+    extra_sidecars: &[(&str, &[u8])],
+    keep: &[u64],
+) -> Result<u64, DiskError> {
     // View definitions: the relation holds only the columns; the defs that
     // map them back to edge sets live in a text sidecar.
     let mut meta = String::new();
@@ -128,11 +142,18 @@ pub fn save_store_with(vfs: &dyn Vfs, store: &GraphStore, dir: &Path) -> Result<
         meta.push('\n');
     }
     let universe = store.universe().to_text();
-    let sidecars: [(&str, &[u8]); 2] = [
+    let mut sidecars: Vec<(&str, &[u8])> = vec![
         (UNIVERSE_SIDECAR, universe.as_bytes()),
         (VIEWS_META_SIDECAR, meta.as_bytes()),
     ];
-    Ok(persist::save_with(vfs, store.relation(), &sidecars, dir)?)
+    sidecars.extend_from_slice(extra_sidecars);
+    Ok(persist::save_with_keep(
+        vfs,
+        store.relation(),
+        &sidecars,
+        dir,
+        keep,
+    )?)
 }
 
 /// Loads a database directory fully into memory, *reattaching* the

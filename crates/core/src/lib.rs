@@ -56,6 +56,7 @@ pub mod disk;
 mod engine;
 mod explain;
 mod groups;
+pub mod mvcc;
 pub mod parallel;
 pub mod ql;
 mod session;
@@ -68,8 +69,9 @@ mod viewmgr;
 pub use engine::EvalOptions;
 pub use explain::{PhaseStat, Plan, Profile, PHASE_NAMES};
 pub use groups::GroupIndex;
+pub use mvcc::{MvccStore, Snapshot};
 pub use session::{QueryRequest, RequestKind, Response, Session, SessionError};
-pub use shared::SharedStore;
+pub use shared::{SharedSnapshot, SharedStore};
 pub use statistics::{EdgeSelectivity, StoreStatistics};
 pub use store::GraphStore;
 pub use topk::RankedRecord;

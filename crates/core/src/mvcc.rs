@@ -1,0 +1,731 @@
+//! The read-write path: MVCC snapshots over base generations plus an
+//! in-memory delta, with WAL durability and fold-into-generation
+//! compaction.
+//!
+//! An [`MvccStore`] wraps a base store — in-memory [`GraphStore`] or
+//! disk-resident [`crate::disk::DiskGraphStore`] — and a shared
+//! [`DeltaStore`] write buffer. Reads never lock writers out:
+//! [`MvccStore::snapshot`] captures `(generation, delta Arc, epoch)`
+//! under a brief read lock, and because the delta is append-only the
+//! snapshot's epoch-filtered view stays bit-stable no matter how many
+//! commits or compactions land afterwards.
+//!
+//! * **Commit** ([`MvccStore::commit`]): on a disk-backed store the batch
+//!   is first appended to `wal.gbl` as one CRC32 frame and fsynced — the
+//!   durability point — then applied to the delta at the next epoch.
+//!   A WAL I/O failure *poisons* the log (the tail may be torn, so no
+//!   further appends are allowed) without applying the batch: the commit
+//!   is atomically absent. Compaction heals the poison.
+//! * **Compaction** ([`MvccStore::compact`]): folds every committed epoch
+//!   into a brand-new generation via the crash-safe manifest publish of
+//!   [`graphbi_columnstore::persist`], records the fold watermark in a
+//!   `wal_fold.txt` sidecar (atomic with the data), truncates the WAL,
+//!   and swaps the in-memory state. Generations pinned by live snapshots
+//!   are spared from garbage collection until [`MvccStore::gc`] runs
+//!   after they unpin.
+//! * **Reopen** ([`MvccStore::open_disk`]): loads the live generation,
+//!   reads the fold watermark, and replays the WAL — frames at or below
+//!   the watermark are folded already and skipped; a torn tail (only ever
+//!   an unacknowledged suffix, by the append-only [`graphbi_columnstore::Vfs`]
+//!   contract) stops replay cleanly.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use graphbi_bitmap::{Bitmap, RecordId};
+use graphbi_columnstore::wal::{self, WAL_FILE};
+use graphbi_columnstore::{
+    persist, DeltaOp, DeltaStore, IoStats, MasterRelation, StoreError, Verify, VfsHandle,
+};
+use graphbi_graph::{
+    EdgeId, GraphQuery, GraphRecord, PathAggQuery, PathAggResult, QueryExpr, QueryResult,
+    RecordBuilder, Universe,
+};
+use parking_lot::{Mutex, RwLock};
+
+use crate::disk::{self, DiskError, DiskGraphStore};
+use crate::session::{QueryRequest, RequestKind, Response, Session, SessionError};
+use crate::store::GraphStore;
+
+/// Sidecar holding the decimal epoch up to which the WAL has been folded
+/// into the live generation. Published atomically with the generation it
+/// describes; absent means nothing was ever folded (watermark 0).
+const WAL_FOLD_SIDECAR: &str = "wal_fold.txt";
+
+/// Generation pin counts: `generation → live snapshot count`. Guards
+/// superseded generation files from garbage collection.
+type PinTable = Arc<Mutex<HashMap<u64, u64>>>;
+
+struct GenPin {
+    generation: u64,
+    table: PinTable,
+}
+
+impl Drop for GenPin {
+    fn drop(&mut self) {
+        let mut t = self.table.lock();
+        if let Some(n) = t.get_mut(&self.generation) {
+            *n -= 1;
+            if *n == 0 {
+                t.remove(&self.generation);
+            }
+        }
+    }
+}
+
+/// The immutable half of a snapshot: which base store answers it.
+#[derive(Clone)]
+enum BaseHandle {
+    Mem(Arc<GraphStore>),
+    Disk(Arc<DiskGraphStore>),
+}
+
+impl BaseHandle {
+    fn execute(&self, request: &QueryRequest) -> Result<(Response, IoStats), SessionError> {
+        match self {
+            BaseHandle::Mem(s) => s.execute(request),
+            BaseHandle::Disk(d) => d.execute(request),
+        }
+    }
+
+    fn universe(&self) -> &Universe {
+        match self {
+            BaseHandle::Mem(s) => s.universe(),
+            BaseHandle::Disk(d) => d.universe(),
+        }
+    }
+}
+
+struct MvccState {
+    base: BaseHandle,
+    delta: Arc<DeltaStore>,
+    generation: u64,
+}
+
+struct DiskEnv {
+    vfs: VfsHandle,
+    dir: PathBuf,
+    cache_bytes: usize,
+    verify: Verify,
+    /// Set when a WAL append failed: the log tail may be torn, so further
+    /// appends are refused until compaction rewrites the log.
+    wal_poisoned: AtomicBool,
+}
+
+fn wal_io(e: io::Error) -> DiskError {
+    DiskError::from(StoreError::Io(e))
+}
+
+/// A streaming-ingest store: immutable base + delta write buffer, read
+/// under snapshot isolation.
+pub struct MvccStore {
+    state: RwLock<MvccState>,
+    /// Serializes commits and compactions against each other (readers are
+    /// never blocked — they only take the brief `state` read lock).
+    write_lock: Mutex<()>,
+    disk: Option<DiskEnv>,
+    pins: PinTable,
+}
+
+impl MvccStore {
+    /// Wraps an in-memory base store. Commits are applied to the delta
+    /// only (no WAL — memory flavor has no durability to protect);
+    /// compaction folds them into a rebuilt base.
+    pub fn new_mem(store: GraphStore) -> MvccStore {
+        let count = store.record_count();
+        MvccStore {
+            state: RwLock::new(MvccState {
+                base: BaseHandle::Mem(Arc::new(store)),
+                delta: Arc::new(DeltaStore::new(count)),
+                generation: 0,
+            }),
+            write_lock: Mutex::new(()),
+            disk: None,
+            pins: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Opens a disk-backed store and replays the WAL on top of it: frames
+    /// at or below the fold watermark are skipped, a torn tail stops
+    /// replay, and everything else is re-applied at its original epoch.
+    pub fn open_disk(
+        dir: &Path,
+        cache_bytes: usize,
+        vfs: VfsHandle,
+        verify: Verify,
+    ) -> Result<MvccStore, DiskError> {
+        let base = DiskGraphStore::open_with(dir, cache_bytes, vfs.clone(), verify)?;
+        let generation = persist::live_generation(vfs.as_ref(), dir)?;
+        let folded = if persist::has_sidecar(vfs.as_ref(), dir, WAL_FOLD_SIDECAR) {
+            let bytes = persist::read_sidecar(vfs.as_ref(), dir, WAL_FOLD_SIDECAR)?;
+            std::str::from_utf8(&bytes)
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .ok_or(DiskError::ViewsMeta("wal fold sidecar malformed"))?
+        } else {
+            0
+        };
+        let delta = DeltaStore::with_epoch(base.record_count(), folded);
+        let mut replayed = 0u64;
+        for (epoch, ops) in wal::replay(vfs.as_ref(), &dir.join(WAL_FILE)).map_err(wal_io)? {
+            if delta.apply_at(epoch, &ops) {
+                replayed += 1;
+            }
+        }
+        graphbi_obs::global()
+            .counter("graphbi_wal_replayed_frames_total")
+            .add(replayed);
+        Ok(MvccStore {
+            state: RwLock::new(MvccState {
+                base: BaseHandle::Disk(Arc::new(base)),
+                delta: Arc::new(delta),
+                generation,
+            }),
+            write_lock: Mutex::new(()),
+            disk: Some(DiskEnv {
+                vfs,
+                dir: dir.to_path_buf(),
+                cache_bytes,
+                verify,
+                wal_poisoned: AtomicBool::new(false),
+            }),
+            pins: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// Pins the current `(generation, delta epoch)` pair. Cheap: clones
+    /// two `Arc`s under a read lock. The snapshot answers every query as
+    /// of this instant, bit-identically, regardless of concurrent commits
+    /// and compactions; on disk-backed stores it also pins the generation
+    /// files against garbage collection.
+    pub fn snapshot(&self) -> Snapshot {
+        let state = self.state.read();
+        let pin = self.disk.as_ref().map(|_| {
+            let mut pins = self.pins.lock();
+            *pins.entry(state.generation).or_insert(0) += 1;
+            Arc::new(GenPin {
+                generation: state.generation,
+                table: self.pins.clone(),
+            })
+        });
+        Snapshot {
+            base: state.base.clone(),
+            delta: state.delta.clone(),
+            epoch: state.delta.epoch(),
+            generation: state.generation,
+            _pin: pin,
+        }
+    }
+
+    /// Commits one batch of writes at the next epoch and returns it.
+    ///
+    /// Disk flavor: the batch is WAL-appended and fsynced *before* it is
+    /// applied — once this returns `Ok`, the commit survives any crash.
+    /// If the append fails the commit is atomically absent and the WAL is
+    /// poisoned (its tail may be torn); [`MvccStore::compact`] heals it.
+    pub fn commit(&self, ops: &[DeltaOp]) -> Result<u64, DiskError> {
+        let _w = self.write_lock.lock();
+        let state = self.state.read();
+        let epoch = state.delta.epoch() + 1;
+        if let Some(env) = &self.disk {
+            if env.wal_poisoned.load(Ordering::SeqCst) {
+                return Err(wal_io(io::Error::other(
+                    "wal poisoned by an earlier append failure; compact or reopen to recover",
+                )));
+            }
+            let mut sp = graphbi_obs::span("wal.commit");
+            sp.attr("epoch", epoch);
+            sp.attr("ops", ops.len() as u64);
+            let bytes = wal::append_commit(env.vfs.as_ref(), &env.dir.join(WAL_FILE), epoch, ops)
+                .map_err(|e| {
+                env.wal_poisoned.store(true, Ordering::SeqCst);
+                wal_io(e)
+            })?;
+            let reg = graphbi_obs::global();
+            reg.counter("graphbi_wal_commits_total").inc();
+            reg.counter("graphbi_wal_bytes_total").add(bytes);
+        }
+        let applied = state.delta.apply(ops);
+        debug_assert_eq!(applied, epoch);
+        Ok(epoch)
+    }
+
+    /// Folds every committed epoch into a fresh base and swaps it in;
+    /// returns the folded epoch (the new delta resumes counting there).
+    ///
+    /// Disk flavor: publishes a new generation (crash-safe manifest
+    /// rename) whose `wal_fold.txt` sidecar records the watermark, spares
+    /// snapshot-pinned generations from collection, reopens the base from
+    /// disk, and truncates the WAL. Pinned readers keep answering from
+    /// their old generation + delta `Arc` throughout.
+    pub fn compact(&self) -> Result<u64, DiskError> {
+        let _w = self.write_lock.lock();
+        let mut state = self.state.write();
+        let epoch = state.delta.epoch();
+        let mut sp = graphbi_obs::span("mvcc.compact");
+        sp.attr("epoch", epoch);
+        let merged = match &state.base {
+            BaseHandle::Mem(s) => rebuild(s, &state.delta, epoch),
+            BaseHandle::Disk(_) => {
+                let env = self.disk.as_ref().expect("disk base has a disk env");
+                let loaded = disk::load_store_with(env.vfs.as_ref(), &env.dir, env.verify)?;
+                rebuild(&loaded, &state.delta, epoch)
+            }
+        };
+        let count = merged.record_count();
+        sp.attr("records", count);
+        if let Some(env) = &self.disk {
+            let fold = epoch.to_string();
+            let keep: Vec<u64> = self.pins.lock().keys().copied().collect();
+            disk::save_store_with_opts(
+                env.vfs.as_ref(),
+                &merged,
+                &env.dir,
+                &[(WAL_FOLD_SIDECAR, fold.as_bytes())],
+                &keep,
+            )?;
+            let reopened =
+                DiskGraphStore::open_with(&env.dir, env.cache_bytes, env.vfs.clone(), env.verify)?;
+            let generation = persist::live_generation(env.vfs.as_ref(), &env.dir)?;
+            // The fold sidecar already neutralizes every frame in the log
+            // (replay skips epochs ≤ watermark), so a failed truncation
+            // costs nothing but space — yet the file tail is then suspect,
+            // so appends stay blocked until a truncation succeeds.
+            let healed = wal::truncate(env.vfs.as_ref(), &env.dir.join(WAL_FILE)).is_ok();
+            env.wal_poisoned.store(!healed, Ordering::SeqCst);
+            *state = MvccState {
+                base: BaseHandle::Disk(Arc::new(reopened)),
+                delta: Arc::new(DeltaStore::with_epoch(count, epoch)),
+                generation,
+            };
+        } else {
+            let generation = state.generation;
+            *state = MvccState {
+                base: BaseHandle::Mem(Arc::new(merged)),
+                delta: Arc::new(DeltaStore::with_epoch(count, epoch)),
+                generation,
+            };
+        }
+        graphbi_obs::global()
+            .counter("graphbi_compactions_total")
+            .inc();
+        Ok(epoch)
+    }
+
+    /// Collects generation files that are neither live nor pinned by a
+    /// snapshot. No-op on memory-backed stores.
+    pub fn gc(&self) -> Result<(), DiskError> {
+        let Some(env) = &self.disk else {
+            return Ok(());
+        };
+        // Shared lock: snapshots (which pin under the same lock) can
+        // proceed, but a compaction's publish cannot interleave.
+        let _state = self.state.read();
+        let keep: Vec<u64> = self.pins.lock().keys().copied().collect();
+        Ok(persist::collect_garbage_keeping(
+            env.vfs.as_ref(),
+            &env.dir,
+            &keep,
+        )?)
+    }
+
+    /// The last committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state.read().delta.epoch()
+    }
+
+    /// The live base generation (0 for memory-backed stores).
+    pub fn generation(&self) -> u64 {
+        self.state.read().generation
+    }
+
+    /// Records visible to a snapshot taken now.
+    pub fn record_count(&self) -> u64 {
+        let state = self.state.read();
+        state.delta.record_count_at(state.delta.epoch())
+    }
+
+    /// True when a WAL append failure blocked further commits.
+    pub fn wal_poisoned(&self) -> bool {
+        self.disk
+            .as_ref()
+            .is_some_and(|env| env.wal_poisoned.load(Ordering::SeqCst))
+    }
+}
+
+impl Session for MvccStore {
+    fn execute(&self, request: &QueryRequest) -> Result<(Response, IoStats), SessionError> {
+        self.snapshot().execute(request)
+    }
+
+    /// One snapshot for the whole batch: every request answers as of the
+    /// same `(generation, epoch)` even while a writer races the loop.
+    fn evaluate_many(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<(Response, IoStats)>, SessionError> {
+        self.snapshot().evaluate_many(requests)
+    }
+}
+
+/// Extracts the full record list back out of a master relation — the
+/// inverse of [`GraphStore::load`], used to merge base and delta into a
+/// compacted store.
+fn extract_records(relation: &MasterRelation, edge_count: usize, count: u64) -> Vec<GraphRecord> {
+    let mut builders: Vec<RecordBuilder> = (0..count).map(|_| RecordBuilder::new()).collect();
+    for e in 0..u32::try_from(edge_count).expect("edge count fits u32") {
+        for (rid, m) in relation.edge_column_uncounted(EdgeId(e)).iter() {
+            builders[rid as usize].add(EdgeId(e), m);
+        }
+    }
+    builders.into_iter().map(RecordBuilder::build).collect()
+}
+
+/// Base + delta at `epoch`, rebuilt as a fresh in-memory store carrying
+/// the same materialized-view definitions (recomputed over the merged
+/// data).
+fn rebuild(base: &GraphStore, delta: &DeltaStore, epoch: u64) -> GraphStore {
+    let universe = base.universe().clone();
+    let mut records = extract_records(base.relation(), universe.edge_count(), base.record_count());
+    delta.for_each_visible_at(epoch, |rid, rec| {
+        let i = rid as usize;
+        if i < records.len() {
+            records[i] = rec.clone();
+        } else {
+            debug_assert_eq!(i, records.len(), "insert ids are contiguous");
+            records.push(rec.clone());
+        }
+    });
+    let mut store = GraphStore::load(universe, &records);
+    for v in base.graph_views() {
+        store.materialize_graph_view(v.edges.clone());
+    }
+    for v in base.agg_views() {
+        store.materialize_agg_view(v.edges.clone(), v.func);
+    }
+    store
+}
+
+/// A pinned `(generation, delta epoch)` view of an [`MvccStore`].
+///
+/// Implements [`Session`] by answering from the base store and overlaying
+/// the delta: records owned by the delta at the pinned epoch (updated base
+/// rows and inserts) are evaluated from their buffered content, everything
+/// else from the base — exactly the answer a store rebuilt from the merged
+/// record list would give.
+pub struct Snapshot {
+    base: BaseHandle,
+    delta: Arc<DeltaStore>,
+    epoch: u64,
+    generation: u64,
+    _pin: Option<Arc<GenPin>>,
+}
+
+impl Snapshot {
+    /// The pinned delta epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The pinned base generation (0 for memory-backed stores).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Records visible at this snapshot.
+    pub fn record_count(&self) -> u64 {
+        self.delta.record_count_at(self.epoch)
+    }
+
+    /// Delta-visible records matching `query`, plus the retired-base mask
+    /// — the two delta inputs of [`Bitmap::apply_delta`].
+    fn delta_matches(&self, query: &GraphQuery) -> (Bitmap, Bitmap, Vec<(RecordId, GraphRecord)>) {
+        let retired = self.delta.touched_base_at(self.epoch);
+        let mut added = Bitmap::new();
+        let mut rows = Vec::new();
+        self.delta.for_each_visible_at(self.epoch, |rid, rec| {
+            if rec.contains_all(query.edges()) {
+                added.insert(rid);
+                rows.push((rid, rec.clone()));
+            }
+        });
+        (retired, added, rows)
+    }
+
+    fn merged_graph(
+        &self,
+        query: &GraphQuery,
+        request: &QueryRequest,
+    ) -> Result<(Response, IoStats), SessionError> {
+        let (resp, stats) = self.base.execute(request)?;
+        let base_res = resp.into_records().expect("graph request answers records");
+        let (retired, added, delta_rows) = self.delta_matches(query);
+        let mut base_bm = Bitmap::new();
+        for &rid in &base_res.records {
+            base_bm.insert(rid);
+        }
+        let merged = base_bm.apply_delta(&retired, &added);
+        let edges = query.edges().to_vec();
+        let records = merged.to_vec();
+        let mut measures = Vec::with_capacity(records.len() * edges.len());
+        let mut di = 0usize;
+        for &rid in &records {
+            if di < delta_rows.len() && delta_rows[di].0 == rid {
+                let rec = &delta_rows[di].1;
+                for &e in &edges {
+                    measures.push(rec.measure(e).expect("delta match holds the edge"));
+                }
+                di += 1;
+            } else {
+                let bi = base_res
+                    .records
+                    .binary_search(&rid)
+                    .expect("non-delta merged record comes from the base");
+                measures.extend_from_slice(base_res.row(bi));
+            }
+        }
+        Ok((
+            Response::Records(QueryResult {
+                records,
+                edges,
+                measures,
+            }),
+            stats,
+        ))
+    }
+
+    /// Merged match set of one expression. Delta overlay and set algebra
+    /// commute only when applied per atom (an `AndNot` of merged sets is
+    /// not the merge of `AndNot`s), so the walk happens here rather than
+    /// in the base engine.
+    fn merged_expr(
+        &self,
+        expr: &QueryExpr,
+        request: &QueryRequest,
+        stats: &mut IoStats,
+    ) -> Result<Bitmap, SessionError> {
+        match expr {
+            QueryExpr::Atom(q) => {
+                let atom = QueryRequest::expr(QueryExpr::Atom(q.clone()))
+                    .opts(request.options)
+                    .shards(request.shards);
+                let (resp, s) = self.base.execute(&atom)?;
+                stats.merge(&s);
+                let base_bm = resp.into_matches().expect("expr request answers matches");
+                let (retired, added, _) = self.delta_matches(q);
+                Ok(base_bm.apply_delta(&retired, &added))
+            }
+            QueryExpr::And(a, b) => {
+                let a = self.merged_expr(a, request, stats)?;
+                let b = self.merged_expr(b, request, stats)?;
+                Ok(a.and(&b))
+            }
+            QueryExpr::Or(a, b) => {
+                let a = self.merged_expr(a, request, stats)?;
+                let b = self.merged_expr(b, request, stats)?;
+                Ok(a.or(&b))
+            }
+            QueryExpr::AndNot(a, b) => {
+                let a = self.merged_expr(a, request, stats)?;
+                let b = self.merged_expr(b, request, stats)?;
+                Ok(a.and_not(&b))
+            }
+        }
+    }
+
+    fn merged_aggregate(
+        &self,
+        paq: &PathAggQuery,
+        request: &QueryRequest,
+    ) -> Result<(Response, IoStats), SessionError> {
+        let (resp, stats) = self.base.execute(request)?;
+        let base_res = resp
+            .into_aggregates()
+            .expect("aggregate request answers aggregates");
+        let universe = self.base.universe();
+        let paths = paq.query.maximal_paths(universe)?;
+        let elements: Vec<Vec<EdgeId>> = paths
+            .iter()
+            .map(|p| p.elements(universe))
+            .collect::<Result<_, _>>()?;
+        let path_count = paths.len();
+        debug_assert_eq!(path_count, base_res.path_count);
+        let (retired, added, delta_rows) = self.delta_matches(&paq.query);
+        let mut base_bm = Bitmap::new();
+        for &rid in &base_res.records {
+            base_bm.insert(rid);
+        }
+        let merged = base_bm.apply_delta(&retired, &added);
+        let records = merged.to_vec();
+        let mut values = Vec::with_capacity(records.len() * path_count);
+        let mut di = 0usize;
+        for &rid in &records {
+            if di < delta_rows.len() && delta_rows[di].0 == rid {
+                let rec = &delta_rows[di].1;
+                for elems in &elements {
+                    let mut state = graphbi_graph::AggState::empty();
+                    for &e in elems {
+                        state.push(rec.measure(e).expect("delta match holds the edge"));
+                    }
+                    values.push(state.finalize(paq.func).unwrap_or(f64::NAN));
+                }
+                di += 1;
+            } else {
+                let bi = base_res
+                    .records
+                    .binary_search(&rid)
+                    .expect("non-delta merged record comes from the base");
+                values.extend_from_slice(base_res.row(bi));
+            }
+        }
+        Ok((
+            Response::Aggregates(PathAggResult {
+                records,
+                path_count,
+                values,
+            }),
+            stats,
+        ))
+    }
+}
+
+impl Session for Snapshot {
+    fn execute(&self, request: &QueryRequest) -> Result<(Response, IoStats), SessionError> {
+        if self.delta.is_empty_at(self.epoch) {
+            return self.base.execute(request);
+        }
+        match &request.kind {
+            RequestKind::Graph(q) => self.merged_graph(q, request),
+            RequestKind::Expr(e) => {
+                let mut stats = IoStats::new();
+                let bm = self.merged_expr(e, request, &mut stats)?;
+                Ok((Response::Matches(bm), stats))
+            }
+            RequestKind::Aggregate(paq) => self.merged_aggregate(paq, request),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbi_graph::AggFn;
+
+    fn chain_universe(n: u32) -> Universe {
+        let mut u = Universe::new();
+        for i in 0..n {
+            u.edge_by_names(&format!("n{i}"), &format!("n{}", i + 1));
+        }
+        u
+    }
+
+    fn rec(pairs: &[(u32, f64)]) -> GraphRecord {
+        let mut b = RecordBuilder::new();
+        for &(e, m) in pairs {
+            b.add(EdgeId(e), m);
+        }
+        b.build()
+    }
+
+    fn base_store() -> GraphStore {
+        let u = chain_universe(6);
+        let records = vec![
+            rec(&[(0, 1.0), (1, 2.0)]),
+            rec(&[(0, 3.0)]),
+            rec(&[(1, 4.0), (2, 5.0)]),
+        ];
+        GraphStore::load(u, &records)
+    }
+
+    fn query(ids: &[u32]) -> GraphQuery {
+        GraphQuery::from_edges(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    #[test]
+    fn snapshots_pin_their_epoch() {
+        let store = MvccStore::new_mem(base_store());
+        let before = store.snapshot();
+        store
+            .commit(&[DeltaOp::Insert(rec(&[(0, 9.0), (1, 9.5)]))])
+            .unwrap();
+        let after = store.snapshot();
+        let req = QueryRequest::new(query(&[0, 1]));
+        let old = before.execute(&req).unwrap().0.into_records().unwrap();
+        let new = after.execute(&req).unwrap().0.into_records().unwrap();
+        assert_eq!(old.records, vec![0]);
+        assert_eq!(new.records, vec![0, 3]);
+        assert_eq!(new.row(1), &[9.0, 9.5]);
+        // The old snapshot still answers identically post-commit.
+        let again = before.execute(&req).unwrap().0.into_records().unwrap();
+        assert_eq!(again, old);
+    }
+
+    #[test]
+    fn updates_retire_base_rows_in_every_request_kind() {
+        let store = MvccStore::new_mem(base_store());
+        store
+            .commit(&[DeltaOp::Update(0, rec(&[(2, 7.0)]))])
+            .unwrap();
+        let snap = store.snapshot();
+        let got = snap
+            .execute(&QueryRequest::new(query(&[0, 1])))
+            .unwrap()
+            .0
+            .into_records()
+            .unwrap();
+        assert_eq!(got.records, Vec::<RecordId>::new());
+        let expr = QueryExpr::and_not(QueryExpr::Atom(query(&[2])), QueryExpr::Atom(query(&[1])));
+        let matches = snap
+            .execute(&QueryRequest::expr(expr))
+            .unwrap()
+            .0
+            .into_matches()
+            .unwrap();
+        assert_eq!(matches.to_vec(), vec![0]); // record 0 now has e2 but not e1
+        let agg = snap
+            .execute(&QueryRequest::aggregate(PathAggQuery::new(
+                query(&[2]),
+                AggFn::Sum,
+            )))
+            .unwrap()
+            .0
+            .into_aggregates()
+            .unwrap();
+        assert_eq!(agg.records, vec![0, 2]);
+        assert_eq!(agg.row(0), &[7.0]);
+        assert_eq!(agg.row(1), &[5.0]);
+    }
+
+    #[test]
+    fn compaction_preserves_answers_and_resumes_epochs() {
+        let store = MvccStore::new_mem(base_store());
+        store.commit(&[DeltaOp::Insert(rec(&[(1, 6.0)]))]).unwrap();
+        store
+            .commit(&[DeltaOp::Update(1, rec(&[(0, 3.5), (1, 3.6)]))])
+            .unwrap();
+        let req = QueryRequest::new(query(&[1]));
+        let before = store.execute(&req).unwrap().0;
+        let folded = store.compact().unwrap();
+        assert_eq!(folded, 2);
+        assert_eq!(store.epoch(), 2);
+        let after = store.execute(&req).unwrap().0;
+        assert_eq!(before, after);
+        let e3 = store.commit(&[DeltaOp::Insert(rec(&[(1, 8.0)]))]).unwrap();
+        assert_eq!(e3, 3);
+        assert_eq!(store.record_count(), 5);
+    }
+
+    #[test]
+    fn batch_answers_as_of_one_snapshot() {
+        let store = MvccStore::new_mem(base_store());
+        let reqs = vec![
+            QueryRequest::new(query(&[0])),
+            QueryRequest::new(query(&[0])),
+        ];
+        let answers = store.evaluate_many(&reqs).unwrap();
+        assert_eq!(answers[0].0, answers[1].0);
+    }
+}

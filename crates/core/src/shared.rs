@@ -79,6 +79,45 @@ impl SharedStore {
     pub fn record_count(&self) -> u64 {
         self.read(GraphStore::record_count)
     }
+
+    /// Holds a read lock for the guard's lifetime, pinning one state of
+    /// the store across *multiple* [`Session`] calls: unlike
+    /// [`SharedStore::evaluate_many`], which pins a single batch, the
+    /// guard lets a caller interleave several batches (or single requests)
+    /// that must all answer as of the same instant. Writers block until
+    /// the guard drops — for lock-free epoch pinning use
+    /// [`crate::MvccStore::snapshot`] instead.
+    pub fn pinned(&self) -> SharedSnapshot<'_> {
+        SharedSnapshot {
+            guard: self.inner.read(),
+        }
+    }
+}
+
+/// A read-lock guard over a [`SharedStore`] that answers queries as of
+/// one pinned state (see [`SharedStore::pinned`]).
+pub struct SharedSnapshot<'a> {
+    guard: parking_lot::RwLockReadGuard<'a, GraphStore>,
+}
+
+impl SharedSnapshot<'_> {
+    /// Record count at the pinned state.
+    pub fn record_count(&self) -> u64 {
+        self.guard.record_count()
+    }
+}
+
+impl Session for SharedSnapshot<'_> {
+    fn execute(&self, request: &QueryRequest) -> Result<(Response, IoStats), SessionError> {
+        self.guard.execute(request)
+    }
+
+    fn evaluate_many(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<(Response, IoStats)>, SessionError> {
+        self.guard.evaluate_many(requests)
+    }
 }
 
 impl Session for SharedStore {
@@ -175,6 +214,26 @@ mod tests {
             }
         });
         assert_eq!(store.evaluate(&q).0.len(), initial + 100);
+    }
+
+    #[test]
+    fn pinned_guard_spans_multiple_batches() {
+        let (store, e) = shared();
+        let q = GraphQuery::from_edges(vec![e[0]]);
+        let req = QueryRequest::new(q.clone());
+        let before = store.evaluate(&q).0;
+        {
+            let pin = store.pinned();
+            let a = pin.execute(&req).unwrap().0.into_records().unwrap();
+            let b = pin.evaluate_many(std::slice::from_ref(&req)).unwrap();
+            assert_eq!(a, before);
+            assert_eq!(b[0].0.clone().into_records().unwrap(), before);
+            assert_eq!(pin.record_count(), 200);
+        }
+        let mut b = RecordBuilder::new();
+        b.add(e[0], 1.0);
+        store.append_record(&b.build());
+        assert_eq!(store.evaluate(&q).0.len(), before.len() + 1);
     }
 
     #[test]

@@ -89,7 +89,9 @@ fn main() {
 }
 
 /// Crash mode: every scenario is a full crash-point × fault-kind sweep
-/// plus the corruption-at-rest flips.
+/// plus the corruption-at-rest flips — once over the save path
+/// ([`crash::check`]) and once over the live ingest path
+/// ([`crash::check_wal`]: open, commit, commit, compact).
 fn crash_mode(args: &Args) {
     let mut failures = 0u64;
     let mut crash_points = 0u64;
@@ -97,7 +99,11 @@ fn crash_mode(args: &Args) {
     for i in 0..args.iters {
         let seed = args.seed.wrapping_add(i);
         let scenario = Scenario::generate(seed);
-        let report = crash::check(&scenario, args.crash_fault);
+        let mut report = crash::check(&scenario, args.crash_fault);
+        let wal_report = crash::check_wal(&scenario, args.crash_fault);
+        report.crash_points += wal_report.crash_points;
+        report.flip_points += wal_report.flip_points;
+        report.failures.extend(wal_report.failures);
         crash_points += report.crash_points;
         flip_points += report.flip_points;
         if report.passed() {
@@ -114,9 +120,15 @@ fn crash_mode(args: &Args) {
             report.failures.len()
         );
         let crash_fault = args.crash_fault;
-        let minimized = shrink_with(&scenario, |s| !crash::check(s, crash_fault).passed());
+        let broken = |s: &Scenario| {
+            !crash::check(s, crash_fault).passed() || !crash::check_wal(s, crash_fault).passed()
+        };
+        let minimized = shrink_with(&scenario, broken);
         let small = &minimized.scenario;
-        let small_report = crash::check(small, crash_fault);
+        let mut small_report = crash::check(small, crash_fault);
+        small_report
+            .failures
+            .extend(crash::check_wal(small, crash_fault).failures);
         println!(
             "fuzz: minimal reproducer: seed {seed}, {} records (from {}), \
              {} queries / {} exprs / {} aggs ({} sweeps spent)",

@@ -16,6 +16,13 @@
 //! * `columnar-disk-faultvfs-views` — the database saved and reopened
 //!   through the crash fuzzer's in-memory [`FaultVfs`] (no fault armed),
 //!   proving the fault-injection substrate is semantically transparent;
+//! * `columnar-mem-delta` — an [`MvccStore`] that starts from *half* the
+//!   scenario's records and streams the rest in as delta commits (inserts,
+//!   self-updates of base rows, and insert-then-correct updates), so every
+//!   scenario also differentially tests the base+delta merge path;
+//! * `columnar-disk-wal` — the same ingest against a disk-backed
+//!   [`MvccStore`] on a [`FaultVfs`], with a mid-stream compaction and a
+//!   full reopen (WAL replay + fold-watermark skip) before answering;
 //! * `row`, `rdf`, `graphdb` — the three baseline systems.
 
 use std::path::PathBuf;
@@ -23,11 +30,12 @@ use std::sync::Arc;
 
 use graphbi::disk::{load_store, save_store, save_store_with, DiskGraphStore};
 use graphbi::{
-    AggFn, EvalOptions, GraphQuery, GraphStore, PathAggQuery, PathAggResult, QueryExpr,
+    AggFn, EvalOptions, GraphQuery, GraphStore, MvccStore, PathAggQuery, PathAggResult, QueryExpr,
     QueryRequest, QueryResult, RecordId, Session,
 };
 use graphbi_baselines::{Engine, GraphDb, RdfStore, RowStore};
-use graphbi_columnstore::{FaultVfs, Verify};
+use graphbi_columnstore::{DeltaOp, FaultVfs, Verify};
+use graphbi_graph::RecordBuilder;
 
 use crate::scenario::Scenario;
 
@@ -185,6 +193,99 @@ impl Engine for ColumnarDisk {
     }
 }
 
+/// An MVCC store answering through per-call snapshots. The store is fully
+/// ingested before it joins the matrix, so repeated snapshots pin the same
+/// epoch and every answer is repeat-deterministic.
+struct ColumnarMvcc {
+    store: Arc<MvccStore>,
+    label: String,
+}
+
+impl Engine for ColumnarMvcc {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn evaluate(&self, q: &GraphQuery) -> QueryResult {
+        self.store
+            .execute(&QueryRequest::new(q.clone()))
+            .expect("mvcc evaluate")
+            .0
+            .into_records()
+            .expect("graph request answers records")
+    }
+
+    fn record_count(&self) -> u64 {
+        self.store.record_count()
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        0
+    }
+
+    fn match_expr(&self, e: &QueryExpr) -> Option<Vec<RecordId>> {
+        Some(
+            self.store
+                .execute(&QueryRequest::expr(e.clone()))
+                .expect("mvcc expr")
+                .0
+                .into_matches()
+                .expect("expr request answers matches")
+                .to_vec(),
+        )
+    }
+
+    fn path_aggregate(&self, paq: &PathAggQuery) -> Option<PathAggResult> {
+        self.store
+            .execute(&QueryRequest::aggregate(paq.clone()))
+            .ok()
+            .map(|(r, _)| {
+                r.into_aggregates()
+                    .expect("aggregate request answers aggregates")
+            })
+    }
+}
+
+/// The delta-commit stream that turns a half-loaded base into the full
+/// scenario, batched. Inserts arrive in scenario order (so insert `k` gets
+/// record id `half + k`), every 5th base row is re-committed with its own
+/// content (exercising the retired-base mask without changing answers),
+/// and every 3rd insert first lands with perturbed measures and is then
+/// corrected by an update — so the merge path sees genuine multi-version
+/// chains while the visible state stays exactly `scenario.records`.
+pub(crate) fn delta_batches(scenario: &Scenario, half: usize) -> Vec<Vec<DeltaOp>> {
+    let mut ops: Vec<DeltaOp> = Vec::new();
+    for i in (0..half).step_by(5) {
+        ops.push(DeltaOp::Update(i as u32, scenario.records[i].clone()));
+    }
+    for (k, rec) in scenario.records[half..].iter().enumerate() {
+        if k % 3 == 0 && rec.edge_count() > 0 {
+            let mut b = RecordBuilder::with_capacity(rec.edge_count());
+            for &(e, m) in rec.edges() {
+                b.add(e, m + 1.0);
+            }
+            ops.push(DeltaOp::Insert(b.build()));
+            ops.push(DeltaOp::Update((half + k) as u32, rec.clone()));
+        } else {
+            ops.push(DeltaOp::Insert(rec.clone()));
+        }
+    }
+    ops.chunks(8).map(<[DeltaOp]>::to_vec).collect()
+}
+
+/// A base store over the first `half` scenario records, with the same view
+/// advice as the full matrix store.
+fn half_store(scenario: &Scenario, half: usize) -> GraphStore {
+    let mut store = GraphStore::load(scenario.universe.clone(), &scenario.records[..half]);
+    if scenario.view_budget > 0 {
+        store.advise_views(&scenario.queries, scenario.view_budget);
+    }
+    if scenario.agg_view_budget > 0 {
+        let _ = store.advise_agg_views(&scenario.queries, AggFn::Sum, scenario.agg_view_budget);
+    }
+    store
+}
+
 /// Relabels a baseline engine with its stable matrix label while
 /// delegating every answer.
 struct Labeled<E: Engine> {
@@ -322,6 +423,49 @@ impl Matrix {
             opts: EvalOptions::default(),
             shards: 1,
             label: "columnar-disk-faultvfs-views".into(),
+        }));
+        // The write path: half the records as an immutable base, the rest
+        // streamed in as delta commits. Answers must match the reference
+        // over the FULL record list — the merge, the WAL, the compaction
+        // and the reopen are all under differential test on every scenario.
+        let half = scenario.records.len() / 2;
+        let batches = delta_batches(scenario, half);
+        let mem_delta = MvccStore::new_mem(half_store(scenario, half));
+        for batch in &batches {
+            mem_delta.commit(batch).expect("mem delta commit");
+        }
+        engines.push(Box::new(ColumnarMvcc {
+            store: Arc::new(mem_delta),
+            label: "columnar-mem-delta".into(),
+        }));
+        let wal_vfs = Arc::new(FaultVfs::new(scenario.seed ^ 0x57a1));
+        let wal_dir = PathBuf::from("/mvccdb");
+        save_store_with(wal_vfs.as_ref(), &half_store(scenario, half), &wal_dir)
+            .expect("save mvcc base through FaultVfs");
+        let disk_delta = MvccStore::open_disk(
+            &wal_dir,
+            DISK_CACHE_BYTES,
+            wal_vfs.clone(),
+            Verify::Checksums,
+        )
+        .expect("open mvcc store");
+        let mid = batches.len() / 2;
+        for batch in &batches[..mid] {
+            disk_delta.commit(batch).expect("wal commit");
+        }
+        disk_delta.compact().expect("mid-stream compaction");
+        for batch in &batches[mid..] {
+            disk_delta.commit(batch).expect("wal commit");
+        }
+        drop(disk_delta);
+        // Reopen from the published generation + WAL: every scenario now
+        // exercises replay, the fold watermark skip, and epoch resume.
+        let reopened = MvccStore::open_disk(&wal_dir, DISK_CACHE_BYTES, wal_vfs, Verify::Checksums)
+            .expect("reopen mvcc store");
+        reopened.gc().expect("sweep unpinned generations");
+        engines.push(Box::new(ColumnarMvcc {
+            store: Arc::new(reopened),
+            label: "columnar-disk-wal".into(),
         }));
         engines.push(Box::new(Labeled {
             engine: RowStore::load(&scenario.records),

@@ -26,6 +26,14 @@
 //! flipped-at-rest byte must be caught by a checksum or provably change
 //! nothing (`fuzz --crash`). Crash failures shrink through the same
 //! delta-debugger via [`shrink::shrink_with`].
+//!
+//! [`crash::check_wal`] applies the same discipline to the *live write
+//! path*: an `MvccStore` ingest (open, two delta commits, a compaction)
+//! is crashed at every VFS operation under every fault kind, and
+//! recovery must land exactly on a commit boundary — acknowledged
+//! commits durable, unacknowledged ones invisible, never torn. The
+//! differential matrix exercises the same machinery on every scenario
+//! through its `columnar-mem-delta` and `columnar-disk-wal` rows.
 
 pub mod crash;
 pub mod engines;

@@ -39,6 +39,46 @@ fn crash_sweep_is_clean_on_fixed_seeds() {
     );
 }
 
+/// The WAL crash oracle on fixed seeds: the live ingest sequence (open,
+/// two commits, one compaction) crashed at every VFS operation under
+/// every fault kind always recovers to an exact commit boundary, and the
+/// at-rest flip sweep over WAL frames and the fold sidecar is clean.
+#[test]
+fn wal_crash_sweep_is_clean_on_fixed_seeds() {
+    let mut crash_points = 0;
+    let mut flip_points = 0;
+    for seed in [7u64, 42, 43] {
+        let report = crash::check_wal(&Scenario::generate(seed), CrashFault::None);
+        assert!(
+            report.passed(),
+            "seed {seed}: {} broken WAL guarantees, first: {}",
+            report.failures.len(),
+            report.failures[0],
+        );
+        crash_points += report.crash_points;
+        flip_points += report.flip_points;
+    }
+    assert!(
+        crash_points >= 200,
+        "suspiciously small WAL crash sweep: {crash_points} points"
+    );
+    assert!(
+        flip_points >= 50,
+        "suspiciously small WAL flip sweep: {flip_points} flips"
+    );
+}
+
+/// Replaying a seed through the WAL oracle yields the same verdict and
+/// the same sweep size.
+#[test]
+fn wal_oracle_is_deterministic_per_seed() {
+    let a = crash::check_wal(&Scenario::generate(42), CrashFault::None);
+    let b = crash::check_wal(&Scenario::generate(42), CrashFault::None);
+    assert_eq!(a.crash_points, b.crash_points);
+    assert_eq!(a.flip_points, b.flip_points);
+    assert_eq!(a.passed(), b.passed());
+}
+
 /// Replaying a seed yields the same verdict and the same sweep size.
 #[test]
 fn crash_oracle_is_deterministic_per_seed() {

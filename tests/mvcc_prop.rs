@@ -1,0 +1,214 @@
+//! Property tests for the MVCC write path: random base stores and random
+//! commit streams, checked for three algebraic identities —
+//!
+//! * **merge ≡ rebuild**: a base+delta store answers exactly like a store
+//!   loaded from scratch over the visible records;
+//! * **WAL replay is idempotent**: reopening a disk store any number of
+//!   times yields the same answers — replayed commits never double-apply;
+//! * **compaction is transparent**: a store that compacts mid-stream (and
+//!   again at the end) answers exactly like one that never compacts.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use graphbi::disk::save_store_with;
+use graphbi::{AggFn, GraphStore, MvccStore, PathAggQuery, QueryExpr, QueryRequest, Session};
+use graphbi_columnstore::{DeltaOp, FaultVfs, Verify};
+use graphbi_graph::{EdgeId, GraphQuery, GraphRecord, RecordBuilder, Universe};
+use proptest::prelude::*;
+
+/// A chain universe n0→n1→…→n12: contiguous edge ranges are paths.
+const UNIVERSE_EDGES: u32 = 12;
+
+fn build_universe() -> Universe {
+    let mut u = Universe::new();
+    for i in 0..UNIVERSE_EDGES {
+        u.edge_by_names(&format!("n{i}"), &format!("n{}", i + 1));
+    }
+    u
+}
+
+fn record_strategy() -> impl Strategy<Value = GraphRecord> {
+    prop::collection::btree_map(0u32..UNIVERSE_EDGES, 0.5f64..100.0, 1..8).prop_map(|edges| {
+        let mut b = RecordBuilder::new();
+        for (e, m) in edges {
+            b.add(EdgeId(e), m);
+        }
+        b.build()
+    })
+}
+
+fn records_strategy() -> impl Strategy<Value = Vec<GraphRecord>> {
+    prop::collection::vec(record_strategy(), 1..24)
+}
+
+/// A raw commit stream: `(update, rid_seed, record)` triples. `rid_seed`
+/// is resolved against the record count visible at apply time, so every
+/// update targets an existing row (base or an earlier insert).
+fn ops_strategy() -> impl Strategy<Value = Vec<(bool, usize, GraphRecord)>> {
+    prop::collection::vec((any::<bool>(), 0usize..1024, record_strategy()), 1..30)
+}
+
+/// Contiguous edge ranges are paths in the chain universe.
+fn path_query() -> impl Strategy<Value = GraphQuery> {
+    (0u32..UNIVERSE_EDGES, 1u32..5).prop_map(|(start, len)| {
+        let end = (start + len).min(UNIVERSE_EDGES);
+        GraphQuery::from_edges((start..end).map(EdgeId).collect())
+    })
+}
+
+/// Resolves the raw stream into concrete [`DeltaOp`] batches (chunks of
+/// `batch` ops) plus the model's final visible record vector.
+fn resolve(
+    base: &[GraphRecord],
+    raw: &[(bool, usize, GraphRecord)],
+    batch: usize,
+) -> (Vec<Vec<DeltaOp>>, Vec<GraphRecord>) {
+    let mut visible: Vec<GraphRecord> = base.to_vec();
+    let mut ops = Vec::with_capacity(raw.len());
+    for (update, rid_seed, rec) in raw {
+        if *update {
+            let rid = rid_seed % visible.len();
+            visible[rid] = rec.clone();
+            ops.push(DeltaOp::Update(rid as u32, rec.clone()));
+        } else {
+            visible.push(rec.clone());
+            ops.push(DeltaOp::Insert(rec.clone()));
+        }
+    }
+    let batches = ops.chunks(batch.max(1)).map(<[DeltaOp]>::to_vec).collect();
+    (batches, visible)
+}
+
+/// One request of every kind over the generated queries.
+fn requests(queries: &[GraphQuery]) -> Vec<QueryRequest> {
+    let mut reqs: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| QueryRequest::new(q.clone()))
+        .collect();
+    if queries.len() >= 2 {
+        reqs.push(QueryRequest::expr(QueryExpr::and_not(
+            QueryExpr::Atom(queries[0].clone()),
+            QueryExpr::Atom(queries[1].clone()),
+        )));
+    }
+    reqs.push(QueryRequest::aggregate(PathAggQuery::new(
+        queries[0].clone(),
+        AggFn::Sum,
+    )));
+    reqs
+}
+
+/// Responses only — IoStats legitimately differ across engines/caches.
+fn answers<S: Session>(store: &S, reqs: &[QueryRequest]) -> Vec<graphbi::Response> {
+    reqs.iter()
+        .map(|r| store.execute(r).expect("answer request").0)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merge_equals_rebuild(
+        base in records_strategy(),
+        raw in ops_strategy(),
+        batch in 1usize..6,
+        queries in prop::collection::vec(path_query(), 1..4),
+    ) {
+        let (batches, visible) = resolve(&base, &raw, batch);
+        let store = MvccStore::new_mem(GraphStore::load(build_universe(), &base));
+        for b in &batches {
+            store.commit(b).expect("mem commit");
+        }
+        let rebuilt = GraphStore::load(build_universe(), &visible);
+        let reqs = requests(&queries);
+        prop_assert_eq!(store.record_count(), visible.len() as u64);
+        prop_assert_eq!(answers(&store, &reqs), answers(&rebuilt, &reqs));
+    }
+
+    #[test]
+    fn wal_replay_is_idempotent(
+        base in records_strategy(),
+        raw in ops_strategy(),
+        batch in 1usize..6,
+        queries in prop::collection::vec(path_query(), 1..4),
+    ) {
+        let (batches, visible) = resolve(&base, &raw, batch);
+        let vfs = Arc::new(FaultVfs::new(0x1de8));
+        let dir = PathBuf::from("/propwal");
+        save_store_with(vfs.as_ref(), &GraphStore::load(build_universe(), &base), &dir)
+            .expect("save base");
+        let epochs = {
+            let store = MvccStore::open_disk(&dir, 64 << 10, vfs.clone(), Verify::Checksums)
+                .expect("open");
+            for b in &batches {
+                store.commit(b).expect("wal commit");
+            }
+            store.epoch()
+        };
+        let reqs = requests(&queries);
+        // Reopen twice: replay must hit the same epoch and the same
+        // answers both times — never applying a frame twice.
+        let first = {
+            let store = MvccStore::open_disk(&dir, 64 << 10, vfs.clone(), Verify::Checksums)
+                .expect("first reopen");
+            prop_assert_eq!(store.epoch(), epochs);
+            prop_assert_eq!(store.record_count(), visible.len() as u64);
+            answers(&store, &reqs)
+        };
+        let second = {
+            let store = MvccStore::open_disk(&dir, 64 << 10, vfs, Verify::Checksums)
+                .expect("second reopen");
+            prop_assert_eq!(store.epoch(), epochs);
+            answers(&store, &reqs)
+        };
+        prop_assert_eq!(&first, &second);
+        let rebuilt = GraphStore::load(build_universe(), &visible);
+        prop_assert_eq!(&first, &answers(&rebuilt, &reqs));
+    }
+
+    #[test]
+    fn compaction_is_transparent(
+        base in records_strategy(),
+        raw in ops_strategy(),
+        batch in 1usize..6,
+        split in 0usize..30,
+        queries in prop::collection::vec(path_query(), 1..4),
+    ) {
+        let (batches, visible) = resolve(&base, &raw, batch);
+        let universe = build_universe();
+        let dir = PathBuf::from("/propcompact");
+        let open = |seed: u64| {
+            let vfs = Arc::new(FaultVfs::new(seed));
+            save_store_with(vfs.as_ref(), &GraphStore::load(universe.clone(), &base), &dir)
+                .expect("save base");
+            (MvccStore::open_disk(&dir, 64 << 10, vfs.clone(), Verify::Checksums)
+                .expect("open"), vfs)
+        };
+        let (compacting, cvfs) = open(0xc0);
+        let (plain, _pvfs) = open(0xf1);
+        let mid = split % (batches.len() + 1);
+        for (i, b) in batches.iter().enumerate() {
+            if i == mid {
+                compacting.compact().expect("mid-stream compact");
+            }
+            compacting.commit(b).expect("commit (compacting)");
+            plain.commit(b).expect("commit (plain)");
+        }
+        compacting.compact().expect("final compact");
+        compacting.gc().expect("gc");
+        let reqs = requests(&queries);
+        prop_assert_eq!(answers(&compacting, &reqs), answers(&plain, &reqs));
+        prop_assert_eq!(compacting.epoch(), plain.epoch());
+        prop_assert_eq!(compacting.record_count(), visible.len() as u64);
+        // And the compacted store still reopens to the same answers: the
+        // fold watermark makes the truncated log and the new generation
+        // agree.
+        let baseline = answers(&compacting, &reqs);
+        drop(compacting);
+        let reopened = MvccStore::open_disk(&dir, 64 << 10, cvfs, Verify::Checksums)
+            .expect("reopen compacted");
+        prop_assert_eq!(answers(&reopened, &reqs), baseline);
+    }
+}
