@@ -2,7 +2,7 @@
 //! fetch and path aggregation, with and without views.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use graphbi::{AggFn, GraphStore, IoStats, PathAggQuery};
+use graphbi::{AggFn, GraphStore, PathAggQuery, Session};
 use graphbi_workload::{queries::QuerySpec, Dataset, DatasetSpec};
 
 fn setup() -> (GraphStore, Vec<graphbi::GraphQuery>) {
@@ -13,11 +13,18 @@ fn setup() -> (GraphStore, Vec<graphbi::GraphQuery>) {
 
 fn bench_structural(c: &mut Criterion) {
     let (store, qs) = setup();
+    // The expression request form runs the structural phase alone.
+    let reqs: Vec<graphbi::QueryRequest> = qs
+        .iter()
+        .map(|q| graphbi::QueryRequest::expr(graphbi_graph::QueryExpr::Atom(q.clone())))
+        .collect();
     c.bench_function("structural_20_queries", |b| {
         b.iter(|| {
-            let mut stats = IoStats::new();
-            qs.iter()
-                .map(|q| store.match_records(q, &mut stats).len())
+            reqs.iter()
+                .map(|r| match store.execute(r) {
+                    Ok((graphbi::Response::Matches(ids), _)) => ids.len(),
+                    _ => unreachable!("expression requests answer with Matches"),
+                })
                 .sum::<u64>()
         })
     });

@@ -28,17 +28,24 @@ pub fn mined_fragments(
     sample_size: usize,
     query_fraction: f64,
 ) -> Vec<Vec<EdgeId>> {
+    use graphbi::{QueryRequest, Response, Session};
     let mut sample: Vec<Vec<EdgeId>> = Vec::with_capacity(sample_size);
     let want_query = (sample_size as f64 * query_fraction) as usize;
-    // Records answering the queries, round-robin across queries.
-    let mut stats = graphbi::IoStats::new();
+    // Records answering the queries, round-robin across queries; the
+    // expression request form answers with the id bitmap alone.
+    let reqs: Vec<QueryRequest> = qs
+        .iter()
+        .map(|q| QueryRequest::expr(graphbi_graph::QueryExpr::Atom(q.clone())))
+        .collect();
     'outer: loop {
         let before = sample.len();
-        for q in qs {
+        for req in &reqs {
             if sample.len() >= want_query {
                 break 'outer;
             }
-            let ids = store.match_records(q, &mut stats);
+            let Ok((Response::Matches(ids), _)) = store.execute(req) else {
+                unreachable!("expression requests answer with Matches")
+            };
             if let Some(rid) = ids.select((sample.len() % 7) as u64) {
                 sample.push(
                     d.records[rid as usize]

@@ -5,29 +5,39 @@
 //! time splits into the mandatory measure fetch (unaffected by views) and
 //! the rest (bitmap work, reduced up to 57%; total reduced up to 32%).
 
-use graphbi::{GraphStore, IoStats};
-use graphbi_graph::GraphQuery;
+use graphbi::{GraphStore, IoStats, QueryRequest, Session};
+use graphbi_graph::{GraphQuery, QueryExpr};
 
 use crate::{fmt, ny, time_ms, uniform_queries, Table};
 
 /// One sweep step: (total_ms, fetch_ms, rest_ms, structural_columns).
 ///
-/// Best of three workload runs, to suppress wall-clock noise at the
-/// millisecond scale of the scaled datasets.
+/// Both phases go through the [`Session`] entry point: the expression
+/// form answers the structural phase alone (record-id bitmap, no measure
+/// fetch), the graph form answers the full query; the fetch share is the
+/// difference. Best of three workload runs, to suppress wall-clock noise
+/// at the millisecond scale of the scaled datasets.
 pub fn timed_split(store: &GraphStore, qs: &[GraphQuery]) -> (f64, f64, f64, u64) {
+    let structural: Vec<QueryRequest> = qs
+        .iter()
+        .map(|q| QueryRequest::expr(QueryExpr::Atom(q.clone())))
+        .collect();
+    let full: Vec<QueryRequest> = qs.iter().map(|q| QueryRequest::new(q.clone())).collect();
     let mut best: Option<(f64, f64, f64, u64)> = None;
     for _ in 0..3 {
         let mut stats = IoStats::new();
         let mut structural_ms = 0.0;
-        let mut fetch_ms = 0.0;
-        for q in qs {
-            let (ids, ms) = time_ms(|| store.match_records(q, &mut stats));
+        let mut total_ms = 0.0;
+        for (sreq, freq) in structural.iter().zip(&full) {
+            let (_ids, ms) = time_ms(|| store.execute(sreq).expect("structural phase"));
             structural_ms += ms;
-            let (_vals, ms) = time_ms(|| store.fetch_measures(q.edges(), &ids, &mut stats));
-            fetch_ms += ms;
+            let (out, ms) = time_ms(|| store.execute(freq).expect("graph query"));
+            stats.merge(&out.1);
+            total_ms += ms;
         }
+        let fetch_ms = (total_ms - structural_ms).max(0.0);
         let run = (
-            structural_ms + fetch_ms,
+            total_ms,
             fetch_ms,
             structural_ms,
             stats.structural_columns(),

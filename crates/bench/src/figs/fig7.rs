@@ -4,28 +4,36 @@
 //! aggregate views replace whole measure-column groups with one
 //! pre-aggregated column, cutting run time by up to 89% at full budget.
 
-use graphbi::{AggFn, GraphStore, IoStats, PathAggQuery};
-use graphbi_graph::GraphQuery;
+use graphbi::{AggFn, GraphStore, IoStats, PathAggQuery, QueryRequest, Session};
+use graphbi_graph::{GraphQuery, QueryExpr};
 
 use crate::{fmt, gnu, time_ms, uniform_queries, Table};
 
 /// One sweep step for aggregate queries:
 /// (total_ms, measure_phase_ms, rest_ms, measure+view columns).
 ///
-/// Best of three workload runs, to suppress wall-clock noise.
+/// Both phases go through the [`Session`] entry point; the expression
+/// form isolates the structural share. Best of three workload runs, to
+/// suppress wall-clock noise.
 pub fn timed_agg_split(store: &GraphStore, qs: &[GraphQuery], func: AggFn) -> (f64, f64, f64, u64) {
+    let structural: Vec<QueryRequest> = qs
+        .iter()
+        .map(|q| QueryRequest::expr(QueryExpr::Atom(q.clone())))
+        .collect();
+    let aggs: Vec<QueryRequest> = qs
+        .iter()
+        .map(|q| QueryRequest::aggregate(PathAggQuery::new(q.clone(), func)))
+        .collect();
     let mut best: Option<(f64, f64, f64, u64)> = None;
     for _ in 0..3 {
         let mut stats = IoStats::new();
         let mut structural_ms = 0.0;
         let mut total_ms = 0.0;
-        for q in qs {
+        for (sreq, areq) in structural.iter().zip(&aggs) {
             // Structural phase alone, for the split.
-            let mut scratch = IoStats::new();
-            let (_ids, ms) = time_ms(|| store.match_records(q, &mut scratch));
+            let (_ids, ms) = time_ms(|| store.execute(sreq).expect("structural phase"));
             structural_ms += ms;
-            let paq = PathAggQuery::new(q.clone(), func);
-            let (res, ms) = time_ms(|| store.path_aggregate(&paq));
+            let (res, ms) = time_ms(|| store.execute(areq));
             let (_, s) = res.expect("workload queries are acyclic paths");
             stats.merge(&s);
             total_ms += ms;

@@ -19,5 +19,6 @@ pub mod fig9;
 pub mod ingest;
 pub mod kernels;
 pub mod latency;
+pub mod serve;
 pub mod shard;
 pub mod table2;

@@ -1,0 +1,239 @@
+//! Service-layer benchmark (the PR-7 tentpole measurement).
+//!
+//! Drives the TCP server with 1, 8 and 32 concurrent client connections
+//! over the Zipf graph workload, in two server configurations:
+//!
+//! * **dispatch**: `batch_max = 1` — every admitted request is its own
+//!   `evaluate_many` call, the one-request-per-dispatch baseline;
+//! * **batched**: `batch_max = 64` — requests arriving concurrently on
+//!   *different connections* coalesce into shared batches, so the
+//!   engine's duplicate-request elimination and shared planning work
+//!   across the network exactly as in-process.
+//!
+//! Every served response is checked bit-identical (canonical wire text)
+//! against the in-process `Session` answer before any timing is
+//! reported; a mismatch fails the run and the CI job wrapping it.
+//! Per-request latency percentiles land in `BENCH_serve.json`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use graphbi::{GraphStore, QueryRequest, Session, SharedStore};
+use graphbi_serve::{Client, ServeConfig, ServeStore, Server};
+
+use crate::{fmt, ny, zipf_queries, Table};
+
+/// Concurrent connection counts swept by the benchmark.
+pub const CLIENTS: [usize; 3] = [1, 8, 32];
+
+/// Requests each client issues per run.
+const PER_CLIENT: usize = 60;
+
+/// One (mode × clients) measurement.
+struct Run {
+    mode: &'static str,
+    clients: usize,
+    p50_us: f64,
+    p99_us: f64,
+    /// `evaluate_many` dispatches the batcher issued.
+    batches: u64,
+    /// Requests those dispatches answered.
+    requests: u64,
+    identical: bool,
+}
+
+impl Run {
+    fn mean_batch(&self) -> f64 {
+        self.requests as f64 / (self.batches as f64).max(1.0)
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn run_config(
+    store: &SharedStore,
+    reqs: &Arc<Vec<QueryRequest>>,
+    expected: &Arc<Vec<String>>,
+    mode: &'static str,
+    clients: usize,
+    batch_max: usize,
+) -> Run {
+    let server = Server::start(
+        ServeStore::Shared(store.clone()),
+        "127.0.0.1:0",
+        ServeConfig {
+            batch_max,
+            queue_depth: 1024,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let reg = graphbi_obs::global();
+    let batches_before = reg.counter("graphbi_serve_batches_total").get();
+    let requests_before = reg.counter("graphbi_serve_batched_requests_total").get();
+
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let reqs = Arc::clone(reqs);
+            let expected = Arc::clone(expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let mut lat_us = Vec::with_capacity(PER_CLIENT);
+                let mut identical = true;
+                for k in 0..PER_CLIENT {
+                    let i = (c * 7 + k) % reqs.len();
+                    let started = std::time::Instant::now();
+                    let resp = client.query(&reqs[i]).expect("query");
+                    lat_us.push(started.elapsed().as_secs_f64() * 1e6);
+                    identical &= resp.to_text() == expected[i];
+                }
+                (lat_us, identical)
+            })
+        })
+        .collect();
+
+    let mut lat_us = Vec::with_capacity(clients * PER_CLIENT);
+    let mut identical = true;
+    for t in threads {
+        let (l, ok) = t.join().expect("client thread");
+        lat_us.extend(l);
+        identical &= ok;
+    }
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    Run {
+        mode,
+        clients,
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+        batches: reg.counter("graphbi_serve_batches_total").get() - batches_before,
+        requests: reg.counter("graphbi_serve_batched_requests_total").get() - requests_before,
+        identical,
+    }
+}
+
+/// Runs the benchmark; returns `false` when any served answer differed
+/// from in-process, or when the batched server failed to coalesce
+/// cross-connection requests under contention.
+pub fn run() -> bool {
+    let d = ny(10_000);
+    let qs = zipf_queries(&d, 100);
+    let store = SharedStore::new(GraphStore::load(d.universe, &d.records));
+    let reqs: Arc<Vec<QueryRequest>> =
+        Arc::new(qs.iter().map(|q| QueryRequest::new(q.clone())).collect());
+    let expected: Arc<Vec<String>> = Arc::new(
+        store
+            .evaluate_many(&reqs)
+            .expect("workload is acyclic")
+            .into_iter()
+            .map(|(resp, _)| resp.to_text())
+            .collect(),
+    );
+
+    // Best of three runs per configuration (same convention as fig6),
+    // applied symmetrically to both modes: scheduler jitter at the
+    // millisecond scale otherwise dominates the tail percentiles.
+    let best = |mode, clients, batch_max| {
+        let trials: Vec<Run> = (0..3)
+            .map(|_| run_config(&store, &reqs, &expected, mode, clients, batch_max))
+            .collect();
+        // Correctness is judged over every trial, not just the kept one.
+        let all_identical = trials.iter().all(|r| r.identical);
+        let mut kept = trials
+            .into_iter()
+            .min_by(|a, b| {
+                (a.p99_us + a.p50_us)
+                    .partial_cmp(&(b.p99_us + b.p50_us))
+                    .expect("finite percentiles")
+            })
+            .expect("three runs executed");
+        kept.identical = all_identical;
+        kept
+    };
+    let mut runs = Vec::new();
+    for &clients in &CLIENTS {
+        runs.push(best("dispatch", clients, 1));
+        runs.push(best("batched", clients, 64));
+    }
+
+    let mut t = Table::new(
+        "Service layer: per-request latency, dispatch (batch_max=1) vs batched (batch_max=64)",
+        &[
+            "mode",
+            "clients",
+            "p50_us",
+            "p99_us",
+            "dispatches",
+            "requests",
+            "mean_batch",
+            "identical",
+        ],
+    );
+    for r in &runs {
+        t.row(vec![
+            r.mode.into(),
+            r.clients.to_string(),
+            fmt(r.p50_us),
+            fmt(r.p99_us),
+            r.batches.to_string(),
+            r.requests.to_string(),
+            format!("{:.2}", r.mean_batch()),
+            r.identical.to_string(),
+        ]);
+    }
+    t.emit("serve");
+
+    // Machine-readable point for the benchmark history.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve\",");
+    let _ = writeln!(json, "  \"queries\": {},", reqs.len());
+    let _ = writeln!(json, "  \"per_client\": {PER_CLIENT},");
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"clients\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"dispatches\": {}, \"requests\": {}, \"mean_batch\": {:.2}, \
+             \"identical\": {}}}{comma}",
+            r.mode,
+            r.clients,
+            r.p50_us,
+            r.p99_us,
+            r.batches,
+            r.requests,
+            r.mean_batch(),
+            r.identical,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    let out = std::env::var("GRAPHBI_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+
+    let identical = runs.iter().all(|r| r.identical);
+    // Under contention the batched server must actually coalesce: the
+    // 32-client batched run needs fewer dispatches than requests.
+    let coalesced = runs
+        .iter()
+        .filter(|r| r.mode == "batched" && r.clients >= 32)
+        .all(|r| r.batches < r.requests);
+    if !identical {
+        eprintln!("serve bench: a served answer differed from in-process");
+    }
+    if !coalesced {
+        eprintln!("serve bench: no cross-connection batching observed at 32 clients");
+    }
+    identical && coalesced
+}

@@ -16,7 +16,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use graphbi::ql::QlAnswer;
-use graphbi::GraphStore;
+use graphbi::{GraphStore, Session};
 use graphbi_columnstore::persist;
 use graphbi_graph::Universe;
 use graphbi_workload::{Dataset, DatasetSpec};
@@ -41,7 +41,12 @@ const USAGE: &str = "usage:
   graphbi queryd <dir> <cache_mb> \"<query>\"   (disk-resident, reports I/O)
   graphbi explain <dir> \"<query>\"
   graphbi profile <dir> \"<query>\" [--json <file>]   (EXPLAIN ANALYZE)
-  graphbi advise <dir> <budget> \"<query>\" [\"<query>\" ...]";
+  graphbi advise <dir> <budget> \"<query>\" [\"<query>\" ...]
+  graphbi serve <dir> <addr> [--mvcc]          serve the database over TCP
+  graphbi connect <addr> query \"<query>\"
+  graphbi connect <addr> insert <edge>:<measure> [...]
+  graphbi connect <addr> profile \"<query>\"
+  graphbi connect <addr> metrics";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args {
@@ -53,6 +58,8 @@ fn run(args: &[String]) -> Result<(), String> {
             "explain" => explain(rest),
             "profile" => profile(rest),
             "advise" => advise(rest),
+            "serve" => serve(rest),
+            "connect" => connect(rest),
             other => Err(format!("unknown command {other:?}")),
         },
         [] => Err("missing command".into()),
@@ -176,13 +183,15 @@ fn query_disk(args: &[String]) -> Result<(), String> {
         .map_err(|_| "cache size must be a number")?;
     let store = graphbi::disk::DiskGraphStore::open(&PathBuf::from(dir), cache_mb << 20)
         .map_err(|e| e.to_string())?;
-    let q = store.parse_query(text).map_err(|e| e.to_string())?;
+    // The disk backend answers through the same Session entry point as
+    // every other engine — full statements work, not just plain patterns.
+    let req = parse_request(text, store.universe())?;
     let started = std::time::Instant::now();
-    let (result, stats) = store.evaluate(&q).map_err(|e| e.to_string())?;
+    let (result, stats) = graphbi::Session::execute(&store, &req).map_err(|e| e.to_string())?;
     println!(
         "{} matching records ({:.2?}); {} disk reads, {:.1} KiB read, \
          {} bitmap + {} measure columns, {} fetches skipped",
-        result.len(),
+        response_len(&result),
         started.elapsed(),
         stats.disk_reads,
         stats.disk_bytes as f64 / 1024.0,
@@ -192,13 +201,22 @@ fn query_disk(args: &[String]) -> Result<(), String> {
     );
     // A second, warm run shows the cache working.
     let started = std::time::Instant::now();
-    let (_, warm) = store.evaluate(&q).map_err(|e| e.to_string())?;
+    let (_, warm) = graphbi::Session::execute(&store, &req).map_err(|e| e.to_string())?;
     println!(
         "warm rerun: {:.2?}, {} disk reads",
         started.elapsed(),
         warm.disk_reads
     );
     Ok(())
+}
+
+/// Result cardinality of any [`graphbi::Response`] kind.
+fn response_len(resp: &graphbi::Response) -> usize {
+    match resp {
+        graphbi::Response::Records(r) => r.len(),
+        graphbi::Response::Matches(b) => usize::try_from(b.len()).unwrap_or(usize::MAX),
+        graphbi::Response::Aggregates(a) => a.len(),
+    }
 }
 
 fn explain(args: &[String]) -> Result<(), String> {
@@ -225,20 +243,10 @@ fn explain(args: &[String]) -> Result<(), String> {
 }
 
 /// Parses `text` against `universe` into an executable [`QueryRequest`]
-/// (top-k statements have no session form and are rejected).
+/// (top-k statements have no session form and are rejected) — the shared
+/// text→request path also used by the server's client.
 fn parse_request(text: &str, universe: &Universe) -> Result<graphbi::QueryRequest, String> {
-    let statement = graphbi::ql::parse(&graphbi::ql::lex(text).map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
-    match graphbi::ql::resolve(&statement, universe).map_err(|e| e.to_string())? {
-        graphbi::ql::Resolved::Expr(graphbi_graph::QueryExpr::Atom(q)) => {
-            Ok(graphbi::QueryRequest::new(q))
-        }
-        graphbi::ql::Resolved::Expr(e) => Ok(graphbi::QueryRequest::expr(e)),
-        graphbi::ql::Resolved::Agg(paq) => Ok(graphbi::QueryRequest::aggregate(paq)),
-        graphbi::ql::Resolved::TopAgg(..) => {
-            Err("profile does not support TOP-k statements".into())
-        }
-    }
+    graphbi::ql::request_from_text(text, universe).map_err(|e| e.to_string())
 }
 
 fn profile(args: &[String]) -> Result<(), String> {
@@ -352,6 +360,89 @@ fn advise(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn serve(args: &[String]) -> Result<(), String> {
+    let (dir, addr, mvcc) = match args {
+        [dir, addr] => (dir, addr, false),
+        [dir, addr, flag] if flag == "--mvcc" => (dir, addr, true),
+        _ => return Err("serve needs: <dir> <addr> [--mvcc]".into()),
+    };
+    let store = open(&PathBuf::from(dir))?;
+    let store = if mvcc {
+        // MVCC sessions: readers pin snapshots while commits proceed.
+        graphbi_serve::ServeStore::Mvcc(std::sync::Arc::new(graphbi::MvccStore::new_mem(store)))
+    } else {
+        graphbi_serve::ServeStore::Shared(graphbi::SharedStore::new(store))
+    };
+    let server = graphbi_serve::Server::start(store, addr, graphbi_serve::ServeConfig::default())
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    println!(
+        "serving on {} ({})",
+        server.addr(),
+        if mvcc {
+            "mvcc snapshots"
+        } else {
+            "shared store"
+        }
+    );
+    server.wait();
+    Ok(())
+}
+
+fn connect(args: &[String]) -> Result<(), String> {
+    let [addr, cmd, rest @ ..] = args else {
+        return Err("connect needs: <addr> query|insert|profile|metrics …".into());
+    };
+    let mut client =
+        graphbi_serve::Client::connect(addr.as_str()).map_err(|e| format!("connecting: {e}"))?;
+    match (cmd.as_str(), rest) {
+        ("query", [text]) => {
+            let started = std::time::Instant::now();
+            let resp = client.query_ql(text).map_err(|e| e.to_string())?;
+            let elapsed = started.elapsed();
+            match resp {
+                graphbi::Response::Records(r) => {
+                    println!("{} matching records ({elapsed:.2?})", r.len());
+                    for (i, &rid) in r.records.iter().take(10).enumerate() {
+                        let row: Vec<String> = r.row(i).iter().map(|v| format!("{v:.2}")).collect();
+                        println!("  record {rid}: [{}]", row.join(", "));
+                    }
+                }
+                graphbi::Response::Matches(b) => {
+                    println!("{} matching records ({elapsed:.2?})", b.len());
+                    for rid in b.iter().take(10) {
+                        println!("  record {rid}");
+                    }
+                }
+                graphbi::Response::Aggregates(a) => {
+                    println!(
+                        "{} matching records × {} paths ({elapsed:.2?})",
+                        a.len(),
+                        a.path_count
+                    );
+                    for (i, &rid) in a.records.iter().take(10).enumerate() {
+                        let row: Vec<String> = a.row(i).iter().map(|v| format!("{v:.2}")).collect();
+                        println!("  record {rid}: [{}]", row.join(", "));
+                    }
+                }
+            }
+        }
+        ("insert", elems) if !elems.is_empty() => {
+            let op = graphbi_serve::protocol::parse_op(&format!("insert {}", elems.join(" ")))
+                .map_err(|e| e.to_string())?;
+            let (generation, epoch) = client.commit(&[op]).map_err(|e| e.to_string())?;
+            println!("committed (generation {generation}, epoch {epoch})");
+        }
+        ("profile", [text]) => {
+            let req = parse_request(text, client.universe())?;
+            println!("{}", client.profile(&req).map_err(|e| e.to_string())?);
+        }
+        ("metrics", []) => print!("{}", client.metrics().map_err(|e| e.to_string())?),
+        _ => return Err(format!("unknown connect subcommand {cmd:?}")),
+    }
+    client.quit().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +465,41 @@ mod tests {
         assert!(run(&s(&["synth", "mars", "10", "/tmp/x"])).is_err());
         assert!(run(&s(&["stats"])).is_err());
         assert!(run(&s(&["queryd", "/nonexistent", "nan", "[a]"])).is_err());
+        assert!(run(&s(&["serve", "/nonexistent"])).is_err());
+        assert!(run(&s(&["connect"])).is_err());
+        assert!(run(&s(&["connect", "127.0.0.1:1", "metrics"])).is_err());
+    }
+
+    #[test]
+    fn serve_connect_round_trip() {
+        let dir = tmpdir("serve");
+        let dirs = dir.to_string_lossy().to_string();
+        run(&s(&["synth", "ny", "120", &dirs])).unwrap();
+        let uni = std::fs::read_to_string(dir.join("universe.txt")).unwrap();
+        let nodes: Vec<&str> = uni.lines().filter_map(|l| l.strip_prefix("n ")).collect();
+        let edge_line = uni.lines().find_map(|l| l.strip_prefix("e ")).unwrap();
+        let (a, b) = edge_line.split_once(' ').unwrap();
+        let (a, b): (usize, usize) = (a.parse().unwrap(), b.parse().unwrap());
+        let q = format!("[{},{}]", nodes[a], nodes[b]);
+
+        let store = open(&dir).unwrap();
+        let server = graphbi_serve::Server::start(
+            graphbi_serve::ServeStore::Mvcc(std::sync::Arc::new(graphbi::MvccStore::new_mem(
+                store,
+            ))),
+            "127.0.0.1:0",
+            graphbi_serve::ServeConfig::default(),
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        run(&s(&["connect", &addr, "query", &q])).unwrap();
+        run(&s(&["connect", &addr, "query", &format!("SUM {q}")])).unwrap();
+        run(&s(&["connect", &addr, "profile", &q])).unwrap();
+        run(&s(&["connect", &addr, "metrics"])).unwrap();
+        run(&s(&["connect", &addr, "insert", "0:1.5", "1:2.0"])).unwrap();
+        assert!(run(&s(&["connect", &addr, "insert", "notanop"])).is_err());
+        assert!(run(&s(&["connect", &addr, "bogus"])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -717,6 +717,12 @@ impl DiskGraphStore {
 }
 
 impl Session for DiskGraphStore {
+    /// `EXPLAIN ANALYZE` for the disk engine; additionally reports the
+    /// column cache's hit/miss/eviction deltas over the request.
+    fn profile(&self, request: &QueryRequest) -> Result<(Response, crate::Profile), SessionError> {
+        crate::explain::profile_request(self, "disk", Some(self.relation()), request)
+    }
+
     fn execute(&self, request: &QueryRequest) -> Result<(Response, IoStats), SessionError> {
         self.execute_cols(request, &self.direct())
     }

@@ -1,0 +1,306 @@
+//! Stable error codes: one numeric + symbolic vocabulary for every error
+//! the system can produce, in-process and on the wire.
+//!
+//! Before this module, retryability and corruption detection were ad-hoc
+//! `match`es scattered per error enum (`DiskError::is_corruption`,
+//! `StoreError::is_corruption`, …). An [`ErrorCode`] names each failure
+//! once and groups it into a *class* by its hundreds digit, so the
+//! predicates become class checks that hold by construction for every
+//! error — including ones added later:
+//!
+//! | class | meaning                        | retry?          |
+//! |-------|--------------------------------|-----------------|
+//! | 1xx   | invalid request                | no — fix the request |
+//! | 2xx   | transient / environmental      | yes             |
+//! | 3xx   | corruption (damaged state)     | no — restore    |
+//! | 5xx   | internal                       | no — report     |
+//!
+//! The wire protocol (`graphbi-serve`) sends `ERR <code> <SYMBOL> <msg>`,
+//! so a remote client classifies failures with the same
+//! [`ErrorCode::is_transient`] / [`ErrorCode::is_corruption`] predicates a
+//! local caller uses. The [`Coded`] trait maps every error enum in the
+//! workspace onto its code.
+
+use graphbi_columnstore::StoreError;
+use graphbi_graph::{GraphError, UniverseIoError};
+
+use crate::disk::DiskError;
+use crate::session::SessionError;
+
+/// A stable numeric + symbolic error code. Codes never change meaning
+/// once released; new failures get new codes within their class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    // -- 1xx: the request itself is invalid; retrying cannot help. -------
+    /// A node name was not present in the universe.
+    UnknownNode = 100,
+    /// A query referenced an edge absent from the universe.
+    UnknownEdge = 101,
+    /// Path aggregation over a cyclic query graph.
+    CyclicQuery = 102,
+    /// A path with fewer than one node.
+    EmptyPath = 103,
+    /// A request or frame that did not parse (wire grammar, protocol).
+    Malformed = 110,
+    /// The operation is not supported by this backend or protocol version.
+    Unsupported = 111,
+
+    // -- 2xx: transient / environmental; the same request may succeed
+    //    later without modification. -------------------------------------
+    /// Filesystem or network failure.
+    Io = 200,
+    /// The write-ahead log is poisoned; commits fail until compaction.
+    WalPoisoned = 201,
+    /// The server's admission queue was full for the whole timeout.
+    Busy = 210,
+    /// The operation timed out.
+    Timeout = 211,
+
+    // -- 3xx: damaged or partial persistent state. -----------------------
+    /// A store file failed integrity verification.
+    Corrupt = 300,
+    /// On-disk bytes did not decode.
+    Decode = 301,
+    /// A store file's layout was malformed.
+    BadFormat = 302,
+    /// The universe sidecar was malformed.
+    UniverseFormat = 303,
+    /// The views metadata sidecar was malformed.
+    ViewsMeta = 304,
+
+    // -- 5xx: internal. ---------------------------------------------------
+    /// An invariant the server relies on failed (e.g. a worker vanished
+    /// mid-request). Never expected; always a bug.
+    Internal = 500,
+}
+
+impl ErrorCode {
+    /// Every code, in numeric order (drives exhaustive round-trip tests).
+    pub const ALL: [ErrorCode; 15] = [
+        ErrorCode::UnknownNode,
+        ErrorCode::UnknownEdge,
+        ErrorCode::CyclicQuery,
+        ErrorCode::EmptyPath,
+        ErrorCode::Malformed,
+        ErrorCode::Unsupported,
+        ErrorCode::Io,
+        ErrorCode::WalPoisoned,
+        ErrorCode::Busy,
+        ErrorCode::Timeout,
+        ErrorCode::Corrupt,
+        ErrorCode::Decode,
+        ErrorCode::BadFormat,
+        ErrorCode::UniverseFormat,
+        ErrorCode::ViewsMeta,
+    ];
+
+    /// The stable numeric value (wire representation).
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// The code for a numeric value, if any is defined. `Internal` is
+    /// resolvable too, so a client can round-trip every code a server
+    /// may send.
+    pub fn from_u16(n: u16) -> Option<ErrorCode> {
+        if n == 500 {
+            return Some(ErrorCode::Internal);
+        }
+        ErrorCode::ALL.iter().copied().find(|c| c.as_u16() == n)
+    }
+
+    /// The stable symbolic name (wire representation, `SCREAMING_CASE`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ErrorCode::UnknownNode => "UNKNOWN_NODE",
+            ErrorCode::UnknownEdge => "UNKNOWN_EDGE",
+            ErrorCode::CyclicQuery => "CYCLIC_QUERY",
+            ErrorCode::EmptyPath => "EMPTY_PATH",
+            ErrorCode::Malformed => "MALFORMED",
+            ErrorCode::Unsupported => "UNSUPPORTED",
+            ErrorCode::Io => "IO",
+            ErrorCode::WalPoisoned => "WAL_POISONED",
+            ErrorCode::Busy => "BUSY",
+            ErrorCode::Timeout => "TIMEOUT",
+            ErrorCode::Corrupt => "CORRUPT",
+            ErrorCode::Decode => "DECODE",
+            ErrorCode::BadFormat => "BAD_FORMAT",
+            ErrorCode::UniverseFormat => "UNIVERSE_FORMAT",
+            ErrorCode::ViewsMeta => "VIEWS_META",
+            ErrorCode::Internal => "INTERNAL",
+        }
+    }
+
+    /// True for the 1xx class: the request is at fault and retrying the
+    /// identical request cannot succeed.
+    pub fn is_invalid_request(self) -> bool {
+        (100..200).contains(&self.as_u16())
+    }
+
+    /// True for the 2xx class: environmental; the same request may
+    /// succeed on retry (possibly after backoff or compaction).
+    pub fn is_transient(self) -> bool {
+        (200..300).contains(&self.as_u16())
+    }
+
+    /// True for the 3xx class: persistent state is damaged or partial.
+    pub fn is_corruption(self) -> bool {
+        (300..400).contains(&self.as_u16())
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.as_u16(), self.symbol())
+    }
+}
+
+/// An error that maps onto the stable [`ErrorCode`] vocabulary.
+///
+/// Implemented for every error enum in the workspace; predicates like
+/// `is_corruption` delegate to the code's class, so a new variant is
+/// classified correctly the moment it is assigned a code.
+pub trait Coded {
+    /// The stable code classifying this error.
+    fn code(&self) -> ErrorCode;
+}
+
+impl Coded for GraphError {
+    fn code(&self) -> ErrorCode {
+        match self {
+            GraphError::UnknownNode(_) => ErrorCode::UnknownNode,
+            GraphError::UnknownEdge { .. } => ErrorCode::UnknownEdge,
+            GraphError::CyclicQuery => ErrorCode::CyclicQuery,
+            GraphError::EmptyPath => ErrorCode::EmptyPath,
+        }
+    }
+}
+
+impl Coded for StoreError {
+    fn code(&self) -> ErrorCode {
+        match self {
+            StoreError::Io(_) => ErrorCode::Io,
+            StoreError::Decode(_) => ErrorCode::Decode,
+            StoreError::Format(_) => ErrorCode::BadFormat,
+            StoreError::Corrupt { .. } => ErrorCode::Corrupt,
+        }
+    }
+}
+
+impl Coded for UniverseIoError {
+    fn code(&self) -> ErrorCode {
+        match self {
+            UniverseIoError::Io(_) => ErrorCode::Io,
+            UniverseIoError::Format { .. } => ErrorCode::UniverseFormat,
+        }
+    }
+}
+
+impl Coded for DiskError {
+    fn code(&self) -> ErrorCode {
+        match self {
+            DiskError::Store(e) => e.code(),
+            DiskError::Universe(e) => e.code(),
+            DiskError::Graph(e) => e.code(),
+            DiskError::ViewsMeta(_) => ErrorCode::ViewsMeta,
+        }
+    }
+}
+
+impl Coded for SessionError {
+    fn code(&self) -> ErrorCode {
+        match self {
+            SessionError::Graph(e) => e.code(),
+            SessionError::Disk(e) => e.code(),
+            SessionError::Unsupported(_) => ErrorCode::Unsupported,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_numerically() {
+        for c in ErrorCode::ALL.into_iter().chain([ErrorCode::Internal]) {
+            assert_eq!(ErrorCode::from_u16(c.as_u16()), Some(c), "{c}");
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(999), None);
+    }
+
+    #[test]
+    fn classes_partition_by_hundreds() {
+        for c in ErrorCode::ALL.into_iter().chain([ErrorCode::Internal]) {
+            let classes = [c.is_invalid_request(), c.is_transient(), c.is_corruption()];
+            let n = classes.iter().filter(|&&b| b).count();
+            assert!(n <= 1, "{c} is in {n} classes");
+            if c == ErrorCode::Internal {
+                assert_eq!(n, 0);
+            } else {
+                assert_eq!(n, 1, "{c} belongs to no class");
+            }
+        }
+    }
+
+    #[test]
+    fn predicates_match_legacy_semantics() {
+        // The class predicates must agree with the hand-written matches
+        // they replaced.
+        let cases: Vec<(Box<dyn Coded>, bool, bool)> = vec![
+            // (error, was is_corruption, is transient)
+            (
+                Box::new(StoreError::Format("x")) as Box<dyn Coded>,
+                true,
+                false,
+            ),
+            (
+                Box::new(StoreError::Corrupt {
+                    file: "f".into(),
+                    what: "w",
+                }),
+                true,
+                false,
+            ),
+            (
+                Box::new(StoreError::Io(std::io::Error::other("x"))),
+                false,
+                true,
+            ),
+            (Box::new(DiskError::ViewsMeta("bad")), true, false),
+            (
+                Box::new(DiskError::Universe(UniverseIoError::Format {
+                    line: 1,
+                    what: "w",
+                })),
+                true,
+                false,
+            ),
+            (
+                Box::new(DiskError::Graph(GraphError::CyclicQuery)),
+                false,
+                false,
+            ),
+            (
+                Box::new(SessionError::Graph(GraphError::EmptyPath)),
+                false,
+                false,
+            ),
+        ];
+        for (e, corrupt, transient) in cases {
+            assert_eq!(e.code().is_corruption(), corrupt, "{:?}", e.code());
+            assert_eq!(e.code().is_transient(), transient, "{:?}", e.code());
+        }
+    }
+
+    #[test]
+    fn symbols_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in ErrorCode::ALL.into_iter().chain([ErrorCode::Internal]) {
+            assert!(seen.insert(c.symbol()), "duplicate symbol {}", c.symbol());
+        }
+        assert_eq!(ErrorCode::Busy.to_string(), "210 BUSY");
+    }
+}

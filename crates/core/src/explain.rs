@@ -80,10 +80,10 @@ pub struct PhaseStat {
 
 /// `EXPLAIN ANALYZE`: what one executed request actually did.
 ///
-/// Produced by [`GraphStore::profile`] and
-/// [`crate::disk::DiskGraphStore::profile`], which run the request under a
-/// private span collector. Tracing never changes answers or logical
-/// [`IoStats`] — the testkit oracle re-checks that on every run.
+/// Produced by [`Session::profile`], which runs the request under a
+/// private span collector; each backend's override reports its own
+/// backend label. Tracing never changes answers or logical [`IoStats`] —
+/// the testkit oracle re-checks that on every run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Profile {
     /// Which engine ran the request (`"memory"` or `"disk"`).
@@ -308,22 +308,6 @@ impl Profile {
             self.cache_hits, self.cache_misses, self.cache_evictions
         );
         out
-    }
-}
-
-impl GraphStore {
-    /// `EXPLAIN ANALYZE` for the in-memory engine: executes `request`
-    /// under a span collector and returns the answer plus its [`Profile`].
-    pub fn profile(&self, request: &QueryRequest) -> Result<(Response, Profile), SessionError> {
-        profile_request(self, "memory", None, request)
-    }
-}
-
-impl crate::disk::DiskGraphStore {
-    /// `EXPLAIN ANALYZE` for the disk engine; additionally reports the
-    /// column cache's hit/miss/eviction deltas over the request.
-    pub fn profile(&self, request: &QueryRequest) -> Result<(Response, Profile), SessionError> {
-        profile_request(self, "disk", Some(self.relation()), request)
     }
 }
 

@@ -54,6 +54,7 @@
 
 pub mod disk;
 mod engine;
+pub mod errcode;
 mod explain;
 mod groups;
 pub mod mvcc;
@@ -65,8 +66,10 @@ mod statistics;
 mod store;
 mod topk;
 mod viewmgr;
+mod wire;
 
 pub use engine::EvalOptions;
+pub use errcode::{Coded, ErrorCode};
 pub use explain::{PhaseStat, Plan, Profile, PHASE_NAMES};
 pub use groups::GroupIndex;
 pub use mvcc::{MvccStore, Snapshot};
@@ -76,6 +79,7 @@ pub use statistics::{EdgeSelectivity, StoreStatistics};
 pub use store::GraphStore;
 pub use topk::RankedRecord;
 pub use viewmgr::{AggViewDef, GraphViewDef};
+pub use wire::WireError;
 
 // The vocabulary types users need alongside the store.
 pub use graphbi_bitmap::{Bitmap, RecordId};

@@ -91,6 +91,23 @@ impl BaseHandle {
         }
     }
 
+    fn evaluate_many(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<(Response, IoStats)>, SessionError> {
+        match self {
+            BaseHandle::Mem(s) => s.evaluate_many(requests),
+            BaseHandle::Disk(d) => d.evaluate_many(requests),
+        }
+    }
+
+    fn profile(&self, request: &QueryRequest) -> Result<(Response, crate::Profile), SessionError> {
+        match self {
+            BaseHandle::Mem(s) => s.profile(request),
+            BaseHandle::Disk(d) => d.profile(request),
+        }
+    }
+
     fn universe(&self) -> &Universe {
         match self {
             BaseHandle::Mem(s) => s.universe(),
@@ -369,6 +386,10 @@ impl Session for MvccStore {
     ) -> Result<Vec<(Response, IoStats)>, SessionError> {
         self.snapshot().evaluate_many(requests)
     }
+
+    fn profile(&self, request: &QueryRequest) -> Result<(Response, crate::Profile), SessionError> {
+        self.snapshot().profile(request)
+    }
 }
 
 /// Extracts the full record list back out of a master relation — the
@@ -438,6 +459,11 @@ impl Snapshot {
     /// Records visible at this snapshot.
     pub fn record_count(&self) -> u64 {
         self.delta.record_count_at(self.epoch)
+    }
+
+    /// The universe shared by base and delta records.
+    pub fn universe(&self) -> &Universe {
+        self.base.universe()
     }
 
     /// Delta-visible records matching `query`, plus the retired-base mask
@@ -606,6 +632,31 @@ impl Session for Snapshot {
             }
             RequestKind::Aggregate(paq) => self.merged_aggregate(paq, request),
         }
+    }
+
+    /// Batched evaluation: with no delta visible at the pinned epoch the
+    /// whole batch takes the base store's batched path (duplicate
+    /// elimination, shared column fetches) — this is what lets the serve
+    /// layer coalesce requests from many connections pinned to the same
+    /// `(generation, epoch)` into one `evaluate_many` call. With a live
+    /// delta, requests run serially over the merged view.
+    fn evaluate_many(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<(Response, IoStats)>, SessionError> {
+        if self.delta.is_empty_at(self.epoch) {
+            return self.base.evaluate_many(requests);
+        }
+        requests.iter().map(|r| self.execute(r)).collect()
+    }
+
+    /// Profiles against the pinned state; with no delta visible the base
+    /// backend's own profiler (and label) answers.
+    fn profile(&self, request: &QueryRequest) -> Result<(Response, crate::Profile), SessionError> {
+        if self.delta.is_empty_at(self.epoch) {
+            return self.base.profile(request);
+        }
+        crate::explain::profile_request(self, "mvcc", None, request)
     }
 }
 

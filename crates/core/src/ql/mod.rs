@@ -69,6 +69,8 @@ pub enum QlError {
     Resolve(ResolveError),
     /// Execution failure (e.g. aggregation over a cyclic pattern).
     Execute(graphbi_graph::GraphError),
+    /// The statement has no [`crate::QueryRequest`] form (e.g. `TOP k`).
+    Unsupported(&'static str),
 }
 
 impl std::fmt::Display for QlError {
@@ -78,11 +80,30 @@ impl std::fmt::Display for QlError {
             QlError::Parse(e) => write!(f, "parse error: {e}"),
             QlError::Resolve(e) => write!(f, "resolve error: {e}"),
             QlError::Execute(e) => write!(f, "execution error: {e}"),
+            QlError::Unsupported(what) => write!(f, "unsupported statement: {what}"),
         }
     }
 }
 
 impl std::error::Error for QlError {}
+
+/// Parses a paper-notation statement against `universe` into an
+/// executable [`crate::QueryRequest`] — the one text→request path shared
+/// by the CLI, the `graphbi-serve` client and the docs. `TOP k`
+/// statements have no session form and are rejected with
+/// [`QlError::Unsupported`].
+pub fn request_from_text(
+    text: &str,
+    universe: &graphbi_graph::Universe,
+) -> Result<crate::QueryRequest, QlError> {
+    let statement = parse(&lex(text).map_err(QlError::Lex)?).map_err(QlError::Parse)?;
+    match resolve(&statement, universe).map_err(QlError::Resolve)? {
+        Resolved::Expr(graphbi_graph::QueryExpr::Atom(q)) => Ok(crate::QueryRequest::new(q)),
+        Resolved::Expr(e) => Ok(crate::QueryRequest::expr(e)),
+        Resolved::Agg(paq) => Ok(crate::QueryRequest::aggregate(paq)),
+        Resolved::TopAgg(..) => Err(QlError::Unsupported("TOP-k statements")),
+    }
+}
 
 impl GraphStore {
     /// Parses, resolves and executes a textual query.

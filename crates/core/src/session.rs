@@ -84,7 +84,7 @@ impl QueryRequest {
         QueryRequest::of(RequestKind::Aggregate(query))
     }
 
-    fn of(kind: RequestKind) -> QueryRequest {
+    pub(crate) fn of(kind: RequestKind) -> QueryRequest {
         QueryRequest {
             kind,
             options: EvalOptions::default(),
@@ -155,16 +155,27 @@ pub enum SessionError {
     Graph(GraphError),
     /// Disk-backend failure.
     Disk(DiskError),
+    /// The operation is not supported by this backend.
+    Unsupported(&'static str),
 }
 
 impl SessionError {
-    /// True when the error reports damaged or partial on-disk state (see
-    /// [`DiskError::is_corruption`]); false for query-model errors.
+    /// The stable [`ErrorCode`](crate::ErrorCode) classifying this error
+    /// (see [`crate::errcode`]) — what travels on the wire.
+    pub fn code(&self) -> crate::ErrorCode {
+        crate::errcode::Coded::code(self)
+    }
+
+    /// True when the error reports damaged or partial on-disk state — a
+    /// 3xx-class [`ErrorCode`](crate::ErrorCode).
     pub fn is_corruption(&self) -> bool {
-        match self {
-            SessionError::Graph(_) => false,
-            SessionError::Disk(e) => e.is_corruption(),
-        }
+        self.code().is_corruption()
+    }
+
+    /// True when the failure is environmental and the identical request
+    /// may succeed on retry — a 2xx-class [`ErrorCode`](crate::ErrorCode).
+    pub fn is_transient(&self) -> bool {
+        self.code().is_transient()
     }
 }
 
@@ -173,6 +184,7 @@ impl std::fmt::Display for SessionError {
         match self {
             SessionError::Graph(e) => write!(f, "query: {e}"),
             SessionError::Disk(e) => write!(f, "disk: {e}"),
+            SessionError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }
 }
@@ -213,6 +225,17 @@ pub trait Session {
         requests: &[QueryRequest],
     ) -> Result<Vec<(Response, IoStats)>, SessionError> {
         requests.iter().map(|r| self.execute(r)).collect()
+    }
+
+    /// `EXPLAIN ANALYZE`: executes `request` under a private span
+    /// collector and returns the answer plus its [`crate::Profile`].
+    ///
+    /// Part of the trait so profiling needs no backend-specific entry
+    /// point; backends override it to report their own backend label (and,
+    /// on disk, column-cache deltas). Tracing never changes answers or
+    /// logical [`IoStats`].
+    fn profile(&self, request: &QueryRequest) -> Result<(Response, crate::Profile), SessionError> {
+        crate::explain::profile_request(self, "session", None, request)
     }
 }
 

@@ -118,6 +118,10 @@ impl Session for SharedSnapshot<'_> {
     ) -> Result<Vec<(Response, IoStats)>, SessionError> {
         self.guard.evaluate_many(requests)
     }
+
+    fn profile(&self, request: &QueryRequest) -> Result<(Response, crate::Profile), SessionError> {
+        self.guard.profile(request)
+    }
 }
 
 impl Session for SharedStore {
@@ -135,6 +139,11 @@ impl Session for SharedStore {
         requests: &[QueryRequest],
     ) -> Result<Vec<(Response, IoStats)>, SessionError> {
         self.read(|s| s.evaluate_many(requests))
+    }
+
+    /// Profiles under a read lock, in parallel with other readers.
+    fn profile(&self, request: &QueryRequest) -> Result<(Response, crate::Profile), SessionError> {
+        self.read(|s| s.profile(request))
     }
 }
 

@@ -399,6 +399,11 @@ impl GraphStore {
 }
 
 impl Session for GraphStore {
+    /// `EXPLAIN ANALYZE` for the in-memory engine.
+    fn profile(&self, request: &QueryRequest) -> Result<(Response, crate::Profile), SessionError> {
+        crate::explain::profile_request(self, "memory", None, request)
+    }
+
     fn execute(&self, request: &QueryRequest) -> Result<(Response, IoStats), SessionError> {
         match &request.kind {
             RequestKind::Graph(q) => {

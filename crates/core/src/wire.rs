@@ -1,0 +1,634 @@
+//! Canonical text serialization of the session API, mirroring
+//! [`Universe::to_text`](graphbi_graph::Universe::to_text)'s line-oriented
+//! style: [`QueryRequest`] and [`Response`] gain `to_text`/`parse_text`,
+//! and this one grammar is shared by the CLI, the `graphbi-serve` wire
+//! protocol, the testkit oracle and the docs.
+//!
+//! Round-trip is lossless *by construction*: the emitters print only
+//! canonical forms ([`GraphQuery`] edge lists are already sorted and
+//! deduplicated; floats print in Rust's shortest exact representation,
+//! which `f64::from_str` reads back bit-identically, `NaN`/`inf`
+//! included), so `parse_text(to_text(x))` rebuilds `x` without a
+//! normalization pass.
+//!
+//! # Grammar
+//!
+//! A request is one line:
+//!
+//! ```text
+//! graph views=<0|1> shards=<n> : <edge-id>*
+//! expr  views=<0|1> shards=<n> : <rpn-token>+
+//! agg <FUNC> views=<0|1> shards=<n> : <edge-id>*
+//! ```
+//!
+//! Expression payloads are postfix (RPN): an atom token is the atom's
+//! edge-id list joined by `,` (`_` for the empty atom); `AND`, `OR` and
+//! `ANDNOT` pop two operands. A response is a block of lines:
+//!
+//! ```text
+//! records n=<rows> edges <edge-id>*      matches n=<bits>     aggregates n=<rows> paths=<p>
+//! r <rid> <measure>*                     m <rid>*             r <rid> <value>*
+//! ```
+//!
+//! Blocks are self-delimiting (`n=` announces the row count), so several
+//! responses concatenate into one stream — how `BATCH` answers travel.
+
+use std::str::FromStr;
+
+use graphbi_bitmap::Bitmap;
+use graphbi_graph::{
+    AggFn, EdgeId, GraphQuery, PathAggQuery, PathAggResult, QueryExpr, QueryResult,
+};
+
+use crate::engine::EvalOptions;
+use crate::session::{QueryRequest, RequestKind, Response};
+
+/// Match-id chunking: `matches` blocks print at most this many record ids
+/// per `m` line, keeping lines short for log-friendliness.
+const MATCH_CHUNK: usize = 512;
+
+/// A wire-grammar violation: which line failed and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Offending line number within the parsed text (1-based).
+    pub line: usize,
+    /// What was wrong.
+    pub what: String,
+}
+
+impl WireError {
+    fn new(line: usize, what: impl Into<String>) -> WireError {
+        WireError {
+            line,
+            what: what.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire: line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Formats a measure so that parsing it back is bit-identical: Rust's
+/// shortest-exact float formatting, with `NaN`/`inf`/`-inf` spelled the
+/// way [`f64::from_str`] accepts.
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+fn parse_f64(tok: &str, line: usize) -> Result<f64, WireError> {
+    f64::from_str(tok).map_err(|_| WireError::new(line, format!("bad float {tok:?}")))
+}
+
+fn parse_edge(tok: &str, line: usize) -> Result<EdgeId, WireError> {
+    tok.parse::<u32>()
+        .map(EdgeId)
+        .map_err(|_| WireError::new(line, format!("bad edge id {tok:?}")))
+}
+
+/// Parses a `key=value` token, insisting on the expected key — the
+/// grammar is canonical, so field order is fixed and every field present.
+fn parse_kv<'a>(tok: Option<&'a str>, key: &str, line: usize) -> Result<&'a str, WireError> {
+    let tok = tok.ok_or_else(|| WireError::new(line, format!("missing {key}=")))?;
+    tok.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| WireError::new(line, format!("expected {key}=…, got {tok:?}")))
+}
+
+fn parse_usize(tok: &str, line: usize) -> Result<usize, WireError> {
+    tok.parse::<usize>()
+        .map_err(|_| WireError::new(line, format!("bad count {tok:?}")))
+}
+
+fn atom_token(q: &GraphQuery) -> String {
+    if q.edges().is_empty() {
+        "_".to_owned()
+    } else {
+        let ids: Vec<String> = q.edges().iter().map(|e| e.0.to_string()).collect();
+        ids.join(",")
+    }
+}
+
+fn parse_atom(tok: &str, line: usize) -> Result<GraphQuery, WireError> {
+    if tok == "_" {
+        return Ok(GraphQuery::from_edges(vec![]));
+    }
+    let mut edges = Vec::new();
+    for part in tok.split(',') {
+        edges.push(parse_edge(part, line)?);
+    }
+    Ok(GraphQuery::from_edges(edges))
+}
+
+fn expr_rpn(e: &QueryExpr, out: &mut Vec<String>) {
+    match e {
+        QueryExpr::Atom(q) => out.push(atom_token(q)),
+        QueryExpr::And(a, b) => {
+            expr_rpn(a, out);
+            expr_rpn(b, out);
+            out.push("AND".to_owned());
+        }
+        QueryExpr::Or(a, b) => {
+            expr_rpn(a, out);
+            expr_rpn(b, out);
+            out.push("OR".to_owned());
+        }
+        QueryExpr::AndNot(a, b) => {
+            expr_rpn(a, out);
+            expr_rpn(b, out);
+            out.push("ANDNOT".to_owned());
+        }
+    }
+}
+
+fn parse_rpn<'a>(
+    tokens: impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<QueryExpr, WireError> {
+    let mut stack: Vec<QueryExpr> = Vec::new();
+    for tok in tokens {
+        match tok {
+            "AND" | "OR" | "ANDNOT" => {
+                let b = stack
+                    .pop()
+                    .ok_or_else(|| WireError::new(line, format!("{tok} needs two operands")))?;
+                let a = stack
+                    .pop()
+                    .ok_or_else(|| WireError::new(line, format!("{tok} needs two operands")))?;
+                stack.push(match tok {
+                    "AND" => QueryExpr::and(a, b),
+                    "OR" => QueryExpr::or(a, b),
+                    _ => QueryExpr::and_not(a, b),
+                });
+            }
+            atom => stack.push(QueryExpr::Atom(parse_atom(atom, line)?)),
+        }
+    }
+    match (stack.pop(), stack.is_empty()) {
+        (Some(e), true) => Ok(e),
+        (Some(_), false) => Err(WireError::new(line, "unused expression operands")),
+        (None, _) => Err(WireError::new(line, "empty expression")),
+    }
+}
+
+fn parse_agg_fn(tok: &str, line: usize) -> Result<AggFn, WireError> {
+    match tok {
+        "SUM" => Ok(AggFn::Sum),
+        "MIN" => Ok(AggFn::Min),
+        "MAX" => Ok(AggFn::Max),
+        "COUNT" => Ok(AggFn::Count),
+        "AVG" => Ok(AggFn::Avg),
+        _ => Err(WireError::new(line, format!("unknown aggregate {tok:?}"))),
+    }
+}
+
+impl QueryRequest {
+    /// Renders the request as one canonical grammar line (no newline).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let knobs = format!(
+            "views={} shards={}",
+            u8::from(self.options.use_views),
+            self.shards
+        );
+        let mut out = String::new();
+        match &self.kind {
+            RequestKind::Graph(q) => {
+                let _ = write!(out, "graph {knobs} :");
+                for e in q.edges() {
+                    let _ = write!(out, " {}", e.0);
+                }
+            }
+            RequestKind::Expr(e) => {
+                let mut tokens = Vec::new();
+                expr_rpn(e, &mut tokens);
+                let _ = write!(out, "expr {knobs} : {}", tokens.join(" "));
+            }
+            RequestKind::Aggregate(p) => {
+                let _ = write!(out, "agg {} {knobs} :", p.func.name());
+                for e in p.query.edges() {
+                    let _ = write!(out, " {}", e.0);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses one grammar line back into a request.
+    pub fn parse_text(text: &str) -> Result<QueryRequest, WireError> {
+        let line = 1;
+        let mut toks = text.split_whitespace();
+        let verb = toks
+            .next()
+            .ok_or_else(|| WireError::new(line, "empty request"))?;
+        let func = if verb == "agg" {
+            Some(parse_agg_fn(
+                toks.next()
+                    .ok_or_else(|| WireError::new(line, "agg needs a function"))?,
+                line,
+            )?)
+        } else {
+            None
+        };
+        let views = match parse_kv(toks.next(), "views", line)? {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(WireError::new(
+                    line,
+                    format!("views must be 0|1, got {other:?}"),
+                ))
+            }
+        };
+        let shards = parse_usize(parse_kv(toks.next(), "shards", line)?, line)?;
+        match toks.next() {
+            Some(":") => {}
+            other => return Err(WireError::new(line, format!("expected ':', got {other:?}"))),
+        }
+        let kind = match verb {
+            "graph" => {
+                let mut edges = Vec::new();
+                for tok in toks {
+                    edges.push(parse_edge(tok, line)?);
+                }
+                RequestKind::Graph(GraphQuery::from_edges(edges))
+            }
+            "expr" => RequestKind::Expr(parse_rpn(toks, line)?),
+            "agg" => {
+                let mut edges = Vec::new();
+                for tok in toks {
+                    edges.push(parse_edge(tok, line)?);
+                }
+                RequestKind::Aggregate(PathAggQuery::new(
+                    GraphQuery::from_edges(edges),
+                    func.expect("agg verb parsed a function"),
+                ))
+            }
+            other => return Err(WireError::new(line, format!("unknown verb {other:?}"))),
+        };
+        let options = if views {
+            EvalOptions::default()
+        } else {
+            EvalOptions::oblivious()
+        };
+        Ok(QueryRequest::of(kind).opts(options).shards(shards))
+    }
+}
+
+impl Response {
+    /// Renders the response as a self-delimiting block of grammar lines
+    /// (trailing newline included).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match self {
+            Response::Records(r) => {
+                let _ = write!(out, "records n={} edges", r.records.len());
+                for e in &r.edges {
+                    let _ = write!(out, " {}", e.0);
+                }
+                out.push('\n');
+                for (i, &rid) in r.records.iter().enumerate() {
+                    let _ = write!(out, "r {rid}");
+                    for v in r.row(i) {
+                        let _ = write!(out, " {}", fmt_f64(*v));
+                    }
+                    out.push('\n');
+                }
+            }
+            Response::Matches(b) => {
+                let _ = writeln!(out, "matches n={}", b.len());
+                let ids: Vec<u32> = b.iter().collect();
+                for chunk in ids.chunks(MATCH_CHUNK) {
+                    out.push('m');
+                    for id in chunk {
+                        let _ = write!(out, " {id}");
+                    }
+                    out.push('\n');
+                }
+            }
+            Response::Aggregates(r) => {
+                let _ = writeln!(
+                    out,
+                    "aggregates n={} paths={}",
+                    r.records.len(),
+                    r.path_count
+                );
+                for (i, &rid) in r.records.iter().enumerate() {
+                    let _ = write!(out, "r {rid}");
+                    for v in r.row(i) {
+                        let _ = write!(out, " {}", fmt_f64(*v));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of grammar lines [`Response::to_text`] produces — what a
+    /// framed protocol announces before the block.
+    pub fn line_count(&self) -> usize {
+        match self {
+            Response::Records(r) => 1 + r.records.len(),
+            Response::Matches(b) => {
+                1 + (usize::try_from(b.len()).unwrap_or(usize::MAX)).div_ceil(MATCH_CHUNK)
+            }
+            Response::Aggregates(r) => 1 + r.records.len(),
+        }
+    }
+
+    /// Parses exactly one response block; the text must contain nothing
+    /// else.
+    pub fn parse_text(text: &str) -> Result<Response, WireError> {
+        let mut lines = text.lines();
+        let mut lineno = 0usize;
+        let resp = Response::read_block(&mut lines, &mut lineno)?;
+        match lines.next() {
+            None => Ok(resp),
+            Some(extra) => Err(WireError::new(
+                lineno + 1,
+                format!("trailing content {extra:?}"),
+            )),
+        }
+    }
+
+    /// Reads one self-delimiting response block from a line stream,
+    /// leaving the stream positioned after it — `BATCH` answers are
+    /// parsed by calling this once per request. `lineno` counts consumed
+    /// lines for error reporting.
+    pub fn read_block<'a, I>(lines: &mut I, lineno: &mut usize) -> Result<Response, WireError>
+    where
+        I: Iterator<Item = &'a str>,
+    {
+        let head = next_line(lines, lineno, "expected response header")?;
+        let head_no = *lineno;
+        let mut toks = head.split_whitespace();
+        let verb = toks
+            .next()
+            .ok_or_else(|| WireError::new(head_no, "empty response header"))?;
+        match verb {
+            "records" => {
+                let n = parse_usize(parse_kv(toks.next(), "n", head_no)?, head_no)?;
+                match toks.next() {
+                    Some("edges") => {}
+                    other => {
+                        return Err(WireError::new(
+                            head_no,
+                            format!("expected 'edges', got {other:?}"),
+                        ))
+                    }
+                }
+                let mut edges = Vec::new();
+                for tok in toks {
+                    edges.push(parse_edge(tok, head_no)?);
+                }
+                let mut records = Vec::with_capacity(n);
+                let mut measures = Vec::with_capacity(n * edges.len());
+                for _ in 0..n {
+                    let row = next_line(lines, lineno, "expected 'r' row")?;
+                    let rid = parse_row(row, "r", 1 + edges.len(), *lineno, &mut measures)?;
+                    records.push(rid);
+                }
+                Ok(Response::Records(QueryResult {
+                    records,
+                    edges,
+                    measures,
+                }))
+            }
+            "matches" => {
+                let n = parse_usize(parse_kv(toks.next(), "n", head_no)?, head_no)?;
+                if let Some(extra) = toks.next() {
+                    return Err(WireError::new(head_no, format!("trailing token {extra:?}")));
+                }
+                let mut ids: Vec<u32> = Vec::with_capacity(n);
+                while ids.len() < n {
+                    let row = next_line(lines, lineno, "expected 'm' row")?;
+                    let mut row_toks = row.split_whitespace();
+                    if row_toks.next() != Some("m") {
+                        return Err(WireError::new(*lineno, "expected 'm' row"));
+                    }
+                    let before = ids.len();
+                    for tok in row_toks {
+                        ids.push(tok.parse::<u32>().map_err(|_| {
+                            WireError::new(*lineno, format!("bad record id {tok:?}"))
+                        })?);
+                    }
+                    if ids.len() == before || ids.len() - before > MATCH_CHUNK {
+                        return Err(WireError::new(*lineno, "bad 'm' chunk size"));
+                    }
+                }
+                if ids.len() != n {
+                    return Err(WireError::new(
+                        *lineno,
+                        format!("match count mismatch: {} != {n}", ids.len()),
+                    ));
+                }
+                Ok(Response::Matches(ids.into_iter().collect::<Bitmap>()))
+            }
+            "aggregates" => {
+                let n = parse_usize(parse_kv(toks.next(), "n", head_no)?, head_no)?;
+                let paths = parse_usize(parse_kv(toks.next(), "paths", head_no)?, head_no)?;
+                if let Some(extra) = toks.next() {
+                    return Err(WireError::new(head_no, format!("trailing token {extra:?}")));
+                }
+                let mut records = Vec::with_capacity(n);
+                let mut values = Vec::with_capacity(n * paths);
+                for _ in 0..n {
+                    let row = next_line(lines, lineno, "expected 'r' row")?;
+                    let rid = parse_row(row, "r", 1 + paths, *lineno, &mut values)?;
+                    records.push(rid);
+                }
+                Ok(Response::Aggregates(PathAggResult {
+                    records,
+                    path_count: paths,
+                    values,
+                }))
+            }
+            other => Err(WireError::new(
+                head_no,
+                format!("unknown response header {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Consumes one line from the stream, bumping the line counter.
+fn next_line<'a, I>(lines: &mut I, lineno: &mut usize, what: &str) -> Result<&'a str, WireError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    *lineno += 1;
+    lines
+        .next()
+        .ok_or_else(|| WireError::new(*lineno, format!("unexpected end of block: {what}")))
+}
+
+/// Parses one `r <rid> <float>*` row with an exact token count, pushing
+/// the floats onto `out` and returning the record id.
+fn parse_row(
+    row: &str,
+    tag: &str,
+    width: usize,
+    lineno: usize,
+    out: &mut Vec<f64>,
+) -> Result<u32, WireError> {
+    let mut toks = row.split_whitespace();
+    if toks.next() != Some(tag) {
+        return Err(WireError::new(lineno, format!("expected {tag:?} row")));
+    }
+    let rid = toks
+        .next()
+        .ok_or_else(|| WireError::new(lineno, "row missing record id"))?
+        .parse::<u32>()
+        .map_err(|_| WireError::new(lineno, "bad record id"))?;
+    let mut got = 1usize;
+    for tok in toks {
+        out.push(parse_f64(tok, lineno)?);
+        got += 1;
+    }
+    if got != width {
+        return Err(WireError::new(
+            lineno,
+            format!("row width {got} != {width}"),
+        ));
+    }
+    Ok(rid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::QueryRequest;
+
+    fn q(ids: &[u32]) -> GraphQuery {
+        GraphQuery::from_edges(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    #[test]
+    fn request_round_trips_every_kind() {
+        let reqs = vec![
+            QueryRequest::new(q(&[3, 1, 2])),
+            QueryRequest::new(q(&[])).oblivious().shards(8),
+            QueryRequest::expr(QueryExpr::and_not(
+                QueryExpr::or(QueryExpr::Atom(q(&[1, 2])), QueryExpr::Atom(q(&[]))),
+                QueryExpr::Atom(q(&[7])),
+            ))
+            .shards(4),
+            QueryRequest::aggregate(PathAggQuery::new(q(&[5, 6]), AggFn::Avg)).oblivious(),
+        ];
+        for r in reqs {
+            let text = r.to_text();
+            let back = QueryRequest::parse_text(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(back, r, "{text}");
+            assert_eq!(back.to_text(), text, "re-render must be stable");
+        }
+    }
+
+    #[test]
+    fn request_grammar_examples_are_stable() {
+        assert_eq!(
+            QueryRequest::new(q(&[2, 1])).to_text(),
+            "graph views=1 shards=1 : 1 2"
+        );
+        assert_eq!(
+            QueryRequest::expr(QueryExpr::Atom(q(&[]))).to_text(),
+            "expr views=1 shards=1 : _"
+        );
+        assert_eq!(
+            QueryRequest::aggregate(PathAggQuery::new(q(&[1]), AggFn::Sum))
+                .oblivious()
+                .shards(2)
+                .to_text(),
+            "agg SUM views=0 shards=2 : 1"
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for bad in [
+            "",
+            "graph",
+            "graph views=2 shards=1 :",
+            "graph views=1 shards=x :",
+            "graph views=1 shards=1",
+            "graph views=1 shards=1 : nope",
+            "expr views=1 shards=1 :",
+            "expr views=1 shards=1 : 1 2 AND AND",
+            "expr views=1 shards=1 : 1 2",
+            "agg FROB views=1 shards=1 : 1",
+            "frob views=1 shards=1 :",
+        ] {
+            assert!(QueryRequest::parse_text(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips_including_nan_and_inf() {
+        let resps = vec![
+            Response::Records(QueryResult {
+                records: vec![0, 3],
+                edges: vec![EdgeId(1), EdgeId(4)],
+                measures: vec![1.5, f64::NAN, f64::INFINITY, -0.0],
+            }),
+            Response::Records(QueryResult {
+                records: vec![],
+                edges: vec![],
+                measures: vec![],
+            }),
+            Response::Matches((0..1300u32).collect()),
+            Response::Matches(Bitmap::new()),
+            Response::Aggregates(PathAggResult {
+                records: vec![7],
+                path_count: 2,
+                values: vec![f64::NEG_INFINITY, 1e300],
+            }),
+        ];
+        for r in resps {
+            let text = r.to_text();
+            assert_eq!(text.lines().count(), r.line_count(), "{text}");
+            let back = Response::parse_text(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            // NaN breaks value equality; canonical text equality is the
+            // lossless-by-construction check.
+            assert_eq!(back.to_text(), text);
+        }
+    }
+
+    #[test]
+    fn response_blocks_self_delimit() {
+        let a = Response::Matches((0..5u32).collect());
+        let b = Response::Records(QueryResult {
+            records: vec![1],
+            edges: vec![EdgeId(0)],
+            measures: vec![2.25],
+        });
+        let stream = format!("{}{}", a.to_text(), b.to_text());
+        let mut lines = stream.lines();
+        let mut lineno = 0;
+        let got_a = Response::read_block(&mut lines, &mut lineno).unwrap();
+        let got_b = Response::read_block(&mut lines, &mut lineno).unwrap();
+        assert_eq!(got_a.to_text(), a.to_text());
+        assert_eq!(got_b.to_text(), b.to_text());
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn malformed_responses_are_typed_errors() {
+        for bad in [
+            "",
+            "records n=1 edges 0\n",
+            "records n=1 edges 0\nr 1\n",
+            "records n=1 edges 0\nr 1 2.0 3.0\n",
+            "matches n=3\nm 1 2\n",
+            "matches n=1\nz 1\n",
+            "aggregates n=1 paths=1\nr x 1.0\n",
+            "records n=0 edges\nextra\n",
+        ] {
+            assert!(Response::parse_text(bad).is_err(), "{bad:?}");
+        }
+    }
+}

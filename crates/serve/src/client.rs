@@ -1,0 +1,312 @@
+//! A blocking client for the wire protocol.
+//!
+//! `Client::connect` performs the `HELLO` handshake and caches the
+//! served [`Universe`], so QL statements can be compiled locally with
+//! [`Client::query_ql`] and commit ops can name edges symbolically.
+//! Every method sends one verb frame and parses exactly one status
+//! frame; `BUSY` and `ERR` surface as typed [`ClientError`] variants
+//! carrying the server's stable [`ErrorCode`] number.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use graphbi::{QueryRequest, Response, WireError};
+use graphbi_columnstore::DeltaOp;
+use graphbi_graph::Universe;
+
+use crate::protocol::{self, PROTOCOL_VERSION};
+
+/// What went wrong talking to a server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered something the protocol does not allow.
+    Protocol(String),
+    /// The server refused admission (backpressure) — retry later.
+    Busy { code: u16, message: String },
+    /// The server answered a typed error frame.
+    Remote {
+        code: u16,
+        symbol: String,
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Busy { code, message } => write!(f, "busy ({code}): {message}"),
+            ClientError::Remote {
+                code,
+                symbol,
+                message,
+            } => write!(f, "server error {code} {symbol}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// A parsed `OK` head: its `k=v` fields.
+struct OkHead {
+    generation: Option<u64>,
+    epoch: Option<u64>,
+    count: Option<usize>,
+    lines: usize,
+}
+
+/// One connection to a `graphbi` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    universe: Universe,
+    generation: u64,
+    epoch: u64,
+}
+
+impl Client {
+    /// Connects and completes the `HELLO` handshake, caching the served
+    /// universe and the session's pinned `(generation, epoch)`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            universe: Universe::default(),
+            generation: 0,
+            epoch: 0,
+        };
+        writeln!(client.writer, "HELLO {PROTOCOL_VERSION}")?;
+        client.writer.flush()?;
+        let head = client.read_head()?;
+        let body = client.read_lines(head.lines)?;
+        client.universe = Universe::parse_text(&body)
+            .map_err(|e| ClientError::Protocol(format!("bad universe in HELLO reply: {e}")))?;
+        client.note_pin(&head);
+        Ok(client)
+    }
+
+    /// The universe this server serves (cached from `HELLO`).
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The session's pinned generation (meaningful on MVCC backends).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The session's pinned epoch (meaningful on MVCC backends).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn note_pin(&mut self, head: &OkHead) {
+        if let Some(g) = head.generation {
+            self.generation = g;
+        }
+        if let Some(e) = head.epoch {
+            self.epoch = e;
+        }
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed mid-response".into(),
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Reads one status frame; `OK` parses into a head, `ERR`/`BUSY`
+    /// become typed errors.
+    fn read_head(&mut self) -> Result<OkHead, ClientError> {
+        let line = self.read_line()?;
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("OK") => {
+                let mut head = OkHead {
+                    generation: None,
+                    epoch: None,
+                    count: None,
+                    lines: 0,
+                };
+                let mut saw_lines = false;
+                for tok in toks {
+                    let Some((k, v)) = tok.split_once('=') else {
+                        // Bare token — the version echo in the HELLO reply.
+                        continue;
+                    };
+                    let bad =
+                        || ClientError::Protocol(format!("bad head field {tok:?} in {line:?}"));
+                    match k {
+                        "generation" => head.generation = Some(v.parse().map_err(|_| bad())?),
+                        "epoch" => head.epoch = Some(v.parse().map_err(|_| bad())?),
+                        "count" => head.count = Some(v.parse().map_err(|_| bad())?),
+                        "lines" => {
+                            head.lines = v.parse().map_err(|_| bad())?;
+                            saw_lines = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if !saw_lines {
+                    return Err(ClientError::Protocol(format!(
+                        "OK head without lines= field: {line:?}"
+                    )));
+                }
+                Ok(head)
+            }
+            Some("BUSY") => {
+                let code: u16 = toks.next().and_then(|t| t.parse().ok()).unwrap_or(0);
+                let message = toks.collect::<Vec<_>>().join(" ");
+                Err(ClientError::Busy { code, message })
+            }
+            Some("ERR") => {
+                let code: u16 = toks.next().and_then(|t| t.parse().ok()).unwrap_or(0);
+                let symbol = toks.next().unwrap_or("").to_owned();
+                let message = toks.collect::<Vec<_>>().join(" ");
+                Err(ClientError::Remote {
+                    code,
+                    symbol,
+                    message,
+                })
+            }
+            _ => Err(ClientError::Protocol(format!(
+                "unrecognized status frame {line:?}"
+            ))),
+        }
+    }
+
+    /// Reads `n` payload lines into one newline-terminated string.
+    fn read_lines(&mut self, n: usize) -> Result<String, ClientError> {
+        let mut out = String::new();
+        for _ in 0..n {
+            out.push_str(&self.read_line()?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Executes one request on the session's pinned state.
+    pub fn query(&mut self, request: &QueryRequest) -> Result<Response, ClientError> {
+        writeln!(self.writer, "QUERY {}", request.to_text())?;
+        self.writer.flush()?;
+        let head = self.read_head()?;
+        let body = self.read_lines(head.lines)?;
+        Ok(Response::parse_text(&body)?)
+    }
+
+    /// Compiles a QL statement against the cached universe and executes
+    /// it — the same grammar `graphbi query` accepts.
+    pub fn query_ql(&mut self, text: &str) -> Result<Response, ClientError> {
+        let request = graphbi::ql::request_from_text(text, &self.universe)
+            .map_err(|e| ClientError::Protocol(format!("ql: {e}")))?;
+        self.query(&request)
+    }
+
+    /// Executes many requests in one frame; the server may coalesce them
+    /// (and concurrent requests from other connections) into shared
+    /// batches. Answers come back in request order.
+    pub fn batch(&mut self, requests: &[QueryRequest]) -> Result<Vec<Response>, ClientError> {
+        writeln!(self.writer, "BATCH {}", requests.len())?;
+        for r in requests {
+            writeln!(self.writer, "{}", r.to_text())?;
+        }
+        self.writer.flush()?;
+        let head = self.read_head()?;
+        if head.count != Some(requests.len()) {
+            return Err(ClientError::Protocol(format!(
+                "BATCH answered count={:?}, sent {}",
+                head.count,
+                requests.len()
+            )));
+        }
+        let body = self.read_lines(head.lines)?;
+        let mut lines = body.lines();
+        let mut lineno = 0usize;
+        let mut out = Vec::with_capacity(requests.len());
+        for _ in 0..requests.len() {
+            out.push(Response::read_block(&mut lines, &mut lineno)?);
+        }
+        Ok(out)
+    }
+
+    /// Commits ops atomically and re-pins the session past the commit
+    /// (read-your-writes).
+    pub fn commit(&mut self, ops: &[DeltaOp]) -> Result<(u64, u64), ClientError> {
+        writeln!(self.writer, "COMMIT {}", ops.len())?;
+        for op in ops {
+            writeln!(self.writer, "{}", protocol::op_to_text(op))?;
+        }
+        self.writer.flush()?;
+        let head = self.read_head()?;
+        self.note_pin(&head);
+        Ok((self.generation, self.epoch))
+    }
+
+    /// Profiles one request on the server; returns the profile JSON.
+    pub fn profile(&mut self, request: &QueryRequest) -> Result<String, ClientError> {
+        writeln!(self.writer, "PROFILE {}", request.to_text())?;
+        self.writer.flush()?;
+        let head = self.read_head()?;
+        let body = self.read_lines(head.lines)?;
+        Ok(body.trim_end().to_owned())
+    }
+
+    /// Scrapes the server's metrics registry (Prometheus text format).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        writeln!(self.writer, "METRICS")?;
+        self.writer.flush()?;
+        let head = self.read_head()?;
+        self.read_lines(head.lines)
+    }
+
+    /// Re-pins the session to the store's latest state.
+    pub fn refresh(&mut self) -> Result<(u64, u64), ClientError> {
+        writeln!(self.writer, "REFRESH")?;
+        self.writer.flush()?;
+        let head = self.read_head()?;
+        self.note_pin(&head);
+        Ok((self.generation, self.epoch))
+    }
+
+    /// Says goodbye and closes the connection.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        writeln!(self.writer, "QUIT")?;
+        self.writer.flush()?;
+        let _ = self.read_head()?;
+        Ok(())
+    }
+
+    /// Sends a raw frame line and returns the raw status line — the
+    /// escape hatch `graphbi connect` and tests use to poke the protocol
+    /// directly (including malformed frames).
+    pub fn send_raw(&mut self, line: &str) -> Result<String, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+}

@@ -1,0 +1,198 @@
+//! The admission-controlled bounded queue at the heart of the server.
+//!
+//! Every connection funnels its requests here; a single batcher drains
+//! runs of compatible jobs into one `evaluate_many` call. The queue is
+//! the backpressure point: depth is fixed at construction, and an
+//! [`AdmissionQueue::offer`] that cannot place its item within the
+//! admission timeout returns it to the caller — which answers the client
+//! with a typed `BUSY` instead of buffering unboundedly.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` (two condvars: producers wait
+//! on `not_full`, the consumer on `not_empty`), so the server adds no
+//! dependencies beyond the standard library.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue with timed admission and keyed batch draining.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    depth: usize,
+}
+
+/// Why an [`AdmissionQueue::offer`] failed; the item comes back so the
+/// caller can still answer its client.
+#[derive(Debug)]
+pub enum OfferError<T> {
+    /// The queue stayed full for the whole admission timeout.
+    Full(T),
+    /// The queue is shut down.
+    Closed(T),
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `depth` waiting items.
+    pub fn new(depth: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Current queue depth (for gauges).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// True when no items wait.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tries to enqueue `item`, waiting at most `timeout` for space.
+    pub fn offer(&self, item: T, timeout: Duration) -> Result<(), OfferError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.closed {
+                return Err(OfferError::Closed(item));
+            }
+            if inner.items.len() < self.depth {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(OfferError::Full(item));
+            }
+            let (guard, _timeout) = self
+                .not_full
+                .wait_timeout(inner, deadline - now)
+                .expect("queue lock");
+            inner = guard;
+        }
+    }
+
+    /// Takes the next run of compatible jobs: the front item plus the
+    /// following items for which `same(front, item)` holds, up to `max`.
+    /// Order within the queue is preserved (a run never jumps over an
+    /// incompatible item, so no request is starved or reordered past a
+    /// barrier). Blocks while the queue is empty; returns `None` only
+    /// after [`AdmissionQueue::close`] once every queued item has been
+    /// drained — nothing is dropped unanswered.
+    pub fn take_batch(&self, max: usize, same: impl Fn(&T, &T) -> bool) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(front) = inner.items.pop_front() {
+                let mut batch = vec![front];
+                while batch.len() < max.max(1) {
+                    match inner.items.front() {
+                        Some(next) if same(&batch[0], next) => {
+                            let next = inner.items.pop_front().expect("front exists");
+                            batch.push(next);
+                        }
+                        _ => break,
+                    }
+                }
+                drop(inner);
+                self.not_full.notify_all();
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Shuts the queue down: subsequent offers fail fast, and
+    /// [`AdmissionQueue::take_batch`] drains what remains then returns
+    /// `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn offer_times_out_when_full() {
+        let q = AdmissionQueue::new(2);
+        q.offer(1, Duration::from_millis(1)).unwrap();
+        q.offer(2, Duration::from_millis(1)).unwrap();
+        let started = Instant::now();
+        match q.offer(3, Duration::from_millis(30)) {
+            Err(OfferError::Full(3)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert!(started.elapsed() >= Duration::from_millis(30));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn take_batch_groups_compatible_runs() {
+        let q = AdmissionQueue::new(16);
+        for key in [1, 1, 1, 2, 1] {
+            q.offer(key, Duration::from_millis(1)).unwrap();
+        }
+        let same = |a: &i32, b: &i32| a == b;
+        assert_eq!(q.take_batch(8, same), Some(vec![1, 1, 1]));
+        assert_eq!(q.take_batch(8, same), Some(vec![2]));
+        assert_eq!(q.take_batch(8, same), Some(vec![1]));
+    }
+
+    #[test]
+    fn take_batch_respects_max() {
+        let q = AdmissionQueue::new(16);
+        for _ in 0..5 {
+            q.offer(7, Duration::from_millis(1)).unwrap();
+        }
+        assert_eq!(q.take_batch(2, |a, b| a == b), Some(vec![7, 7]));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        q.offer(1, Duration::from_millis(1)).unwrap();
+        q.close();
+        assert!(matches!(
+            q.offer(2, Duration::from_millis(1)),
+            Err(OfferError::Closed(2))
+        ));
+        assert_eq!(q.take_batch(8, |_, _| true), Some(vec![1]));
+        assert_eq!(q.take_batch(8, |_, _| true), None);
+    }
+
+    #[test]
+    fn blocked_producer_wakes_on_drain() {
+        let q = Arc::new(AdmissionQueue::new(1));
+        q.offer(1, Duration::from_millis(1)).unwrap();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.offer(2, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.take_batch(1, |_, _| true), Some(vec![1]));
+        t.join().unwrap().expect("offer succeeds after drain");
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,762 @@
+//! The concurrent TCP server: per-connection sessions over a shared
+//! store, with cross-connection request batching.
+//!
+//! # Architecture
+//!
+//! One thread accepts connections; each connection gets a handler thread
+//! that parses frames and *enqueues* query jobs rather than executing
+//! them. A single batcher thread drains the [`AdmissionQueue`] in runs of
+//! jobs pinned to the same store state and answers each run with **one**
+//! [`Session::evaluate_many`] call — so requests arriving concurrently on
+//! different connections share duplicate-elimination, column fetches and
+//! the worker pool exactly like an in-process batch (PR 2's scaling
+//! trick, now across the network).
+//!
+//! # Sessions and snapshots
+//!
+//! A connection pins its view of the store at `HELLO` time. Over an
+//! [`MvccStore`] that is a real `(generation, epoch)` snapshot: answers
+//! stay stable while writers commit, until the connection `REFRESH`es or
+//! commits itself (read-your-writes). Batching respects pins — only jobs
+//! on the same `(generation, epoch)` coalesce, so a batch can never mix
+//! two points in time.
+//!
+//! # Backpressure state machine
+//!
+//! ```text
+//!             offer(job, admission_timeout)
+//! CLIENT ──▶ queue has room? ──yes──▶ ADMITTED ──▶ batched ──▶ OK …
+//!                │ no
+//!                ▼ wait ≤ admission_timeout
+//!            room appeared? ──yes──▶ ADMITTED
+//!                │ no (timeout)
+//!                ▼
+//!            BUSY 210 … (typed, within the timeout; nothing buffered)
+//! ```
+//!
+//! Memory is bounded end-to-end: frame lines are capped
+//! ([`MAX_LINE_BYTES`]), batch counts are capped ([`MAX_BATCH`]), and the
+//! queue holds at most `queue_depth` jobs — overload degrades into
+//! prompt, typed `BUSY` responses, never into growth.
+
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use graphbi::{
+    Coded, ErrorCode, MvccStore, QueryRequest, Response, Session, SessionError, SharedStore,
+    Snapshot,
+};
+use graphbi_columnstore::{DeltaOp, IoStats};
+
+use crate::protocol::{self, Verb, MAX_LINE_BYTES, PROTOCOL_VERSION};
+use crate::queue::{AdmissionQueue, OfferError};
+
+/// Server tuning knobs. The defaults favour throughput under bursty
+/// load; tests tighten them to force the backpressure paths.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Admission queue depth: jobs waiting for the batcher.
+    pub queue_depth: usize,
+    /// How long an arriving request may wait for queue space before the
+    /// server answers `BUSY`.
+    pub admission_timeout: Duration,
+    /// Largest run of jobs coalesced into one `evaluate_many` call.
+    pub batch_max: usize,
+    /// Artificial stall before each batch executes — `0` in production;
+    /// tests and benchmarks raise it to make queueing deterministic.
+    pub batch_delay: Duration,
+    /// Socket read poll interval; bounds how fast handler threads notice
+    /// shutdown.
+    pub read_timeout: Duration,
+    /// When true the server installs a span collector on its threads, so
+    /// per-connection `serve.request` / `serve.batch` spans land in a
+    /// tracer reachable via [`Server::collector`]. Off by default:
+    /// a collector accumulates spans without bound, which a long-running
+    /// server must not.
+    pub trace: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_depth: 256,
+            admission_timeout: Duration::from_millis(100),
+            batch_max: 64,
+            batch_delay: Duration::ZERO,
+            read_timeout: Duration::from_millis(100),
+            trace: false,
+        }
+    }
+}
+
+/// The store a server fronts: lock-shared or MVCC.
+#[derive(Clone)]
+pub enum ServeStore {
+    /// Reader-writer lock over one [`graphbi::GraphStore`]; sessions pin
+    /// nothing (every query sees the latest state).
+    Shared(SharedStore),
+    /// MVCC store; sessions pin `(generation, epoch)` snapshots.
+    Mvcc(Arc<MvccStore>),
+}
+
+/// A connection's pinned execution state.
+#[derive(Clone)]
+enum Pinned {
+    Shared(SharedStore),
+    Mvcc(Arc<Snapshot>),
+}
+
+impl Pinned {
+    /// Jobs coalesce only within one key: the pinned `(generation,
+    /// epoch)`. Shared stores have a single timeline, so every job
+    /// shares key `(0, 0)` — `SharedStore::evaluate_many` still answers
+    /// the whole batch under one read lock.
+    fn batch_key(&self) -> (u64, u64) {
+        match self {
+            Pinned::Shared(_) => (0, 0),
+            Pinned::Mvcc(s) => (s.generation(), s.epoch()),
+        }
+    }
+
+    fn info(&self) -> (u64, u64) {
+        self.batch_key()
+    }
+
+    fn execute(&self, request: &QueryRequest) -> Result<(Response, IoStats), SessionError> {
+        match self {
+            Pinned::Shared(s) => s.execute(request),
+            Pinned::Mvcc(s) => s.execute(request),
+        }
+    }
+
+    fn evaluate_many(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<(Response, IoStats)>, SessionError> {
+        match self {
+            Pinned::Shared(s) => s.evaluate_many(requests),
+            Pinned::Mvcc(s) => s.evaluate_many(requests),
+        }
+    }
+
+    fn profile(
+        &self,
+        request: &QueryRequest,
+    ) -> Result<(Response, graphbi::Profile), SessionError> {
+        match self {
+            Pinned::Shared(s) => s.profile(request),
+            Pinned::Mvcc(s) => s.profile(request),
+        }
+    }
+}
+
+impl ServeStore {
+    fn pin(&self) -> Pinned {
+        match self {
+            ServeStore::Shared(s) => Pinned::Shared(s.clone()),
+            ServeStore::Mvcc(m) => Pinned::Mvcc(Arc::new(m.snapshot())),
+        }
+    }
+
+    fn universe_text(&self) -> String {
+        match self {
+            ServeStore::Shared(s) => s.read(|g| g.universe().to_text()),
+            ServeStore::Mvcc(m) => m.snapshot().universe().to_text(),
+        }
+    }
+
+    fn edge_count(&self) -> usize {
+        match self {
+            ServeStore::Shared(s) => s.read(|g| g.universe().edge_count()),
+            ServeStore::Mvcc(m) => m.snapshot().universe().edge_count(),
+        }
+    }
+
+    /// Applies a commit atomically (one write lock / one MVCC commit).
+    fn commit(&self, ops: &[DeltaOp]) -> Result<(), (ErrorCode, String)> {
+        let edges = self.edge_count() as u32;
+        for op in ops {
+            let rec = match op {
+                DeltaOp::Insert(r) => r,
+                DeltaOp::Update(_, r) => r,
+            };
+            if let Some((e, _)) = rec.edges().iter().find(|(e, _)| e.0 >= edges) {
+                return Err((
+                    ErrorCode::UnknownEdge,
+                    format!("edge id {} is not in the universe (< {edges})", e.0),
+                ));
+            }
+        }
+        match self {
+            ServeStore::Shared(s) => {
+                if ops.iter().any(|op| matches!(op, DeltaOp::Update(..))) {
+                    return Err((
+                        ErrorCode::Unsupported,
+                        "update ops need an MVCC store (serve --mvcc)".into(),
+                    ));
+                }
+                s.write(|g| {
+                    for op in ops {
+                        if let DeltaOp::Insert(rec) = op {
+                            g.append_record(rec);
+                        }
+                    }
+                });
+                Ok(())
+            }
+            ServeStore::Mvcc(m) => match m.commit(ops) {
+                Ok(_epoch) => Ok(()),
+                Err(e) => Err((e.code(), e.to_string())),
+            },
+        }
+    }
+}
+
+/// An indexed answer on its way back to the handler that enqueued it.
+type Reply = (usize, Result<(Response, IoStats), SessionError>);
+
+/// One queued request: where it runs, where its answer goes.
+struct Job {
+    pinned: Pinned,
+    request: QueryRequest,
+    index: usize,
+    reply: mpsc::Sender<Reply>,
+    enqueued: Instant,
+}
+
+struct Ctx {
+    store: ServeStore,
+    cfg: ServeConfig,
+    queue: AdmissionQueue<Job>,
+    shutdown: AtomicBool,
+    collector: Option<Arc<graphbi_obs::Collector>>,
+    /// The universe text served by `HELLO`, rendered once.
+    hello_text: String,
+}
+
+/// A running server; dropping it shuts the server down.
+pub struct Server {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections.
+    pub fn start(store: ServeStore, addr: &str, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let hello_text = store.universe_text();
+        let collector = cfg.trace.then(|| Arc::new(graphbi_obs::Collector::new()));
+        let ctx = Arc::new(Ctx {
+            store,
+            queue: AdmissionQueue::new(cfg.queue_depth),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            collector,
+            hello_text,
+        });
+        let batcher = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || batcher_loop(&ctx))
+        };
+        let accept = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || accept_loop(listener, &ctx))
+        };
+        Ok(Server {
+            addr: local,
+            ctx,
+            accept: Some(accept),
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (resolves the port when started with `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The span collector, when started with [`ServeConfig::trace`].
+    pub fn collector(&self) -> Option<&Arc<graphbi_obs::Collector>> {
+        self.ctx.collector.as_ref()
+    }
+
+    /// Stops accepting, drains every queued job (each still gets its
+    /// response), and joins all threads.
+    pub fn shutdown(&mut self) {
+        if self.ctx.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        self.ctx.queue.close();
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.batcher.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server stops (`graphbi serve` runs forever on
+    /// this).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.batcher.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: &Arc<Ctx>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let ctx = Arc::clone(ctx);
+        handlers.push(std::thread::spawn(move || {
+            let _tracing = ctx.collector.as_ref().map(graphbi_obs::install);
+            graphbi_obs::global()
+                .counter("graphbi_serve_connections_total")
+                .inc();
+            graphbi_obs::global()
+                .gauge("graphbi_serve_connections")
+                .add(1);
+            let peer = handle_connection(stream, &ctx);
+            graphbi_obs::global()
+                .gauge("graphbi_serve_connections")
+                .add(-1);
+            drop(peer);
+        }));
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// How one frame-line read ended.
+enum FrameLine {
+    Line(String),
+    Eof,
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line with a hard length cap, polling the
+/// socket's read timeout so shutdown is noticed promptly. A partial line
+/// at EOF (or shutdown) is discarded — it was never a complete frame.
+fn read_frame_line(reader: &mut BufReader<TcpStream>, ctx: &Ctx) -> io::Result<FrameLine> {
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return Ok(FrameLine::Eof);
+        }
+        let buf = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return Ok(FrameLine::Eof);
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                out.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                if out.len() > MAX_LINE_BYTES {
+                    return Ok(FrameLine::TooLong);
+                }
+                return Ok(FrameLine::Line(String::from_utf8_lossy(&out).into_owned()));
+            }
+            None => {
+                let n = buf.len();
+                out.extend_from_slice(buf);
+                reader.consume(n);
+                if out.len() > MAX_LINE_BYTES {
+                    return Ok(FrameLine::TooLong);
+                }
+            }
+        }
+    }
+}
+
+/// What a dispatch attempt answers when it cannot produce results.
+enum Refusal {
+    Busy(String),
+    Fail(ErrorCode, String),
+}
+
+/// Enqueues `requests` for the batcher and collects the answers in
+/// request order. The whole group fails with the first request error —
+/// answers already computed for it are discarded, never half-reported.
+fn dispatch(
+    ctx: &Ctx,
+    pinned: &Pinned,
+    requests: Vec<QueryRequest>,
+) -> Result<Vec<(Response, IoStats)>, Refusal> {
+    let n = requests.len();
+    let (tx, rx) = mpsc::channel();
+    for (index, request) in requests.into_iter().enumerate() {
+        let job = Job {
+            pinned: pinned.clone(),
+            request,
+            index,
+            reply: tx.clone(),
+            enqueued: Instant::now(),
+        };
+        match ctx.queue.offer(job, ctx.cfg.admission_timeout) {
+            Ok(()) => {}
+            Err(OfferError::Full(_)) => {
+                graphbi_obs::global()
+                    .counter("graphbi_serve_busy_total")
+                    .inc();
+                return Err(Refusal::Busy(format!(
+                    "admission queue full ({} deep) for {:?}",
+                    ctx.cfg.queue_depth, ctx.cfg.admission_timeout
+                )));
+            }
+            Err(OfferError::Closed(_)) => {
+                return Err(Refusal::Fail(ErrorCode::Io, "server shutting down".into()))
+            }
+        }
+    }
+    drop(tx);
+    let mut results: Vec<Option<(Response, IoStats)>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        match rx.recv_timeout(Duration::from_secs(120)) {
+            Ok((i, Ok(r))) => results[i] = Some(r),
+            Ok((_, Err(e))) => return Err(Refusal::Fail(e.code(), e.to_string())),
+            Err(_) => {
+                return Err(Refusal::Fail(
+                    ErrorCode::Internal,
+                    "batcher reply lost".into(),
+                ))
+            }
+        }
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every index answered"))
+        .collect())
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
+    stream.set_read_timeout(Some(ctx.cfg.read_timeout))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let reg = graphbi_obs::global();
+
+    // Handshake: the first frame must be HELLO with our version.
+    let first = match read_frame_line(&mut reader, ctx)? {
+        FrameLine::Line(l) => l,
+        FrameLine::Eof => return Ok(()),
+        FrameLine::TooLong => {
+            writeln!(
+                writer,
+                "{}",
+                protocol::render_err(ErrorCode::Malformed, "line exceeds frame cap")
+            )?;
+            return Ok(());
+        }
+    };
+    match protocol::parse_verb(&first) {
+        Ok(Verb::Hello(v)) if v == PROTOCOL_VERSION => {}
+        Ok(Verb::Hello(v)) => {
+            writeln!(
+                writer,
+                "{}",
+                protocol::render_err(
+                    ErrorCode::Unsupported,
+                    &format!("protocol {v:?}; this server speaks {PROTOCOL_VERSION}")
+                )
+            )?;
+            return Ok(());
+        }
+        Ok(_) | Err(_) => {
+            writeln!(
+                writer,
+                "{}",
+                protocol::render_err(ErrorCode::Malformed, "first frame must be HELLO <version>")
+            )?;
+            return Ok(());
+        }
+    }
+    let mut pinned = ctx.store.pin();
+    let (gen, epoch) = pinned.info();
+    write!(
+        writer,
+        "OK {PROTOCOL_VERSION} generation={gen} epoch={epoch} lines={}\n{}",
+        ctx.hello_text.lines().count(),
+        ctx.hello_text
+    )?;
+    writer.flush()?;
+
+    loop {
+        let line = match read_frame_line(&mut reader, ctx)? {
+            FrameLine::Line(l) => l,
+            FrameLine::Eof => return Ok(()),
+            FrameLine::TooLong => {
+                // The stream can no longer be framed; answer and close.
+                writeln!(
+                    writer,
+                    "{}",
+                    protocol::render_err(ErrorCode::Malformed, "line exceeds frame cap")
+                )?;
+                return Ok(());
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let verb = match protocol::parse_verb(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                writeln!(
+                    writer,
+                    "{}",
+                    protocol::render_err(ErrorCode::Malformed, &e.to_string())
+                )?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        let mut sp = graphbi_obs::span("serve.request");
+        match verb {
+            Verb::Hello(_) => {
+                writeln!(
+                    writer,
+                    "{}",
+                    protocol::render_err(ErrorCode::Malformed, "HELLO already exchanged")
+                )?;
+            }
+            Verb::Query(payload) => {
+                sp.attr("requests", 1);
+                match QueryRequest::parse_text(&payload) {
+                    Err(e) => writeln!(
+                        writer,
+                        "{}",
+                        protocol::render_err(ErrorCode::Malformed, &e.to_string())
+                    )?,
+                    Ok(req) => {
+                        reg.counter("graphbi_serve_requests_total").inc();
+                        match dispatch(ctx, &pinned, vec![req]) {
+                            Ok(results) => {
+                                let (resp, _) = &results[0];
+                                let (gen, epoch) = pinned.info();
+                                write!(
+                                    writer,
+                                    "OK generation={gen} epoch={epoch} lines={}\n{}",
+                                    resp.line_count(),
+                                    resp.to_text()
+                                )?;
+                            }
+                            Err(r) => write_refusal(&mut writer, r)?,
+                        }
+                    }
+                }
+            }
+            Verb::Batch(k) => {
+                sp.attr("requests", k as u64);
+                // Consume all k payload lines before parsing, so a bad
+                // request never desynchronizes framing.
+                let mut raw = Vec::with_capacity(k);
+                for _ in 0..k {
+                    match read_frame_line(&mut reader, ctx)? {
+                        FrameLine::Line(l) => raw.push(l),
+                        FrameLine::Eof => return Ok(()),
+                        FrameLine::TooLong => {
+                            writeln!(
+                                writer,
+                                "{}",
+                                protocol::render_err(
+                                    ErrorCode::Malformed,
+                                    "line exceeds frame cap"
+                                )
+                            )?;
+                            return Ok(());
+                        }
+                    }
+                }
+                let parsed: Result<Vec<QueryRequest>, graphbi::WireError> =
+                    raw.iter().map(|l| QueryRequest::parse_text(l)).collect();
+                match parsed {
+                    Err(e) => writeln!(
+                        writer,
+                        "{}",
+                        protocol::render_err(ErrorCode::Malformed, &e.to_string())
+                    )?,
+                    Ok(reqs) => {
+                        reg.counter("graphbi_serve_requests_total").add(k as u64);
+                        match dispatch(ctx, &pinned, reqs) {
+                            Ok(results) => {
+                                let lines: usize =
+                                    results.iter().map(|(r, _)| r.line_count()).sum();
+                                let (gen, epoch) = pinned.info();
+                                writeln!(
+                                    writer,
+                                    "OK count={k} generation={gen} epoch={epoch} lines={lines}"
+                                )?;
+                                for (resp, _) in &results {
+                                    write!(writer, "{}", resp.to_text())?;
+                                }
+                            }
+                            Err(r) => write_refusal(&mut writer, r)?,
+                        }
+                    }
+                }
+            }
+            Verb::Commit(k) => {
+                sp.attr("ops", k as u64);
+                let mut raw = Vec::with_capacity(k);
+                for _ in 0..k {
+                    match read_frame_line(&mut reader, ctx)? {
+                        FrameLine::Line(l) => raw.push(l),
+                        FrameLine::Eof => return Ok(()),
+                        FrameLine::TooLong => {
+                            writeln!(
+                                writer,
+                                "{}",
+                                protocol::render_err(
+                                    ErrorCode::Malformed,
+                                    "line exceeds frame cap"
+                                )
+                            )?;
+                            return Ok(());
+                        }
+                    }
+                }
+                let parsed: Result<Vec<DeltaOp>, graphbi::WireError> =
+                    raw.iter().map(|l| protocol::parse_op(l)).collect();
+                match parsed {
+                    Err(e) => writeln!(
+                        writer,
+                        "{}",
+                        protocol::render_err(ErrorCode::Malformed, &e.to_string())
+                    )?,
+                    Ok(ops) => match ctx.store.commit(&ops) {
+                        Err((code, msg)) => {
+                            writeln!(writer, "{}", protocol::render_err(code, &msg))?
+                        }
+                        Ok(()) => {
+                            reg.counter("graphbi_serve_commits_total").inc();
+                            // Read-your-writes: re-pin past our own commit.
+                            pinned = ctx.store.pin();
+                            let (gen, epoch) = pinned.info();
+                            writeln!(writer, "OK generation={gen} epoch={epoch} lines=0")?;
+                        }
+                    },
+                }
+            }
+            Verb::Profile(payload) => match QueryRequest::parse_text(&payload) {
+                Err(e) => writeln!(
+                    writer,
+                    "{}",
+                    protocol::render_err(ErrorCode::Malformed, &e.to_string())
+                )?,
+                // Profiling runs solo on the handler thread — a profile
+                // measures one request, not its luck sharing a batch.
+                Ok(req) => match pinned.profile(&req) {
+                    Err(e) => {
+                        writeln!(writer, "{}", protocol::render_err(e.code(), &e.to_string()))?
+                    }
+                    Ok((_, prof)) => {
+                        writeln!(writer, "OK lines=1")?;
+                        writeln!(writer, "{}", prof.render_json())?;
+                    }
+                },
+            },
+            Verb::Metrics => {
+                let text = reg.snapshot().render_text();
+                write!(writer, "OK lines={}\n{text}", text.lines().count())?;
+            }
+            Verb::Refresh => {
+                pinned = ctx.store.pin();
+                let (gen, epoch) = pinned.info();
+                writeln!(writer, "OK generation={gen} epoch={epoch} lines=0")?;
+            }
+            Verb::Quit => {
+                writeln!(writer, "OK lines=0")?;
+                writer.flush()?;
+                return Ok(());
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+fn write_refusal(writer: &mut TcpStream, refusal: Refusal) -> io::Result<()> {
+    match refusal {
+        Refusal::Busy(msg) => writeln!(writer, "{}", protocol::render_busy(&msg)),
+        Refusal::Fail(code, msg) => writeln!(writer, "{}", protocol::render_err(code, &msg)),
+    }
+}
+
+/// The single batcher: drains compatible runs and answers each with one
+/// `evaluate_many`. On a batch-level error it falls back to per-request
+/// execution so one poisoned request cannot fail its neighbours.
+fn batcher_loop(ctx: &Arc<Ctx>) {
+    let _tracing = ctx.collector.as_ref().map(graphbi_obs::install);
+    let reg = graphbi_obs::global();
+    let batches = reg.counter("graphbi_serve_batches_total");
+    let batched = reg.counter("graphbi_serve_batched_requests_total");
+    let size_hist = reg.histogram("graphbi_serve_batch_size");
+    let wait_hist = reg.histogram("graphbi_serve_queue_wait_us");
+    let depth_gauge = reg.gauge("graphbi_serve_queue_depth");
+    while let Some(batch) = ctx.queue.take_batch(ctx.cfg.batch_max, |a, b| {
+        a.pinned.batch_key() == b.pinned.batch_key()
+    }) {
+        depth_gauge.set(ctx.queue.len() as i64);
+        if !ctx.cfg.batch_delay.is_zero() {
+            std::thread::sleep(ctx.cfg.batch_delay);
+        }
+        let mut sp = graphbi_obs::span("serve.batch");
+        sp.attr("size", batch.len() as u64);
+        batches.inc();
+        batched.add(batch.len() as u64);
+        size_hist.record(batch.len() as u64);
+        for job in &batch {
+            wait_hist.record(u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+        let requests: Vec<QueryRequest> = batch.iter().map(|j| j.request.clone()).collect();
+        match batch[0].pinned.evaluate_many(&requests) {
+            Ok(results) => {
+                for (job, result) in batch.into_iter().zip(results) {
+                    let _ = job.reply.send((job.index, Ok(result)));
+                }
+            }
+            Err(_) => {
+                for job in batch {
+                    let result = job.pinned.execute(&job.request);
+                    let _ = job.reply.send((job.index, result));
+                }
+            }
+        }
+    }
+}

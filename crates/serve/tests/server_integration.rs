@@ -1,0 +1,401 @@
+//! End-to-end server tests: every served answer must be bit-identical to
+//! the in-process `Session` answer, sessions must hold stable MVCC
+//! snapshots while writers commit, and overload must degrade into typed
+//! `BUSY` frames — never into hangs, drops or unbounded buffering.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphbi::{GraphStore, MvccStore, QueryRequest, Session, SharedStore};
+use graphbi_columnstore::DeltaOp;
+use graphbi_serve::{Client, ClientError, ServeConfig, ServeStore, Server};
+use graphbi_testkit::Scenario;
+
+/// The scenario's full request workload: graph queries, logical
+/// expressions and path aggregations.
+fn workload(scenario: &Scenario) -> Vec<QueryRequest> {
+    let mut reqs = Vec::new();
+    for q in &scenario.queries {
+        reqs.push(QueryRequest::new(q.clone()));
+    }
+    for e in &scenario.exprs {
+        reqs.push(QueryRequest::expr(e.clone()));
+    }
+    for a in &scenario.aggs {
+        reqs.push(QueryRequest::aggregate(a.clone()));
+    }
+    reqs
+}
+
+fn expected_texts(store: &impl Session, reqs: &[QueryRequest]) -> Vec<String> {
+    store
+        .evaluate_many(reqs)
+        .expect("in-process evaluation")
+        .into_iter()
+        .map(|(resp, _)| resp.to_text())
+        .collect()
+}
+
+#[test]
+fn mixed_protocol_session_matches_in_process() {
+    let scenario = Scenario::generate(7);
+    let mut store = GraphStore::load(scenario.universe.clone(), &scenario.records);
+    store.advise_views(&scenario.queries, scenario.view_budget);
+    let shared = SharedStore::new(store);
+    let reqs = workload(&scenario);
+    let expected = expected_texts(&shared, &reqs);
+
+    let server = Server::start(
+        ServeStore::Shared(shared.clone()),
+        "127.0.0.1:0",
+        ServeConfig {
+            trace: true,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    // The handshake serves the exact universe.
+    assert_eq!(client.universe().to_text(), scenario.universe.to_text());
+
+    // Single queries: bit-identical to in-process answers.
+    for (req, want) in reqs.iter().zip(&expected) {
+        let got = client.query(req).expect("query");
+        assert_eq!(&got.to_text(), want, "for {}", req.to_text());
+    }
+
+    // One BATCH frame answers the whole workload, in order.
+    let got = client.batch(&reqs).expect("batch");
+    for ((resp, want), req) in got.iter().zip(&expected).zip(&reqs) {
+        assert_eq!(&resp.to_text(), want, "batched {}", req.to_text());
+    }
+
+    // A malformed frame gets a typed error and leaves the session usable.
+    match client.send_raw("FROBNICATE 12") {
+        Ok(line) => assert!(line.starts_with("ERR 110 MALFORMED"), "{line:?}"),
+        Err(e) => panic!("malformed frame should answer, got {e}"),
+    }
+    let again = client.query(&reqs[0]).expect("query after malformed frame");
+    assert_eq!(again.to_text(), expected[0]);
+
+    // Profiling returns the JSON profile of a solo run.
+    let prof = client.profile(&reqs[0]).expect("profile");
+    assert!(prof.starts_with('{') && prof.ends_with('}'), "{prof:?}");
+
+    // Commit through the wire, then re-query: the inserted record is
+    // visible (shared backend has one timeline; COMMIT re-pins anyway).
+    let before = shared.read(|s| s.record_count());
+    let rec = scenario.records[0].clone();
+    client
+        .commit(&[DeltaOp::Insert(rec)])
+        .expect("commit insert");
+    assert_eq!(shared.read(|s| s.record_count()), before + 1);
+    let fresh = expected_texts(&shared, &reqs[..1]);
+    assert_eq!(
+        client.query(&reqs[0]).expect("post-commit query").to_text(),
+        fresh[0]
+    );
+
+    // An op referencing an unknown edge is refused with the stable code.
+    let bad = {
+        let mut b = graphbi_graph::RecordBuilder::new();
+        b.add(graphbi::EdgeId(u32::MAX - 1), 1.0);
+        DeltaOp::Insert(b.build())
+    };
+    match client.commit(&[bad]) {
+        Err(ClientError::Remote { code, symbol, .. }) => {
+            assert_eq!((code, symbol.as_str()), (101, "UNKNOWN_EDGE"));
+        }
+        other => panic!("expected UNKNOWN_EDGE, got {other:?}"),
+    }
+
+    // The metrics scrape carries the serving counters.
+    let metrics = client.metrics().expect("metrics");
+    for needle in [
+        "graphbi_serve_requests_total",
+        "graphbi_serve_batches_total",
+        "graphbi_serve_batched_requests_total",
+        "graphbi_serve_connections_total",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "metrics missing {needle}:\n{metrics}"
+        );
+    }
+
+    // Per-connection spans landed in the server's tracer.
+    let trace = server.collector().expect("trace enabled").trace();
+    for span in ["serve.request", "serve.batch"] {
+        assert!(
+            trace.spans.iter().any(|s| s.name == span),
+            "missing {span} span in {:?}",
+            trace.spans.iter().map(|s| s.name).collect::<Vec<_>>()
+        );
+    }
+
+    client.quit().expect("quit");
+}
+
+#[test]
+fn hello_version_mismatch_is_refused() {
+    let scenario = Scenario::generate(11);
+    let store = GraphStore::load(scenario.universe.clone(), &scenario.records[..4]);
+    let server = Server::start(
+        ServeStore::Shared(SharedStore::new(store)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("server starts");
+
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    writeln!(stream, "HELLO graphbi/99").unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR 111 UNSUPPORTED"), "{line:?}");
+}
+
+/// N reader connections race a committing writer. Every reader pins a
+/// snapshot per `REFRESH` and must see answers bit-identical to an
+/// in-process store holding exactly that epoch's records — across every
+/// interleaving of commits and queries.
+#[test]
+fn mvcc_readers_race_committing_writer() {
+    let scenario = Scenario::generate(23);
+    let base = 40.min(scenario.records.len());
+    let store = Arc::new(MvccStore::new_mem(GraphStore::load(
+        scenario.universe.clone(),
+        &scenario.records[..base],
+    )));
+
+    // Structural requests only: their answers are exact record sets, so
+    // bit-identity across engines is unconditional.
+    let mut reqs: Vec<QueryRequest> = scenario
+        .queries
+        .iter()
+        .take(4)
+        .map(|q| QueryRequest::new(q.clone()))
+        .collect();
+    reqs.extend(
+        scenario
+            .exprs
+            .iter()
+            .take(2)
+            .map(|e| QueryRequest::expr(e.clone())),
+    );
+
+    // The writer appends one scenario record per commit; epoch k's store
+    // is exactly records[..base + k]. Precompute every epoch's answers.
+    let extra: Vec<_> = scenario.records.iter().cycle().take(24).cloned().collect();
+    let expected: Vec<Vec<String>> = (0..=extra.len())
+        .map(|k| {
+            let mut all: Vec<_> = scenario.records[..base].to_vec();
+            all.extend(extra[..k].iter().cloned());
+            let model = GraphStore::load(scenario.universe.clone(), &all);
+            expected_texts(&model, &reqs)
+        })
+        .collect();
+
+    let server = Server::start(
+        ServeStore::Mvcc(Arc::clone(&store)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let writer = {
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || {
+            for (i, rec) in extra.iter().enumerate() {
+                let epoch = store
+                    .commit(&[DeltaOp::Insert(rec.clone())])
+                    .expect("commit");
+                assert_eq!(epoch, (i + 1) as u64);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let reqs = reqs.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connects");
+                let mut checked = 0usize;
+                for _ in 0..12 {
+                    let (_gen, epoch) = client.refresh().expect("refresh");
+                    let want = &expected[epoch as usize];
+                    // The pin holds for the whole batch even though the
+                    // writer keeps committing underneath.
+                    let got = client.batch(&reqs).expect("batch");
+                    for (resp, want) in got.iter().zip(want) {
+                        assert_eq!(&resp.to_text(), want, "at epoch {epoch}");
+                        checked += 1;
+                    }
+                    for (req, want) in reqs.iter().zip(want) {
+                        assert_eq!(&client.query(req).expect("query").to_text(), want);
+                        checked += 1;
+                    }
+                }
+                checked
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer");
+    let total: usize = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+    assert_eq!(total, 3 * 12 * reqs.len() * 2);
+}
+
+/// Overload: a slow batcher plus a tiny queue must produce typed `BUSY`
+/// answers within the admission timeout — while other requests still
+/// succeed and nothing hangs or drops.
+#[test]
+fn overload_answers_typed_busy_within_timeout() {
+    let scenario = Scenario::generate(3);
+    let store = GraphStore::load(scenario.universe.clone(), &scenario.records);
+    let admission_timeout = Duration::from_millis(25);
+    let server = Server::start(
+        ServeStore::Shared(SharedStore::new(store)),
+        "127.0.0.1:0",
+        ServeConfig {
+            queue_depth: 1,
+            admission_timeout,
+            batch_max: 1,
+            batch_delay: Duration::from_millis(60),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+    let req = QueryRequest::new(scenario.queries[0].clone());
+
+    // A lone request succeeds even with the slow batcher.
+    let mut warm = Client::connect(addr).expect("connect");
+    warm.query(&req).expect("uncontended query succeeds");
+
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let req = req.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let started = Instant::now();
+                let outcome = client.query(&req);
+                let elapsed = started.elapsed();
+                match outcome {
+                    Ok(_) => (1, 0, elapsed),
+                    Err(ClientError::Busy { code, .. }) => {
+                        assert_eq!(code, 210);
+                        (0, 1, elapsed)
+                    }
+                    Err(e) => panic!("only OK or BUSY under overload, got {e}"),
+                }
+            })
+        })
+        .collect();
+
+    let mut ok = 0;
+    let mut busy = 0;
+    for c in clients {
+        let (o, b, elapsed) = c.join().expect("client");
+        if b == 1 {
+            // BUSY must arrive promptly: the admission wait plus
+            // (generous) scheduling slack, nowhere near the batcher's
+            // drain time for eight serialized 60ms batches.
+            assert!(
+                elapsed < admission_timeout + Duration::from_millis(200),
+                "BUSY took {elapsed:?}"
+            );
+        }
+        ok += o;
+        busy += b;
+    }
+    assert!(busy >= 1, "tiny queue + slow batcher must refuse some of 8");
+    assert!(ok + busy == 8, "every request got exactly one answer");
+
+    // The refusals are visible in the metrics.
+    let metrics = warm.metrics().expect("metrics");
+    assert!(metrics.contains("graphbi_serve_busy_total"), "{metrics}");
+}
+
+/// Cross-connection coalescing: many idle-then-simultaneous clients on
+/// one shared store must land in shared batches, visible in the
+/// counters, with answers still bit-identical.
+#[test]
+fn concurrent_connections_share_batches() {
+    let scenario = Scenario::generate(41);
+    let store = GraphStore::load(scenario.universe.clone(), &scenario.records);
+    let shared = SharedStore::new(store);
+    let reqs = workload(&scenario);
+    let expected = expected_texts(&shared, &reqs);
+
+    let server = Server::start(
+        ServeStore::Shared(shared),
+        "127.0.0.1:0",
+        ServeConfig {
+            // A small stall per batch lets concurrent arrivals pile up
+            // behind the first, forcing multi-request batches.
+            batch_delay: Duration::from_millis(3),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let reg = graphbi_obs::global();
+    let batches_before = reg.counter("graphbi_serve_batches_total").get();
+    let requests_before = reg.counter("graphbi_serve_batched_requests_total").get();
+
+    let threads: Vec<_> = (0..6)
+        .map(|t| {
+            let reqs = reqs.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..4 {
+                    let i = (t + round) % reqs.len();
+                    let got = client.query(&reqs[i]).expect("query");
+                    assert_eq!(got.to_text(), expected[i]);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let batches = reg.counter("graphbi_serve_batches_total").get() - batches_before;
+    let served = reg.counter("graphbi_serve_batched_requests_total").get() - requests_before;
+    assert_eq!(served, 24, "every request went through the batcher");
+    assert!(
+        batches < served,
+        "expected some multi-request batches, got {batches} batches for {served} requests"
+    );
+}
+
+/// Shutdown answers in-flight work: no connection is dropped without a
+/// response, and the listener stops accepting.
+#[test]
+fn shutdown_is_orderly() {
+    let scenario = Scenario::generate(5);
+    let store = GraphStore::load(scenario.universe.clone(), &scenario.records[..8]);
+    let mut server = Server::start(
+        ServeStore::Shared(SharedStore::new(store)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("server starts");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let req = QueryRequest::new(scenario.queries[0].clone());
+    client.query(&req).expect("query before shutdown");
+    server.shutdown();
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err()
+            || Client::connect(addr).is_err(),
+        "listener keeps serving after shutdown"
+    );
+}
