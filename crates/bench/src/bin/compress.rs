@@ -1,0 +1,10 @@
+//! Compressed-format differential bench. See `graphbi_bench::figs::compress`.
+//! Exits nonzero when any compressed-path answer differs from raw, or when
+//! format v3 misses its size gates — CI treats both as failures.
+
+fn main() {
+    if !graphbi_bench::figs::compress::run() {
+        eprintln!("compress bench: answer mismatch or size gate missed — failing");
+        std::process::exit(1);
+    }
+}

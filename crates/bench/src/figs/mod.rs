@@ -4,6 +4,7 @@
 //! `run_all`. The module docs state the paper's claim being reproduced and
 //! the scaled parameters used.
 
+pub mod compress;
 pub mod disk_regime;
 pub mod fig10;
 pub mod fig11;

@@ -10,14 +10,33 @@
 //!   tag 0 array: len u32, len × u16
 //!   tag 1 words: 1024 × u64
 //!   tag 2 runs:  len u32, len × (start u16, len u16)
+//!   tag 3 ef:    plen u32, Elias-Fano bytes of the sorted low-bit set
+//!   tag 4 γruns: plen u32, gamma stream: nruns, start₀+1, len₀+1,
+//!                then (gap−1, len+1) per further run
+//!   tag 5 FoR:   plen u32, count u16, base u16, width u8,
+//!                count × width-bit packed deltas from base
 //! ```
+//!
+//! Tags 0–2 are the raw (format v2) container payloads; tags 3–5 are the
+//! compressed forms introduced by on-disk format v3. [`Bitmap::encode`]
+//! emits only raw tags (the v2 writer and the WAL use it);
+//! [`Bitmap::encode_v3`] picks, per container, whichever candidate form is
+//! smallest. [`Bitmap::decode`] accepts all six tags, so a v3-capable
+//! reader loads v2 files unchanged. Decoding materializes standard
+//! containers — compression is a storage-layer concern, and the column
+//! cache ensures each fetched block is decoded at most once.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::bitmap::Bitmap;
-use crate::container::{Container, Run, Words, WORDS};
+use crate::container::{words_from_array, Container, Run, Words, ARRAY_MAX, WORDS};
+use crate::intcodec::{gamma_bit_len, BitReader, BitWriter, EliasFano, PackedInts};
 
 const MAGIC: u32 = 0x4742_4D31;
+
+/// Most runs a 64Ki chunk can hold (every run at least 1 wide, gaps at
+/// least 2): used to bound allocation when decoding gamma-coded runs.
+const MAX_RUNS: usize = (1usize << 16).div_ceil(3);
 
 /// Error returned when decoding malformed bitmap bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +64,159 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Reads a length-framed v3 container payload (tags 3–5).
+fn framed_payload(buf: &mut impl Buf) -> Result<Bytes, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let plen = buf.get_u32_le() as usize;
+    if buf.remaining() < plen {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.copy_to_bytes(plen))
+}
+
+/// Writes a container in its raw (v2) form: tag 0/1/2 plus body.
+fn put_container_raw(c: &Container, buf: &mut BytesMut) {
+    match c {
+        Container::Array(a) => {
+            buf.put_u8(0);
+            buf.put_u32_le(a.len() as u32);
+            for &v in a {
+                buf.put_u16_le(v);
+            }
+        }
+        Container::Words(w) => {
+            buf.put_u8(1);
+            for &word in &w.bits {
+                buf.put_u64_le(word);
+            }
+        }
+        Container::Runs(rs) => {
+            buf.put_u8(2);
+            buf.put_u32_le(rs.len() as u32);
+            for r in rs {
+                buf.put_u16_le(r.start);
+                buf.put_u16_le(r.len);
+            }
+        }
+    }
+}
+
+/// Raw (v2) body length of a container, excluding the tag byte.
+fn raw_body_len(c: &Container) -> usize {
+    match c {
+        Container::Array(a) => 4 + a.len() * 2,
+        Container::Words(_) => WORDS * 8,
+        Container::Runs(rs) => 4 + rs.len() * 4,
+    }
+}
+
+/// Gamma-stream bit length of a runs container (tag 4 payload).
+fn gamma_runs_bit_len(rs: &[Run]) -> usize {
+    let mut bits = gamma_bit_len(rs.len() as u64)
+        + gamma_bit_len(u64::from(rs[0].start) + 1)
+        + gamma_bit_len(u64::from(rs[0].len) + 1);
+    for pair in rs.windows(2) {
+        let gap = u64::from(pair[1].start) - u64::from(pair[0].end());
+        bits += gamma_bit_len(gap - 1) + gamma_bit_len(u64::from(pair[1].len) + 1);
+    }
+    bits
+}
+
+/// Picks the v3 tag for a container and the body length it will produce
+/// (everything after the tag byte). Raw wins ties so decoding stays cheap
+/// when compression buys nothing.
+fn v3_choice(c: &Container) -> (u8, usize) {
+    match c {
+        Container::Array(a) => {
+            let n = a.len();
+            let last = u64::from(*a.last().expect("array containers are non-empty"));
+            let base = u64::from(a[0]);
+            let raw = raw_body_len(c);
+            let ef = 4 + EliasFano::encoded_byte_len(n, last);
+            let for_w = PackedInts::width_for(last - base);
+            let fr = 4 + 5 + PackedInts::byte_len(n, for_w);
+            let best = raw.min(ef).min(fr);
+            if best == raw {
+                (0, raw)
+            } else if best == fr {
+                (5, fr)
+            } else {
+                (3, ef)
+            }
+        }
+        Container::Words(w) => {
+            let card = w.card as usize;
+            let last = u64::from(c.max().expect("words containers are non-empty"));
+            let ef = 4 + EliasFano::encoded_byte_len(card, last);
+            if ef < WORDS * 8 {
+                (3, ef)
+            } else {
+                (1, WORDS * 8)
+            }
+        }
+        Container::Runs(rs) => {
+            let raw = raw_body_len(c);
+            let gamma = 4 + gamma_runs_bit_len(rs).div_ceil(8);
+            if gamma < raw {
+                (4, gamma)
+            } else {
+                (2, raw)
+            }
+        }
+    }
+}
+
+/// Writes a container in its chosen v3 form.
+fn put_container_v3(c: &Container, buf: &mut BytesMut) {
+    let (tag, _) = v3_choice(c);
+    match tag {
+        0..=2 => put_container_raw(c, buf),
+        3 => {
+            let vals: Vec<u64> = c.to_array().iter().map(|&v| u64::from(v)).collect();
+            let payload = EliasFano::encode(&vals).to_bytes();
+            buf.put_u8(3);
+            buf.put_u32_le(payload.len() as u32);
+            buf.put_slice(&payload);
+        }
+        4 => {
+            let Container::Runs(rs) = c else {
+                unreachable!("tag 4 only chosen for runs")
+            };
+            let mut w = BitWriter::new();
+            w.write_gamma(rs.len() as u64);
+            w.write_gamma(u64::from(rs[0].start) + 1);
+            w.write_gamma(u64::from(rs[0].len) + 1);
+            for pair in rs.windows(2) {
+                let gap = u64::from(pair[1].start) - u64::from(pair[0].end());
+                w.write_gamma(gap - 1);
+                w.write_gamma(u64::from(pair[1].len) + 1);
+            }
+            let payload = w.into_bytes();
+            buf.put_u8(4);
+            buf.put_u32_le(payload.len() as u32);
+            buf.put_slice(&payload);
+        }
+        5 => {
+            let Container::Array(a) = c else {
+                unreachable!("tag 5 only chosen for arrays")
+            };
+            let base = a[0];
+            let width = PackedInts::width_for(u64::from(*a.last().unwrap() - base));
+            let deltas: Vec<u64> = a.iter().map(|&v| u64::from(v - base)).collect();
+            let packed = PackedInts::pack(&deltas, width);
+            buf.put_u8(5);
+            buf.put_u32_le((5 + packed.as_bytes().len()) as u32);
+            buf.put_u16_le(a.len() as u16);
+            buf.put_u16_le(base);
+            buf.put_u8(width as u8);
+            buf.put_slice(packed.as_bytes());
+        }
+        _ => unreachable!(),
+    }
+}
+
 impl Bitmap {
     /// Serializes into `buf`.
     pub fn encode_into(&self, buf: &mut BytesMut) {
@@ -52,29 +224,7 @@ impl Bitmap {
         buf.put_u32_le(u32::try_from(self.keys.len()).expect("chunk count fits u32"));
         for (i, &key) in self.keys.iter().enumerate() {
             buf.put_u16_le(key);
-            match &self.containers[i] {
-                Container::Array(a) => {
-                    buf.put_u8(0);
-                    buf.put_u32_le(a.len() as u32);
-                    for &v in a {
-                        buf.put_u16_le(v);
-                    }
-                }
-                Container::Words(w) => {
-                    buf.put_u8(1);
-                    for &word in &w.bits {
-                        buf.put_u64_le(word);
-                    }
-                }
-                Container::Runs(rs) => {
-                    buf.put_u8(2);
-                    buf.put_u32_le(rs.len() as u32);
-                    for r in rs {
-                        buf.put_u16_le(r.start);
-                        buf.put_u16_le(r.len);
-                    }
-                }
-            }
+            put_container_raw(&self.containers[i], buf);
         }
     }
 
@@ -83,6 +233,36 @@ impl Bitmap {
         let mut buf = BytesMut::with_capacity(8 + self.size_in_bytes() + self.keys.len() * 8);
         self.encode_into(&mut buf);
         buf.freeze()
+    }
+
+    /// Serializes with the v3 compressed container forms into `buf`: each
+    /// container is written with whichever of its candidate encodings
+    /// (raw, Elias-Fano, gamma runs, frame-of-reference) is smallest.
+    /// The result decodes with the same [`Bitmap::decode`] as raw bytes.
+    pub fn encode_v3_into(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(u32::try_from(self.keys.len()).expect("chunk count fits u32"));
+        for (i, &key) in self.keys.iter().enumerate() {
+            buf.put_u16_le(key);
+            put_container_v3(&self.containers[i], buf);
+        }
+    }
+
+    /// Serializes with the v3 compressed container forms into a fresh
+    /// buffer.
+    pub fn encode_v3(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len_v3());
+        self.encode_v3_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Size of the v3 encoded form in bytes.
+    pub fn encoded_len_v3(&self) -> usize {
+        8 + self
+            .containers
+            .iter()
+            .map(|c| 3 + v3_choice(c).1)
+            .sum::<usize>()
     }
 
     /// Decodes a bitmap previously produced by [`Bitmap::encode`], consuming
@@ -162,6 +342,114 @@ impl Bitmap {
                         return Err(DecodeError::Corrupt("runs overlapping or empty"));
                     }
                     Container::Runs(rs)
+                }
+                3 => {
+                    let payload = framed_payload(buf)?;
+                    let Some(ef) = EliasFano::from_bytes(&payload) else {
+                        return Err(DecodeError::Corrupt("malformed elias-fano payload"));
+                    };
+                    let card = ef.len();
+                    if card == 0 || card > 1 << 16 {
+                        return Err(DecodeError::Corrupt("elias-fano cardinality out of range"));
+                    }
+                    let mut vals: Vec<u16> = Vec::with_capacity(card);
+                    let mut cur = ef.cursor();
+                    let mut prev: Option<u16> = None;
+                    while let Some(v) = cur.next() {
+                        if v > 0xffff {
+                            return Err(DecodeError::Corrupt(
+                                "elias-fano value out of chunk range",
+                            ));
+                        }
+                        let v = v as u16;
+                        if prev.is_some_and(|p| p >= v) {
+                            return Err(DecodeError::Corrupt(
+                                "elias-fano values not strictly increasing",
+                            ));
+                        }
+                        prev = Some(v);
+                        vals.push(v);
+                    }
+                    if vals.len() != card {
+                        return Err(DecodeError::Corrupt("elias-fano high bits exhausted early"));
+                    }
+                    if card <= ARRAY_MAX {
+                        Container::Array(vals)
+                    } else {
+                        Container::Words(words_from_array(&vals))
+                    }
+                }
+                4 => {
+                    let payload = framed_payload(buf)?;
+                    let mut r = BitReader::new(&payload);
+                    let truncated = DecodeError::Corrupt("gamma runs truncated");
+                    let nruns = r.read_gamma().ok_or(truncated.clone())? as usize;
+                    if nruns > MAX_RUNS {
+                        return Err(DecodeError::Corrupt("gamma run count out of range"));
+                    }
+                    let mut rs: Vec<Run> = Vec::with_capacity(nruns);
+                    let start = r.read_gamma().ok_or(truncated.clone())? - 1;
+                    let len = r.read_gamma().ok_or(truncated.clone())? - 1;
+                    if start + len > 0xffff {
+                        return Err(DecodeError::Corrupt("gamma run out of chunk range"));
+                    }
+                    rs.push(Run {
+                        start: start as u16,
+                        len: len as u16,
+                    });
+                    for _ in 1..nruns {
+                        let gap = r.read_gamma().ok_or(truncated.clone())? + 1;
+                        let len = r.read_gamma().ok_or(truncated.clone())? - 1;
+                        let prev_end = u64::from(rs.last().unwrap().end());
+                        let start = prev_end + gap;
+                        if start + len > 0xffff {
+                            return Err(DecodeError::Corrupt("gamma run out of chunk range"));
+                        }
+                        rs.push(Run {
+                            start: start as u16,
+                            len: len as u16,
+                        });
+                    }
+                    Container::Runs(rs)
+                }
+                5 => {
+                    let payload = framed_payload(buf)?;
+                    if payload.len() < 5 {
+                        return Err(DecodeError::Corrupt("frame-of-reference header truncated"));
+                    }
+                    let count = u16::from_le_bytes([payload[0], payload[1]]) as usize;
+                    let base = u16::from_le_bytes([payload[2], payload[3]]);
+                    let width = u32::from(payload[4]);
+                    if count == 0 || count > ARRAY_MAX || width > 16 {
+                        return Err(DecodeError::Corrupt(
+                            "frame-of-reference shape out of range",
+                        ));
+                    }
+                    if payload.len() != 5 + PackedInts::byte_len(count, width) {
+                        return Err(DecodeError::Corrupt("frame-of-reference payload length"));
+                    }
+                    let Some(packed) = PackedInts::from_bytes(&payload[5..], width, count) else {
+                        return Err(DecodeError::Corrupt("frame-of-reference payload truncated"));
+                    };
+                    let mut vals: Vec<u16> = Vec::with_capacity(count);
+                    let mut prev: Option<u16> = None;
+                    for i in 0..count {
+                        let v = u64::from(base) + packed.get(i);
+                        if v > 0xffff {
+                            return Err(DecodeError::Corrupt(
+                                "frame-of-reference value out of chunk range",
+                            ));
+                        }
+                        let v = v as u16;
+                        if prev.is_some_and(|p| p >= v) {
+                            return Err(DecodeError::Corrupt(
+                                "frame-of-reference values not strictly increasing",
+                            ));
+                        }
+                        prev = Some(v);
+                        vals.push(v);
+                    }
+                    Container::Array(vals)
                 }
                 t => return Err(DecodeError::BadTag(t)),
             };
@@ -245,5 +533,55 @@ mod tests {
             Bitmap::decode(&mut buf.freeze()),
             Err(DecodeError::BadTag(9))
         ));
+    }
+
+    #[test]
+    fn v3_round_trips_every_container_form() {
+        // Clustered runs, a dense words chunk, sparse and mid-density
+        // arrays — exercises every v3 tag choice.
+        let mut b = Bitmap::from_range(100..70_000);
+        b.extend((200_000..400_000u32).step_by(17));
+        b.extend((500_000..510_000u32).step_by(2)); // 5000-card words chunk
+        b.extend([1_000_000u32, 1_000_003]); // tiny array stays raw
+        b.optimize();
+        let bytes = b.encode_v3();
+        assert_eq!(bytes.len(), b.encoded_len_v3());
+        let mut cursor = bytes.clone();
+        let back = Bitmap::decode(&mut cursor).unwrap();
+        assert_eq!(b, back);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn v3_is_never_larger_than_raw() {
+        let mut b = Bitmap::from_range(0..100_000);
+        b.extend((150_000..300_000u32).step_by(3));
+        b.optimize();
+        assert!(b.encoded_len_v3() <= b.encoded_len());
+    }
+
+    #[test]
+    fn v3_decode_rejects_truncation_everywhere() {
+        let mut b: Bitmap = (0..30_000u32).step_by(7).collect();
+        b.optimize();
+        let bytes = b.encode_v3();
+        for cut in 0..bytes.len() {
+            let mut slice = bytes.slice(..cut);
+            assert!(
+                Bitmap::decode(&mut slice).is_err(),
+                "cut at {cut} decoded cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_full_chunk_round_trips() {
+        let b = Bitmap::from_range(0..65_536);
+        let mut opt = b.clone();
+        opt.optimize();
+        for bm in [&b, &opt] {
+            let mut bytes = bm.encode_v3();
+            assert_eq!(&Bitmap::decode(&mut bytes).unwrap(), bm);
+        }
     }
 }

@@ -1,0 +1,684 @@
+//! Integer-compression primitives for the v3 on-disk format.
+//!
+//! Everything here is a building block for [`crate::codec`] (compressed
+//! container payloads) and the column store's measure codec:
+//!
+//! * [`BitWriter`] / [`BitReader`] — LSB-first bit streams over byte
+//!   buffers, including Elias-gamma codes for the run-length payloads.
+//! * [`PackedInts`] — fixed-width bit-packed integers with O(1) random
+//!   access; the payload of frame-of-reference arrays and dictionary
+//!   indices.
+//! * [`EliasFano`] — the quasi-succinct encoding of monotone sequences
+//!   (Elias 1974, Fano 1971; see the partitioned variant in Ottaviano &
+//!   Venturini). Supports streaming iteration, `next_geq` skipping, and
+//!   [`gallop_intersect`] directly over two encoded sequences.
+//!
+//! Every decoder is bounds-checked and returns `None` on malformed input:
+//! these run on bytes read off disk, sometimes with checksum verification
+//! disabled (`Verify::TrustDisk`), so corrupt input must never panic or
+//! index out of range.
+
+/// `width`-bit mask (`width <= 64`).
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Reads `width <= 64` bits at bit offset `pos`, LSB-first. Bits past the
+/// end of `bytes` read as zero — callers bound `pos + width` themselves
+/// when the distinction matters.
+fn read_bits(bytes: &[u8], pos: usize, width: u32) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let first = pos / 8;
+    let bit = pos % 8;
+    let nbytes = (bit + width as usize).div_ceil(8);
+    let mut acc: u128 = 0;
+    for i in 0..nbytes {
+        acc |= u128::from(bytes.get(first + i).copied().unwrap_or(0)) << (8 * i);
+    }
+    ((acc >> bit) as u64) & mask(width)
+}
+
+fn get_bit(bytes: &[u8], pos: usize) -> bool {
+    bytes
+        .get(pos / 8)
+        .is_some_and(|b| b & (1 << (pos % 8)) != 0)
+}
+
+// ---------------------------------------------------------------------------
+// Bit streams.
+
+/// Append-only LSB-first bit stream.
+#[derive(Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`, least-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `width > 64` or `value` has bits above `width`.
+    pub fn write(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64, "width {width} > 64");
+        debug_assert!(value & !mask(width) == 0, "value wider than {width} bits");
+        let partial = self.len % 8;
+        let mut acc = u128::from(value) << partial;
+        if partial != 0 {
+            acc |= u128::from(self.bytes.pop().expect("partial byte exists"));
+        }
+        let nbytes = (partial + width as usize).div_ceil(8);
+        for i in 0..nbytes {
+            self.bytes.push((acc >> (8 * i)) as u8);
+        }
+        self.len += width as usize;
+    }
+
+    /// Appends `value >= 1` in Elias-gamma: the unary bit length, then the
+    /// value's low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `value == 0` (gamma has no code for zero).
+    pub fn write_gamma(&mut self, value: u64) {
+        assert!(value >= 1, "gamma codes start at 1");
+        let n = 64 - value.leading_zeros(); // bit length, >= 1
+        self.write(1u64 << (n - 1), n); // n-1 zeros, then the marker one
+        self.write(value & mask(n - 1), n - 1); // low bits
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.len
+    }
+
+    /// Finishes the stream; the final byte is zero-padded.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Bits of the Elias-gamma code of `value >= 1`.
+pub fn gamma_bit_len(value: u64) -> usize {
+    debug_assert!(value >= 1);
+    let n = (64 - value.leading_zeros()) as usize;
+    2 * n - 1
+}
+
+/// LSB-first bit stream reader. Every read is bounds-checked against the
+/// underlying byte length.
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `width <= 64` bits, or `None` past the end of the buffer.
+    pub fn read(&mut self, width: u32) -> Option<u64> {
+        if width > 64 {
+            return None;
+        }
+        let end = self.pos.checked_add(width as usize)?;
+        if end > self.bytes.len() * 8 {
+            return None;
+        }
+        let v = read_bits(self.bytes, self.pos, width);
+        self.pos = end;
+        Some(v)
+    }
+
+    /// Reads one Elias-gamma code. `None` on buffer end or a unary prefix
+    /// longer than any encodable value (corrupt input).
+    pub fn read_gamma(&mut self) -> Option<u64> {
+        let mut zeros = 0u32;
+        loop {
+            match self.read(1)? {
+                1 => break,
+                _ => {
+                    zeros += 1;
+                    if zeros >= 64 {
+                        return None;
+                    }
+                }
+            }
+        }
+        let low = self.read(zeros)?;
+        Some((1u64 << zeros) | low)
+    }
+
+    /// Bits left in the buffer.
+    pub fn bits_remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-width packing (the frame-of-reference payload).
+
+/// `len` integers of `width` bits each, packed back to back — O(1) random
+/// access, `ceil(len·width/8)` bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedInts {
+    width: u32,
+    len: usize,
+    bits: Vec<u8>,
+}
+
+impl PackedInts {
+    /// The narrowest width that can hold `max` (0 when `max == 0`).
+    pub fn width_for(max: u64) -> u32 {
+        64 - max.leading_zeros()
+    }
+
+    /// Packed byte length of `len` values at `width` bits.
+    pub fn byte_len(len: usize, width: u32) -> usize {
+        (len * width as usize).div_ceil(8)
+    }
+
+    /// Packs `values`, all of which must fit in `width` bits.
+    pub fn pack(values: &[u64], width: u32) -> PackedInts {
+        let mut w = BitWriter::new();
+        for &v in values {
+            w.write(v, width);
+        }
+        PackedInts {
+            width,
+            len: values.len(),
+            bits: w.into_bytes(),
+        }
+    }
+
+    /// Reconstructs from packed bytes; `None` when `bytes` is shorter than
+    /// `len` values of `width` bits need, or `width > 64`.
+    pub fn from_bytes(bytes: &[u8], width: u32, len: usize) -> Option<PackedInts> {
+        if width > 64 {
+            return None;
+        }
+        let need = Self::byte_len(len, width);
+        let bits = bytes.get(..need)?.to_vec();
+        Some(PackedInts { width, len, bits })
+    }
+
+    /// The `i`-th packed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "packed index {i} out of {}", self.len);
+        read_bits(&self.bits, i * self.width as usize, self.width)
+    }
+
+    /// Number of packed values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit width per value.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The packed payload (exactly [`PackedInts::byte_len`] bytes).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Heap bytes held.
+    pub fn size_in_bytes(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Iterates the packed values in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elias-Fano.
+
+/// An Elias-Fano-coded non-decreasing sequence of `u64`s.
+///
+/// Each value is split at `low_width` bits: the low halves are stored
+/// fixed-width in [`PackedInts`], the high halves unary-coded in a bit
+/// vector (`n` ones, one per element, separated by a zero per distinct
+/// high bucket). Total size approaches the information-theoretic
+/// `n·(2 + log2(u/n))` bits for `n` values below `u`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EliasFano {
+    n: usize,
+    last: u64,
+    low_width: u32,
+    lows: PackedInts,
+    high: Vec<u8>,
+}
+
+/// Low-half width for `n` values whose maximum is `last`.
+fn ef_low_width(n: usize, last: u64) -> u32 {
+    if n == 0 {
+        return 0;
+    }
+    let per = last.saturating_add(1) / n as u64;
+    if per <= 1 {
+        0
+    } else {
+        63 - per.leading_zeros()
+    }
+}
+
+impl EliasFano {
+    /// Encodes a non-decreasing sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` decreases anywhere.
+    pub fn encode(values: &[u64]) -> EliasFano {
+        assert!(
+            values.windows(2).all(|w| w[0] <= w[1]),
+            "elias-fano input must be non-decreasing"
+        );
+        let n = values.len();
+        let last = values.last().copied().unwrap_or(0);
+        let l = ef_low_width(n, last);
+        let lows: Vec<u64> = values.iter().map(|&v| v & mask(l)).collect();
+        let high_bits = if n == 0 { 0 } else { (last >> l) as usize + n };
+        let mut high = vec![0u8; high_bits.div_ceil(8)];
+        for (i, &v) in values.iter().enumerate() {
+            let pos = (v >> l) as usize + i;
+            high[pos / 8] |= 1 << (pos % 8);
+        }
+        EliasFano {
+            n,
+            last,
+            low_width: l,
+            lows: PackedInts::pack(&lows, l),
+            high,
+        }
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Serialized byte length of `n` values ending at `last` — used to
+    /// pick the cheapest codec without encoding.
+    pub fn encoded_byte_len(n: usize, last: u64) -> usize {
+        if n == 0 {
+            return 4;
+        }
+        let l = ef_low_width(n, last);
+        4 + 8 + PackedInts::byte_len(n, l) + ((last >> l) as usize + n).div_ceil(8)
+    }
+
+    /// Serializes: `n u32 | last u64 | low bytes | high bytes` (the widths
+    /// and byte lengths are all derived from `n` and `last`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::encoded_byte_len(self.n, self.last));
+        out.extend_from_slice(&u32::try_from(self.n).expect("n fits u32").to_le_bytes());
+        if self.n > 0 {
+            out.extend_from_slice(&self.last.to_le_bytes());
+            out.extend_from_slice(self.lows.as_bytes());
+            out.extend_from_slice(&self.high);
+        }
+        out
+    }
+
+    /// Deserializes bytes written by [`EliasFano::to_bytes`]. `None` when
+    /// the buffer is not exactly one well-formed sequence.
+    pub fn from_bytes(bytes: &[u8]) -> Option<EliasFano> {
+        let n = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+        if n == 0 {
+            if bytes.len() != 4 {
+                return None;
+            }
+            return Some(EliasFano::encode(&[]));
+        }
+        let last = u64::from_le_bytes(bytes.get(4..12)?.try_into().ok()?);
+        let l = ef_low_width(n, last);
+        let low_bytes = PackedInts::byte_len(n, l);
+        let high_bytes = ((last >> l) as usize + n).div_ceil(8);
+        if bytes.len() != 12 + low_bytes + high_bytes {
+            return None;
+        }
+        let lows = PackedInts::from_bytes(&bytes[12..12 + low_bytes], l, n)?;
+        let high = bytes[12 + low_bytes..].to_vec();
+        Some(EliasFano {
+            n,
+            last,
+            low_width: l,
+            lows,
+            high,
+        })
+    }
+
+    fn high_bit_len(&self) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            (self.last >> self.low_width) as usize + self.n
+        }
+    }
+
+    /// A streaming cursor at the first element.
+    pub fn cursor(&self) -> EfCursor<'_> {
+        EfCursor {
+            ef: self,
+            idx: 0,
+            pos: 0,
+        }
+    }
+
+    /// Decodes the whole sequence.
+    pub fn to_vec(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.n);
+        let mut c = self.cursor();
+        while let Some(v) = c.next() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// Streaming decoder over an [`EliasFano`] sequence: forward-only, with
+/// skip-capable [`EfCursor::next_geq`].
+pub struct EfCursor<'a> {
+    ef: &'a EliasFano,
+    /// Next element index.
+    idx: usize,
+    /// Next unexamined bit in the high vector.
+    pos: usize,
+}
+
+impl<'a> EfCursor<'a> {
+    /// The next value without consuming it. `None` at the end of the
+    /// sequence — including corrupt encodings whose high vector runs out
+    /// of set bits early.
+    pub fn peek(&mut self) -> Option<u64> {
+        if self.idx >= self.ef.n {
+            return None;
+        }
+        let total = self.ef.high_bit_len();
+        loop {
+            if self.pos >= total {
+                return None;
+            }
+            // Skip whole zero bytes between clusters.
+            if self.pos.is_multiple_of(8) {
+                while self.pos + 8 <= total && self.ef.high[self.pos / 8] == 0 {
+                    self.pos += 8;
+                }
+                if self.pos >= total {
+                    return None;
+                }
+            }
+            if get_bit(&self.ef.high, self.pos) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let zeros = (self.pos - self.idx) as u64;
+        Some((zeros << self.ef.low_width) | self.ef.lows.get(self.idx))
+    }
+
+    /// Consumes and returns the next value.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<u64> {
+        let v = self.peek()?;
+        self.pos += 1;
+        self.idx += 1;
+        Some(v)
+    }
+
+    /// Consumes values up to and including the first one `>= target` and
+    /// returns it, skipping whole bytes of the high vector while the
+    /// target's high bucket is still ahead — the sublinear jump galloping
+    /// intersection relies on. Like [`EfCursor::next`], the returned value
+    /// is consumed.
+    pub fn next_geq(&mut self, target: u64) -> Option<u64> {
+        let hb = target >> self.ef.low_width;
+        let total = self.ef.high_bit_len();
+        // Every element before the hb-th zero has a high bucket < hb; skip
+        // byte-wise while a whole byte's zeros still leave us short of it.
+        while self.pos < total && self.idx < self.ef.n {
+            let zeros_so_far = (self.pos - self.idx) as u64;
+            if zeros_so_far >= hb {
+                break;
+            }
+            let off = self.pos % 8;
+            let rest = self.ef.high[self.pos / 8] >> off;
+            let nbits = (8 - off).min(total - self.pos);
+            let ones = (u32::from(rest) & mask(nbits as u32) as u32).count_ones() as usize;
+            let zeros_in_rest = (nbits - ones) as u64;
+            if zeros_so_far + zeros_in_rest < hb {
+                self.pos += nbits;
+                self.idx += ones;
+            } else {
+                // The boundary zero lies inside this byte: single-bit step.
+                if get_bit(&self.ef.high, self.pos) {
+                    self.idx += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        loop {
+            let v = self.next()?;
+            if v >= target {
+                return Some(v);
+            }
+        }
+    }
+}
+
+/// Intersects two Elias-Fano sequences by alternating [`EfCursor::next_geq`]
+/// jumps — the galloping intersection kernel running directly on the
+/// compressed form, without materializing either side.
+pub fn gallop_intersect(a: &EliasFano, b: &EliasFano) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut ca = a.cursor();
+    let mut cb = b.cursor();
+    let (Some(mut va), Some(mut vb)) = (ca.next(), cb.next()) else {
+        return out;
+    };
+    loop {
+        match va.cmp(&vb) {
+            std::cmp::Ordering::Equal => {
+                out.push(va);
+                match (ca.next(), cb.next()) {
+                    (Some(x), Some(y)) => {
+                        va = x;
+                        vb = y;
+                    }
+                    _ => break,
+                }
+            }
+            std::cmp::Ordering::Less => match ca.next_geq(vb) {
+                Some(x) => va = x,
+                None => break,
+            },
+            std::cmp::Ordering::Greater => match cb.next_geq(va) {
+                Some(x) => vb = x,
+                None => break,
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_stream_round_trips_mixed_widths() {
+        let mut w = BitWriter::new();
+        let cases: Vec<(u64, u32)> = vec![
+            (0, 0),
+            (1, 1),
+            (0b101, 3),
+            (u64::MAX, 64),
+            (12345, 17),
+            (0, 5),
+            (u64::from(u32::MAX), 32),
+        ];
+        for &(v, width) in &cases {
+            w.write(v, width);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, width) in &cases {
+            assert_eq!(r.read(width), Some(v), "width {width}");
+        }
+    }
+
+    #[test]
+    fn bit_reader_bounds_checked() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.read(8), Some(0xff));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn gamma_round_trips() {
+        let mut w = BitWriter::new();
+        let vals = [1u64, 2, 3, 7, 8, 100, 65_536, u64::MAX];
+        for &v in &vals {
+            assert!(gamma_bit_len(v) >= 1);
+            w.write_gamma(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &vals {
+            assert_eq!(r.read_gamma(), Some(v));
+        }
+    }
+
+    #[test]
+    fn gamma_rejects_runaway_unary() {
+        let zeros = [0u8; 16];
+        let mut r = BitReader::new(&zeros);
+        assert_eq!(r.read_gamma(), None);
+    }
+
+    #[test]
+    fn packed_ints_random_access() {
+        let values: Vec<u64> = (0..1000).map(|i| (i * 37) % 1024).collect();
+        let w = PackedInts::width_for(1023);
+        assert_eq!(w, 10);
+        let p = PackedInts::pack(&values, w);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(p.get(i), v);
+        }
+        let back = PackedInts::from_bytes(p.as_bytes(), w, values.len()).unwrap();
+        assert_eq!(back, p);
+        assert!(PackedInts::from_bytes(&p.as_bytes()[..p.as_bytes().len() - 1], w, 1000).is_none());
+    }
+
+    #[test]
+    fn packed_ints_zero_width() {
+        let p = PackedInts::pack(&[0, 0, 0], 0);
+        assert_eq!(p.as_bytes().len(), 0);
+        assert_eq!(p.get(2), 0);
+    }
+
+    #[test]
+    fn elias_fano_round_trips() {
+        for values in [
+            vec![],
+            vec![0u64],
+            vec![u64::from(u32::MAX)],
+            (0..10_000u64).map(|i| i * 3).collect(),
+            vec![1, 1, 1, 2, 2, 900_000],
+            (0..65_536u64).collect(),
+        ] {
+            let ef = EliasFano::encode(&values);
+            assert_eq!(ef.to_vec(), values);
+            let bytes = ef.to_bytes();
+            assert_eq!(
+                bytes.len(),
+                EliasFano::encoded_byte_len(values.len(), values.last().copied().unwrap_or(0))
+            );
+            let back = EliasFano::from_bytes(&bytes).unwrap();
+            assert_eq!(back.to_vec(), values);
+        }
+    }
+
+    #[test]
+    fn elias_fano_from_bytes_rejects_bad_lengths() {
+        let ef = EliasFano::encode(&[5, 10, 20]);
+        let bytes = ef.to_bytes();
+        assert!(EliasFano::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(EliasFano::from_bytes(&extra).is_none());
+        assert!(EliasFano::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn next_geq_skips_correctly() {
+        let values: Vec<u64> = (0..5_000u64).map(|i| i * 7 + 3).collect();
+        let ef = EliasFano::encode(&values);
+        let mut c = ef.cursor();
+        assert_eq!(c.next_geq(0), Some(3));
+        assert_eq!(c.next(), Some(10));
+        assert_eq!(c.next_geq(100), Some(101)); // 14*7+3
+        assert_eq!(c.next_geq(34_995), Some(34_996)); // penultimate
+        assert_eq!(c.next_geq(40_000), None);
+    }
+
+    #[test]
+    fn gallop_intersect_matches_naive() {
+        let a: Vec<u64> = (0..3_000u64).map(|i| i * 5).collect();
+        let b: Vec<u64> = (0..2_500u64).map(|i| i * 7).collect();
+        let ea = EliasFano::encode(&a);
+        let eb = EliasFano::encode(&b);
+        let got = gallop_intersect(&ea, &eb);
+        let naive: Vec<u64> = a.iter().copied().filter(|v| v % 7 == 0).collect();
+        assert_eq!(got, naive);
+        assert_eq!(gallop_intersect(&eb, &ea), naive);
+        assert!(gallop_intersect(&ea, &EliasFano::encode(&[])).is_empty());
+    }
+
+    #[test]
+    fn corrupt_high_vector_ends_iteration_not_panics() {
+        let ef = EliasFano::encode(&[1, 2, 3, 4, 5]);
+        let mut bytes = ef.to_bytes();
+        // Zero out the high vector: decode must stop early, never panic.
+        let n = bytes.len();
+        for b in &mut bytes[n - 2..] {
+            *b = 0;
+        }
+        if let Some(back) = EliasFano::from_bytes(&bytes) {
+            let decoded = back.to_vec();
+            assert!(decoded.len() <= 5);
+        }
+    }
+}

@@ -39,6 +39,7 @@ mod codec;
 mod container;
 pub mod dense;
 pub mod ewah;
+pub mod intcodec;
 mod iter;
 mod ops;
 

@@ -1,8 +1,9 @@
 //! Measure columns.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
 use graphbi_bitmap::{Bitmap, RecordId};
 
+use crate::codec::Measures;
 use crate::StoreError;
 
 /// A sparse measure column: `values[presence.rank(r)]` is the measure of
@@ -15,7 +16,7 @@ use crate::StoreError;
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SparseColumn {
     presence: Bitmap,
-    values: Vec<f64>,
+    values: Measures,
 }
 
 impl SparseColumn {
@@ -35,7 +36,10 @@ impl SparseColumn {
             values.len() as u64,
             "one value per present record"
         );
-        SparseColumn { presence, values }
+        SparseColumn {
+            presence,
+            values: Measures::Raw(values),
+        }
     }
 
     /// The presence bitmap — also the bitmap index column of this edge.
@@ -50,9 +54,10 @@ impl SparseColumn {
 
     /// The value for record `r`, or NULL.
     pub fn get(&self, r: RecordId) -> Option<f64> {
-        self.presence
-            .contains(r)
-            .then(|| self.values[usize::try_from(self.presence.rank(r)).expect("rank fits usize")])
+        self.presence.contains(r).then(|| {
+            self.values
+                .get(usize::try_from(self.presence.rank(r)).expect("rank fits usize"))
+        })
     }
 
     /// Values for every record in `ids`, in ascending record order. Records
@@ -88,7 +93,7 @@ impl SparseColumn {
                 }
                 match wanted.peek() {
                     Some(&w) if w == r => {
-                        f(self.values[idx]);
+                        f(self.values.get(idx));
                         wanted.next();
                     }
                     Some(_) => {}
@@ -128,53 +133,60 @@ impl SparseColumn {
         self.values.push(value);
     }
 
-    /// Heap bytes used by the column (bitmap + values).
+    /// Heap bytes used by the column (bitmap + values). A
+    /// dictionary-coded value block reports its packed size — the
+    /// byte-budgeted column cache accounts compressed bytes.
     pub fn size_in_bytes(&self) -> usize {
-        self.presence.size_in_bytes() + self.values.len() * 8
+        self.presence.size_in_bytes() + self.values.size_in_bytes()
     }
 
-    /// Serializes to a fresh buffer: encoded presence bitmap then raw f64s.
+    /// Serializes to a fresh buffer (v2 form): encoded presence bitmap
+    /// then raw f64s.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.presence.encoded_len() + self.values.len() * 8);
         self.presence.encode_into(&mut buf);
-        for &v in &self.values {
-            buf.put_f64_le(v);
-        }
+        self.values.encode_raw_into(&mut buf);
         buf.freeze()
     }
 
-    /// Decodes a column from the front of `buf`.
+    /// Decodes a column from the front of `buf` (v2 form).
     pub fn decode(buf: &mut impl Buf) -> Result<SparseColumn, StoreError> {
         let presence = Bitmap::decode(buf)?;
         let n = usize::try_from(presence.len()).expect("cardinality fits usize");
-        if buf.remaining() < n * 8 {
-            return Err(StoreError::Format("sparse column values truncated"));
-        }
-        let mut values = Vec::with_capacity(n);
-        for _ in 0..n {
-            values.push(buf.get_f64_le());
-        }
+        let values = Measures::decode_raw(n, buf)
+            .map_err(|_| StoreError::Format("sparse column values truncated"))?;
+        Ok(SparseColumn { presence, values })
+    }
+
+    /// Serializes with the v3 compressed forms: v3-encoded presence bitmap
+    /// then a codec-tagged value block.
+    pub fn encode_v3(&self) -> Bytes {
+        let mut buf =
+            BytesMut::with_capacity(1 + self.presence.encoded_len() + self.values.len() * 8);
+        self.presence.encode_v3_into(&mut buf);
+        self.values.encode_v3_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes a column written by [`SparseColumn::encode_v3`].
+    pub fn decode_v3(buf: &mut impl Buf) -> Result<SparseColumn, StoreError> {
+        let presence = Bitmap::decode(buf)?;
+        let n = usize::try_from(presence.len()).expect("cardinality fits usize");
+        let values = Measures::decode_v3(n, buf)?;
         Ok(SparseColumn { presence, values })
     }
 
     /// Iterates `(record, value)` pairs in ascending record order.
     pub fn iter(&self) -> impl Iterator<Item = (RecordId, f64)> + '_ {
-        self.presence.iter().zip(self.values.iter().copied())
+        self.presence.iter().zip(self.values.iter())
     }
 
-    /// The dense value vector, aligned to the presence bitmap's rank order.
-    pub fn values(&self) -> &[f64] {
-        &self.values
-    }
-
-    /// Serializes only the value block (the presence bitmap is serialized
-    /// separately so a disk-resident store can fetch the bitmap column
-    /// without touching the measures).
+    /// Serializes only the value block in the raw v2 form (the presence
+    /// bitmap is serialized separately so a disk-resident store can fetch
+    /// the bitmap column without touching the measures).
     pub fn encode_values(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.values.len() * 8);
-        for &v in &self.values {
-            buf.put_f64_le(v);
-        }
+        self.values.encode_raw_into(&mut buf);
         buf.freeze()
     }
 
@@ -183,13 +195,26 @@ impl SparseColumn {
     /// bitmap.
     pub fn decode_values(presence: Bitmap, buf: &mut impl Buf) -> Result<SparseColumn, StoreError> {
         let n = usize::try_from(presence.len()).expect("cardinality fits usize");
-        if buf.remaining() < n * 8 {
-            return Err(StoreError::Format("value block truncated"));
-        }
-        let mut values = Vec::with_capacity(n);
-        for _ in 0..n {
-            values.push(buf.get_f64_le());
-        }
+        let values = Measures::decode_raw(n, buf)?;
+        Ok(SparseColumn { presence, values })
+    }
+
+    /// Serializes only the value block in the codec-tagged v3 form,
+    /// dictionary-coding low-cardinality measures.
+    pub fn encode_values_v3(&self) -> Bytes {
+        self.values.encode_v3()
+    }
+
+    /// Decodes a v3 value block written by
+    /// [`SparseColumn::encode_values_v3`]. A dictionary-coded block stays
+    /// packed in memory; [`SparseColumn::fold_over`] and
+    /// [`SparseColumn::get`] read straight through the dictionary.
+    pub fn decode_values_v3(
+        presence: Bitmap,
+        buf: &mut impl Buf,
+    ) -> Result<SparseColumn, StoreError> {
+        let n = usize::try_from(presence.len()).expect("cardinality fits usize");
+        let values = Measures::decode_v3(n, buf)?;
         Ok(SparseColumn { presence, values })
     }
 }
@@ -219,7 +244,7 @@ impl ColumnBuilder {
     pub fn finish(self) -> SparseColumn {
         SparseColumn {
             presence: self.presence.finish(),
-            values: self.values,
+            values: Measures::Raw(self.values),
         }
     }
 }

@@ -9,9 +9,11 @@
 //! the buffer pool. Under a cold cache, [`IoStats::disk_reads`] equals the
 //! cost model's "columns fetched" — the paper's metric, made literal.
 //!
-//! All I/O goes through an injectable [`Vfs`], and (format v2) every block
-//! read off disk is verified against the CRC32 stored in its file's
-//! directory before it is decoded: a flipped bit, short read, or truncated
+//! All I/O goes through an injectable [`Vfs`], and every block read off
+//! disk (format v2 raw or format v3 compressed — each data file declares
+//! itself via its leading magic, so mixed-generation stores just work) is
+//! verified against the CRC32 stored in its file's directory before it is
+//! decoded: a flipped bit, short read, or truncated
 //! file surfaces as [`StoreError::Corrupt`], never a panic or a silently
 //! wrong answer. [`DiskRelation::open`] likewise validates the framed
 //! manifest and every file directory of the live generation, so a store
@@ -30,10 +32,11 @@ use crate::column::SparseColumn;
 use crate::iostats::IoStats;
 use crate::persist::{
     open_read_err, parse_views_directory, part_file_name, read_manifest, read_sidecar_at,
-    views_file_name, PART_DIR_ENTRY,
+    views_file_name, PART_DIR_ENTRY, PART_MAGIC_V3,
 };
 use crate::vfs::{crc32, os_vfs, Verify, VfsHandle};
 use crate::StoreError;
+use graphbi_bitmap::intcodec::PackedInts;
 
 /// Cache key: which column of which kind.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -68,13 +71,6 @@ impl Payload {
             Payload::Bitmap(_) => unreachable!("bitmap payload used as column"),
         }
     }
-
-    fn size(&self) -> usize {
-        match self {
-            Payload::Bitmap(b) => b.size_in_bytes(),
-            Payload::Column(c) => c.size_in_bytes(),
-        }
-    }
 }
 
 /// Byte location (and expected checksums) of one column's blocks within a
@@ -87,6 +83,10 @@ struct ColumnLoc {
     values_len: u64,
     bitmap_crc: u32,
     values_crc: u32,
+    /// True when the partition file is format v3: the values block starts
+    /// with a codec tag and decodes through
+    /// [`SparseColumn::decode_values_v3`].
+    values_tagged: bool,
 }
 
 /// A shared handle to a fetched bitmap. Clones share the payload, keeping it
@@ -130,6 +130,7 @@ pub struct DiskRelation {
     vfs: VfsHandle,
     verify: Verify,
     generation: u64,
+    manifest_version: u32,
     record_count: u64,
     edge_count: usize,
     partition_width: usize,
@@ -138,6 +139,8 @@ pub struct DiskRelation {
     view_locs: Vec<(u64, u64, u32)>,
     /// `(offset, length, crc)` of each aggregate-view column.
     agg_locs: Vec<(u64, u64, u32)>,
+    /// True when the views file is format v3 (codec-tagged agg payloads).
+    views_v3: bool,
     cache: Mutex<LruCache<ColKey, Payload>>,
 }
 
@@ -150,7 +153,8 @@ impl DiskRelation {
 
     /// Opens a relation through `vfs`, reading only the manifest and the
     /// file directories (headers); column data stays on disk until
-    /// fetched. `cache_bytes` bounds the decoded-column cache. Partial or
+    /// fetched. `cache_bytes` bounds the column cache, charged in
+    /// compressed on-disk bytes (what a re-fetch would read). Partial or
     /// damaged state — a missing generation file, truncated directory, or
     /// checksum mismatch — is reported as [`StoreError::Corrupt`].
     /// `verify` governs payload CRCs on later fetches
@@ -171,8 +175,55 @@ impl DiskRelation {
         let mut columns = Vec::with_capacity(manifest.edge_count);
         for p in 0..parts {
             let path = dir.join(part_file_name(manifest.generation, p));
-            let head = read_exact_range(&vfs, &path, 0, 4)?;
-            let n = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+            let partition = u32::try_from(p).expect("partition fits u32");
+            // Every file self-describes: a v3 part leads with its magic, a
+            // v2 part with its (manifest-bounded) column count.
+            let head = read_exact_range(&vfs, &path, 0, 8)?;
+            let magic = u32::from_le_bytes(head[..4].try_into().unwrap());
+            if magic == PART_MAGIC_V3 {
+                let n = u32::from_le_bytes(head[4..8].try_into().unwrap()) as usize;
+                if columns.len() + n > manifest.edge_count {
+                    return Err(corrupt(&path, "partition column count out of range"));
+                }
+                let widths = read_exact_range(&vfs, &path, 8, 2)?;
+                let (wb, wv) = (u32::from(widths[0]), u32::from(widths[1]));
+                if wb > 64 || wv > 64 {
+                    return Err(corrupt(&path, "partition directory width out of range"));
+                }
+                let bl_bytes = PackedInts::byte_len(n, wb);
+                let vl_bytes = PackedInts::byte_len(n, wv);
+                let header_len = 10 + bl_bytes + vl_bytes + n * 8;
+                let header = read_exact_range(&vfs, &path, 0, (header_len + 4) as u64)?;
+                let dir_crc =
+                    u32::from_le_bytes(header[header_len..header_len + 4].try_into().unwrap());
+                if crc32(&header[..header_len]) != dir_crc {
+                    return Err(corrupt(&path, "partition directory checksum mismatch"));
+                }
+                let blens = PackedInts::from_bytes(&header[10..10 + bl_bytes], wb, n)
+                    .ok_or_else(|| corrupt(&path, "partition directory truncated"))?;
+                let vlens =
+                    PackedInts::from_bytes(&header[10 + bl_bytes..10 + bl_bytes + vl_bytes], wv, n)
+                        .ok_or_else(|| corrupt(&path, "partition directory truncated"))?;
+                let mut crcs =
+                    Bytes::copy_from_slice(&header[10 + bl_bytes + vl_bytes..header_len]);
+                let mut offset = (header_len + 4) as u64;
+                for i in 0..n {
+                    let bitmap_len = blens.get(i);
+                    let values_len = vlens.get(i);
+                    columns.push(ColumnLoc {
+                        partition,
+                        bitmap_off: offset,
+                        bitmap_len,
+                        values_len,
+                        bitmap_crc: crcs.get_u32_le(),
+                        values_crc: crcs.get_u32_le(),
+                        values_tagged: true,
+                    });
+                    offset += bitmap_len + values_len;
+                }
+                continue;
+            }
+            let n = magic as usize;
             if columns.len() + n > manifest.edge_count {
                 return Err(corrupt(&path, "partition column count out of range"));
             }
@@ -191,12 +242,13 @@ impl DiskRelation {
                 let bitmap_crc = buf.get_u32_le();
                 let values_crc = buf.get_u32_le();
                 columns.push(ColumnLoc {
-                    partition: u32::try_from(p).expect("partition fits u32"),
+                    partition,
                     bitmap_off: offset,
                     bitmap_len,
                     values_len,
                     bitmap_crc,
                     values_crc,
+                    values_tagged: false,
                 });
                 offset += bitmap_len + values_len;
             }
@@ -216,12 +268,14 @@ impl DiskRelation {
             vfs,
             verify,
             generation: manifest.generation,
+            manifest_version: manifest.version,
             record_count: manifest.record_count,
             edge_count: manifest.edge_count,
             partition_width: manifest.partition_width,
             columns,
             view_locs: views_dir.views,
             agg_locs: views_dir.aggs,
+            views_v3: views_dir.v3,
             cache: Mutex::new(LruCache::new(cache_bytes)),
         })
     }
@@ -239,6 +293,14 @@ impl DiskRelation {
     /// The live generation this handle reads from.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The on-disk format version the live generation's manifest declares
+    /// (2 = raw payloads, 3 = compressed). Individual data files still
+    /// self-describe; this is what the *writer* of the live generation
+    /// emitted.
+    pub fn format_version(&self) -> u32 {
+        self.manifest_version
     }
 
     /// Number of materialized graph views on disk.
@@ -314,17 +376,22 @@ impl DiskRelation {
         Ok(())
     }
 
+    /// Cache fill: `load` returns the decoded payload *and the on-disk
+    /// byte count it read*, and the cache is charged the latter. Budgeting
+    /// the buffer pool in compressed (actual) bytes keeps eviction
+    /// decisions and [`IoStats::disk_bytes`] consistent: a column's cache
+    /// cost equals the disk read its eviction would re-incur.
     fn fetch(
         &self,
         key: ColKey,
         stats: &mut IoStats,
-        load: impl FnOnce(&Self, &mut IoStats) -> Result<Payload, StoreError>,
+        load: impl FnOnce(&Self, &mut IoStats) -> Result<(Payload, u64), StoreError>,
     ) -> Result<Arc<Payload>, StoreError> {
         if let Some(hit) = self.cache.lock().get(&key) {
             return Ok(hit);
         }
-        let payload = load(self, stats)?;
-        let size = payload.size();
+        let (payload, disk_len) = load(self, stats)?;
+        let size = usize::try_from(disk_len).unwrap_or(usize::MAX);
         Ok(self.cache.lock().insert(key, payload, size))
     }
 
@@ -343,7 +410,7 @@ impl DiskRelation {
             stats.disk_bytes += loc.bitmap_len;
             this.check(&path, &bytes, loc.bitmap_crc, "bitmap checksum mismatch")?;
             let mut buf = Bytes::from(bytes);
-            Ok(Payload::Bitmap(Bitmap::decode(&mut buf)?))
+            Ok((Payload::Bitmap(Bitmap::decode(&mut buf)?), loc.bitmap_len))
         })?;
         Ok(BitmapRef(payload))
     }
@@ -381,9 +448,12 @@ impl DiskRelation {
             )?;
             let mut buf = Bytes::from(bytes);
             let presence = Bitmap::decode(&mut buf)?;
-            Ok(Payload::Column(SparseColumn::decode_values(
-                presence, &mut buf,
-            )?))
+            let col = if loc.values_tagged {
+                SparseColumn::decode_values_v3(presence, &mut buf)?
+            } else {
+                SparseColumn::decode_values(presence, &mut buf)?
+            };
+            Ok((Payload::Column(col), len))
         })?;
         Ok(ColumnRef(payload))
     }
@@ -399,7 +469,7 @@ impl DiskRelation {
             stats.disk_bytes += len;
             this.check(&path, &bytes, crc, "view block checksum mismatch")?;
             let mut buf = Bytes::from(bytes);
-            Ok(Payload::Bitmap(Bitmap::decode(&mut buf)?))
+            Ok((Payload::Bitmap(Bitmap::decode(&mut buf)?), len))
         })?;
         Ok(BitmapRef(payload))
     }
@@ -415,7 +485,12 @@ impl DiskRelation {
             stats.disk_bytes += len;
             this.check(&path, &bytes, crc, "view block checksum mismatch")?;
             let mut buf = Bytes::from(bytes);
-            Ok(Payload::Column(SparseColumn::decode(&mut buf)?))
+            let col = if this.views_v3 {
+                SparseColumn::decode_v3(&mut buf)?
+            } else {
+                SparseColumn::decode(&mut buf)?
+            };
+            Ok((Payload::Column(col), len))
         })?;
         Ok(ColumnRef(payload))
     }

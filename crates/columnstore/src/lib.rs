@@ -21,11 +21,14 @@
 //!   reasoning assumes "cost ∝ number of columns fetched", and every fetch
 //!   path here increments the corresponding counter so the benches can report
 //!   both wall-clock and model cost.
-//! * [`persist`] — the crash-safe binary on-disk layout (format v2):
-//!   generation-named immutable data files, CRC32 on every payload, and an
-//!   atomically renamed framed manifest as the commit point. Used to measure
-//!   the disk footprint (Table 2, Figure 4) and to survive restarts *and
-//!   crashes mid-save*.
+//! * [`persist`] — the crash-safe binary on-disk layout (formats v2 and
+//!   v3): generation-named immutable data files, CRC32 on every payload,
+//!   and an atomically renamed framed manifest as the commit point. Writers
+//!   emit the codec-compressed v3 by default ([`codec`]; raw payloads stay
+//!   a per-block candidate, so no file ever grows); readers sniff per-file
+//!   magic, so v2 stores and mixed v2/v3 generations load unchanged. Used
+//!   to measure the disk footprint (Table 2, Figure 4) and to survive
+//!   restarts *and crashes mid-save*.
 //! * [`vfs`] — the injectable filesystem underneath [`persist`] and
 //!   [`disk`]: [`OsVfs`] in production, [`FaultVfs`] (deterministic torn
 //!   writes, short reads, bit flips, ENOSPC, lost fsyncs) under the
@@ -36,6 +39,7 @@
 //!   appended and fsynced through [`vfs`] and replayed on reopen.
 
 mod cache;
+pub mod codec;
 mod column;
 pub mod delta;
 pub mod disk;
@@ -50,6 +54,7 @@ pub use column::{ColumnBuilder, DenseColumn, SparseColumn};
 pub use delta::{DeltaOp, DeltaStore};
 pub use disk::{BitmapRef, ColumnRef, DiskRelation};
 pub use iostats::{IoStats, SharedIoStats};
+pub use persist::FormatVersion;
 pub use relation::{
     shard_ranges, AggViewId, MasterRelation, RelationBuilder, ViewId, DEFAULT_PARTITION_WIDTH,
 };

@@ -28,10 +28,10 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use graphbi::disk::{save_store_with, DiskGraphStore};
+use graphbi::disk::{save_store_with, save_store_with_format, DiskGraphStore};
 use graphbi::{AggFn, GraphStore, MvccStore, QueryRequest, Response, Session};
 use graphbi_columnstore::vfs::Fault as VfsFault;
-use graphbi_columnstore::{DeltaOp, FaultVfs, Verify, Vfs};
+use graphbi_columnstore::{DeltaOp, FaultVfs, FormatVersion, Verify, Vfs};
 use graphbi_graph::RecordBuilder;
 
 use crate::engines::delta_batches;
@@ -102,8 +102,18 @@ impl CrashReport {
     }
 }
 
-/// Runs the full crash-consistency sweep on one scenario.
+/// Runs the full crash-consistency sweep on one scenario, over the
+/// default (v3, compressed) on-disk format.
 pub fn check(scenario: &Scenario, fault: CrashFault) -> CrashReport {
+    check_format(scenario, fault, FormatVersion::default())
+}
+
+/// [`check`] with the on-disk format of the baseline and of the save
+/// under test pinned explicitly, so the sweep covers legacy v2 (raw
+/// payloads) and v3 (compressed) files with identical guarantees: every
+/// fault kind at every VFS operation must reopen as exactly-old or
+/// exactly-new, and every flipped payload byte must be caught by a CRC.
+pub fn check_format(scenario: &Scenario, fault: CrashFault, format: FormatVersion) -> CrashReport {
     let mut report = CrashReport::default();
     let verify = match fault {
         CrashFault::None => Verify::Checksums,
@@ -121,7 +131,8 @@ pub fn check(scenario: &Scenario, fault: CrashFault) -> CrashReport {
 
     // Baseline: the old store saved through a clean in-memory disk.
     let base = FaultVfs::new(scenario.seed);
-    save_store_with(&base, &old_store, &dir).expect("baseline save on a clean FaultVfs");
+    save_store_with_format(&base, &old_store, &dir, &[], &[], format)
+        .expect("baseline save on a clean FaultVfs");
     let ops_before = base.op_count();
 
     // The workload, restricted to requests every engine can answer
@@ -143,7 +154,8 @@ pub fn check(scenario: &Scenario, fault: CrashFault) -> CrashReport {
     // Dry run of the save under test: counts the VFS operations it
     // performs — the crash sweep arms one fault at each of those indices.
     let clean = Arc::new(base.fork());
-    save_store_with(clean.as_ref(), &new_store, &dir).expect("dry-run save");
+    save_store_with_format(clean.as_ref(), &new_store, &dir, &[], &[], format)
+        .expect("dry-run save");
     let save_ops = clean.op_count() - ops_before;
     clean.reboot();
     let new_expected = {
@@ -160,7 +172,7 @@ pub fn check(scenario: &Scenario, fault: CrashFault) -> CrashReport {
             let site = format!("{kind:?}@{k}");
             let f = Arc::new(base.fork());
             f.arm(kind, ops_before + k);
-            let saved = save_store_with(f.as_ref(), &new_store, &dir);
+            let saved = save_store_with_format(f.as_ref(), &new_store, &dir, &[], &[], format);
             // Power loss right after the save call returns (or dies):
             // only fsynced state may survive.
             f.crash();
@@ -605,10 +617,19 @@ fn answers<S: Session>(
 /// silent-wrong-answer bait when checksums are off), plus one tail byte
 /// of every other file (manifest, views, sidecars — their checksums are
 /// always on, so those must surface as typed errors).
+///
+/// Understands both partition layouts: v2
+/// (`[ncols][(blen u64, vlen u64, crc, crc)×n][dir_crc][payloads]`) and v3
+/// (`[magic][ncols][wb][wv][packed blens][packed vlens][crc pairs]
+/// [dir_crc][payloads]`). For a v3 file the first values byte is the codec
+/// tag — flipping it must surface as a *typed* error even with checksums
+/// off — so each column also gets an interior flip (mid-payload, inside a
+/// raw f64 or the dictionary) that stays silent under
+/// [`Verify::TrustDisk`]: the `DropCrc` bait the teeth test needs.
 fn flip_targets(vfs: &FaultVfs, dir: &Path) -> Vec<(PathBuf, usize)> {
     /// Values-payload flips per partition file — enough that several land
     /// in columns the workload actually fetches.
-    const FLIPS_PER_PART: usize = 32;
+    const FLIPS_PER_PART: usize = 48;
 
     let mut out = Vec::new();
     let mut files = vfs.list(dir).unwrap_or_default();
@@ -626,29 +647,27 @@ fn flip_targets(vfs: &FaultVfs, dir: &Path) -> Vec<(PathBuf, usize)> {
             out.push((path, bytes.len() - 1));
             continue;
         }
-        // Partition file: walk the directory to find payload offsets.
-        // Layout: [ncols u32][(bitmap_len u64, values_len u64, crc, crc)
-        // × n][dir_crc u32][payloads].
-        if bytes.len() < 4 {
+        let Some((payload_start, lens)) = parse_part_header(&bytes) else {
             continue;
-        }
-        let le64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
-        let ncols = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
-        let header = 4 + ncols * 24;
-        if bytes.len() < header + 4 {
-            continue;
-        }
-        let mut off = header + 4;
+        };
+        let mut off = payload_start;
         let mut flips = 0;
-        for c in 0..ncols {
-            let entry = 4 + c * 24;
-            let bitmap_len = le64(entry);
-            let values_len = le64(entry + 8);
+        for (c, &(bitmap_len, values_len)) in lens.iter().enumerate() {
             if flips < FLIPS_PER_PART {
                 if values_len > 0 && off + bitmap_len < bytes.len() {
-                    // First byte of the column's measure values.
+                    // First byte of the column's measure values (the codec
+                    // tag on v3 files).
                     out.push((path.clone(), off + bitmap_len));
                     flips += 1;
+                    // An interior byte of the values payload: inside a raw
+                    // f64 (or the dictionary) where no structural check
+                    // can notice — only the CRC stands between this flip
+                    // and a silently wrong measure.
+                    let interior = off + bitmap_len + (values_len / 2).max(1);
+                    if c % 2 == 0 && values_len > 1 && interior < bytes.len() {
+                        out.push((path.clone(), interior));
+                        flips += 1;
+                    }
                 } else if bitmap_len > 0 && off < bytes.len() {
                     // Columns without measures: flip structure instead.
                     out.push((path.clone(), off));
@@ -659,4 +678,44 @@ fn flip_targets(vfs: &FaultVfs, dir: &Path) -> Vec<(PathBuf, usize)> {
         }
     }
     out
+}
+
+/// Parses either partition-file header, returning the payload start offset
+/// and each column's `(bitmap_len, values_len)`.
+fn parse_part_header(bytes: &[u8]) -> Option<(usize, Vec<(usize, usize)>)> {
+    use graphbi_columnstore::codec::PackedInts;
+
+    if bytes.len() < 8 {
+        return None;
+    }
+    let head = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if head == graphbi_columnstore::persist::PART_MAGIC_V3 {
+        let n = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        if bytes.len() < 10 {
+            return None;
+        }
+        let (wb, wv) = (u32::from(bytes[8]), u32::from(bytes[9]));
+        let bl_bytes = PackedInts::byte_len(n, wb);
+        let vl_bytes = PackedInts::byte_len(n, wv);
+        let header = 10 + bl_bytes + vl_bytes + n * 8;
+        if bytes.len() < header + 4 {
+            return None;
+        }
+        let blens = PackedInts::from_bytes(&bytes[10..10 + bl_bytes], wb, n)?;
+        let vlens = PackedInts::from_bytes(&bytes[10 + bl_bytes..10 + bl_bytes + vl_bytes], wv, n)?;
+        let lens = (0..n)
+            .map(|i| (blens.get(i) as usize, vlens.get(i) as usize))
+            .collect();
+        return Some((header + 4, lens));
+    }
+    let n = head as usize;
+    let header = 4 + n * 24;
+    if bytes.len() < header + 4 {
+        return None;
+    }
+    let le64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+    let lens = (0..n)
+        .map(|c| (le64(4 + c * 24), le64(4 + c * 24 + 8)))
+        .collect();
+    Some((header + 4, lens))
 }
