@@ -210,6 +210,9 @@ impl Bitmap {
     pub(crate) fn push_container(&mut self, key: u16, c: Container) {
         debug_assert!(self.keys.last().is_none_or(|&k| k < key));
         debug_assert!(!c.is_empty());
+        if let Container::Words(w) = &c {
+            w.debug_check_card();
+        }
         self.keys.push(key);
         self.containers.push(c);
     }

@@ -38,6 +38,9 @@ const MAGIC: u32 = 0x4742_4D31;
 /// least 2): used to bound allocation when decoding gamma-coded runs.
 const MAX_RUNS: usize = (1usize << 16).div_ceil(3);
 
+/// Stack-buffer size for block decoding of packed integers.
+const UNPACK_BLOCK: usize = 64;
+
 /// Error returned when decoding malformed bitmap bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
@@ -431,23 +434,31 @@ impl Bitmap {
                     let Some(packed) = PackedInts::from_bytes(&payload[5..], width, count) else {
                         return Err(DecodeError::Corrupt("frame-of-reference payload truncated"));
                     };
+                    // Block-decode the deltas through the dispatched
+                    // unpack kernel instead of per-element bit reads.
                     let mut vals: Vec<u16> = Vec::with_capacity(count);
+                    let mut deltas = [0u64; UNPACK_BLOCK];
                     let mut prev: Option<u16> = None;
-                    for i in 0..count {
-                        let v = u64::from(base) + packed.get(i);
-                        if v > 0xffff {
-                            return Err(DecodeError::Corrupt(
-                                "frame-of-reference value out of chunk range",
-                            ));
+                    let mut start = 0usize;
+                    while start < count {
+                        let got = packed.unpack_into(start, &mut deltas);
+                        for &d in &deltas[..got] {
+                            let v = u64::from(base) + d;
+                            if v > 0xffff {
+                                return Err(DecodeError::Corrupt(
+                                    "frame-of-reference value out of chunk range",
+                                ));
+                            }
+                            let v = v as u16;
+                            if prev.is_some_and(|p| p >= v) {
+                                return Err(DecodeError::Corrupt(
+                                    "frame-of-reference values not strictly increasing",
+                                ));
+                            }
+                            prev = Some(v);
+                            vals.push(v);
                         }
-                        let v = v as u16;
-                        if prev.is_some_and(|p| p >= v) {
-                            return Err(DecodeError::Corrupt(
-                                "frame-of-reference values not strictly increasing",
-                            ));
-                        }
-                        prev = Some(v);
-                        vals.push(v);
+                        start += got;
                     }
                     Container::Array(vals)
                 }

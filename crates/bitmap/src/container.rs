@@ -6,6 +6,12 @@
 //! run-length intervals for clustered chunks. All binary operations keep the
 //! result in the cheapest of array/words form; run form is only produced by
 //! [`Container::optimize`], which callers invoke after bulk loads.
+//!
+//! Word-level loops (AND/OR/ANDNOT/XOR over dense containers, cardinality
+//! recounts, galloping probes) are delegated to [`crate::kernels`], which
+//! dispatches between scalar and AVX2 implementations at runtime.
+
+use crate::kernels;
 
 /// Maximum cardinality at which the sorted-array representation is kept.
 ///
@@ -80,7 +86,19 @@ impl Words {
     }
 
     pub fn recount(&mut self) {
-        self.card = self.bits.iter().map(|w| w.count_ones()).sum();
+        self.card = u32::try_from(kernels::popcount(&self.bits)).expect("container card fits u32");
+    }
+
+    /// Debug-build check that the maintained cardinality matches an actual
+    /// recount — every incremental update path funnels through here via
+    /// [`Container::shrink`] and `Bitmap::push_container`.
+    #[inline]
+    pub fn debug_check_card(&self) {
+        debug_assert_eq!(
+            u64::from(self.card),
+            kernels::popcount(&self.bits),
+            "cached words cardinality diverged from recount"
+        );
     }
 }
 
@@ -216,10 +234,7 @@ impl Container {
             },
             Container::Words(w) => {
                 let word = usize::from(v >> 6);
-                let mut r: u64 = w.bits[..word]
-                    .iter()
-                    .map(|x| u64::from(x.count_ones()))
-                    .sum();
+                let mut r = kernels::popcount(&w.bits[..word]);
                 let mask = (1u64 << (v & 63)) - 1;
                 r += u64::from((w.bits[word] & mask).count_ones());
                 r
@@ -300,6 +315,7 @@ impl Container {
     /// Normalizes words form down to array form when it is small enough.
     pub fn shrink(&mut self) {
         if let Container::Words(w) = self {
+            w.debug_check_card();
             if usize::try_from(w.card).expect("card fits usize") <= ARRAY_MAX {
                 *self = Container::Array(array_from_words(w));
             }
@@ -485,11 +501,9 @@ impl Container {
                 Array(a.iter().copied().filter(|&v| w.contains(v)).collect())
             }
             (Words(a), Words(b)) => {
-                let mut w = self::Words::empty();
-                for i in 0..WORDS {
-                    w.bits[i] = a.bits[i] & b.bits[i];
-                }
-                w.recount();
+                let mut w = a.clone();
+                w.card = u32::try_from(kernels::and_words(&mut w.bits, &b.bits))
+                    .expect("container card fits u32");
                 Words(w)
             }
             (Runs(a), Runs(b)) => Runs(intersect_runs(a, b)),
@@ -505,9 +519,7 @@ impl Container {
     pub fn and_len(&self, other: &Container) -> u64 {
         use Container::*;
         match (self, other) {
-            (Words(a), Words(b)) => (0..WORDS)
-                .map(|i| u64::from((a.bits[i] & b.bits[i]).count_ones()))
-                .sum(),
+            (Words(a), Words(b)) => kernels::and_card(&a.bits, &b.bits),
             (Array(a), Words(w)) | (Words(w), Array(a)) => {
                 a.iter().filter(|&&v| w.contains(v)).count() as u64
             }
@@ -542,11 +554,9 @@ impl Container {
                 Words(w)
             }
             (Words(a), Words(b)) => {
-                let mut w = self::Words::empty();
-                for i in 0..WORDS {
-                    w.bits[i] = a.bits[i] | b.bits[i];
-                }
-                w.recount();
+                let mut w = a.clone();
+                w.card = u32::try_from(kernels::or_words(&mut w.bits, &b.bits))
+                    .expect("container card fits u32");
                 Words(w)
             }
             (Runs(a), Runs(b)) => Runs(union_runs(a, b)),
@@ -565,11 +575,9 @@ impl Container {
             (Array(a), Array(b)) => Array(difference_arrays(a, b)),
             (Array(a), Words(w)) => Array(a.iter().copied().filter(|&v| !w.contains(v)).collect()),
             (Words(a), Words(b)) => {
-                let mut w = self::Words::empty();
-                for i in 0..WORDS {
-                    w.bits[i] = a.bits[i] & !b.bits[i];
-                }
-                w.recount();
+                let mut w = a.clone();
+                w.card = u32::try_from(kernels::andnot_words(&mut w.bits, &b.bits))
+                    .expect("container card fits u32");
                 Words(w)
             }
             (Words(w), Array(b)) => {
@@ -612,11 +620,9 @@ impl Container {
                 Words(w)
             }
             (Words(a), Words(b)) => {
-                let mut w = self::Words::empty();
-                for i in 0..WORDS {
-                    w.bits[i] = a.bits[i] ^ b.bits[i];
-                }
-                w.recount();
+                let mut w = a.clone();
+                w.card = u32::try_from(kernels::xor_words(&mut w.bits, &b.bits))
+                    .expect("container card fits u32");
                 Words(w)
             }
             (Runs(rs), other) | (other, Runs(rs)) => {
@@ -697,13 +703,8 @@ impl Container {
                 *self = Array(filtered);
             }
             (Words(a), Words(b)) => {
-                let mut card = 0u32;
-                for i in 0..WORDS {
-                    let w = a.bits[i] & b.bits[i];
-                    a.bits[i] = w;
-                    card += w.count_ones();
-                }
-                a.card = card;
+                a.card = u32::try_from(kernels::and_words(&mut a.bits, &b.bits))
+                    .expect("container card fits u32");
             }
             (Words(w), Runs(rs)) => {
                 let mut masks = RunMasks::new(rs);
@@ -742,13 +743,8 @@ impl Container {
                 }
             }
             (Words(a), Words(b)) => {
-                let mut card = 0u32;
-                for i in 0..WORDS {
-                    let w = a.bits[i] & !b.bits[i];
-                    a.bits[i] = w;
-                    card += w.count_ones();
-                }
-                a.card = card;
+                a.card = u32::try_from(kernels::andnot_words(&mut a.bits, &b.bits))
+                    .expect("container card fits u32");
             }
             (Words(w), Runs(rs)) => {
                 let mut masks = RunMasks::new(rs);
@@ -783,13 +779,8 @@ impl Container {
             }
             (Array(a), Words(wb)) => {
                 let mut w = words_from_array(a);
-                let mut card = 0u32;
-                for i in 0..WORDS {
-                    let nw = w.bits[i] | wb.bits[i];
-                    w.bits[i] = nw;
-                    card += nw.count_ones();
-                }
-                w.card = card;
+                w.card = u32::try_from(kernels::or_words(&mut w.bits, &wb.bits))
+                    .expect("container card fits u32");
                 *self = Words(w);
             }
             (Words(w), Array(b)) => {
@@ -798,13 +789,8 @@ impl Container {
                 }
             }
             (Words(a), Words(b)) => {
-                let mut card = 0u32;
-                for i in 0..WORDS {
-                    let w = a.bits[i] | b.bits[i];
-                    a.bits[i] = w;
-                    card += w.count_ones();
-                }
-                a.card = card;
+                a.card = u32::try_from(kernels::or_words(&mut a.bits, &b.bits))
+                    .expect("container card fits u32");
             }
             (Words(w), Runs(rs)) => {
                 let mut masks = RunMasks::new(rs);
@@ -863,7 +849,9 @@ const GALLOP_RATIO: usize = 64;
 /// Galloping search in sorted `s` for `v`: returns the index of the first
 /// element `>= v` and whether that element equals `v`. O(log d) where `d`
 /// is the distance from the front, so repeated searches with ascending `v`
-/// over a suffix stay cheap.
+/// over a suffix stay cheap. The bounded window left by the exponential
+/// phase is resolved by the dispatched probe kernel (bisection down to a
+/// short window, then a 16-lane scan on the simd path).
 #[inline]
 fn gallop(s: &[u16], v: u16) -> (usize, bool) {
     if s.is_empty() {
@@ -875,10 +863,8 @@ fn gallop(s: &[u16], v: u16) -> (usize, bool) {
     }
     let lo = hi >> 1;
     let hi = (hi + 1).min(s.len());
-    match s[lo..hi].binary_search(&v) {
-        Ok(p) => (lo + p, true),
-        Err(p) => (lo + p, false),
-    }
+    let p = lo + kernels::find_first_geq_u16(&s[lo..hi], v);
+    (p, p < s.len() && s[p] == v)
 }
 
 fn intersect_arrays(a: &[u16], b: &[u16]) -> Vec<u16> {

@@ -255,6 +255,24 @@ impl PackedInts {
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         (0..self.len).map(|i| self.get(i))
     }
+
+    /// Bulk-decodes up to `out.len()` consecutive values starting at index
+    /// `start` into `out`, returning how many were written (`0` when
+    /// `start >= len()`). This is the vectorized block path behind
+    /// frame-of-reference and dictionary-index decoding — equivalent to
+    /// `out[k] = self.get(start + k)` but decoded through
+    /// [`crate::kernels::unpack_bits`], which dispatches to the AVX2
+    /// gather/shift unpacker when available.
+    pub fn unpack_into(&self, start: usize, out: &mut [u64]) -> usize {
+        let n = out.len().min(self.len.saturating_sub(start));
+        crate::kernels::unpack_bits(
+            &self.bits,
+            start * self.width as usize,
+            self.width,
+            &mut out[..n],
+        );
+        n
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -41,6 +41,7 @@ pub mod dense;
 pub mod ewah;
 pub mod intcodec;
 mod iter;
+pub mod kernels;
 mod ops;
 
 pub use bitmap::Bitmap;

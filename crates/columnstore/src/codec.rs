@@ -33,8 +33,12 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 pub use graphbi_bitmap::intcodec::{
     gallop_intersect, gamma_bit_len, BitReader, BitWriter, EfCursor, EliasFano, PackedInts,
 };
+use graphbi_bitmap::kernels;
 
 use crate::StoreError;
+
+/// Stack-buffer size for block decoding of packed dictionary indices.
+const UNPACK_BLOCK: usize = 64;
 
 /// Codec tag: raw f64 values.
 pub const VALUES_RAW: u8 = 0;
@@ -95,6 +99,43 @@ impl Measures {
     /// Iterates values in rank order, resolving dictionary indices lazily.
     pub(crate) fn iter(&self) -> impl Iterator<Item = f64> + '_ {
         (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// The contiguous value slice, when this vector is raw. The fused
+    /// aggregation path hands this straight to the SIMD fold kernel.
+    pub(crate) fn raw_slice(&self) -> Option<&[f64]> {
+        match self {
+            Measures::Raw(v) => Some(v),
+            Measures::Dict { .. } => None,
+        }
+    }
+
+    /// Streams every value in rank order through `f`. Dictionary blocks
+    /// are resolved a block at a time: the packed indices go through the
+    /// dispatched unpack kernel and the dictionary lookups through the
+    /// dispatched gather kernel, instead of per-element bit reads.
+    pub(crate) fn fold_all(&self, f: &mut impl FnMut(f64)) {
+        match self {
+            Measures::Raw(v) => {
+                for &x in v {
+                    f(x);
+                }
+            }
+            Measures::Dict { dict, indices } => {
+                let mut ib = [0u64; UNPACK_BLOCK];
+                let mut vb = [0f64; UNPACK_BLOCK];
+                let mut start = 0usize;
+                while start < indices.len() {
+                    let got = indices.unpack_into(start, &mut ib);
+                    let ok = kernels::gather_f64(dict, &ib[..got], &mut vb[..got]);
+                    assert!(ok, "dict indices validated at decode");
+                    for &v in &vb[..got] {
+                        f(v);
+                    }
+                    start += got;
+                }
+            }
+        }
     }
 
     /// Appends a value — the ingest path. A dictionary-coded vector is
@@ -220,8 +261,16 @@ impl Measures {
                 let Some(indices) = PackedInts::from_bytes(&packed_bytes, width, n) else {
                     return Err(StoreError::Format("dict indices malformed"));
                 };
-                if indices.iter().any(|i| i >= ndict as u64) {
-                    return Err(StoreError::Format("dict index out of range"));
+                // Validate every index against the dictionary bound,
+                // block-decoding through the dispatched unpack kernel.
+                let mut ib = [0u64; UNPACK_BLOCK];
+                let mut start = 0usize;
+                while start < n {
+                    let got = indices.unpack_into(start, &mut ib);
+                    if ib[..got].iter().any(|&i| i >= ndict as u64) {
+                        return Err(StoreError::Format("dict index out of range"));
+                    }
+                    start += got;
                 }
                 Ok(Measures::Dict { dict, indices })
             }

@@ -1,6 +1,7 @@
 //! Measure columns.
 
 use bytes::{Buf, Bytes, BytesMut};
+use graphbi_bitmap::kernels::{self, FoldAgg};
 use graphbi_bitmap::{Bitmap, RecordId};
 
 use crate::codec::Measures;
@@ -77,7 +78,9 @@ impl SparseColumn {
     /// `Vec`).
     ///
     /// Uses rank-based point lookups when `ids` is much smaller than the
-    /// column and a lockstep scan otherwise.
+    /// column, streams every value when `ids` covers the whole presence
+    /// set (the common full-column aggregate, served by the block-decode
+    /// kernels), and falls back to a lockstep scan otherwise.
     pub fn fold_over(&self, ids: &Bitmap, mut f: impl FnMut(f64)) {
         if ids.len() * 8 < self.presence.len() {
             ids.for_each(|r| {
@@ -85,6 +88,8 @@ impl SparseColumn {
                     f(v);
                 }
             });
+        } else if ids.len() >= self.presence.len() && self.presence.is_subset(ids) {
+            self.values.fold_all(&mut f);
         } else {
             let mut wanted = ids.iter().peekable();
             for (idx, r) in self.presence.iter().enumerate() {
@@ -101,6 +106,23 @@ impl SparseColumn {
                 }
             }
         }
+    }
+
+    /// Folds the values of every record in `ids` into a SUM/MIN/MAX/COUNT
+    /// accumulator in one pass, in the documented four-lane order of
+    /// [`graphbi_bitmap::kernels::fold_f64`] — identical on the scalar and
+    /// simd paths, so aggregates computed here are bit-stable across
+    /// hardware. When `ids` covers the whole column and the values are
+    /// raw, the slice goes straight through the SIMD fold kernel.
+    pub fn fold_aggregate(&self, ids: &Bitmap) -> FoldAgg {
+        if ids.len() >= self.presence.len() && self.presence.is_subset(ids) {
+            if let Some(slice) = self.values.raw_slice() {
+                return kernels::fold_f64(slice);
+            }
+        }
+        let mut agg = FoldAgg::new();
+        self.fold_over(ids, |v| agg.push(v));
+        agg
     }
 
     /// Gathers `(record, value)` pairs for `ids`, ascending by record.

@@ -112,6 +112,8 @@ pub struct Profile {
     pub cache_misses: u64,
     /// Column-cache evictions during this request.
     pub cache_evictions: u64,
+    /// Which kernel path served the request (`"scalar"` or `"simd"`).
+    pub kernel_path: &'static str,
 }
 
 fn response_rows(resp: &Response) -> u64 {
@@ -180,6 +182,7 @@ pub(crate) fn profile_request<S: Session + ?Sized>(
         cache_hits,
         cache_misses,
         cache_evictions,
+        kernel_path: graphbi_bitmap::kernels::path_name(),
     };
     Ok((resp, profile))
 }
@@ -245,11 +248,12 @@ impl Profile {
         } else {
             100.0 * self.cache_hits as f64 / looked as f64
         };
-        let _ = write!(
+        let _ = writeln!(
             out,
             "cache: {} hit(s) / {} miss(es) ({rate:.1}% hit rate), {} eviction(s)",
             self.cache_hits, self.cache_misses, self.cache_evictions
         );
+        let _ = write!(out, "kernels: {}", self.kernel_path);
         out
     }
 
@@ -304,8 +308,13 @@ impl Profile {
         );
         let _ = write!(
             out,
-            ",\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}}}",
+            ",\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}",
             self.cache_hits, self.cache_misses, self.cache_evictions
+        );
+        let _ = write!(
+            out,
+            ",\"kernels\":{}}}",
+            graphbi_obs::json::quote(self.kernel_path)
         );
         out
     }

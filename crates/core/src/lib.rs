@@ -82,6 +82,7 @@ pub use viewmgr::{AggViewDef, GraphViewDef};
 pub use wire::WireError;
 
 // The vocabulary types users need alongside the store.
+pub use graphbi_bitmap::kernels;
 pub use graphbi_bitmap::{Bitmap, RecordId};
 pub use graphbi_columnstore::IoStats;
 pub use graphbi_graph::{

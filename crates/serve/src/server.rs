@@ -252,6 +252,14 @@ impl Server {
     pub fn start(store: ServeStore, addr: &str, cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // 0 = scalar, 1 = simd; resolved once so dashboards can tell which
+        // kernel path this process actually runs.
+        graphbi_obs::global()
+            .gauge("graphbi_kernel_path")
+            .set(i64::from(matches!(
+                graphbi::kernels::active(),
+                graphbi::kernels::KernelPath::Simd
+            )));
         let hello_text = store.universe_text();
         let collector = cfg.trace.then(|| Arc::new(graphbi_obs::Collector::new()));
         let ctx = Arc::new(Ctx {

@@ -1,0 +1,63 @@
+//! Differential oracle runs under forced kernel paths: the full engine ×
+//! backend matrix must pass, and direct query execution must return
+//! bit-identical answers with identical logical IoStats, whether the
+//! scalar or the SIMD kernels served them.
+//!
+//! This file deliberately holds a SINGLE `#[test]` function: it is its own
+//! test binary and therefore its own process, so flipping the
+//! process-global `kernels::force` override cannot race another test
+//! thread (the unit/property suites use the explicit `*_path` kernel
+//! variants instead and never touch the global).
+
+use graphbi::kernels::{self, KernelPath};
+use graphbi::{GraphStore, QueryRequest, Session};
+use graphbi_testkit::{check, Fault, Scenario};
+
+#[test]
+fn oracle_and_answers_identical_under_forced_paths() {
+    // 1) The differential matrix passes under both forced paths.
+    for path in [KernelPath::Scalar, KernelPath::Simd] {
+        kernels::force(Some(path));
+        for seed in [11u64, 23] {
+            let report = check(&Scenario::generate(seed), Fault::None);
+            assert!(
+                report.passed(),
+                "seed {seed} under forced {}: {} discrepancies, first: {}",
+                path.name(),
+                report.discrepancies.len(),
+                report.discrepancies[0],
+            );
+        }
+    }
+
+    // 2) Direct execution: answers and logical IoStats diffed across the
+    //    two forced paths, query by query, on a fixed-seed store.
+    let scenario = Scenario::generate(37);
+    let store = GraphStore::load(scenario.universe.clone(), &scenario.records);
+    let mut compared = 0u32;
+    for q in &scenario.queries {
+        let req = QueryRequest::new(q.clone());
+
+        kernels::force(Some(KernelPath::Scalar));
+        let (ans_scalar, io_scalar) = store.execute(&req).expect("scalar evaluate");
+
+        kernels::force(Some(KernelPath::Simd));
+        let (ans_simd, io_simd) = store.execute(&req).expect("simd evaluate");
+
+        assert_eq!(ans_simd, ans_scalar, "answers diverged across paths: {q:?}");
+        assert_eq!(
+            io_simd, io_scalar,
+            "logical IoStats diverged across paths: {q:?}"
+        );
+        compared += 1;
+    }
+    assert!(compared >= 3, "too few queries compared: {compared}");
+
+    // 3) Forcing SIMD on a machine without it must degrade to scalar, not
+    //    crash; the answers above already proved it stays correct.
+    if !kernels::simd_available() {
+        assert_eq!(kernels::active(), KernelPath::Scalar);
+    }
+
+    kernels::force(None);
+}
