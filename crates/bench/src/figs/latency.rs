@@ -6,18 +6,25 @@
 
 use graphbi::{AggFn, GraphStore, PathAggQuery, QueryRequest, Session};
 use graphbi_graph::GraphQuery;
+use graphbi_obs::Histogram;
 
 use crate::{fmt, ny, time_ms, zipf_queries, Table};
 
-fn percentiles(mut xs: Vec<f64>) -> (f64, f64, f64, f64) {
-    xs.sort_by(f64::total_cmp);
-    let pick = |p: f64| xs[(((xs.len() - 1) as f64) * p) as usize];
-    (
-        pick(0.5),
-        pick(0.95),
-        pick(0.99),
-        *xs.last().expect("non-empty"),
-    )
+/// Summarizes a latency sample through the same power-of-two histogram
+/// the server's METRICS/TOP verbs report, so figure and live quantiles
+/// are computed by one code path ([`graphbi_obs::HistSnapshot::quantile`]).
+/// Max stays exact — it is a single sample, not an estimate.
+fn percentiles(xs: Vec<f64>) -> (f64, f64, f64, f64) {
+    let h = Histogram::new();
+    for &ms in &xs {
+        h.record((ms * 1e6) as u64); // ns resolution
+    }
+    let snap = h.snapshot();
+    let max = xs.iter().copied().fold(0.0f64, f64::max);
+    // quantile() answers a bucket's upper bound, which can overshoot the
+    // true maximum — clamp so the table never shows p99 > max.
+    let q = |p: f64| (snap.quantile(p) as f64 / 1e6).min(max);
+    (q(0.5), q(0.95), q(0.99), max)
 }
 
 /// Per-query wall-clock for a closure, best effort (single run per query —

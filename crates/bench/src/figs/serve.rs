@@ -19,6 +19,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use graphbi::{GraphStore, QueryRequest, Session, SharedStore};
+use graphbi_obs::Histogram;
 use graphbi_serve::{Client, ServeConfig, ServeStore, Server};
 
 use crate::{fmt, ny, zipf_queries, Table};
@@ -40,6 +41,8 @@ struct Run {
     /// Requests those dispatches answered.
     requests: u64,
     identical: bool,
+    /// Wall-clock for the whole run — the recorder-overhead comparison.
+    wall_s: f64,
 }
 
 impl Run {
@@ -48,75 +51,63 @@ impl Run {
     }
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
 fn run_config(
     store: &SharedStore,
     reqs: &Arc<Vec<QueryRequest>>,
     expected: &Arc<Vec<String>>,
     mode: &'static str,
     clients: usize,
-    batch_max: usize,
+    cfg: ServeConfig,
 ) -> Run {
-    let server = Server::start(
-        ServeStore::Shared(store.clone()),
-        "127.0.0.1:0",
-        ServeConfig {
-            batch_max,
-            queue_depth: 1024,
-            ..ServeConfig::default()
-        },
-    )
-    .expect("server starts");
+    let server = Server::start(ServeStore::Shared(store.clone()), "127.0.0.1:0", cfg)
+        .expect("server starts");
     let addr = server.addr();
 
     let reg = graphbi_obs::global();
     let batches_before = reg.counter("graphbi_serve_batches_total").get();
     let requests_before = reg.counter("graphbi_serve_batched_requests_total").get();
 
+    // All client threads record into one atomic histogram — the same
+    // power-of-two buckets the server's METRICS/TOP report, so figure
+    // percentiles and live percentiles share one quantile code path.
+    let hist = Arc::new(Histogram::new());
+    let started_all = std::time::Instant::now();
     let threads: Vec<_> = (0..clients)
         .map(|c| {
             let reqs = Arc::clone(reqs);
             let expected = Arc::clone(expected);
+            let hist = Arc::clone(&hist);
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("client connects");
-                let mut lat_us = Vec::with_capacity(PER_CLIENT);
                 let mut identical = true;
                 for k in 0..PER_CLIENT {
                     let i = (c * 7 + k) % reqs.len();
                     let started = std::time::Instant::now();
                     let resp = client.query(&reqs[i]).expect("query");
-                    lat_us.push(started.elapsed().as_secs_f64() * 1e6);
+                    hist.record(started.elapsed().as_nanos() as u64);
                     identical &= resp.to_text() == expected[i];
                 }
-                (lat_us, identical)
+                identical
             })
         })
         .collect();
 
-    let mut lat_us = Vec::with_capacity(clients * PER_CLIENT);
     let mut identical = true;
     for t in threads {
-        let (l, ok) = t.join().expect("client thread");
-        lat_us.extend(l);
-        identical &= ok;
+        identical &= t.join().expect("client thread");
     }
-    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let wall_s = started_all.elapsed().as_secs_f64();
+    let snap = hist.snapshot();
 
     Run {
         mode,
         clients,
-        p50_us: percentile(&lat_us, 0.50),
-        p99_us: percentile(&lat_us, 0.99),
+        p50_us: snap.quantile(0.50) as f64 / 1e3,
+        p99_us: snap.quantile(0.99) as f64 / 1e3,
         batches: reg.counter("graphbi_serve_batches_total").get() - batches_before,
         requests: reg.counter("graphbi_serve_batched_requests_total").get() - requests_before,
         identical,
+        wall_s,
     }
 }
 
@@ -141,9 +132,9 @@ pub fn run() -> bool {
     // Best of three runs per configuration (same convention as fig6),
     // applied symmetrically to both modes: scheduler jitter at the
     // millisecond scale otherwise dominates the tail percentiles.
-    let best = |mode, clients, batch_max| {
+    let best = |mode: &'static str, clients: usize, cfg: &dyn Fn() -> ServeConfig| {
         let trials: Vec<Run> = (0..3)
-            .map(|_| run_config(&store, &reqs, &expected, mode, clients, batch_max))
+            .map(|_| run_config(&store, &reqs, &expected, mode, clients, cfg()))
             .collect();
         // Correctness is judged over every trial, not just the kept one.
         let all_identical = trials.iter().all(|r| r.identical);
@@ -158,11 +149,65 @@ pub fn run() -> bool {
         kept.identical = all_identical;
         kept
     };
+    let base = |batch_max: usize| ServeConfig {
+        batch_max,
+        queue_depth: 1024,
+        ..ServeConfig::default()
+    };
     let mut runs = Vec::new();
     for &clients in &CLIENTS {
-        runs.push(best("dispatch", clients, 1));
-        runs.push(best("batched", clients, 64));
+        runs.push(best("dispatch", clients, &|| base(1)));
+        runs.push(best("batched", clients, &|| base(64)));
     }
+
+    // Recorder overhead on the unsampled fast path: the same batched
+    // 8-client workload with the flight recorder disabled (capacity 0)
+    // vs armed with head sampling off — every request pays the full
+    // per-request decision cost (rid assignment, sampler, slow check)
+    // but none is captured. Head-sampled requests are deliberately NOT
+    // in this comparison: they run solo through the profiler, a feature
+    // cost, not recorder bookkeeping. Best of three each; answers must
+    // stay bit-identical in every trial.
+    // Trials interleave off/on so machine drift hits both sides alike;
+    // each side keeps its fastest wall-clock.
+    let (mut offs, mut ons) = (Vec::new(), Vec::new());
+    for _ in 0..3 {
+        offs.push(run_config(
+            &store,
+            &reqs,
+            &expected,
+            "recorder-off",
+            8,
+            ServeConfig {
+                flight_capacity: 0,
+                sample_every: 0,
+                ..base(64)
+            },
+        ));
+        ons.push(run_config(
+            &store,
+            &reqs,
+            &expected,
+            "recorder-on",
+            8,
+            ServeConfig {
+                sample_every: 0,
+                ..base(64)
+            },
+        ));
+    }
+    let fastest = |trials: Vec<Run>| {
+        let all_identical = trials.iter().all(|r| r.identical);
+        let mut kept = trials
+            .into_iter()
+            .min_by(|a, b| a.wall_s.partial_cmp(&b.wall_s).expect("finite wall"))
+            .expect("three runs executed");
+        kept.identical = all_identical;
+        kept
+    };
+    let rec_off = fastest(offs);
+    let rec_on = fastest(ons);
+    let overhead_pct = (rec_on.wall_s - rec_off.wall_s) / rec_off.wall_s.max(1e-9) * 100.0;
 
     let mut t = Table::new(
         "Service layer: per-request latency, dispatch (batch_max=1) vs batched (batch_max=64)",
@@ -177,7 +222,7 @@ pub fn run() -> bool {
             "identical",
         ],
     );
-    for r in &runs {
+    for r in runs.iter().chain([&rec_off, &rec_on]) {
         t.row(vec![
             r.mode.into(),
             r.clients.to_string(),
@@ -190,6 +235,10 @@ pub fn run() -> bool {
         ]);
     }
     t.emit("serve");
+    println!(
+        "recorder overhead (8 clients, batched): off {:.3}s, on {:.3}s, {overhead_pct:+.2}%",
+        rec_off.wall_s, rec_on.wall_s
+    );
 
     // Machine-readable point for the benchmark history.
     let mut json = String::from("{\n");
@@ -214,7 +263,15 @@ pub fn run() -> bool {
             r.identical,
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"recorder\": {{\"clients\": 8, \"off_s\": {:.4}, \"on_s\": {:.4}, \
+         \"overhead_pct\": {overhead_pct:.2}, \"sample_every\": 0, \"identical\": {}}}",
+        rec_off.wall_s,
+        rec_on.wall_s,
+        rec_off.identical && rec_on.identical,
+    );
     json.push_str("}\n");
     let out = std::env::var("GRAPHBI_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
     match std::fs::write(&out, &json) {
@@ -222,7 +279,8 @@ pub fn run() -> bool {
         Err(e) => eprintln!("could not write {out}: {e}"),
     }
 
-    let identical = runs.iter().all(|r| r.identical);
+    let identical =
+        runs.iter().all(|r| r.identical) && rec_off.identical && rec_on.identical;
     // Under contention the batched server must actually coalesce: the
     // 32-client batched run needs fewer dispatches than requests.
     let coalesced = runs

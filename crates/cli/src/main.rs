@@ -42,11 +42,16 @@ const USAGE: &str = "usage:
   graphbi explain <dir> \"<query>\"
   graphbi profile <dir> \"<query>\" [--json <file>]   (EXPLAIN ANALYZE)
   graphbi advise <dir> <budget> \"<query>\" [\"<query>\" ...]
-  graphbi serve <dir> <addr> [--mvcc]          serve the database over TCP
+  graphbi serve <dir> <addr> [--mvcc] [--slowlog-file <path>]
+                             [--slow-ms <n>] [--sample <n>]
   graphbi connect <addr> query \"<query>\"
   graphbi connect <addr> insert <edge>:<measure> [...]
   graphbi connect <addr> profile \"<query>\"
-  graphbi connect <addr> metrics";
+  graphbi connect <addr> metrics
+  graphbi connect <addr> trace <rid>           replay a captured request trace
+  graphbi connect <addr> slowlog [n]           recent over-threshold requests
+  graphbi connect <addr> top                   one live server snapshot
+  graphbi top <addr> [--once]                  refreshing server dashboard";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args {
@@ -60,6 +65,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "advise" => advise(rest),
             "serve" => serve(rest),
             "connect" => connect(rest),
+            "top" => top(rest),
             other => Err(format!("unknown command {other:?}")),
         },
         [] => Err("missing command".into()),
@@ -361,11 +367,41 @@ fn advise(args: &[String]) -> Result<(), String> {
 }
 
 fn serve(args: &[String]) -> Result<(), String> {
-    let (dir, addr, mvcc) = match args {
-        [dir, addr] => (dir, addr, false),
-        [dir, addr, flag] if flag == "--mvcc" => (dir, addr, true),
-        _ => return Err("serve needs: <dir> <addr> [--mvcc]".into()),
+    let [dir, addr, flags @ ..] = args else {
+        return Err(
+            "serve needs: <dir> <addr> [--mvcc] [--slowlog-file <path>] [--slow-ms <n>] [--sample <n>]"
+                .into(),
+        );
     };
+    let mut mvcc = false;
+    let mut cfg = graphbi_serve::ServeConfig::default();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--mvcc" => mvcc = true,
+            "--slowlog-file" => {
+                let path = it.next().ok_or("--slowlog-file needs a path")?;
+                cfg.slowlog_export = Some(graphbi_serve::SlowlogExport {
+                    vfs: std::sync::Arc::new(graphbi_columnstore::OsVfs),
+                    path: PathBuf::from(path),
+                });
+            }
+            "--slow-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--slow-ms needs a millisecond count")?;
+                cfg.slow_threshold = std::time::Duration::from_millis(ms);
+            }
+            "--sample" => {
+                cfg.sample_every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--sample needs a number (sample 1 in N; 0 disables)")?;
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
     let store = open(&PathBuf::from(dir))?;
     let store = if mvcc {
         // MVCC sessions: readers pin snapshots while commits proceed.
@@ -373,7 +409,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     } else {
         graphbi_serve::ServeStore::Shared(graphbi::SharedStore::new(store))
     };
-    let server = graphbi_serve::Server::start(store, addr, graphbi_serve::ServeConfig::default())
+    let server = graphbi_serve::Server::start(store, addr, cfg)
         .map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
         "serving on {} ({})",
@@ -437,10 +473,130 @@ fn connect(args: &[String]) -> Result<(), String> {
             println!("{}", client.profile(&req).map_err(|e| e.to_string())?);
         }
         ("metrics", []) => print!("{}", client.metrics().map_err(|e| e.to_string())?),
+        ("trace", [rid]) => {
+            let rid: u64 = rid
+                .parse()
+                .map_err(|_| "trace needs a numeric request id (from an OK head's id= field)")?;
+            println!("{}", client.trace(rid).map_err(|e| e.to_string())?);
+        }
+        ("slowlog", rest) if rest.len() <= 1 => {
+            let n = match rest {
+                [n] => Some(n.parse().map_err(|_| "slowlog count must be a number")?),
+                _ => None,
+            };
+            let entries = client.slowlog(n).map_err(|e| e.to_string())?;
+            if entries.is_empty() {
+                println!("slowlog is empty");
+            }
+            for entry in entries {
+                println!("{entry}");
+            }
+        }
+        ("top", []) => println!("{}", client.top().map_err(|e| e.to_string())?),
         _ => return Err(format!("unknown connect subcommand {cmd:?}")),
     }
     client.quit().map_err(|e| e.to_string())?;
     Ok(())
+}
+
+/// A refreshing dashboard over the server's `TOP` verb: one rendered
+/// snapshot every 2 seconds (`--once` prints a single snapshot — what
+/// scripts and tests use).
+fn top(args: &[String]) -> Result<(), String> {
+    let (addr, once) = match args {
+        [addr] => (addr, false),
+        [addr, flag] if flag == "--once" => (addr, true),
+        _ => return Err("top needs: <addr> [--once]".into()),
+    };
+    let mut client =
+        graphbi_serve::Client::connect(addr.as_str()).map_err(|e| format!("connecting: {e}"))?;
+    loop {
+        let snapshot = client.top().map_err(|e| e.to_string())?;
+        if once {
+            println!("{}", render_top_text(&snapshot)?);
+            break;
+        }
+        // Clear the screen and repaint, like top(1).
+        print!("\x1b[2J\x1b[H");
+        println!("graphbi top — {addr}");
+        println!("{}", render_top_text(&snapshot)?);
+        std::thread::sleep(std::time::Duration::from_secs(2));
+    }
+    client.quit().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Renders the `TOP` JSON snapshot as aligned human-readable lines.
+fn render_top_text(snapshot: &str) -> Result<String, String> {
+    use graphbi_obs::json::Json;
+    let doc = graphbi_obs::json::parse(snapshot).map_err(|e| format!("bad TOP json: {e}"))?;
+    let num = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .map_or_else(|| "?".into(), |v| format!("{v}"))
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "connections {:>8}   queue depth {:>6}   in-flight batch {:>5}\n",
+        num("connections"),
+        num("queue_depth"),
+        num("inflight_batch")
+    ));
+    out.push_str(&format!(
+        "generation  {:>8}   epoch       {:>6}   kernel {}\n",
+        num("generation"),
+        num("epoch"),
+        doc.get("kernel")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+    ));
+    out.push_str(&format!(
+        "requests    {:>8}   commits     {:>6}   busy   {:>6}\n",
+        num("requests_total"),
+        num("commits_total"),
+        num("busy_total")
+    ));
+    out.push_str(&format!(
+        "read bytes  {:>8}   write bytes {:>6}   wal commits {:>4}   compactions {:>3}\n",
+        num("read_bytes_total"),
+        num("write_bytes_total"),
+        num("wal_commits_total"),
+        num("compactions_total")
+    ));
+    if let Some(verbs) = doc.get("verbs") {
+        out.push_str("verb        count      p50_us     p99_us\n");
+        for name in ["query", "batch", "commit", "profile"] {
+            if let Some(v) = verbs.get(name) {
+                let f = |k: &str| {
+                    v.get(k)
+                        .and_then(Json::as_f64)
+                        .map_or_else(|| "?".into(), |x| format!("{x}"))
+                };
+                out.push_str(&format!(
+                    "{name:<10} {:>6} {:>11} {:>10}\n",
+                    f("count"),
+                    f("p50_us"),
+                    f("p99_us")
+                ));
+            }
+        }
+    }
+    if let Some(rec) = doc.get("recorder") {
+        let f = |k: &str| {
+            rec.get(k)
+                .and_then(Json::as_f64)
+                .map_or_else(|| "?".into(), |x| format!("{x}"))
+        };
+        out.push_str(&format!(
+            "recorder: {} requests, {} captured, {} slow, sampling 1/{}, threshold {} ms",
+            f("requests"),
+            f("captured"),
+            f("slow"),
+            f("sample_every"),
+            f("slow_threshold_ms")
+        ));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -497,8 +653,24 @@ mod tests {
         run(&s(&["connect", &addr, "profile", &q])).unwrap();
         run(&s(&["connect", &addr, "metrics"])).unwrap();
         run(&s(&["connect", &addr, "insert", "0:1.5", "1:2.0"])).unwrap();
+        // Introspection verbs over the CLI: a PROFILE is always captured,
+        // so some trace id is replayable; slowlog and top always answer.
+        run(&s(&["connect", &addr, "slowlog"])).unwrap();
+        run(&s(&["connect", &addr, "slowlog", "5"])).unwrap();
+        run(&s(&["connect", &addr, "top"])).unwrap();
+        run(&s(&["top", &addr, "--once"])).unwrap();
+        {
+            let mut client = graphbi_serve::Client::connect(addr.as_str()).unwrap();
+            let req = parse_request(&q, client.universe()).unwrap();
+            client.profile(&req).unwrap();
+            let rid = client.last_request_id().expect("profile reply carries id=");
+            run(&s(&["connect", &addr, "trace", &rid.to_string()])).unwrap();
+            assert!(run(&s(&["connect", &addr, "trace", "99999999"])).is_err());
+            client.quit().unwrap();
+        }
         assert!(run(&s(&["connect", &addr, "insert", "notanop"])).is_err());
         assert!(run(&s(&["connect", &addr, "bogus"])).is_err());
+        assert!(run(&s(&["connect", &addr, "trace", "notanumber"])).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -45,6 +45,9 @@ pub enum ErrorCode {
     Malformed = 110,
     /// The operation is not supported by this backend or protocol version.
     Unsupported = 111,
+    /// The named entity does not exist (e.g. a `TRACE` request id that was
+    /// never captured or has been overwritten in the flight ring).
+    NotFound = 112,
 
     // -- 2xx: transient / environmental; the same request may succeed
     //    later without modification. -------------------------------------
@@ -77,13 +80,14 @@ pub enum ErrorCode {
 
 impl ErrorCode {
     /// Every code, in numeric order (drives exhaustive round-trip tests).
-    pub const ALL: [ErrorCode; 15] = [
+    pub const ALL: [ErrorCode; 16] = [
         ErrorCode::UnknownNode,
         ErrorCode::UnknownEdge,
         ErrorCode::CyclicQuery,
         ErrorCode::EmptyPath,
         ErrorCode::Malformed,
         ErrorCode::Unsupported,
+        ErrorCode::NotFound,
         ErrorCode::Io,
         ErrorCode::WalPoisoned,
         ErrorCode::Busy,
@@ -119,6 +123,7 @@ impl ErrorCode {
             ErrorCode::EmptyPath => "EMPTY_PATH",
             ErrorCode::Malformed => "MALFORMED",
             ErrorCode::Unsupported => "UNSUPPORTED",
+            ErrorCode::NotFound => "NOT_FOUND",
             ErrorCode::Io => "IO",
             ErrorCode::WalPoisoned => "WAL_POISONED",
             ErrorCode::Busy => "BUSY",
@@ -147,6 +152,20 @@ impl ErrorCode {
     /// True for the 3xx class: persistent state is damaged or partial.
     pub fn is_corruption(self) -> bool {
         (300..400).contains(&self.as_u16())
+    }
+
+    /// The class name (stable, lowercase) — used to key per-class metric
+    /// families like `graphbi_compaction_failures_<class>_total`.
+    pub fn class_name(self) -> &'static str {
+        if self.is_invalid_request() {
+            "invalid"
+        } else if self.is_transient() {
+            "transient"
+        } else if self.is_corruption() {
+            "corruption"
+        } else {
+            "internal"
+        }
     }
 }
 

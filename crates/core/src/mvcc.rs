@@ -247,26 +247,33 @@ impl MvccStore {
         let _w = self.write_lock.lock();
         let state = self.state.read();
         let epoch = state.delta.epoch() + 1;
+        let mut sp = graphbi_obs::span("mvcc.commit");
+        sp.attr("epoch", epoch);
+        sp.attr("ops", ops.len() as u64);
         if let Some(env) = &self.disk {
             if env.wal_poisoned.load(Ordering::SeqCst) {
                 return Err(wal_io(io::Error::other(
                     "wal poisoned by an earlier append failure; compact or reopen to recover",
                 )));
             }
-            let mut sp = graphbi_obs::span("wal.commit");
-            sp.attr("epoch", epoch);
-            sp.attr("ops", ops.len() as u64);
+            let mut wal_sp = graphbi_obs::span("mvcc.wal_append");
+            wal_sp.attr("epoch", epoch);
+            wal_sp.attr("ops", ops.len() as u64);
             let bytes = wal::append_commit(env.vfs.as_ref(), &env.dir.join(WAL_FILE), epoch, ops)
                 .map_err(|e| {
                 env.wal_poisoned.store(true, Ordering::SeqCst);
                 wal_io(e)
             })?;
+            wal_sp.attr("bytes", bytes);
             let reg = graphbi_obs::global();
             reg.counter("graphbi_wal_commits_total").inc();
             reg.counter("graphbi_wal_bytes_total").add(bytes);
         }
         let applied = state.delta.apply(ops);
         debug_assert_eq!(applied, epoch);
+        graphbi_obs::global()
+            .counter("graphbi_mvcc_commits_total")
+            .inc();
         Ok(epoch)
     }
 
@@ -279,6 +286,19 @@ impl MvccStore {
     /// disk, and truncates the WAL. Pinned readers keep answering from
     /// their old generation + delta `Arc` throughout.
     pub fn compact(&self) -> Result<u64, DiskError> {
+        self.compact_inner().inspect_err(|e| {
+            // Typed failure counter, keyed by error class so dashboards
+            // can separate transient I/O from real corruption.
+            graphbi_obs::global()
+                .counter(&format!(
+                    "graphbi_compaction_failures_{}_total",
+                    crate::Coded::code(e).class_name()
+                ))
+                .inc();
+        })
+    }
+
+    fn compact_inner(&self) -> Result<u64, DiskError> {
         let _w = self.write_lock.lock();
         let mut state = self.state.write();
         let epoch = state.delta.epoch();
@@ -342,11 +362,11 @@ impl MvccStore {
         // proceed, but a compaction's publish cannot interleave.
         let _state = self.state.read();
         let keep: Vec<u64> = self.pins.lock().keys().copied().collect();
-        Ok(persist::collect_garbage_keeping(
-            env.vfs.as_ref(),
-            &env.dir,
-            &keep,
-        )?)
+        let mut sp = graphbi_obs::span("mvcc.gc");
+        sp.attr("pinned", keep.len() as u64);
+        persist::collect_garbage_keeping(env.vfs.as_ref(), &env.dir, &keep)?;
+        graphbi_obs::global().counter("graphbi_mvcc_gc_total").inc();
+        Ok(())
     }
 
     /// The last committed epoch.

@@ -32,7 +32,9 @@
 //! [`json::parse`]). Counters and histogram cells saturate on overflow —
 //! the same semantics as `IoStats::merge`.
 
+pub mod flight;
 pub mod json;
+pub mod slowlog;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -478,6 +480,52 @@ impl HistSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The `q`-quantile (`q` clamped to `0.0..=1.0`) estimated from the
+    /// log₂ buckets: the bucket holding the rank-`⌈q·count⌉` sample is
+    /// located exactly, and the value is linearly interpolated across the
+    /// bucket's `[lower, upper]` range by the rank's position inside it.
+    ///
+    /// Guarantees, property-tested against a sorted-sample reference:
+    /// monotone in `q`, saturating (never above `u64::MAX` or the top
+    /// bucket's bound), 0 on an empty snapshot, and always within the
+    /// bucket that actually contains the exact sample of that rank.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank in 1..=count of the order statistic we estimate.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let prev = cum;
+            cum = cum.saturating_add(c);
+            if cum >= rank {
+                let lower = if i == 0 { 0 } else { bucket_bound(i - 1).saturating_add(1) };
+                let upper = bucket_bound(i);
+                // Position of the rank inside this bucket, in [0, 1].
+                let frac = if c <= 1 {
+                    1.0
+                } else {
+                    (rank - prev - 1) as f64 / (c - 1) as f64
+                };
+                let width = (upper - lower) as f64;
+                let v = lower as f64 + frac * width;
+                return if v >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    (v as u64).clamp(lower, upper)
+                };
+            }
+        }
+        // Counts saturated inconsistently (count > Σ buckets): the best
+        // answer left is the top non-empty bucket's bound.
+        bucket_bound(self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0))
     }
 }
 

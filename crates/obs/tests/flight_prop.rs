@@ -1,0 +1,131 @@
+//! Property tests for the flight-recorder primitives: the bounded trace
+//! ring (overwrite-oldest, concurrent writers) and the seeded head
+//! sampler (deterministic, exact rate).
+
+use std::sync::Arc;
+
+use graphbi_obs::flight::{FlightRing, Sampler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any push sequence the ring holds exactly the newest
+    /// `min(pushed, capacity)` entries, and `recent` walks them newest
+    /// first.
+    #[test]
+    fn ring_keeps_the_newest_entries(capacity in 1usize..32, pushes in 0u64..100) {
+        let ring = FlightRing::new(capacity);
+        for id in 0..pushes {
+            ring.push(id, id * 10);
+        }
+        let held = pushes.min(capacity as u64);
+        let recent = ring.recent(capacity * 2);
+        prop_assert_eq!(recent.len() as u64, held);
+        for (i, (id, entry)) in recent.iter().enumerate() {
+            let expect = pushes - 1 - i as u64;
+            prop_assert_eq!(*id, expect, "recent()[{}] out of order", i);
+            prop_assert_eq!(*entry, expect * 10);
+        }
+        // Lookup agrees: the newest `held` ids resolve, older ones are gone.
+        for id in 0..pushes {
+            let found = ring.get(id).is_some();
+            prop_assert_eq!(found, id >= pushes - held, "id {} presence wrong", id);
+        }
+        let (pushed, overwritten) = (ring.pushed(), ring.overwritten());
+        prop_assert_eq!(pushed, pushes);
+        prop_assert_eq!(overwritten, pushes.saturating_sub(capacity as u64));
+    }
+
+    /// `recent(n)` truncates to n without changing order.
+    #[test]
+    fn recent_truncates_newest_first(capacity in 1usize..16, pushes in 0u64..40, n in 0usize..20) {
+        let ring = FlightRing::new(capacity);
+        for id in 0..pushes {
+            ring.push(id, ());
+        }
+        let all = ring.recent(capacity);
+        let some = ring.recent(n);
+        prop_assert_eq!(&some[..], &all[..n.min(all.len())]);
+    }
+
+    /// The sampler admits exactly one call in every aligned window of
+    /// `every` calls, whatever the seed — and the same seed always admits
+    /// the same positions.
+    #[test]
+    fn sampler_rate_is_exact_and_seeded(every in 1u64..64, seed in any::<u64>(), calls in 1usize..512) {
+        let a = Sampler::new(every, seed);
+        let picks_a: Vec<bool> = (0..calls).map(|_| a.sample()).collect();
+        let b = Sampler::new(every, seed);
+        let picks_b: Vec<bool> = (0..calls).map(|_| b.sample()).collect();
+        prop_assert_eq!(&picks_a, &picks_b, "same seed must sample identically");
+        let admitted = picks_a.iter().filter(|&&p| p).count();
+        let expect = calls / every as usize;
+        prop_assert!(
+            admitted == expect || admitted == expect + 1,
+            "{} admitted of {} at 1/{}", admitted, calls, every
+        );
+        // A different seed shifts which calls are admitted, not how many.
+        let c = Sampler::new(every, seed.wrapping_add(1));
+        let admitted_c = (0..calls).filter(|_| c.sample()).count();
+        prop_assert!(admitted_c.abs_diff(admitted) <= 1);
+    }
+
+    /// `every = 0` disables sampling entirely.
+    #[test]
+    fn zero_rate_never_samples(calls in 0usize..256, seed in any::<u64>()) {
+        let s = Sampler::new(0, seed);
+        prop_assert!((0..calls).all(|_| !s.sample()));
+    }
+}
+
+/// Concurrent writers never lose a push: the ring ends up holding
+/// exactly `capacity` entries, every held entry is one that was pushed,
+/// and pushed/overwritten counters balance.
+#[test]
+fn concurrent_writers_preserve_ring_invariants() {
+    let capacity = 64;
+    let writers = 8;
+    let per_writer = 500u64;
+    let ring = Arc::new(FlightRing::new(capacity));
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..per_writer {
+                    let id = w * per_writer + i;
+                    ring.push(id, id);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = writers * per_writer;
+    assert_eq!(ring.pushed(), total);
+    assert_eq!(ring.overwritten(), total - capacity as u64);
+    let recent = ring.recent(capacity);
+    assert_eq!(recent.len(), capacity);
+    let mut seen = std::collections::BTreeSet::new();
+    for (id, entry) in recent {
+        assert_eq!(id, entry, "entry stored under the wrong id");
+        assert!(id < total);
+        assert!(seen.insert(id), "id {id} held twice");
+    }
+    // And the ring is still live: a fresh push lands and is newest.
+    ring.push(total, total);
+    assert_eq!(ring.recent(1), vec![(total, total)]);
+}
+
+/// A zero-capacity ring is disabled: pushes are counted but nothing is
+/// held.
+#[test]
+fn zero_capacity_ring_is_disabled() {
+    let ring = FlightRing::new(0);
+    for id in 0..10u64 {
+        ring.push(id, id);
+    }
+    assert!(ring.recent(10).is_empty());
+    assert!(ring.get(3).is_none());
+}

@@ -70,6 +70,56 @@ proptest! {
         }
     }
 
+    /// The estimated quantile must land in the same power-of-two bucket
+    /// as the exact quantile of the recorded samples — the histogram
+    /// cannot resolve finer than its buckets, but it must never point at
+    /// the wrong one.
+    #[test]
+    fn quantile_lands_in_the_exact_quantile_bucket(
+        mut samples in prop::collection::vec(any::<u64>(), 1..64),
+        q in 0.0f64..1.0,
+    ) {
+        let snap = hist_of(&samples);
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let exact = samples[rank - 1];
+        let est = snap.quantile(q);
+        prop_assert_eq!(
+            bucket_index(est),
+            bucket_index(exact),
+            "quantile({}) = {} not in the bucket of exact {}", q, est, exact
+        );
+    }
+
+    /// Quantiles are monotone in q and bracketed by the extreme samples'
+    /// bucket ranges.
+    #[test]
+    fn quantile_is_monotone_and_bracketed(
+        samples in prop::collection::vec(any::<u64>(), 1..64),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let snap = hist_of(&samples);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(snap.quantile(lo) <= snap.quantile(hi));
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert!(snap.quantile(0.0) <= bucket_bound(bucket_index(min)));
+        prop_assert!(snap.quantile(1.0) <= bucket_bound(bucket_index(max)));
+        let max_floor = if bucket_index(max) == 0 { 0 } else { bucket_bound(bucket_index(max) - 1) };
+        prop_assert!(snap.quantile(1.0) >= max_floor);
+    }
+
+    /// Out-of-range q clamps instead of panicking, and the empty
+    /// histogram answers 0 for every q.
+    #[test]
+    fn quantile_clamps_and_handles_empty(q in -2.0f64..3.0) {
+        prop_assert_eq!(HistSnapshot::default().quantile(q), 0);
+        let snap = hist_of(&[7, 7, 7]);
+        let clamped = snap.quantile(q.clamp(0.0, 1.0));
+        prop_assert_eq!(snap.quantile(q), clamped);
+    }
+
     #[test]
     fn counter_saturates_like_iostats_merge(a in any::<u64>(), b in any::<u64>()) {
         // IoStats::merge uses saturating addition; the registry counter

@@ -69,6 +69,8 @@ struct OkHead {
     epoch: Option<u64>,
     count: Option<usize>,
     lines: usize,
+    /// The server-assigned request id (`id=<rid>`), usable with `TRACE`.
+    id: Option<u64>,
 }
 
 /// One connection to a `graphbi` server.
@@ -78,6 +80,7 @@ pub struct Client {
     universe: Universe,
     generation: u64,
     epoch: u64,
+    last_rid: Option<u64>,
 }
 
 impl Client {
@@ -92,6 +95,7 @@ impl Client {
             universe: Universe::default(),
             generation: 0,
             epoch: 0,
+            last_rid: None,
         };
         writeln!(client.writer, "HELLO {PROTOCOL_VERSION}")?;
         client.writer.flush()?;
@@ -116,6 +120,14 @@ impl Client {
     /// The session's pinned epoch (meaningful on MVCC backends).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The server-assigned id of the most recent request (from the reply
+    /// head's `id=` field). Pass it to [`Client::trace`] to replay the
+    /// request's captured profile — errors and slow requests are always
+    /// captured, other requests only when head-sampled.
+    pub fn last_request_id(&self) -> Option<u64> {
+        self.last_rid
     }
 
     fn note_pin(&mut self, head: &OkHead) {
@@ -152,6 +164,7 @@ impl Client {
                     epoch: None,
                     count: None,
                     lines: 0,
+                    id: None,
                 };
                 let mut saw_lines = false;
                 for tok in toks {
@@ -165,6 +178,7 @@ impl Client {
                         "generation" => head.generation = Some(v.parse().map_err(|_| bad())?),
                         "epoch" => head.epoch = Some(v.parse().map_err(|_| bad())?),
                         "count" => head.count = Some(v.parse().map_err(|_| bad())?),
+                        "id" => head.id = Some(v.parse().map_err(|_| bad())?),
                         "lines" => {
                             head.lines = v.parse().map_err(|_| bad())?;
                             saw_lines = true;
@@ -177,6 +191,9 @@ impl Client {
                         "OK head without lines= field: {line:?}"
                     )));
                 }
+                if head.id.is_some() {
+                    self.last_rid = head.id;
+                }
                 Ok(head)
             }
             Some("BUSY") => {
@@ -187,7 +204,20 @@ impl Client {
             Some("ERR") => {
                 let code: u16 = toks.next().and_then(|t| t.parse().ok()).unwrap_or(0);
                 let symbol = toks.next().unwrap_or("").to_owned();
-                let message = toks.collect::<Vec<_>>().join(" ");
+                let mut words: Vec<&str> = toks.collect();
+                // ERR frames carry the request id as a trailing token so
+                // the failing request can be TRACEd; strip it from the
+                // human-facing message.
+                if let Some(last) = words.last() {
+                    if let Some(rid) = last
+                        .strip_prefix("id=")
+                        .and_then(|v| v.parse::<u64>().ok())
+                    {
+                        self.last_rid = Some(rid);
+                        words.pop();
+                    }
+                }
+                let message = words.join(" ");
                 Err(ClientError::Remote {
                     code,
                     symbol,
@@ -213,6 +243,21 @@ impl Client {
     /// Executes one request on the session's pinned state.
     pub fn query(&mut self, request: &QueryRequest) -> Result<Response, ClientError> {
         writeln!(self.writer, "QUERY {}", request.to_text())?;
+        self.writer.flush()?;
+        let head = self.read_head()?;
+        let body = self.read_lines(head.lines)?;
+        Ok(Response::parse_text(&body)?)
+    }
+
+    /// Executes one request tagged with a client correlation id. The id
+    /// is echoed in the request's captured trace (`SLOWLOG` JSON), so a
+    /// client can find its own requests in a shared server's slow log.
+    pub fn query_with_id(
+        &mut self,
+        request: &QueryRequest,
+        id: u64,
+    ) -> Result<Response, ClientError> {
+        writeln!(self.writer, "QUERY id={id} {}", request.to_text())?;
         self.writer.flush()?;
         let head = self.read_head()?;
         let body = self.read_lines(head.lines)?;
@@ -282,6 +327,38 @@ impl Client {
         self.writer.flush()?;
         let head = self.read_head()?;
         self.read_lines(head.lines)
+    }
+
+    /// Replays the captured trace of an earlier request as profile JSON —
+    /// the exact rendering `PROFILE` would have produced.
+    pub fn trace(&mut self, rid: u64) -> Result<String, ClientError> {
+        writeln!(self.writer, "TRACE {rid}")?;
+        self.writer.flush()?;
+        let head = self.read_head()?;
+        let body = self.read_lines(head.lines)?;
+        Ok(body.trim_end().to_owned())
+    }
+
+    /// Fetches the most recent over-threshold requests, newest first, as
+    /// one JSON line per entry.
+    pub fn slowlog(&mut self, n: Option<usize>) -> Result<Vec<String>, ClientError> {
+        match n {
+            Some(n) => writeln!(self.writer, "SLOWLOG {n}")?,
+            None => writeln!(self.writer, "SLOWLOG")?,
+        }
+        self.writer.flush()?;
+        let head = self.read_head()?;
+        let body = self.read_lines(head.lines)?;
+        Ok(body.lines().map(str::to_owned).collect())
+    }
+
+    /// Fetches the live server snapshot (`TOP`) as one JSON line.
+    pub fn top(&mut self) -> Result<String, ClientError> {
+        writeln!(self.writer, "TOP")?;
+        self.writer.flush()?;
+        let head = self.read_head()?;
+        let body = self.read_lines(head.lines)?;
+        Ok(body.trim_end().to_owned())
     }
 
     /// Re-pins the session to the store's latest state.

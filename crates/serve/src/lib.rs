@@ -9,6 +9,9 @@
 //!   docs all speak one grammar.
 //! - [`queue`] — the admission-controlled bounded queue: the server's
 //!   single backpressure point.
+//! - [`recorder`] — the flight recorder: a bounded ring of completed
+//!   request traces (head-sampled, forced for errors and slow requests)
+//!   behind the `TRACE` / `SLOWLOG` / `TOP` introspection verbs.
 //! - [`server`] — per-connection sessions pinning MVCC snapshots, and a
 //!   batcher that coalesces requests *across connections* into
 //!   `Session::evaluate_many` calls.
@@ -29,7 +32,9 @@
 pub mod client;
 pub mod protocol;
 pub mod queue;
+pub mod recorder;
 pub mod server;
 
 pub use client::{Client, ClientError};
+pub use recorder::{Recorder, RecorderConfig, RequestTrace, SlowlogExport};
 pub use server::{ServeConfig, ServeStore, Server};

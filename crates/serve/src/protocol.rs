@@ -10,20 +10,29 @@
 //!
 //! | verb                | payload lines after the verb | reply                                   |
 //! |---------------------|------------------------------|-----------------------------------------|
-//! | `HELLO graphbi/1`   | —                            | `OK graphbi/1 generation= epoch= lines=n` + universe text |
-//! | `QUERY <request>`   | —                            | `OK generation= epoch= lines=n` + response block |
-//! | `BATCH <k>`         | `k` request lines            | `OK count=k generation= epoch= lines=n` + `k` response blocks |
-//! | `COMMIT <k>`        | `k` op lines                 | `OK generation= epoch= lines=0`         |
-//! | `PROFILE <request>` | —                            | `OK lines=1` + one JSON line            |
-//! | `METRICS`           | —                            | `OK lines=n` + Prometheus text          |
-//! | `REFRESH`           | —                            | `OK generation= epoch= lines=0`         |
-//! | `QUIT`              | —                            | `OK lines=0`, then close                |
+//! | `HELLO graphbi/1`   | —                            | `OK graphbi/1 generation= epoch= lines=n id=` + universe text |
+//! | `QUERY [id=c] <request>` | —                       | `OK generation= epoch= lines=n id=` + response block |
+//! | `BATCH <k> [id=c]`  | `k` request lines            | `OK count=k generation= epoch= lines=n id=` + `k` response blocks |
+//! | `COMMIT <k>`        | `k` op lines                 | `OK generation= epoch= lines=0 id=`     |
+//! | `PROFILE <request>` | —                            | `OK lines=1 id=` + one JSON line        |
+//! | `METRICS`           | —                            | `OK lines=n id=` + Prometheus text      |
+//! | `TRACE <rid>`       | —                            | `OK lines=1 id=` + captured profile JSON |
+//! | `SLOWLOG [n]`       | —                            | `OK lines=n id=` + one JSON line per slow request |
+//! | `TOP`               | —                            | `OK lines=1 id=` + live snapshot JSON   |
+//! | `REFRESH`           | —                            | `OK generation= epoch= lines=0 id=`     |
+//! | `QUIT`              | —                            | `OK lines=0 id=`, then close            |
 //!
-//! Failure frames are single lines: `ERR <code> <SYMBOL> <message>` with
-//! a stable [`ErrorCode`], and `BUSY <code> <message>` when the admission
-//! queue stayed full for the whole timeout (the backpressure signal —
-//! retry later). Commit op lines are `insert <edge>:<measure>…` and
-//! `update <rid> <edge>:<measure>…`.
+//! Every reply head carries `id=<rid>`, the server-assigned request id —
+//! the handle `TRACE` replays a captured trace by. The optional `id=<c>`
+//! attribute on `QUERY`/`BATCH` is a *client* correlation id echoed into
+//! the flight-recorder entry, so a client can find its own requests in
+//! `SLOWLOG` output without tracking server ids.
+//!
+//! Failure frames are single lines: `ERR <code> <SYMBOL> <message> id=<rid>`
+//! with a stable [`ErrorCode`], and `BUSY <code> <message>` when the
+//! admission queue stayed full for the whole timeout (the backpressure
+//! signal — retry later). Commit op lines are `insert <edge>:<measure>…`
+//! and `update <rid> <edge>:<measure>…`.
 
 use graphbi::{ErrorCode, WireError};
 use graphbi_columnstore::DeltaOp;
@@ -48,20 +57,55 @@ pub const MAX_BATCH: usize = 4096;
 pub enum Verb {
     /// Version handshake; must be the first frame on a connection.
     Hello(String),
-    /// One request (canonical request grammar in the remainder).
-    Query(String),
-    /// `k` request lines follow.
-    Batch(usize),
+    /// One request (canonical request grammar in the payload), with an
+    /// optional client correlation id.
+    Query {
+        /// Client correlation id (`id=<c>`), echoed into the recorder.
+        cid: Option<u64>,
+        /// The raw request text.
+        payload: String,
+    },
+    /// `count` request lines follow, with an optional client correlation
+    /// id covering the whole frame.
+    Batch {
+        /// How many request lines follow.
+        count: usize,
+        /// Client correlation id (`id=<c>`), echoed into the recorder.
+        cid: Option<u64>,
+    },
     /// `k` op lines follow.
     Commit(usize),
     /// Profile one request.
     Profile(String),
     /// Scrape the metrics registry.
     Metrics,
+    /// Replay the captured trace of request `rid`.
+    Trace(u64),
+    /// The most recent over-threshold requests (default count when `None`).
+    Slowlog(Option<usize>),
+    /// One-line live server snapshot.
+    Top,
     /// Re-pin the session to the store's latest state.
     Refresh,
     /// Close the connection.
     Quit,
+}
+
+/// Splits a leading `id=<n>` token off `rest`, if present. Used by
+/// `QUERY` (prefix position) — a request whose text genuinely starts with
+/// `id=` cannot exist: the request grammar starts with a kind keyword.
+fn split_cid(rest: &str) -> Result<(Option<u64>, &str), WireError> {
+    let Some(tok) = rest.split_whitespace().next() else {
+        return Ok((None, rest));
+    };
+    let Some(v) = tok.strip_prefix("id=") else {
+        return Ok((None, rest));
+    };
+    let cid = v.parse().map_err(|_| WireError {
+        line: 1,
+        what: format!("bad correlation id {v:?}"),
+    })?;
+    Ok((Some(cid), rest[tok.len()..].trim_start()))
 }
 
 /// Parses a verb line. The request payload of `QUERY`/`PROFILE` is
@@ -87,12 +131,52 @@ pub fn parse_verb(line: &str) -> Result<Verb, WireError> {
     };
     match verb {
         "HELLO" => Ok(Verb::Hello(rest.to_owned())),
-        "QUERY" if !rest.is_empty() => Ok(Verb::Query(rest.to_owned())),
+        "QUERY" if !rest.is_empty() => {
+            let (cid, payload) = split_cid(rest)?;
+            if payload.is_empty() {
+                return Err(err("QUERY needs a request payload".into()));
+            }
+            Ok(Verb::Query {
+                cid,
+                payload: payload.to_owned(),
+            })
+        }
         "PROFILE" if !rest.is_empty() => Ok(Verb::Profile(rest.to_owned())),
         "QUERY" | "PROFILE" => Err(err(format!("{verb} needs a request payload"))),
-        "BATCH" => Ok(Verb::Batch(count(rest, "BATCH")?)),
+        "BATCH" => {
+            let (n, cid) = match rest.split_once(' ') {
+                Some((n, attr)) => {
+                    let (cid, tail) = split_cid(attr.trim())?;
+                    if !tail.is_empty() || cid.is_none() {
+                        return Err(err(format!("unexpected BATCH attribute {attr:?}")));
+                    }
+                    (n, cid)
+                }
+                None => (rest, None),
+            };
+            Ok(Verb::Batch {
+                count: count(n, "BATCH")?,
+                cid,
+            })
+        }
         "COMMIT" => Ok(Verb::Commit(count(rest, "COMMIT")?)),
         "METRICS" => Ok(Verb::Metrics),
+        "TRACE" => {
+            let rid: u64 = rest
+                .parse()
+                .map_err(|_| err(format!("TRACE needs a request id, got {rest:?}")))?;
+            Ok(Verb::Trace(rid))
+        }
+        "SLOWLOG" => {
+            if rest.is_empty() {
+                return Ok(Verb::Slowlog(None));
+            }
+            let n: usize = rest
+                .parse()
+                .map_err(|_| err(format!("SLOWLOG count must be a number, got {rest:?}")))?;
+            Ok(Verb::Slowlog(Some(n)))
+        }
+        "TOP" => Ok(Verb::Top),
         "REFRESH" => Ok(Verb::Refresh),
         "QUIT" => Ok(Verb::Quit),
         other => Err(err(format!("unknown verb {other:?}"))),
@@ -171,6 +255,13 @@ pub fn render_err(code: ErrorCode, message: &str) -> String {
     )
 }
 
+/// Renders an `ERR` frame line carrying the server-assigned request id as
+/// a trailing `id=<rid>` token — the handle a client quotes to `TRACE`
+/// the failed request.
+pub fn render_err_id(code: ErrorCode, message: &str, rid: u64) -> String {
+    format!("{} id={rid}", render_err(code, message))
+}
+
 /// Renders a `BUSY` frame line (no newline) — the typed backpressure
 /// response.
 pub fn render_busy(message: &str) -> String {
@@ -200,13 +291,53 @@ mod tests {
         );
         assert_eq!(
             parse_verb("QUERY graph views=1 shards=1 : 1").unwrap(),
-            Verb::Query("graph views=1 shards=1 : 1".into())
+            Verb::Query {
+                cid: None,
+                payload: "graph views=1 shards=1 : 1".into()
+            }
         );
-        assert_eq!(parse_verb("BATCH 3").unwrap(), Verb::Batch(3));
+        assert_eq!(
+            parse_verb("QUERY id=42 graph : 1").unwrap(),
+            Verb::Query {
+                cid: Some(42),
+                payload: "graph : 1".into()
+            }
+        );
+        assert_eq!(
+            parse_verb("BATCH 3").unwrap(),
+            Verb::Batch {
+                count: 3,
+                cid: None
+            }
+        );
+        assert_eq!(
+            parse_verb("BATCH 3 id=7").unwrap(),
+            Verb::Batch {
+                count: 3,
+                cid: Some(7)
+            }
+        );
         assert_eq!(parse_verb("COMMIT 1\r").unwrap(), Verb::Commit(1));
         assert_eq!(parse_verb("METRICS").unwrap(), Verb::Metrics);
+        assert_eq!(parse_verb("TRACE 9").unwrap(), Verb::Trace(9));
+        assert_eq!(parse_verb("SLOWLOG").unwrap(), Verb::Slowlog(None));
+        assert_eq!(parse_verb("SLOWLOG 5").unwrap(), Verb::Slowlog(Some(5)));
+        assert_eq!(parse_verb("TOP").unwrap(), Verb::Top);
         assert_eq!(parse_verb("QUIT").unwrap(), Verb::Quit);
-        for bad in ["", "QUERY", "BATCH", "BATCH 0", "BATCH 99999", "NOPE x"] {
+        for bad in [
+            "",
+            "QUERY",
+            "QUERY id=1",
+            "QUERY id=x graph : 1",
+            "BATCH",
+            "BATCH 0",
+            "BATCH 99999",
+            "BATCH 3 nope",
+            "TRACE",
+            "TRACE x",
+            "SLOWLOG x",
+            "NOPE x",
+        ] {
             assert!(parse_verb(bad).is_err(), "{bad:?}");
         }
     }
@@ -243,5 +374,9 @@ mod tests {
         assert!(!e.contains('\n'));
         assert!(e.starts_with("ERR 110 MALFORMED"));
         assert_eq!(render_busy("queue full"), "BUSY 210 queue full");
+        assert_eq!(
+            render_err_id(ErrorCode::NotFound, "no trace", 12),
+            "ERR 112 NOT_FOUND no trace id=12"
+        );
     }
 }

@@ -99,6 +99,10 @@ impl<T> AdmissionQueue<T> {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
             if let Some(front) = inner.items.pop_front() {
+                // Spans the run-assembly walk only (not the empty-queue
+                // wait), so a trace shows what coalescing itself costs.
+                // Free when the calling thread has no collector installed.
+                let mut sp = graphbi_obs::span("queue.assemble");
                 let mut batch = vec![front];
                 while batch.len() < max.max(1) {
                     match inner.items.front() {
@@ -109,6 +113,8 @@ impl<T> AdmissionQueue<T> {
                         _ => break,
                     }
                 }
+                sp.attr("size", batch.len() as u64);
+                sp.attr("queued", inner.items.len() as u64);
                 drop(inner);
                 self.not_full.notify_all();
                 return Some(batch);

@@ -47,13 +47,36 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use graphbi::{
-    Coded, ErrorCode, MvccStore, QueryRequest, Response, Session, SessionError, SharedStore,
-    Snapshot,
+    Coded, ErrorCode, MvccStore, Profile, QueryRequest, Response, Session, SessionError,
+    SharedStore, Snapshot,
 };
 use graphbi_columnstore::{DeltaOp, IoStats};
+use graphbi_obs::{json, Counter, Histogram};
 
 use crate::protocol::{self, Verb, MAX_LINE_BYTES, PROTOCOL_VERSION};
 use crate::queue::{AdmissionQueue, OfferError};
+use crate::recorder::{
+    synthesized_profile, Recorder, RecorderConfig, RequestTrace, SlowlogExport,
+};
+
+/// `SLOWLOG` entry count when the client does not ask for one.
+const DEFAULT_SLOWLOG: usize = 16;
+
+fn dur_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn response_matches(resp: &Response) -> u64 {
+    match resp {
+        Response::Records(r) => r.records.len() as u64,
+        Response::Matches(b) => b.len(),
+        Response::Aggregates(r) => r.records.len() as u64,
+    }
+}
 
 /// Server tuning knobs. The defaults favour throughput under bursty
 /// load; tests tighten them to force the backpressure paths.
@@ -78,6 +101,23 @@ pub struct ServeConfig {
     /// a collector accumulates spans without bound, which a long-running
     /// server must not.
     pub trace: bool,
+    /// Flight-recorder head sampling: capture 1 request in `sample_every`
+    /// (0 = only errors and slow requests are captured).
+    pub sample_every: u64,
+    /// Sampler phase offset (several servers behind one balancer should
+    /// not all sample the same client's requests).
+    pub sample_seed: u64,
+    /// Requests at or over this duration are captured, `SLOWLOG`-visible,
+    /// and exported when a slowlog file is configured.
+    pub slow_threshold: Duration,
+    /// Flight-ring capacity — the recorder's hard memory bound. 0
+    /// disables the recorder entirely (benchmark baseline).
+    pub flight_capacity: usize,
+    /// Slowlog-ring capacity (`SLOWLOG` can replay at most this many).
+    pub slowlog_capacity: usize,
+    /// When set, over-threshold requests are appended to this file as
+    /// CRC-framed JSON lines through the `Vfs` trait.
+    pub slowlog_export: Option<SlowlogExport>,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +129,25 @@ impl Default for ServeConfig {
             batch_delay: Duration::ZERO,
             read_timeout: Duration::from_millis(100),
             trace: false,
+            sample_every: 64,
+            sample_seed: 0,
+            slow_threshold: Duration::from_millis(100),
+            flight_capacity: 1024,
+            slowlog_capacity: 128,
+            slowlog_export: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn recorder_config(&self) -> RecorderConfig {
+        RecorderConfig {
+            sample_every: self.sample_every,
+            sample_seed: self.sample_seed,
+            slow_threshold: self.slow_threshold,
+            flight_capacity: self.flight_capacity,
+            slowlog_capacity: self.slowlog_capacity,
+            export: self.slowlog_export.clone(),
         }
     }
 }
@@ -216,16 +275,64 @@ impl ServeStore {
     }
 }
 
+/// What the batcher hands back per request: the answer plus the
+/// observability facts the flight recorder needs (measured queue wait,
+/// run size, and — for sampled singletons — the exact profile).
+struct JobOutcome {
+    response: Response,
+    io: IoStats,
+    /// Nanoseconds the job waited in the admission queue.
+    wait_ns: u64,
+    /// Size of the run this job executed in (1 = solo).
+    batch: u64,
+    /// Exact profile, present only for sampled singleton runs.
+    profile: Option<Profile>,
+}
+
 /// An indexed answer on its way back to the handler that enqueued it.
-type Reply = (usize, Result<(Response, IoStats), SessionError>);
+type Reply = (usize, Result<JobOutcome, SessionError>);
 
 /// One queued request: where it runs, where its answer goes.
 struct Job {
     pinned: Pinned,
     request: QueryRequest,
     index: usize,
+    /// Head-sampled: the batcher runs this job solo through the profiler
+    /// so its captured trace is exact.
+    sampled: bool,
     reply: mpsc::Sender<Reply>,
     enqueued: Instant,
+}
+
+/// Metric handles the hot paths record through — fetched once at server
+/// start so no request pays the registry's name-lookup lock.
+struct ServeMetrics {
+    requests: Arc<Counter>,
+    commits: Arc<Counter>,
+    read_bytes: Arc<Counter>,
+    write_bytes: Arc<Counter>,
+    admission_wait_us: Arc<Histogram>,
+    verb_query_us: Arc<Histogram>,
+    verb_batch_us: Arc<Histogram>,
+    verb_commit_us: Arc<Histogram>,
+    verb_profile_us: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        let reg = graphbi_obs::global();
+        ServeMetrics {
+            requests: reg.counter("graphbi_serve_requests_total"),
+            commits: reg.counter("graphbi_serve_commits_total"),
+            read_bytes: reg.counter("graphbi_serve_read_bytes_total"),
+            write_bytes: reg.counter("graphbi_serve_write_bytes_total"),
+            admission_wait_us: reg.histogram("graphbi_serve_admission_wait_us"),
+            verb_query_us: reg.histogram("graphbi_serve_verb_query_us"),
+            verb_batch_us: reg.histogram("graphbi_serve_verb_batch_us"),
+            verb_commit_us: reg.histogram("graphbi_serve_verb_commit_us"),
+            verb_profile_us: reg.histogram("graphbi_serve_verb_profile_us"),
+        }
+    }
 }
 
 struct Ctx {
@@ -236,6 +343,8 @@ struct Ctx {
     collector: Option<Arc<graphbi_obs::Collector>>,
     /// The universe text served by `HELLO`, rendered once.
     hello_text: String,
+    recorder: Recorder,
+    metrics: ServeMetrics,
 }
 
 /// A running server; dropping it shuts the server down.
@@ -262,6 +371,7 @@ impl Server {
             )));
         let hello_text = store.universe_text();
         let collector = cfg.trace.then(|| Arc::new(graphbi_obs::Collector::new()));
+        let recorder = Recorder::new(cfg.recorder_config());
         let ctx = Arc::new(Ctx {
             store,
             queue: AdmissionQueue::new(cfg.queue_depth),
@@ -269,6 +379,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             collector,
             hello_text,
+            recorder,
+            metrics: ServeMetrics::new(),
         });
         let batcher = {
             let ctx = Arc::clone(&ctx);
@@ -294,6 +406,11 @@ impl Server {
     /// The span collector, when started with [`ServeConfig::trace`].
     pub fn collector(&self) -> Option<&Arc<graphbi_obs::Collector>> {
         self.ctx.collector.as_ref()
+    }
+
+    /// The flight recorder (tests inspect capture policy through this).
+    pub fn recorder(&self) -> &Recorder {
+        &self.ctx.recorder
     }
 
     /// Stops accepting, drains every queued job (each still gets its
@@ -396,6 +513,7 @@ fn read_frame_line(reader: &mut BufReader<TcpStream>, ctx: &Ctx) -> io::Result<F
             Some(pos) => {
                 out.extend_from_slice(&buf[..pos]);
                 reader.consume(pos + 1);
+                ctx.metrics.read_bytes.add(pos as u64 + 1);
                 if out.len() > MAX_LINE_BYTES {
                     return Ok(FrameLine::TooLong);
                 }
@@ -405,11 +523,31 @@ fn read_frame_line(reader: &mut BufReader<TcpStream>, ctx: &Ctx) -> io::Result<F
                 let n = buf.len();
                 out.extend_from_slice(buf);
                 reader.consume(n);
+                ctx.metrics.read_bytes.add(n as u64);
                 if out.len() > MAX_LINE_BYTES {
                     return Ok(FrameLine::TooLong);
                 }
             }
         }
+    }
+}
+
+/// A write wrapper feeding the served-bytes counter — the egress half of
+/// the per-connection byte accounting.
+struct CountingWriter {
+    inner: TcpStream,
+    bytes: Arc<Counter>,
+}
+
+impl io::Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -422,11 +560,14 @@ enum Refusal {
 /// Enqueues `requests` for the batcher and collects the answers in
 /// request order. The whole group fails with the first request error —
 /// answers already computed for it are discarded, never half-reported.
+/// A `sampled` singleton is marked so the batcher runs it solo through
+/// the profiler.
 fn dispatch(
     ctx: &Ctx,
     pinned: &Pinned,
     requests: Vec<QueryRequest>,
-) -> Result<Vec<(Response, IoStats)>, Refusal> {
+    sampled: bool,
+) -> Result<Vec<JobOutcome>, Refusal> {
     let n = requests.len();
     let (tx, rx) = mpsc::channel();
     for (index, request) in requests.into_iter().enumerate() {
@@ -434,10 +575,16 @@ fn dispatch(
             pinned: pinned.clone(),
             request,
             index,
+            sampled: sampled && n == 1,
             reply: tx.clone(),
             enqueued: Instant::now(),
         };
-        match ctx.queue.offer(job, ctx.cfg.admission_timeout) {
+        let offered = Instant::now();
+        let admitted = ctx.queue.offer(job, ctx.cfg.admission_timeout);
+        ctx.metrics
+            .admission_wait_us
+            .record(dur_us(offered.elapsed()));
+        match admitted {
             Ok(()) => {}
             Err(OfferError::Full(_)) => {
                 graphbi_obs::global()
@@ -454,7 +601,7 @@ fn dispatch(
         }
     }
     drop(tx);
-    let mut results: Vec<Option<(Response, IoStats)>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
     for _ in 0..n {
         match rx.recv_timeout(Duration::from_secs(120)) {
             Ok((i, Ok(r))) => results[i] = Some(r),
@@ -473,13 +620,193 @@ fn dispatch(
         .collect())
 }
 
+/// Records a failed request into the flight recorder — failure capture is
+/// forced, so the request that errored is always `TRACE`-able afterwards.
+#[allow(clippy::too_many_arguments)]
+fn record_failure(
+    ctx: &Ctx,
+    rid: u64,
+    cid: Option<u64>,
+    verb: &'static str,
+    request: &str,
+    pinned: &Pinned,
+    started: Instant,
+    code: ErrorCode,
+    message: &str,
+) {
+    let (generation, epoch) = pinned.info();
+    let total_ns = dur_ns(started.elapsed());
+    ctx.recorder.observe(
+        RequestTrace {
+            rid,
+            cid,
+            verb,
+            request: request.to_owned(),
+            generation,
+            epoch,
+            queue_wait_ns: 0,
+            total_ns,
+            batch: 1,
+            status: code.as_u16(),
+            error: Some(message.to_owned()),
+            profile: synthesized_profile(IoStats::new(), total_ns, 0),
+        },
+        false,
+    );
+}
+
+/// Answers a [`Refusal`] on the wire and records it into the recorder.
+#[allow(clippy::too_many_arguments)]
+fn refuse(
+    writer: &mut CountingWriter,
+    ctx: &Ctx,
+    rid: u64,
+    cid: Option<u64>,
+    verb: &'static str,
+    request: &str,
+    pinned: &Pinned,
+    started: Instant,
+    refusal: Refusal,
+) -> io::Result<()> {
+    match refusal {
+        Refusal::Busy(msg) => {
+            record_failure(
+                ctx, rid, cid, verb, request, pinned, started, ErrorCode::Busy, &msg,
+            );
+            writeln!(writer, "{}", protocol::render_busy(&msg))
+        }
+        Refusal::Fail(code, msg) => {
+            record_failure(ctx, rid, cid, verb, request, pinned, started, code, &msg);
+            writeln!(writer, "{}", protocol::render_err_id(code, &msg, rid))
+        }
+    }
+}
+
+/// Renders the `TOP` live snapshot as one JSON line: connection and queue
+/// state, per-verb latency quantiles, MVCC position, compaction and byte
+/// counters, and the recorder's own health.
+fn render_top(ctx: &Ctx) -> String {
+    use std::fmt::Write as _;
+    let snap = graphbi_obs::global().snapshot();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let g = |name: &str| snap.gauges.get(name).copied().unwrap_or(0);
+    let empty = graphbi_obs::HistSnapshot::default();
+    let h = |name: &str| snap.histograms.get(name).unwrap_or(&empty);
+    let (generation, epoch) = match &ctx.store {
+        ServeStore::Shared(_) => (0, 0),
+        ServeStore::Mvcc(m) => (m.generation(), m.epoch()),
+    };
+    let (decided, captured, overwritten, slow, export_errors) = ctx.recorder.stats();
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"connections\":{},\"queue_depth\":{},\"inflight_batch\":{}",
+        g("graphbi_serve_connections"),
+        ctx.queue.len(),
+        g("graphbi_serve_inflight_batch")
+    );
+    let _ = write!(out, ",\"generation\":{generation},\"epoch\":{epoch}");
+    let _ = write!(
+        out,
+        ",\"requests_total\":{},\"commits_total\":{},\"busy_total\":{}",
+        c("graphbi_serve_requests_total"),
+        c("graphbi_serve_commits_total"),
+        c("graphbi_serve_busy_total")
+    );
+    let _ = write!(
+        out,
+        ",\"batches_total\":{},\"batched_requests_total\":{}",
+        c("graphbi_serve_batches_total"),
+        c("graphbi_serve_batched_requests_total")
+    );
+    let _ = write!(
+        out,
+        ",\"read_bytes_total\":{},\"write_bytes_total\":{}",
+        c("graphbi_serve_read_bytes_total"),
+        c("graphbi_serve_write_bytes_total")
+    );
+    let compaction_failures: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("graphbi_compaction_failures_"))
+        .map(|(_, v)| v)
+        .sum();
+    let _ = write!(
+        out,
+        ",\"wal_commits_total\":{},\"compactions_total\":{},\"compaction_failures_total\":{compaction_failures}",
+        c("graphbi_wal_commits_total"),
+        c("graphbi_compactions_total")
+    );
+    let _ = write!(
+        out,
+        ",\"kernel\":{}",
+        json::quote(if g("graphbi_kernel_path") == 1 {
+            "simd"
+        } else {
+            "scalar"
+        })
+    );
+    out.push_str(",\"verbs\":{");
+    for (i, (name, metric)) in [
+        ("query", "graphbi_serve_verb_query_us"),
+        ("batch", "graphbi_serve_verb_batch_us"),
+        ("commit", "graphbi_serve_verb_commit_us"),
+        ("profile", "graphbi_serve_verb_profile_us"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        let hs = h(metric);
+        let _ = write!(
+            out,
+            "{}:{{\"count\":{},\"p50_us\":{},\"p99_us\":{}}}",
+            json::quote(name),
+            hs.count,
+            hs.quantile(0.5),
+            hs.quantile(0.99)
+        );
+    }
+    out.push('}');
+    let qw = h("graphbi_serve_queue_wait_us");
+    let aw = h("graphbi_serve_admission_wait_us");
+    let _ = write!(
+        out,
+        ",\"queue_wait_us\":{{\"p50\":{},\"p99\":{}}},\"admission_wait_us\":{{\"p50\":{},\"p99\":{}}}",
+        qw.quantile(0.5),
+        qw.quantile(0.99),
+        aw.quantile(0.5),
+        aw.quantile(0.99)
+    );
+    let bs = h("graphbi_serve_batch_size");
+    let _ = write!(
+        out,
+        ",\"batch_size\":{{\"count\":{},\"mean\":{:.2}}}",
+        bs.count,
+        bs.mean()
+    );
+    let _ = write!(
+        out,
+        ",\"recorder\":{{\"requests\":{decided},\"captured\":{captured},\"overwritten\":{overwritten},\
+         \"slow\":{slow},\"export_errors\":{export_errors},\"sample_every\":{},\"slow_threshold_ms\":{}}}",
+        ctx.cfg.sample_every,
+        ctx.cfg.slow_threshold.as_millis()
+    );
+    out.push('}');
+    out
+}
+
 fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
     stream.set_read_timeout(Some(ctx.cfg.read_timeout))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let reg = graphbi_obs::global();
+    let mut writer = CountingWriter {
+        inner: stream,
+        bytes: Arc::clone(&ctx.metrics.write_bytes),
+    };
 
     // Handshake: the first frame must be HELLO with our version.
     let first = match read_frame_line(&mut reader, ctx)? {
@@ -518,9 +845,10 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
     }
     let mut pinned = ctx.store.pin();
     let (gen, epoch) = pinned.info();
+    let hello_rid = ctx.recorder.next_rid();
     write!(
         writer,
-        "OK {PROTOCOL_VERSION} generation={gen} epoch={epoch} lines={}\n{}",
+        "OK {PROTOCOL_VERSION} generation={gen} epoch={epoch} lines={} id={hello_rid}\n{}",
         ctx.hello_text.lines().count(),
         ctx.hello_text
     )?;
@@ -532,10 +860,11 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
             FrameLine::Eof => return Ok(()),
             FrameLine::TooLong => {
                 // The stream can no longer be framed; answer and close.
+                let rid = ctx.recorder.next_rid();
                 writeln!(
                     writer,
                     "{}",
-                    protocol::render_err(ErrorCode::Malformed, "line exceeds frame cap")
+                    protocol::render_err_id(ErrorCode::Malformed, "line exceeds frame cap", rid)
                 )?;
                 return Ok(());
             }
@@ -546,51 +875,109 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
         let verb = match protocol::parse_verb(&line) {
             Ok(v) => v,
             Err(e) => {
+                let rid = ctx.recorder.next_rid();
                 writeln!(
                     writer,
                     "{}",
-                    protocol::render_err(ErrorCode::Malformed, &e.to_string())
+                    protocol::render_err_id(ErrorCode::Malformed, &e.to_string(), rid)
                 )?;
                 writer.flush()?;
                 continue;
             }
         };
+        // Every parsed request gets a server-assigned id, echoed on the
+        // reply head so a client can TRACE it later.
+        let rid = ctx.recorder.next_rid();
+        let started = Instant::now();
         let mut sp = graphbi_obs::span("serve.request");
         match verb {
             Verb::Hello(_) => {
                 writeln!(
                     writer,
                     "{}",
-                    protocol::render_err(ErrorCode::Malformed, "HELLO already exchanged")
+                    protocol::render_err_id(ErrorCode::Malformed, "HELLO already exchanged", rid)
                 )?;
             }
-            Verb::Query(payload) => {
+            Verb::Query { cid, payload } => {
                 sp.attr("requests", 1);
                 match QueryRequest::parse_text(&payload) {
-                    Err(e) => writeln!(
-                        writer,
-                        "{}",
-                        protocol::render_err(ErrorCode::Malformed, &e.to_string())
-                    )?,
+                    Err(e) => {
+                        writeln!(
+                            writer,
+                            "{}",
+                            protocol::render_err_id(ErrorCode::Malformed, &e.to_string(), rid)
+                        )?;
+                        record_failure(
+                            ctx,
+                            rid,
+                            cid,
+                            "query",
+                            &payload,
+                            &pinned,
+                            started,
+                            ErrorCode::Malformed,
+                            &e.to_string(),
+                        );
+                    }
                     Ok(req) => {
-                        reg.counter("graphbi_serve_requests_total").inc();
-                        match dispatch(ctx, &pinned, vec![req]) {
-                            Ok(results) => {
-                                let (resp, _) = &results[0];
+                        ctx.metrics.requests.inc();
+                        let sampled = ctx.recorder.sample();
+                        match dispatch(ctx, &pinned, vec![req], sampled) {
+                            Ok(mut outcomes) => {
+                                let out = outcomes.pop().expect("one request, one outcome");
                                 let (gen, epoch) = pinned.info();
                                 write!(
                                     writer,
-                                    "OK generation={gen} epoch={epoch} lines={}\n{}",
-                                    resp.line_count(),
-                                    resp.to_text()
+                                    "OK generation={gen} epoch={epoch} lines={} id={rid}\n{}",
+                                    out.response.line_count(),
+                                    out.response.to_text()
                                 )?;
+                                let total_ns = dur_ns(started.elapsed());
+                                // Skip trace assembly entirely unless the
+                                // recorder will keep it — the unsampled
+                                // fast path must not pay for clones and a
+                                // synthesized profile headed for the floor.
+                                if ctx.recorder.should_capture(sampled, total_ns, false) {
+                                    let matches = response_matches(&out.response);
+                                    let profile = out.profile.unwrap_or_else(|| {
+                                        synthesized_profile(out.io, total_ns, matches)
+                                    });
+                                    ctx.recorder.observe(
+                                        RequestTrace {
+                                            rid,
+                                            cid,
+                                            verb: "query",
+                                            request: payload,
+                                            generation: gen,
+                                            epoch,
+                                            queue_wait_ns: out.wait_ns,
+                                            total_ns,
+                                            batch: out.batch,
+                                            status: 0,
+                                            error: None,
+                                            profile,
+                                        },
+                                        sampled,
+                                    );
+                                }
                             }
-                            Err(r) => write_refusal(&mut writer, r)?,
+                            Err(r) => refuse(
+                                &mut writer,
+                                ctx,
+                                rid,
+                                cid,
+                                "query",
+                                &payload,
+                                &pinned,
+                                started,
+                                r,
+                            )?,
                         }
                     }
                 }
+                ctx.metrics.verb_query_us.record(dur_us(started.elapsed()));
             }
-            Verb::Batch(k) => {
+            Verb::Batch { count: k, cid } => {
                 sp.attr("requests", k as u64);
                 // Consume all k payload lines before parsing, so a bad
                 // request never desynchronizes framing.
@@ -603,42 +990,105 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
                             writeln!(
                                 writer,
                                 "{}",
-                                protocol::render_err(
+                                protocol::render_err_id(
                                     ErrorCode::Malformed,
-                                    "line exceeds frame cap"
+                                    "line exceeds frame cap",
+                                    rid
                                 )
                             )?;
                             return Ok(());
                         }
                     }
                 }
+                let first = raw.first().cloned().unwrap_or_default();
                 let parsed: Result<Vec<QueryRequest>, graphbi::WireError> =
                     raw.iter().map(|l| QueryRequest::parse_text(l)).collect();
                 match parsed {
-                    Err(e) => writeln!(
-                        writer,
-                        "{}",
-                        protocol::render_err(ErrorCode::Malformed, &e.to_string())
-                    )?,
+                    Err(e) => {
+                        writeln!(
+                            writer,
+                            "{}",
+                            protocol::render_err_id(ErrorCode::Malformed, &e.to_string(), rid)
+                        )?;
+                        record_failure(
+                            ctx,
+                            rid,
+                            cid,
+                            "batch",
+                            &first,
+                            &pinned,
+                            started,
+                            ErrorCode::Malformed,
+                            &e.to_string(),
+                        );
+                    }
                     Ok(reqs) => {
-                        reg.counter("graphbi_serve_requests_total").add(k as u64);
-                        match dispatch(ctx, &pinned, reqs) {
-                            Ok(results) => {
+                        ctx.metrics.requests.add(k as u64);
+                        let sampled = ctx.recorder.sample();
+                        match dispatch(ctx, &pinned, reqs, sampled) {
+                            Ok(outcomes) => {
                                 let lines: usize =
-                                    results.iter().map(|(r, _)| r.line_count()).sum();
+                                    outcomes.iter().map(|o| o.response.line_count()).sum();
                                 let (gen, epoch) = pinned.info();
                                 writeln!(
                                     writer,
-                                    "OK count={k} generation={gen} epoch={epoch} lines={lines}"
+                                    "OK count={k} generation={gen} epoch={epoch} lines={lines} id={rid}"
                                 )?;
-                                for (resp, _) in &results {
-                                    write!(writer, "{}", resp.to_text())?;
+                                for o in &outcomes {
+                                    write!(writer, "{}", o.response.to_text())?;
+                                }
+                                let total_ns = dur_ns(started.elapsed());
+                                if ctx.recorder.should_capture(sampled, total_ns, false) {
+                                    let mut io = IoStats::new();
+                                    let mut matches = 0u64;
+                                    let mut wait_ns = 0u64;
+                                    for o in &outcomes {
+                                        io.merge(&o.io);
+                                        matches += response_matches(&o.response);
+                                        wait_ns = wait_ns.max(o.wait_ns);
+                                    }
+                                    // A 1-request batch rides the sampled
+                                    // singleton path, so its profile is exact.
+                                    let profile = outcomes
+                                        .into_iter()
+                                        .find_map(|o| o.profile)
+                                        .unwrap_or_else(|| {
+                                            synthesized_profile(io, total_ns, matches)
+                                        });
+                                    ctx.recorder.observe(
+                                        RequestTrace {
+                                            rid,
+                                            cid,
+                                            verb: "batch",
+                                            request: first,
+                                            generation: gen,
+                                            epoch,
+                                            queue_wait_ns: wait_ns,
+                                            total_ns,
+                                            batch: k as u64,
+                                            status: 0,
+                                            error: None,
+                                            profile,
+                                        },
+                                        sampled,
+                                    );
                                 }
                             }
-                            Err(r) => write_refusal(&mut writer, r)?,
+                            Err(r) => refuse(
+                                &mut writer,
+                                ctx,
+                                rid,
+                                cid,
+                                "batch",
+                                &first,
+                                &pinned,
+                                started,
+                                r,
+                            )?,
                         }
                     }
                 }
+                ctx.metrics.verb_batch_us.record(dur_us(started.elapsed()));
             }
             Verb::Commit(k) => {
                 sp.attr("ops", k as u64);
@@ -651,78 +1101,189 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
                             writeln!(
                                 writer,
                                 "{}",
-                                protocol::render_err(
+                                protocol::render_err_id(
                                     ErrorCode::Malformed,
-                                    "line exceeds frame cap"
+                                    "line exceeds frame cap",
+                                    rid
                                 )
                             )?;
                             return Ok(());
                         }
                     }
                 }
+                let first = raw.first().cloned().unwrap_or_default();
                 let parsed: Result<Vec<DeltaOp>, graphbi::WireError> =
                     raw.iter().map(|l| protocol::parse_op(l)).collect();
                 match parsed {
+                    Err(e) => {
+                        writeln!(
+                            writer,
+                            "{}",
+                            protocol::render_err_id(ErrorCode::Malformed, &e.to_string(), rid)
+                        )?;
+                        record_failure(
+                            ctx,
+                            rid,
+                            None,
+                            "commit",
+                            &first,
+                            &pinned,
+                            started,
+                            ErrorCode::Malformed,
+                            &e.to_string(),
+                        );
+                    }
+                    Ok(ops) => {
+                        let sampled = ctx.recorder.sample();
+                        match ctx.store.commit(&ops) {
+                            Err((code, msg)) => {
+                                writeln!(writer, "{}", protocol::render_err_id(code, &msg, rid))?;
+                                record_failure(
+                                    ctx, rid, None, "commit", &first, &pinned, started, code, &msg,
+                                );
+                            }
+                            Ok(()) => {
+                                ctx.metrics.commits.inc();
+                                // Read-your-writes: re-pin past our own commit.
+                                pinned = ctx.store.pin();
+                                let (gen, epoch) = pinned.info();
+                                writeln!(
+                                    writer,
+                                    "OK generation={gen} epoch={epoch} lines=0 id={rid}"
+                                )?;
+                                let total_ns = dur_ns(started.elapsed());
+                                if ctx.recorder.should_capture(sampled, total_ns, false) {
+                                    ctx.recorder.observe(
+                                        RequestTrace {
+                                            rid,
+                                            cid: None,
+                                            verb: "commit",
+                                            request: first,
+                                            generation: gen,
+                                            epoch,
+                                            queue_wait_ns: 0,
+                                            total_ns,
+                                            batch: k as u64,
+                                            status: 0,
+                                            error: None,
+                                            profile: synthesized_profile(
+                                                IoStats::new(),
+                                                total_ns,
+                                                0,
+                                            ),
+                                        },
+                                        sampled,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                ctx.metrics.verb_commit_us.record(dur_us(started.elapsed()));
+            }
+            Verb::Profile(payload) => {
+                match QueryRequest::parse_text(&payload) {
                     Err(e) => writeln!(
                         writer,
                         "{}",
-                        protocol::render_err(ErrorCode::Malformed, &e.to_string())
+                        protocol::render_err_id(ErrorCode::Malformed, &e.to_string(), rid)
                     )?,
-                    Ok(ops) => match ctx.store.commit(&ops) {
-                        Err((code, msg)) => {
-                            writeln!(writer, "{}", protocol::render_err(code, &msg))?
+                    // Profiling runs solo on the handler thread — a profile
+                    // measures one request, not its luck sharing a batch.
+                    Ok(req) => match pinned.profile(&req) {
+                        Err(e) => {
+                            writeln!(
+                                writer,
+                                "{}",
+                                protocol::render_err_id(e.code(), &e.to_string(), rid)
+                            )?;
+                            record_failure(
+                                ctx,
+                                rid,
+                                None,
+                                "profile",
+                                &payload,
+                                &pinned,
+                                started,
+                                e.code(),
+                                &e.to_string(),
+                            );
                         }
-                        Ok(()) => {
-                            reg.counter("graphbi_serve_commits_total").inc();
-                            // Read-your-writes: re-pin past our own commit.
-                            pinned = ctx.store.pin();
+                        Ok((_, prof)) => {
+                            writeln!(writer, "OK lines=1 id={rid}")?;
+                            writeln!(writer, "{}", prof.render_json())?;
                             let (gen, epoch) = pinned.info();
-                            writeln!(writer, "OK generation={gen} epoch={epoch} lines=0")?;
+                            let total_ns = dur_ns(started.elapsed());
+                            // A profiled request is always captured: the
+                            // stored Profile is the exact object whose JSON
+                            // just went on the wire, so TRACE replays it
+                            // bit-identically.
+                            ctx.recorder.observe(
+                                RequestTrace {
+                                    rid,
+                                    cid: None,
+                                    verb: "profile",
+                                    request: payload,
+                                    generation: gen,
+                                    epoch,
+                                    queue_wait_ns: 0,
+                                    total_ns,
+                                    batch: 1,
+                                    status: 0,
+                                    error: None,
+                                    profile: prof,
+                                },
+                                true,
+                            );
                         }
                     },
                 }
+                ctx.metrics.verb_profile_us.record(dur_us(started.elapsed()));
             }
-            Verb::Profile(payload) => match QueryRequest::parse_text(&payload) {
-                Err(e) => writeln!(
-                    writer,
-                    "{}",
-                    protocol::render_err(ErrorCode::Malformed, &e.to_string())
-                )?,
-                // Profiling runs solo on the handler thread — a profile
-                // measures one request, not its luck sharing a batch.
-                Ok(req) => match pinned.profile(&req) {
-                    Err(e) => {
-                        writeln!(writer, "{}", protocol::render_err(e.code(), &e.to_string()))?
-                    }
-                    Ok((_, prof)) => {
-                        writeln!(writer, "OK lines=1")?;
-                        writeln!(writer, "{}", prof.render_json())?;
-                    }
-                },
-            },
             Verb::Metrics => {
-                let text = reg.snapshot().render_text();
-                write!(writer, "OK lines={}\n{text}", text.lines().count())?;
+                let text = graphbi_obs::global().snapshot().render_text();
+                write!(writer, "OK lines={} id={rid}\n{text}", text.lines().count())?;
+            }
+            Verb::Trace(target) => match ctx.recorder.get(target) {
+                Some(trace) => {
+                    writeln!(writer, "OK lines=1 id={rid}")?;
+                    writeln!(writer, "{}", trace.profile.render_json())?;
+                }
+                None => {
+                    writeln!(
+                        writer,
+                        "{}",
+                        protocol::render_err_id(
+                            ErrorCode::NotFound,
+                            &format!("no captured trace for request id {target}"),
+                            rid
+                        )
+                    )?;
+                }
+            },
+            Verb::Slowlog(n) => {
+                let entries = ctx.recorder.recent_slow(n.unwrap_or(DEFAULT_SLOWLOG));
+                writeln!(writer, "OK lines={} id={rid}", entries.len())?;
+                for entry in &entries {
+                    writeln!(writer, "{}", entry.render_json())?;
+                }
+            }
+            Verb::Top => {
+                writeln!(writer, "OK lines=1 id={rid}")?;
+                writeln!(writer, "{}", render_top(ctx))?;
             }
             Verb::Refresh => {
                 pinned = ctx.store.pin();
                 let (gen, epoch) = pinned.info();
-                writeln!(writer, "OK generation={gen} epoch={epoch} lines=0")?;
+                writeln!(writer, "OK generation={gen} epoch={epoch} lines=0 id={rid}")?;
             }
             Verb::Quit => {
-                writeln!(writer, "OK lines=0")?;
+                writeln!(writer, "OK lines=0 id={rid}")?;
                 writer.flush()?;
                 return Ok(());
             }
         }
         writer.flush()?;
-    }
-}
-
-fn write_refusal(writer: &mut TcpStream, refusal: Refusal) -> io::Result<()> {
-    match refusal {
-        Refusal::Busy(msg) => writeln!(writer, "{}", protocol::render_busy(&msg)),
-        Refusal::Fail(code, msg) => writeln!(writer, "{}", protocol::render_err(code, &msg)),
     }
 }
 
@@ -737,8 +1298,11 @@ fn batcher_loop(ctx: &Arc<Ctx>) {
     let size_hist = reg.histogram("graphbi_serve_batch_size");
     let wait_hist = reg.histogram("graphbi_serve_queue_wait_us");
     let depth_gauge = reg.gauge("graphbi_serve_queue_depth");
+    let inflight_gauge = reg.gauge("graphbi_serve_inflight_batch");
+    // Sampled jobs never coalesce: each runs solo through the profiler so
+    // its captured trace is exact, not an estimate of its share of a run.
     while let Some(batch) = ctx.queue.take_batch(ctx.cfg.batch_max, |a, b| {
-        a.pinned.batch_key() == b.pinned.batch_key()
+        a.pinned.batch_key() == b.pinned.batch_key() && !a.sampled && !b.sampled
     }) {
         depth_gauge.set(ctx.queue.len() as i64);
         if !ctx.cfg.batch_delay.is_zero() {
@@ -749,22 +1313,60 @@ fn batcher_loop(ctx: &Arc<Ctx>) {
         batches.inc();
         batched.add(batch.len() as u64);
         size_hist.record(batch.len() as u64);
-        for job in &batch {
-            wait_hist.record(u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX));
+        inflight_gauge.set(batch.len() as i64);
+        let waits: Vec<u64> = batch
+            .iter()
+            .map(|job| dur_ns(job.enqueued.elapsed()))
+            .collect();
+        for wait in &waits {
+            wait_hist.record(wait / 1_000);
+        }
+        let run = batch.len() as u64;
+        if run == 1 && batch[0].sampled {
+            let job = batch.into_iter().next().expect("singleton batch");
+            let sent = match job.pinned.profile(&job.request) {
+                Ok((response, profile)) => Ok(JobOutcome {
+                    response,
+                    io: profile.stats.clone(),
+                    wait_ns: waits[0],
+                    batch: 1,
+                    profile: Some(profile),
+                }),
+                Err(e) => Err(e),
+            };
+            let _ = job.reply.send((job.index, sent));
+            inflight_gauge.set(0);
+            continue;
         }
         let requests: Vec<QueryRequest> = batch.iter().map(|j| j.request.clone()).collect();
         match batch[0].pinned.evaluate_many(&requests) {
             Ok(results) => {
-                for (job, result) in batch.into_iter().zip(results) {
-                    let _ = job.reply.send((job.index, Ok(result)));
+                for ((job, (response, io)), wait_ns) in batch.into_iter().zip(results).zip(waits) {
+                    let outcome = JobOutcome {
+                        response,
+                        io,
+                        wait_ns,
+                        batch: run,
+                        profile: None,
+                    };
+                    let _ = job.reply.send((job.index, Ok(outcome)));
                 }
             }
             Err(_) => {
-                for job in batch {
-                    let result = job.pinned.execute(&job.request);
+                for (job, wait_ns) in batch.into_iter().zip(waits) {
+                    let result = job.pinned.execute(&job.request).map(|(response, io)| {
+                        JobOutcome {
+                            response,
+                            io,
+                            wait_ns,
+                            batch: 1,
+                            profile: None,
+                        }
+                    });
                     let _ = job.reply.send((job.index, result));
                 }
             }
         }
+        inflight_gauge.set(0);
     }
 }

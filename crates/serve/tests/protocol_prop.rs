@@ -197,10 +197,51 @@ proptest! {
         let _ = Response::parse_text(&line);
         let _ = protocol::parse_op(&line);
         match protocol::parse_verb(&line) {
-            Ok(Verb::Batch(n)) | Ok(Verb::Commit(n)) => {
+            Ok(Verb::Batch { count: n, .. }) | Ok(Verb::Commit(n)) => {
                 prop_assert!((1..=protocol::MAX_BATCH).contains(&n));
             }
             _ => {}
+        }
+    }
+
+    /// The introspection verbs and client correlation ids parse back to
+    /// exactly the values that were rendered.
+    #[test]
+    fn introspection_verbs_round_trip(rid in any::<u64>(), n in 0usize..10_000) {
+        match protocol::parse_verb(&format!("TRACE {rid}")) {
+            Ok(Verb::Trace(t)) => prop_assert_eq!(t, rid),
+            other => prop_assert!(false, "TRACE {} parsed as {:?}", rid, other),
+        }
+        match protocol::parse_verb(&format!("SLOWLOG {n}")) {
+            Ok(Verb::Slowlog(Some(k))) => prop_assert_eq!(k, n),
+            other => prop_assert!(false, "SLOWLOG {} parsed as {:?}", n, other),
+        }
+        prop_assert!(matches!(protocol::parse_verb("SLOWLOG"), Ok(Verb::Slowlog(None))));
+        prop_assert!(matches!(protocol::parse_verb("TOP"), Ok(Verb::Top)));
+    }
+
+    /// `id=<n>` on QUERY and BATCH is stripped into the parsed verb and
+    /// never leaks into the payload.
+    #[test]
+    fn correlation_ids_round_trip(cid in any::<u64>(), req in request(), k in 1usize..=protocol::MAX_BATCH) {
+        let payload = req.to_text();
+        match protocol::parse_verb(&format!("QUERY id={cid} {payload}")) {
+            Ok(Verb::Query { cid: Some(c), payload: p }) => {
+                prop_assert_eq!(c, cid);
+                prop_assert_eq!(p, payload.clone());
+            }
+            other => prop_assert!(false, "parsed as {:?}", other),
+        }
+        match protocol::parse_verb(&format!("QUERY {payload}")) {
+            Ok(Verb::Query { cid: None, payload: p }) => prop_assert_eq!(p, payload.clone()),
+            other => prop_assert!(false, "parsed as {:?}", other),
+        }
+        match protocol::parse_verb(&format!("BATCH {k} id={cid}")) {
+            Ok(Verb::Batch { count, cid: Some(c) }) => {
+                prop_assert_eq!(count, k);
+                prop_assert_eq!(c, cid);
+            }
+            other => prop_assert!(false, "parsed as {:?}", other),
         }
     }
 

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use graphbi::{GraphStore, MvccStore, QueryRequest, Session, SharedStore};
-use graphbi_columnstore::DeltaOp;
+use graphbi_columnstore::{DeltaOp, Vfs as _};
 use graphbi_serve::{Client, ClientError, ServeConfig, ServeStore, Server};
 use graphbi_testkit::Scenario;
 
@@ -374,6 +374,194 @@ fn concurrent_connections_share_batches() {
         batches < served,
         "expected some multi-request batches, got {batches} batches for {served} requests"
     );
+}
+
+/// `TRACE` must replay a `PROFILE`'s rendering bit-identically — the
+/// stored trace is the same `Profile` object whose JSON went on the wire
+/// — on both the shared-memory and the disk-backed MVCC store. Sampled
+/// queries (solo-profiled by the batcher) must not change any answer.
+#[test]
+fn trace_replays_profile_bit_identically_on_mem_and_disk() {
+    let scenario = Scenario::generate(13);
+    let load = || GraphStore::load(scenario.universe.clone(), &scenario.records);
+    let reqs = workload(&scenario);
+    let expected = expected_texts(&SharedStore::new(load()), &reqs);
+
+    let disk_vfs = Arc::new(graphbi_columnstore::FaultVfs::new(0x71e7));
+    let disk_dir = std::path::PathBuf::from("/flightdb");
+    graphbi::disk::save_store_with(disk_vfs.as_ref(), &load(), &disk_dir)
+        .expect("save disk store");
+    let disk = graphbi::MvccStore::open_disk(
+        &disk_dir,
+        16 << 20,
+        disk_vfs,
+        graphbi_columnstore::Verify::Checksums,
+    )
+    .expect("open disk store");
+
+    let backends = [
+        ("mem", ServeStore::Shared(SharedStore::new(load()))),
+        ("disk", ServeStore::Mvcc(Arc::new(disk))),
+    ];
+    for (label, serve_store) in backends {
+        let server = Server::start(
+            serve_store,
+            "127.0.0.1:0",
+            ServeConfig {
+                // Sample every request: each QUERY runs solo through the
+                // profiler, the strongest answers-don't-change check.
+                sample_every: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server starts");
+        let mut client = Client::connect(server.addr()).expect("client connects");
+
+        for (req, want) in reqs.iter().zip(&expected) {
+            let got = client.query(req).expect("sampled query");
+            assert_eq!(&got.to_text(), want, "[{label}] sampling changed an answer");
+            let rid = client.last_request_id().expect("OK head carries id=");
+            let replay = client.trace(rid).expect("sampled query is captured");
+            let doc = graphbi_obs::json::parse(&replay).expect("trace is JSON");
+            assert!(
+                doc.get("total_ns").is_some() || doc.get("backend").is_some(),
+                "[{label}] trace is not a profile rendering: {replay}"
+            );
+        }
+
+        // The hinge: PROFILE's payload and TRACE's replay are the same bytes.
+        for req in &reqs {
+            let prof = client.profile(req).expect("profile");
+            let rid = client.last_request_id().expect("PROFILE reply carries id=");
+            let replay = client.trace(rid).expect("profiled request is captured");
+            assert_eq!(replay, prof, "[{label}] TRACE differs from PROFILE");
+        }
+
+        // An id the ring never held answers the stable NOT_FOUND code.
+        match client.trace(u64::MAX) {
+            Err(ClientError::Remote { code, symbol, .. }) => {
+                assert_eq!((code, symbol.as_str()), (112, "NOT_FOUND"), "[{label}]");
+            }
+            other => panic!("[{label}] expected NOT_FOUND, got {other:?}"),
+        }
+        client.quit().expect("quit");
+    }
+}
+
+/// Slow and failing requests are captured regardless of sampling, show
+/// up in `SLOWLOG` newest-first, and are appended to the export file as
+/// CRC-framed JSON lines that deframe cleanly even with a torn tail.
+#[test]
+fn slowlog_forces_capture_and_exports_framed_json() {
+    let scenario = Scenario::generate(17);
+    let store = GraphStore::load(scenario.universe.clone(), &scenario.records);
+    let reqs = workload(&scenario);
+    let export_vfs: Arc<graphbi_columnstore::FaultVfs> =
+        Arc::new(graphbi_columnstore::FaultVfs::new(0x510e));
+    let export_path = std::path::PathBuf::from("/slowlog.jsonl");
+
+    let server = Server::start(
+        ServeStore::Shared(SharedStore::new(store)),
+        "127.0.0.1:0",
+        ServeConfig {
+            // Head sampling off; a zero threshold makes every request
+            // "slow", so capture is exercised purely through forcing.
+            sample_every: 0,
+            slow_threshold: Duration::ZERO,
+            slowlog_export: Some(graphbi_serve::SlowlogExport {
+                vfs: export_vfs.clone(),
+                path: export_path.clone(),
+            }),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    for req in reqs.iter().take(3) {
+        client.query(req).expect("query");
+    }
+    // A failing request: captured (forced) and TRACE-able via the id the
+    // ERR frame carries as its trailing token.
+    let line = client
+        .send_raw("QUERY id=42 graph views=2 shards=1 :")
+        .expect("malformed query answers");
+    assert!(line.starts_with("ERR "), "{line:?}");
+    let failed_rid = line
+        .rsplit(' ')
+        .next()
+        .and_then(|tok| tok.strip_prefix("id="))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("ERR frame without trailing id=: {line:?}"));
+    let replay = client.trace(failed_rid).expect("failure is force-captured");
+    let doc = graphbi_obs::json::parse(&replay).expect("trace JSON");
+    assert!(doc.get("total_ns").is_some() || doc.get("backend").is_some());
+
+    // SLOWLOG: one JSON entry per request, newest first, rids descending.
+    let entries = client.slowlog(Some(16)).expect("slowlog");
+    assert!(entries.len() >= 3, "expected ≥3 slow entries, got {entries:?}");
+    let mut last_rid = u64::MAX;
+    for line in &entries {
+        let doc = graphbi_obs::json::parse(line).expect("slowlog entry JSON");
+        let rid = doc
+            .get("rid")
+            .and_then(graphbi_obs::json::Json::as_u64)
+            .expect("entry has rid");
+        assert!(rid < last_rid, "slowlog not newest-first: {entries:?}");
+        last_rid = rid;
+        assert!(doc.get("profile").is_some(), "entry carries its profile");
+    }
+    // The client correlation id rode into the failing request's entry.
+    assert!(
+        entries
+            .iter()
+            .any(|l| graphbi_obs::json::parse(l)
+                .ok()
+                .and_then(|d| d.get("id").and_then(graphbi_obs::json::Json::as_u64))
+                == Some(42)),
+        "correlation id missing from {entries:?}"
+    );
+
+    // The export file deframes into the same number of JSON lines, and a
+    // torn tail (partial frame) is silently dropped, not misread.
+    let bytes = export_vfs.read(&export_path).expect("export file exists");
+    let lines = graphbi_obs::slowlog::read_lines(&bytes);
+    assert_eq!(lines.len(), entries.len(), "export count != slowlog count");
+    for line in &lines {
+        graphbi_obs::json::parse(line).expect("exported line is JSON");
+    }
+    let mut torn = bytes.clone();
+    torn.extend_from_slice(&graphbi_obs::slowlog::frame_line("{\"rid\":999}")[..7]);
+    assert_eq!(
+        graphbi_obs::slowlog::read_lines(&torn).len(),
+        lines.len(),
+        "torn tail must be dropped"
+    );
+
+    // TOP: one JSON line of live state, recorder section included.
+    let top = client.top().expect("top");
+    let doc = graphbi_obs::json::parse(&top).expect("TOP is JSON");
+    for key in [
+        "connections",
+        "queue_depth",
+        "requests_total",
+        "verbs",
+        "queue_wait_us",
+        "recorder",
+    ] {
+        assert!(doc.get(key).is_some(), "TOP missing {key}: {top}");
+    }
+    let rec = doc.get("recorder").unwrap();
+    let slow = rec
+        .get("slow")
+        .and_then(graphbi_obs::json::Json::as_u64)
+        .expect("recorder.slow");
+    assert!(slow >= entries.len() as u64, "TOP undercounts slow captures");
+    assert_eq!(
+        rec.get("sample_every").and_then(graphbi_obs::json::Json::as_u64),
+        Some(0)
+    );
+    client.quit().expect("quit");
 }
 
 /// Shutdown answers in-flight work: no connection is dropped without a
